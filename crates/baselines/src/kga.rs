@@ -1,0 +1,315 @@
+//! KGA (Wang et al., 2022): augments the KG with quantile-bin entities and
+//! reduces numeric prediction to link prediction. The quantization error /
+//! classification-difficulty trade-off the paper discusses lives in
+//! `bins_per_attribute`.
+
+use crate::predictor::{AttributeMean, NumericPredictor};
+use crate::transe::{TransE, TransEConfig};
+use cf_chains::Query;
+use cf_kg::{AttributeId, KnowledgeGraph, NumTriple};
+use rand::{Rng, RngCore};
+
+/// Quantile binning of one attribute.
+#[derive(Clone, Debug)]
+pub struct AttributeBins {
+    /// Upper edge of each bin (the last edge is +inf implicitly).
+    edges: Vec<f64>,
+    /// Mean training value per bin — the value predicted for that bin.
+    representatives: Vec<f64>,
+}
+
+impl AttributeBins {
+    /// Quantile bins over training values. Degenerates gracefully for few
+    /// distinct values.
+    pub fn fit(values: &[f64], bins: usize) -> Self {
+        assert!(bins > 0);
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if sorted.is_empty() {
+            return AttributeBins {
+                edges: vec![],
+                representatives: vec![0.0],
+            };
+        }
+        let bins = bins.min(sorted.len());
+        let mut edges = Vec::with_capacity(bins - 1);
+        for b in 1..bins {
+            edges.push(sorted[(b * sorted.len()) / bins]);
+        }
+        let mut sums = vec![(0.0f64, 0usize); bins];
+        for &v in &sorted {
+            let i = edges.partition_point(|&e| e <= v).min(bins - 1);
+            sums[i].0 += v;
+            sums[i].1 += 1;
+        }
+        // Empty bins (duplicate quantiles) inherit the neighbouring mean.
+        let mut representatives = Vec::with_capacity(bins);
+        let global = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        for &(s, n) in &sums {
+            representatives.push(if n > 0 { s / n as f64 } else { global });
+        }
+        AttributeBins {
+            edges,
+            representatives,
+        }
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Bin index a value falls into.
+    pub fn bin_of(&self, value: f64) -> usize {
+        self.edges
+            .partition_point(|&e| e <= value)
+            .min(self.num_bins() - 1)
+    }
+
+    /// The value predicted for a bin (its training mean).
+    pub fn representative(&self, bin: usize) -> f64 {
+        self.representatives[bin]
+    }
+}
+
+/// KGA predictor: TransE over the augmented graph, bin chosen by the best
+/// `||h + r_a − t_bin||` link-prediction score.
+pub struct Kga {
+    transe: TransE,
+    bins: Vec<AttributeBins>,
+    /// Raw-entity index of bin 0 of each attribute.
+    bin_base: Vec<usize>,
+    /// Raw-relation index of each attribute's `has_<attr>` relation.
+    attr_rel: Vec<usize>,
+    fallback: AttributeMean,
+}
+
+impl Kga {
+    /// Bins the training values, augments the graph and trains TransE over it.
+    pub fn fit(
+        graph: &KnowledgeGraph,
+        train: &[NumTriple],
+        bins_per_attribute: usize,
+        transe_cfg: TransEConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let na = graph.num_attributes();
+        // Per-attribute quantile bins on training values.
+        let mut per_attr_values: Vec<Vec<f64>> = vec![Vec::new(); na];
+        for t in train {
+            per_attr_values[t.attr.0 as usize].push(t.value);
+        }
+        let bins: Vec<AttributeBins> = per_attr_values
+            .iter()
+            .map(|v| AttributeBins::fit(v, bins_per_attribute))
+            .collect();
+
+        // Augmentation: bin entities appended after real entities, one
+        // has_<attr> relation per attribute appended after real relations.
+        let mut bin_base = Vec::with_capacity(na);
+        let mut next = graph.num_entities();
+        for b in &bins {
+            bin_base.push(next);
+            next += b.num_bins();
+        }
+        let extra_entities = next - graph.num_entities();
+        let attr_rel: Vec<usize> = (0..na).map(|a| graph.num_relations() + a).collect();
+        let extra_triples: Vec<(usize, usize, usize)> = train
+            .iter()
+            .map(|t| {
+                let a = t.attr.0 as usize;
+                let bin = bins[a].bin_of(t.value);
+                (t.entity.0 as usize, attr_rel[a], bin_base[a] + bin)
+            })
+            .collect();
+        let transe =
+            TransE::fit_with_extra(graph, transe_cfg, extra_entities, na, &extra_triples, rng);
+        Kga {
+            transe,
+            bins,
+            bin_base,
+            attr_rel,
+            fallback: AttributeMean::fit(na, train),
+        }
+    }
+
+    /// The bin predicted for a query, if the attribute has bins.
+    pub fn predict_bin(&self, query: Query) -> Option<usize> {
+        let a = query.attr.0 as usize;
+        let n = self.bins[a].num_bins();
+        if self.bins[a].edges.is_empty() && n <= 1 {
+            return (n == 1).then_some(0);
+        }
+        let e = query.entity.0 as usize;
+        (0..n).min_by(|&i, &j| {
+            let si = self
+                .transe
+                .triple_score(e, self.attr_rel[a], self.bin_base[a] + i);
+            let sj = self
+                .transe
+                .triple_score(e, self.attr_rel[a], self.bin_base[a] + j);
+            si.partial_cmp(&sj).expect("finite")
+        })
+    }
+
+    /// The quantile bins of an attribute.
+    pub fn bins(&self, attr: AttributeId) -> &AttributeBins {
+        &self.bins[attr.0 as usize]
+    }
+}
+
+impl NumericPredictor for Kga {
+    fn name(&self) -> &'static str {
+        "KGA"
+    }
+
+    fn predict(&self, _graph: &KnowledgeGraph, query: Query, _rng: &mut dyn RngCore) -> f64 {
+        match self.predict_bin(query) {
+            Some(bin) => self.bins[query.attr.0 as usize].representative(bin),
+            None => self.fallback.mean(query.attr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_kg::EntityId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantile_bins_partition_values() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let bins = AttributeBins::fit(&values, 4);
+        assert_eq!(bins.num_bins(), 4);
+        assert_eq!(bins.bin_of(-5.0), 0);
+        assert_eq!(bins.bin_of(99.0), 3);
+        assert_eq!(bins.bin_of(1e9), 3);
+        // Representatives are roughly the quartile midpoints.
+        assert!((bins.representative(0) - 12.0).abs() < 2.0);
+        assert!((bins.representative(3) - 87.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn bins_handle_fewer_values_than_bins() {
+        let bins = AttributeBins::fit(&[5.0, 6.0], 10);
+        assert!(bins.num_bins() <= 2);
+        assert!(bins.representative(bins.bin_of(5.0)).is_finite());
+    }
+
+    #[test]
+    fn binning_is_monotone() {
+        let values: Vec<f64> = (0..50).map(|i| (i as f64).powi(2)).collect();
+        let bins = AttributeBins::fit(&values, 5);
+        let mut last = 0;
+        for v in [0.0, 10.0, 100.0, 1000.0, 2400.0] {
+            let b = bins.bin_of(v);
+            assert!(b >= last, "binning not monotone at {v}");
+            last = b;
+        }
+    }
+
+    /// Entities connected to a "big" hub have large values, entities at the
+    /// "small" hub small values; KGA should link-predict the right bin.
+    #[test]
+    fn predicts_bin_from_structure() {
+        let mut g = KnowledgeGraph::new();
+        let hub_big = g.add_entity("hub_big");
+        let hub_small = g.add_entity("hub_small");
+        let r = g.add_relation_type("member");
+        let attr = g.add_attribute_type("size");
+        let mut train = Vec::new();
+        let mut members = Vec::new();
+        for i in 0..20 {
+            let e = g.add_entity(format!("m{i}"));
+            members.push(e);
+            let big = i % 2 == 0;
+            g.add_triple(e, r, if big { hub_big } else { hub_small });
+            train.push(NumTriple {
+                entity: e,
+                attr,
+                value: if big { 100.0 } else { 1.0 },
+            });
+        }
+        for t in &train {
+            g.add_numeric(t.entity, t.attr, t.value);
+        }
+        g.build_index();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Hold out two members (one per hub) from binning triples.
+        let held_big = members[0];
+        let held_small = members[1];
+        let train_kept: Vec<NumTriple> = train
+            .iter()
+            .filter(|t| t.entity != held_big && t.entity != held_small)
+            .copied()
+            .collect();
+        let kga = Kga::fit(
+            &g,
+            &train_kept,
+            2,
+            TransEConfig {
+                epochs: 120,
+                lr: 0.05,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let pred_big = kga.predict(
+            &g,
+            Query {
+                entity: held_big,
+                attr,
+            },
+            &mut rng,
+        );
+        let pred_small = kga.predict(
+            &g,
+            Query {
+                entity: held_small,
+                attr,
+            },
+            &mut rng,
+        );
+        assert!(
+            pred_big > pred_small,
+            "KGA failed to separate hubs: big {pred_big} small {pred_small}"
+        );
+    }
+
+    #[test]
+    fn empty_attribute_falls_back() {
+        let mut g = KnowledgeGraph::new();
+        let e = g.add_entity("e");
+        let _a0 = g.add_attribute_type("seen");
+        let a1 = g.add_attribute_type("unseen");
+        g.add_numeric(e, _a0, 3.0);
+        g.build_index();
+        let train = vec![NumTriple {
+            entity: EntityId(0),
+            attr: _a0,
+            value: 3.0,
+        }];
+        let mut rng = StdRng::seed_from_u64(4);
+        let kga = Kga::fit(
+            &g,
+            &train,
+            4,
+            TransEConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let pred = kga.predict(
+            &g,
+            Query {
+                entity: e,
+                attr: a1,
+            },
+            &mut rng,
+        );
+        assert_eq!(pred, 0.0); // mean of an unseen attribute
+    }
+}

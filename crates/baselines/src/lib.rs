@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # cf-baselines
+//!
+//! Every comparison method from the paper's Table III/VIII, implemented from
+//! scratch (with documented simulation substitutions where the original
+//! depends on unavailable components — see DESIGN.md §2):
+//!
+//! - [`transe::TransE`] — the embedding substrate (Bordes et al. 2013);
+//! - [`nap::NapPlusPlus`] — TransE k-NN attribute aggregation;
+//! - [`mrap::MrAP`] — multi-relational attribute propagation;
+//! - [`plm_reg::PlmReg`] — frozen-feature regression (PLM features
+//!   simulated, S2);
+//! - [`kga::Kga`] — quantile binning + link prediction;
+//! - [`hynt::HyntLite`] — joint entity/attribute embedding regression;
+//! - [`tog::TogR`] — beam-search LLM explorer simulator (S3);
+//! - [`llm_sim::LlmSim`] — zero-shot ChatGPT simulators (S4);
+//! - [`predictor::AttributeMean`] — the mean reference predictor.
+//!
+//! All implement [`predictor::NumericPredictor`] and are evaluated with
+//! [`predictor::evaluate_baseline`].
+
+pub mod hynt;
+pub mod kga;
+pub mod llm_sim;
+pub mod mrap;
+pub mod nap;
+pub mod plm_reg;
+pub mod predictor;
+pub mod tog;
+pub mod transe;
+
+pub use hynt::HyntLite;
+pub use kga::Kga;
+pub use llm_sim::{LlmSim, LlmTier};
+pub use mrap::MrAP;
+pub use nap::NapPlusPlus;
+pub use plm_reg::PlmReg;
+pub use predictor::{evaluate_baseline, AttributeMean, NumericPredictor};
+pub use tog::{TogConfig, TogR};
+pub use transe::{TransE, TransEConfig};

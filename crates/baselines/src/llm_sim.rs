@@ -1,0 +1,168 @@
+//! Zero-shot LLM simulators (substitution S4, DESIGN.md) for the Table-VIII
+//! comparison. The paper feeds serialized RA-Chains (entity names removed)
+//! to ChatGPT-3.5/4.0 and asks for the value. A zero-shot LLM on such input
+//! behaves like a robust aggregator of the same-attribute endpoint values it
+//! was shown, with calibrated estimation noise and a bias toward its
+//! parametric prior; that is what is implemented, with two noise levels
+//! matching the 3.5 vs 4.0 quality gap.
+
+use crate::predictor::{AttributeMean, NumericPredictor};
+use cf_chains::{retrieve, Query, RetrievalConfig};
+use cf_kg::{KnowledgeGraph, NumTriple};
+use rand::{Rng, RngCore};
+
+/// Which simulated model tier.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LlmTier {
+    /// Noisier aggregation, stronger prior pull (ChatGPT-3.5-turbo row).
+    Gpt35,
+    /// Tighter aggregation (ChatGPT-4.0-turbo row).
+    Gpt40,
+}
+
+impl LlmTier {
+    fn relative_noise(self) -> f64 {
+        match self {
+            LlmTier::Gpt35 => 0.25,
+            LlmTier::Gpt40 => 0.07,
+        }
+    }
+
+    /// Weight pulled toward the attribute prior instead of the evidence.
+    fn prior_pull(self) -> f64 {
+        match self {
+            LlmTier::Gpt35 => 0.35,
+            LlmTier::Gpt40 => 0.1,
+        }
+    }
+}
+
+/// The simulated zero-shot LLM predictor.
+pub struct LlmSim {
+    tier: LlmTier,
+    retrieval: RetrievalConfig,
+    fallback: AttributeMean,
+}
+
+impl LlmSim {
+    /// A simulator over the visible graph with the given tier's noise profile.
+    pub fn new(graph: &KnowledgeGraph, train: &[NumTriple], tier: LlmTier) -> Self {
+        LlmSim {
+            tier,
+            retrieval: RetrievalConfig {
+                num_walks: 64,
+                max_hops: 3,
+                ..Default::default()
+            },
+            fallback: AttributeMean::fit(graph.num_attributes(), train),
+        }
+    }
+
+    /// The simulated model tier.
+    pub fn tier(&self) -> LlmTier {
+        self.tier
+    }
+}
+
+impl NumericPredictor for LlmSim {
+    fn name(&self) -> &'static str {
+        match self.tier {
+            LlmTier::Gpt35 => "ChatGPT-3.5-turbo",
+            LlmTier::Gpt40 => "ChatGPT-4.0-turbo",
+        }
+    }
+
+    fn predict(&self, graph: &KnowledgeGraph, query: Query, rng: &mut dyn RngCore) -> f64 {
+        // The serialized chains the paper would hand to the LLM.
+        let mut rng = rng; // reborrow the trait object as a sized &mut
+        let toc = retrieve(graph, query, &self.retrieval, &mut rng);
+        let mut same_attr: Vec<f64> = toc
+            .chains
+            .iter()
+            .filter(|c| c.chain.known_attr == query.attr)
+            .map(|c| c.value)
+            .collect();
+        let prior = self.fallback.mean(query.attr);
+        let estimate = if same_attr.is_empty() {
+            prior
+        } else {
+            same_attr.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median = same_attr[same_attr.len() / 2];
+            let pull = self.tier.prior_pull();
+            (1.0 - pull) * median + pull * prior
+        };
+        let noisy = estimate * (1.0 + self.tier.relative_noise() * gaussian(rng));
+        if noisy.is_finite() {
+            noisy
+        } else {
+            prior
+        }
+    }
+}
+
+fn gaussian(rng: &mut dyn RngCore) -> f64 {
+    let u1: f64 = Rng::gen_range(rng, f64::EPSILON..1.0);
+    let u2: f64 = Rng::gen_range(rng, 0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::evaluate_baseline;
+    use cf_kg::synth::{yago15k_sim, SynthScale};
+    use cf_kg::{MinMaxNormalizer, Split};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gpt4_beats_gpt35() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = yago15k_sim(SynthScale::default_scale(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let norm = MinMaxNormalizer::fit(g.num_attributes(), &split.train);
+        let g35 = LlmSim::new(&visible, &split.train, LlmTier::Gpt35);
+        let g40 = LlmSim::new(&visible, &split.train, LlmTier::Gpt40);
+        let r35 = evaluate_baseline(&g35, &visible, &split.test, &norm, &mut rng);
+        let r40 = evaluate_baseline(&g40, &visible, &split.test, &norm, &mut rng);
+        assert!(
+            r40.norm_mae < r35.norm_mae,
+            "tier ordering violated: 4.0 {} vs 3.5 {}",
+            r40.norm_mae,
+            r35.norm_mae
+        );
+    }
+
+    #[test]
+    fn names_match_table8_rows() {
+        let mut g = KnowledgeGraph::new();
+        g.add_attribute_type("a");
+        g.build_index();
+        assert_eq!(
+            LlmSim::new(&g, &[], LlmTier::Gpt35).name(),
+            "ChatGPT-3.5-turbo"
+        );
+        assert_eq!(
+            LlmSim::new(&g, &[], LlmTier::Gpt40).name(),
+            "ChatGPT-4.0-turbo"
+        );
+    }
+
+    #[test]
+    fn evidence_free_query_returns_noisy_prior() {
+        let mut g = KnowledgeGraph::new();
+        let e = g.add_entity("iso");
+        let a = g.add_attribute_type("x");
+        g.build_index();
+        let train = vec![NumTriple {
+            entity: e,
+            attr: a,
+            value: 50.0,
+        }];
+        let llm = LlmSim::new(&g, &train, LlmTier::Gpt40);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = llm.predict(&g, Query { entity: e, attr: a }, &mut rng);
+        assert!((p - 50.0).abs() < 25.0, "prior-based estimate too far: {p}");
+    }
+}

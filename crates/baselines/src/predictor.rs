@@ -1,0 +1,116 @@
+//! The common interface every baseline implements, plus shared evaluation.
+
+use cf_chains::Query;
+use cf_kg::{KnowledgeGraph, MinMaxNormalizer, NumTriple, Prediction, RegressionReport};
+use rand::RngCore;
+
+/// A numerical-attribute predictor (a Table-III column).
+pub trait NumericPredictor {
+    /// Column label as it appears in the paper.
+    fn name(&self) -> &'static str;
+
+    /// Predicts the value of `query` against the visible graph.
+    fn predict(&self, graph: &KnowledgeGraph, query: Query, rng: &mut dyn RngCore) -> f64;
+}
+
+/// Evaluates a predictor over triples, producing the Table-III report.
+pub fn evaluate_baseline(
+    predictor: &dyn NumericPredictor,
+    graph: &KnowledgeGraph,
+    triples: &[NumTriple],
+    norm: &MinMaxNormalizer,
+    rng: &mut dyn RngCore,
+) -> RegressionReport {
+    let preds: Vec<Prediction> = triples
+        .iter()
+        .map(|t| {
+            let q = Query {
+                entity: t.entity,
+                attr: t.attr,
+            };
+            let pred = predictor.predict(graph, q, rng);
+            Prediction {
+                attr: t.attr,
+                truth: t.value,
+                pred: if pred.is_finite() { pred } else { 0.0 },
+            }
+        })
+        .collect();
+    RegressionReport::compute(&preds, norm)
+}
+
+/// Per-attribute training means: the fallback used by several baselines and
+/// the weakest sensible reference predictor.
+#[derive(Clone, Debug)]
+pub struct AttributeMean {
+    means: Vec<f64>,
+}
+
+impl AttributeMean {
+    /// Computes per-attribute means over the training triples.
+    pub fn fit(num_attributes: usize, train: &[NumTriple]) -> Self {
+        let mut sums = vec![(0.0f64, 0usize); num_attributes];
+        for t in train {
+            let s = &mut sums[t.attr.0 as usize];
+            s.0 += t.value;
+            s.1 += 1;
+        }
+        AttributeMean {
+            means: sums
+                .iter()
+                .map(|&(s, n)| if n > 0 { s / n as f64 } else { 0.0 })
+                .collect(),
+        }
+    }
+
+    /// Training mean of an attribute (0 when unseen).
+    pub fn mean(&self, attr: cf_kg::AttributeId) -> f64 {
+        self.means[attr.0 as usize]
+    }
+}
+
+impl NumericPredictor for AttributeMean {
+    fn name(&self) -> &'static str {
+        "AttrMean"
+    }
+
+    fn predict(&self, _graph: &KnowledgeGraph, query: Query, _rng: &mut dyn RngCore) -> f64 {
+        self.mean(query.attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_kg::{AttributeId, EntityId};
+
+    fn nt(e: u32, a: u32, v: f64) -> NumTriple {
+        NumTriple {
+            entity: EntityId(e),
+            attr: AttributeId(a),
+            value: v,
+        }
+    }
+
+    #[test]
+    fn attribute_mean_fits_per_attribute() {
+        let m = AttributeMean::fit(2, &[nt(0, 0, 10.0), nt(1, 0, 20.0), nt(2, 1, 5.0)]);
+        assert_eq!(m.mean(AttributeId(0)), 15.0);
+        assert_eq!(m.mean(AttributeId(1)), 5.0);
+    }
+
+    #[test]
+    fn evaluate_baseline_produces_report() {
+        let mut g = KnowledgeGraph::new();
+        let e = g.add_entity("e");
+        let a = g.add_attribute_type("a");
+        g.add_numeric(e, a, 1.0);
+        g.build_index();
+        let train = vec![nt(0, 0, 10.0), nt(0, 0, 20.0)];
+        let mean = AttributeMean::fit(1, &train);
+        let norm = MinMaxNormalizer::fit(1, &train);
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let rep = evaluate_baseline(&mean, &g, &[nt(0, 0, 15.0)], &norm, &mut rng);
+        assert_eq!(rep.norm_mae, 0.0); // mean is exactly 15
+    }
+}

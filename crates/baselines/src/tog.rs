@@ -1,0 +1,195 @@
+//! ToG-R simulator (substitution S3, DESIGN.md): Think-on-Graph drives an
+//! LLM to beam-search the KG. With no LLM available offline, the explorer is
+//! reproduced as beam search under a *noisy relevance oracle* (relation →
+//! query-attribute co-occurrence plus Gaussian noise standing in for LLM
+//! judgement), and the final answer aggregation carries calibrated relative
+//! noise standing in for zero-shot numeric estimation. This preserves the
+//! Table-III profile: competitive on spatially local attributes, erratic on
+//! wide-range regression.
+
+use crate::predictor::{AttributeMean, NumericPredictor};
+use cf_chains::Query;
+use cf_kg::{AttributeId, DirRel, EntityId, KnowledgeGraph, NumTriple};
+use rand::{Rng, RngCore};
+use std::collections::HashMap;
+
+/// Configuration of the simulated explorer.
+#[derive(Copy, Clone, Debug)]
+pub struct TogConfig {
+    /// Beam width of the explorer.
+    pub beam_width: usize,
+    /// Maximum exploration depth.
+    pub depth: usize,
+    /// Std-dev of the oracle noise on relevance scores.
+    pub oracle_noise: f64,
+    /// Relative noise on the final numeric estimate (LLM zero-shot error).
+    pub answer_noise: f64,
+}
+
+impl Default for TogConfig {
+    fn default() -> Self {
+        TogConfig {
+            beam_width: 4,
+            depth: 3,
+            oracle_noise: 0.5,
+            answer_noise: 0.12,
+        }
+    }
+}
+
+/// ToG-R: beam search guided by a noisy relevance oracle.
+pub struct TogR {
+    cfg: TogConfig,
+    /// Relevance prior: log co-occurrence of (directed relation, attribute).
+    relevance: HashMap<(DirRel, AttributeId), f64>,
+    fallback: AttributeMean,
+}
+
+impl TogR {
+    /// Builds the relevance prior from the visible graph's co-occurrences.
+    pub fn fit(graph: &KnowledgeGraph, train: &[NumTriple], cfg: TogConfig) -> Self {
+        let relevance = graph
+            .relation_attribute_cooccurrence()
+            .into_iter()
+            .map(|(k, c)| (k, (1.0 + c as f64).ln()))
+            .collect();
+        TogR {
+            cfg,
+            relevance,
+            fallback: AttributeMean::fit(graph.num_attributes(), train),
+        }
+    }
+
+    fn oracle(&self, dr: DirRel, attr: AttributeId, rng: &mut dyn RngCore) -> f64 {
+        let base = self.relevance.get(&(dr, attr)).copied().unwrap_or(0.0);
+        base + self.cfg.oracle_noise * gaussian(rng)
+    }
+}
+
+impl NumericPredictor for TogR {
+    fn name(&self) -> &'static str {
+        "ToG-R"
+    }
+
+    fn predict(&self, graph: &KnowledgeGraph, query: Query, rng: &mut dyn RngCore) -> f64 {
+        // Beam of frontier entities with path scores.
+        let mut beam: Vec<(EntityId, f64)> = vec![(query.entity, 0.0)];
+        let mut evidence: Vec<(f64, f64)> = Vec::new(); // (value, weight)
+        for depth in 1..=self.cfg.depth {
+            let mut candidates: Vec<(EntityId, f64)> = Vec::new();
+            for &(e, score) in &beam {
+                for edge in graph.neighbors(e) {
+                    let rel_score = self.oracle(edge.dr, query.attr, rng);
+                    candidates.push((edge.to, score + rel_score));
+                }
+            }
+            candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            candidates.truncate(self.cfg.beam_width);
+            if candidates.is_empty() {
+                break;
+            }
+            for &(e, _) in &candidates {
+                if e == query.entity {
+                    continue;
+                }
+                if let Some(v) = graph.value_of(e, query.attr) {
+                    evidence.push((v, 1.0 / depth as f64));
+                }
+            }
+            beam = candidates;
+        }
+        let estimate = if evidence.is_empty() {
+            // The "LLM guesses from parametric knowledge" branch.
+            self.fallback.mean(query.attr) * (1.0 + 2.0 * self.cfg.answer_noise * gaussian(rng))
+        } else {
+            let den: f64 = evidence.iter().map(|e| e.1).sum();
+            let mean = evidence.iter().map(|e| e.0 * e.1).sum::<f64>() / den;
+            mean * (1.0 + self.cfg.answer_noise * gaussian(rng))
+        };
+        if estimate.is_finite() {
+            estimate
+        } else {
+            self.fallback.mean(query.attr)
+        }
+    }
+}
+
+fn gaussian(rng: &mut dyn RngCore) -> f64 {
+    let u1: f64 = Rng::gen_range(rng, f64::EPSILON..1.0);
+    let u2: f64 = Rng::gen_range(rng, 0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_kg::synth::{yago15k_sim, SynthScale};
+    use cf_kg::Split;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_nearby_spatial_evidence() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = yago15k_sim(SynthScale::default_scale(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let tog = TogR::fit(&visible, &split.train, TogConfig::default());
+        let lat = g.attribute_by_name("latitude").unwrap();
+        let mut errs = Vec::new();
+        for t in split.test.iter().filter(|t| t.attr == lat).take(20) {
+            let p = tog.predict(
+                &visible,
+                Query {
+                    entity: t.entity,
+                    attr: t.attr,
+                },
+                &mut rng,
+            );
+            errs.push((p - t.value).abs());
+        }
+        assert!(!errs.is_empty());
+        let mae = errs.iter().sum::<f64>() / errs.len() as f64;
+        // Latitude range is ~125 degrees; graph locality should keep ToG-R
+        // well under guessing error (~30).
+        assert!(mae < 20.0, "ToG-R latitude MAE too high: {mae}");
+    }
+
+    #[test]
+    fn always_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let tog = TogR::fit(&visible, &split.train, TogConfig::default());
+        for t in &split.test {
+            let p = tog.predict(
+                &visible,
+                Query {
+                    entity: t.entity,
+                    attr: t.attr,
+                },
+                &mut rng,
+            );
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn isolated_entity_uses_noisy_prior() {
+        let mut g = KnowledgeGraph::new();
+        let e = g.add_entity("iso");
+        let a = g.add_attribute_type("x");
+        g.build_index();
+        let train = vec![NumTriple {
+            entity: e,
+            attr: a,
+            value: 100.0,
+        }];
+        let tog = TogR::fit(&g, &train, TogConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = tog.predict(&g, Query { entity: e, attr: a }, &mut rng);
+        // Prior-based: noisy but anchored on the training mean.
+        assert!((p - 100.0).abs() < 100.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Fuzz-style robustness: every baseline must return finite predictions on
+//! arbitrary (including degenerate) graphs — isolated nodes, self-referring
+//! structures, single-attribute worlds.
+
+use cf_baselines::{
+    AttributeMean, Kga, LlmSim, LlmTier, MrAP, NapPlusPlus, NumericPredictor, PlmReg, TogConfig,
+    TogR, TransE, TransEConfig,
+};
+use cf_chains::Query;
+use cf_kg::{AttributeId, EntityId, KnowledgeGraph, NumTriple};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arbitrary_graph(
+    n: usize,
+    edges: &[(usize, usize)],
+    facts: &[(usize, f64)],
+) -> (KnowledgeGraph, Vec<NumTriple>) {
+    let mut g = KnowledgeGraph::new();
+    for i in 0..n {
+        g.add_entity(format!("e{i}"));
+    }
+    let r = g.add_relation_type("r");
+    let a = g.add_attribute_type("a");
+    for &(h, t) in edges {
+        let (h, t) = (h % n, t % n);
+        if h != t {
+            g.add_triple(EntityId(h as u32), r, EntityId(t as u32));
+        }
+    }
+    let mut train = Vec::new();
+    for &(e, v) in facts {
+        let e = EntityId((e % n) as u32);
+        g.add_numeric(e, a, v);
+        train.push(NumTriple {
+            entity: e,
+            attr: a,
+            value: v,
+        });
+    }
+    g.build_index();
+    (g, train)
+}
+
+proptest! {
+    // These fit real models, so keep case counts small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_predictor_stays_finite(
+        edges in prop::collection::vec((0usize..8, 0usize..8), 0..16),
+        facts in prop::collection::vec((0usize..8, -1e5f64..1e5), 1..12),
+        seed in 0u64..50,
+    ) {
+        let (g, train) = arbitrary_graph(8, &edges, &facts);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let te_cfg = TransEConfig { epochs: 2, ..Default::default() };
+        let transe = TransE::fit(&g, te_cfg, &mut rng);
+        let predictors: Vec<Box<dyn NumericPredictor>> = vec![
+            Box::new(AttributeMean::fit(1, &train)),
+            Box::new(NapPlusPlus::new(transe.clone(), 3, 1, &train)),
+            Box::new(MrAP::fit(&g, &train, 2)),
+            Box::new(Kga::fit(&g, &train, 4, te_cfg, &mut rng)),
+            Box::new(PlmReg::fit(&g, &train, 2, &mut rng)),
+            Box::new(TogR::fit(&g, &train, TogConfig::default())),
+            Box::new(LlmSim::new(&g, &train, LlmTier::Gpt40)),
+        ];
+        for p in &predictors {
+            for e in 0..8u32 {
+                let q = Query { entity: EntityId(e), attr: AttributeId(0) };
+                let v = p.predict(&g, q, &mut rng);
+                prop_assert!(v.is_finite(), "{} produced {v} on entity {e}", p.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn predictors_handle_star_graph_center_and_leaves() {
+    // A star: hub connected to 10 leaves; only leaves carry values.
+    let mut g = KnowledgeGraph::new();
+    let hub = g.add_entity("hub");
+    let r = g.add_relation_type("spoke");
+    let a = g.add_attribute_type("v");
+    let mut train = Vec::new();
+    for i in 0..10 {
+        let leaf = g.add_entity(format!("leaf{i}"));
+        g.add_triple(hub, r, leaf);
+        g.add_numeric(leaf, a, 50.0 + i as f64);
+        train.push(NumTriple {
+            entity: leaf,
+            attr: a,
+            value: 50.0 + i as f64,
+        });
+    }
+    g.build_index();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mrap = MrAP::fit(&g, &train, 2);
+    let pred = mrap.predict(
+        &g,
+        Query {
+            entity: hub,
+            attr: a,
+        },
+        &mut rng,
+    );
+    // The hub's prediction should interpolate the leaves' range.
+    assert!(
+        (50.0..=59.0).contains(&pred),
+        "hub prediction {pred} outside leaf range"
+    );
+}

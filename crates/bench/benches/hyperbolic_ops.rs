@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the Poincaré-ball substrate: Möbius addition,
+//! distances, chain composition and Riemannian SGD steps — the Hyperbolic
+//! Filter's inner loop.
+
+use cf_hyperbolic::{distance_grad_x, rsgd_step, PoincareBall};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn rand_point(dim: usize, rng: &mut StdRng) -> Vec<f64> {
+    let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-0.3..0.3)).collect();
+    v
+}
+
+fn bench_mobius(c: &mut Criterion) {
+    let ball = PoincareBall::default();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("mobius_add");
+    for &d in &[16usize, 64, 256] {
+        let x = rand_point(d, &mut rng);
+        let y = rand_point(d, &mut rng);
+        group.bench_function(format!("d{d}"), |b| {
+            b.iter(|| black_box(ball.mobius_add(&x, &y)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let ball = PoincareBall::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = rand_point(64, &mut rng);
+    let y = rand_point(64, &mut rng);
+    c.bench_function("distance_artanh_d64", |b| {
+        b.iter(|| black_box(ball.distance(&x, &y)))
+    });
+    c.bench_function("distance_arcosh_d64", |b| {
+        b.iter(|| black_box(ball.distance_arcosh(&x, &y)))
+    });
+    c.bench_function("distance_grad_d64", |b| {
+        b.iter(|| black_box(distance_grad_x(&x, &y)))
+    });
+}
+
+fn bench_chain_composition(c: &mut Criterion) {
+    // Eq. 7 over a 3-hop chain — the filter scores thousands of these.
+    let ball = PoincareBall::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let points: Vec<Vec<f64>> = (0..3).map(|_| rand_point(16, &mut rng)).collect();
+    let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+    c.bench_function("mobius_chain_3hop_d16", |b| {
+        b.iter(|| black_box(ball.mobius_chain(&refs, 16)))
+    });
+}
+
+fn bench_rsgd(c: &mut Criterion) {
+    let ball = PoincareBall::default();
+    let mut rng = StdRng::seed_from_u64(3);
+    let grad = rand_point(32, &mut rng);
+    c.bench_function("rsgd_step_d32", |b| {
+        b.iter_batched(
+            || rand_point(32, &mut rng),
+            |mut x| {
+                rsgd_step(&ball, &mut x, &grad, 0.05);
+                black_box(x)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_mobius, bench_distance, bench_chain_composition, bench_rsgd
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Pipeline-stage benchmarks on a realistic workload: query retrieval,
+//! hyperbolic filtering, chain encoding and full per-query inference — the
+//! complexity terms of the paper's §IV-G (`O(N_s·d + k·d²)`).
+
+use cf_chains::{retrieve, ChainVocab, Query, RetrievalConfig};
+use cf_kg::synth::{yago15k_sim, SynthScale};
+use cf_kg::Split;
+use chainsformer::{ChainFilter, ChainsFormer, ChainsFormerConfig, FilterSpace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Setup {
+    visible: cf_kg::KnowledgeGraph,
+    model: ChainsFormer,
+    filter: ChainFilter,
+    query: Query,
+}
+
+fn setup() -> Setup {
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = yago15k_sim(SynthScale::default_scale(), &mut rng);
+    let split = Split::paper_811(&graph, &mut rng);
+    let visible = split.visible_graph(&graph);
+    let cfg = ChainsFormerConfig::default();
+    let model = ChainsFormer::new(&visible, &split.train, cfg, &mut rng);
+    let filter = ChainFilter::fit(&visible, FilterSpace::Hyperbolic, 16, 0.5, 10, &mut rng);
+    // A well-connected query.
+    let t = split
+        .test
+        .iter()
+        .max_by_key(|t| visible.degree(t.entity))
+        .copied()
+        .expect("test triples");
+    Setup {
+        visible,
+        model,
+        filter,
+        query: Query {
+            entity: t.entity,
+            attr: t.attr,
+        },
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let s = setup();
+    let mut rng = StdRng::seed_from_u64(8);
+    let retrieval = RetrievalConfig {
+        num_walks: 256,
+        max_hops: 3,
+        ..Default::default()
+    };
+
+    c.bench_function("retrieval_256_walks", |b| {
+        b.iter(|| black_box(retrieve(&s.visible, s.query, &retrieval, &mut rng)))
+    });
+
+    let toc = retrieve(&s.visible, s.query, &retrieval, &mut rng);
+    c.bench_function("filter_score_and_topk_32", |b| {
+        b.iter(|| black_box(s.filter.select_top_k(&toc, 32, &mut rng)))
+    });
+
+    let selected = s.filter.select_top_k(&toc, 32, &mut rng);
+    c.bench_function("encode_and_reason_32_chains", |b| {
+        b.iter(|| {
+            let mut tape = cf_tensor::Tape::new();
+            black_box(s.model.forward(&mut tape, &selected.chains, s.query))
+        })
+    });
+
+    c.bench_function("predict_end_to_end", |b| {
+        b.iter(|| black_box(s.model.predict(&s.visible, s.query, &mut rng)))
+    });
+
+    let vocab = ChainVocab::for_graph(&s.visible);
+    c.bench_function("chain_tokenize", |b| {
+        b.iter(|| {
+            for ci in &selected.chains {
+                black_box(ci.chain.tokens(&vocab));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the tensor/autodiff substrate: matmul kernels,
+//! softmax/layer-norm, attention-sized forward passes and tape overhead.
+
+use cf_tensor::nn::TransformerEncoder;
+use cf_tensor::{ParamStore, Tape, Tensor};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn rand_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::new(
+        shape.to_vec(),
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = rand_tensor(&[n, n], &mut rng);
+        let b = rand_tensor(&[n, n], &mut rng);
+        group.bench_function(format!("{n}x{n}"), |bch| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rowwise_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = rand_tensor(&[256, 64], &mut rng);
+    c.bench_function("softmax_256x64", |b| {
+        b.iter_batched(
+            || x.clone(),
+            |xv| {
+                let mut t = Tape::new();
+                let v = t.leaf(xv);
+                black_box(t.softmax_last(v))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("layernorm_256x64", |b| {
+        b.iter_batched(
+            || x.clone(),
+            |xv| {
+                let mut t = Tape::new();
+                let v = t.leaf(xv);
+                black_box(t.layer_norm_last(v, 1e-5))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tape_overhead(c: &mut Criterion) {
+    // Raw kernel vs recorded op + backward: the cost of autodiff.
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = rand_tensor(&[64, 64], &mut rng);
+    let b = rand_tensor(&[64, 64], &mut rng);
+    c.bench_function("matmul64_raw", |bch| bch.iter(|| black_box(a.matmul(&b))));
+    c.bench_function("matmul64_tape_fwd_bwd", |bch| {
+        bch.iter(|| {
+            let mut t = Tape::new();
+            let av = t.leaf(a.clone());
+            let bv = t.leaf(b.clone());
+            let p = t.matmul(av, bv);
+            let l = t.mean_all(p);
+            black_box(t.backward(l, 0))
+        })
+    });
+}
+
+fn bench_transformer_forward(c: &mut Criterion) {
+    // The Chain Encoder's workload: [k=32 chains, T=6 tokens, d=48].
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ps = ParamStore::new();
+    let enc = TransformerEncoder::new(&mut ps, "enc", 48, 4, 2, 96, &mut rng);
+    let x = rand_tensor(&[32, 6, 48], &mut rng);
+    c.bench_function("transformer_fwd_32x6x48", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            black_box(enc.forward(&mut t, &ps, xv, None))
+        })
+    });
+    c.bench_function("transformer_fwd_bwd_32x6x48", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let y = enc.forward(&mut t, &ps, xv, None);
+            let l = t.mean_all(y);
+            black_box(t.backward(l, ps.len()))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_rowwise_ops, bench_tape_overhead, bench_transformer_forward
+);
+criterion_main!(benches);

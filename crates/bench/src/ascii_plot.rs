@@ -1,0 +1,103 @@
+//! Minimal ASCII charts, so the figure binaries can show the *shape* the
+//! paper plots (bars and line series) directly in the terminal and in logs.
+
+/// Renders a horizontal bar chart. Values must be non-negative; bars are
+/// scaled to `width` characters against the maximum.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max).max(1e-12);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, v) in rows {
+        let filled = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} | {}{} {v:.4}\n",
+            "█".repeat(filled),
+            " ".repeat(width.saturating_sub(filled)),
+        ));
+    }
+    out
+}
+
+/// Renders one or more line series over shared x labels as a dot matrix of
+/// `height` rows. Lower values plot lower; each series uses its own glyph.
+pub fn line_chart(
+    title: &str,
+    x_labels: &[String],
+    series: &[(&str, Vec<f64>)],
+    height: usize,
+) -> String {
+    assert!(height >= 2, "line_chart needs at least 2 rows");
+    let all: Vec<f64> = series.iter().flat_map(|s| s.1.iter().copied()).collect();
+    let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let glyphs = ['o', 'x', '+', '*', '#', '@'];
+    let cols = x_labels.len();
+    let col_w = 8usize;
+    let mut grid = vec![vec![' '; cols * col_w]; height];
+    for (si, (_, values)) in series.iter().enumerate() {
+        for (ci, &v) in values.iter().enumerate() {
+            let row = ((hi - v) / span * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][ci * col_w + col_w / 2] = glyphs[si % glyphs.len()];
+        }
+    }
+    let mut out = format!("{title}   (top = {hi:.4}, bottom = {lo:.4})\n");
+    for row in grid {
+        out.push_str(&format!("  |{}\n", row.into_iter().collect::<String>()));
+    }
+    out.push_str("   ");
+    for l in x_labels {
+        out.push_str(&format!("{l:^col_w$}"));
+    }
+    out.push('\n');
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("   {} = {name}\n", glyphs[si % glyphs.len()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let s = bar_chart("t", &rows, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "t");
+        // The max row is fully filled.
+        assert!(lines[2].matches('█').count() == 10, "{s}");
+        assert!(lines[1].matches('█').count() == 5, "{s}");
+        // Labels are padded to equal width.
+        assert!(
+            lines[1].starts_with("a  |") || lines[1].starts_with("a "),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn line_chart_places_extremes_on_edges() {
+        let x: Vec<String> = ["1", "2", "3"].iter().map(|s| s.to_string()).collect();
+        let s = line_chart("t", &x, &[("mae", vec![0.1, 0.5, 0.9])], 5);
+        let lines: Vec<&str> = s.lines().collect();
+        // Highest value (0.9) in the top grid row; lowest in the bottom row.
+        assert!(lines[1].contains('o'), "top row missing point: {s}");
+        assert!(lines[5].contains('o'), "bottom row missing point: {s}");
+    }
+
+    #[test]
+    fn line_chart_handles_constant_series() {
+        let x: Vec<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        let s = line_chart("t", &x, &[("flat", vec![1.0, 1.0])], 3);
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let x: Vec<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        let s = line_chart("t", &x, &[("u", vec![0.0, 1.0]), ("v", vec![1.0, 0.0])], 4);
+        assert!(s.contains('o') && s.contains('x'));
+        assert!(s.contains("o = u") && s.contains("x = v"));
+    }
+}

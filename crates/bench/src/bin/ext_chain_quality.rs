@@ -1,0 +1,44 @@
+//! Extension experiment (paper §VI future work): does the chain-quality
+//! evaluation mechanism — pruning RA-Chain patterns with reliably bad
+//! training-time predictions — improve accuracy?
+
+use chainsformer::ChainsFormerConfig;
+use chainsformer_bench::{load, train_chainsformer, write_csv, BenchArgs, Dataset, Table};
+
+fn main() {
+    let mut args = BenchArgs::from_env();
+    if args.epochs.is_none() {
+        args.epochs = Some(10);
+    }
+    let mut table = Table::new(
+        format!(
+            "Extension — chain quality pruning (scale: {})",
+            args.scale_name
+        ),
+        &["variant", "YG MAE", "YG RMSE", "FB MAE", "FB RMSE"],
+    );
+    let yago = load(Dataset::Yago15kSim, args.scale, args.seed);
+    let fb = load(Dataset::Fb15k237Sim, args.scale, args.seed);
+    for (name, quality) in [
+        ("without quality pruning", false),
+        ("with quality pruning", true),
+    ] {
+        eprintln!("[ext_quality] {name} …");
+        let cfg = ChainsFormerConfig {
+            chain_quality: quality,
+            ..ChainsFormerConfig::default()
+        };
+        let (_, ry) = train_chainsformer(&yago, cfg.clone(), &args);
+        let (_, rf) = train_chainsformer(&fb, cfg, &args);
+        table.row(vec![
+            name.into(),
+            format!("{:.4}", ry.norm_mae),
+            format!("{:.4}", ry.norm_rmse),
+            format!("{:.4}", rf.norm_mae),
+            format!("{:.4}", rf.norm_rmse),
+        ]);
+    }
+    table.print();
+    let path = write_csv(&table, &args.out_dir, "ext_chain_quality").expect("write csv");
+    println!("wrote {}", path.display());
+}

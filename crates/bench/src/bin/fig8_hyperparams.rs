@@ -1,0 +1,115 @@
+//! Figure 8: hyperparameter sensitivity — retrieval count N_s, filter top-k,
+//! Transformer layers L_c and hidden dimension d.
+//!
+//! The paper sweeps both datasets; for single-core CPU budget this binary
+//! sweeps the YAGO15K twin by default and adds the FB twin when
+//! `CF_FIG8_BOTH=1` is set.
+
+use chainsformer::ChainsFormerConfig;
+use chainsformer_bench::{
+    line_chart, load, train_chainsformer, write_csv, BenchArgs, Dataset, Table, Workload,
+};
+
+fn sweep(
+    table: &mut Table,
+    knob: &str,
+    values: &[usize],
+    yago: &Workload,
+    fb: Option<&Workload>,
+    args: &chainsformer_bench::BenchArgs,
+    make: impl Fn(usize) -> ChainsFormerConfig,
+) {
+    for &v in values {
+        eprintln!("[fig8] {knob}={v} …");
+        let cfg = make(v);
+        let (_, ry) = train_chainsformer(yago, cfg.clone(), args);
+        let (fm, fr) = match fb {
+            Some(w) => {
+                let (_, rf) = train_chainsformer(w, cfg, args);
+                (
+                    format!("{:.4}", rf.norm_mae),
+                    format!("{:.4}", rf.norm_rmse),
+                )
+            }
+            None => ("-".into(), "-".into()),
+        };
+        table.row(vec![
+            knob.into(),
+            v.to_string(),
+            format!("{:.4}", ry.norm_mae),
+            format!("{:.4}", ry.norm_rmse),
+            fm,
+            fr,
+        ]);
+    }
+}
+
+fn main() {
+    let mut args = BenchArgs::from_env();
+    if args.epochs.is_none() {
+        args.epochs = Some(8);
+    }
+    let yago = load(Dataset::Yago15kSim, args.scale, args.seed);
+    let both = std::env::var("CF_FIG8_BOTH").is_ok_and(|v| v == "1");
+    let fb = both.then(|| load(Dataset::Fb15k237Sim, args.scale, args.seed));
+    let fb = fb.as_ref();
+    let mut table = Table::new(
+        format!(
+            "Figure 8 — hyperparameter study (scale: {})",
+            args.scale_name
+        ),
+        &["knob", "value", "YG MAE", "YG RMSE", "FB MAE", "FB RMSE"],
+    );
+    let base = ChainsFormerConfig::default;
+    // Paper sweeps (scaled per substitution S5):
+    // N_s ∈ {1024,2048,4096,8192} → {64,128,256,512}
+    sweep(&mut table, "N_s", &[64, 256, 512], &yago, fb, &args, |v| {
+        ChainsFormerConfig {
+            retrieval_walks: v,
+            ..base()
+        }
+    });
+    // k ∈ {64,128,256,512} → {8,16,32,64}
+    sweep(&mut table, "k", &[8, 32, 64], &yago, fb, &args, |v| {
+        ChainsFormerConfig { top_k: v, ..base() }
+    });
+    // L_c ∈ {1,2,3,4}
+    sweep(&mut table, "L_c", &[1, 2, 3], &yago, fb, &args, |v| {
+        ChainsFormerConfig {
+            layers: v,
+            ..base()
+        }
+    });
+    // d ∈ {128,256,512} → {16,32,48,64}
+    sweep(&mut table, "d", &[16, 32, 64], &yago, fb, &args, |v| {
+        ChainsFormerConfig {
+            dim: v,
+            ff_dim: 2 * v,
+            ..base()
+        }
+    });
+    table.print();
+    for knob in ["N_s", "k", "L_c", "d"] {
+        let rows: Vec<&Vec<String>> = table.rows.iter().filter(|r| r[0] == knob).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let x: Vec<String> = rows.iter().map(|r| r[1].clone()).collect();
+        let values: Vec<f64> = rows
+            .iter()
+            .map(|r| r[2].parse().unwrap_or(f64::NAN))
+            .collect();
+        println!(
+            "\n{}",
+            line_chart(
+                &format!("Figure 8 — YAGO MAE vs {knob}"),
+                &x,
+                &[("MAE", values)],
+                7
+            )
+        );
+    }
+    println!("expected shape (paper): flat in N_s, optimum at mid k, 2-3 layers best, low sensitivity to d");
+    let path = write_csv(&table, &args.out_dir, "fig8_hyperparams").expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,77 @@
+//! Table II: per-attribute numerical statistics, paper ranges alongside.
+
+use cf_kg::stats::attribute_stats;
+use chainsformer_bench::report::fmt_err;
+use chainsformer_bench::{load, write_csv, BenchArgs, Dataset, Table};
+
+/// Paper Table II `(attribute, min, max)` per dataset, for side-by-side
+/// comparison with the synthetic twin.
+fn paper_ranges(ds: Dataset) -> &'static [(&'static str, f64, f64)] {
+    match ds {
+        Dataset::Yago15kSim => &[
+            ("birth", 354.9, 2014.0),
+            ("death", 348.0, 2161.1),
+            ("created", 100.0, 2018.7),
+            ("destroyed", 476.0, 2017.2),
+            ("happened", 218.0, 2018.2),
+            ("latitude", -51.7, 73.0),
+            ("longitude", -175.0, 179.0),
+        ],
+        Dataset::Fb15k237Sim => &[
+            ("birth", -383.0, 1999.9),
+            ("death", -322.0, 2015.6),
+            ("film_release", 1927.1, 2013.5),
+            ("org_founded", 1088.0, 2013.0),
+            ("loc_founded", -2999.0, 2011.6),
+            ("latitude", -90.0, 77.6),
+            ("longitude", -175.2, 179.2),
+            ("area", 1.0, 1.7e8),
+            ("population", 1.0, 3.1e9),
+            ("height", 1.34, 2.18),
+            ("weight", 44.0, 147.0),
+        ],
+    }
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    for ds in Dataset::both() {
+        let w = load(ds, args.scale, args.seed);
+        let mut table = Table::new(
+            format!(
+                "Table II — attribute statistics, {} (scale: {})",
+                ds.label(),
+                args.scale_name
+            ),
+            &[
+                "attribute",
+                "|E_a|",
+                "min",
+                "max",
+                "max-min",
+                "paper min",
+                "paper max",
+            ],
+        );
+        let paper = paper_ranges(ds);
+        for s in attribute_stats(&w.graph) {
+            let p = paper.iter().find(|(n, _, _)| *n == s.name);
+            table.row(vec![
+                s.name.clone(),
+                s.count.to_string(),
+                fmt_err(s.min),
+                fmt_err(s.max),
+                fmt_err(s.range()),
+                p.map_or("-".into(), |&(_, lo, _)| fmt_err(lo)),
+                p.map_or("-".into(), |&(_, _, hi)| fmt_err(hi)),
+            ]);
+        }
+        table.print();
+        let name = format!(
+            "table2_attribute_stats_{}",
+            ds.label().replace('-', "_").to_lowercase()
+        );
+        let path = write_csv(&table, &args.out_dir, &name).expect("write csv");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,45 @@
+//! Table VII: numerical projection methods (Direct / Translation / Scaling
+//! / Combined) compared on both datasets.
+
+use chainsformer::{ChainsFormerConfig, Projection};
+use chainsformer_bench::{load, train_chainsformer, write_csv, BenchArgs, Dataset, Table};
+
+fn main() {
+    let mut args = BenchArgs::from_env();
+    if args.epochs.is_none() {
+        args.epochs = Some(10);
+    }
+    let mut table = Table::new(
+        format!(
+            "Table VII — numerical projection methods (scale: {})",
+            args.scale_name
+        ),
+        &["projection", "YG MAE", "YG RMSE", "FB MAE", "FB RMSE"],
+    );
+    let yago = load(Dataset::Yago15kSim, args.scale, args.seed);
+    let fb = load(Dataset::Fb15k237Sim, args.scale, args.seed);
+    for (name, proj) in [
+        ("Direct", Projection::Direct),
+        ("Translation", Projection::Translation),
+        ("Scaling", Projection::Scaling),
+        ("Combined", Projection::Combined),
+    ] {
+        eprintln!("[table7] {name} …");
+        let cfg = ChainsFormerConfig {
+            projection: proj,
+            ..ChainsFormerConfig::default()
+        };
+        let (_, ry) = train_chainsformer(&yago, cfg.clone(), &args);
+        let (_, rf) = train_chainsformer(&fb, cfg, &args);
+        table.row(vec![
+            name.into(),
+            format!("{:.4}", ry.norm_mae),
+            format!("{:.4}", ry.norm_rmse),
+            format!("{:.4}", rf.norm_mae),
+            format!("{:.4}", rf.norm_rmse),
+        ]);
+    }
+    table.print();
+    let path = write_csv(&table, &args.out_dir, "table7_projection").expect("write csv");
+    println!("wrote {}", path.display());
+}

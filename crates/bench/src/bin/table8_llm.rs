@@ -1,0 +1,49 @@
+//! Table VIII: zero-shot LLM comparison (simulated ChatGPT tiers,
+//! substitution S4) vs. ChainsFormer.
+
+use cf_baselines::{evaluate_baseline, LlmSim, LlmTier, NumericPredictor};
+use chainsformer::ChainsFormerConfig;
+use chainsformer_bench::{load, train_chainsformer, write_csv, BenchArgs, Dataset, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = BenchArgs::from_env();
+    if args.epochs.is_none() {
+        args.epochs = Some(12);
+    }
+    let mut table = Table::new(
+        format!("Table VIII — LLM comparison (scale: {})", args.scale_name),
+        &["model", "YG MAE", "YG RMSE", "FB MAE", "FB RMSE"],
+    );
+    let yago = load(Dataset::Yago15kSim, args.scale, args.seed);
+    let fb = load(Dataset::Fb15k237Sim, args.scale, args.seed);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+
+    for tier in [LlmTier::Gpt35, LlmTier::Gpt40] {
+        let ly = LlmSim::new(&yago.visible, &yago.split.train, tier);
+        let ry = evaluate_baseline(&ly, &yago.visible, &yago.split.test, &yago.norm, &mut rng);
+        let lf = LlmSim::new(&fb.visible, &fb.split.train, tier);
+        let rf = evaluate_baseline(&lf, &fb.visible, &fb.split.test, &fb.norm, &mut rng);
+        table.row(vec![
+            ly.name().into(),
+            format!("{:.4}", ry.norm_mae),
+            format!("{:.4}", ry.norm_rmse),
+            format!("{:.4}", rf.norm_mae),
+            format!("{:.4}", rf.norm_rmse),
+        ]);
+    }
+    eprintln!("[table8] training ChainsFormer …");
+    let (_, ry) = train_chainsformer(&yago, ChainsFormerConfig::default(), &args);
+    let (_, rf) = train_chainsformer(&fb, ChainsFormerConfig::default(), &args);
+    table.row(vec![
+        "ChainsFormer(Ours)".into(),
+        format!("{:.4}", ry.norm_mae),
+        format!("{:.4}", ry.norm_rmse),
+        format!("{:.4}", rf.norm_mae),
+        format!("{:.4}", rf.norm_rmse),
+    ]);
+    table.print();
+    let path = write_csv(&table, &args.out_dir, "table8_llm").expect("write csv");
+    println!("wrote {}", path.display());
+}

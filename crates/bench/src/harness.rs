@@ -1,0 +1,141 @@
+//! Workload construction shared by every experiment binary.
+
+use cf_kg::synth::{fb15k_sim, yago15k_sim, SynthScale};
+use cf_kg::{KnowledgeGraph, MinMaxNormalizer, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which synthetic dataset twin to run on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// The YAGO15K-like twin.
+    Yago15kSim,
+    /// The FB15K-237-like twin.
+    Fb15k237Sim,
+}
+
+impl Dataset {
+    /// Display label matching the paper's dataset names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Dataset::Yago15kSim => "YAGO15K-sim",
+            Dataset::Fb15k237Sim => "FB15K-237-sim",
+        }
+    }
+
+    /// Both datasets, in the paper's order.
+    pub fn both() -> [Dataset; 2] {
+        [Dataset::Yago15kSim, Dataset::Fb15k237Sim]
+    }
+}
+
+/// Experiment-wide knobs, parsed from environment variables so every binary
+/// shares one convention (see crate docs).
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Dataset size profile.
+    pub scale: SynthScale,
+    /// The `CF_SCALE` string, echoed in titles.
+    pub scale_name: String,
+    /// RNG seed shared by dataset/model builders.
+    pub seed: u64,
+    /// Epoch override (`CF_EPOCHS`).
+    pub epochs: Option<usize>,
+    /// Directory receiving CSV outputs.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl BenchArgs {
+    /// Parses the `CF_*` environment variables (see crate docs).
+    pub fn from_env() -> Self {
+        let scale_name = std::env::var("CF_SCALE").unwrap_or_else(|_| "default".into());
+        let scale = match scale_name.as_str() {
+            "small" => SynthScale::small(),
+            "paper" => SynthScale::paper(),
+            "default" => SynthScale::default_scale(),
+            other => panic!("unknown CF_SCALE {other:?}; use small|default|paper"),
+        };
+        let seed = std::env::var("CF_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(7);
+        let epochs = std::env::var("CF_EPOCHS").ok().and_then(|s| s.parse().ok());
+        let out_dir = std::env::var("CF_OUT")
+            .unwrap_or_else(|_| "results".into())
+            .into();
+        BenchArgs {
+            scale,
+            scale_name,
+            seed,
+            epochs,
+            out_dir,
+        }
+    }
+}
+
+/// One ready-to-run dataset: full graph, split, visible graph, normalizer.
+pub struct Workload {
+    /// Which twin this workload is.
+    pub dataset: Dataset,
+    /// The full graph (including eval answers).
+    pub graph: KnowledgeGraph,
+    /// The 8:1:1 split.
+    pub split: Split,
+    /// The graph with eval answers hidden.
+    pub visible: KnowledgeGraph,
+    /// Normalizer fitted on the training triples.
+    pub norm: MinMaxNormalizer,
+}
+
+/// Builds a workload deterministically from `(dataset, scale, seed)`.
+pub fn load(dataset: Dataset, scale: SynthScale, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = match dataset {
+        Dataset::Yago15kSim => yago15k_sim(scale, &mut rng),
+        Dataset::Fb15k237Sim => fb15k_sim(scale, &mut rng),
+    };
+    let split = Split::paper_811(&graph, &mut rng);
+    let visible = split.visible_graph(&graph);
+    let norm = MinMaxNormalizer::fit(graph.num_attributes(), &split.train);
+    Workload {
+        dataset,
+        graph,
+        split,
+        visible,
+        norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_deterministic() {
+        let a = load(Dataset::Yago15kSim, SynthScale::small(), 3);
+        let b = load(Dataset::Yago15kSim, SynthScale::small(), 3);
+        assert_eq!(a.graph.numerics().len(), b.graph.numerics().len());
+        assert_eq!(a.split.test.len(), b.split.test.len());
+        for (x, y) in a.split.test.iter().zip(&b.split.test) {
+            assert_eq!(x.entity, y.entity);
+            assert_eq!(x.value, y.value);
+        }
+    }
+
+    #[test]
+    fn visible_graph_is_consistent_with_split() {
+        let w = load(Dataset::Fb15k237Sim, SynthScale::small(), 1);
+        for t in &w.split.test {
+            assert_eq!(w.visible.value_of(t.entity, t.attr), None);
+        }
+        assert_eq!(
+            w.visible.numerics().len(),
+            w.graph.numerics().len() - w.split.valid.len() - w.split.test.len()
+        );
+    }
+
+    #[test]
+    fn both_datasets_have_distinct_labels() {
+        assert_ne!(Dataset::Yago15kSim.label(), Dataset::Fb15k237Sim.label());
+    }
+}

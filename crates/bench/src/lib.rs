@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # chainsformer-bench
+//!
+//! The experiment harness: one binary per table and figure of the paper
+//! (see DESIGN.md §3 for the index), sharing workload construction, a
+//! method registry and table/CSV reporters.
+//!
+//! Every binary honours these environment variables:
+//! - `CF_SCALE` — `small` | `default` | `paper` (dataset size, default
+//!   `default`);
+//! - `CF_SEED` — RNG seed (default 7);
+//! - `CF_EPOCHS` — ChainsFormer training epochs override;
+//! - `CF_OUT` — directory for CSV outputs (default `results/`).
+
+pub mod ascii_plot;
+pub mod harness;
+pub mod methods;
+pub mod report;
+
+pub use ascii_plot::{bar_chart, line_chart};
+pub use harness::{load, BenchArgs, Dataset, Workload};
+pub use methods::{fit_all_baselines, train_chainsformer, MethodReport};
+pub use report::{write_csv, Table};

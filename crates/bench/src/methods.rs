@@ -1,0 +1,118 @@
+//! Method registry: trains/fits every Table-III column against a workload.
+
+use crate::harness::{BenchArgs, Workload};
+use cf_baselines::{
+    evaluate_baseline, AttributeMean, HyntLite, Kga, MrAP, NapPlusPlus, NumericPredictor, PlmReg,
+    TogConfig, TogR, TransE, TransEConfig,
+};
+use cf_kg::RegressionReport;
+use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One evaluated method: name + test-set report.
+pub struct MethodReport {
+    /// Method column label.
+    pub name: String,
+    /// Test-split evaluation report.
+    pub report: RegressionReport,
+}
+
+/// Trains ChainsFormer on a workload and evaluates on its test split.
+/// `cfg` lets callers inject ablation/sweep variants; `args.epochs`
+/// overrides the epoch count when set.
+pub fn train_chainsformer(
+    w: &Workload,
+    mut cfg: ChainsFormerConfig,
+    args: &BenchArgs,
+) -> (ChainsFormer, RegressionReport) {
+    if let Some(e) = args.epochs {
+        cfg.epochs = e;
+    }
+    cfg.seed = args.seed;
+    let mut rng = StdRng::seed_from_u64(args.seed.wrapping_mul(31).wrapping_add(1));
+    let mut model = ChainsFormer::new(&w.visible, &w.split.train, cfg, &mut rng);
+    Trainer::new(&mut model, &w.visible).train(&w.split, &mut rng);
+    let report = evaluate_model(&model, &w.visible, &w.split.test, &mut rng);
+    (model, report)
+}
+
+/// Fits and evaluates every baseline of Table III (plus the attribute-mean
+/// reference). Returns reports in the paper's column order.
+pub fn fit_all_baselines(w: &Workload, args: &BenchArgs) -> Vec<MethodReport> {
+    let mut rng = StdRng::seed_from_u64(args.seed.wrapping_mul(97).wrapping_add(5));
+    let na = w.graph.num_attributes();
+    let transe_cfg = TransEConfig {
+        epochs: 25,
+        ..Default::default()
+    };
+    let transe = TransE::fit(&w.visible, transe_cfg, &mut rng);
+
+    let mut out = Vec::new();
+    let eval = |p: &dyn NumericPredictor, rng: &mut StdRng| MethodReport {
+        name: p.name().to_string(),
+        report: evaluate_baseline(p, &w.visible, &w.split.test, &w.norm, rng),
+    };
+
+    let nap = NapPlusPlus::new(transe.clone(), 8, na, &w.split.train);
+    out.push(eval(&nap, &mut rng));
+
+    let mrap = MrAP::fit(&w.visible, &w.split.train, 3);
+    out.push(eval(&mrap, &mut rng));
+
+    let plm = PlmReg::fit(&w.visible, &w.split.train, 40, &mut rng);
+    out.push(eval(&plm, &mut rng));
+
+    let kga = Kga::fit(&w.visible, &w.split.train, 16, transe_cfg, &mut rng);
+    out.push(eval(&kga, &mut rng));
+
+    let hynt = HyntLite::fit(&w.visible, &transe, &w.split.train, 40, &mut rng);
+    out.push(eval(&hynt, &mut rng));
+
+    let tog = TogR::fit(&w.visible, &w.split.train, TogConfig::default());
+    out.push(eval(&tog, &mut rng));
+
+    let mean = AttributeMean::fit(na, &w.split.train);
+    out.push(eval(&mean, &mut rng));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{load, Dataset};
+    use cf_kg::synth::SynthScale;
+
+    fn small_args() -> BenchArgs {
+        BenchArgs {
+            scale: SynthScale::small(),
+            scale_name: "small".into(),
+            seed: 2,
+            epochs: Some(2),
+            out_dir: std::env::temp_dir(),
+        }
+    }
+
+    #[test]
+    fn all_baselines_produce_reports() {
+        let w = load(Dataset::Yago15kSim, SynthScale::small(), 2);
+        let reports = fit_all_baselines(&w, &small_args());
+        assert_eq!(reports.len(), 7);
+        let names: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["NAP++", "MrAP", "PLM-reg", "KGA", "HyNT", "ToG-R", "AttrMean"]
+        );
+        for r in &reports {
+            assert!(r.report.norm_mae.is_finite(), "{} non-finite", r.name);
+        }
+    }
+
+    #[test]
+    fn chainsformer_trains_under_harness() {
+        let w = load(Dataset::Yago15kSim, SynthScale::small(), 2);
+        let (_, report) = train_chainsformer(&w, ChainsFormerConfig::tiny(), &small_args());
+        assert!(report.norm_mae.is_finite());
+    }
+}

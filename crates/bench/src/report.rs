@@ -1,0 +1,155 @@
+//! Console tables and CSV persistence for experiment outputs.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A simple printable/serializable table.
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each as wide as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with the given caption and columns.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; panics if the width disagrees with the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints a fixed-width console rendering.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("| {} |", parts.join(" | "));
+        };
+        line(&self.headers, &widths);
+        println!(
+            "|{}|",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            line(row, &widths);
+        }
+    }
+
+    /// CSV rendering (quoted only when needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a table as CSV under `dir/name.csv` (directory created on demand).
+pub fn write_csv(table: &Table, dir: &Path, name: &str) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(table.to_csv().as_bytes())?;
+    Ok(path)
+}
+
+/// Formats an error the way the paper's tables do: sensible precision for
+/// magnitudes from 1e-4 to 1e9.
+pub fn fmt_err(v: f64) -> String {
+    if !v.is_finite() {
+        "n/a".into()
+    } else if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e5 {
+        format!("{v:.1e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trips_simple_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,\"x,y\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_err_covers_magnitudes() {
+        assert_eq!(fmt_err(0.0), "0");
+        assert_eq!(fmt_err(0.0163), "0.0163");
+        assert_eq!(fmt_err(15.53), "15.53");
+        assert_eq!(fmt_err(205.1), "205.1");
+        assert_eq!(fmt_err(1.7e8), "1.7e8");
+        assert_eq!(fmt_err(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("cf_bench_test");
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        let path = write_csv(&t, &dir, "unit").unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).unwrap();
+    }
+}

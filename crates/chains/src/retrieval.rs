@@ -1,0 +1,327 @@
+//! Query-guided retrieval: random walks building the Tree of Chains
+//! (§IV-B, Eq. 6).
+
+use crate::chain::{ChainInstance, ChainVocab, Query, RaChain};
+use cf_kg::{EntityId, KnowledgeGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Retrieval hyperparameters.
+#[derive(Copy, Clone, Debug)]
+pub struct RetrievalConfig {
+    /// Number of random walks `N_s` (the paper uses 2048).
+    pub num_walks: usize,
+    /// Maximum walk length `l` (the paper uses 3).
+    pub max_hops: usize,
+    /// Whether 0-hop chains (other attributes of the query entity itself)
+    /// may be emitted.
+    pub allow_zero_hop: bool,
+    /// Hard cap on retrieval attempts per query, to bound work on
+    /// disconnected entities.
+    pub max_attempts_factor: usize,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig {
+            num_walks: 256,
+            max_hops: 3,
+            allow_zero_hop: true,
+            max_attempts_factor: 4,
+        }
+    }
+}
+
+impl RetrievalConfig {
+    /// The paper's full-scale setting (substitution S5 scales this down by
+    /// default).
+    pub fn paper() -> Self {
+        RetrievalConfig {
+            num_walks: 2048,
+            max_hops: 3,
+            allow_zero_hop: true,
+            max_attempts_factor: 4,
+        }
+    }
+}
+
+/// The Tree of Chains for one query: retrieved chain instances plus the
+/// query itself (Eq. 6).
+#[derive(Clone, Debug)]
+pub struct TreeOfChains {
+    /// The query this tree was retrieved for.
+    pub query: Query,
+    /// Retrieved chain instances (Eq. 6's union).
+    pub chains: Vec<ChainInstance>,
+}
+
+impl TreeOfChains {
+    /// Number of retrieved chains.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// True when no chains were retrievable.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Longest chain (in tokens per Eq. 11) — used to size padded batches.
+    pub fn max_token_len(&self, vocab: &ChainVocab) -> usize {
+        self.chains
+            .iter()
+            .map(|c| c.chain.tokens(vocab).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Performs query-guided retrieval: `cfg.num_walks` random walks from the
+/// query entity over the *visible* graph, emitting one chain per visited
+/// node that carries numeric facts. Walks never revisit a node (cycle
+/// removal) and the query's own `(entity, attr)` fact is never used as
+/// evidence.
+pub fn retrieve(
+    graph: &KnowledgeGraph,
+    query: Query,
+    cfg: &RetrievalConfig,
+    rng: &mut impl Rng,
+) -> TreeOfChains {
+    let mut chains = Vec::with_capacity(cfg.num_walks);
+    let mut seen = std::collections::HashSet::new();
+    let max_attempts = cfg.num_walks * cfg.max_attempts_factor;
+    let mut attempts = 0;
+
+    // 0-hop chains: the query entity's other attributes.
+    if cfg.allow_zero_hop {
+        for &(attr, value) in graph.numerics_of(query.entity) {
+            if attr == query.attr {
+                continue;
+            }
+            let chain = RaChain {
+                known_attr: attr,
+                rels: Vec::new(),
+                query_attr: query.attr,
+            };
+            if seen.insert((chain.clone(), query.entity)) {
+                chains.push(ChainInstance {
+                    chain,
+                    source: query.entity,
+                    value,
+                });
+            }
+        }
+    }
+
+    let mut path: Vec<EntityId> = Vec::with_capacity(cfg.max_hops + 1);
+    while chains.len() < cfg.num_walks && attempts < max_attempts {
+        attempts += 1;
+        path.clear();
+        path.push(query.entity);
+        let mut rels = Vec::with_capacity(cfg.max_hops);
+        let mut current = query.entity;
+        let target_hops = rng.gen_range(1..=cfg.max_hops);
+        for _ in 0..target_hops {
+            let edges = graph.neighbors(current);
+            if edges.is_empty() {
+                break;
+            }
+            // Choose an edge that does not close a cycle; give up after a
+            // few tries (dense cycles are rare at these path lengths).
+            let mut next = None;
+            for _ in 0..4 {
+                let e = edges.choose(rng).expect("non-empty");
+                if !path.contains(&e.to) {
+                    next = Some(*e);
+                    break;
+                }
+            }
+            let Some(edge) = next else { break };
+            rels.push(edge.dr);
+            current = edge.to;
+            path.push(current);
+
+            // Emit a chain from the current node if it has usable facts.
+            let facts = graph.numerics_of(current);
+            if facts.is_empty() {
+                continue;
+            }
+            let &(attr, value) = facts.choose(rng).expect("non-empty");
+            if current == query.entity && attr == query.attr {
+                continue;
+            }
+            let chain = RaChain {
+                known_attr: attr,
+                rels: rels.clone(),
+                query_attr: query.attr,
+            };
+            if seen.insert((chain.clone(), current)) {
+                chains.push(ChainInstance {
+                    chain,
+                    source: current,
+                    value,
+                });
+                if chains.len() >= cfg.num_walks {
+                    break;
+                }
+            }
+        }
+    }
+    TreeOfChains { query, chains }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_kg::synth::{yago15k_sim, SynthScale};
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_query(g: &KnowledgeGraph, rng: &mut impl Rng) -> Query {
+        // Pick an entity with a numeric fact and decent connectivity.
+        let triples = g.numerics();
+        loop {
+            let t = triples[rng.gen_range(0..triples.len())];
+            if g.degree(t.entity) > 0 {
+                return Query {
+                    entity: t.entity,
+                    attr: t.attr,
+                };
+            }
+        }
+    }
+
+    #[test]
+    fn retrieval_respects_hop_budget() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let q = sample_query(&g, &mut rng);
+        let cfg = RetrievalConfig {
+            num_walks: 64,
+            max_hops: 2,
+            ..Default::default()
+        };
+        let toc = retrieve(&g, q, &cfg, &mut rng);
+        assert!(!toc.is_empty());
+        for c in &toc.chains {
+            assert!(
+                c.chain.hops() <= 2,
+                "chain exceeded hop budget: {:?}",
+                c.chain
+            );
+            assert_eq!(c.chain.query_attr, q.attr);
+        }
+    }
+
+    #[test]
+    fn never_uses_query_fact_as_evidence() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        for _ in 0..10 {
+            let q = sample_query(&g, &mut rng);
+            let toc = retrieve(&g, q, &RetrievalConfig::default(), &mut rng);
+            for c in &toc.chains {
+                assert!(
+                    !(c.source == q.entity && c.chain.known_attr == q.attr),
+                    "query answer leaked into its own evidence"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chains_are_deduplicated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let q = sample_query(&g, &mut rng);
+        let cfg = RetrievalConfig {
+            num_walks: 128,
+            ..Default::default()
+        };
+        let toc = retrieve(&g, q, &cfg, &mut rng);
+        let mut keys: Vec<_> = toc
+            .chains
+            .iter()
+            .map(|c| (c.chain.clone(), c.source))
+            .collect();
+        let before = keys.len();
+        keys.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate (chain, source) emitted");
+    }
+
+    #[test]
+    fn zero_hop_can_be_disabled() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let q = sample_query(&g, &mut rng);
+        let cfg = RetrievalConfig {
+            allow_zero_hop: false,
+            ..Default::default()
+        };
+        let toc = retrieve(&g, q, &cfg, &mut rng);
+        assert!(toc.chains.iter().all(|c| c.chain.hops() >= 1));
+    }
+
+    #[test]
+    fn disconnected_entity_terminates() {
+        let mut g = KnowledgeGraph::new();
+        let e = g.add_entity("lonely");
+        let a = g.add_attribute_type("x");
+        g.add_numeric(e, a, 1.0);
+        g.build_index();
+        let mut rng = StdRng::seed_from_u64(4);
+        let toc = retrieve(
+            &g,
+            Query { entity: e, attr: a },
+            &RetrievalConfig::default(),
+            &mut rng,
+        );
+        assert!(
+            toc.is_empty(),
+            "no evidence should exist for an isolated entity"
+        );
+    }
+
+    #[test]
+    fn walks_do_not_revisit_nodes() {
+        // On a triangle graph every 3-hop simple path is impossible; chains
+        // of length 3 would require a revisit, so max observed hops is 2.
+        let mut g = KnowledgeGraph::new();
+        let a = g.add_entity("a");
+        let b = g.add_entity("b");
+        let c = g.add_entity("c");
+        let r = g.add_relation_type("r");
+        let attr = g.add_attribute_type("v");
+        g.add_triple(a, r, b);
+        g.add_triple(b, r, c);
+        g.add_triple(c, r, a);
+        for (e, v) in [(a, 1.0), (b, 2.0), (c, 3.0)] {
+            g.add_numeric(e, attr, v);
+        }
+        g.build_index();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = RetrievalConfig {
+            num_walks: 200,
+            max_hops: 3,
+            ..Default::default()
+        };
+        let toc = retrieve(&g, Query { entity: a, attr }, &cfg, &mut rng);
+        assert!(
+            toc.chains.iter().all(|ci| ci.chain.hops() <= 2),
+            "cycle was not removed"
+        );
+    }
+
+    #[test]
+    fn max_token_len_accounts_for_framing() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let vocab = ChainVocab::for_graph(&g);
+        let q = sample_query(&g, &mut rng);
+        let toc = retrieve(&g, q, &RetrievalConfig::default(), &mut rng);
+        let max_hops = toc.chains.iter().map(|c| c.chain.hops()).max().unwrap();
+        assert_eq!(toc.max_token_len(&vocab), max_hops + 3);
+    }
+}

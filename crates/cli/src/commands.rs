@@ -1,0 +1,217 @@
+//! Subcommand implementations for `cfkg`.
+
+use crate::args::{ArgError, Args};
+use cf_chains::Query;
+use cf_kg::io::{write_numerics, write_triples, TsvLoader};
+use cf_kg::stats::{attribute_stats, dataset_stats};
+use cf_kg::synth::{fb15k_sim, yago15k_sim, SynthScale};
+use cf_kg::{KnowledgeGraph, Split};
+use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::io::BufReader;
+use std::path::Path;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn scale_from(args: &Args) -> Result<SynthScale, ArgError> {
+    match args.get("scale").unwrap_or("default") {
+        "small" => Ok(SynthScale::small()),
+        "default" => Ok(SynthScale::default_scale()),
+        "paper" => Ok(SynthScale::paper()),
+        other => Err(ArgError::Invalid {
+            flag: "scale".into(),
+            value: other.into(),
+            expected: "small|default|paper",
+        }),
+    }
+}
+
+/// `cfkg generate`: write a synthetic twin as TSV files.
+pub fn generate(args: &Args) -> CmdResult {
+    let seed: u64 = args.get_parse("seed", 7, "integer")?;
+    let scale = scale_from(args)?;
+    let out = Path::new(args.require("out")?);
+    std::fs::create_dir_all(out)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (name, graph) = match args.get("dataset").unwrap_or("yago") {
+        "yago" => ("yago15k_sim", yago15k_sim(scale, &mut rng)),
+        "fb" => ("fb15k237_sim", fb15k_sim(scale, &mut rng)),
+        other => {
+            return Err(Box::new(ArgError::Invalid {
+                flag: "dataset".into(),
+                value: other.into(),
+                expected: "yago|fb",
+            }))
+        }
+    };
+    let triples_path = out.join(format!("{name}_triples.tsv"));
+    let numerics_path = out.join(format!("{name}_numerics.tsv"));
+    write_triples(&graph, std::fs::File::create(&triples_path)?)?;
+    write_numerics(&graph, std::fs::File::create(&numerics_path)?)?;
+    let s = dataset_stats(&graph);
+    println!(
+        "generated {name}: {} entities, {} relations, {} attributes, {} triples, {} numeric facts",
+        s.entities, s.relations, s.attributes, s.relational_triples, s.numeric_triples
+    );
+    println!("  {}", triples_path.display());
+    println!("  {}", numerics_path.display());
+    Ok(())
+}
+
+fn load_graph(args: &Args) -> Result<KnowledgeGraph, Box<dyn Error>> {
+    let triples = args.require("triples")?;
+    let numerics = args.require("numerics")?;
+    let mut loader = TsvLoader::new();
+    loader.load_triples(BufReader::new(std::fs::File::open(triples)?))?;
+    loader.load_numerics(BufReader::new(std::fs::File::open(numerics)?))?;
+    Ok(loader.finish())
+}
+
+/// `cfkg stats`: Table-I/II statistics for a TSV graph.
+pub fn stats(args: &Args) -> CmdResult {
+    let graph = load_graph(args)?;
+    let s = dataset_stats(&graph);
+    println!(
+        "entities {}  relations {}  attributes {}  triples {}  numeric facts {}",
+        s.entities, s.relations, s.attributes, s.relational_triples, s.numeric_triples
+    );
+    println!(
+        "{:<20} {:>7} {:>14} {:>14} {:>14}",
+        "attribute", "count", "min", "max", "mean"
+    );
+    for a in attribute_stats(&graph) {
+        println!(
+            "{:<20} {:>7} {:>14.3} {:>14.3} {:>14.3}",
+            a.name, a.count, a.min, a.max, a.mean
+        );
+    }
+    Ok(())
+}
+
+fn config_from(args: &Args) -> Result<ChainsFormerConfig, Box<dyn Error>> {
+    let mut cfg = ChainsFormerConfig::default();
+    cfg.epochs = args.get_parse("epochs", cfg.epochs, "integer")?;
+    cfg.dim = args.get_parse("dim", cfg.dim, "integer")?;
+    cfg.ff_dim = 2 * cfg.dim;
+    cfg.layers = args.get_parse("layers", cfg.layers, "integer")?;
+    cfg.retrieval_walks = args.get_parse("walks", cfg.retrieval_walks, "integer")?;
+    cfg.top_k = args.get_parse("top-k", cfg.top_k, "integer")?;
+    cfg.chain_quality = args.switch("quality");
+    cfg.seed = args.get_parse("seed", 7, "integer")?;
+    cfg.validate().map_err(|e| -> Box<dyn Error> { e.into() })?;
+    Ok(cfg)
+}
+
+/// Builds graph/split/model deterministically from the shared flags, so a
+/// checkpoint saved by `train` lines up bit-for-bit in `eval`/`predict`.
+fn setup(args: &Args) -> Result<(KnowledgeGraph, Split, ChainsFormer, StdRng), Box<dyn Error>> {
+    let cfg = config_from(args)?;
+    let graph = load_graph(args)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let split = Split::paper_811(&graph, &mut rng);
+    let visible = split.visible_graph(&graph);
+    let model = ChainsFormer::new(&visible, &split.train, cfg, &mut rng);
+    Ok((visible, split, model, rng))
+}
+
+/// `cfkg train`: train and save a checkpoint.
+pub fn train(args: &Args) -> CmdResult {
+    let ckpt = args.require("ckpt")?.to_string();
+    let (visible, split, mut model, mut rng) = setup(args)?;
+    println!(
+        "training on {} queries ({} validation) for up to {} epochs …",
+        split.train.len(),
+        split.valid.len(),
+        model.cfg.epochs
+    );
+    let result = Trainer::new(&mut model, &visible).train(&split, &mut rng);
+    for e in &result.epochs {
+        match e.valid_mae {
+            Some(v) => println!(
+                "epoch {:>3}  loss {:.4}  valid MAE {:.4}",
+                e.epoch, e.train_loss, v
+            ),
+            None => println!("epoch {:>3}  loss {:.4}", e.epoch, e.train_loss),
+        }
+    }
+    let report = evaluate_model(&model, &visible, &split.test, &mut rng);
+    println!(
+        "test normalized MAE {:.4}, RMSE {:.4}",
+        report.norm_mae, report.norm_rmse
+    );
+    model.save_params_to(&ckpt)?;
+    println!("saved checkpoint to {ckpt}");
+    Ok(())
+}
+
+fn load_model(
+    args: &Args,
+) -> Result<(KnowledgeGraph, Split, ChainsFormer, StdRng), Box<dyn Error>> {
+    let ckpt = args.require("ckpt")?.to_string();
+    let (visible, split, mut model, rng) = setup(args)?;
+    model.load_params_from(&ckpt)?;
+    Ok((visible, split, model, rng))
+}
+
+/// `cfkg eval`: evaluate a checkpoint on the test split.
+pub fn eval(args: &Args) -> CmdResult {
+    let (visible, split, model, mut rng) = load_model(args)?;
+    let report = evaluate_model(&model, &visible, &split.test, &mut rng);
+    println!(
+        "{:<20} {:>10} {:>10} {:>7}",
+        "attribute", "MAE", "RMSE", "n"
+    );
+    for (attr, e) in &report.per_attribute {
+        println!(
+            "{:<20} {:>10.3} {:>10.3} {:>7}",
+            visible.attribute_name(cf_kg::AttributeId(*attr)),
+            e.mae,
+            e.rmse,
+            e.count
+        );
+    }
+    println!(
+        "\nAverage* MAE {:.4}   RMSE {:.4}",
+        report.norm_mae, report.norm_rmse
+    );
+    Ok(())
+}
+
+/// `cfkg predict`: answer one query with its reasoning trace.
+pub fn predict(args: &Args) -> CmdResult {
+    let entity_name = args.require("entity")?.to_string();
+    let attr_name = args.require("attr")?.to_string();
+    let (visible, _split, model, mut rng) = load_model(args)?;
+    let entity = visible
+        .entity_by_name(&entity_name)
+        .ok_or_else(|| format!("entity {entity_name:?} not found"))?;
+    let attr = visible
+        .attribute_by_name(&attr_name)
+        .ok_or_else(|| format!("attribute {attr_name:?} not found"))?;
+    let detail = model.predict(&visible, Query { entity, attr }, &mut rng);
+    println!("{attr_name} of {entity_name}: {:.4}", detail.value);
+    if detail.used_fallback {
+        println!("(no evidence chains retrievable — training-mean fallback)");
+        return Ok(());
+    }
+    println!(
+        "retrieved {} chains, {} after filtering; top evidence:",
+        detail.retrieved,
+        detail.chains.len()
+    );
+    let mut chains = detail.chains;
+    chains.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite"));
+    for c in chains.iter().take(8) {
+        println!(
+            "  ω={:.3}  {}  via {}  (n_p={:.2}, n̂={:.2})",
+            c.weight,
+            c.chain.render(&visible),
+            visible.entity_name(c.source),
+            c.known_value,
+            c.prediction
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! `cfkg` — the ChainsFormer command line.
+//!
+//! ```text
+//! cfkg generate --dataset yago --scale default --out data/           write TSV twins
+//! cfkg stats    --triples data/triples.tsv --numerics data/num.tsv  Table-I/II stats
+//! cfkg train    --triples … --numerics … --ckpt model.ckpt          train + save
+//! cfkg eval     --triples … --numerics … --ckpt model.ckpt          test-set report
+//! cfkg predict  --triples … --numerics … --ckpt model.ckpt \
+//!               --entity person_17 --attr birth                     explained answer
+//! ```
+//!
+//! Graphs are MMKG-style TSV (`head<TAB>rel<TAB>tail`,
+//! `entity<TAB>attr<TAB>value`); checkpoints use `cf_tensor::serialize`.
+//! Train/eval/predict must share `--seed` so the 8:1:1 split and the model
+//! architecture line up with the checkpoint.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+cfkg — chain-based numerical reasoning on knowledge graphs (ChainsFormer)
+
+USAGE: cfkg <COMMAND> [--flag value]…
+
+COMMANDS
+  generate   write a synthetic dataset twin as TSV
+             --dataset yago|fb   --scale small|default|paper   --seed N
+             --out DIR
+  stats      print Table-I/II statistics for a TSV graph
+             --triples FILE --numerics FILE
+  train      train ChainsFormer and save a checkpoint
+             --triples FILE --numerics FILE --ckpt FILE
+             [--epochs N] [--dim N] [--layers N] [--walks N] [--top-k N]
+             [--seed N] [--quality]
+  eval       evaluate a checkpoint on the held-out test split
+             --triples FILE --numerics FILE --ckpt FILE [--seed N] [flags as train]
+  predict    answer one query with its reasoning chains
+             --triples FILE --numerics FILE --ckpt FILE
+             --entity NAME --attr NAME [--seed N] [flags as train]
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print!("{USAGE}");
+        return;
+    }
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "stats" => commands::stats(&args),
+        "train" => commands::train(&args),
+        "eval" => commands::eval(&args),
+        "predict" => commands::predict(&args),
+        other => {
+            eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

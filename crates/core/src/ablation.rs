@@ -1,0 +1,125 @@
+//! Ablation variants (Table VI) as named configuration transforms.
+
+use crate::config::{ChainsFormerConfig, EncoderKind, FilterSpace, Projection, ValueEncoding};
+
+/// The rows of Table VI, plus the full model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// The complete model.
+    Full,
+    /// "w/o Hyperbolic Filter": random chain sampling.
+    NoHyperbolicFilter,
+    /// "w/o Chain Encoder": mean token embedding.
+    NoChainEncoder,
+    /// "w LSTM as Chain Encoder".
+    LstmEncoder,
+    /// "w/o Numerical-Aware": no affine transfer.
+    NoNumericalAware,
+    /// "w Numerical-Aware by Log": log-magnitude value encoding.
+    NumericalAwareByLog,
+    /// "w/o Numerical Projection": direct regression from embeddings.
+    NoNumericalProjection,
+    /// "w/o Chain Weighting": uniform chain averaging.
+    NoChainWeighting,
+}
+
+impl Variant {
+    /// Every Table-VI row in paper order (including the full model last).
+    pub fn all() -> [Variant; 8] {
+        [
+            Variant::NoHyperbolicFilter,
+            Variant::NoChainEncoder,
+            Variant::LstmEncoder,
+            Variant::NoNumericalAware,
+            Variant::NumericalAwareByLog,
+            Variant::NoNumericalProjection,
+            Variant::NoChainWeighting,
+            Variant::Full,
+        ]
+    }
+
+    /// The paper's row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Full => "ChainsFormer(Ours)",
+            Variant::NoHyperbolicFilter => "w/o Hyperbolic Filter",
+            Variant::NoChainEncoder => "w/o Chain Encoder",
+            Variant::LstmEncoder => "w LSTM as Chain Encoder",
+            Variant::NoNumericalAware => "w/o Numerical-Aware",
+            Variant::NumericalAwareByLog => "w Numerical-Aware by Log",
+            Variant::NoNumericalProjection => "w/o Numerical Projection",
+            Variant::NoChainWeighting => "w/o Chain Weighting",
+        }
+    }
+
+    /// Applies the ablation to a base configuration.
+    pub fn apply(&self, base: &ChainsFormerConfig) -> ChainsFormerConfig {
+        let mut cfg = base.clone();
+        match self {
+            Variant::Full => {}
+            Variant::NoHyperbolicFilter => cfg.filter_space = FilterSpace::Random,
+            Variant::NoChainEncoder => cfg.encoder = EncoderKind::MeanPool,
+            Variant::LstmEncoder => cfg.encoder = EncoderKind::Lstm,
+            Variant::NoNumericalAware => cfg.value_encoding = ValueEncoding::Disabled,
+            Variant::NumericalAwareByLog => cfg.value_encoding = ValueEncoding::Log,
+            Variant::NoNumericalProjection => cfg.projection = Projection::Direct,
+            Variant::NoChainWeighting => cfg.chain_weighting = false,
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_yield_valid_configs() {
+        let base = ChainsFormerConfig::default();
+        for v in Variant::all() {
+            v.apply(&base)
+                .validate()
+                .unwrap_or_else(|e| panic!("{v:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn full_variant_is_identity() {
+        let base = ChainsFormerConfig::default();
+        let applied = Variant::Full.apply(&base);
+        assert_eq!(format!("{base:?}"), format!("{applied:?}"));
+    }
+
+    #[test]
+    fn each_ablation_changes_exactly_its_knob() {
+        let base = ChainsFormerConfig::default();
+        assert_eq!(
+            Variant::NoHyperbolicFilter.apply(&base).filter_space,
+            FilterSpace::Random
+        );
+        assert_eq!(
+            Variant::NoChainEncoder.apply(&base).encoder,
+            EncoderKind::MeanPool
+        );
+        assert_eq!(Variant::LstmEncoder.apply(&base).encoder, EncoderKind::Lstm);
+        assert_eq!(
+            Variant::NoNumericalAware.apply(&base).value_encoding,
+            ValueEncoding::Disabled
+        );
+        assert_eq!(
+            Variant::NumericalAwareByLog.apply(&base).value_encoding,
+            ValueEncoding::Log
+        );
+        assert_eq!(
+            Variant::NoNumericalProjection.apply(&base).projection,
+            Projection::Direct
+        );
+        assert!(!Variant::NoChainWeighting.apply(&base).chain_weighting);
+    }
+
+    #[test]
+    fn labels_match_table6() {
+        assert_eq!(Variant::Full.label(), "ChainsFormer(Ours)");
+        assert_eq!(Variant::LstmEncoder.label(), "w LSTM as Chain Encoder");
+    }
+}

@@ -1,0 +1,389 @@
+//! The Chain Encoder (§IV-D): In-Context Chain Representation via an
+//! encoder-only Transformer (Eq. 11–13) and the Numerical-Aware Affine
+//! Transfer (Eq. 14–16). Also hosts the Table-VI encoder ablations (LSTM,
+//! mean pooling).
+
+use crate::config::{ChainsFormerConfig, EncoderKind, ValueEncoding};
+use crate::filter::ChainFilter;
+use crate::value_encoding::{float_bits, log_features, FLOAT_BITS, LOG_FEATURES};
+use cf_chains::{ChainInstance, ChainVocab};
+use cf_tensor::nn::{Embedding, Lstm, Mlp, TransformerEncoder};
+use cf_tensor::{ParamStore, Tape, Tensor, Var};
+use rand::Rng;
+
+/// Encodes a batch of RA-Chains into value-aware chain representations
+/// `ẽ_c ∈ R^d` (one row per chain).
+#[derive(Clone, Debug)]
+pub struct ChainEncoder {
+    dim: usize,
+    max_len: usize,
+    kind: EncoderKind,
+    token_emb: Embedding,
+    pos_emb: Option<Embedding>,
+    transformer: Option<TransformerEncoder>,
+    lstm: Option<Lstm>,
+    value_encoding: ValueEncoding,
+    mlp_alpha: Option<Mlp>,
+    mlp_beta: Option<Mlp>,
+    vocab: ChainVocab,
+}
+
+impl ChainEncoder {
+    /// Builds the encoder; when `filter` carries a trained hyperbolic table,
+    /// token embeddings are initialised from its log-map (Eq. 12) so the
+    /// Euclidean table starts where the hyperbolic pre-training ended.
+    pub fn new(
+        ps: &mut ParamStore,
+        cfg: &ChainsFormerConfig,
+        vocab: ChainVocab,
+        filter: Option<&ChainFilter>,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let dim = cfg.dim;
+        let max_len = cfg.setting.max_hops + 3; // a_p + rels + a_q + end
+        let token_emb = Embedding::new(ps, "encoder.tokens", vocab.size(), dim, rng);
+        if let Some(f) = filter {
+            // Seed the Euclidean table with log-mapped hyperbolic points
+            // (pad/end rows keep their random init).
+            let table = ps.get_mut(token_emb.table);
+            let seedable = vocab.num_rel_tokens() + vocab.num_attributes();
+            for tok in 0..seedable {
+                let v = f.log0_token(tok, dim);
+                let row = &mut table.data_mut()[tok * dim..(tok + 1) * dim];
+                for (slot, (&seed, existing)) in v
+                    .iter()
+                    .zip(row.iter().copied().collect::<Vec<_>>())
+                    .enumerate()
+                {
+                    // Blend: keep a little noise so identical hyperbolic rows
+                    // don't collapse the table.
+                    row[slot] = seed + 0.1 * existing;
+                }
+            }
+        }
+        let pos_emb = cfg
+            .positional
+            .then(|| Embedding::new(ps, "encoder.positions", max_len, dim, rng));
+        let (transformer, lstm) = match cfg.encoder {
+            EncoderKind::Transformer => (
+                Some(TransformerEncoder::new(
+                    ps,
+                    "encoder.tf",
+                    dim,
+                    cfg.heads,
+                    cfg.layers,
+                    cfg.ff_dim,
+                    rng,
+                )),
+                None,
+            ),
+            EncoderKind::Lstm => (None, Some(Lstm::new(ps, "encoder.lstm", dim, dim, rng))),
+            EncoderKind::MeanPool => (None, None),
+        };
+        let feat = match cfg.value_encoding {
+            ValueEncoding::FloatBits => FLOAT_BITS,
+            ValueEncoding::Log => LOG_FEATURES,
+            ValueEncoding::Disabled => 0,
+        };
+        let (mlp_alpha, mlp_beta) = if feat > 0 {
+            (
+                Some(Mlp::new(
+                    ps,
+                    "encoder.alpha",
+                    &[feat, dim, dim * dim],
+                    cf_tensor::nn::Activation::Tanh,
+                    rng,
+                )),
+                Some(Mlp::new(
+                    ps,
+                    "encoder.beta",
+                    &[feat, dim, dim],
+                    cf_tensor::nn::Activation::Tanh,
+                    rng,
+                )),
+            )
+        } else {
+            (None, None)
+        };
+        ChainEncoder {
+            dim,
+            max_len,
+            kind: cfg.encoder,
+            token_emb,
+            pos_emb,
+            transformer,
+            lstm,
+            value_encoding: cfg.value_encoding,
+            mlp_alpha,
+            mlp_beta,
+            vocab,
+        }
+    }
+
+    /// Hidden dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Maximum supported token length (hops + framing).
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Encodes `chains` into `[k, d]` value-aware representations `ẽ_c`.
+    ///
+    /// Panics on an empty batch — the caller (the model) handles empty
+    /// Enhanced ToCs with a fallback predictor.
+    pub fn forward(&self, t: &mut Tape, ps: &ParamStore, chains: &[ChainInstance]) -> Var {
+        assert!(
+            !chains.is_empty(),
+            "ChainEncoder::forward on an empty batch"
+        );
+        let k = chains.len();
+        // Tokenize with padding.
+        let token_lists: Vec<Vec<usize>> =
+            chains.iter().map(|c| c.chain.tokens(&self.vocab)).collect();
+        let t_max = token_lists.iter().map(Vec::len).max().expect("non-empty");
+        assert!(
+            t_max <= self.max_len,
+            "chain of {t_max} tokens exceeds configured max_len {}",
+            self.max_len
+        );
+        let pad = self.vocab.pad_token();
+        let mut flat_ids = Vec::with_capacity(k * t_max);
+        let mut lens = Vec::with_capacity(k);
+        let mut mask: Vec<Vec<bool>> = Vec::with_capacity(k);
+        for toks in &token_lists {
+            lens.push(toks.len());
+            let mut row_mask = vec![true; toks.len()];
+            row_mask.resize(t_max, false);
+            mask.push(row_mask);
+            flat_ids.extend_from_slice(toks);
+            flat_ids.extend(std::iter::repeat(pad).take(t_max - toks.len()));
+        }
+
+        // Token + positional embeddings -> [k, T, d].
+        let tok = self.token_emb.forward(t, ps, &flat_ids);
+        let mut x = t.reshape(tok, [k, t_max, self.dim]);
+        if let Some(pe) = &self.pos_emb {
+            let pos_ids: Vec<usize> = (0..k).flat_map(|_| 0..t_max).collect();
+            let pos = pe.forward(t, ps, &pos_ids);
+            let pos = t.reshape(pos, [k, t_max, self.dim]);
+            x = t.add(x, pos);
+        }
+
+        // Sequence encoding -> [k, d].
+        let e_c = match self.kind {
+            EncoderKind::Transformer => {
+                let enc = self.transformer.as_ref().expect("transformer");
+                let h = enc.forward(t, ps, x, Some(&mask));
+                // e_end lives at position len-1 of each chain (Eq. 11/13).
+                let flat = t.reshape(h, [k * t_max, self.dim]);
+                let idx: Vec<usize> = lens
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| i * t_max + l - 1)
+                    .collect();
+                t.select_rows(flat, &idx)
+            }
+            EncoderKind::Lstm => {
+                let lstm = self.lstm.as_ref().expect("lstm");
+                lstm.forward_last(t, ps, x, &lens)
+            }
+            EncoderKind::MeanPool => {
+                // Masked mean of token embeddings ("w/o Chain Encoder").
+                let w: Vec<f32> = mask
+                    .iter()
+                    .flat_map(|row| row.iter().map(|&m| if m { 1.0 } else { 0.0 }))
+                    .collect();
+                let wv = t.constant(Tensor::new([k * t_max], w));
+                let masked = t.scale_rows(x, wv);
+                let summed = t.sum_dim1(masked); // [k, d]
+                let inv: Vec<f32> = lens.iter().map(|&l| 1.0 / l as f32).collect();
+                let invv = t.constant(Tensor::new([k], inv));
+                t.scale_rows(summed, invv)
+            }
+        };
+
+        // Numerical-Aware Affine Transfer (Eq. 14–16).
+        self.affine_transfer(t, ps, e_c, chains, k)
+    }
+
+    fn affine_transfer(
+        &self,
+        t: &mut Tape,
+        ps: &ParamStore,
+        e_c: Var,
+        chains: &[ChainInstance],
+        k: usize,
+    ) -> Var {
+        let (Some(mlp_a), Some(mlp_b)) = (&self.mlp_alpha, &self.mlp_beta) else {
+            return e_c; // ValueEncoding::Disabled
+        };
+        let feats: Vec<f32> = chains
+            .iter()
+            .flat_map(|c| match self.value_encoding {
+                ValueEncoding::FloatBits => float_bits(c.value),
+                ValueEncoding::Log => log_features(c.value),
+                ValueEncoding::Disabled => unreachable!("guarded above"),
+            })
+            .collect();
+        let feat_dim = feats.len() / k;
+        let fv = t.constant(Tensor::new([k, feat_dim], feats));
+        let alpha = mlp_a.forward(t, ps, fv); // [k, d*d]
+        let alpha = t.reshape(alpha, [k, self.dim, self.dim]);
+        let e3 = t.reshape(e_c, [k, 1, self.dim]);
+        // (E_α^T · e_c) computed as the row-vector product e_cᵀ E_α.
+        let rotated = t.bmm(e3, alpha); // [k, 1, d]
+        let rotated = t.reshape(rotated, [k, self.dim]);
+        let beta = mlp_b.forward(t, ps, fv); // [k, d]
+        let affine = t.add(rotated, beta);
+        // Residual keeps the un-transferred representation reachable, which
+        // stabilises early training (the affine net starts near-random).
+        t.add(affine, e_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_chains::RaChain;
+    use cf_kg::{AttributeId, Dir, DirRel, EntityId, RelationId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_instance(hops: usize, value: f64) -> ChainInstance {
+        ChainInstance {
+            chain: RaChain {
+                known_attr: AttributeId(0),
+                rels: (0..hops)
+                    .map(|i| DirRel {
+                        rel: RelationId((i % 2) as u32),
+                        dir: Dir::Forward,
+                    })
+                    .collect(),
+                query_attr: AttributeId(1),
+            },
+            source: EntityId(0),
+            value,
+        }
+    }
+
+    fn build(cfg: &ChainsFormerConfig) -> (ChainEncoder, ParamStore) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamStore::new();
+        let vocab = ChainVocab::new(2, 2);
+        let enc = ChainEncoder::new(&mut ps, cfg, vocab, None, &mut rng);
+        (enc, ps)
+    }
+
+    #[test]
+    fn output_is_one_row_per_chain() {
+        let cfg = ChainsFormerConfig::tiny();
+        let (enc, ps) = build(&cfg);
+        let chains = vec![
+            chain_instance(0, 1.0),
+            chain_instance(2, 5.0),
+            chain_instance(3, -2.0),
+        ];
+        let mut t = Tape::new();
+        let out = enc.forward(&mut t, &ps, &chains);
+        assert_eq!(t.value(out).shape().as_matrix(), (3, cfg.dim));
+        assert!(t.value(out).all_finite());
+    }
+
+    #[test]
+    fn value_changes_representation_when_aware() {
+        let cfg = ChainsFormerConfig::tiny();
+        let (enc, ps) = build(&cfg);
+        let mut t = Tape::new();
+        let a = enc.forward(&mut t, &ps, &[chain_instance(1, 1.0)]);
+        let b = enc.forward(&mut t, &ps, &[chain_instance(1, 1000.0)]);
+        let diff: f32 = t
+            .value(a)
+            .data()
+            .iter()
+            .zip(t.value(b).data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1e-4, "numerical-aware transfer ignored the value");
+    }
+
+    #[test]
+    fn value_ignored_when_disabled() {
+        let cfg = ChainsFormerConfig {
+            value_encoding: ValueEncoding::Disabled,
+            ..ChainsFormerConfig::tiny()
+        };
+        let (enc, ps) = build(&cfg);
+        let mut t = Tape::new();
+        let a = enc.forward(&mut t, &ps, &[chain_instance(1, 1.0)]);
+        let b = enc.forward(&mut t, &ps, &[chain_instance(1, 1000.0)]);
+        assert_eq!(t.value(a).data(), t.value(b).data());
+    }
+
+    #[test]
+    fn padding_does_not_leak_between_chains() {
+        // Encoding a short chain alone or padded next to a longer one must
+        // produce the same representation.
+        let cfg = ChainsFormerConfig::tiny();
+        let (enc, ps) = build(&cfg);
+        let short = chain_instance(0, 2.0);
+        let long = chain_instance(3, 7.0);
+        let mut t1 = Tape::new();
+        let alone = enc.forward(&mut t1, &ps, &[short.clone()]);
+        let mut t2 = Tape::new();
+        let together = enc.forward(&mut t2, &ps, &[short, long]);
+        let a = t1.value(alone).row(0).to_vec();
+        let b = t2.value(together).row(0).to_vec();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4, "padding leaked: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn all_encoder_kinds_run() {
+        for kind in [
+            EncoderKind::Transformer,
+            EncoderKind::Lstm,
+            EncoderKind::MeanPool,
+        ] {
+            let cfg = ChainsFormerConfig {
+                encoder: kind,
+                ..ChainsFormerConfig::tiny()
+            };
+            let (enc, ps) = build(&cfg);
+            let mut t = Tape::new();
+            let out = enc.forward(
+                &mut t,
+                &ps,
+                &[chain_instance(1, 3.0), chain_instance(2, 4.0)],
+            );
+            assert_eq!(t.value(out).shape().as_matrix(), (2, cfg.dim));
+            assert!(
+                t.value(out).all_finite(),
+                "{kind:?} produced non-finite output"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_reach_token_embeddings() {
+        let cfg = ChainsFormerConfig::tiny();
+        let (enc, ps) = build(&cfg);
+        let mut t = Tape::new();
+        let out = enc.forward(&mut t, &ps, &[chain_instance(2, 3.0)]);
+        let loss = t.mean_all(out);
+        let grads = t.backward(loss, ps.len());
+        assert!(grads.param_grad(enc.token_emb.table).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let cfg = ChainsFormerConfig::tiny();
+        let (enc, ps) = build(&cfg);
+        let mut t = Tape::new();
+        enc.forward(&mut t, &ps, &[]);
+    }
+}

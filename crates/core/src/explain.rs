@@ -1,0 +1,245 @@
+//! Transparency tooling: key RA-Chain extraction (Table V), the query-level
+//! case study (Figure 5) and the filter-effect histograms (Figure 6).
+
+use crate::model::ChainsFormer;
+use cf_chains::{Query, RaChain};
+use cf_kg::{AttributeId, KnowledgeGraph, NumTriple};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A key RA-Chain for an attribute with its accumulated importance.
+#[derive(Clone, Debug)]
+pub struct KeyChain {
+    /// The chain pattern.
+    pub chain: RaChain,
+    /// Sum of Treeformer weights this chain received across queries.
+    pub total_weight: f64,
+    /// Number of queries in which the chain appeared.
+    pub occurrences: usize,
+}
+
+/// Statistically extracts the highest-weight RA-Chains per attribute
+/// (Table V): runs the model over `queries` and aggregates chain weights.
+pub fn key_chains_per_attribute(
+    model: &ChainsFormer,
+    graph: &KnowledgeGraph,
+    queries: &[NumTriple],
+    top_n: usize,
+    rng: &mut impl Rng,
+) -> HashMap<AttributeId, Vec<KeyChain>> {
+    let mut acc: HashMap<AttributeId, HashMap<RaChain, (f64, usize)>> = HashMap::new();
+    for t in queries {
+        let q = Query {
+            entity: t.entity,
+            attr: t.attr,
+        };
+        let detail = model.predict(graph, q, rng);
+        let per_attr = acc.entry(t.attr).or_default();
+        for c in detail.chains {
+            let slot = per_attr.entry(c.chain).or_insert((0.0, 0));
+            slot.0 += c.weight as f64;
+            slot.1 += 1;
+        }
+    }
+    acc.into_iter()
+        .map(|(attr, chains)| {
+            let mut ranked: Vec<KeyChain> = chains
+                .into_iter()
+                .map(|(chain, (total_weight, occurrences))| KeyChain {
+                    chain,
+                    total_weight,
+                    occurrences,
+                })
+                .collect();
+            ranked.sort_by(|a, b| b.total_weight.partial_cmp(&a.total_weight).expect("finite"));
+            ranked.truncate(top_n);
+            (attr, ranked)
+        })
+        .collect()
+}
+
+/// The Figure-5 funnel for one query: candidate population at each stage
+/// plus the top chains and their weights.
+#[derive(Clone, Debug)]
+pub struct CaseStudy {
+    /// The analysed query.
+    pub query: Query,
+    /// Estimated total chains in the graph for this query (capped count).
+    pub total_chains: u64,
+    /// Chains retrieved into the ToC.
+    pub retrieved: usize,
+    /// Chains surviving the filter.
+    pub filtered: usize,
+    /// The model's final prediction.
+    pub prediction: f64,
+    /// Ground truth, when known.
+    pub truth: Option<f64>,
+    /// `(rendered chain, n_p, weight)`, sorted by weight descending.
+    pub top_chains: Vec<(String, f64, f32)>,
+    /// Combined weight of the top 4 chains (the paper reports > 80%).
+    pub top4_weight: f32,
+}
+
+/// Runs the Figure-5 style walk-through for one query.
+pub fn case_study(
+    model: &ChainsFormer,
+    graph: &KnowledgeGraph,
+    query: Query,
+    truth: Option<f64>,
+    rng: &mut impl Rng,
+) -> CaseStudy {
+    let total_chains =
+        cf_chains::exact_chain_count(graph, query.entity, model.cfg.setting.max_hops, 10_000_000);
+    let detail = model.predict(graph, query, rng);
+    let mut ranked: Vec<(String, f64, f32)> = detail
+        .chains
+        .iter()
+        .map(|c| (c.chain.render(graph), c.known_value, c.weight))
+        .collect();
+    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+    let top4_weight = ranked.iter().take(4).map(|r| r.2).sum();
+    CaseStudy {
+        query,
+        total_chains,
+        retrieved: detail.retrieved,
+        filtered: detail.chains.len(),
+        prediction: detail.value,
+        truth,
+        top_chains: ranked.into_iter().take(8).collect(),
+        top4_weight,
+    }
+}
+
+/// Figure 6: fraction of ToC chains per known attribute, before and after
+/// the filter, averaged over queries of a given attribute.
+#[derive(Clone, Debug)]
+pub struct FilterEffect {
+    /// The attribute whose queries were analysed.
+    pub query_attr: AttributeId,
+    /// attribute id → share before filtering.
+    pub before: HashMap<u32, f64>,
+    /// attribute id → share after filtering.
+    pub after: HashMap<u32, f64>,
+}
+
+/// Measures the attribute mix entering and leaving the filter.
+pub fn filter_effect(
+    model: &ChainsFormer,
+    graph: &KnowledgeGraph,
+    queries: &[NumTriple],
+    rng: &mut impl Rng,
+) -> Vec<FilterEffect> {
+    let mut per_attr: HashMap<u32, (HashMap<u32, f64>, HashMap<u32, f64>, usize)> = HashMap::new();
+    for t in queries {
+        let q = Query {
+            entity: t.entity,
+            attr: t.attr,
+        };
+        let toc = cf_chains::retrieve(graph, q, &model.cfg.retrieval(), rng);
+        if toc.is_empty() {
+            continue;
+        }
+        let selected = model.filter().select_top_k(&toc, model.cfg.top_k, rng);
+        let entry = per_attr.entry(t.attr.0).or_default();
+        let total_before = toc.len() as f64;
+        for c in &toc.chains {
+            *entry.0.entry(c.chain.known_attr.0).or_default() += 1.0 / total_before;
+        }
+        let total_after = selected.len().max(1) as f64;
+        for c in &selected.chains {
+            *entry.1.entry(c.chain.known_attr.0).or_default() += 1.0 / total_after;
+        }
+        entry.2 += 1;
+    }
+    per_attr
+        .into_iter()
+        .map(|(attr, (mut before, mut after, n))| {
+            let n = n.max(1) as f64;
+            for v in before.values_mut() {
+                *v /= n;
+            }
+            for v in after.values_mut() {
+                *v /= n;
+            }
+            FilterEffect {
+                query_attr: AttributeId(attr),
+                before,
+                after,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChainsFormerConfig;
+    use crate::train::Trainer;
+    use cf_kg::synth::{yago15k_sim, SynthScale};
+    use cf_kg::Split;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained() -> (ChainsFormer, KnowledgeGraph, Split, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let cfg = ChainsFormerConfig {
+            epochs: 2,
+            ..ChainsFormerConfig::tiny()
+        };
+        let mut model = ChainsFormer::new(&visible, &split.train, cfg, &mut rng);
+        Trainer::new(&mut model, &visible).train(&split, &mut rng);
+        (model, visible, split, rng)
+    }
+
+    #[test]
+    fn key_chains_are_ranked_by_weight() {
+        let (model, visible, split, mut rng) = trained();
+        let keys = key_chains_per_attribute(&model, &visible, &split.test, 3, &mut rng);
+        for ranked in keys.values() {
+            assert!(ranked.len() <= 3);
+            for w in ranked.windows(2) {
+                assert!(w[0].total_weight >= w[1].total_weight);
+            }
+        }
+    }
+
+    #[test]
+    fn case_study_funnel_shrinks() {
+        let (model, visible, split, mut rng) = trained();
+        let t = split
+            .test
+            .iter()
+            .find(|t| visible.degree(t.entity) > 0)
+            .copied()
+            .unwrap();
+        let cs = case_study(
+            &model,
+            &visible,
+            Query {
+                entity: t.entity,
+                attr: t.attr,
+            },
+            Some(t.value),
+            &mut rng,
+        );
+        assert!(cs.filtered <= cs.retrieved);
+        assert!(cs.total_chains >= cs.retrieved as u64 || cs.retrieved == 0 || cs.total_chains > 0);
+        assert!(cs.prediction.is_finite());
+        assert!(cs.top4_weight >= 0.0 && cs.top4_weight <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn filter_effect_shares_are_distributions() {
+        let (model, visible, split, mut rng) = trained();
+        let effects = filter_effect(&model, &visible, &split.test, &mut rng);
+        for e in effects {
+            let before: f64 = e.before.values().sum();
+            let after: f64 = e.after.values().sum();
+            assert!((before - 1.0).abs() < 1e-6, "before shares sum to {before}");
+            assert!((after - 1.0).abs() < 1e-6, "after shares sum to {after}");
+        }
+    }
+}

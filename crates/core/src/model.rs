@@ -1,0 +1,342 @@
+//! The assembled ChainsFormer model: Query Retrieval → Hyperbolic Filter →
+//! Chain Encoder → Numerical Reasoner (Figure 3).
+
+use crate::config::ChainsFormerConfig;
+use crate::encoder::ChainEncoder;
+use crate::filter::ChainFilter;
+use crate::quality::ChainQualityTracker;
+use crate::reasoner::{NumericalReasoner, ReasonerOutput};
+use cf_chains::{retrieve, ChainInstance, ChainVocab, Query, RaChain, TreeOfChains};
+use cf_kg::{KnowledgeGraph, MinMaxNormalizer, NumTriple};
+use cf_tensor::{ParamStore, Tape, Var};
+use rand::Rng;
+
+/// One explained evidence chain in a prediction.
+#[derive(Clone, Debug)]
+pub struct ExplainedChain {
+    /// The chain pattern.
+    pub chain: RaChain,
+    /// Entity carrying the known value (`v_p`).
+    pub source: cf_kg::EntityId,
+    /// The known value `n_p`.
+    pub known_value: f64,
+    /// Importance score `ω` from the Treeformer.
+    pub weight: f32,
+    /// This chain's own prediction `n̂_{p_i}`.
+    pub prediction: f32,
+}
+
+/// A prediction with its reasoning trace (for Table V / Figure 5 analyses).
+#[derive(Clone, Debug)]
+pub struct PredictionDetail {
+    /// The answered query.
+    pub query: Query,
+    /// The predicted value `n̂_q` (raw units).
+    pub value: f64,
+    /// True when no chains were retrievable and the train-mean fallback was
+    /// used.
+    pub used_fallback: bool,
+    /// ToC size before filtering.
+    pub retrieved: usize,
+    /// Evidence chains with weights and per-chain predictions.
+    pub chains: Vec<ExplainedChain>,
+}
+
+/// The ChainsFormer model. Construction pre-trains (and freezes) the filter
+/// embeddings; the encoder/reasoner parameters live in [`Self::params`] and
+/// are trained by [`crate::train::Trainer`].
+pub struct ChainsFormer {
+    /// The configuration the model was built with.
+    pub cfg: ChainsFormerConfig,
+    /// Learnable parameters (encoder + reasoner).
+    pub params: ParamStore,
+    filter: ChainFilter,
+    encoder: ChainEncoder,
+    reasoner: NumericalReasoner,
+    vocab: ChainVocab,
+    norm: MinMaxNormalizer,
+    /// Per-attribute training mean, the fallback for evidence-free queries.
+    fallback: Vec<f64>,
+    /// Chain-quality prior (populated by the trainer when
+    /// `cfg.chain_quality` is on; see [`crate::quality`]).
+    pub quality: Option<ChainQualityTracker>,
+}
+
+impl ChainsFormer {
+    /// Builds the model against a *visible* graph (evaluation answers
+    /// already hidden) and the training triples (for normalization ranges
+    /// and fallback means).
+    pub fn new(
+        visible: &KnowledgeGraph,
+        train: &[NumTriple],
+        cfg: ChainsFormerConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        cfg.validate().expect("invalid configuration");
+        let vocab = ChainVocab::for_graph(visible);
+        let filter = ChainFilter::fit(
+            visible,
+            cfg.filter_space,
+            cfg.filter_dim,
+            cfg.lambda,
+            cfg.filter_epochs,
+            rng,
+        );
+        let mut params = ParamStore::new();
+        let encoder = ChainEncoder::new(&mut params, &cfg, vocab, Some(&filter), rng);
+        let reasoner = NumericalReasoner::new(&mut params, &cfg, rng);
+        let norm = MinMaxNormalizer::fit(visible.num_attributes(), train);
+        let mut sums = vec![(0.0f64, 0usize); visible.num_attributes()];
+        for t in train {
+            let s = &mut sums[t.attr.0 as usize];
+            s.0 += t.value;
+            s.1 += 1;
+        }
+        let fallback = sums
+            .iter()
+            .map(|&(s, n)| if n > 0 { s / n as f64 } else { 0.0 })
+            .collect();
+        ChainsFormer {
+            cfg,
+            params,
+            filter,
+            encoder,
+            reasoner,
+            vocab,
+            norm,
+            fallback,
+            quality: None,
+        }
+    }
+
+    /// The chain token vocabulary.
+    pub fn vocab(&self) -> &ChainVocab {
+        &self.vocab
+    }
+
+    /// Min-max normalizer fitted on the training triples.
+    pub fn normalizer(&self) -> &MinMaxNormalizer {
+        &self.norm
+    }
+
+    /// The (frozen) chain filter.
+    pub fn filter(&self) -> &ChainFilter {
+        &self.filter
+    }
+
+    /// Retrieval + setting restriction + filter: produces the Enhanced ToC
+    /// `T_q^k` for a query.
+    pub fn gather_chains(
+        &self,
+        graph: &KnowledgeGraph,
+        query: Query,
+        rng: &mut impl Rng,
+    ) -> (TreeOfChains, usize) {
+        let mut toc = retrieve(graph, query, &self.cfg.retrieval(), rng);
+        let retrieved = toc.len();
+        if !self.cfg.setting.multi_attribute {
+            toc.chains.retain(|c| c.chain.known_attr == query.attr);
+        }
+        let mut selected = self.filter.select_top_k(&toc, self.cfg.top_k, rng);
+        if self.cfg.chain_quality {
+            if let Some(q) = &self.quality {
+                selected.chains = q.prune(selected.chains, self.cfg.quality_prune_factor);
+            }
+        }
+        (selected, retrieved)
+    }
+
+    /// Records the forward pass for one query's chains onto `tape`.
+    /// The prediction var is in raw attribute units.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        chains: &[ChainInstance],
+        query: Query,
+    ) -> ReasonerOutput {
+        let e_tilde = self.encoder.forward(tape, &self.params, chains);
+        self.reasoner
+            .forward(tape, &self.params, e_tilde, chains, &self.norm, query.attr)
+    }
+
+    /// Normalizes a raw-unit prediction var to the query attribute's [0, 1]
+    /// training scale (Eq. 23) on the tape.
+    pub fn normalize_on_tape(&self, tape: &mut Tape, pred: Var, query: Query) -> Var {
+        let min = self.norm.min(query.attr) as f32;
+        let range = self.norm.range(query.attr) as f32;
+        let shifted = tape.add_scalar(pred, -min);
+        tape.mul_scalar(shifted, 1.0 / range)
+    }
+
+    /// The train-mean fallback for a query attribute.
+    pub fn fallback_value(&self, query: Query) -> f64 {
+        self.fallback[query.attr.0 as usize]
+    }
+
+    /// Saves the trained parameters to `path` (see
+    /// [`cf_tensor::serialize`]). The architecture itself is reconstructed
+    /// from configuration — rebuild the model with the same config, graph
+    /// and seed, then [`Self::load_params_from`].
+    pub fn save_params_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        cf_tensor::save_params(&self.params, std::io::BufWriter::new(f))
+    }
+
+    /// Loads parameters saved by [`Self::save_params_to`] into this model.
+    /// Fails (without corrupting the model) on any name/shape mismatch.
+    pub fn load_params_from(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), cf_tensor::CheckpointError> {
+        let f = std::fs::File::open(path).map_err(cf_tensor::CheckpointError::Io)?;
+        cf_tensor::load_params(&mut self.params, std::io::BufReader::new(f))
+    }
+
+    /// Full inference for one query, with the reasoning trace.
+    pub fn predict(
+        &self,
+        graph: &KnowledgeGraph,
+        query: Query,
+        rng: &mut impl Rng,
+    ) -> PredictionDetail {
+        let (toc, retrieved) = self.gather_chains(graph, query, rng);
+        if toc.is_empty() {
+            return PredictionDetail {
+                query,
+                value: self.fallback_value(query),
+                used_fallback: true,
+                retrieved,
+                chains: Vec::new(),
+            };
+        }
+        let mut tape = Tape::new();
+        let out = self.forward(&mut tape, &toc.chains, query);
+        let value = tape.value(out.prediction).item() as f64;
+        let chains = toc
+            .chains
+            .iter()
+            .zip(out.weights.iter().zip(&out.chain_predictions))
+            .map(|(ci, (&weight, &prediction))| ExplainedChain {
+                chain: ci.chain.clone(),
+                source: ci.source,
+                known_value: ci.value,
+                weight,
+                prediction,
+            })
+            .collect();
+        PredictionDetail {
+            query,
+            value,
+            used_fallback: false,
+            retrieved,
+            chains,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_kg::synth::{yago15k_sim, SynthScale};
+    use cf_kg::Split;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (KnowledgeGraph, Split, ChainsFormer, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let model = ChainsFormer::new(&visible, &split.train, ChainsFormerConfig::tiny(), &mut rng);
+        (visible, split, model, rng)
+    }
+
+    #[test]
+    fn predict_returns_finite_value_with_trace() {
+        let (visible, split, model, mut rng) = setup();
+        let q = Query {
+            entity: split.test[0].entity,
+            attr: split.test[0].attr,
+        };
+        let detail = model.predict(&visible, q, &mut rng);
+        assert!(detail.value.is_finite());
+        if !detail.used_fallback {
+            let wsum: f32 = detail.chains.iter().map(|c| c.weight).sum();
+            assert!((wsum - 1.0).abs() < 1e-4, "weights sum to {wsum}");
+        }
+    }
+
+    #[test]
+    fn fallback_used_for_isolated_entity() {
+        let (_, split, model, mut rng) = setup();
+        // Build a graph with an isolated entity carrying the same vocab.
+        let mut g2 = KnowledgeGraph::new();
+        for _ in 0..1 {
+            g2.add_entity("iso");
+        }
+        // Vocabulary must match the model's graph; reuse attribute count by
+        // adding the same number of attribute types.
+        for i in 0..7 {
+            g2.add_attribute_type(format!("a{i}"));
+        }
+        g2.build_index();
+        let q = Query {
+            entity: cf_kg::EntityId(0),
+            attr: split.test[0].attr,
+        };
+        let detail = model.predict(&g2, q, &mut rng);
+        assert!(detail.used_fallback);
+        assert_eq!(detail.value, model.fallback_value(q));
+    }
+
+    #[test]
+    fn gather_respects_top_k() {
+        let (visible, split, model, mut rng) = setup();
+        let q = Query {
+            entity: split.train[0].entity,
+            attr: split.train[0].attr,
+        };
+        let (toc, _) = model.gather_chains(&visible, q, &mut rng);
+        assert!(toc.len() <= model.cfg.top_k);
+    }
+
+    #[test]
+    fn single_attribute_setting_filters_chains() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let cfg = ChainsFormerConfig {
+            setting: crate::config::ReasoningSetting {
+                max_hops: 3,
+                multi_attribute: false,
+            },
+            ..ChainsFormerConfig::tiny()
+        };
+        let model = ChainsFormer::new(&visible, &split.train, cfg, &mut rng);
+        for t in split.train.iter().take(10) {
+            let q = Query {
+                entity: t.entity,
+                attr: t.attr,
+            };
+            let (toc, _) = model.gather_chains(&visible, q, &mut rng);
+            for c in &toc.chains {
+                assert_eq!(c.chain.known_attr, q.attr);
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_on_tape_matches_normalizer() {
+        let (_, split, model, _) = setup();
+        let q = Query {
+            entity: split.train[0].entity,
+            attr: split.train[0].attr,
+        };
+        let mut tape = Tape::new();
+        let raw = tape.scalar(1234.5);
+        let normed = model.normalize_on_tape(&mut tape, raw, q);
+        let expect = model.normalizer().normalize(q.attr, 1234.5);
+        assert!((tape.value(normed).item() as f64 - expect).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,227 @@
+//! Chain quality evaluation — the paper's stated future work ("we will
+//! introduce a chain quality evaluation mechanism to address low-quality
+//! RA-Chains", §VI), implemented as an extension.
+//!
+//! During training we observe, for every RA-Chain pattern, how far its
+//! per-chain prediction landed from the truth (in normalized units). An
+//! exponential moving average of that error is a *quality prior* over chain
+//! patterns; at inference, chains whose pattern has a reliably bad history
+//! are pruned from the Enhanced ToC before encoding.
+
+use cf_chains::{ChainInstance, RaChain};
+use std::collections::HashMap;
+
+/// Running quality statistics for one RA-Chain pattern.
+#[derive(Copy, Clone, Debug)]
+pub struct QualityStat {
+    /// EMA of the normalized absolute prediction error of this pattern.
+    pub ema_abs_err: f64,
+    /// Number of observations behind the EMA.
+    pub count: usize,
+}
+
+/// Tracks per-pattern prediction quality across training.
+#[derive(Clone, Debug)]
+pub struct ChainQualityTracker {
+    stats: HashMap<RaChain, QualityStat>,
+    /// EMA decay: `ema ← (1-α)·ema + α·err`.
+    alpha: f64,
+    /// Patterns with fewer observations than this are never pruned.
+    min_count: usize,
+}
+
+impl Default for ChainQualityTracker {
+    fn default() -> Self {
+        ChainQualityTracker {
+            stats: HashMap::new(),
+            alpha: 0.2,
+            min_count: 3,
+        }
+    }
+}
+
+impl ChainQualityTracker {
+    /// A tracker with the given EMA decay and pruning threshold count.
+    pub fn new(alpha: f64, min_count: usize) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        ChainQualityTracker {
+            stats: HashMap::new(),
+            alpha,
+            min_count,
+        }
+    }
+
+    /// Records one observation: the chain pattern produced a per-chain
+    /// prediction with the given normalized absolute error.
+    pub fn record(&mut self, chain: &RaChain, normalized_abs_err: f64) {
+        if !normalized_abs_err.is_finite() {
+            return;
+        }
+        match self.stats.get_mut(chain) {
+            Some(s) => {
+                s.ema_abs_err =
+                    (1.0 - self.alpha) * s.ema_abs_err + self.alpha * normalized_abs_err;
+                s.count += 1;
+            }
+            None => {
+                self.stats.insert(
+                    chain.clone(),
+                    QualityStat {
+                        ema_abs_err: normalized_abs_err,
+                        count: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The tracked quality of a pattern, if observed often enough.
+    pub fn stat(&self, chain: &RaChain) -> Option<QualityStat> {
+        self.stats.get(chain).copied()
+    }
+
+    /// Number of tracked patterns.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// True when no patterns have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Prunes reliably low-quality chains from a candidate set: a chain is
+    /// dropped when its pattern has ≥ `min_count` observations and an EMA
+    /// error worse than `factor ×` the median EMA among the candidates.
+    /// At least a quarter of the candidates (and at least one) survive.
+    pub fn prune(&self, chains: Vec<ChainInstance>, factor: f64) -> Vec<ChainInstance> {
+        if chains.len() <= 1 {
+            return chains;
+        }
+        let mut emas: Vec<f64> = chains
+            .iter()
+            .filter_map(|c| self.stats.get(&c.chain))
+            .filter(|s| s.count >= self.min_count)
+            .map(|s| s.ema_abs_err)
+            .collect();
+        if emas.len() < 2 {
+            return chains; // not enough history to judge anything
+        }
+        emas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = emas[emas.len() / 2];
+        let threshold = factor * median.max(1e-6);
+        let keep_at_least = (chains.len() / 4).max(1);
+        let mut kept: Vec<ChainInstance> = Vec::with_capacity(chains.len());
+        let mut dropped: Vec<(f64, ChainInstance)> = Vec::new();
+        for c in chains {
+            match self.stats.get(&c.chain) {
+                Some(s) if s.count >= self.min_count && s.ema_abs_err > threshold => {
+                    dropped.push((s.ema_abs_err, c));
+                }
+                _ => kept.push(c),
+            }
+        }
+        // Backfill from the least-bad dropped chains if pruning went too far.
+        if kept.len() < keep_at_least {
+            dropped.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            for (_, c) in dropped.into_iter().take(keep_at_least - kept.len()) {
+                kept.push(c);
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_kg::{AttributeId, Dir, DirRel, EntityId, RelationId};
+
+    fn chain(rel: u32) -> RaChain {
+        RaChain {
+            known_attr: AttributeId(0),
+            rels: vec![DirRel {
+                rel: RelationId(rel),
+                dir: Dir::Forward,
+            }],
+            query_attr: AttributeId(0),
+        }
+    }
+
+    fn inst(rel: u32) -> ChainInstance {
+        ChainInstance {
+            chain: chain(rel),
+            source: EntityId(0),
+            value: 1.0,
+        }
+    }
+
+    #[test]
+    fn ema_moves_toward_recent_errors() {
+        let mut t = ChainQualityTracker::new(0.5, 1);
+        t.record(&chain(0), 1.0);
+        t.record(&chain(0), 0.0);
+        let s = t.stat(&chain(0)).unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.ema_abs_err - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prune_drops_reliably_bad_patterns() {
+        let mut t = ChainQualityTracker::new(0.5, 3);
+        for _ in 0..5 {
+            t.record(&chain(0), 0.01); // good pattern
+            t.record(&chain(1), 0.9); // bad pattern
+        }
+        let survivors = t.prune(vec![inst(0), inst(0), inst(0), inst(1)], 2.0);
+        assert!(
+            survivors.iter().all(|c| c.chain == chain(0)),
+            "bad chain survived"
+        );
+        assert_eq!(survivors.len(), 3);
+    }
+
+    #[test]
+    fn under_observed_patterns_are_never_pruned() {
+        let mut t = ChainQualityTracker::new(0.5, 10);
+        for _ in 0..5 {
+            t.record(&chain(0), 0.01);
+            t.record(&chain(1), 0.9);
+        }
+        // counts (5) below min_count (10): nothing qualifies for judgement.
+        let survivors = t.prune(vec![inst(0), inst(1)], 2.0);
+        assert_eq!(survivors.len(), 2);
+    }
+
+    #[test]
+    fn prune_keeps_at_least_a_quarter() {
+        let mut t = ChainQualityTracker::new(0.5, 1);
+        t.record(&chain(0), 0.001);
+        for r in 1..8 {
+            for _ in 0..3 {
+                t.record(&chain(r), 10.0);
+            }
+        }
+        // One good observation sets a tiny median-scaled threshold... but
+        // backfill must still keep >= 2 of 8.
+        let cands: Vec<ChainInstance> = (0..8).map(inst).collect();
+        let survivors = t.prune(cands, 2.0);
+        assert!(survivors.len() >= 2, "kept only {}", survivors.len());
+    }
+
+    #[test]
+    fn non_finite_errors_are_ignored() {
+        let mut t = ChainQualityTracker::default();
+        t.record(&chain(0), f64::NAN);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_candidate_is_untouched() {
+        let mut t = ChainQualityTracker::new(0.5, 1);
+        for _ in 0..5 {
+            t.record(&chain(0), 100.0);
+        }
+        assert_eq!(t.prune(vec![inst(0)], 2.0).len(), 1);
+    }
+}

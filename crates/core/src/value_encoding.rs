@@ -1,0 +1,83 @@
+//! Numerical value encodings for the Numerical-Aware Affine Transfer
+//! (Eq. 14 and the "by Log" ablation).
+
+/// Width of the bit-stream encoding (`f_n : R -> R^64`).
+pub const FLOAT_BITS: usize = 64;
+
+/// Width of the log-magnitude encoding.
+pub const LOG_FEATURES: usize = 4;
+
+/// Eq. 14: maps a value to the 0/1 bit-stream of its IEEE-754 Float64
+/// representation (sign, exponent, mantissa — a machine-friendly
+/// scientific notation, per the paper's NLP-number-encoding inspiration).
+pub fn float_bits(value: f64) -> Vec<f32> {
+    let bits = value.to_bits();
+    (0..FLOAT_BITS)
+        .map(|i| ((bits >> (FLOAT_BITS - 1 - i)) & 1) as f32)
+        .collect()
+}
+
+/// Ablation variant: `[sign, log1p(|v|), fractional part of log10|v|,
+/// 1/(1+|v|)]` — a compact magnitude descriptor.
+pub fn log_features(value: f64) -> Vec<f32> {
+    let mag = value.abs();
+    let log10 = if mag > 0.0 { mag.log10() } else { 0.0 };
+    vec![
+        value.signum() as f32,
+        (mag.ln_1p() / 25.0) as f32, // ~unit scale up to e^25
+        (log10 - log10.floor()) as f32,
+        (1.0 / (1.0 + mag)) as f32,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_bits_has_64_binary_entries() {
+        for v in [0.0, 1.0, -1.5, 3.1e9, f64::MIN_POSITIVE] {
+            let bits = float_bits(v);
+            assert_eq!(bits.len(), 64);
+            assert!(bits.iter().all(|&b| b == 0.0 || b == 1.0));
+        }
+    }
+
+    #[test]
+    fn float_bits_is_injective_on_distinct_values() {
+        assert_ne!(float_bits(1.0), float_bits(2.0));
+        assert_ne!(float_bits(1.0), float_bits(-1.0));
+        assert_ne!(float_bits(0.1), float_bits(0.1000001));
+    }
+
+    #[test]
+    fn sign_bit_is_first() {
+        assert_eq!(float_bits(-1.0)[0], 1.0);
+        assert_eq!(float_bits(1.0)[0], 0.0);
+    }
+
+    #[test]
+    fn zero_encodes_to_zeros() {
+        assert!(float_bits(0.0).iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn log_features_shape_and_sign() {
+        let f = log_features(-100.0);
+        assert_eq!(f.len(), LOG_FEATURES);
+        assert_eq!(f[0], -1.0);
+        assert!(log_features(1e9)[1] > log_features(10.0)[1]);
+    }
+
+    #[test]
+    fn log_features_are_bounded() {
+        for v in [-3.1e9, -1.0, 0.0, 1e-9, 2014.0, 3.1e9] {
+            for f in log_features(v) {
+                assert!(
+                    f.is_finite() && f.abs() <= 1.5,
+                    "unbounded feature {f} for {v}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Trainable Poincaré embeddings with negative-sampling Riemannian SGD
+//! (Nickel & Kiela style), used to pre-train the Hyperbolic Filter's
+//! relation/attribute table.
+
+use crate::ball::PoincareBall;
+use crate::grad::{distance_grad_x, rsgd_step};
+use rand::Rng;
+
+/// A table of points on the Poincaré ball, trained so that co-occurring
+/// items sit close together.
+#[derive(Clone, Debug)]
+pub struct PoincareEmbeddings {
+    ball: PoincareBall,
+    dim: usize,
+    points: Vec<Vec<f64>>,
+}
+
+impl PoincareEmbeddings {
+    /// Initializes `n` points uniformly in a tiny ball around the origin
+    /// (the customary Poincaré-embedding init).
+    pub fn new(n: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        let points = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1e-3..1e-3)).collect())
+            .collect();
+        PoincareEmbeddings {
+            ball: PoincareBall::default(),
+            dim,
+            points,
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality of the points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The underlying Poincaré ball.
+    pub fn ball(&self) -> &PoincareBall {
+        &self.ball
+    }
+
+    /// Borrow of point `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i]
+    }
+
+    /// Hyperbolic distance between stored points.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.ball.distance_arcosh(&self.points[i], &self.points[j])
+    }
+
+    /// One epoch of negative-sampling training over positive pairs.
+    ///
+    /// For each pair `(u, v)` we sample `negatives` uniform corruption
+    /// targets and minimize `-log softmax(-d(u, v))` over the candidate set,
+    /// taking Riemannian SGD steps on every involved point. Returns the mean
+    /// loss.
+    pub fn train_epoch(
+        &mut self,
+        pairs: &[(usize, usize)],
+        negatives: usize,
+        lr: f64,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        assert!(!self.points.is_empty());
+        let mut total = 0.0;
+        for &(u, v) in pairs {
+            // Candidate list: the positive then the negatives.
+            let mut cands = Vec::with_capacity(negatives + 1);
+            cands.push(v);
+            for _ in 0..negatives {
+                let mut n = rng.gen_range(0..self.points.len());
+                if n == v {
+                    n = (n + 1) % self.points.len();
+                }
+                cands.push(n);
+            }
+            let dists: Vec<f64> = cands
+                .iter()
+                .map(|&c| self.ball.distance_arcosh(&self.points[u], &self.points[c]))
+                .collect();
+            // softmax over scores s_j = -d_j, stabilized.
+            let smax = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+            let exps: Vec<f64> = dists.iter().map(|&d| (-(d - smax)).exp()).collect();
+            let z: f64 = exps.iter().sum();
+            let probs: Vec<f64> = exps.iter().map(|&e| e / z).collect();
+            total += -(probs[0].max(1e-12)).ln();
+
+            // dL/dd_j = δ_{j,pos} − p_j   (descent pulls the positive pair
+            // together and pushes negatives apart).
+            let mut grad_u = vec![0.0; self.dim];
+            for (j, &cand) in cands.iter().enumerate() {
+                let coef = if j == 0 { 1.0 - probs[j] } else { -probs[j] };
+                if coef.abs() < 1e-12 {
+                    continue;
+                }
+                let gu = distance_grad_x(&self.points[u], &self.points[cand]);
+                for (acc, g) in grad_u.iter_mut().zip(&gu) {
+                    *acc += coef * g;
+                }
+                let gv = distance_grad_x(&self.points[cand], &self.points[u]);
+                let scaled: Vec<f64> = gv.iter().map(|&g| coef * g).collect();
+                rsgd_step(&self.ball, &mut self.points[cand], &scaled, lr);
+            }
+            rsgd_step(&self.ball, &mut self.points[u], &grad_u, lr);
+        }
+        total / pairs.len().max(1) as f64
+    }
+
+    /// Trains with the usual burn-in schedule (reduced lr for the first
+    /// tenth of the epochs). Returns the final-epoch mean loss.
+    pub fn train(
+        &mut self,
+        pairs: &[(usize, usize)],
+        epochs: usize,
+        negatives: usize,
+        lr: f64,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let burn_in = (epochs / 10).max(1);
+        let mut last = f64::INFINITY;
+        for epoch in 0..epochs {
+            let eff_lr = if epoch < burn_in { lr / 10.0 } else { lr };
+            last = self.train_epoch(pairs, negatives, eff_lr, rng);
+        }
+        last
+    }
+
+    /// Log-map of point `i` to the tangent space at the origin, narrowed to
+    /// `f32` for the neural stack (Eq. 12).
+    pub fn log0_f32(&self, i: usize) -> Vec<f32> {
+        self.ball
+            .log0(&self.points[i])
+            .into_iter()
+            .map(|x| x as f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn init_points_are_near_origin_and_inside() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = PoincareEmbeddings::new(10, 4, &mut rng);
+        for i in 0..10 {
+            assert!(e.ball().contains(e.point(i)));
+            assert!(e.point(i).iter().all(|&x| x.abs() < 1e-3));
+        }
+    }
+
+    #[test]
+    fn training_separates_two_clusters() {
+        // Items 0-4 co-occur, items 5-9 co-occur; after training,
+        // intra-cluster distances should undercut inter-cluster ones.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut e = PoincareEmbeddings::new(10, 4, &mut rng);
+        let mut pairs = Vec::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                if a != b {
+                    pairs.push((a, b));
+                    pairs.push((a + 5, b + 5));
+                }
+            }
+        }
+        e.train(&pairs, 40, 3, 0.1, &mut rng);
+        let intra = e.distance(0, 1) + e.distance(5, 6);
+        let inter = e.distance(0, 5) + e.distance(1, 6);
+        assert!(
+            inter > 1.5 * intra,
+            "clusters not separated: intra {intra:.3} inter {inter:.3}"
+        );
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut e = PoincareEmbeddings::new(8, 3, &mut rng);
+        let pairs: Vec<(usize, usize)> = (0..4)
+            .flat_map(|a| (0..4).filter(move |&b| b != a).map(move |b| (a, b)))
+            .collect();
+        let first = e.train_epoch(&pairs, 2, 0.01, &mut rng);
+        for _ in 0..30 {
+            e.train_epoch(&pairs, 2, 0.05, &mut rng);
+        }
+        let last = e.train_epoch(&pairs, 2, 0.01, &mut rng);
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn points_stay_in_ball_under_aggressive_lr() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut e = PoincareEmbeddings::new(6, 2, &mut rng);
+        let pairs = vec![(0, 1), (2, 3), (4, 5)];
+        e.train(&pairs, 50, 4, 1.0, &mut rng);
+        for i in 0..6 {
+            assert!(e.ball().contains(e.point(i)), "point {i} escaped");
+        }
+    }
+
+    #[test]
+    fn log0_narrowing_round_trips_direction() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = PoincareEmbeddings::new(3, 3, &mut rng);
+        let v = e.log0_f32(0);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

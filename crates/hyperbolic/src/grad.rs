@@ -1,0 +1,115 @@
+//! Analytic gradient of the Poincaré distance (c = 1), after Nickel & Kiela
+//! (2017), used by Riemannian SGD in [`crate::embedding`].
+
+use crate::ball::{dot, PoincareBall};
+
+/// `∂ d(x, y) / ∂x` for the unit-curvature ball.
+///
+/// Near-coincident points have a singular gradient; we return zero there,
+/// which is the correct subgradient choice for the embedding losses we train
+/// (a positive pair at distance zero is already optimal).
+pub fn distance_grad_x(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let x2 = dot(x, x);
+    let y2 = dot(y, y);
+    let diff2: f64 = x.iter().zip(y).map(|(&a, &b)| (a - b) * (a - b)).sum();
+    if diff2 < 1e-18 {
+        return vec![0.0; x.len()];
+    }
+    let alpha = (1.0 - x2).max(1e-15);
+    let beta = (1.0 - y2).max(1e-15);
+    let gamma = 1.0 + 2.0 * diff2 / (alpha * beta);
+    let denom = (gamma * gamma - 1.0).max(1e-15).sqrt();
+    let coef = 4.0 / (beta * denom);
+    let xy = dot(x, y);
+    let a = (y2 - 2.0 * xy + 1.0) / (alpha * alpha);
+    x.iter()
+        .zip(y)
+        .map(|(&xi, &yi)| coef * (a * xi - yi / alpha))
+        .collect()
+}
+
+/// Converts a Euclidean gradient at `x` to the Riemannian gradient on the
+/// unit ball: scale by `(1 − ‖x‖²)² / 4` (inverse metric tensor).
+pub fn riemannian_rescale(x: &[f64], euclidean_grad: &[f64]) -> Vec<f64> {
+    let factor = ((1.0 - dot(x, x)).max(0.0)).powi(2) / 4.0;
+    euclidean_grad.iter().map(|&g| factor * g).collect()
+}
+
+/// One Riemannian SGD step: rescale, step, project back into the ball.
+pub fn rsgd_step(ball: &PoincareBall, x: &mut [f64], euclidean_grad: &[f64], lr: f64) {
+    let rg = riemannian_rescale(x, euclidean_grad);
+    for (xi, gi) in x.iter_mut().zip(&rg) {
+        *xi -= lr * gi;
+    }
+    ball.project(x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(x: &[f64], y: &[f64], eps: f64) -> Vec<f64> {
+        let ball = PoincareBall::default();
+        (0..x.len())
+            .map(|i| {
+                let mut xp = x.to_vec();
+                xp[i] += eps;
+                let mut xm = x.to_vec();
+                xm[i] -= eps;
+                (ball.distance_arcosh(&xp, y) - ball.distance_arcosh(&xm, y)) / (2.0 * eps)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn analytic_matches_numeric() {
+        let cases = [
+            (vec![0.1, 0.2], vec![-0.3, 0.4]),
+            (vec![0.0, 0.0], vec![0.5, 0.1]),
+            (vec![0.6, -0.5], vec![0.1, 0.1]),
+            (vec![0.05, 0.0, -0.6], vec![0.3, 0.3, 0.3]),
+        ];
+        for (x, y) in cases {
+            let analytic = distance_grad_x(&x, &y);
+            let numeric = numeric_grad(&x, &y, 1e-6);
+            for (a, n) in analytic.iter().zip(&numeric) {
+                assert!(
+                    (a - n).abs() < 1e-4 * (1.0 + n.abs()),
+                    "grad mismatch at {x:?},{y:?}: {analytic:?} vs {numeric:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coincident_points_get_zero_grad() {
+        let x = vec![0.2, 0.2];
+        assert_eq!(distance_grad_x(&x, &x), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn rsgd_reduces_distance_between_pair() {
+        let ball = PoincareBall::default();
+        let mut x = vec![0.5, 0.0];
+        let y = vec![-0.5, 0.0];
+        let before = ball.distance(&x, &y);
+        for _ in 0..50 {
+            let g = distance_grad_x(&x, &y);
+            rsgd_step(&ball, &mut x, &g, 0.05);
+        }
+        let after = ball.distance(&x, &y);
+        assert!(
+            after < before * 0.5,
+            "rsgd failed to pull points together: {before} -> {after}"
+        );
+        assert!(ball.contains(&x));
+    }
+
+    #[test]
+    fn rsgd_slows_near_boundary() {
+        // The metric rescaling must shrink steps near the rim.
+        let near_rim = riemannian_rescale(&[0.99, 0.0], &[1.0, 0.0]);
+        let near_origin = riemannian_rescale(&[0.0, 0.0], &[1.0, 0.0]);
+        assert!(near_rim[0] < 0.01 * near_origin[0]);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # cf-hyperbolic
+//!
+//! Poincaré-ball hyperbolic geometry for the ChainsFormer reproduction:
+//! Möbius addition, hyperbolic distances (both the `artanh` and the c = 1
+//! `arcosh` closed form used by the paper's Hyperbolic Filter), exp/log maps
+//! at the origin, analytic distance gradients, Riemannian SGD and trainable
+//! Poincaré embeddings with negative sampling.
+//!
+//! ```
+//! use cf_hyperbolic::PoincareBall;
+//! let ball = PoincareBall::default();
+//! let x = [0.2, 0.1];
+//! let y = [-0.3, 0.4];
+//! let d = ball.distance(&x, &y);
+//! assert!((d - ball.distance_arcosh(&x, &y)).abs() < 1e-9);
+//! // Möbius addition keeps results in the ball and has 0 as identity.
+//! assert!(ball.contains(&ball.mobius_add(&x, &y)));
+//! ```
+
+pub mod ball;
+pub mod embedding;
+pub mod grad;
+
+pub use ball::{euclidean_distance, PoincareBall, BOUNDARY_EPS};
+pub use embedding::PoincareEmbeddings;
+pub use grad::{distance_grad_x, riemannian_rescale, rsgd_step};

@@ -1,0 +1,80 @@
+//! Property-based checks of the Poincaré-ball geometry.
+
+use cf_hyperbolic::{distance_grad_x, riemannian_rescale, PoincareBall};
+use proptest::prelude::*;
+
+fn pt(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-0.4f64..0.4, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Triangle inequality on sampled triples.
+    #[test]
+    fn triangle_inequality(x in pt(3), y in pt(3), z in pt(3)) {
+        let b = PoincareBall::default();
+        let dxz = b.distance_arcosh(&x, &z);
+        let dxy = b.distance_arcosh(&x, &y);
+        let dyz = b.distance_arcosh(&y, &z);
+        prop_assert!(dxz <= dxy + dyz + 1e-9, "{dxz} > {dxy} + {dyz}");
+    }
+
+    /// Möbius chains of arbitrary length stay inside the ball.
+    #[test]
+    fn mobius_chain_stays_inside(points in prop::collection::vec(pt(3), 0..8)) {
+        let b = PoincareBall::default();
+        let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+        let c = b.mobius_chain(&refs, 3);
+        prop_assert!(b.contains(&c), "chain escaped: {c:?}");
+    }
+
+    /// Hyperbolic distance dominates (scaled) Euclidean distance and the
+    /// gap grows near the rim (variable resolution).
+    #[test]
+    fn distance_dominates_euclidean(x in pt(2), y in pt(2)) {
+        let b = PoincareBall::default();
+        let hyper = b.distance_arcosh(&x, &y);
+        let eucl: f64 = x.iter().zip(&y).map(|(a, c)| (a - c) * (a - c)).sum::<f64>().sqrt();
+        prop_assert!(hyper + 1e-12 >= 2.0 * eucl * 0.999, "hyper {hyper} < 2·eucl {eucl}");
+    }
+
+    /// The analytic distance gradient always points "away" from the other
+    /// point: stepping along −grad reduces the distance.
+    #[test]
+    fn gradient_descends_distance(x in pt(3), y in pt(3)) {
+        let b = PoincareBall::default();
+        let d0 = b.distance_arcosh(&x, &y);
+        prop_assume!(d0 > 1e-3);
+        let g = distance_grad_x(&x, &y);
+        let step = 1e-4;
+        let moved: Vec<f64> = x.iter().zip(&g).map(|(&xi, &gi)| xi - step * gi).collect();
+        let d1 = b.distance_arcosh(&moved, &y);
+        prop_assert!(d1 < d0 + 1e-9, "gradient ascent direction: {d0} -> {d1}");
+    }
+
+    /// Riemannian rescaling shrinks but never flips gradients.
+    #[test]
+    fn riemannian_rescale_preserves_direction(x in pt(4), g in pt(4)) {
+        let rg = riemannian_rescale(&x, &g);
+        let dot: f64 = rg.iter().zip(&g).map(|(a, b)| a * b).sum();
+        let g_norm: f64 = g.iter().map(|v| v * v).sum();
+        if g_norm > 1e-12 {
+            prop_assert!(dot >= 0.0, "rescale flipped the gradient");
+        }
+    }
+
+    /// Projection is idempotent and always lands inside.
+    #[test]
+    fn projection_idempotent(scale in 0.0f64..5.0, dir in pt(3)) {
+        let b = PoincareBall::default();
+        let mut x: Vec<f64> = dir.iter().map(|v| v * scale).collect();
+        b.project(&mut x);
+        prop_assert!(b.contains(&x));
+        let before = x.clone();
+        b.project(&mut x);
+        for (a, c) in x.iter().zip(&before) {
+            prop_assert!((a - c).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Attribute categories (temporal / spatial / quantity), the grouping the
+//! paper's RQ1 analysis reasons in ("the improvement in spatial attributes
+//! is particularly notable", "for quantity attributes ChainsFormer
+//! outperforms…", "for temporal attributes…").
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::AttributeId;
+use crate::metrics::RegressionReport;
+use std::collections::BTreeMap;
+
+/// The paper's three attribute families.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum AttributeCategory {
+    /// Dates and years: birth, death, created, destroyed, happened,
+    /// film_release, org_founded, loc_founded.
+    Temporal,
+    /// Coordinates: latitude, longitude.
+    Spatial,
+    /// Physical quantities: area, population, height, weight.
+    Quantity,
+    /// Anything not recognized by name.
+    Other,
+}
+
+impl AttributeCategory {
+    /// Human-readable category name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttributeCategory::Temporal => "temporal",
+            AttributeCategory::Spatial => "spatial",
+            AttributeCategory::Quantity => "quantity",
+            AttributeCategory::Other => "other",
+        }
+    }
+}
+
+/// Classifies an attribute by its (dataset-twin / MMKG) name.
+pub fn categorize_name(name: &str) -> AttributeCategory {
+    match name {
+        "birth" | "death" | "created" | "destroyed" | "happened" | "film_release"
+        | "org_founded" | "loc_founded" | "birth_year" | "release_year" => {
+            AttributeCategory::Temporal
+        }
+        "latitude" | "longitude" => AttributeCategory::Spatial,
+        "area" | "population" | "height" | "weight" => AttributeCategory::Quantity,
+        _ => AttributeCategory::Other,
+    }
+}
+
+/// Classifies an attribute of a graph.
+pub fn categorize(g: &KnowledgeGraph, attr: AttributeId) -> AttributeCategory {
+    categorize_name(g.attribute_name(attr))
+}
+
+/// Per-category normalized MAE, averaged over the category's attributes —
+/// the numbers behind the paper's "spatial/temporal/quantity improvement"
+/// statements.
+pub fn category_mae(
+    g: &KnowledgeGraph,
+    report: &RegressionReport,
+    norm: &crate::norm::MinMaxNormalizer,
+) -> BTreeMap<AttributeCategory, f64> {
+    let mut sums: BTreeMap<AttributeCategory, (f64, usize)> = BTreeMap::new();
+    for (&attr, errs) in &report.per_attribute {
+        let a = AttributeId(attr);
+        let cat = categorize(g, a);
+        // Normalize the raw MAE by the attribute's training range so
+        // categories mixing scales (years vs degrees) average sensibly.
+        let scaled = errs.mae / norm.range(a);
+        let slot = sums.entry(cat).or_insert((0.0, 0));
+        slot.0 += scaled;
+        slot.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(c, (s, n))| (c, s / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NumTriple;
+    use crate::metrics::Prediction;
+    use crate::norm::MinMaxNormalizer;
+
+    #[test]
+    fn names_map_to_paper_categories() {
+        assert_eq!(categorize_name("birth"), AttributeCategory::Temporal);
+        assert_eq!(categorize_name("film_release"), AttributeCategory::Temporal);
+        assert_eq!(categorize_name("latitude"), AttributeCategory::Spatial);
+        assert_eq!(categorize_name("population"), AttributeCategory::Quantity);
+        assert_eq!(categorize_name("shoe_size"), AttributeCategory::Other);
+    }
+
+    #[test]
+    fn category_mae_averages_within_category() {
+        let mut g = KnowledgeGraph::new();
+        let e = g.add_entity("e");
+        let lat = g.add_attribute_type("latitude");
+        let lon = g.add_attribute_type("longitude");
+        g.build_index();
+        let train = vec![
+            NumTriple {
+                entity: e,
+                attr: lat,
+                value: 0.0,
+            },
+            NumTriple {
+                entity: e,
+                attr: lat,
+                value: 10.0,
+            },
+            NumTriple {
+                entity: e,
+                attr: lon,
+                value: 0.0,
+            },
+            NumTriple {
+                entity: e,
+                attr: lon,
+                value: 100.0,
+            },
+        ];
+        let norm = MinMaxNormalizer::fit(2, &train);
+        let preds = vec![
+            Prediction {
+                attr: lat,
+                truth: 0.0,
+                pred: 1.0,
+            }, // MAE 1 on range 10 -> 0.1
+            Prediction {
+                attr: lon,
+                truth: 0.0,
+                pred: 30.0,
+            }, // MAE 30 on range 100 -> 0.3
+        ];
+        let report = RegressionReport::compute(&preds, &norm);
+        let cats = category_mae(&g, &report, &norm);
+        let spatial = cats[&AttributeCategory::Spatial];
+        assert!((spatial - 0.2).abs() < 1e-9, "got {spatial}");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AttributeCategory::Spatial.label(), "spatial");
+        assert_eq!(AttributeCategory::Other.label(), "other");
+    }
+}

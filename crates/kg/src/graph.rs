@@ -1,0 +1,447 @@
+//! The multi-relational knowledge graph store with numerical triples
+//! (`G = (V, R, A, N)` of Definition 1).
+
+use crate::ids::{AttributeId, Dir, DirRel, EntityId, RelationId};
+use std::collections::HashMap;
+
+/// A relational triple `(head, relation, tail)`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Triple {
+    /// Head entity.
+    pub head: EntityId,
+    /// Relation type.
+    pub rel: RelationId,
+    /// Tail entity.
+    pub tail: EntityId,
+}
+
+/// A numerical triple `(entity, attribute, value)`.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct NumTriple {
+    /// Entity carrying the value.
+    pub entity: EntityId,
+    /// Attribute type.
+    pub attr: AttributeId,
+    /// The numerical value.
+    pub value: f64,
+}
+
+/// One traversable edge in the adjacency index (relation + direction +
+/// neighbor).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Relation type and traversal direction.
+    pub dr: DirRel,
+    /// Neighbor reached by following the edge.
+    pub to: EntityId,
+}
+
+/// Multi-relational KG enriched with numerical attributes.
+///
+/// Construction is two-phase: register vocabularies and triples through the
+/// `add_*` methods, then call [`KnowledgeGraph::build_index`] (or use
+/// [`crate::split`], which does it for you) before traversal. The adjacency
+/// index is CSR-style: one flat edge vec plus per-entity offsets.
+#[derive(Clone, Debug, Default)]
+pub struct KnowledgeGraph {
+    entity_names: Vec<String>,
+    relation_names: Vec<String>,
+    attribute_names: Vec<String>,
+    triples: Vec<Triple>,
+    numerics: Vec<NumTriple>,
+
+    // CSR adjacency (both directions), valid after build_index.
+    adj_offsets: Vec<usize>,
+    adj_edges: Vec<Edge>,
+    // Per-entity numeric facts, valid after build_index.
+    num_offsets: Vec<usize>,
+    num_facts: Vec<(AttributeId, f64)>,
+    // Per-attribute owner lists, valid after build_index.
+    attr_entities: Vec<Vec<(EntityId, f64)>>,
+    indexed: bool,
+}
+
+impl KnowledgeGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- construction ---------------------------------------------------
+
+    /// Registers an entity, returning its id.
+    pub fn add_entity(&mut self, name: impl Into<String>) -> EntityId {
+        self.indexed = false;
+        self.entity_names.push(name.into());
+        EntityId((self.entity_names.len() - 1) as u32)
+    }
+
+    /// Registers a relation type, returning its id.
+    pub fn add_relation_type(&mut self, name: impl Into<String>) -> RelationId {
+        self.indexed = false;
+        self.relation_names.push(name.into());
+        RelationId((self.relation_names.len() - 1) as u32)
+    }
+
+    /// Registers a numerical attribute type, returning its id.
+    pub fn add_attribute_type(&mut self, name: impl Into<String>) -> AttributeId {
+        self.indexed = false;
+        self.attribute_names.push(name.into());
+        AttributeId((self.attribute_names.len() - 1) as u32)
+    }
+
+    /// Adds a relational triple `(head, rel, tail)`.
+    pub fn add_triple(&mut self, head: EntityId, rel: RelationId, tail: EntityId) {
+        debug_assert!(
+            (head.0 as usize) < self.entity_names.len(),
+            "unknown head entity"
+        );
+        debug_assert!(
+            (tail.0 as usize) < self.entity_names.len(),
+            "unknown tail entity"
+        );
+        debug_assert!(
+            (rel.0 as usize) < self.relation_names.len(),
+            "unknown relation"
+        );
+        self.indexed = false;
+        self.triples.push(Triple { head, rel, tail });
+    }
+
+    /// Adds a numerical triple `(entity, attr, value)`.
+    pub fn add_numeric(&mut self, entity: EntityId, attr: AttributeId, value: f64) {
+        debug_assert!(
+            (entity.0 as usize) < self.entity_names.len(),
+            "unknown entity"
+        );
+        debug_assert!(
+            (attr.0 as usize) < self.attribute_names.len(),
+            "unknown attribute"
+        );
+        debug_assert!(value.is_finite(), "non-finite attribute value");
+        self.indexed = false;
+        self.numerics.push(NumTriple {
+            entity,
+            attr,
+            value,
+        });
+    }
+
+    /// Builds the CSR adjacency and attribute indexes. Idempotent.
+    pub fn build_index(&mut self) {
+        if self.indexed {
+            return;
+        }
+        let n = self.entity_names.len();
+        // Adjacency: every triple contributes a forward edge at the head and
+        // an inverse edge at the tail.
+        let mut degree = vec![0usize; n];
+        for t in &self.triples {
+            degree[t.head.0 as usize] += 1;
+            degree[t.tail.0 as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut edges = vec![
+            Edge {
+                dr: DirRel::forward(RelationId(0)),
+                to: EntityId(0)
+            };
+            acc
+        ];
+        for t in &self.triples {
+            let h = t.head.0 as usize;
+            edges[cursor[h]] = Edge {
+                dr: DirRel::forward(t.rel),
+                to: t.tail,
+            };
+            cursor[h] += 1;
+            let tl = t.tail.0 as usize;
+            edges[cursor[tl]] = Edge {
+                dr: DirRel::inverse(t.rel),
+                to: t.head,
+            };
+            cursor[tl] += 1;
+        }
+        self.adj_offsets = offsets;
+        self.adj_edges = edges;
+
+        // Numeric facts per entity.
+        let mut ndeg = vec![0usize; n];
+        for f in &self.numerics {
+            ndeg[f.entity.0 as usize] += 1;
+        }
+        let mut noff = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        noff.push(0);
+        for d in &ndeg {
+            acc += d;
+            noff.push(acc);
+        }
+        let mut ncur = noff.clone();
+        let mut nfacts = vec![(AttributeId(0), 0.0f64); acc];
+        let mut per_attr: Vec<Vec<(EntityId, f64)>> = vec![Vec::new(); self.attribute_names.len()];
+        for f in &self.numerics {
+            let e = f.entity.0 as usize;
+            nfacts[ncur[e]] = (f.attr, f.value);
+            ncur[e] += 1;
+            per_attr[f.attr.0 as usize].push((f.entity, f.value));
+        }
+        self.num_offsets = noff;
+        self.num_facts = nfacts;
+        self.attr_entities = per_attr;
+        self.indexed = true;
+    }
+
+    // ---- vocabulary queries ----------------------------------------------
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entity_names.len()
+    }
+
+    /// Number of relation types.
+    pub fn num_relations(&self) -> usize {
+        self.relation_names.len()
+    }
+
+    /// Number of attribute types.
+    pub fn num_attributes(&self) -> usize {
+        self.attribute_names.len()
+    }
+
+    /// Name of an entity.
+    pub fn entity_name(&self, e: EntityId) -> &str {
+        &self.entity_names[e.0 as usize]
+    }
+
+    /// Name of a relation type.
+    pub fn relation_name(&self, r: RelationId) -> &str {
+        &self.relation_names[r.0 as usize]
+    }
+
+    /// Name of an attribute type.
+    pub fn attribute_name(&self, a: AttributeId) -> &str {
+        &self.attribute_names[a.0 as usize]
+    }
+
+    /// Human-readable name of a directed relation, `_inv`-suffixed for
+    /// inverse traversal (Table V style).
+    pub fn dir_rel_name(&self, dr: DirRel) -> String {
+        match dr.dir {
+            Dir::Forward => self.relation_name(dr.rel).to_string(),
+            Dir::Inverse => format!("{}_inv", self.relation_name(dr.rel)),
+        }
+    }
+
+    /// Looks up a relation id by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
+        self.relation_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| RelationId(i as u32))
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attribute_by_name(&self, name: &str) -> Option<AttributeId> {
+        self.attribute_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| AttributeId(i as u32))
+    }
+
+    /// Looks up an entity id by name (linear scan; for tests and loaders
+    /// prefer keeping your own map).
+    pub fn entity_by_name(&self, name: &str) -> Option<EntityId> {
+        self.entity_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| EntityId(i as u32))
+    }
+
+    // ---- data queries ----------------------------------------------------
+
+    /// All relational triples, in insertion order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// All numerical triples, in insertion order.
+    pub fn numerics(&self) -> &[NumTriple] {
+        &self.numerics
+    }
+
+    fn assert_indexed(&self) {
+        assert!(self.indexed, "call build_index() before traversal queries");
+    }
+
+    /// All traversable edges at `e` (forward and inverse).
+    pub fn neighbors(&self, e: EntityId) -> &[Edge] {
+        self.assert_indexed();
+        let i = e.0 as usize;
+        &self.adj_edges[self.adj_offsets[i]..self.adj_offsets[i + 1]]
+    }
+
+    /// Degree of `e` counting both directions.
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.neighbors(e).len()
+    }
+
+    /// Numeric facts attached to `e`.
+    pub fn numerics_of(&self, e: EntityId) -> &[(AttributeId, f64)] {
+        self.assert_indexed();
+        let i = e.0 as usize;
+        &self.num_facts[self.num_offsets[i]..self.num_offsets[i + 1]]
+    }
+
+    /// The value of attribute `a` at entity `e`, if present.
+    pub fn value_of(&self, e: EntityId, a: AttributeId) -> Option<f64> {
+        self.numerics_of(e)
+            .iter()
+            .find(|(attr, _)| *attr == a)
+            .map(|&(_, v)| v)
+    }
+
+    /// All `(entity, value)` owners of an attribute.
+    pub fn entities_with_attribute(&self, a: AttributeId) -> &[(EntityId, f64)] {
+        self.assert_indexed();
+        &self.attr_entities[a.0 as usize]
+    }
+
+    /// Iterates over all entity ids.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> {
+        (0..self.entity_names.len() as u32).map(EntityId)
+    }
+
+    /// Per-attribute co-occurrence counts of (directed relation, attribute)
+    /// one-hop pairs — the supervision signal used to pre-train the
+    /// Hyperbolic Filter embeddings.
+    pub fn relation_attribute_cooccurrence(&self) -> HashMap<(DirRel, AttributeId), usize> {
+        self.assert_indexed();
+        let mut counts = HashMap::new();
+        for t in &self.triples {
+            // head --rel--> tail: tail's attributes co-occur with forward rel
+            for &(a, _) in self.numerics_of(t.tail) {
+                *counts.entry((DirRel::forward(t.rel), a)).or_insert(0) += 1;
+            }
+            for &(a, _) in self.numerics_of(t.head) {
+                *counts.entry((DirRel::inverse(t.rel), a)).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Removes the given numeric triples (used to hide validation/test
+    /// answers from the visible graph). Rebuilds the index.
+    pub fn without_numerics(&self, hidden: &[NumTriple]) -> KnowledgeGraph {
+        use std::collections::HashSet;
+        let hide: HashSet<(EntityId, AttributeId)> =
+            hidden.iter().map(|t| (t.entity, t.attr)).collect();
+        let mut g = self.clone();
+        g.numerics.retain(|t| !hide.contains(&(t.entity, t.attr)));
+        g.indexed = false;
+        g.build_index();
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (KnowledgeGraph, Vec<EntityId>, RelationId, AttributeId) {
+        let mut g = KnowledgeGraph::new();
+        let e: Vec<EntityId> = (0..4).map(|i| g.add_entity(format!("e{i}"))).collect();
+        let r = g.add_relation_type("knows");
+        let a = g.add_attribute_type("age");
+        g.add_triple(e[0], r, e[1]);
+        g.add_triple(e[1], r, e[2]);
+        g.add_numeric(e[1], a, 30.0);
+        g.add_numeric(e[2], a, 40.0);
+        g.build_index();
+        (g, e, r, a)
+    }
+
+    #[test]
+    fn adjacency_has_both_directions() {
+        let (g, e, r, _) = tiny();
+        let n0 = g.neighbors(e[0]);
+        assert_eq!(n0.len(), 1);
+        assert_eq!(n0[0].to, e[1]);
+        assert_eq!(n0[0].dr, DirRel::forward(r));
+        let n1 = g.neighbors(e[1]);
+        assert_eq!(n1.len(), 2);
+        assert!(n1
+            .iter()
+            .any(|ed| ed.to == e[0] && ed.dr == DirRel::inverse(r)));
+        assert!(n1
+            .iter()
+            .any(|ed| ed.to == e[2] && ed.dr == DirRel::forward(r)));
+        assert!(g.neighbors(e[3]).is_empty());
+    }
+
+    #[test]
+    fn numeric_lookup() {
+        let (g, e, _, a) = tiny();
+        assert_eq!(g.value_of(e[1], a), Some(30.0));
+        assert_eq!(g.value_of(e[0], a), None);
+        assert_eq!(g.entities_with_attribute(a).len(), 2);
+    }
+
+    #[test]
+    fn dir_rel_names() {
+        let (g, _, r, _) = tiny();
+        assert_eq!(g.dir_rel_name(DirRel::forward(r)), "knows");
+        assert_eq!(g.dir_rel_name(DirRel::inverse(r)), "knows_inv");
+    }
+
+    #[test]
+    fn cooccurrence_counts_both_directions() {
+        let (g, _, r, a) = tiny();
+        let co = g.relation_attribute_cooccurrence();
+        // e0 --knows--> e1(age): forward knows sees age once (from e0->e1),
+        // and e1 --knows--> e2(age): forward knows sees age again.
+        assert_eq!(co[&(DirRel::forward(r), a)], 2);
+        // inverse: e1's age seen from e1->e2 tail side? inverse counts head
+        // attrs: e1(age) head of e1->e2 -> 1.
+        assert_eq!(co[&(DirRel::inverse(r), a)], 1);
+    }
+
+    #[test]
+    fn without_numerics_hides_values() {
+        let (g, e, _, a) = tiny();
+        let hidden = vec![NumTriple {
+            entity: e[1],
+            attr: a,
+            value: 30.0,
+        }];
+        let g2 = g.without_numerics(&hidden);
+        assert_eq!(g2.value_of(e[1], a), None);
+        assert_eq!(g2.value_of(e[2], a), Some(40.0));
+        // Original untouched.
+        assert_eq!(g.value_of(e[1], a), Some(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "build_index")]
+    fn traversal_requires_index() {
+        let mut g = KnowledgeGraph::new();
+        let e = g.add_entity("x");
+        g.neighbors(e);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (g, e, r, a) = tiny();
+        assert_eq!(g.entity_by_name("e2"), Some(e[2]));
+        assert_eq!(g.relation_by_name("knows"), Some(r));
+        assert_eq!(g.attribute_by_name("age"), Some(a));
+        assert_eq!(g.relation_by_name("nope"), None);
+    }
+}

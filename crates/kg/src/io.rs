@@ -1,0 +1,252 @@
+//! TSV serialization in the MMKG convention, so real FB15K-237/YAGO15K dumps
+//! (when available) drop into the same pipeline the synthetic twins use.
+//!
+//! Formats:
+//! - relational triples: `head<TAB>relation<TAB>tail`
+//! - numeric triples: `entity<TAB>attribute<TAB>value`
+
+use crate::graph::KnowledgeGraph;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// Errors raised while parsing TSV dumps.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// `(line_number, message)`
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Malformed(line, msg) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Streaming loader that interns entity/relation/attribute names on the fly.
+pub struct TsvLoader {
+    graph: KnowledgeGraph,
+    entities: HashMap<String, crate::ids::EntityId>,
+    relations: HashMap<String, crate::ids::RelationId>,
+    attributes: HashMap<String, crate::ids::AttributeId>,
+}
+
+impl Default for TsvLoader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TsvLoader {
+    /// A loader with empty vocabularies.
+    pub fn new() -> Self {
+        TsvLoader {
+            graph: KnowledgeGraph::new(),
+            entities: HashMap::new(),
+            relations: HashMap::new(),
+            attributes: HashMap::new(),
+        }
+    }
+
+    fn entity(&mut self, name: &str) -> crate::ids::EntityId {
+        if let Some(&id) = self.entities.get(name) {
+            return id;
+        }
+        let id = self.graph.add_entity(name);
+        self.entities.insert(name.to_string(), id);
+        id
+    }
+
+    /// Reads relational triples from a TSV reader.
+    pub fn load_triples(&mut self, reader: impl BufRead) -> Result<usize, LoadError> {
+        let mut n = 0;
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (h, r, t) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(h), Some(r), Some(t)) => (h, r, t),
+                _ => {
+                    return Err(LoadError::Malformed(
+                        lineno + 1,
+                        format!("expected 3 fields, got {line:?}"),
+                    ))
+                }
+            };
+            let h = self.entity(h);
+            let rel = if let Some(&id) = self.relations.get(r) {
+                id
+            } else {
+                let id = self.graph.add_relation_type(r);
+                self.relations.insert(r.to_string(), id);
+                id
+            };
+            let t = self.entity(t);
+            self.graph.add_triple(h, rel, t);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Reads numeric triples from a TSV reader.
+    pub fn load_numerics(&mut self, reader: impl BufRead) -> Result<usize, LoadError> {
+        let mut n = 0;
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (e, a, v) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(e), Some(a), Some(v)) => (e, a, v),
+                _ => {
+                    return Err(LoadError::Malformed(
+                        lineno + 1,
+                        format!("expected 3 fields, got {line:?}"),
+                    ))
+                }
+            };
+            let value: f64 = v
+                .parse()
+                .map_err(|_| LoadError::Malformed(lineno + 1, format!("bad number {v:?}")))?;
+            if !value.is_finite() {
+                return Err(LoadError::Malformed(
+                    lineno + 1,
+                    format!("non-finite number {v:?}"),
+                ));
+            }
+            let e = self.entity(e);
+            let attr = if let Some(&id) = self.attributes.get(a) {
+                id
+            } else {
+                let id = self.graph.add_attribute_type(a);
+                self.attributes.insert(a.to_string(), id);
+                id
+            };
+            self.graph.add_numeric(e, attr, value);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Finishes loading: builds indexes and returns the graph.
+    pub fn finish(mut self) -> KnowledgeGraph {
+        self.graph.build_index();
+        self.graph
+    }
+}
+
+/// Writes relational triples as TSV.
+pub fn write_triples(g: &KnowledgeGraph, mut w: impl Write) -> std::io::Result<()> {
+    for t in g.triples() {
+        writeln!(
+            w,
+            "{}\t{}\t{}",
+            g.entity_name(t.head),
+            g.relation_name(t.rel),
+            g.entity_name(t.tail)
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes numeric triples as TSV.
+pub fn write_numerics(g: &KnowledgeGraph, mut w: impl Write) -> std::io::Result<()> {
+    for t in g.numerics() {
+        writeln!(
+            w,
+            "{}\t{}\t{}",
+            g.entity_name(t.entity),
+            g.attribute_name(t.attr),
+            t.value
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_tsv() {
+        let mut g = KnowledgeGraph::new();
+        let a = g.add_entity("alice");
+        let b = g.add_entity("bob");
+        let r = g.add_relation_type("knows");
+        let at = g.add_attribute_type("age");
+        g.add_triple(a, r, b);
+        g.add_numeric(a, at, 31.5);
+        g.build_index();
+
+        let mut t_buf = Vec::new();
+        write_triples(&g, &mut t_buf).unwrap();
+        let mut n_buf = Vec::new();
+        write_numerics(&g, &mut n_buf).unwrap();
+
+        let mut loader = TsvLoader::new();
+        loader.load_triples(&t_buf[..]).unwrap();
+        loader.load_numerics(&n_buf[..]).unwrap();
+        let g2 = loader.finish();
+
+        assert_eq!(g2.num_entities(), 2);
+        assert_eq!(g2.triples().len(), 1);
+        let alice = g2.entity_by_name("alice").unwrap();
+        let age = g2.attribute_by_name("age").unwrap();
+        assert_eq!(g2.value_of(alice, age), Some(31.5));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let input = b"# comment\n\nalice\tknows\tbob\n";
+        let mut loader = TsvLoader::new();
+        let n = loader.load_triples(&input[..]).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn reports_malformed_lines_with_numbers() {
+        let input = b"alice\tknows\n";
+        let mut loader = TsvLoader::new();
+        match loader.load_triples(&input[..]) {
+            Err(LoadError::Malformed(1, _)) => {}
+            other => panic!("expected Malformed(1), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let input = b"alice\tage\tNaN\n";
+        let mut loader = TsvLoader::new();
+        assert!(loader.load_numerics(&input[..]).is_err());
+        let input2 = b"alice\tage\tabc\n";
+        let mut loader2 = TsvLoader::new();
+        assert!(loader2.load_numerics(&input2[..]).is_err());
+    }
+
+    #[test]
+    fn interning_reuses_ids() {
+        let input = b"a\tr\tb\nb\tr\ta\n";
+        let mut loader = TsvLoader::new();
+        loader.load_triples(&input[..]).unwrap();
+        let g = loader.finish();
+        assert_eq!(g.num_entities(), 2);
+        assert_eq!(g.num_relations(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # cf-kg
+//!
+//! Multi-relational knowledge-graph substrate for the ChainsFormer
+//! reproduction: the graph store (`G = (V, R, A, N)` of the paper's
+//! Definition 1), dataset splitting, per-attribute min-max normalization,
+//! regression metrics, MMKG-style TSV IO, Table I/II statistics and the
+//! synthetic FB15K-237 / YAGO15K twins (see [`synth`] for the substitution
+//! rationale).
+//!
+//! ```
+//! use cf_kg::synth::{yago15k_sim, SynthScale};
+//! use cf_kg::split::Split;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let graph = yago15k_sim(SynthScale::small(), &mut rng);
+//! let split = Split::paper_811(&graph, &mut rng);
+//! let visible = split.visible_graph(&graph);
+//! // Evaluation answers are hidden from the visible graph:
+//! let q = split.test[0];
+//! assert_eq!(visible.value_of(q.entity, q.attr), None);
+//! ```
+
+pub mod categories;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod metrics;
+pub mod norm;
+pub mod split;
+pub mod stats;
+pub mod subgraph;
+pub mod synth;
+
+pub use categories::{categorize, categorize_name, category_mae, AttributeCategory};
+pub use graph::{Edge, KnowledgeGraph, NumTriple, Triple};
+pub use ids::{AttributeId, Dir, DirRel, EntityId, RelationId};
+pub use metrics::{Prediction, RegressionReport};
+pub use norm::MinMaxNormalizer;
+pub use split::Split;
+pub use subgraph::{induced_subgraph, k_hop_entities, k_hop_subgraph};

@@ -1,0 +1,200 @@
+//! Evaluation metrics: per-attribute MAE/RMSE plus the paper's normalized
+//! "Average*" (all attributes min-max scaled to [0, 1] first).
+
+use crate::ids::AttributeId;
+use crate::norm::MinMaxNormalizer;
+use std::collections::BTreeMap;
+
+/// A single prediction vs. ground truth on one attribute.
+#[derive(Copy, Clone, Debug)]
+pub struct Prediction {
+    /// Attribute the prediction is for.
+    pub attr: AttributeId,
+    /// Ground-truth value.
+    pub truth: f64,
+    /// Predicted value.
+    pub pred: f64,
+}
+
+/// Per-attribute and aggregate regression errors.
+#[derive(Clone, Debug)]
+pub struct RegressionReport {
+    /// Attribute → (MAE, RMSE, count), in raw attribute units.
+    pub per_attribute: BTreeMap<u32, AttrErrors>,
+    /// MAE averaged over attributes after min-max normalization ("Average*").
+    pub norm_mae: f64,
+    /// RMSE averaged over attributes after min-max normalization.
+    pub norm_rmse: f64,
+}
+
+/// Errors for one attribute.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AttrErrors {
+    /// Mean absolute error, raw units.
+    pub mae: f64,
+    /// Root mean squared error, raw units.
+    pub rmse: f64,
+    /// Number of predictions behind the averages.
+    pub count: usize,
+}
+
+impl RegressionReport {
+    /// Computes the report; `norm` must be fitted on training data.
+    pub fn compute(preds: &[Prediction], norm: &MinMaxNormalizer) -> Self {
+        let mut abs: BTreeMap<u32, (f64, f64, usize)> = BTreeMap::new();
+        let mut nabs: BTreeMap<u32, (f64, f64, usize)> = BTreeMap::new();
+        for p in preds {
+            assert!(
+                p.pred.is_finite(),
+                "non-finite prediction for attr {:?}",
+                p.attr
+            );
+            let e = p.pred - p.truth;
+            let slot = abs.entry(p.attr.0).or_insert((0.0, 0.0, 0));
+            slot.0 += e.abs();
+            slot.1 += e * e;
+            slot.2 += 1;
+            let ne = norm.normalize(p.attr, p.pred) - norm.normalize(p.attr, p.truth);
+            let nslot = nabs.entry(p.attr.0).or_insert((0.0, 0.0, 0));
+            nslot.0 += ne.abs();
+            nslot.1 += ne * ne;
+            nslot.2 += 1;
+        }
+        let per_attribute = abs
+            .iter()
+            .map(|(&a, &(sum_abs, sum_sq, n))| {
+                (
+                    a,
+                    AttrErrors {
+                        mae: sum_abs / n as f64,
+                        rmse: (sum_sq / n as f64).sqrt(),
+                        count: n,
+                    },
+                )
+            })
+            .collect();
+        // "Average*": normalize each class to 0-1, compute the error per
+        // class, then average across classes (so rare attributes weigh the
+        // same as common ones, matching the paper's table).
+        let (mut nm, mut nr, mut classes) = (0.0, 0.0, 0usize);
+        for (_, &(sum_abs, sum_sq, n)) in &nabs {
+            nm += sum_abs / n as f64;
+            nr += (sum_sq / n as f64).sqrt();
+            classes += 1;
+        }
+        let classes = classes.max(1) as f64;
+        RegressionReport {
+            per_attribute,
+            norm_mae: nm / classes,
+            norm_rmse: nr / classes,
+        }
+    }
+
+    /// MAE of one attribute (0 if absent).
+    pub fn mae(&self, a: AttributeId) -> f64 {
+        self.per_attribute.get(&a.0).map_or(0.0, |e| e.mae)
+    }
+
+    /// RMSE of one attribute (0 if absent).
+    pub fn rmse(&self, a: AttributeId) -> f64 {
+        self.per_attribute.get(&a.0).map_or(0.0, |e| e.rmse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NumTriple;
+    use crate::ids::EntityId;
+
+    fn norm_for(ranges: &[(f64, f64)]) -> MinMaxNormalizer {
+        let triples: Vec<NumTriple> = ranges
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &(lo, hi))| {
+                vec![
+                    NumTriple {
+                        entity: EntityId(0),
+                        attr: AttributeId(i as u32),
+                        value: lo,
+                    },
+                    NumTriple {
+                        entity: EntityId(0),
+                        attr: AttributeId(i as u32),
+                        value: hi,
+                    },
+                ]
+            })
+            .collect();
+        MinMaxNormalizer::fit(ranges.len(), &triples)
+    }
+
+    #[test]
+    fn mae_rmse_basic() {
+        let norm = norm_for(&[(0.0, 10.0)]);
+        let preds = vec![
+            Prediction {
+                attr: AttributeId(0),
+                truth: 0.0,
+                pred: 3.0,
+            },
+            Prediction {
+                attr: AttributeId(0),
+                truth: 0.0,
+                pred: -1.0,
+            },
+        ];
+        let r = RegressionReport::compute(&preds, &norm);
+        let e = r.per_attribute[&0];
+        assert!((e.mae - 2.0).abs() < 1e-9);
+        assert!((e.rmse - (5.0f64).sqrt()).abs() < 1e-9);
+        assert_eq!(e.count, 2);
+    }
+
+    #[test]
+    fn normalized_average_weights_attributes_equally() {
+        // Attribute 0 has range 10, attribute 1 range 1000; the same raw
+        // error contributes 100x less for the wide attribute.
+        let norm = norm_for(&[(0.0, 10.0), (0.0, 1000.0)]);
+        let preds = vec![
+            Prediction {
+                attr: AttributeId(0),
+                truth: 0.0,
+                pred: 1.0,
+            },
+            Prediction {
+                attr: AttributeId(1),
+                truth: 0.0,
+                pred: 1.0,
+            },
+        ];
+        let r = RegressionReport::compute(&preds, &norm);
+        // per-class normalized MAE: 0.1 and 0.001 -> average 0.0505
+        assert!((r.norm_mae - 0.0505).abs() < 1e-9, "{}", r.norm_mae);
+    }
+
+    #[test]
+    fn perfect_predictions_are_zero_error() {
+        let norm = norm_for(&[(0.0, 1.0)]);
+        let preds = vec![Prediction {
+            attr: AttributeId(0),
+            truth: 0.3,
+            pred: 0.3,
+        }];
+        let r = RegressionReport::compute(&preds, &norm);
+        assert_eq!(r.norm_mae, 0.0);
+        assert_eq!(r.norm_rmse, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_predictions() {
+        let norm = norm_for(&[(0.0, 1.0)]);
+        let preds = vec![Prediction {
+            attr: AttributeId(0),
+            truth: 0.0,
+            pred: f64::NAN,
+        }];
+        RegressionReport::compute(&preds, &norm);
+    }
+}

@@ -1,0 +1,139 @@
+//! Train/validation/test splitting of numerical triples (the paper's 8:1:1).
+
+use crate::graph::{KnowledgeGraph, NumTriple};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A dataset split over numerical triples. Relational triples are never
+/// split — only attribute values are predicted.
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Training triples (visible to models).
+    pub train: Vec<NumTriple>,
+    /// Validation triples (hidden; used for early stopping).
+    pub valid: Vec<NumTriple>,
+    /// Test triples (hidden; used for final evaluation).
+    pub test: Vec<NumTriple>,
+}
+
+impl Split {
+    /// Splits the graph's numeric triples by the given fractions
+    /// (deterministically, given the RNG). Fractions must sum to ≤ 1; the
+    /// remainder goes to train.
+    pub fn new(
+        graph: &KnowledgeGraph,
+        valid_frac: f64,
+        test_frac: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(valid_frac >= 0.0 && test_frac >= 0.0 && valid_frac + test_frac < 1.0);
+        let mut all: Vec<NumTriple> = graph.numerics().to_vec();
+        all.shuffle(rng);
+        let n = all.len();
+        let n_valid = (n as f64 * valid_frac).round() as usize;
+        let n_test = (n as f64 * test_frac).round() as usize;
+        let test = all.split_off(n - n_test);
+        let valid = all.split_off(all.len() - n_valid);
+        Split {
+            train: all,
+            valid,
+            test,
+        }
+    }
+
+    /// The paper's 8:1:1 split.
+    pub fn paper_811(graph: &KnowledgeGraph, rng: &mut impl Rng) -> Self {
+        Self::new(graph, 0.1, 0.1, rng)
+    }
+
+    /// The graph with validation and test answers removed — what a model is
+    /// allowed to see while predicting.
+    pub fn visible_graph(&self, full: &KnowledgeGraph) -> KnowledgeGraph {
+        let mut hidden = self.valid.clone();
+        hidden.extend_from_slice(&self.test);
+        full.without_numerics(&hidden)
+    }
+
+    /// Total triples across all three parts.
+    pub fn total(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EntityId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph_with_numerics(n: usize) -> KnowledgeGraph {
+        let mut g = KnowledgeGraph::new();
+        let a = g.add_attribute_type("v");
+        for i in 0..n {
+            let e = g.add_entity(format!("e{i}"));
+            g.add_numeric(e, a, i as f64);
+        }
+        g.build_index();
+        g
+    }
+
+    #[test]
+    fn fractions_are_respected() {
+        let g = graph_with_numerics(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = Split::paper_811(&g, &mut rng);
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.valid.len(), 10);
+        assert_eq!(s.test.len(), 10);
+        assert_eq!(s.train.len(), 80);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let g = graph_with_numerics(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Split::paper_811(&g, &mut rng);
+        let mut seen: Vec<u32> = s
+            .train
+            .iter()
+            .chain(&s.valid)
+            .chain(&s.test)
+            .map(|t| t.entity.0)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 50, "splits overlap or drop triples");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = graph_with_numerics(30);
+        let s1 = Split::paper_811(&g, &mut StdRng::seed_from_u64(7));
+        let s2 = Split::paper_811(&g, &mut StdRng::seed_from_u64(7));
+        assert_eq!(s1.test.len(), s2.test.len());
+        for (a, b) in s1.test.iter().zip(&s2.test) {
+            assert_eq!(a.entity, b.entity);
+        }
+    }
+
+    #[test]
+    fn visible_graph_hides_eval_answers() {
+        let g = graph_with_numerics(20);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Split::paper_811(&g, &mut rng);
+        let vis = s.visible_graph(&g);
+        for t in s.test.iter().chain(&s.valid) {
+            assert_eq!(
+                vis.value_of(t.entity, t.attr),
+                None,
+                "leaked {:?}",
+                t.entity
+            );
+        }
+        for t in &s.train {
+            assert_eq!(vis.value_of(t.entity, t.attr), Some(t.value));
+        }
+        let _ = EntityId(0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Subgraph extraction: k-hop neighbourhoods and induced subgraphs, for
+//! case-study visualisation and for scaling experiments on graph fragments.
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::EntityId;
+use std::collections::{HashSet, VecDeque};
+
+/// Entities within `hops` undirected steps of `center` (including it).
+pub fn k_hop_entities(g: &KnowledgeGraph, center: EntityId, hops: usize) -> HashSet<EntityId> {
+    let mut seen: HashSet<EntityId> = HashSet::new();
+    seen.insert(center);
+    let mut frontier = VecDeque::new();
+    frontier.push_back((center, 0usize));
+    while let Some((at, depth)) = frontier.pop_front() {
+        if depth == hops {
+            continue;
+        }
+        for edge in g.neighbors(at) {
+            if seen.insert(edge.to) {
+                frontier.push_back((edge.to, depth + 1));
+            }
+        }
+    }
+    seen
+}
+
+/// The subgraph induced by an entity set: keeps every triple whose endpoints
+/// both lie in the set and every numeric fact on a kept entity. Relation and
+/// attribute vocabularies are preserved (ids stay comparable); entities are
+/// renumbered densely.
+///
+/// Returns the new graph and the old→new entity mapping.
+pub fn induced_subgraph(
+    g: &KnowledgeGraph,
+    keep: &HashSet<EntityId>,
+) -> (
+    KnowledgeGraph,
+    std::collections::HashMap<EntityId, EntityId>,
+) {
+    let mut out = KnowledgeGraph::new();
+    // Preserve vocabularies verbatim.
+    for r in 0..g.num_relations() {
+        out.add_relation_type(g.relation_name(crate::ids::RelationId(r as u32)));
+    }
+    for a in 0..g.num_attributes() {
+        out.add_attribute_type(g.attribute_name(crate::ids::AttributeId(a as u32)));
+    }
+    let mut map = std::collections::HashMap::new();
+    let mut ordered: Vec<EntityId> = keep.iter().copied().collect();
+    ordered.sort(); // deterministic renumbering
+    for e in ordered {
+        let new_id = out.add_entity(g.entity_name(e));
+        map.insert(e, new_id);
+    }
+    for t in g.triples() {
+        if let (Some(&h), Some(&tl)) = (map.get(&t.head), map.get(&t.tail)) {
+            out.add_triple(h, t.rel, tl);
+        }
+    }
+    for n in g.numerics() {
+        if let Some(&e) = map.get(&n.entity) {
+            out.add_numeric(e, n.attr, n.value);
+        }
+    }
+    out.build_index();
+    (out, map)
+}
+
+/// Convenience: the k-hop neighbourhood subgraph around `center`.
+pub fn k_hop_subgraph(
+    g: &KnowledgeGraph,
+    center: EntityId,
+    hops: usize,
+) -> (
+    KnowledgeGraph,
+    std::collections::HashMap<EntityId, EntityId>,
+) {
+    induced_subgraph(g, &k_hop_entities(g, center, hops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{yago15k_sim, SynthScale};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_graph(n: usize) -> (KnowledgeGraph, Vec<EntityId>) {
+        let mut g = KnowledgeGraph::new();
+        let es: Vec<_> = (0..n).map(|i| g.add_entity(format!("e{i}"))).collect();
+        let r = g.add_relation_type("r");
+        let a = g.add_attribute_type("a");
+        for w in es.windows(2) {
+            g.add_triple(w[0], r, w[1]);
+        }
+        for (i, &e) in es.iter().enumerate() {
+            g.add_numeric(e, a, i as f64);
+        }
+        g.build_index();
+        (g, es)
+    }
+
+    #[test]
+    fn k_hop_respects_distance() {
+        let (g, es) = line_graph(6);
+        let near = k_hop_entities(&g, es[0], 2);
+        assert_eq!(near.len(), 3); // e0, e1, e2
+        assert!(near.contains(&es[2]) && !near.contains(&es[3]));
+        let all = k_hop_entities(&g, es[0], 10);
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_structure_only() {
+        let (g, es) = line_graph(5);
+        let keep: HashSet<EntityId> = [es[1], es[2], es[3]].into_iter().collect();
+        let (sub, map) = induced_subgraph(&g, &keep);
+        assert_eq!(sub.num_entities(), 3);
+        // Edges e1-e2 and e2-e3 survive; boundary edges e0-e1, e3-e4 don't.
+        assert_eq!(sub.triples().len(), 2);
+        assert_eq!(sub.numerics().len(), 3);
+        // Names and vocabularies are preserved.
+        assert_eq!(sub.entity_name(map[&es[2]]), "e2");
+        assert_eq!(sub.num_relations(), g.num_relations());
+        assert_eq!(sub.num_attributes(), g.num_attributes());
+    }
+
+    #[test]
+    fn subgraph_of_synthetic_world_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let hub = g.entities().max_by_key(|&e| g.degree(e)).unwrap();
+        let (sub, map) = k_hop_subgraph(&g, hub, 2);
+        assert!(sub.num_entities() > 1);
+        assert!(sub.num_entities() <= g.num_entities());
+        // Every kept triple's endpoints exist in the new graph.
+        for t in sub.triples() {
+            assert!((t.head.0 as usize) < sub.num_entities());
+            assert!((t.tail.0 as usize) < sub.num_entities());
+        }
+        assert!(map.contains_key(&hub));
+    }
+
+    #[test]
+    fn renumbering_is_deterministic() {
+        let (g, es) = line_graph(4);
+        let keep: HashSet<EntityId> = es.iter().copied().collect();
+        let (_, m1) = induced_subgraph(&g, &keep);
+        let (_, m2) = induced_subgraph(&g, &keep);
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,792 @@
+//! The shared world generator behind both synthetic datasets.
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::{AttributeId, EntityId, RelationId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which dataset's attribute/relation inventory to generate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// 7 attributes (temporal + spatial), smaller relation vocabulary.
+    Yago15k,
+    /// 11 attributes (temporal + spatial + quantity), larger vocabulary.
+    Fb15k237,
+}
+
+/// Entity-count knobs. The defaults target a CPU-trainable graph (~1.5k
+/// entities); `paper()` approaches the real datasets' 15k.
+#[derive(Copy, Clone, Debug)]
+pub struct SynthScale {
+    /// Number of countries.
+    pub countries: usize,
+    /// Regions generated per country.
+    pub regions_per_country: usize,
+    /// Cities generated per region.
+    pub cities_per_region: usize,
+    /// Number of people.
+    pub people: usize,
+    /// Number of films.
+    pub films: usize,
+    /// Number of organizations.
+    pub orgs: usize,
+    /// Number of events.
+    pub events: usize,
+    /// Number of ethnicity groups (FB profile).
+    pub ethnicities: usize,
+    /// Number of sports teams (FB profile).
+    pub teams: usize,
+    /// Probability that an applicable attribute value is actually recorded.
+    pub attr_presence: f64,
+}
+
+impl SynthScale {
+    /// Tiny graph for unit tests (~250 entities). Event count is kept high
+    /// enough that rare attributes (`destroyed`, `happened`) still get a
+    /// non-degenerate number of training observations after the 8:1:1 split.
+    pub fn small() -> Self {
+        SynthScale {
+            countries: 6,
+            regions_per_country: 2,
+            cities_per_region: 2,
+            people: 80,
+            films: 40,
+            orgs: 20,
+            events: 30,
+            ethnicities: 4,
+            teams: 8,
+            attr_presence: 0.75,
+        }
+    }
+
+    /// Default experiment scale (~1.5k entities) — substitution S5.
+    pub fn default_scale() -> Self {
+        SynthScale {
+            countries: 24,
+            regions_per_country: 3,
+            cities_per_region: 4,
+            people: 600,
+            films: 250,
+            orgs: 120,
+            events: 60,
+            ethnicities: 8,
+            teams: 40,
+            attr_presence: 0.7,
+        }
+    }
+
+    /// Paper-scale graph (~15k entities); accepted by the same code but slow
+    /// to train on CPU.
+    pub fn paper() -> Self {
+        SynthScale {
+            countries: 80,
+            regions_per_country: 5,
+            cities_per_region: 6,
+            people: 7000,
+            films: 3000,
+            orgs: 1200,
+            events: 600,
+            ethnicities: 20,
+            teams: 300,
+            attr_presence: 0.7,
+        }
+    }
+
+    /// Rough entity count this scale will generate.
+    pub fn approx_entities(&self) -> usize {
+        let places = self.countries * (1 + self.regions_per_country * (1 + self.cities_per_region));
+        places + self.people + self.films + self.orgs + self.events + self.ethnicities + self.teams
+    }
+}
+
+/// Generates the YAGO15K-like dataset.
+pub fn yago15k_sim(scale: SynthScale, rng: &mut impl Rng) -> KnowledgeGraph {
+    World::generate(Profile::Yago15k, scale, rng)
+}
+
+/// Generates the FB15K-237-like dataset.
+pub fn fb15k_sim(scale: SynthScale, rng: &mut impl Rng) -> KnowledgeGraph {
+    World::generate(Profile::Fb15k237, scale, rng)
+}
+
+// ---------------------------------------------------------------------------
+
+struct Attrs {
+    birth: AttributeId,
+    death: AttributeId,
+    /// YAGO `created` / FB `film_release` (film-ish temporal attribute).
+    created: AttributeId,
+    destroyed: Option<AttributeId>,
+    happened: Option<AttributeId>,
+    org_founded: Option<AttributeId>,
+    loc_founded: Option<AttributeId>,
+    latitude: AttributeId,
+    longitude: AttributeId,
+    area: Option<AttributeId>,
+    population: Option<AttributeId>,
+    height: Option<AttributeId>,
+    weight: Option<AttributeId>,
+}
+
+struct Rels {
+    located_in: RelationId,
+    capital: RelationId,
+    neighbor: RelationId,
+    state_province: Option<RelationId>,
+    county: Option<RelationId>,
+    sibling: RelationId,
+    spouse: RelationId,
+    influenced_by: RelationId,
+    nationality: RelationId,
+    directed: RelationId,
+    acted_in: RelationId,
+    music_for: Option<RelationId>,
+    org_in: RelationId,
+    member_states: Option<RelationId>,
+    team: Option<RelationId>,
+    athlete: Option<RelationId>,
+    ethnicity: Option<RelationId>,
+    participated_in: Option<RelationId>,
+    happened_in: Option<RelationId>,
+    film: RelationId,
+}
+
+struct World {
+    profile: Profile,
+    scale: SynthScale,
+    g: KnowledgeGraph,
+    attrs: Attrs,
+    rels: Rels,
+    countries: Vec<EntityId>,
+    regions: Vec<EntityId>,
+    cities: Vec<EntityId>,
+    // Latent coordinates per place entity id (even when unobserved).
+    coords: std::collections::HashMap<EntityId, (f64, f64)>,
+    people: Vec<EntityId>,
+    birth_years: Vec<f64>,
+    ethnicities: Vec<EntityId>,
+    teams: Vec<EntityId>,
+}
+
+impl World {
+    fn generate(profile: Profile, scale: SynthScale, rng: &mut impl Rng) -> KnowledgeGraph {
+        let mut g = KnowledgeGraph::new();
+        let attrs = declare_attrs(profile, &mut g);
+        let rels = declare_rels(profile, &mut g);
+        let mut world = World {
+            profile,
+            scale,
+            g,
+            attrs,
+            rels,
+            countries: Vec::new(),
+            regions: Vec::new(),
+            cities: Vec::new(),
+            coords: std::collections::HashMap::new(),
+            people: Vec::new(),
+            birth_years: Vec::new(),
+            ethnicities: Vec::new(),
+            teams: Vec::new(),
+        };
+        world.build_places(rng);
+        world.build_social_groups(rng);
+        world.build_people(rng);
+        world.build_films(rng);
+        world.build_orgs(rng);
+        world.build_events(rng);
+        let mut g = world.g;
+        g.build_index();
+        g
+    }
+
+    fn observe(&self, rng: &mut impl Rng) -> bool {
+        rng.gen::<f64>() < self.scale.attr_presence
+    }
+
+    fn maybe_numeric(&mut self, e: EntityId, a: AttributeId, v: f64, rng: &mut impl Rng) {
+        if self.observe(rng) {
+            self.g.add_numeric(e, a, v);
+        }
+    }
+
+    // ---- places ----------------------------------------------------------
+
+    fn build_places(&mut self, rng: &mut impl Rng) {
+        for c in 0..self.scale.countries {
+            let country = self.g.add_entity(format!("country_{c}"));
+            let lat = rng.gen_range(-50.0..65.0);
+            let lon = rng.gen_range(-170.0..175.0);
+            self.coords.insert(country, (lat, lon));
+            self.countries.push(country);
+            self.maybe_numeric(country, self.attrs.latitude, lat, rng);
+            self.maybe_numeric(country, self.attrs.longitude, lon, rng);
+
+            // Quantity attributes for FB-like data.
+            let area = 10f64.powf(rng.gen_range(3.5..6.9)); // up to ~8e6
+            if let Some(a) = self.attrs.area {
+                self.maybe_numeric(country, a, area, rng);
+            }
+            if let Some(p) = self.attrs.population {
+                let density = 10f64.powf(rng.gen_range(0.3..2.3));
+                self.maybe_numeric(country, p, (area * density).min(3.1e9), rng);
+            }
+            if let Some(lf) = self.attrs.loc_founded {
+                self.maybe_numeric(country, lf, rng.gen_range(-2999.0..1900.0), rng);
+            }
+
+            for r in 0..self.scale.regions_per_country {
+                let region = self.g.add_entity(format!("region_{c}_{r}"));
+                let rlat = lat + gaussian(rng) * 2.5;
+                let rlon = lon + gaussian(rng) * 2.5;
+                self.coords.insert(region, (rlat, rlon));
+                self.regions.push(region);
+                self.g.add_triple(region, self.rels.located_in, country);
+                if let Some(sp) = self.rels.state_province {
+                    self.g.add_triple(region, sp, country);
+                }
+                self.maybe_numeric(region, self.attrs.latitude, rlat, rng);
+                self.maybe_numeric(region, self.attrs.longitude, rlon, rng);
+                if let Some(a) = self.attrs.area {
+                    let rarea =
+                        area / (self.scale.regions_per_country as f64) * rng.gen_range(0.4..1.6);
+                    self.maybe_numeric(region, a, rarea.max(1.0), rng);
+                }
+                if let Some(lf) = self.attrs.loc_founded {
+                    self.maybe_numeric(region, lf, rng.gen_range(-1500.0..1950.0), rng);
+                }
+
+                for ci in 0..self.scale.cities_per_region {
+                    let city = self.g.add_entity(format!("city_{c}_{r}_{ci}"));
+                    let clat = rlat + gaussian(rng) * 1.2;
+                    let clon = rlon + gaussian(rng) * 1.2;
+                    self.coords.insert(city, (clat, clon));
+                    self.cities.push(city);
+                    self.g.add_triple(city, self.rels.located_in, region);
+                    if let Some(county) = self.rels.county {
+                        self.g.add_triple(city, county, region);
+                    }
+                    self.maybe_numeric(city, self.attrs.latitude, clat, rng);
+                    self.maybe_numeric(city, self.attrs.longitude, clon, rng);
+                    if let Some(a) = self.attrs.area {
+                        self.maybe_numeric(city, a, 10f64.powf(rng.gen_range(0.0..3.3)), rng);
+                    }
+                    if let Some(p) = self.attrs.population {
+                        self.maybe_numeric(city, p, 10f64.powf(rng.gen_range(3.0..7.2)), rng);
+                    }
+                    if let Some(lf) = self.attrs.loc_founded {
+                        self.maybe_numeric(city, lf, rng.gen_range(-800.0..2011.0), rng);
+                    }
+                    if ci == 0 {
+                        // First city of the first region is the capital.
+                        if r == 0 {
+                            self.g.add_triple(country, self.rels.capital, city);
+                        }
+                    }
+                }
+            }
+        }
+        // Neighbour relations between geographically close countries/cities.
+        self.link_neighbors(rng);
+    }
+
+    fn link_neighbors(&mut self, rng: &mut impl Rng) {
+        let mut link = |entities: &[EntityId],
+                        k: usize,
+                        g: &mut KnowledgeGraph,
+                        coords: &std::collections::HashMap<EntityId, (f64, f64)>,
+                        rel: RelationId| {
+            for &e in entities {
+                let (lat, lon) = coords[&e];
+                let mut others: Vec<(f64, EntityId)> = entities
+                    .iter()
+                    .filter(|&&o| o != e)
+                    .map(|&o| {
+                        let (la, lo) = coords[&o];
+                        (((la - lat).powi(2) + (lo - lon).powi(2)).sqrt(), o)
+                    })
+                    .collect();
+                others.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for &(_, o) in others.iter().take(k) {
+                    if rng.gen::<f64>() < 0.8 {
+                        g.add_triple(e, rel, o);
+                    }
+                }
+            }
+        };
+        link(
+            &self.countries.clone(),
+            2,
+            &mut self.g,
+            &self.coords,
+            self.rels.neighbor,
+        );
+        link(
+            &self.cities.clone(),
+            2,
+            &mut self.g,
+            &self.coords,
+            self.rels.neighbor,
+        );
+    }
+
+    // ---- social groups -----------------------------------------------------
+
+    fn build_social_groups(&mut self, rng: &mut impl Rng) {
+        for i in 0..self.scale.ethnicities {
+            let e = self.g.add_entity(format!("ethnicity_{i}"));
+            self.ethnicities.push(e);
+        }
+        for i in 0..self.scale.teams {
+            let t = self.g.add_entity(format!("team_{i}"));
+            self.teams.push(t);
+            // Teams are located in cities.
+            if let Some(&city) = pick(&self.cities, rng) {
+                self.g.add_triple(t, self.rels.org_in, city);
+            }
+        }
+    }
+
+    // ---- people -----------------------------------------------------------
+
+    fn build_people(&mut self, rng: &mut impl Rng) {
+        // Per-ethnicity latent height offsets plant the Table-V weight chain
+        // (ethnicity, ethnicity_inv, weight).
+        let eth_height: Vec<f64> = (0..self.scale.ethnicities.max(1))
+            .map(|_| rng.gen_range(-0.06..0.06))
+            .collect();
+        for i in 0..self.scale.people {
+            let p = self.g.add_entity(format!("person_{i}"));
+            self.people.push(p);
+            // Mostly modern, with an ancient tail matching Table II ranges.
+            let birth = if rng.gen::<f64>() < 0.05 {
+                rng.gen_range(-380.0..1800.0)
+            } else {
+                rng.gen_range(1850.0..2000.0)
+            };
+            self.birth_years.push(birth);
+            self.maybe_numeric(p, self.attrs.birth, birth, rng);
+            // Death for a subset (older people).
+            if birth < 1945.0 && rng.gen::<f64>() < 0.7 {
+                let death = birth + rng.gen_range(35.0..95.0);
+                self.maybe_numeric(p, self.attrs.death, death, rng);
+            }
+            // Nationality.
+            if let Some(&c) = pick(&self.countries, rng) {
+                self.g.add_triple(p, self.rels.nationality, c);
+            }
+            // Body stats (FB only).
+            if let (Some(h), Some(w)) = (self.attrs.height, self.attrs.weight) {
+                let eth_idx = rng.gen_range(0..self.scale.ethnicities.max(1));
+                if !self.ethnicities.is_empty() {
+                    if let Some(er) = self.rels.ethnicity {
+                        self.g.add_triple(p, er, self.ethnicities[eth_idx]);
+                    }
+                }
+                let height = (1.74 + eth_height[eth_idx] + gaussian(rng) * 0.07).clamp(1.34, 2.18);
+                let weight = ((height - 1.0) * 95.0 + gaussian(rng) * 7.0).clamp(44.0, 147.0);
+                // Only athletes (team members) have recorded weights, like FB.
+                let is_athlete = rng.gen::<f64>() < 0.15 && !self.teams.is_empty();
+                self.maybe_numeric(p, h, height, rng);
+                if is_athlete {
+                    if let Some(tr) = self.rels.team {
+                        let &team = pick(&self.teams, rng).unwrap();
+                        self.g.add_triple(p, tr, team);
+                        if let Some(ar) = self.rels.athlete {
+                            self.g.add_triple(team, ar, p);
+                        }
+                    }
+                    self.maybe_numeric(p, w, weight, rng);
+                }
+            }
+        }
+        // Family/influence relations with planted temporal correlations.
+        let n = self.people.len();
+        for i in 0..n {
+            let birth = self.birth_years[i];
+            // Sibling: close birth year.
+            if rng.gen::<f64>() < 0.4 {
+                if let Some(j) = nearest_by_birth(&self.birth_years, i, 6.0, rng) {
+                    self.g
+                        .add_triple(self.people[i], self.rels.sibling, self.people[j]);
+                }
+            }
+            // Spouse: close birth year (slightly wider).
+            if rng.gen::<f64>() < 0.3 {
+                if let Some(j) = nearest_by_birth(&self.birth_years, i, 10.0, rng) {
+                    self.g
+                        .add_triple(self.people[i], self.rels.spouse, self.people[j]);
+                }
+            }
+            // Influenced_by: someone ~20-60 years older.
+            if rng.gen::<f64>() < 0.3 {
+                let target = birth - rng.gen_range(20.0..60.0);
+                if let Some(j) = closest_to(&self.birth_years, target, i) {
+                    self.g
+                        .add_triple(self.people[i], self.rels.influenced_by, self.people[j]);
+                }
+            }
+        }
+    }
+
+    // ---- films --------------------------------------------------------------
+
+    fn build_films(&mut self, rng: &mut impl Rng) {
+        let (created_lo, created_hi) = match self.profile {
+            Profile::Yago15k => (100.0, 2018.0),
+            Profile::Fb15k237 => (1927.0, 2013.5),
+        };
+        for i in 0..self.scale.films {
+            let f = self.g.add_entity(format!("film_{i}"));
+            // Director: a person whose birth predates the film by 25-55y.
+            let di = rng.gen_range(0..self.people.len());
+            let director = self.people[di];
+            let created =
+                (self.birth_years[di] + rng.gen_range(25.0..55.0)).clamp(created_lo, created_hi);
+            self.g.add_triple(director, self.rels.directed, f);
+            self.g.add_triple(director, self.rels.film, f);
+            self.maybe_numeric(f, self.attrs.created, created, rng);
+            // Actors: born 20-60 years before creation.
+            for _ in 0..rng.gen_range(1..4usize) {
+                let target = created - rng.gen_range(20.0..60.0);
+                if let Some(ai) = closest_to(&self.birth_years, target, di) {
+                    self.g.add_triple(self.people[ai], self.rels.acted_in, f);
+                }
+            }
+            if let Some(mr) = self.rels.music_for {
+                if rng.gen::<f64>() < 0.4 {
+                    let target = created - rng.gen_range(25.0..55.0);
+                    if let Some(mi) = closest_to(&self.birth_years, target, di) {
+                        self.g.add_triple(self.people[mi], mr, f);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- orgs -----------------------------------------------------------------
+
+    fn build_orgs(&mut self, rng: &mut impl Rng) {
+        for i in 0..self.scale.orgs {
+            let o = self.g.add_entity(format!("org_{i}"));
+            let founded = rng.gen_range(1088.0..2013.0);
+            if let Some(of) = self.attrs.org_founded {
+                self.maybe_numeric(o, of, founded, rng);
+            } else {
+                // YAGO folds org creation into `created`.
+                self.maybe_numeric(o, self.attrs.created, founded, rng);
+            }
+            if let Some(&city) = pick(&self.cities, rng) {
+                self.g.add_triple(o, self.rels.org_in, city);
+            }
+            // Orgs with member states (planting the Table-V
+            // member_states→org_founded chain: members share era).
+            if let Some(ms) = self.rels.member_states {
+                if rng.gen::<f64>() < 0.3 {
+                    for _ in 0..rng.gen_range(2..5usize) {
+                        if let Some(&c) = pick(&self.countries, rng) {
+                            self.g.add_triple(o, ms, c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- events ----------------------------------------------------------------
+
+    fn build_events(&mut self, rng: &mut impl Rng) {
+        for i in 0..self.scale.events {
+            let e = self.g.add_entity(format!("event_{i}"));
+            let happened = rng.gen_range(218.0..2018.0);
+            if let Some(h) = self.attrs.happened {
+                self.maybe_numeric(e, h, happened, rng);
+            }
+            if let Some(hi) = self.rels.happened_in {
+                if let Some(&place) = pick(&self.cities, rng) {
+                    self.g.add_triple(e, hi, place);
+                }
+            }
+            if let Some(pi) = self.rels.participated_in {
+                // Participants are adults alive at the event (modern events).
+                if happened > 1800.0 {
+                    for _ in 0..rng.gen_range(1..4usize) {
+                        let target = happened - rng.gen_range(20.0..60.0);
+                        if let Some(j) = closest_to(&self.birth_years, target, usize::MAX) {
+                            self.g.add_triple(self.people[j], pi, e);
+                        }
+                    }
+                }
+            }
+            // Destroyed structures (YAGO): tie to the event era.
+            if let Some(d) = self.attrs.destroyed {
+                if rng.gen::<f64>() < 0.6 {
+                    let s = self.g.add_entity(format!("structure_{i}"));
+                    self.maybe_numeric(
+                        s,
+                        d,
+                        (happened + gaussian(rng) * 5.0).clamp(476.0, 2017.0),
+                        rng,
+                    );
+                    if let Some(hi) = self.rels.happened_in {
+                        self.g.add_triple(e, hi, s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn declare_attrs(profile: Profile, g: &mut KnowledgeGraph) -> Attrs {
+    match profile {
+        Profile::Yago15k => Attrs {
+            birth: g.add_attribute_type("birth"),
+            death: g.add_attribute_type("death"),
+            created: g.add_attribute_type("created"),
+            destroyed: Some(g.add_attribute_type("destroyed")),
+            happened: Some(g.add_attribute_type("happened")),
+            org_founded: None,
+            loc_founded: None,
+            latitude: g.add_attribute_type("latitude"),
+            longitude: g.add_attribute_type("longitude"),
+            area: None,
+            population: None,
+            height: None,
+            weight: None,
+        },
+        Profile::Fb15k237 => Attrs {
+            birth: g.add_attribute_type("birth"),
+            death: g.add_attribute_type("death"),
+            created: g.add_attribute_type("film_release"),
+            destroyed: None,
+            happened: None,
+            org_founded: Some(g.add_attribute_type("org_founded")),
+            loc_founded: Some(g.add_attribute_type("loc_founded")),
+            latitude: g.add_attribute_type("latitude"),
+            longitude: g.add_attribute_type("longitude"),
+            area: Some(g.add_attribute_type("area")),
+            population: Some(g.add_attribute_type("population")),
+            height: Some(g.add_attribute_type("height")),
+            weight: Some(g.add_attribute_type("weight")),
+        },
+    }
+}
+
+fn declare_rels(profile: Profile, g: &mut KnowledgeGraph) -> Rels {
+    let yago = profile == Profile::Yago15k;
+    Rels {
+        located_in: g.add_relation_type("located_in"),
+        capital: g.add_relation_type(if yago { "has_capital" } else { "capital" }),
+        neighbor: g.add_relation_type(if yago { "has_neighbor" } else { "adjoins" }),
+        state_province: (!yago).then(|| g.add_relation_type("state_province")),
+        county: (!yago).then(|| g.add_relation_type("county")),
+        sibling: g.add_relation_type("sibling"),
+        spouse: g.add_relation_type(if yago { "is_married_to" } else { "spouse" }),
+        influenced_by: g.add_relation_type("influenced_by"),
+        nationality: g.add_relation_type(if yago { "is_citizen_of" } else { "nationality" }),
+        directed: g.add_relation_type("directed"),
+        acted_in: g.add_relation_type("acted_in"),
+        music_for: yago.then(|| g.add_relation_type("music_for")),
+        org_in: g.add_relation_type("org_located_in"),
+        member_states: (!yago).then(|| g.add_relation_type("member_states")),
+        team: (!yago).then(|| g.add_relation_type("team")),
+        athlete: (!yago).then(|| g.add_relation_type("athlete")),
+        ethnicity: (!yago).then(|| g.add_relation_type("ethnicity")),
+        participated_in: yago.then(|| g.add_relation_type("participated_in")),
+        happened_in: yago.then(|| g.add_relation_type("happened_in")),
+        film: g.add_relation_type("film"),
+    }
+}
+
+fn pick<'a, T>(v: &'a [T], rng: &mut impl Rng) -> Option<&'a T> {
+    v.choose(rng)
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A random person whose birth year is within `window` of person `i`'s.
+fn nearest_by_birth(births: &[f64], i: usize, window: f64, rng: &mut impl Rng) -> Option<usize> {
+    let mine = births[i];
+    let candidates: Vec<usize> = births
+        .iter()
+        .enumerate()
+        .filter(|&(j, &b)| j != i && (b - mine).abs() <= window)
+        .map(|(j, _)| j)
+        .collect();
+    candidates.choose(rng).copied()
+}
+
+/// The person whose birth year is closest to `target`, excluding `exclude`.
+fn closest_to(births: &[f64], target: f64, exclude: usize) -> Option<usize> {
+    births
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != exclude)
+        .min_by(|a, b| {
+            (a.1 - target)
+                .abs()
+                .partial_cmp(&(b.1 - target).abs())
+                .unwrap()
+        })
+        .map(|(j, _)| j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{attribute_stats, dataset_stats};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn yago_sim_has_expected_attribute_inventory() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        assert_eq!(g.num_attributes(), 7);
+        for name in [
+            "birth",
+            "death",
+            "created",
+            "destroyed",
+            "happened",
+            "latitude",
+            "longitude",
+        ] {
+            assert!(g.attribute_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn fb_sim_has_expected_attribute_inventory() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = fb15k_sim(SynthScale::small(), &mut rng);
+        assert_eq!(g.num_attributes(), 11);
+        for name in [
+            "birth",
+            "death",
+            "film_release",
+            "org_founded",
+            "loc_founded",
+            "latitude",
+            "longitude",
+            "area",
+            "population",
+            "height",
+            "weight",
+        ] {
+            assert!(g.attribute_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g1 = yago15k_sim(SynthScale::small(), &mut StdRng::seed_from_u64(7));
+        let g2 = yago15k_sim(SynthScale::small(), &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1.num_entities(), g2.num_entities());
+        assert_eq!(g1.triples().len(), g2.triples().len());
+        assert_eq!(g1.numerics().len(), g2.numerics().len());
+        for (a, b) in g1.numerics().iter().zip(g2.numerics()) {
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn entity_count_matches_scale_estimate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scale = SynthScale::small();
+        let g = fb15k_sim(scale, &mut rng);
+        // Structures (YAGO only) may add a few extra; FB should be close.
+        let approx = scale.approx_entities();
+        assert!(
+            g.num_entities() >= approx && g.num_entities() <= approx + scale.events,
+            "entities {} vs approx {approx}",
+            g.num_entities()
+        );
+    }
+
+    #[test]
+    fn planted_sibling_birth_correlation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = fb15k_sim(SynthScale::default_scale(), &mut rng);
+        let birth = g.attribute_by_name("birth").unwrap();
+        let sibling = g.relation_by_name("sibling").unwrap();
+        let mut diffs = Vec::new();
+        for t in g.triples().iter().filter(|t| t.rel == sibling) {
+            if let (Some(a), Some(b)) = (g.value_of(t.head, birth), g.value_of(t.tail, birth)) {
+                diffs.push((a - b).abs());
+            }
+        }
+        assert!(diffs.len() > 10, "not enough observed sibling pairs");
+        let mean_diff = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        assert!(
+            mean_diff < 8.0,
+            "sibling births not correlated: mean |Δ| = {mean_diff}"
+        );
+    }
+
+    #[test]
+    fn planted_location_coordinates_correlation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = yago15k_sim(SynthScale::default_scale(), &mut rng);
+        let lat = g.attribute_by_name("latitude").unwrap();
+        let located = g.relation_by_name("located_in").unwrap();
+        let mut diffs = Vec::new();
+        for t in g.triples().iter().filter(|t| t.rel == located) {
+            if let (Some(a), Some(b)) = (g.value_of(t.head, lat), g.value_of(t.tail, lat)) {
+                diffs.push((a - b).abs());
+            }
+        }
+        assert!(diffs.len() > 20);
+        let mean_diff = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        assert!(
+            mean_diff < 6.0,
+            "located_in latitudes not correlated: {mean_diff}"
+        );
+    }
+
+    #[test]
+    fn value_ranges_stay_in_table2_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = fb15k_sim(SynthScale::default_scale(), &mut rng);
+        for s in attribute_stats(&g) {
+            match s.name.as_str() {
+                "height" => {
+                    assert!(s.min >= 1.34 && s.max <= 2.18, "height out of range: {s:?}")
+                }
+                "weight" => {
+                    assert!(
+                        s.min >= 44.0 && s.max <= 147.0,
+                        "weight out of range: {s:?}"
+                    )
+                }
+                "latitude" => assert!(s.min >= -90.0 && s.max <= 90.0),
+                "longitude" => assert!(s.min >= -180.0 && s.max <= 180.0),
+                "population" => assert!(s.max <= 3.1e9),
+                "film_release" => assert!(s.min >= 1927.0 && s.max <= 2013.5),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn graph_is_well_connected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = fb15k_sim(SynthScale::default_scale(), &mut rng);
+        let stats = dataset_stats(&g);
+        assert!(
+            stats.relational_triples as f64 / stats.entities as f64 > 1.0,
+            "{stats:?}"
+        );
+        // Most entities should be reachable (have at least one edge).
+        let isolated = g.entities().filter(|&e| g.degree(e) == 0).count();
+        assert!(
+            (isolated as f64) < 0.1 * stats.entities as f64,
+            "{isolated} isolated of {}",
+            stats.entities
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Weight initializers.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Initialization schemes for learnable tensors.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// All set to the given constant.
+    Const(f32),
+    /// Uniform in `[-a, a]`.
+    Uniform(f32),
+    /// Gaussian with the given standard deviation.
+    Normal(f32),
+    /// Glorot/Xavier uniform: `U(-sqrt(6/(fan_in+fan_out)), +...)`.
+    ///
+    /// Fan-in/out are taken from the last two dims; rank-1 tensors use
+    /// `fan_in = fan_out = len`.
+    XavierUniform,
+    /// Kaiming/He normal for ReLU-family activations: `N(0, sqrt(2/fan_in))`.
+    KaimingNormal,
+}
+
+impl Init {
+    /// Draws a tensor of `shape` according to the scheme.
+    pub fn sample(self, shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        let (fan_in, fan_out) = fans(&shape);
+        let data: Vec<f32> = match self {
+            Init::Zeros => vec![0.0; n],
+            Init::Const(c) => vec![c; n],
+            Init::Uniform(a) => (0..n).map(|_| rng.gen_range(-a..=a)).collect(),
+            Init::Normal(std) => (0..n).map(|_| std * gaussian(rng)).collect(),
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+            }
+            Init::KaimingNormal => {
+                let std = (2.0 / fan_in as f32).sqrt();
+                (0..n).map(|_| std * gaussian(rng)).collect()
+            }
+        };
+        Tensor::new(shape, data)
+    }
+}
+
+/// `(fan_in, fan_out)` for a weight shape, matching the PyTorch convention of
+/// `[out, in]`-style trailing dims read as `[.., fan_out, fan_in]` — except we
+/// store linear weights as `[in, out]`, so fan_in is the second-to-last dim.
+fn fans(shape: &Shape) -> (usize, usize) {
+    match shape.rank() {
+        0 => (1, 1),
+        1 => (shape.dim(0).max(1), shape.dim(0).max(1)),
+        r => (shape.dim(r - 2).max(1), shape.dim(r - 1).max(1)),
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_const() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Init::Zeros
+            .sample([4], &mut rng)
+            .data()
+            .iter()
+            .all(|&x| x == 0.0));
+        assert!(Init::Const(2.5)
+            .sample([4], &mut rng)
+            .data()
+            .iter()
+            .all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Init::Uniform(0.1).sample([1000], &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.1..=0.1).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_bound_from_fans() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Init::XavierUniform.sample([100, 50], &mut rng);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn normal_statistics_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Init::Normal(1.0).sample([20_000], &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.numel() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_is_finite() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(gaussian(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # cf-tensor
+//!
+//! A minimal, dependency-light CPU tensor library with reverse-mode autodiff,
+//! built from scratch as the neural substrate for the ChainsFormer
+//! reproduction (no mature deep-learning stack exists in offline Rust).
+//!
+//! Pieces:
+//! - [`tensor::Tensor`] — dense row-major `f32` storage with matmul/bmm
+//!   kernels usable outside autodiff;
+//! - [`tape::Tape`] / [`tape::Var`] — an arena-based autodiff tape: every op
+//!   appends a node, and a single reverse scan backpropagates (see
+//!   [`crate::ops`] for the op set);
+//! - [`params::ParamStore`] — flat parameter arena shared by layers and
+//!   optimizers;
+//! - [`nn`] — Linear/MLP/Embedding/LayerNorm, multi-head attention,
+//!   encoder-only Transformers, and an LSTM for the paper's ablation;
+//! - [`optim`] — Adam (paper default) and SGD with global-norm clipping;
+//! - [`gradcheck`] — finite-difference gradient checking used across tests.
+//!
+//! ## Example
+//! ```
+//! use cf_tensor::{Tape, Tensor, ParamStore, nn::{Mlp, Activation}, optim::Adam};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut ps = ParamStore::new();
+//! let mlp = Mlp::new(&mut ps, "f", &[2, 16, 1], Activation::Tanh, &mut rng);
+//! let mut opt = Adam::new(1e-2);
+//! for _ in 0..10 {
+//!     let mut tape = Tape::new();
+//!     let x = tape.leaf(Tensor::new([4, 2], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]));
+//!     let pred = mlp.forward(&mut tape, &ps, x);
+//!     let loss = tape.mse_loss(pred, &Tensor::new([4, 1], vec![0.0, 1.0, 1.0, 0.0]));
+//!     let grads = tape.backward(loss, ps.len());
+//!     opt.step(&mut ps, &grads);
+//! }
+//! assert!(ps.all_finite());
+//! ```
+
+pub mod gradcheck;
+pub mod init;
+pub mod nn;
+pub mod ops;
+pub mod optim;
+pub mod params;
+pub mod serialize;
+pub mod shape;
+pub mod tape;
+pub mod tensor;
+
+pub use init::Init;
+pub use params::{ParamId, ParamStore};
+pub use serialize::{load_params, save_params, CheckpointError};
+pub use shape::Shape;
+pub use tape::{GradStore, Tape, Var};
+pub use tensor::Tensor;

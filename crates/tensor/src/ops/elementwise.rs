@@ -1,0 +1,457 @@
+//! Elementwise and broadcasting ops.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// `a + b`, same shape.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(
+            value,
+            Some(Box::new(move |g, _t, grads| {
+                grads.accumulate(a, g.clone());
+                grads.accumulate(b, g.clone());
+            })),
+        )
+    }
+
+    /// `a - b`, same shape.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(
+            value,
+            Some(Box::new(move |g, _t, grads| {
+                grads.accumulate(a, g.clone());
+                grads.accumulate(b, g.map(|x| -x));
+            })),
+        )
+    }
+
+    /// Hadamard product `a ⊙ b`, same shape.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(
+            value,
+            Some(Box::new(move |g, t, grads| {
+                grads.accumulate(a, g.zip(t.value(b), |gi, bi| gi * bi));
+                grads.accumulate(b, g.zip(t.value(a), |gi, ai| gi * ai));
+            })),
+        )
+    }
+
+    /// Elementwise `a / b`, same shape.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x / y);
+        self.push(
+            value,
+            Some(Box::new(move |g, t, grads| {
+                let bv = t.value(b);
+                grads.accumulate(a, g.zip(bv, |gi, bi| gi / bi));
+                let av = t.value(a);
+                let mut db = g.zip(av, |gi, ai| gi * ai);
+                let db2 = db.zip(bv, |x, bi| -x / (bi * bi));
+                db = db2;
+                grads.accumulate(b, db);
+            })),
+        )
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| -x);
+        self.push(
+            value,
+            Some(Box::new(move |g, _t, grads| {
+                grads.accumulate(a, g.map(|x| -x));
+            })),
+        )
+    }
+
+    /// `a + c` for a scalar constant `c`.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| x + c);
+        self.push(
+            value,
+            Some(Box::new(move |g, _t, grads| {
+                grads.accumulate(a, g.clone());
+            })),
+        )
+    }
+
+    /// `c * a` for a scalar constant `c`.
+    pub fn mul_scalar(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| c * x);
+        self.push(
+            value,
+            Some(Box::new(move |g, _t, grads| {
+                grads.accumulate(a, g.map(|x| c * x));
+            })),
+        )
+    }
+
+    /// Adds a constant tensor with no gradient path into it (e.g. an additive
+    /// attention mask). Shapes must match.
+    pub fn add_const(&mut self, a: Var, c: &Tensor) -> Var {
+        let value = self.value(a).zip(c, |x, y| x + y);
+        self.push(
+            value,
+            Some(Box::new(move |g, _t, grads| {
+                grads.accumulate(a, g.clone());
+            })),
+        )
+    }
+
+    /// Row-broadcast add: `a[.., d] + b[d]`.
+    pub fn add_bias(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let bv = self.value(b);
+        assert_eq!(
+            bv.shape().numel(),
+            d,
+            "add_bias: bias length {} != last dim {d}",
+            bv.numel()
+        );
+        let mut out = av.clone();
+        for row in 0..out.shape().leading() {
+            let base = row * d;
+            for j in 0..d {
+                out.data_mut()[base + j] += bv.data()[j];
+            }
+        }
+        self.push(
+            out,
+            Some(Box::new(move |g, _t, grads| {
+                grads.accumulate(a, g.clone());
+                let d = g.shape().last_dim();
+                let mut db = vec![0.0f32; d];
+                for row in 0..g.shape().leading() {
+                    for j in 0..d {
+                        db[j] += g.data()[row * d + j];
+                    }
+                }
+                grads.accumulate(b, Tensor::new([d], db));
+            })),
+        )
+    }
+
+    /// Row-broadcast multiply: `a[.., d] ⊙ b[d]`.
+    pub fn mul_bcast_row(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let bv = self.value(b);
+        assert_eq!(
+            bv.shape().numel(),
+            d,
+            "mul_bcast_row: length {} != last dim {d}",
+            bv.numel()
+        );
+        let mut out = av.clone();
+        for row in 0..out.shape().leading() {
+            let base = row * d;
+            for j in 0..d {
+                out.data_mut()[base + j] *= bv.data()[j];
+            }
+        }
+        self.push(
+            out,
+            Some(Box::new(move |g, t, grads| {
+                let d = g.shape().last_dim();
+                let rows = g.shape().leading();
+                let bv = t.value(b);
+                let av = t.value(a);
+                let mut da = g.clone();
+                let mut db = vec![0.0f32; d];
+                for row in 0..rows {
+                    let base = row * d;
+                    for j in 0..d {
+                        da.data_mut()[base + j] *= bv.data()[j];
+                        db[j] += g.data()[base + j] * av.data()[base + j];
+                    }
+                }
+                grads.accumulate(a, da);
+                grads.accumulate(b, Tensor::new([d], db));
+            })),
+        )
+    }
+
+    /// Scales each row of `a` (viewed as `[L, d]`) by the matching scalar of
+    /// `w` (numel `L`): `out[r, :] = w[r] * a[r, :]`.
+    ///
+    /// This is the workhorse for masking, attention-weighted sums and
+    /// per-chain weighting.
+    pub fn scale_rows(&mut self, a: Var, w: Var) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let rows = av.shape().leading();
+        let wv = self.value(w);
+        assert_eq!(
+            wv.numel(),
+            rows,
+            "scale_rows: weights {} != rows {rows}",
+            wv.numel()
+        );
+        let mut out = av.clone();
+        for r in 0..rows {
+            let s = wv.data()[r];
+            for x in &mut out.data_mut()[r * d..(r + 1) * d] {
+                *x *= s;
+            }
+        }
+        self.push(
+            out,
+            Some(Box::new(move |g, t, grads| {
+                let av = t.value(a);
+                let wv = t.value(w);
+                let d = av.shape().last_dim();
+                let rows = av.shape().leading();
+                let mut da = g.clone();
+                let mut dw = vec![0.0f32; rows];
+                for r in 0..rows {
+                    let s = wv.data()[r];
+                    let base = r * d;
+                    for j in 0..d {
+                        dw[r] += g.data()[base + j] * av.data()[base + j];
+                        da.data_mut()[base + j] *= s;
+                    }
+                }
+                grads.accumulate(a, da);
+                grads.accumulate(w, Tensor::new(wv.shape().clone(), dw));
+            })),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        self.push(
+            value,
+            Some(Box::new(move |g, t, grads| {
+                grads.accumulate(a, g.zip(t.value(a), |gi, x| if x > 0.0 { gi } else { 0.0 }));
+            })),
+        )
+    }
+
+    /// GELU with the tanh approximation (as used by most Transformer stacks).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(gelu_fwd);
+        self.push(
+            value,
+            Some(Box::new(move |g, t, grads| {
+                grads.accumulate(a, g.zip(t.value(a), |gi, x| gi * gelu_grad(x)));
+            })),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        let out = self.push(
+            value,
+            Some(Box::new(move |_g, _t, _grads| {
+                unreachable!("replaced below")
+            })),
+        );
+        // tanh's gradient is cheapest in terms of the *output*; rebuild the
+        // closure now that we know the output var id.
+        self.nodes[out.0].backward = Some(Box::new(move |g, t, grads| {
+            grads.accumulate(a, g.zip(t.value(out), |gi, y| gi * (1.0 - y * y)));
+        }));
+        out
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let out = self.push(value, None);
+        self.nodes[out.0].backward = Some(Box::new(move |g, t, grads| {
+            grads.accumulate(a, g.zip(t.value(out), |gi, y| gi * y * (1.0 - y)));
+        }));
+        out
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::exp);
+        let out = self.push(value, None);
+        self.nodes[out.0].backward = Some(Box::new(move |g, t, grads| {
+            grads.accumulate(a, g.zip(t.value(out), |gi, y| gi * y));
+        }));
+        out
+    }
+
+    /// Elementwise natural log (inputs must be positive).
+    pub fn ln(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::ln);
+        self.push(
+            value,
+            Some(Box::new(move |g, t, grads| {
+                grads.accumulate(a, g.zip(t.value(a), |gi, x| gi / x));
+            })),
+        )
+    }
+
+    /// Inverted dropout: at train time zeroes each element with probability
+    /// `p` and rescales survivors by `1/(1-p)`; identity when `p == 0`.
+    pub fn dropout(&mut self, a: Var, p: f32, rng: &mut impl rand::Rng) -> Var {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0,1), got {p}"
+        );
+        if p == 0.0 {
+            return a;
+        }
+        let keep = 1.0 - p;
+        let av = self.value(a);
+        let mask: Vec<f32> = (0..av.numel())
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Tensor::new(av.shape().clone(), mask);
+        let value = av.zip(&mask, |x, m| x * m);
+        self.push(
+            value,
+            Some(Box::new(move |g, _t, grads| {
+                grads.accumulate(a, g.zip(&mask, |gi, m| gi * m));
+            })),
+        )
+    }
+}
+
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044_715 * x * x * x);
+    let th = inner.tanh();
+    let sech2 = 1.0 - th * th;
+    0.5 * (1.0 + th) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(v: f32) -> Tensor {
+        Tensor::vector(&[v])
+    }
+
+    #[test]
+    fn add_forward_and_grad() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::vector(&[1.0, 2.0]));
+        let b = t.leaf(Tensor::vector(&[3.0, 4.0]));
+        let c = t.add(a, b);
+        assert_eq!(t.value(c).data(), &[4.0, 6.0]);
+        let s = t.sum_all(c);
+        let g = t.backward(s, 0);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_grad_swaps_operands() {
+        let mut t = Tape::new();
+        let a = t.leaf(single(3.0));
+        let b = t.leaf(single(5.0));
+        let c = t.mul(a, b);
+        let g = t.backward(c, 0);
+        assert_eq!(g.grad(a).unwrap().item(), 5.0);
+        assert_eq!(g.grad(b).unwrap().item(), 3.0);
+    }
+
+    #[test]
+    fn div_grads() {
+        let mut t = Tape::new();
+        let a = t.leaf(single(6.0));
+        let b = t.leaf(single(2.0));
+        let c = t.div(a, b);
+        assert_eq!(t.value(c).item(), 3.0);
+        let g = t.backward(c, 0);
+        assert!((g.grad(a).unwrap().item() - 0.5).abs() < 1e-6);
+        assert!((g.grad(b).unwrap().item() + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_bias_broadcasts_rows() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::matrix(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = t.leaf(Tensor::vector(&[10.0, 20.0]));
+        let c = t.add_bias(a, b);
+        assert_eq!(t.value(c).data(), &[11.0, 22.0, 13.0, 24.0]);
+        let s = t.sum_all(c);
+        let g = t.backward(s, 0);
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_rows_forward_and_grads() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::matrix(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let w = t.leaf(Tensor::vector(&[2.0, 0.5]));
+        let c = t.scale_rows(a, w);
+        assert_eq!(t.value(c).data(), &[2.0, 4.0, 1.5, 2.0]);
+        let s = t.sum_all(c);
+        let g = t.backward(s, 0);
+        assert_eq!(g.grad(w).unwrap().data(), &[3.0, 7.0]);
+        assert_eq!(g.grad(a).unwrap().data(), &[2.0, 2.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn relu_kills_negative_grad() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::vector(&[-1.0, 2.0]));
+        let r = t.relu(a);
+        assert_eq!(t.value(r).data(), &[0.0, 2.0]);
+        let s = t.sum_all(r);
+        let g = t.backward(s, 0);
+        assert_eq!(g.grad(a).unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_grad_uses_output() {
+        let mut t = Tape::new();
+        let a = t.leaf(single(0.5));
+        let y = t.tanh(a);
+        let g = t.backward(y, 0);
+        let expect = 1.0 - 0.5f32.tanh().powi(2);
+        assert!((g.grad(a).unwrap().item() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh approximation itself at x=0 and x→∞.
+        assert_eq!(gelu_fwd(0.0), 0.0);
+        assert!((gelu_fwd(10.0) - 10.0).abs() < 1e-4);
+        assert!(gelu_fwd(-10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let mut t = Tape::new();
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let a = t.leaf(Tensor::vector(&[1.0, 2.0]));
+        let d = t.dropout(a, 0.0, &mut rng);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_roughly() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::full([10_000], 1.0));
+        let d = t.dropout(a, 0.3, &mut rng);
+        let m = t.value(d).mean();
+        assert!((m - 1.0).abs() < 0.05, "mean after dropout {m}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Matrix-product and transpose ops.
+
+use crate::tape::{Tape, Var};
+
+impl Tape {
+    /// Rank-2 matrix product `[m,k] x [k,n] -> [m,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(
+            value,
+            Some(Box::new(move |g, t, grads| {
+                // dA = G Bᵀ ; dB = Aᵀ G
+                let bt = t.value(b).transpose();
+                grads.accumulate(a, g.matmul(&bt));
+                let at = t.value(a).transpose();
+                grads.accumulate(b, at.matmul(g));
+            })),
+        )
+    }
+
+    /// Batched matrix product `[B,m,k] x [B,k,n] -> [B,m,n]`.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).bmm(self.value(b));
+        self.push(
+            value,
+            Some(Box::new(move |g, t, grads| {
+                let bt = t.value(b).transpose_batch();
+                grads.accumulate(a, g.bmm(&bt));
+                let at = t.value(a).transpose_batch();
+                grads.accumulate(b, at.bmm(g));
+            })),
+        )
+    }
+
+    /// Rank-2 transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose();
+        self.push(
+            value,
+            Some(Box::new(move |g, _t, grads| {
+                grads.accumulate(a, g.transpose());
+            })),
+        )
+    }
+
+    /// Batched transpose of the trailing two dims.
+    pub fn transpose_batch(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose_batch();
+        self.push(
+            value,
+            Some(Box::new(move |g, _t, grads| {
+                grads.accumulate(a, g.transpose_batch());
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn matmul_grads_match_manual() {
+        // f = sum(A B); dA = 1 Bᵀ, dB = Aᵀ 1
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::matrix(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = t.leaf(Tensor::matrix(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let c = t.matmul(a, b);
+        let s = t.sum_all(c);
+        let g = t.backward(s, 0);
+        // row sums of B give dA columns: dA[i][j] = sum_k B[j][k]
+        assert_eq!(g.grad(a).unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        // col sums of A give dB rows: dB[j][k] = sum_i A[i][j]
+        assert_eq!(g.grad(b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_grad_round_trips() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::matrix(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]));
+        let tr = t.transpose(a);
+        assert_eq!(t.value(tr).shape().as_matrix(), (3, 2));
+        let s = t.sum_all(tr);
+        let g = t.backward(s, 0);
+        assert_eq!(g.grad(a).unwrap().shape().as_matrix(), (2, 3));
+        assert!(g.grad(a).unwrap().data().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn bmm_grad_shapes() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::new(
+            [2, 2, 3],
+            (0..12).map(|x| x as f32 * 0.1).collect(),
+        ));
+        let b = t.leaf(Tensor::new(
+            [2, 3, 4],
+            (0..24).map(|x| x as f32 * 0.1).collect(),
+        ));
+        let c = t.bmm(a, b);
+        assert_eq!(t.value(c).shape().as_batch_matrix(), (2, 2, 4));
+        let s = t.sum_all(c);
+        let g = t.backward(s, 0);
+        assert_eq!(g.grad(a).unwrap().shape().as_batch_matrix(), (2, 2, 3));
+        assert_eq!(g.grad(b).unwrap().shape().as_batch_matrix(), (2, 3, 4));
+    }
+}

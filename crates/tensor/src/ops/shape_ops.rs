@@ -1,0 +1,243 @@
+//! Shape-manipulating ops: reshape, slicing/concatenation along the last dim,
+//! row gathering and stacking.
+
+use crate::shape::Shape;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Metadata-only reshape (element count preserved).
+    pub fn reshape(&mut self, a: Var, shape: impl Into<Shape>) -> Var {
+        let old = self.value(a).shape().clone();
+        let value = self.value(a).reshape(shape);
+        self.push(
+            value,
+            Some(Box::new(move |g, _t, grads| {
+                grads.accumulate(a, g.reshape(old.clone()));
+            })),
+        )
+    }
+
+    /// Slices `len` columns starting at `start` from the last dimension.
+    pub fn slice_last(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        assert!(
+            start + len <= d,
+            "slice_last [{start},{}) out of last dim {d}",
+            start + len
+        );
+        let rows = av.shape().leading();
+        let mut out = Vec::with_capacity(rows * len);
+        for r in 0..rows {
+            out.extend_from_slice(&av.data()[r * d + start..r * d + start + len]);
+        }
+        let mut shape = av.shape().0.clone();
+        *shape.last_mut().unwrap() = len;
+        self.push(
+            Tensor::new(shape, out),
+            Some(Box::new(move |g, t, grads| {
+                let av = t.value(a);
+                let d = av.shape().last_dim();
+                let rows = av.shape().leading();
+                let mut da = Tensor::zeros(av.shape().clone());
+                for r in 0..rows {
+                    da.data_mut()[r * d + start..r * d + start + len]
+                        .copy_from_slice(&g.data()[r * len..(r + 1) * len]);
+                }
+                grads.accumulate(a, da);
+            })),
+        )
+    }
+
+    /// Concatenates tensors along the last dimension. All inputs must share
+    /// their leading dims.
+    pub fn concat_last(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_last of zero tensors");
+        let rows = self.value(parts[0]).shape().leading();
+        let widths: Vec<usize> = parts
+            .iter()
+            .map(|&p| self.value(p).shape().last_dim())
+            .collect();
+        for &p in parts {
+            assert_eq!(
+                self.value(p).shape().leading(),
+                rows,
+                "concat_last leading-dim mismatch"
+            );
+        }
+        let total: usize = widths.iter().sum();
+        let mut out = Vec::with_capacity(rows * total);
+        for r in 0..rows {
+            for (&p, &w) in parts.iter().zip(&widths) {
+                let v = self.value(p);
+                out.extend_from_slice(&v.data()[r * w..(r + 1) * w]);
+            }
+        }
+        let mut shape = self.value(parts[0]).shape().0.clone();
+        *shape.last_mut().unwrap() = total;
+        let parts: Vec<Var> = parts.to_vec();
+        self.push(
+            Tensor::new(shape, out),
+            Some(Box::new(move |g, t, grads| {
+                let rows = t.value(parts[0]).shape().leading();
+                let widths: Vec<usize> = parts
+                    .iter()
+                    .map(|&p| t.value(p).shape().last_dim())
+                    .collect();
+                let total: usize = widths.iter().sum();
+                for (pi, &p) in parts.iter().enumerate() {
+                    let w = widths[pi];
+                    let offset: usize = widths[..pi].iter().sum();
+                    let mut dp = Tensor::zeros(t.value(p).shape().clone());
+                    for r in 0..rows {
+                        dp.data_mut()[r * w..(r + 1) * w]
+                            .copy_from_slice(&g.data()[r * total + offset..r * total + offset + w]);
+                    }
+                    grads.accumulate(p, dp);
+                }
+            })),
+        )
+    }
+
+    /// Gathers rows of `a` (viewed as `[L, d]`) by index, producing
+    /// `[indices.len(), d]`. Serves embedding lookup (`a` = table) and
+    /// per-sequence token selection (`a` = `[B,T,d]` viewed as `[B*T, d]`).
+    /// The backward pass scatter-adds, so repeated indices are safe.
+    pub fn select_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let rows = av.shape().leading();
+        let mut out = Vec::with_capacity(indices.len() * d);
+        for &i in indices {
+            assert!(i < rows, "select_rows index {i} out of {rows} rows");
+            out.extend_from_slice(&av.data()[i * d..(i + 1) * d]);
+        }
+        let indices: Vec<usize> = indices.to_vec();
+        self.push(
+            Tensor::new([indices.len(), d], out),
+            Some(Box::new(move |g, t, grads| {
+                let av = t.value(a);
+                let d = av.shape().last_dim();
+                let mut da = Tensor::zeros(av.shape().clone());
+                for (o, &i) in indices.iter().enumerate() {
+                    for j in 0..d {
+                        da.data_mut()[i * d + j] += g.data()[o * d + j];
+                    }
+                }
+                grads.accumulate(a, da);
+            })),
+        )
+    }
+
+    /// Stacks rank-1 vectors of equal length into a `[k, d]` matrix.
+    pub fn stack_rows(&mut self, rows: &[Var]) -> Var {
+        assert!(!rows.is_empty(), "stack_rows of zero vectors");
+        let d = self.value(rows[0]).numel();
+        let mut out = Vec::with_capacity(rows.len() * d);
+        for &r in rows {
+            let v = self.value(r);
+            assert_eq!(v.numel(), d, "stack_rows length mismatch");
+            out.extend_from_slice(v.data());
+        }
+        let rows: Vec<Var> = rows.to_vec();
+        let k = rows.len();
+        self.push(
+            Tensor::new([k, d], out),
+            Some(Box::new(move |g, t, grads| {
+                for (i, &r) in rows.iter().enumerate() {
+                    let shape = t.value(r).shape().clone();
+                    grads.accumulate(r, Tensor::new(shape, g.row(i).to_vec()));
+                }
+            })),
+        )
+    }
+
+    /// Extracts row `i` of `a` (viewed as `[L, d]`) as a rank-1 vector.
+    pub fn row(&mut self, a: Var, i: usize) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let value = Tensor::new([d], av.row(i).to_vec());
+        self.push(
+            value,
+            Some(Box::new(move |g, t, grads| {
+                let av = t.value(a);
+                let d = av.shape().last_dim();
+                let mut da = Tensor::zeros(av.shape().clone());
+                da.data_mut()[i * d..(i + 1) * d].copy_from_slice(g.data());
+                grads.accumulate(a, da);
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_round_trips_grad() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::new([2, 3], (0..6).map(|x| x as f32).collect()));
+        let r = t.reshape(a, [3, 2]);
+        let s = t.sum_all(r);
+        let g = t.backward(s, 0);
+        assert_eq!(g.grad(a).unwrap().shape().as_matrix(), (2, 3));
+    }
+
+    #[test]
+    fn slice_then_concat_is_identity() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::new([2, 4], (0..8).map(|x| x as f32).collect()));
+        let left = t.slice_last(a, 0, 2);
+        let right = t.slice_last(a, 2, 2);
+        let back = t.concat_last(&[left, right]);
+        assert_eq!(t.value(back).data(), t.value(a).data());
+        let s = t.sum_all(back);
+        let g = t.backward(s, 0);
+        assert!(g.grad(a).unwrap().data().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn select_rows_gathers_and_scatters() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::matrix(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let sel = t.select_rows(a, &[2, 0, 2]);
+        assert_eq!(t.value(sel).data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let s = t.sum_all(sel);
+        let g = t.backward(s, 0);
+        // row 2 selected twice -> grad 2, row 0 once -> 1, row 1 never -> 0.
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn select_rows_on_rank3_view() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::new([2, 2, 2], (0..8).map(|x| x as f32).collect()));
+        // [B*T, d] view; pick token 1 of batch 0 and token 0 of batch 1.
+        let sel = t.select_rows(a, &[1, 2]);
+        assert_eq!(t.value(sel).data(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix_and_routes_grads() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::vector(&[1.0, 2.0]));
+        let b = t.leaf(Tensor::vector(&[3.0, 4.0]));
+        let m = t.stack_rows(&[a, b]);
+        assert_eq!(t.value(m).shape().as_matrix(), (2, 2));
+        let r1 = t.row(m, 1);
+        let s = t.sum_all(r1);
+        let g = t.backward(s, 0);
+        assert!(g.grad(a).is_none() || g.grad(a).unwrap().data().iter().all(|&x| x == 0.0));
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of last dim")]
+    fn slice_last_bounds_checked() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::zeros([2, 3]));
+        t.slice_last(a, 2, 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Checkpointing: a small self-describing binary format for
+//! [`crate::params::ParamStore`] (no external serialization crates needed).
+//!
+//! Layout (all integers little-endian):
+//! ```text
+//! magic "CFT1" | u32 n_params
+//! per param: u32 name_len | name bytes | u32 rank | u32 dims… | f32 data…
+//! ```
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"CFT1";
+
+/// Errors raised while reading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the checkpoint magic.
+    BadMagic,
+    /// Parameter count/name/shape disagrees with the receiving store.
+    Mismatch(String),
+    /// Structurally invalid data (bad lengths, non-UTF-8 names).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "io error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a ChainsFormer checkpoint (bad magic)"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes every parameter (name, shape, data) to `w`.
+pub fn save_params(store: &ParamStore, mut w: impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, tensor) in store.iter() {
+        let name_bytes = name.as_bytes();
+        w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(name_bytes)?;
+        let dims = &tensor.shape().0;
+        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &x in tensor.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a checkpoint into an *identically structured* store: parameter
+/// count, names, and shapes must match (the architecture is reconstructed
+/// from configuration, not from the checkpoint).
+pub fn load_params(store: &mut ParamStore, mut r: impl Read) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let n = read_u32(&mut r)? as usize;
+    if n != store.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {n} params, store has {}",
+            store.len()
+        )));
+    }
+    // Read into staging first so a mismatch never leaves the store half
+    // overwritten.
+    let mut staged: Vec<Tensor> = Vec::with_capacity(n);
+    for (id, name, tensor) in store.iter() {
+        let _ = id;
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 1 << 20 {
+            return Err(CheckpointError::Corrupt(format!(
+                "absurd name length {name_len}"
+            )));
+        }
+        let mut name_buf = vec![0u8; name_len];
+        r.read_exact(&mut name_buf)?;
+        let ck_name = String::from_utf8(name_buf)
+            .map_err(|_| CheckpointError::Corrupt("non-utf8 parameter name".into()))?;
+        if ck_name != name {
+            return Err(CheckpointError::Mismatch(format!(
+                "expected param {name:?}, found {ck_name:?}"
+            )));
+        }
+        let rank = read_u32(&mut r)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u32(&mut r)? as usize);
+        }
+        if dims != tensor.shape().0 {
+            return Err(CheckpointError::Mismatch(format!(
+                "param {name:?}: checkpoint shape {dims:?} vs store {:?}",
+                tensor.shape().0
+            )));
+        }
+        let numel: usize = dims.iter().product::<usize>().max(1);
+        let numel = if dims.is_empty() { 1 } else { numel };
+        let mut data = Vec::with_capacity(numel);
+        let mut buf = [0u8; 4];
+        for _ in 0..numel {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        staged.push(Tensor::new(dims, data));
+    }
+    for (i, t) in staged.into_iter().enumerate() {
+        *store.get_mut(crate::params::ParamId(i)) = t;
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParamStore {
+        let mut ps = ParamStore::new();
+        ps.add(
+            "a",
+            Tensor::new([2, 3], (0..6).map(|x| x as f32 * 0.5).collect()),
+        );
+        ps.add("b", Tensor::vector(&[7.0, -1.5]));
+        ps
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let src = store();
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        let mut dst = store();
+        // Perturb destination to prove data actually loads.
+        dst.get_mut(crate::params::ParamId(0)).data_mut()[0] = 99.0;
+        load_params(&mut dst, &buf[..]).unwrap();
+        for ((_, _, a), (_, _, b)) in src.iter().zip(dst.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut dst = store();
+        let err = load_params(&mut dst, &b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch_without_corrupting() {
+        let src = store();
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        let mut other = ParamStore::new();
+        other.add("a", Tensor::zeros([2, 3]));
+        other.add("b", Tensor::zeros([3])); // wrong shape
+        let before = other.get(crate::params::ParamId(0)).clone();
+        assert!(load_params(&mut other, &buf[..]).is_err());
+        assert_eq!(
+            other.get(crate::params::ParamId(0)),
+            &before,
+            "store was corrupted"
+        );
+    }
+
+    #[test]
+    fn rejects_name_mismatch() {
+        let src = store();
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        let mut other = ParamStore::new();
+        other.add("a", Tensor::zeros([2, 3]));
+        other.add("c", Tensor::zeros([2]));
+        let err = load_params(&mut other, &buf[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let src = store();
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut dst = store();
+        assert!(load_params(&mut dst, &buf[..]).is_err());
+    }
+
+    #[test]
+    fn scalar_params_round_trip() {
+        let mut src = ParamStore::new();
+        src.add("s", Tensor::scalar(3.5));
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        let mut dst = ParamStore::new();
+        dst.add("s", Tensor::scalar(0.0));
+        load_params(&mut dst, &buf[..]).unwrap();
+        assert_eq!(dst.get(crate::params::ParamId(0)).item(), 3.5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Shape utilities for row-major contiguous tensors.
+
+/// A tensor shape: dimension sizes, outermost first.
+///
+/// Tensors in this crate are always row-major and contiguous, so a shape plus
+/// a flat `Vec<f32>` fully describes the data. There are no strided views;
+/// `reshape` is metadata-only and `transpose` materializes.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(vec![])
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Size of the last dimension; 1 for scalars.
+    pub fn last_dim(&self) -> usize {
+        self.0.last().copied().unwrap_or(1)
+    }
+
+    /// Number of rows when the tensor is viewed as `[numel / last_dim, last_dim]`.
+    pub fn leading(&self) -> usize {
+        if self.0.is_empty() {
+            1
+        } else {
+            self.0[..self.0.len() - 1].iter().product()
+        }
+    }
+
+    /// Dimension size at `i`, panicking with a readable message out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        assert!(
+            i < self.0.len(),
+            "dim {i} out of range for shape {:?}",
+            self.0
+        );
+        self.0[i]
+    }
+
+    /// Interprets the shape as a matrix `[rows, cols]`.
+    ///
+    /// Panics unless the rank is exactly 2.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        assert!(self.rank() == 2, "expected rank-2 shape, got {:?}", self.0);
+        (self.0[0], self.0[1])
+    }
+
+    /// Interprets the shape as a batch of matrices `[batch, rows, cols]`.
+    ///
+    /// Panics unless the rank is exactly 3.
+    pub fn as_batch_matrix(&self) -> (usize, usize, usize) {
+        assert!(self.rank() == 3, "expected rank-3 shape, got {:?}", self.0);
+        (self.0[0], self.0[1], self.0[2])
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.last_dim(), 4);
+        assert_eq!(s.leading(), 6);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.last_dim(), 1);
+        assert_eq!(s.leading(), 1);
+    }
+
+    #[test]
+    fn matrix_views() {
+        assert_eq!(Shape::from([3, 5]).as_matrix(), (3, 5));
+        assert_eq!(Shape::from([2, 3, 5]).as_batch_matrix(), (2, 3, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-2")]
+    fn as_matrix_rejects_vector() {
+        Shape::from([3]).as_matrix();
+    }
+}

@@ -1,0 +1,241 @@
+//! Arena-based reverse-mode autodiff tape.
+//!
+//! Every differentiable op appends one node to the tape; node ids are handed
+//! out as lightweight [`Var`]s. Because the arena is append-only, parents
+//! always have smaller indices than children, so a single reverse scan of the
+//! arena is a valid topological traversal for backpropagation — no explicit
+//! graph sort is needed. This follows the "arena over `Rc<RefCell>` graph"
+//! idiom for linked structures in Rust.
+
+use crate::params::ParamId;
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Tape`]. Cheap to copy; only valid for the tape
+/// that produced it.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Raw node index on the owning tape.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Backward rule of one node: given the incoming gradient of the node it may
+/// read any forward value from the tape and must accumulate gradients into
+/// its parents via [`GradStore::accumulate`].
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &Tape, &mut GradStore)>;
+
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    /// `None` marks a leaf (input, constant, or parameter).
+    pub(crate) backward: Option<BackwardFn>,
+    /// Set when the leaf mirrors a parameter from a `ParamStore`.
+    pub(crate) param: Option<ParamId>,
+}
+
+/// The autodiff tape: an arena of nodes recording one forward pass.
+///
+/// A tape is built per forward pass and dropped afterwards; parameters live
+/// in a [`crate::params::ParamStore`] and are copied onto the tape by
+/// [`Tape::param`].
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    pub(crate) fn push(&mut self, value: Tensor, backward: Option<BackwardFn>) -> Var {
+        self.nodes.push(Node {
+            value,
+            backward,
+            param: None,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a leaf whose gradient is retained after backward (an "input").
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, None)
+    }
+
+    /// Records a constant; identical to a leaf, named for intent.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.leaf(value)
+    }
+
+    /// Records a scalar constant.
+    pub fn scalar(&mut self, value: f32) -> Var {
+        self.leaf(Tensor::scalar(value))
+    }
+
+    /// Copies a parameter onto the tape; its gradient lands in
+    /// [`GradStore::param_grad`] after backward.
+    pub fn param(&mut self, store: &crate::params::ParamStore, id: ParamId) -> Var {
+        let v = self.push(store.get(id).clone(), None);
+        self.nodes[v.0].param = Some(id);
+        v
+    }
+
+    /// Runs backpropagation from `loss` (normally a scalar), returning the
+    /// gradient store. `num_params` sizes the per-parameter gradient table;
+    /// pass `store.len()`.
+    pub fn backward(&self, loss: Var, num_params: usize) -> GradStore {
+        let mut grads = GradStore::new(self.nodes.len(), num_params);
+        grads.accumulate(loss, Tensor::ones(self.value(loss).shape().clone()));
+        for i in (0..=loss.0).rev() {
+            let node = &self.nodes[i];
+            match &node.backward {
+                Some(f) => {
+                    // Interior node: consume its gradient and push it down.
+                    if let Some(g) = grads.node_grads[i].take() {
+                        f(&g, self, &mut grads);
+                    }
+                }
+                None => {
+                    // Leaf: retain the gradient, mirroring params out.
+                    if let (Some(pid), Some(g)) = (node.param, grads.node_grads[i].as_ref()) {
+                        grads.accumulate_param(pid, g.clone());
+                    }
+                }
+            }
+        }
+        grads
+    }
+}
+
+/// Gradients produced by [`Tape::backward`].
+///
+/// Interior-node gradients are consumed during the reverse scan; leaf
+/// gradients (inputs, constants, parameter copies) are retained and parameter
+/// gradients are additionally aggregated per [`ParamId`] — the same parameter
+/// may appear on the tape many times (e.g. a shared embedding table).
+pub struct GradStore {
+    pub(crate) node_grads: Vec<Option<Tensor>>,
+    param_grads: Vec<Option<Tensor>>,
+}
+
+impl GradStore {
+    fn new(num_nodes: usize, num_params: usize) -> Self {
+        GradStore {
+            node_grads: (0..num_nodes).map(|_| None).collect(),
+            param_grads: (0..num_params).map(|_| None).collect(),
+        }
+    }
+
+    /// Adds `g` into the gradient slot of `v`.
+    pub fn accumulate(&mut self, v: Var, g: Tensor) {
+        match &mut self.node_grads[v.0] {
+            Some(acc) => acc.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    fn accumulate_param(&mut self, id: ParamId, g: Tensor) {
+        match &mut self.param_grads[id.index()] {
+            Some(acc) => acc.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Gradient of a retained leaf, if it received any.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.node_grads[v.0].as_ref()
+    }
+
+    /// Aggregated gradient of a parameter, if it participated in the loss.
+    pub fn param_grad(&self, id: ParamId) -> Option<&Tensor> {
+        self.param_grads[id.index()].as_ref()
+    }
+
+    /// Global L2 norm across all parameter gradients.
+    pub fn global_param_norm(&self) -> f32 {
+        self.param_grads
+            .iter()
+            .flatten()
+            .map(|g| g.data().iter().map(|x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales every parameter gradient in place (used by gradient clipping).
+    pub fn scale_param_grads(&mut self, alpha: f32) {
+        for g in self.param_grads.iter_mut().flatten() {
+            g.scale_in_place(alpha);
+        }
+    }
+
+    /// True when every produced gradient is finite.
+    pub fn all_finite(&self) -> bool {
+        self.node_grads.iter().flatten().all(Tensor::all_finite)
+            && self.param_grads.iter().flatten().all(Tensor::all_finite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+
+    #[test]
+    fn leaf_values_are_stored() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::vector(&[1.0, 2.0]));
+        assert_eq!(t.value(a).data(), &[1.0, 2.0]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn backward_of_identity_leaf_is_ones() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::vector(&[3.0, 4.0]));
+        let g = t.backward(a, 0);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn param_grad_is_aggregated_across_uses() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::vector(&[1.0]));
+        let mut t = Tape::new();
+        let a = t.param(&ps, w);
+        let b = t.param(&ps, w);
+        let s = t.add(a, b);
+        let g = t.backward(s, ps.len());
+        // d(a+b)/dw where both a and b mirror w: gradient 1 + 1.
+        assert_eq!(g.param_grad(w).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn unused_param_has_no_grad() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::vector(&[1.0]));
+        let u = ps.add("unused", Tensor::vector(&[1.0]));
+        let mut t = Tape::new();
+        let a = t.param(&ps, w);
+        let g = t.backward(a, ps.len());
+        assert!(g.param_grad(w).is_some());
+        assert!(g.param_grad(u).is_none());
+    }
+}

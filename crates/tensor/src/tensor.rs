@@ -1,0 +1,402 @@
+//! The dense `f32` tensor container and its non-differentiable kernels.
+//!
+//! These kernels are shared by the autodiff layer (forward evaluation and the
+//! hand-written backward rules in [`crate::ops`]) and by non-learned code such
+//! as the baselines.
+
+use crate::shape::Shape;
+
+/// A dense, row-major, contiguous `f32` tensor.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data; panics if `data.len()` disagrees with `shape`.
+    pub fn new(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            data.len(),
+            "shape {shape} wants {} elements, got {}",
+            shape.numel(),
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// A rank-0 scalar.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// A rank-1 tensor from a slice.
+    pub fn vector(values: &[f32]) -> Self {
+        Tensor::new([values.len()], values.to_vec())
+    }
+
+    /// A rank-2 tensor from rows; panics on ragged input.
+    pub fn matrix(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged matrix rows");
+            data.extend_from_slice(row);
+        }
+        Tensor::new([r, c], data)
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single value of a rank-0/1-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on tensor with {} elements",
+            self.data.len()
+        );
+        self.data[0]
+    }
+
+    /// Row `i` when viewed as `[leading, last_dim]`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        let d = self.shape.last_dim();
+        let rows = self.shape.leading();
+        assert!(i < rows, "row {i} out of range ({rows} rows)");
+        &self.data[i * d..(i + 1) * d]
+    }
+
+    /// Metadata-only reshape; panics if the element count changes.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape {} -> {shape} changes element count",
+            self.shape
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise combination of two same-shape tensors.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip shape mismatch {} vs {}",
+            self.shape, other.shape
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// In-place `self += other` (same shape).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (same shape).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale_in_place(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum element; `f32::NEG_INFINITY` if empty.
+    pub fn max(&self) -> f32 {
+        self.data.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    // ---- matrix kernels -------------------------------------------------
+
+    /// Rank-2 matrix product `[m,k] x [k,n] -> [m,n]`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let (m, k) = self.shape.as_matrix();
+        let (k2, n) = rhs.shape.as_matrix();
+        assert_eq!(
+            k, k2,
+            "matmul inner-dim mismatch {} vs {}",
+            self.shape, rhs.shape
+        );
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(&self.data, &rhs.data, &mut out, m, k, n);
+        Tensor::new([m, n], out)
+    }
+
+    /// Batched matrix product `[b,m,k] x [b,k,n] -> [b,m,n]`.
+    pub fn bmm(&self, rhs: &Tensor) -> Tensor {
+        let (b, m, k) = self.shape.as_batch_matrix();
+        let (b2, k2, n) = rhs.shape.as_batch_matrix();
+        assert_eq!(b, b2, "bmm batch mismatch {} vs {}", self.shape, rhs.shape);
+        assert_eq!(
+            k, k2,
+            "bmm inner-dim mismatch {} vs {}",
+            self.shape, rhs.shape
+        );
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            matmul_into(
+                &self.data[i * m * k..(i + 1) * m * k],
+                &rhs.data[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor::new([b, m, n], out)
+    }
+
+    /// Rank-2 transpose (materialized).
+    pub fn transpose(&self) -> Tensor {
+        let (m, n) = self.shape.as_matrix();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::new([n, m], out)
+    }
+
+    /// Batched transpose of the last two dims `[b,m,n] -> [b,n,m]`.
+    pub fn transpose_batch(&self) -> Tensor {
+        let (b, m, n) = self.shape.as_batch_matrix();
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            let src = &self.data[i * m * n..(i + 1) * m * n];
+            let dst = &mut out[i * m * n..(i + 1) * m * n];
+            for r in 0..m {
+                for c in 0..n {
+                    dst[c * m + r] = src[r * n + c];
+                }
+            }
+        }
+        Tensor::new([b, n, m], out)
+    }
+}
+
+/// `out += a[m,k] * b[k,n]` with `out` pre-zeroed by the caller.
+///
+/// ikj loop order keeps the innermost accesses sequential in both `b` and
+/// `out`, which is the main thing that matters for a naive CPU GEMM.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        assert_eq!(Tensor::scalar(4.0).item(), 4.0);
+        assert_eq!(Tensor::vector(&[1.0, 2.0]).shape().rank(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn new_rejects_bad_length() {
+        Tensor::new([2, 2], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::matrix(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::matrix(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::matrix(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i = Tensor::matrix(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::new([2, 2, 3], (0..12).map(|x| x as f32).collect());
+        let b = Tensor::new([2, 3, 2], (0..12).map(|x| (x as f32) * 0.5).collect());
+        let c = a.bmm(&b);
+        for i in 0..2 {
+            let ai = Tensor::new([2, 3], a.data()[i * 6..(i + 1) * 6].to_vec());
+            let bi = Tensor::new([3, 2], b.data()[i * 6..(i + 1) * 6].to_vec());
+            let ci = ai.matmul(&bi);
+            assert_eq!(&c.data()[i * 4..(i + 1) * 4], ci.data());
+        }
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::new([2, 3], (0..6).map(|x| x as f32).collect());
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape().as_matrix(), (3, 2));
+    }
+
+    #[test]
+    fn transpose_batch_matches_loop() {
+        let a = Tensor::new([2, 2, 3], (0..12).map(|x| x as f32).collect());
+        let t = a.transpose_batch();
+        assert_eq!(t.shape().as_batch_matrix(), (2, 3, 2));
+        for b in 0..2 {
+            for r in 0..2 {
+                for c in 0..3 {
+                    assert_eq!(t.data()[b * 6 + c * 2 + r], a.data()[b * 6 + r * 3 + c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.sum(), 6.0);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.max(), 3.0);
+        assert!((a.norm() - 14.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_access() {
+        let a = Tensor::new([2, 2, 2], (0..8).map(|x| x as f32).collect());
+        assert_eq!(a.row(3), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::vector(&[1.0, 2.0]);
+        let b = Tensor::vector(&[10.0, 20.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        a.scale_in_place(2.0);
+        assert_eq!(a.data(), &[12.0, 24.0]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Systematic finite-difference gradient checks over the full op set, plus
+//! property-based checks of tensor algebra. These are the tests that keep
+//! the hand-written backward rules honest.
+
+use cf_tensor::gradcheck::assert_grad_close;
+use cf_tensor::{Tape, Tensor, Var};
+use proptest::prelude::*;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 3e-2;
+
+fn input(n: usize) -> Tensor {
+    Tensor::new(
+        [n],
+        (0..n)
+            .map(|i| 0.15 * (i as f32 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect(),
+    )
+}
+
+fn check(n: usize, f: impl Fn(&mut Tape, Var) -> Var) {
+    assert_grad_close(&input(n), EPS, TOL, f);
+}
+
+#[test]
+fn grad_elementwise_ops() {
+    check(6, |t, x| {
+        let y = t.mul(x, x);
+        t.sum_all(y)
+    });
+    check(6, |t, x| {
+        let y = t.neg(x);
+        let z = t.add(x, y); // zero, but exercises add/neg
+        let w = t.add_scalar(z, 1.0);
+        let m = t.mul(w, x);
+        t.mean_all(m)
+    });
+    check(4, |t, x| {
+        let c = t.constant(Tensor::vector(&[2.0, 3.0, 4.0, 5.0]));
+        let y = t.div(x, c);
+        t.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_activations() {
+    check(5, |t, x| {
+        let y = t.tanh(x);
+        t.sum_all(y)
+    });
+    check(5, |t, x| {
+        let y = t.sigmoid(x);
+        t.sum_all(y)
+    });
+    check(5, |t, x| {
+        let y = t.gelu(x);
+        t.sum_all(y)
+    });
+    check(5, |t, x| {
+        let y = t.exp(x);
+        t.mean_all(y)
+    });
+    // relu is kinked at 0 — inputs avoid it by construction.
+    check(5, |t, x| {
+        let y = t.relu(x);
+        t.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_matmul_chain() {
+    check(12, |t, x| {
+        let m = t.reshape(x, [3, 4]);
+        let mt = t.transpose(m);
+        let p = t.matmul(m, mt);
+        t.sum_all(p)
+    });
+}
+
+#[test]
+fn grad_bmm() {
+    check(12, |t, x| {
+        let m = t.reshape(x, [2, 2, 3]);
+        let mt = t.transpose_batch(m);
+        let p = t.bmm(m, mt);
+        t.mean_all(p)
+    });
+}
+
+#[test]
+fn grad_softmax_and_layernorm() {
+    check(6, |t, x| {
+        let m = t.reshape(x, [2, 3]);
+        let s = t.softmax_last(m);
+        let w = t.constant(Tensor::new([2, 3], vec![1.0, -2.0, 0.5, 0.7, 0.1, -0.4]));
+        let p = t.mul(s, w);
+        t.sum_all(p)
+    });
+    check(8, |t, x| {
+        let m = t.reshape(x, [2, 4]);
+        let y = t.layer_norm_last(m, 1e-5);
+        let w = t.constant(Tensor::new(
+            [2, 4],
+            (0..8).map(|i| (i as f32) * 0.3 - 1.0).collect(),
+        ));
+        let p = t.mul(y, w);
+        t.sum_all(p)
+    });
+}
+
+#[test]
+fn grad_shape_ops() {
+    check(8, |t, x| {
+        let m = t.reshape(x, [2, 4]);
+        let left = t.slice_last(m, 0, 2);
+        let right = t.slice_last(m, 2, 2);
+        let swapped = t.concat_last(&[right, left]);
+        let sel = t.select_rows(swapped, &[1, 1, 0]);
+        t.mean_all(sel)
+    });
+    check(6, |t, x| {
+        let m = t.reshape(x, [3, 2]);
+        let r = t.row(m, 1);
+        let s = t.stack_rows(&[r, r]);
+        t.sum_all(s)
+    });
+}
+
+#[test]
+fn grad_broadcast_ops() {
+    check(6, |t, x| {
+        let m = t.reshape(x, [2, 3]);
+        let b = t.constant(Tensor::vector(&[0.5, -0.2, 0.9]));
+        let y = t.add_bias(m, b);
+        let z = t.mul_bcast_row(y, b);
+        t.sum_all(z)
+    });
+    check(6, |t, x| {
+        let m = t.reshape(x, [2, 3]);
+        let w = t.constant(Tensor::vector(&[2.0, -1.0]));
+        let y = t.scale_rows(m, w);
+        t.sum_all(y)
+    });
+    // grad wrt the scale weights themselves
+    check(2, |t, w| {
+        let m = t.constant(Tensor::new(
+            [2, 3],
+            (0..6).map(|i| i as f32 * 0.2).collect(),
+        ));
+        let y = t.scale_rows(m, w);
+        t.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_reductions() {
+    check(12, |t, x| {
+        let m = t.reshape(x, [2, 3, 2]);
+        let s = t.sum_dim1(m);
+        let e = t.exp(s);
+        t.mean_all(e)
+    });
+}
+
+#[test]
+fn grad_losses() {
+    let target = Tensor::vector(&[0.1, -0.3, 0.8, 0.05]);
+    check(4, |t, x| t.mse_loss(x, &target));
+    check(4, |t, x| t.huber_loss(x, &target, 0.5));
+    // L1 subgradient: exact away from kinks (inputs differ from target).
+    check(4, |t, x| t.l1_loss(x, &target));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ for arbitrary small matrices.
+    #[test]
+    fn matmul_transpose_identity(
+        a in prop::collection::vec(-2f32..2.0, 6),
+        b in prop::collection::vec(-2f32..2.0, 6),
+    ) {
+        let ma = Tensor::new([2, 3], a);
+        let mb = Tensor::new([3, 2], b);
+        let lhs = ma.matmul(&mb).transpose();
+        let rhs = mb.transpose().matmul(&ma.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(
+        a in prop::collection::vec(-2f32..2.0, 4),
+        b in prop::collection::vec(-2f32..2.0, 4),
+        c in prop::collection::vec(-2f32..2.0, 4),
+    ) {
+        let ma = Tensor::new([2, 2], a);
+        let mb = Tensor::new([2, 2], b);
+        let mc = Tensor::new([2, 2], c);
+        let sum = mb.zip(&mc, |x, y| x + y);
+        let lhs = ma.matmul(&sum);
+        let rhs_a = ma.matmul(&mb);
+        let rhs_b = ma.matmul(&mc);
+        for ((l, x), y) in lhs.data().iter().zip(rhs_a.data()).zip(rhs_b.data()) {
+            prop_assert!((l - (x + y)).abs() < 1e-4);
+        }
+    }
+
+    /// backward() of sum_all always returns all-ones gradients.
+    #[test]
+    fn sum_grad_is_ones(data in prop::collection::vec(-10f32..10.0, 1..20)) {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::new([data.len()], data));
+        let s = t.sum_all(x);
+        let g = t.backward(s, 0);
+        prop_assert!(g.grad(x).unwrap().data().iter().all(|&v| v == 1.0));
+    }
+
+    /// Softmax is invariant to constant logit shifts.
+    #[test]
+    fn softmax_shift_invariance(data in prop::collection::vec(-20f32..20.0, 2..10), shift in -50f32..50.0) {
+        let mut t = Tape::new();
+        let n = data.len();
+        let x1 = t.leaf(Tensor::new([n], data.clone()));
+        let y1 = t.softmax_last(x1);
+        let x2 = t.leaf(Tensor::new([n], data.iter().map(|v| v + shift).collect::<Vec<_>>()));
+        let y2 = t.softmax_last(x2);
+        for (a, b) in t.value(y1).data().iter().zip(t.value(y2).data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper (see DESIGN.md §3 and
+# EXPERIMENTS.md). Knobs: CF_SCALE, CF_SEED, CF_EPOCHS, CF_OUT.
+#
+# Epoch budgets below target a single CPU core (~2 h total). The sweep
+# experiments (table6/7, fig4/7/8) are *budgeted for shape, not convergence*;
+# raise their CF_EPOCHS to 15 for sharper, paper-shaped separations
+# (roughly 3x the wall time).
+set -u
+cd "$(dirname "$0")"
+OUT=${CF_OUT:-results}
+mkdir -p "$OUT"
+run() {
+  local name="$1"; shift
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  "$@" 2>&1 | tee "$OUT/$name.log"
+}
+B=./target/release
+run table1 env CF_SCALE=default $B/table1_dataset_stats
+run table2 env CF_SCALE=default $B/table2_attribute_stats
+run fig2   env CF_SCALE=default $B/fig2_chain_explosion
+run table3 env CF_SCALE=default CF_EPOCHS=${CF_EPOCHS:-15} $B/table3_main_comparison
+run table4 env CF_SCALE=default CF_EPOCHS=${CF_EPOCHS:-5} $B/table4_capabilities
+run table5 env CF_SCALE=default CF_EPOCHS=${CF_EPOCHS:-8} $B/table5_key_chains
+run fig5   env CF_SCALE=default CF_EPOCHS=${CF_EPOCHS:-8} $B/fig5_case_study
+run fig6   env CF_SCALE=default $B/fig6_filter_effect
+run table8 env CF_SCALE=default CF_EPOCHS=${CF_EPOCHS:-10} $B/table8_llm
+run table7 env CF_SCALE=default CF_EPOCHS=${CF_EPOCHS:-8} $B/table7_projection
+run fig4   env CF_SCALE=default CF_EPOCHS=${CF_EPOCHS:-8} $B/fig4_reasoning_settings
+run table6 env CF_SCALE=default CF_EPOCHS=${CF_EPOCHS:-8} $B/table6_ablation
+run fig7   env CF_SCALE=default CF_EPOCHS=${CF_EPOCHS:-5} $B/fig7_filter_spaces
+run fig8   env CF_SCALE=default CF_EPOCHS=${CF_EPOCHS:-5} $B/fig8_hyperparams
+run ext_quality env CF_SCALE=default CF_EPOCHS=${CF_EPOCHS:-8} $B/ext_chain_quality
+echo "=== all experiments done ($(date +%H:%M:%S)) ==="

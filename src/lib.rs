@@ -1,0 +1,11 @@
+//! Umbrella crate for the ChainsFormer reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single import root.
+
+pub use cf_baselines as baselines;
+pub use cf_chains as chains;
+pub use cf_hyperbolic as hyperbolic;
+pub use cf_kg as kg;
+pub use cf_tensor as tensor;
+pub use chainsformer as model;

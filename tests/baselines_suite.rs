@@ -1,0 +1,109 @@
+//! Cross-crate integration for the baseline suite: every Table-III method
+//! fits and evaluates on both synthetic datasets, and the structure-aware
+//! methods beat the structure-blind mean on spatial attributes.
+
+use cf_baselines::{
+    evaluate_baseline, AttributeMean, HyntLite, Kga, LlmSim, LlmTier, MrAP, NapPlusPlus,
+    NumericPredictor, PlmReg, TogConfig, TogR, TransE, TransEConfig,
+};
+use cf_kg::synth::{fb15k_sim, yago15k_sim, SynthScale};
+use cf_kg::{MinMaxNormalizer, Split};
+use rand::SeedableRng;
+
+#[test]
+fn all_baselines_run_on_both_datasets() {
+    for fb in [false, true] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let graph = if fb {
+            fb15k_sim(SynthScale::small(), &mut rng)
+        } else {
+            yago15k_sim(SynthScale::small(), &mut rng)
+        };
+        let split = Split::paper_811(&graph, &mut rng);
+        let visible = split.visible_graph(&graph);
+        let norm = MinMaxNormalizer::fit(graph.num_attributes(), &split.train);
+        let te_cfg = TransEConfig {
+            epochs: 8,
+            ..Default::default()
+        };
+        let transe = TransE::fit(&visible, te_cfg, &mut rng);
+
+        let na = graph.num_attributes();
+        let predictors: Vec<Box<dyn NumericPredictor>> = vec![
+            Box::new(NapPlusPlus::new(transe.clone(), 5, na, &split.train)),
+            Box::new(MrAP::fit(&visible, &split.train, 3)),
+            Box::new(PlmReg::fit(&visible, &split.train, 10, &mut rng)),
+            Box::new(Kga::fit(&visible, &split.train, 8, te_cfg, &mut rng)),
+            Box::new(HyntLite::fit(&visible, &transe, &split.train, 10, &mut rng)),
+            Box::new(TogR::fit(&visible, &split.train, TogConfig::default())),
+            Box::new(LlmSim::new(&visible, &split.train, LlmTier::Gpt35)),
+            Box::new(LlmSim::new(&visible, &split.train, LlmTier::Gpt40)),
+            Box::new(AttributeMean::fit(na, &split.train)),
+        ];
+        for p in &predictors {
+            let report = evaluate_baseline(p.as_ref(), &visible, &split.test, &norm, &mut rng);
+            assert!(
+                report.norm_mae.is_finite() && report.norm_mae < 2.0,
+                "{} degenerate on {}: {}",
+                p.name(),
+                if fb { "FB" } else { "YAGO" },
+                report.norm_mae
+            );
+        }
+    }
+}
+
+#[test]
+fn structure_aware_methods_beat_mean_on_spatial() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let graph = yago15k_sim(SynthScale::default_scale(), &mut rng);
+    let split = Split::paper_811(&graph, &mut rng);
+    let visible = split.visible_graph(&graph);
+    let norm = MinMaxNormalizer::fit(graph.num_attributes(), &split.train);
+    let lat = graph.attribute_by_name("latitude").expect("latitude");
+    let lon = graph.attribute_by_name("longitude").expect("longitude");
+    let spatial: Vec<_> = split
+        .test
+        .iter()
+        .filter(|t| t.attr == lat || t.attr == lon)
+        .copied()
+        .collect();
+    assert!(spatial.len() > 10, "not enough spatial tests");
+
+    let mean = AttributeMean::fit(graph.num_attributes(), &split.train);
+    let mrap = MrAP::fit(&visible, &split.train, 3);
+    let r_mean = evaluate_baseline(&mean, &visible, &spatial, &norm, &mut rng);
+    let r_mrap = evaluate_baseline(&mrap, &visible, &spatial, &norm, &mut rng);
+    assert!(
+        r_mrap.norm_mae < r_mean.norm_mae,
+        "MrAP ({}) should beat mean ({}) on spatial",
+        r_mrap.norm_mae,
+        r_mean.norm_mae
+    );
+}
+
+#[test]
+fn kga_quantization_tradeoff_is_observable() {
+    // More bins → finer quantization. With enough training signal the
+    // 1-bin KGA (just the mean of one big bucket) must be no better than a
+    // many-bin KGA on train-set reconstruction.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let graph = yago15k_sim(SynthScale::small(), &mut rng);
+    let split = Split::paper_811(&graph, &mut rng);
+    let visible = split.visible_graph(&graph);
+    let norm = MinMaxNormalizer::fit(graph.num_attributes(), &split.train);
+    let te_cfg = TransEConfig {
+        epochs: 10,
+        ..Default::default()
+    };
+    let coarse = Kga::fit(&visible, &split.train, 1, te_cfg, &mut rng);
+    let fine = Kga::fit(&visible, &split.train, 32, te_cfg, &mut rng);
+    let r_coarse = evaluate_baseline(&coarse, &visible, &split.train, &norm, &mut rng);
+    let r_fine = evaluate_baseline(&fine, &visible, &split.train, &norm, &mut rng);
+    assert!(
+        r_fine.norm_mae <= r_coarse.norm_mae + 1e-9,
+        "finer bins should not reconstruct training data worse: fine {} vs coarse {}",
+        r_fine.norm_mae,
+        r_coarse.norm_mae
+    );
+}

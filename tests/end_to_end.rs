@@ -1,0 +1,138 @@
+//! End-to-end integration: dataset generation → split → filter pre-training
+//! → model training → evaluation, across all crates.
+
+use cf_kg::synth::{yago15k_sim, SynthScale};
+use cf_kg::Split;
+use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn full_pipeline_trains_and_evaluates() {
+    let mut rng = rng(0);
+    let graph = yago15k_sim(SynthScale::small(), &mut rng);
+    let split = Split::paper_811(&graph, &mut rng);
+    let visible = split.visible_graph(&graph);
+    let cfg = ChainsFormerConfig {
+        epochs: 8,
+        ..ChainsFormerConfig::tiny()
+    };
+    let mut model = ChainsFormer::new(&visible, &split.train, cfg, &mut rng);
+    let result = Trainer::new(&mut model, &visible).train(&split, &mut rng);
+
+    // Loss decreases and stays finite.
+    let first = result.epochs.first().expect("epochs").train_loss;
+    let last = result.epochs.last().expect("epochs").train_loss;
+    assert!(first.is_finite() && last.is_finite());
+    assert!(last < first, "no learning: {first} -> {last}");
+
+    // Parameters survived training.
+    assert!(model.params.all_finite());
+
+    // Evaluation produces a sane report.
+    let report = evaluate_model(&model, &visible, &split.test, &mut rng);
+    assert!(
+        report.norm_mae > 0.0 && report.norm_mae < 1.0,
+        "MAE {}",
+        report.norm_mae
+    );
+    assert!(
+        report.norm_rmse >= report.norm_mae - 1e-9,
+        "RMSE ≥ MAE must hold per class mix"
+    );
+}
+
+#[test]
+fn no_label_leakage_into_evidence() {
+    let mut rng = rng(1);
+    let graph = yago15k_sim(SynthScale::small(), &mut rng);
+    let split = Split::paper_811(&graph, &mut rng);
+    let visible = split.visible_graph(&graph);
+    let cfg = ChainsFormerConfig {
+        epochs: 1,
+        ..ChainsFormerConfig::tiny()
+    };
+    let model = ChainsFormer::new(&visible, &split.train, cfg, &mut rng);
+    for t in split.test.iter().chain(split.valid.iter()) {
+        // The visible graph must not contain the answer at all.
+        assert_eq!(visible.value_of(t.entity, t.attr), None);
+        let q = cf_chains::Query {
+            entity: t.entity,
+            attr: t.attr,
+        };
+        let detail = model.predict(&visible, q, &mut rng);
+        for c in &detail.chains {
+            assert!(
+                !(c.source == t.entity && c.chain.known_attr == t.attr),
+                "query's own fact used as evidence"
+            );
+        }
+    }
+}
+
+#[test]
+fn training_is_deterministic_per_seed() {
+    let build = || {
+        let mut rng = rng(33);
+        let graph = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&graph, &mut rng);
+        let visible = split.visible_graph(&graph);
+        let cfg = ChainsFormerConfig {
+            epochs: 3,
+            ..ChainsFormerConfig::tiny()
+        };
+        let mut model = ChainsFormer::new(&visible, &split.train, cfg, &mut rng);
+        Trainer::new(&mut model, &visible).train(&split, &mut rng);
+        let report = evaluate_model(&model, &visible, &split.test, &mut rng);
+        report.norm_mae
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a, b, "same seed must give identical results");
+}
+
+#[test]
+fn restricted_settings_degrade_gracefully() {
+    // 1-hop same-attribute reasoning must still run end to end (Figure 4's
+    // most restricted arm).
+    let mut rng = rng(2);
+    let graph = yago15k_sim(SynthScale::small(), &mut rng);
+    let split = Split::paper_811(&graph, &mut rng);
+    let visible = split.visible_graph(&graph);
+    let cfg = ChainsFormerConfig {
+        setting: chainsformer::ReasoningSetting {
+            max_hops: 1,
+            multi_attribute: false,
+        },
+        epochs: 3,
+        ..ChainsFormerConfig::tiny()
+    };
+    let mut model = ChainsFormer::new(&visible, &split.train, cfg, &mut rng);
+    Trainer::new(&mut model, &visible).train(&split, &mut rng);
+    let report = evaluate_model(&model, &visible, &split.test, &mut rng);
+    assert!(report.norm_mae.is_finite());
+}
+
+#[test]
+fn every_ablation_variant_trains() {
+    let mut rng = rng(3);
+    let graph = yago15k_sim(SynthScale::small(), &mut rng);
+    let split = Split::paper_811(&graph, &mut rng);
+    let visible = split.visible_graph(&graph);
+    for v in chainsformer::Variant::all() {
+        let cfg = v.apply(&ChainsFormerConfig {
+            epochs: 1,
+            ..ChainsFormerConfig::tiny()
+        });
+        let mut model = ChainsFormer::new(&visible, &split.train, cfg, &mut rng);
+        let result = Trainer::new(&mut model, &visible).train(&split, &mut rng);
+        assert!(
+            result.epochs.iter().all(|e| e.train_loss.is_finite()),
+            "{v:?} produced non-finite loss"
+        );
+        assert!(model.params.all_finite(), "{v:?} corrupted parameters");
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration tests for the extension features: parameter checkpointing
+//! and the chain-quality evaluation mechanism (paper §VI future work).
+
+use cf_chains::Query;
+use cf_kg::synth::{yago15k_sim, SynthScale};
+use cf_kg::Split;
+use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
+use rand::SeedableRng;
+
+fn setup(
+    cfg: ChainsFormerConfig,
+    seed: u64,
+) -> (
+    cf_kg::KnowledgeGraph,
+    Split,
+    ChainsFormer,
+    rand::rngs::StdRng,
+) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let graph = yago15k_sim(SynthScale::small(), &mut rng);
+    let split = Split::paper_811(&graph, &mut rng);
+    let visible = split.visible_graph(&graph);
+    let mut model = ChainsFormer::new(&visible, &split.train, cfg, &mut rng);
+    Trainer::new(&mut model, &visible).train(&split, &mut rng);
+    (visible, split, model, rng)
+}
+
+#[test]
+fn checkpoint_round_trip_preserves_predictions() {
+    let cfg = ChainsFormerConfig {
+        epochs: 3,
+        ..ChainsFormerConfig::tiny()
+    };
+    let (visible, split, model, _) = setup(cfg.clone(), 5);
+    let path = std::env::temp_dir().join("cf_ckpt_test.bin");
+    model.save_params_to(&path).expect("save");
+
+    // Fresh model with identical construction inputs, untrained.
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(5);
+    let graph2 = yago15k_sim(SynthScale::small(), &mut rng2);
+    let split2 = Split::paper_811(&graph2, &mut rng2);
+    let visible2 = split2.visible_graph(&graph2);
+    let mut fresh = ChainsFormer::new(&visible2, &split2.train, cfg, &mut rng2);
+    fresh.load_params_from(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    // With identical params and identical RNG streams, predictions agree.
+    let q = Query {
+        entity: split.test[0].entity,
+        attr: split.test[0].attr,
+    };
+    let mut ra = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rb = rand::rngs::StdRng::seed_from_u64(99);
+    let a = model.predict(&visible, q, &mut ra);
+    let b = fresh.predict(&visible, q, &mut rb);
+    assert_eq!(a.value, b.value, "loaded checkpoint predicts differently");
+}
+
+#[test]
+fn checkpoint_rejects_foreign_architecture() {
+    let cfg_a = ChainsFormerConfig {
+        epochs: 1,
+        ..ChainsFormerConfig::tiny()
+    };
+    let (_, _, model, _) = setup(cfg_a, 6);
+    let path = std::env::temp_dir().join("cf_ckpt_mismatch.bin");
+    model.save_params_to(&path).expect("save");
+
+    // Different dim → different shapes → load must fail cleanly.
+    let cfg_b = ChainsFormerConfig {
+        dim: 32,
+        ff_dim: 64,
+        epochs: 1,
+        ..ChainsFormerConfig::tiny()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let graph = yago15k_sim(SynthScale::small(), &mut rng);
+    let split = Split::paper_811(&graph, &mut rng);
+    let visible = split.visible_graph(&graph);
+    let mut other = ChainsFormer::new(&visible, &split.train, cfg_b, &mut rng);
+    assert!(other.load_params_from(&path).is_err());
+    assert!(other.params.all_finite(), "failed load corrupted the model");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn chain_quality_tracker_populates_and_runs() {
+    let cfg = ChainsFormerConfig {
+        chain_quality: true,
+        epochs: 4,
+        ..ChainsFormerConfig::tiny()
+    };
+    let (visible, split, model, mut rng) = setup(cfg, 7);
+    let tracker = model
+        .quality
+        .as_ref()
+        .expect("tracker populated by trainer");
+    assert!(!tracker.is_empty(), "no chain patterns tracked");
+    // Inference still works end-to-end with pruning enabled.
+    let report = evaluate_model(&model, &visible, &split.test, &mut rng);
+    assert!(report.norm_mae.is_finite() && report.norm_mae < 1.0);
+}
+
+#[test]
+fn chain_quality_never_empties_the_toc() {
+    let cfg = ChainsFormerConfig {
+        chain_quality: true,
+        epochs: 3,
+        ..ChainsFormerConfig::tiny()
+    };
+    let (visible, split, model, mut rng) = setup(cfg, 8);
+    for t in split.test.iter().take(15) {
+        let q = Query {
+            entity: t.entity,
+            attr: t.attr,
+        };
+        let (toc, retrieved) = model.gather_chains(&visible, q, &mut rng);
+        if retrieved > 0 {
+            assert!(
+                !toc.is_empty() || retrieved == 0,
+                "pruning removed all evidence"
+            );
+        }
+    }
+}
