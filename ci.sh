@@ -1,0 +1,20 @@
+#!/bin/bash
+# Tier-1 verification, fully offline: release build, whole test suite,
+# formatting. Run from the repository root; exits non-zero on the first
+# failure. No network access is required at any point — the workspace has
+# zero crates.io dependencies (see DESIGN.md "Offline substrate").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release (offline) =="
+# --workspace: the root manifest is also a package, so a bare build would
+# skip members like crates/cli (cfkg) and the bench binaries.
+cargo build --release --offline --workspace
+
+echo "== cargo test (offline) =="
+cargo test -q --workspace --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== ci.sh: all green =="

@@ -9,10 +9,10 @@ use crate::predictor::{AttributeMean, NumericPredictor};
 use crate::transe::TransE;
 use cf_chains::Query;
 use cf_kg::{KnowledgeGraph, MinMaxNormalizer, NumTriple};
+use cf_rand::{Rng, RngCore};
 use cf_tensor::nn::{Activation, Embedding, Mlp};
 use cf_tensor::optim::Adam;
 use cf_tensor::{ParamStore, Tape, Tensor};
-use rand::{Rng, RngCore};
 
 /// HyNT-lite predictor (see module docs for the reduction).
 pub struct HyntLite {
@@ -60,7 +60,7 @@ impl HyntLite {
         let batch = 32;
         let mut order: Vec<usize> = (0..train.len()).collect();
         for _ in 0..epochs {
-            rand::seq::SliceRandom::shuffle(&mut order[..], rng);
+            cf_rand::seq::SliceRandom::shuffle(&mut order[..], rng);
             for chunk in order.chunks(batch) {
                 let ents: Vec<usize> = chunk.iter().map(|&i| train[i].entity.0 as usize).collect();
                 let attrs: Vec<usize> = chunk.iter().map(|&i| train[i].attr.0 as usize).collect();
@@ -120,8 +120,8 @@ mod tests {
     use crate::transe::TransEConfig;
     use cf_kg::synth::{yago15k_sim, SynthScale};
     use cf_kg::Split;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn fit_small(epochs: usize, seed: u64) -> (KnowledgeGraph, Split, HyntLite, StdRng) {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -7,7 +7,7 @@ use crate::predictor::{AttributeMean, NumericPredictor};
 use crate::transe::{TransE, TransEConfig};
 use cf_chains::Query;
 use cf_kg::{AttributeId, KnowledgeGraph, NumTriple};
-use rand::{Rng, RngCore};
+use cf_rand::{Rng, RngCore};
 
 /// Quantile binning of one attribute.
 #[derive(Clone, Debug)]
@@ -175,8 +175,8 @@ impl NumericPredictor for Kga {
 mod tests {
     use super::*;
     use cf_kg::EntityId;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn quantile_bins_partition_values() {

@@ -9,7 +9,7 @@
 use crate::predictor::{AttributeMean, NumericPredictor};
 use cf_chains::{retrieve, Query, RetrievalConfig};
 use cf_kg::{KnowledgeGraph, NumTriple};
-use rand::{Rng, RngCore};
+use cf_rand::RngCore;
 
 /// Which simulated model tier.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -91,7 +91,7 @@ impl NumericPredictor for LlmSim {
             let pull = self.tier.prior_pull();
             (1.0 - pull) * median + pull * prior
         };
-        let noisy = estimate * (1.0 + self.tier.relative_noise() * gaussian(rng));
+        let noisy = estimate * (1.0 + self.tier.relative_noise() * cf_rand::sample_normal(rng));
         if noisy.is_finite() {
             noisy
         } else {
@@ -100,20 +100,14 @@ impl NumericPredictor for LlmSim {
     }
 }
 
-fn gaussian(rng: &mut dyn RngCore) -> f64 {
-    let u1: f64 = Rng::gen_range(rng, f64::EPSILON..1.0);
-    let u2: f64 = Rng::gen_range(rng, 0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::predictor::evaluate_baseline;
     use cf_kg::synth::{yago15k_sim, SynthScale};
     use cf_kg::{MinMaxNormalizer, Split};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn gpt4_beats_gpt35() {

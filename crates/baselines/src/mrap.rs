@@ -7,7 +7,7 @@
 use crate::predictor::{AttributeMean, NumericPredictor};
 use cf_chains::Query;
 use cf_kg::{AttributeId, DirRel, KnowledgeGraph, NumTriple};
-use rand::RngCore;
+use cf_rand::RngCore;
 use std::collections::HashMap;
 
 /// Linear transport `y ≈ α·x + β` along one (relation, src-attr, dst-attr)
@@ -156,8 +156,8 @@ mod tests {
     use super::*;
     use cf_kg::synth::{yago15k_sim, SynthScale};
     use cf_kg::Split;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn fit_linear_recovers_slope() {

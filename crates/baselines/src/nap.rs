@@ -5,7 +5,7 @@ use crate::predictor::{AttributeMean, NumericPredictor};
 use crate::transe::TransE;
 use cf_chains::Query;
 use cf_kg::{KnowledgeGraph, NumTriple};
-use rand::RngCore;
+use cf_rand::RngCore;
 
 /// NAP++: distance-weighted k-NN over TransE embeddings, restricted to
 /// neighbours that carry the queried attribute. One-hop in embedding space
@@ -69,8 +69,8 @@ mod tests {
     use crate::transe::TransEConfig;
     use cf_kg::synth::{yago15k_sim, SynthScale};
     use cf_kg::Split;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn falls_back_when_no_neighbour_has_attribute() {

@@ -9,10 +9,10 @@
 use crate::predictor::{AttributeMean, NumericPredictor};
 use cf_chains::Query;
 use cf_kg::{Dir, EntityId, KnowledgeGraph, MinMaxNormalizer, NumTriple};
+use cf_rand::{Rng, RngCore};
 use cf_tensor::nn::{Activation, Mlp};
 use cf_tensor::optim::Adam;
 use cf_tensor::{ParamStore, Tape, Tensor};
-use rand::{Rng, RngCore};
 
 /// Width of the hashed feature vector.
 const FEATURE_DIM: usize = 64;
@@ -76,7 +76,7 @@ impl PlmReg {
         let batch = 32;
         let mut order: Vec<usize> = (0..train.len()).collect();
         for _ in 0..epochs {
-            rand::seq::SliceRandom::shuffle(&mut order[..], rng);
+            cf_rand::seq::SliceRandom::shuffle(&mut order[..], rng);
             for chunk in order.chunks(batch) {
                 let mut xs = Vec::with_capacity(chunk.len() * in_dim);
                 let mut ys = Vec::with_capacity(chunk.len());
@@ -141,8 +141,8 @@ mod tests {
     use super::*;
     use cf_kg::synth::{yago15k_sim, SynthScale};
     use cf_kg::Split;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn features_are_deterministic_and_bounded() {

@@ -2,7 +2,7 @@
 
 use cf_chains::Query;
 use cf_kg::{KnowledgeGraph, MinMaxNormalizer, NumTriple, Prediction, RegressionReport};
-use rand::RngCore;
+use cf_rand::RngCore;
 
 /// A numerical-attribute predictor (a Table-III column).
 pub trait NumericPredictor {
@@ -109,7 +109,7 @@ mod tests {
         let train = vec![nt(0, 0, 10.0), nt(0, 0, 20.0)];
         let mean = AttributeMean::fit(1, &train);
         let norm = MinMaxNormalizer::fit(1, &train);
-        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut rng = cf_rand::rngs::mock::StepRng::new(0, 1);
         let rep = evaluate_baseline(&mean, &g, &[nt(0, 0, 15.0)], &norm, &mut rng);
         assert_eq!(rep.norm_mae, 0.0); // mean is exactly 15
     }

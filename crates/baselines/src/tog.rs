@@ -10,7 +10,7 @@
 use crate::predictor::{AttributeMean, NumericPredictor};
 use cf_chains::Query;
 use cf_kg::{AttributeId, DirRel, EntityId, KnowledgeGraph, NumTriple};
-use rand::{Rng, RngCore};
+use cf_rand::RngCore;
 use std::collections::HashMap;
 
 /// Configuration of the simulated explorer.
@@ -62,7 +62,7 @@ impl TogR {
 
     fn oracle(&self, dr: DirRel, attr: AttributeId, rng: &mut dyn RngCore) -> f64 {
         let base = self.relevance.get(&(dr, attr)).copied().unwrap_or(0.0);
-        base + self.cfg.oracle_noise * gaussian(rng)
+        base + self.cfg.oracle_noise * cf_rand::sample_normal(rng)
     }
 }
 
@@ -100,11 +100,12 @@ impl NumericPredictor for TogR {
         }
         let estimate = if evidence.is_empty() {
             // The "LLM guesses from parametric knowledge" branch.
-            self.fallback.mean(query.attr) * (1.0 + 2.0 * self.cfg.answer_noise * gaussian(rng))
+            self.fallback.mean(query.attr)
+                * (1.0 + 2.0 * self.cfg.answer_noise * cf_rand::sample_normal(rng))
         } else {
             let den: f64 = evidence.iter().map(|e| e.1).sum();
             let mean = evidence.iter().map(|e| e.0 * e.1).sum::<f64>() / den;
-            mean * (1.0 + self.cfg.answer_noise * gaussian(rng))
+            mean * (1.0 + self.cfg.answer_noise * cf_rand::sample_normal(rng))
         };
         if estimate.is_finite() {
             estimate
@@ -114,19 +115,13 @@ impl NumericPredictor for TogR {
     }
 }
 
-fn gaussian(rng: &mut dyn RngCore) -> f64 {
-    let u1: f64 = Rng::gen_range(rng, f64::EPSILON..1.0);
-    let u2: f64 = Rng::gen_range(rng, 0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use cf_kg::synth::{yago15k_sim, SynthScale};
     use cf_kg::Split;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn finds_nearby_spatial_evidence() {

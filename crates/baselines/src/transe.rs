@@ -3,7 +3,7 @@
 //! plain SGD on `Vec<f64>` tables (no autodiff needed for this shape).
 
 use cf_kg::{EntityId, KnowledgeGraph, RelationId};
-use rand::Rng;
+use cf_rand::Rng;
 
 /// Configuration for TransE training.
 #[derive(Copy, Clone, Debug)]
@@ -191,8 +191,8 @@ fn normalize(v: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     /// Two clusters connected internally: cluster members should embed
     /// closer to each other than across clusters.

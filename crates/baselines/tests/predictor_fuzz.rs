@@ -7,9 +7,9 @@ use cf_baselines::{
     TogR, TransE, TransEConfig,
 };
 use cf_chains::Query;
+use cf_check::prelude::*;
 use cf_kg::{AttributeId, EntityId, KnowledgeGraph, NumTriple};
-use proptest::prelude::*;
-use rand::SeedableRng;
+use cf_rand::SeedableRng;
 
 fn arbitrary_graph(
     n: usize,
@@ -42,18 +42,17 @@ fn arbitrary_graph(
     (g, train)
 }
 
-proptest! {
-    // These fit real models, so keep case counts small.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+property! {
+    #![config(cases = 32)]
 
     #[test]
     fn every_predictor_stays_finite(
-        edges in prop::collection::vec((0usize..8, 0usize..8), 0..16),
-        facts in prop::collection::vec((0usize..8, -1e5f64..1e5), 1..12),
+        edges in vec((0usize..8, 0usize..8), 0..16),
+        facts in vec((0usize..8, -1e5f64..1e5), 1..12),
         seed in 0u64..50,
     ) {
         let (g, train) = arbitrary_graph(8, &edges, &facts);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = cf_rand::rngs::StdRng::seed_from_u64(seed);
         let te_cfg = TransEConfig { epochs: 2, ..Default::default() };
         let transe = TransE::fit(&g, te_cfg, &mut rng);
         let predictors: Vec<Box<dyn NumericPredictor>> = vec![
@@ -69,7 +68,7 @@ proptest! {
             for e in 0..8u32 {
                 let q = Query { entity: EntityId(e), attr: AttributeId(0) };
                 let v = p.predict(&g, q, &mut rng);
-                prop_assert!(v.is_finite(), "{} produced {v} on entity {e}", p.name());
+                check_assert!(v.is_finite(), "{} produced {v} on entity {e}", p.name());
             }
         }
     }
@@ -94,7 +93,7 @@ fn predictors_handle_star_graph_center_and_leaves() {
         });
     }
     g.build_index();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = cf_rand::rngs::StdRng::seed_from_u64(1);
     let mrap = MrAP::fit(&g, &train, 2);
     let pred = mrap.predict(
         &g,

@@ -3,9 +3,9 @@
 //! Filter's inner loop.
 
 use cf_hyperbolic::{distance_grad_x, rsgd_step, PoincareBall};
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cf_rand::rngs::StdRng;
+use cf_rand::{Rng, SeedableRng};
+use chainsformer_bench::micro::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn rand_point(dim: usize, rng: &mut StdRng) -> Vec<f64> {
@@ -65,7 +65,7 @@ fn bench_rsgd(c: &mut Criterion) {
                 rsgd_step(&ball, &mut x, &grad, 0.05);
                 black_box(x)
             },
-            criterion::BatchSize::SmallInput,
+            chainsformer_bench::micro::BatchSize::SmallInput,
         )
     });
 }

@@ -5,10 +5,10 @@
 use cf_chains::{retrieve, ChainVocab, Query, RetrievalConfig};
 use cf_kg::synth::{yago15k_sim, SynthScale};
 use cf_kg::Split;
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
 use chainsformer::{ChainFilter, ChainsFormer, ChainsFormerConfig, FilterSpace};
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use chainsformer_bench::micro::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 struct Setup {

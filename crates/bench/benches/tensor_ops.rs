@@ -1,11 +1,11 @@
 //! Micro-benchmarks of the tensor/autodiff substrate: matmul kernels,
 //! softmax/layer-norm, attention-sized forward passes and tape overhead.
 
+use cf_rand::rngs::StdRng;
+use cf_rand::{Rng, SeedableRng};
 use cf_tensor::nn::TransformerEncoder;
 use cf_tensor::{ParamStore, Tape, Tensor};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use chainsformer_bench::micro::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 fn rand_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {

@@ -2,9 +2,9 @@
 //! explodes with reasoning depth.
 
 use cf_chains::mean_chain_count;
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
 use chainsformer_bench::{load, write_csv, BenchArgs, Dataset, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let args = BenchArgs::from_env();

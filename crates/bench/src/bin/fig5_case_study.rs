@@ -2,11 +2,11 @@
 //! query, with the key chains and their weights.
 
 use cf_chains::Query;
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
 use chainsformer::explain::case_study;
 use chainsformer::{ChainsFormer, ChainsFormerConfig, Trainer};
 use chainsformer_bench::{load, write_csv, BenchArgs, Dataset, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let args = BenchArgs::from_env();

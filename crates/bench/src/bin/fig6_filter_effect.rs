@@ -3,11 +3,11 @@
 //! semantically adjacent attributes.
 
 use cf_kg::AttributeId;
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
 use chainsformer::explain::filter_effect;
 use chainsformer::{ChainsFormer, ChainsFormerConfig};
 use chainsformer_bench::{load, write_csv, BenchArgs, Dataset, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let args = BenchArgs::from_env();

@@ -3,11 +3,11 @@
 //! actually exploit multi-hop and multi-attribute chains?).
 
 use cf_chains::Query;
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
 use chainsformer::ChainsFormer;
 use chainsformer::{ChainsFormerConfig, Trainer};
 use chainsformer_bench::{load, write_csv, BenchArgs, Dataset, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let args = BenchArgs::from_env();

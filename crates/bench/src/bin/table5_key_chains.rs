@@ -1,11 +1,11 @@
 //! Table V: the most important RA-Chains per attribute, extracted from a
 //! trained Numerical Reasoner's weights.
 
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
 use chainsformer::explain::key_chains_per_attribute;
 use chainsformer::{ChainsFormer, ChainsFormerConfig, Trainer};
 use chainsformer_bench::{load, write_csv, BenchArgs, Dataset, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let args = BenchArgs::from_env();

@@ -2,10 +2,10 @@
 //! substitution S4) vs. ChainsFormer.
 
 use cf_baselines::{evaluate_baseline, LlmSim, LlmTier, NumericPredictor};
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
 use chainsformer::ChainsFormerConfig;
 use chainsformer_bench::{load, train_chainsformer, write_csv, BenchArgs, Dataset, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let mut args = BenchArgs::from_env();

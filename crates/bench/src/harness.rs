@@ -2,8 +2,8 @@
 
 use cf_kg::synth::{fb15k_sim, yago15k_sim, SynthScale};
 use cf_kg::{KnowledgeGraph, MinMaxNormalizer, Split};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
 
 /// Which synthetic dataset twin to run on.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]

@@ -16,6 +16,7 @@
 pub mod ascii_plot;
 pub mod harness;
 pub mod methods;
+pub mod micro;
 pub mod report;
 
 pub use ascii_plot::{bar_chart, line_chart};

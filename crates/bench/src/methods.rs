@@ -6,9 +6,9 @@ use cf_baselines::{
     TogConfig, TogR, TransE, TransEConfig,
 };
 use cf_kg::RegressionReport;
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
 use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// One evaluated method: name + test-set report.
 pub struct MethodReport {

@@ -1,0 +1,278 @@
+//! Minimal micro-benchmark harness (offline replacement for Criterion).
+//!
+//! Implements the slice of the Criterion API the `benches/` programs use —
+//! [`Criterion::sample_size`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — so a bench ports with an import swap.
+//!
+//! Methodology: each benchmark is calibrated once to pick an iteration
+//! count whose wall time is ≈[`SAMPLE_BUDGET_NS`], then timed for
+//! `sample_size` samples; the report prints min / median / mean per-call
+//! time. No outlier analysis or statistics files — these numbers guide
+//! optimization work, they are not a measurement paper. Set
+//! `CF_BENCH_SAMPLES` to override every sample count (e.g. `=5` for a
+//! smoke run in CI).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Wall-time target for one calibrated sample.
+const SAMPLE_BUDGET_NS: f64 = 2_000_000.0;
+
+/// Controls how `iter_batched` amortizes setup; only small-input batching
+/// is implemented because that is the only mode the benches use.
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold: pre-build one batch per sample.
+    SmallInput,
+}
+
+/// Top-level benchmark driver; build with `Criterion::default()` and
+/// adjust with [`sample_size`](Criterion::sample_size).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (env
+    /// `CF_BENCH_SAMPLES` overrides at run time).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        std::env::var("CF_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(self.sample_size)
+    }
+
+    /// Runs one named benchmark; the closure drives a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.effective_samples(),
+        };
+        f(&mut b);
+        report(&id.into(), &b.samples);
+        self
+    }
+
+    /// Starts a named group; member benchmarks are reported as
+    /// `group/member`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one member benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    /// Per-call nanoseconds, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly, black-boxing its output.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = calibrate(|| {
+            black_box(routine());
+        });
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            iters_for(t0.elapsed().as_nanos() as f64)
+        };
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples
+                .push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Picks an iteration count so one sample takes ≈ the budget, from a
+/// repeatable routine.
+fn calibrate<F: FnMut()>(mut routine: F) -> u64 {
+    routine(); // warm caches and lazy statics
+    let t0 = Instant::now();
+    routine();
+    iters_for(t0.elapsed().as_nanos() as f64)
+}
+
+fn iters_for(single_ns: f64) -> u64 {
+    (SAMPLE_BUDGET_NS / single_ns.max(1.0)).clamp(1.0, 1_000_000.0) as u64
+}
+
+fn report(name: &str, samples: &[f64]) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+    println!(
+        "{name:<40} median {:>10}  mean {:>10}  min {:>10}  ({} samples)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min),
+        sorted.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a bench group function, mirroring Criterion's macro grammar.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::micro::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_requested_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut seen = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            seen = 5;
+        });
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3],
+                |v| {
+                    assert_eq!(v, [1, 2, 3]);
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("member", |b| b.iter(|| 0));
+        g.finish();
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert_eq!(fmt_ns(500.0), "500.0 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+
+    #[test]
+    fn calibration_never_returns_zero_iters() {
+        assert_eq!(iters_for(f64::INFINITY), 1);
+        assert!(iters_for(0.0) >= 1);
+    }
+}

@@ -1,4 +1,8 @@
-//! Console tables and CSV persistence for experiment outputs.
+//! Console tables and CSV/JSON persistence for experiment outputs.
+//!
+//! The JSON writer is hand-rolled (escaping per RFC 8259) so the harness
+//! needs no serialization dependency; tables are small and the schema is
+//! fixed, so a few lines of careful escaping beat a crate.
 
 use std::io::Write;
 use std::path::Path;
@@ -85,6 +89,46 @@ impl Table {
         }
         out
     }
+
+    /// JSON rendering: `{"title", "headers", "rows"}` with all cells as
+    /// strings, matching the CSV contents exactly.
+    pub fn to_json(&self) -> String {
+        let str_array = |items: &[String]| {
+            let parts: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+            format!("[{}]", parts.join(", "))
+        };
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| format!("    {}", str_array(r)))
+            .collect();
+        format!(
+            "{{\n  \"title\": {},\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_string(&self.title),
+            str_array(&self.headers),
+            rows.join(",\n")
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal (RFC 8259 §7: quote, backslash and
+/// control characters; everything else passes through as UTF-8).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Writes a table as CSV under `dir/name.csv` (directory created on demand).
@@ -93,6 +137,16 @@ pub fn write_csv(table: &Table, dir: &Path, name: &str) -> std::io::Result<std::
     let path = dir.join(format!("{name}.csv"));
     let mut f = std::fs::File::create(&path)?;
     f.write_all(table.to_csv().as_bytes())?;
+    Ok(path)
+}
+
+/// Writes a table as JSON under `dir/name.json` (directory created on
+/// demand).
+pub fn write_json(table: &Table, dir: &Path, name: &str) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(table.to_json().as_bytes())?;
     Ok(path)
 }
 
@@ -141,6 +195,36 @@ mod tests {
         assert_eq!(fmt_err(205.1), "205.1");
         assert_eq!(fmt_err(1.7e8), "1.7e8");
         assert_eq!(fmt_err(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut t = Table::new("q\"uote\\slash", &["h"]);
+        t.row(vec!["line\nbreak\ttab\u{1}".into()]);
+        let json = t.to_json();
+        assert!(json.contains(r#""q\"uote\\slash""#));
+        assert!(json.contains(r#""line\nbreak\ttab\u0001""#));
+    }
+
+    #[test]
+    fn json_has_expected_shape() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["3".into(), "4".into()]);
+        assert_eq!(
+            t.to_json(),
+            "{\n  \"title\": \"t\",\n  \"headers\": [\"a\", \"b\"],\n  \"rows\": [\n    [\"1\", \"2\"],\n    [\"3\", \"4\"]\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join("cf_bench_test_json");
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        let path = write_json(&t, &dir, "unit").unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! query explodes with reasoning depth.
 
 use cf_kg::{EntityId, KnowledgeGraph};
-use rand::Rng;
+use cf_rand::Rng;
 
 /// Exact number of logic chains of exactly `hops` relation steps rooted at
 /// `entity`: simple paths (no node revisits) whose endpoint carries at least
@@ -89,8 +89,8 @@ pub fn mean_chain_count(
 mod tests {
     use super::*;
     use cf_kg::synth::{yago15k_sim, SynthScale};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     /// Path graph a-b-c with facts everywhere: from a, 1 hop reaches b
     /// (1 fact), 2 hops adds c (1 fact).

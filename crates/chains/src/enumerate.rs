@@ -126,8 +126,8 @@ mod tests {
     use crate::retrieval::{retrieve, RetrievalConfig};
     use cf_kg::synth::{yago15k_sim, SynthScale};
     use cf_kg::AttributeId;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn path_graph() -> (KnowledgeGraph, Vec<EntityId>, AttributeId) {
         let mut g = KnowledgeGraph::new();

@@ -10,9 +10,9 @@
 //! ```
 //! use cf_chains::{retrieve, Query, RetrievalConfig};
 //! use cf_kg::synth::{yago15k_sim, SynthScale};
-//! use rand::SeedableRng;
+//! use cf_rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = cf_rand::rngs::StdRng::seed_from_u64(0);
 //! let g = yago15k_sim(SynthScale::small(), &mut rng);
 //! let fact = g.numerics()[0];
 //! let toc = retrieve(

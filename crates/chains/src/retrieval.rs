@@ -3,8 +3,8 @@
 
 use crate::chain::{ChainInstance, ChainVocab, Query, RaChain};
 use cf_kg::{EntityId, KnowledgeGraph};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use cf_rand::seq::SliceRandom;
+use cf_rand::Rng;
 
 /// Retrieval hyperparameters.
 #[derive(Copy, Clone, Debug)]
@@ -175,8 +175,8 @@ mod tests {
     use super::*;
     use cf_kg::synth::{yago15k_sim, SynthScale};
 
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn sample_query(g: &KnowledgeGraph, rng: &mut impl Rng) -> Query {
         // Pick an entity with a numeric fact and decent connectivity.

@@ -1,9 +1,9 @@
 //! Property-based invariants of the chain machinery.
 
 use cf_chains::{exact_chain_count, retrieve, ChainVocab, Query, RetrievalConfig};
+use cf_check::prelude::*;
 use cf_kg::{AttributeId, DirRel, EntityId, KnowledgeGraph, RelationId};
-use proptest::prelude::*;
-use rand::SeedableRng;
+use cf_rand::SeedableRng;
 
 fn build(n: usize, edges: &[(usize, usize)], facts: &[usize]) -> KnowledgeGraph {
     let mut g = KnowledgeGraph::new();
@@ -25,20 +25,20 @@ fn build(n: usize, edges: &[(usize, usize)], facts: &[usize]) -> KnowledgeGraph 
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+property! {
+    #![config(cases = 48)]
 
     /// Chain counting is monotone in the hop budget.
     #[test]
     fn chain_count_monotone_in_hops(
-        edges in prop::collection::vec((0usize..10, 0usize..10), 1..30),
-        facts in prop::collection::vec(0usize..10, 1..10),
+        edges in vec((0usize..10, 0usize..10), 1..30),
+        facts in vec(0usize..10, 1..10),
     ) {
         let g = build(10, &edges, &facts);
         let mut last = 0;
         for h in 1..=4 {
             let c = exact_chain_count(&g, EntityId(0), h, 1_000_000);
-            prop_assert!(c >= last, "count dropped from {last} to {c} at {h} hops");
+            check_assert!(c >= last, "count dropped from {last} to {c} at {h} hops");
             last = c;
         }
     }
@@ -48,21 +48,21 @@ proptest! {
     /// 0-hop chains, disabled here).
     #[test]
     fn retrieval_agrees_with_counting(
-        edges in prop::collection::vec((0usize..8, 0usize..8), 0..20),
-        facts in prop::collection::vec(0usize..8, 1..8),
+        edges in vec((0usize..8, 0usize..8), 0..20),
+        facts in vec(0usize..8, 1..8),
         seed in 0u64..100,
     ) {
         let g = build(8, &edges, &facts);
         let exact = exact_chain_count(&g, EntityId(0), 3, 1_000_000);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = cf_rand::rngs::StdRng::seed_from_u64(seed);
         let cfg = RetrievalConfig { num_walks: 64, max_hops: 3, allow_zero_hop: false, ..Default::default() };
         let toc = retrieve(&g, Query { entity: EntityId(0), attr: AttributeId(0) }, &cfg, &mut rng);
         if exact == 0 {
             // Only the query's own other-attribute facts could exist, and
             // zero-hop is off — with a single attribute there are none.
-            prop_assert!(toc.is_empty(), "retrieved {} chains where none exist", toc.len());
+            check_assert!(toc.is_empty(), "retrieved {} chains where none exist", toc.len());
         }
-        prop_assert!((toc.len() as u64) <= exact.max(64), "retrieved more than exists");
+        check_assert!((toc.len() as u64) <= exact.max(64), "retrieved more than exists");
     }
 
     /// Vocabulary tokens are dense and reversible for any (R, A) size.
@@ -79,8 +79,8 @@ proptest! {
         }
         seen.insert(v.end_token());
         seen.insert(v.pad_token());
-        prop_assert_eq!(seen.len(), v.size());
-        prop_assert_eq!(seen.iter().max().copied().unwrap(), v.size() - 1);
+        check_assert_eq!(seen.len(), v.size());
+        check_assert_eq!(seen.iter().max().copied().unwrap(), v.size() - 1);
     }
 
     /// Tokens of a chain always frame with [attr, …, attr, end] and every
@@ -94,11 +94,11 @@ proptest! {
             query_attr: AttributeId((attrs - 1) as u32),
         };
         let toks = chain.tokens(&v);
-        prop_assert_eq!(toks.len(), hops + 3);
-        prop_assert!(toks[0] >= 2 * rels && toks[0] < 2 * rels + attrs, "first token not an attr");
-        prop_assert_eq!(toks[toks.len() - 1], v.end_token());
+        check_assert_eq!(toks.len(), hops + 3);
+        check_assert!(toks[0] >= 2 * rels && toks[0] < 2 * rels + attrs, "first token not an attr");
+        check_assert_eq!(toks[toks.len() - 1], v.end_token());
         for &t in &toks[1..toks.len() - 2] {
-            prop_assert!(t < 2 * rels, "interior token {t} not a relation");
+            check_assert!(t < 2 * rels, "interior token {t} not a relation");
         }
     }
 }

@@ -1,0 +1,264 @@
+//! The seeded case loop: generate, execute, shrink, report.
+
+use crate::{CaseError, CaseResult, Config, Strategy};
+use cf_rand::rngs::StdRng;
+use cf_rand::{RngCore, SeedableRng};
+
+/// FNV-1a over the test name: a stable, platform-independent default seed,
+/// so every run of a given property sees the same case stream.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Resolves the stream seed: `CF_CHECK_SEED` env var, then explicit
+/// config, then the name hash.
+fn resolve_seed(name: &str, cfg: &Config) -> u64 {
+    if let Ok(s) = std::env::var("CF_CHECK_SEED") {
+        return s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("CF_CHECK_SEED={s:?} is not a u64"));
+    }
+    cfg.seed.unwrap_or_else(|| name_seed(name))
+}
+
+/// Resolves the case budget: `CF_CHECK_CASES` env var overrides config.
+fn resolve_cases(cfg: &Config) -> u32 {
+    match std::env::var("CF_CHECK_CASES") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("CF_CHECK_CASES={s:?} is not a u32")),
+        Err(_) => cfg.cases,
+    }
+}
+
+/// Runs `property` against `cases` generated inputs, shrinking and
+/// panicking with a reproducible report on the first failure.
+///
+/// This is the engine behind [`property!`](crate::property); call it
+/// directly to drive a property from plain code.
+pub fn run<S, F>(name: &str, cfg: Config, strategy: S, property: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CaseResult,
+{
+    let seed = resolve_seed(name, &cfg);
+    let cases = resolve_cases(&cfg);
+    let max_rejects = cfg.max_rejects.max(cases.saturating_mul(16));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut case_index: u32 = 0;
+
+    while passed < cases {
+        case_index += 1;
+        let value = strategy.generate(&mut rng);
+        match property(value.clone()) {
+            Ok(()) => passed += 1,
+            Err(CaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property `{name}`: gave up after {rejected} rejected cases \
+                     ({passed}/{cases} passed; seed {seed}) — loosen the strategy \
+                     or the check_assume! preconditions"
+                );
+            }
+            Err(CaseError::Fail(msg)) => {
+                let original = format!("{value:?}");
+                let (minimal, minimal_msg, steps) =
+                    shrink_failure(&strategy, value, msg, &property, cfg.max_shrink_steps);
+                panic!(
+                    "property `{name}` failed at case {case_index} \
+                     ({passed} passed, {rejected} rejected; seed {seed})\n\
+                     original input: {original}\n\
+                     shrunk input ({steps} shrink steps): {minimal:?}\n\
+                     failure: {minimal_msg}\n\
+                     reproduce with: CF_CHECK_SEED={seed} cargo test -- {short}\n",
+                    short = name.rsplit("::").next().unwrap_or(name),
+                );
+            }
+        }
+    }
+    // Consume one word so back-to-back runs in one process cannot alias
+    // even if a caller reuses the rng; also keeps `rng` observably used.
+    let _ = rng.next_u64();
+}
+
+/// Greedy halving descent: repeatedly replace the failing value with its
+/// first shrink candidate that still fails, until no candidate fails or
+/// the step budget runs out. Returns `(minimal value, its failure message,
+/// steps evaluated)`.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    property: &F,
+    max_steps: u32,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CaseResult,
+{
+    let mut steps: u32 = 0;
+    'descend: loop {
+        let candidates = strategy.shrink(&value);
+        for candidate in candidates {
+            if steps >= max_steps {
+                break 'descend;
+            }
+            steps += 1;
+            // Rejected candidates (assumption violations) do not count as
+            // failures: shrinking must stay inside the property's domain.
+            if let Err(CaseError::Fail(m)) = property(candidate.clone()) {
+                value = candidate;
+                msg = m;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::vec;
+
+    #[test]
+    fn passing_property_runs_to_completion() {
+        run(
+            "runner::always_true",
+            Config::with_cases(64),
+            (0usize..100,),
+            |(_n,)| Ok(()),
+        );
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_threshold() {
+        // Fails for n >= 10; halving from any failing draw must land on
+        // exactly 10 (origin 0 passes, midpoints bisect).
+        let hit = std::panic::catch_unwind(|| {
+            run(
+                "runner::threshold",
+                Config::with_cases(64),
+                (0usize..1000,),
+                |(n,)| {
+                    if n >= 10 {
+                        Err(CaseError::fail(format!("{n} too big")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = *hit.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("shrunk input"), "no shrink report: {msg}");
+        assert!(
+            msg.contains("(10,)"),
+            "did not shrink to minimal counterexample 10: {msg}"
+        );
+        assert!(msg.contains("CF_CHECK_SEED="), "no repro line: {msg}");
+    }
+
+    #[test]
+    fn vector_failures_shrink_structurally() {
+        let hit = std::panic::catch_unwind(|| {
+            run(
+                "runner::vec_len",
+                Config::with_cases(64),
+                (vec(0i64..100, 0..20),),
+                |(xs,)| {
+                    if xs.len() >= 3 {
+                        Err(CaseError::fail("too long"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = *hit.unwrap_err().downcast::<String>().unwrap();
+        // Truncation + drop-last descent must land on exactly 3 elements,
+        // and element-wise halving then zeroes them all.
+        assert!(msg.contains("shrunk input"), "{msg}");
+        let shrunk = msg
+            .lines()
+            .find(|l| l.contains("shrunk input"))
+            .unwrap()
+            .to_string();
+        assert!(
+            shrunk.contains("[0, 0, 0]"),
+            "expected minimal 3-element zero vector: {shrunk}"
+        );
+    }
+
+    #[test]
+    fn rejection_does_not_consume_case_budget() {
+        let counter = std::cell::Cell::new(0u32);
+        run(
+            "runner::rejects",
+            Config::with_cases(32),
+            (0usize..100,),
+            |(n,)| {
+                if n % 2 == 0 {
+                    Err(CaseError::reject())
+                } else {
+                    counter.set(counter.get() + 1);
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(counter.get(), 32, "odd-only cases must still reach 32");
+    }
+
+    #[test]
+    fn same_name_same_cases() {
+        let collect = || {
+            let mut seen = Vec::new();
+            // The property records its inputs; both runs must agree.
+            let seen_cell = std::cell::RefCell::new(&mut seen);
+            run(
+                "runner::determinism_probe",
+                Config::with_cases(16),
+                (0u64..1_000_000,),
+                |(n,)| {
+                    seen_cell.borrow_mut().push(n);
+                    Ok(())
+                },
+            );
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn explicit_config_seed_changes_the_stream() {
+        let collect = |seed: Option<u64>| {
+            let mut seen = Vec::new();
+            let cell = std::cell::RefCell::new(&mut seen);
+            run(
+                "runner::seed_probe",
+                Config {
+                    seed,
+                    ..Config::with_cases(8)
+                },
+                (0u64..1_000_000,),
+                |(n,)| {
+                    cell.borrow_mut().push(n);
+                    Ok(())
+                },
+            );
+            seen
+        };
+        assert_ne!(collect(Some(1)), collect(Some(2)));
+        assert_eq!(collect(Some(7)), collect(Some(7)));
+    }
+}

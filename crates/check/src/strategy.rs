@@ -1,0 +1,313 @@
+//! Input strategies: how cases are generated and shrunk.
+
+use cf_rand::rngs::StdRng;
+use cf_rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test inputs with an attached shrinker.
+///
+/// `generate` draws one value from the seeded stream; `shrink` proposes
+/// strictly "smaller" variants of a failing value, best candidates first.
+/// The runner greedily walks shrink candidates while they keep failing, so
+/// proposals must make progress (halving, truncating) rather than
+/// enumerating neighbours.
+pub trait Strategy {
+    /// The produced input type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, most aggressive first. An
+    /// empty vector means the value is minimal.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Shrink candidates for a numeric value toward `origin` (the in-range
+/// point closest to zero): jump to the origin, halve the distance, and —
+/// for integers, where greedy halving alone can stall one short of the
+/// true boundary — step a single unit closer.
+macro_rules! shrink_candidates {
+    ($t:ty, $value:expr, $origin:expr, step) => {{
+        let value = $value;
+        let origin = $origin;
+        let mut out: Vec<$t> = Vec::new();
+        if value != origin {
+            out.push(origin);
+            let half = origin + (value - origin) / 2;
+            if half != value && half != origin {
+                out.push(half);
+            }
+            let step = if value > origin { value - 1 } else { value + 1 };
+            if step != origin && step != half {
+                out.push(step);
+            }
+        }
+        out
+    }};
+    ($t:ty, $value:expr, $origin:expr, nostep) => {{
+        let value = $value;
+        let origin = $origin;
+        let mut out: Vec<$t> = Vec::new();
+        if value != origin {
+            out.push(origin);
+            let half = origin + (value - origin) / 2.0;
+            if half != value && half != origin {
+                out.push(half);
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty => $mode:tt),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let zero: $t = Default::default();
+                let origin = if self.start <= zero && zero < self.end {
+                    zero
+                } else {
+                    self.start
+                };
+                shrink_candidates!($t, *value, origin, $mode)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let zero: $t = Default::default();
+                let origin = if *self.start() <= zero && zero <= *self.end() {
+                    zero
+                } else {
+                    *self.start()
+                };
+                shrink_candidates!($t, *value, origin, $mode)
+            }
+        }
+    )*};
+}
+numeric_range_strategy!(
+    f32 => nostep, f64 => nostep,
+    u8 => step, u16 => step, u32 => step, u64 => step, usize => step,
+    i8 => step, i16 => step, i32 => step, i64 => step, isize => step
+);
+
+/// Length specification for [`vec`]: a fixed `usize`, a half-open
+/// `Range<usize>`, or an inclusive `RangeInclusive<usize>`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound; always `> min`.
+    max_excl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_excl: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range {r:?}");
+        SizeRange {
+            min: r.start,
+            max_excl: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec length range {r:?}");
+        SizeRange {
+            min: *r.start(),
+            max_excl: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy over `Vec<T>`: independent element draws with a length drawn
+/// from `size`. Built by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// Lifts an element strategy to vectors: `vec(-1f64..1.0, 8)` (fixed
+/// length) or `vec(0usize..10, 1..30)` (length drawn per case).
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = if self.size.min + 1 == self.size.max_excl {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..self.size.max_excl)
+        };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        let len = value.len();
+        // Structural shrinks first: halve, then drop one.
+        let half = len / 2;
+        if half >= self.size.min && half < len {
+            out.push(value[..half].to_vec());
+        }
+        if len > self.size.min && len >= 1 && len - 1 != half {
+            out.push(value[..len - 1].to_vec());
+        }
+        // Then element-wise: each element's best candidate, in place.
+        for (i, v) in value.iter().enumerate() {
+            if let Some(simpler) = self.elem.shrink(v).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = simpler;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $v:ident / $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($( self.$idx.generate(rng), )+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (S0 / v0 / 0);
+    (S0 / v0 / 0, S1 / v1 / 1);
+    (S0 / v0 / 0, S1 / v1 / 1, S2 / v2 / 2);
+    (S0 / v0 / 0, S1 / v1 / 1, S2 / v2 / 2, S3 / v3 / 3);
+    (S0 / v0 / 0, S1 / v1 / 1, S2 / v2 / 2, S3 / v3 / 3, S4 / v4 / 4);
+    (S0 / v0 / 0, S1 / v1 / 1, S2 / v2 / 2, S3 / v3 / 3, S4 / v4 / 4, S5 / v5 / 5);
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (-2f32..2.0).generate(&mut r);
+            assert!((-2.0..2.0).contains(&v));
+            let n = (1usize..20).generate(&mut r);
+            assert!((1..20).contains(&n));
+        }
+    }
+
+    #[test]
+    fn numeric_shrink_halves_toward_zero() {
+        let s = -100f64..100.0;
+        let shrunk = s.shrink(&80.0);
+        assert_eq!(shrunk[0], 0.0);
+        assert_eq!(shrunk[1], 40.0);
+        // Zero is minimal.
+        assert!(s.shrink(&0.0).is_empty());
+        // Positive-only ranges shrink toward their low end instead, with a
+        // unit step so greedy descent can land exactly on a boundary.
+        let p = 10usize..20;
+        assert_eq!(p.shrink(&16), [10, 13, 15]);
+    }
+
+    #[test]
+    fn vec_generates_lengths_in_range_and_shrinks_structurally() {
+        let s = vec(0usize..5, 2..6);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+        let shrunk = s.shrink(&std::vec![4, 3, 2, 1, 0]);
+        // Halving would go below min=2? 5/2 = 2, allowed.
+        assert_eq!(shrunk[0], std::vec![4, 3]);
+        assert_eq!(shrunk[1], std::vec![4, 3, 2, 1]);
+        // Element shrinks preserve length.
+        assert!(shrunk[2..].iter().all(|v| v.len() == 5));
+    }
+
+    #[test]
+    fn fixed_len_vec_never_changes_length() {
+        let s = vec(-1f64..1.0, 4);
+        let mut r = rng();
+        let v = s.generate(&mut r);
+        assert_eq!(v.len(), 4);
+        for candidate in s.shrink(&v) {
+            assert_eq!(candidate.len(), 4, "fixed-length vec shrank structurally");
+        }
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let s = (0usize..10, -4i64..4);
+        let shrunk = s.shrink(&(6, -3));
+        assert!(shrunk.contains(&(0, -3)));
+        assert!(shrunk.contains(&(6, 0)));
+        assert!(!shrunk.contains(&(0, 0)), "two components moved at once");
+    }
+
+    #[test]
+    fn nested_vec_of_tuples_composes() {
+        let s = vec((0usize..8, 0usize..8), 0..16);
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!(v.len() < 16);
+            assert!(v.iter().all(|&(a, b)| a < 8 && b < 8));
+        }
+    }
+}

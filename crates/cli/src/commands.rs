@@ -6,9 +6,9 @@ use cf_kg::io::{write_numerics, write_triples, TsvLoader};
 use cf_kg::stats::{attribute_stats, dataset_stats};
 use cf_kg::synth::{fb15k_sim, yago15k_sim, SynthScale};
 use cf_kg::{KnowledgeGraph, Split};
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
 use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::error::Error;
 use std::io::BufReader;
 use std::path::Path;

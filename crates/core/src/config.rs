@@ -1,12 +1,17 @@
 //! Model and training configuration, including every ablation switch of
 //! Table VI and the experiment knobs of Figures 4, 7 and 8.
+//!
+//! Configs serialize to a flat, TOML-ish `key = value` text format
+//! ([`ChainsFormerConfig::to_toml`] / [`ChainsFormerConfig::from_toml`])
+//! implemented by hand so the workspace carries no serialization
+//! dependency. The format is stable, diffable and round-trips exactly
+//! (floats are emitted with shortest-round-trip precision).
 
 use cf_chains::RetrievalConfig;
-use serde::{Deserialize, Serialize};
 
 /// Numerical projection method of the Numerical Reasoner (Eq. 17–19 and
 /// Table VII).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Projection {
     /// Regress the (normalized) value directly from the chain embedding —
     /// the paper's weakest variant and its "w/o Numerical Projection"
@@ -23,7 +28,7 @@ pub enum Projection {
 }
 
 /// Which geometry the chain filter scores in (Figure 7).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum FilterSpace {
     /// Poincaré-ball affinity scoring (the paper's Hyperbolic Filter).
     Hyperbolic,
@@ -35,7 +40,7 @@ pub enum FilterSpace {
 }
 
 /// Sequence model encoding each RA-Chain (Table VI ablations).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum EncoderKind {
     /// Encoder-only Transformer (the paper's In-Context Chain
     /// Representation).
@@ -48,7 +53,7 @@ pub enum EncoderKind {
 
 /// How the known value `n_p` is encoded before the affine-parameter MLPs
 /// (Eq. 14 and the "w Numerical-Aware by Log" ablation).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ValueEncoding {
     /// Float64 0–1 bit-stream (the paper's default, Eq. 14).
     FloatBits,
@@ -61,7 +66,7 @@ pub enum ValueEncoding {
 
 /// Training loss. Eq. 24 defines MSE; §V-A's implementation details say
 /// L1 — both are supported and the experiments default to L1.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Loss {
     /// Mean absolute error.
     L1,
@@ -70,7 +75,7 @@ pub enum Loss {
 }
 
 /// Restrictions used by the Figure-4 reasoning-setting study.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ReasoningSetting {
     /// Upper bound on chain hops (1 = single-hop reasoning).
     pub max_hops: usize,
@@ -90,7 +95,7 @@ impl ReasoningSetting {
 }
 
 /// Full ChainsFormer configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ChainsFormerConfig {
     // -- architecture ------------------------------------------------------
     /// Hidden dimension `d` of the Chain Encoder / Numerical Reasoner.
@@ -235,6 +240,149 @@ impl ChainsFormerConfig {
         }
     }
 
+    /// Serializes to the flat TOML-ish `key = value` format.
+    ///
+    /// Keys appear in declaration order; the nested [`ReasoningSetting`] is
+    /// flattened to dotted keys (`setting.max_hops`); enums are written as
+    /// their variant names; floats use `{:?}` (shortest representation that
+    /// round-trips exactly).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        let mut kv = |k: &str, v: String| {
+            out.push_str(k);
+            out.push_str(" = ");
+            out.push_str(&v);
+            out.push('\n');
+        };
+        kv("dim", self.dim.to_string());
+        kv("layers", self.layers.to_string());
+        kv("heads", self.heads.to_string());
+        kv("ff_dim", self.ff_dim.to_string());
+        kv("positional", self.positional.to_string());
+        kv("encoder", format!("{:?}", self.encoder));
+        kv("value_encoding", format!("{:?}", self.value_encoding));
+        kv("projection", format!("{:?}", self.projection));
+        kv("chain_weighting", self.chain_weighting.to_string());
+        kv("chain_quality", self.chain_quality.to_string());
+        kv(
+            "quality_prune_factor",
+            format!("{:?}", self.quality_prune_factor),
+        );
+        kv("retrieval_walks", self.retrieval_walks.to_string());
+        kv("top_k", self.top_k.to_string());
+        kv("filter_space", format!("{:?}", self.filter_space));
+        kv("filter_dim", self.filter_dim.to_string());
+        kv("lambda", format!("{:?}", self.lambda));
+        kv("filter_epochs", self.filter_epochs.to_string());
+        kv("setting.max_hops", self.setting.max_hops.to_string());
+        kv(
+            "setting.multi_attribute",
+            self.setting.multi_attribute.to_string(),
+        );
+        kv("lr", format!("{:?}", self.lr));
+        kv("epochs", self.epochs.to_string());
+        kv("batch_size", self.batch_size.to_string());
+        kv("loss", format!("{:?}", self.loss));
+        kv("grad_clip", format!("{:?}", self.grad_clip));
+        kv("patience", self.patience.to_string());
+        kv("seed", self.seed.to_string());
+        out
+    }
+
+    /// Parses the format written by [`to_toml`](Self::to_toml).
+    ///
+    /// Starts from [`Default::default`], so partial configs override only
+    /// the keys they mention. Blank lines and `#` comments are ignored;
+    /// unknown keys and malformed values are errors (a silently dropped
+    /// hyperparameter is the worst failure mode for an experiment log).
+    pub fn from_toml(text: &str) -> Result<Self, String> {
+        fn scalar<T: std::str::FromStr>(key: &str, raw: &str) -> Result<T, String> {
+            raw.parse()
+                .map_err(|_| format!("config key `{key}`: cannot parse value `{raw}`"))
+        }
+
+        let mut cfg = ChainsFormerConfig::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = match line.find('#') {
+                Some(i) => &line[..i],
+                None => line,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, raw) = line.split_once('=').ok_or_else(|| {
+                format!("line {}: expected `key = value`, got `{line}`", lineno + 1)
+            })?;
+            let (key, raw) = (key.trim(), raw.trim());
+            match key {
+                "dim" => cfg.dim = scalar(key, raw)?,
+                "layers" => cfg.layers = scalar(key, raw)?,
+                "heads" => cfg.heads = scalar(key, raw)?,
+                "ff_dim" => cfg.ff_dim = scalar(key, raw)?,
+                "positional" => cfg.positional = scalar(key, raw)?,
+                "encoder" => {
+                    cfg.encoder = match raw {
+                        "Transformer" => EncoderKind::Transformer,
+                        "Lstm" => EncoderKind::Lstm,
+                        "MeanPool" => EncoderKind::MeanPool,
+                        _ => return Err(format!("unknown encoder `{raw}`")),
+                    }
+                }
+                "value_encoding" => {
+                    cfg.value_encoding = match raw {
+                        "FloatBits" => ValueEncoding::FloatBits,
+                        "Log" => ValueEncoding::Log,
+                        "Disabled" => ValueEncoding::Disabled,
+                        _ => return Err(format!("unknown value_encoding `{raw}`")),
+                    }
+                }
+                "projection" => {
+                    cfg.projection = match raw {
+                        "Direct" => Projection::Direct,
+                        "Translation" => Projection::Translation,
+                        "Scaling" => Projection::Scaling,
+                        "Combined" => Projection::Combined,
+                        _ => return Err(format!("unknown projection `{raw}`")),
+                    }
+                }
+                "chain_weighting" => cfg.chain_weighting = scalar(key, raw)?,
+                "chain_quality" => cfg.chain_quality = scalar(key, raw)?,
+                "quality_prune_factor" => cfg.quality_prune_factor = scalar(key, raw)?,
+                "retrieval_walks" => cfg.retrieval_walks = scalar(key, raw)?,
+                "top_k" => cfg.top_k = scalar(key, raw)?,
+                "filter_space" => {
+                    cfg.filter_space = match raw {
+                        "Hyperbolic" => FilterSpace::Hyperbolic,
+                        "Euclidean" => FilterSpace::Euclidean,
+                        "Random" => FilterSpace::Random,
+                        _ => return Err(format!("unknown filter_space `{raw}`")),
+                    }
+                }
+                "filter_dim" => cfg.filter_dim = scalar(key, raw)?,
+                "lambda" => cfg.lambda = scalar(key, raw)?,
+                "filter_epochs" => cfg.filter_epochs = scalar(key, raw)?,
+                "setting.max_hops" => cfg.setting.max_hops = scalar(key, raw)?,
+                "setting.multi_attribute" => cfg.setting.multi_attribute = scalar(key, raw)?,
+                "lr" => cfg.lr = scalar(key, raw)?,
+                "epochs" => cfg.epochs = scalar(key, raw)?,
+                "batch_size" => cfg.batch_size = scalar(key, raw)?,
+                "loss" => {
+                    cfg.loss = match raw {
+                        "L1" => Loss::L1,
+                        "Mse" => Loss::Mse,
+                        _ => return Err(format!("unknown loss `{raw}`")),
+                    }
+                }
+                "grad_clip" => cfg.grad_clip = scalar(key, raw)?,
+                "patience" => cfg.patience = scalar(key, raw)?,
+                "seed" => cfg.seed = scalar(key, raw)?,
+                _ => return Err(format!("unknown config key `{key}`")),
+            }
+        }
+        Ok(cfg)
+    }
+
     /// Validates internal consistency; call before building a model.
     pub fn validate(&self) -> Result<(), String> {
         if self.dim % self.heads != 0 {
@@ -299,6 +447,60 @@ mod tests {
         let r = cfg.retrieval();
         assert_eq!(r.max_hops, 2);
         assert_eq!(r.num_walks, 99);
+    }
+
+    #[test]
+    fn toml_round_trips_every_preset() {
+        for cfg in [
+            ChainsFormerConfig::default(),
+            ChainsFormerConfig::paper(),
+            ChainsFormerConfig::tiny(),
+        ] {
+            let text = cfg.to_toml();
+            let back = ChainsFormerConfig::from_toml(&text).unwrap();
+            assert_eq!(cfg, back, "round trip changed the config:\n{text}");
+        }
+    }
+
+    #[test]
+    fn toml_round_trips_non_default_fields() {
+        let cfg = ChainsFormerConfig {
+            encoder: EncoderKind::Lstm,
+            value_encoding: ValueEncoding::Log,
+            projection: Projection::Combined,
+            filter_space: FilterSpace::Random,
+            loss: Loss::Mse,
+            positional: false,
+            lambda: 0.123456789,
+            lr: 3.5e-4,
+            setting: ReasoningSetting {
+                max_hops: 1,
+                multi_attribute: false,
+            },
+            seed: u64::MAX,
+            ..Default::default()
+        };
+        let back = ChainsFormerConfig::from_toml(&cfg.to_toml()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn toml_partial_overrides_default() {
+        let cfg = ChainsFormerConfig::from_toml(
+            "# experiment override\n\ndim = 64  # wider\nsetting.max_hops = 5\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.dim, 64);
+        assert_eq!(cfg.setting.max_hops, 5);
+        assert_eq!(cfg.layers, ChainsFormerConfig::default().layers);
+    }
+
+    #[test]
+    fn toml_rejects_unknown_keys_and_bad_values() {
+        assert!(ChainsFormerConfig::from_toml("learning_rate = 0.1").is_err());
+        assert!(ChainsFormerConfig::from_toml("dim = fast").is_err());
+        assert!(ChainsFormerConfig::from_toml("loss = Huber").is_err());
+        assert!(ChainsFormerConfig::from_toml("just some words").is_err());
     }
 
     #[test]

@@ -7,9 +7,9 @@ use crate::config::{ChainsFormerConfig, EncoderKind, ValueEncoding};
 use crate::filter::ChainFilter;
 use crate::value_encoding::{float_bits, log_features, FLOAT_BITS, LOG_FEATURES};
 use cf_chains::{ChainInstance, ChainVocab};
+use cf_rand::Rng;
 use cf_tensor::nn::{Embedding, Lstm, Mlp, TransformerEncoder};
 use cf_tensor::{ParamStore, Tape, Tensor, Var};
-use rand::Rng;
 
 /// Encodes a batch of RA-Chains into value-aware chain representations
 /// `ẽ_c ∈ R^d` (one row per chain).
@@ -249,8 +249,8 @@ mod tests {
     use super::*;
     use cf_chains::RaChain;
     use cf_kg::{AttributeId, Dir, DirRel, EntityId, RelationId};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn chain_instance(hops: usize, value: f64) -> ChainInstance {
         ChainInstance {

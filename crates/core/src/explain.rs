@@ -4,7 +4,7 @@
 use crate::model::ChainsFormer;
 use cf_chains::{Query, RaChain};
 use cf_kg::{AttributeId, KnowledgeGraph, NumTriple};
-use rand::Rng;
+use cf_rand::Rng;
 use std::collections::HashMap;
 
 /// A key RA-Chain for an attribute with its accumulated importance.
@@ -177,8 +177,8 @@ mod tests {
     use crate::train::Trainer;
     use cf_kg::synth::{yago15k_sim, SynthScale};
     use cf_kg::Split;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn trained() -> (ChainsFormer, KnowledgeGraph, Split, StdRng) {
         let mut rng = StdRng::seed_from_u64(0);

@@ -15,8 +15,8 @@ use crate::config::FilterSpace;
 use cf_chains::{ChainInstance, ChainVocab, Query, TreeOfChains};
 use cf_hyperbolic::{euclidean_distance, PoincareEmbeddings};
 use cf_kg::KnowledgeGraph;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use cf_rand::seq::SliceRandom;
+use cf_rand::Rng;
 
 /// Scores RA-Chains for relevance to a query and keeps the best `k`.
 #[derive(Clone, Debug)]
@@ -288,8 +288,8 @@ mod tests {
     use super::*;
     use cf_chains::{retrieve, RetrievalConfig};
     use cf_kg::synth::{yago15k_sim, SynthScale};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn setup(space: FilterSpace) -> (KnowledgeGraph, ChainFilter, StdRng) {
         let mut rng = StdRng::seed_from_u64(11);

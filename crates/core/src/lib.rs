@@ -22,9 +22,9 @@
 //! use chainsformer::{ChainsFormer, ChainsFormerConfig, Trainer};
 //! use cf_kg::synth::{yago15k_sim, SynthScale};
 //! use cf_kg::Split;
-//! use rand::SeedableRng;
+//! use cf_rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = cf_rand::rngs::StdRng::seed_from_u64(0);
 //! let graph = yago15k_sim(SynthScale::small(), &mut rng);
 //! let split = Split::paper_811(&graph, &mut rng);
 //! let visible = split.visible_graph(&graph);

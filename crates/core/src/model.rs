@@ -8,8 +8,8 @@ use crate::quality::ChainQualityTracker;
 use crate::reasoner::{NumericalReasoner, ReasonerOutput};
 use cf_chains::{retrieve, ChainInstance, ChainVocab, Query, RaChain, TreeOfChains};
 use cf_kg::{KnowledgeGraph, MinMaxNormalizer, NumTriple};
+use cf_rand::Rng;
 use cf_tensor::{ParamStore, Tape, Var};
-use rand::Rng;
 
 /// One explained evidence chain in a prediction.
 #[derive(Clone, Debug)]
@@ -239,8 +239,8 @@ mod tests {
     use super::*;
     use cf_kg::synth::{yago15k_sim, SynthScale};
     use cf_kg::Split;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn setup() -> (KnowledgeGraph, Split, ChainsFormer, StdRng) {
         let mut rng = StdRng::seed_from_u64(0);

@@ -5,9 +5,9 @@
 use crate::config::{ChainsFormerConfig, Projection};
 use cf_chains::ChainInstance;
 use cf_kg::{AttributeId, MinMaxNormalizer};
+use cf_rand::Rng;
 use cf_tensor::nn::{Activation, Embedding, Mlp, TransformerEncoder};
 use cf_tensor::{ParamStore, Tape, Tensor, Var};
-use rand::Rng;
 
 /// Output of one reasoning pass.
 pub struct ReasonerOutput {
@@ -185,8 +185,8 @@ mod tests {
     use super::*;
     use cf_chains::RaChain;
     use cf_kg::{Dir, DirRel, EntityId, NumTriple, RelationId};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn chains(values: &[f64]) -> Vec<ChainInstance> {
         values

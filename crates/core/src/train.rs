@@ -4,10 +4,10 @@ use crate::config::Loss;
 use crate::model::ChainsFormer;
 use cf_chains::Query;
 use cf_kg::{KnowledgeGraph, NumTriple, Prediction, RegressionReport, Split};
+use cf_rand::seq::SliceRandom;
+use cf_rand::Rng;
 use cf_tensor::optim::{clip_global_norm, Adam};
 use cf_tensor::{Tape, Tensor};
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// Per-epoch training telemetry.
 #[derive(Clone, Debug)]
@@ -200,8 +200,8 @@ mod tests {
     use super::*;
     use crate::config::ChainsFormerConfig;
     use cf_kg::synth::{yago15k_sim, SynthScale};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn train_tiny(
         cfg: ChainsFormerConfig,

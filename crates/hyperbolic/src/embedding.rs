@@ -4,7 +4,7 @@
 
 use crate::ball::PoincareBall;
 use crate::grad::{distance_grad_x, rsgd_step};
-use rand::Rng;
+use cf_rand::Rng;
 
 /// A table of points on the Poincaré ball, trained so that co-occurring
 /// items sit close together.
@@ -150,8 +150,8 @@ impl PoincareEmbeddings {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn init_points_are_near_origin_and_inside() {

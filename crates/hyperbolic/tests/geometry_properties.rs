@@ -1,14 +1,14 @@
 //! Property-based checks of the Poincaré-ball geometry.
 
+use cf_check::prelude::*;
 use cf_hyperbolic::{distance_grad_x, riemannian_rescale, PoincareBall};
-use proptest::prelude::*;
 
 fn pt(dim: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-0.4f64..0.4, dim)
+    vec(-0.4f64..0.4, dim)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+property! {
+    #![config(cases = 64)]
 
     /// Triangle inequality on sampled triples.
     #[test]
@@ -17,16 +17,16 @@ proptest! {
         let dxz = b.distance_arcosh(&x, &z);
         let dxy = b.distance_arcosh(&x, &y);
         let dyz = b.distance_arcosh(&y, &z);
-        prop_assert!(dxz <= dxy + dyz + 1e-9, "{dxz} > {dxy} + {dyz}");
+        check_assert!(dxz <= dxy + dyz + 1e-9, "{dxz} > {dxy} + {dyz}");
     }
 
     /// Möbius chains of arbitrary length stay inside the ball.
     #[test]
-    fn mobius_chain_stays_inside(points in prop::collection::vec(pt(3), 0..8)) {
+    fn mobius_chain_stays_inside(points in vec(pt(3), 0..8)) {
         let b = PoincareBall::default();
         let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
         let c = b.mobius_chain(&refs, 3);
-        prop_assert!(b.contains(&c), "chain escaped: {c:?}");
+        check_assert!(b.contains(&c), "chain escaped: {c:?}");
     }
 
     /// Hyperbolic distance dominates (scaled) Euclidean distance and the
@@ -36,7 +36,7 @@ proptest! {
         let b = PoincareBall::default();
         let hyper = b.distance_arcosh(&x, &y);
         let eucl: f64 = x.iter().zip(&y).map(|(a, c)| (a - c) * (a - c)).sum::<f64>().sqrt();
-        prop_assert!(hyper + 1e-12 >= 2.0 * eucl * 0.999, "hyper {hyper} < 2·eucl {eucl}");
+        check_assert!(hyper + 1e-12 >= 2.0 * eucl * 0.999, "hyper {hyper} < 2·eucl {eucl}");
     }
 
     /// The analytic distance gradient always points "away" from the other
@@ -45,12 +45,12 @@ proptest! {
     fn gradient_descends_distance(x in pt(3), y in pt(3)) {
         let b = PoincareBall::default();
         let d0 = b.distance_arcosh(&x, &y);
-        prop_assume!(d0 > 1e-3);
+        check_assume!(d0 > 1e-3);
         let g = distance_grad_x(&x, &y);
         let step = 1e-4;
         let moved: Vec<f64> = x.iter().zip(&g).map(|(&xi, &gi)| xi - step * gi).collect();
         let d1 = b.distance_arcosh(&moved, &y);
-        prop_assert!(d1 < d0 + 1e-9, "gradient ascent direction: {d0} -> {d1}");
+        check_assert!(d1 < d0 + 1e-9, "gradient ascent direction: {d0} -> {d1}");
     }
 
     /// Riemannian rescaling shrinks but never flips gradients.
@@ -60,7 +60,7 @@ proptest! {
         let dot: f64 = rg.iter().zip(&g).map(|(a, b)| a * b).sum();
         let g_norm: f64 = g.iter().map(|v| v * v).sum();
         if g_norm > 1e-12 {
-            prop_assert!(dot >= 0.0, "rescale flipped the gradient");
+            check_assert!(dot >= 0.0, "rescale flipped the gradient");
         }
     }
 
@@ -70,11 +70,11 @@ proptest! {
         let b = PoincareBall::default();
         let mut x: Vec<f64> = dir.iter().map(|v| v * scale).collect();
         b.project(&mut x);
-        prop_assert!(b.contains(&x));
+        check_assert!(b.contains(&x));
         let before = x.clone();
         b.project(&mut x);
         for (a, c) in x.iter().zip(&before) {
-            prop_assert!((a - c).abs() < 1e-12);
+            check_assert!((a - c).abs() < 1e-12);
         }
     }
 }

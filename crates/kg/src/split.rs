@@ -1,8 +1,8 @@
 //! Train/validation/test splitting of numerical triples (the paper's 8:1:1).
 
 use crate::graph::{KnowledgeGraph, NumTriple};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use cf_rand::seq::SliceRandom;
+use cf_rand::Rng;
 
 /// A dataset split over numerical triples. Relational triples are never
 /// split — only attribute values are predicted.
@@ -64,8 +64,8 @@ impl Split {
 mod tests {
     use super::*;
     use crate::ids::EntityId;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn graph_with_numerics(n: usize) -> KnowledgeGraph {
         let mut g = KnowledgeGraph::new();

@@ -82,8 +82,8 @@ pub fn k_hop_subgraph(
 mod tests {
     use super::*;
     use crate::synth::{yago15k_sim, SynthScale};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn line_graph(n: usize) -> (KnowledgeGraph, Vec<EntityId>) {
         let mut g = KnowledgeGraph::new();

@@ -2,8 +2,8 @@
 
 use crate::graph::KnowledgeGraph;
 use crate::ids::{AttributeId, EntityId, RelationId};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use cf_rand::seq::SliceRandom;
+use cf_rand::Rng;
 
 /// Which dataset's attribute/relation inventory to generate.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -236,8 +236,8 @@ impl World {
 
             for r in 0..self.scale.regions_per_country {
                 let region = self.g.add_entity(format!("region_{c}_{r}"));
-                let rlat = lat + gaussian(rng) * 2.5;
-                let rlon = lon + gaussian(rng) * 2.5;
+                let rlat = lat + cf_rand::sample_normal(rng) * 2.5;
+                let rlon = lon + cf_rand::sample_normal(rng) * 2.5;
                 self.coords.insert(region, (rlat, rlon));
                 self.regions.push(region);
                 self.g.add_triple(region, self.rels.located_in, country);
@@ -257,8 +257,8 @@ impl World {
 
                 for ci in 0..self.scale.cities_per_region {
                     let city = self.g.add_entity(format!("city_{c}_{r}_{ci}"));
-                    let clat = rlat + gaussian(rng) * 1.2;
-                    let clon = rlon + gaussian(rng) * 1.2;
+                    let clat = rlat + cf_rand::sample_normal(rng) * 1.2;
+                    let clon = rlon + cf_rand::sample_normal(rng) * 1.2;
                     self.coords.insert(city, (clat, clon));
                     self.cities.push(city);
                     self.g.add_triple(city, self.rels.located_in, region);
@@ -382,8 +382,10 @@ impl World {
                         self.g.add_triple(p, er, self.ethnicities[eth_idx]);
                     }
                 }
-                let height = (1.74 + eth_height[eth_idx] + gaussian(rng) * 0.07).clamp(1.34, 2.18);
-                let weight = ((height - 1.0) * 95.0 + gaussian(rng) * 7.0).clamp(44.0, 147.0);
+                let height = (1.74 + eth_height[eth_idx] + cf_rand::sample_normal(rng) * 0.07)
+                    .clamp(1.34, 2.18);
+                let weight =
+                    ((height - 1.0) * 95.0 + cf_rand::sample_normal(rng) * 7.0).clamp(44.0, 147.0);
                 // Only athletes (team members) have recorded weights, like FB.
                 let is_athlete = rng.gen::<f64>() < 0.15 && !self.teams.is_empty();
                 self.maybe_numeric(p, h, height, rng);
@@ -524,7 +526,7 @@ impl World {
                     self.maybe_numeric(
                         s,
                         d,
-                        (happened + gaussian(rng) * 5.0).clamp(476.0, 2017.0),
+                        (happened + cf_rand::sample_normal(rng) * 5.0).clamp(476.0, 2017.0),
                         rng,
                     );
                     if let Some(hi) = self.rels.happened_in {
@@ -601,13 +603,6 @@ fn pick<'a, T>(v: &'a [T], rng: &mut impl Rng) -> Option<&'a T> {
     v.choose(rng)
 }
 
-/// Standard normal via Box–Muller.
-fn gaussian(rng: &mut impl Rng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 /// A random person whose birth year is within `window` of person `i`'s.
 fn nearest_by_birth(births: &[f64], i: usize, window: f64, rng: &mut impl Rng) -> Option<usize> {
     let mine = births[i];
@@ -639,8 +634,8 @@ fn closest_to(births: &[f64], target: f64, exclude: usize) -> Option<usize> {
 mod tests {
     use super::*;
     use crate::stats::{attribute_stats, dataset_stats};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn yago_sim_has_expected_attribute_inventory() {

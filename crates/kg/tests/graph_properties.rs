@@ -1,9 +1,9 @@
 //! Property-based invariants of the KG store, splitter and TSV IO.
 
+use cf_check::prelude::*;
 use cf_kg::io::{write_numerics, write_triples, TsvLoader};
 use cf_kg::{AttributeId, Dir, EntityId, KnowledgeGraph, RelationId, Split};
-use proptest::prelude::*;
-use rand::SeedableRng;
+use cf_rand::SeedableRng;
 
 /// Builds a graph from arbitrary edge/fact lists.
 fn build(
@@ -41,24 +41,24 @@ fn build(
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+property! {
+    #![config(cases = 48)]
 
     /// Every triple contributes exactly one forward edge at its head and
     /// one inverse edge at its tail; total degree is 2·|triples|.
     #[test]
     fn adjacency_is_complete_and_symmetric(
-        edges in prop::collection::vec((0usize..12, 0usize..3, 0usize..12), 1..50),
+        edges in vec((0usize..12, 0usize..3, 0usize..12), 1..50),
     ) {
         let g = build(12, &edges, &[], 3, 1);
         let total_degree: usize = g.entities().map(|e| g.degree(e)).sum();
-        prop_assert_eq!(total_degree, 2 * g.triples().len());
+        check_assert_eq!(total_degree, 2 * g.triples().len());
         for t in g.triples() {
-            prop_assert!(g
+            check_assert!(g
                 .neighbors(t.head)
                 .iter()
                 .any(|e| e.to == t.tail && e.dr.rel == t.rel && e.dr.dir == Dir::Forward));
-            prop_assert!(g
+            check_assert!(g
                 .neighbors(t.tail)
                 .iter()
                 .any(|e| e.to == t.head && e.dr.rel == t.rel && e.dr.dir == Dir::Inverse));
@@ -68,14 +68,14 @@ proptest! {
     /// Numeric index matches the raw triple list exactly.
     #[test]
     fn numeric_index_is_consistent(
-        facts in prop::collection::vec((0usize..8, 0usize..3, -100f64..100.0), 1..40),
+        facts in vec((0usize..8, 0usize..3, -100f64..100.0), 1..40),
     ) {
         let g = build(8, &[], &facts, 1, 3);
         let indexed: usize = g.entities().map(|e| g.numerics_of(e).len()).sum();
-        prop_assert_eq!(indexed, g.numerics().len());
+        check_assert_eq!(indexed, g.numerics().len());
         for a in 0..3u32 {
             for &(e, v) in g.entities_with_attribute(AttributeId(a)) {
-                prop_assert!(g.numerics_of(e).iter().any(|&(fa, fv)| fa == AttributeId(a) && fv == v));
+                check_assert!(g.numerics_of(e).iter().any(|&(fa, fv)| fa == AttributeId(a) && fv == v));
             }
         }
     }
@@ -88,19 +88,19 @@ proptest! {
     fn split_partitions_for_any_size(n in 3usize..200, seed in 0u64..500) {
         let facts: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, 0, i as f64)).collect();
         let g = build(n, &[], &facts, 1, 1);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = cf_rand::rngs::StdRng::seed_from_u64(seed);
         let s = Split::paper_811(&g, &mut rng);
-        prop_assert_eq!(s.total(), n);
+        check_assert_eq!(s.total(), n);
         // Hidden graph retains exactly the training numerics.
         let vis = s.visible_graph(&g);
-        prop_assert_eq!(vis.numerics().len(), s.train.len());
+        check_assert_eq!(vis.numerics().len(), s.train.len());
     }
 
     /// TSV round trip preserves the graph for arbitrary safe names/values.
     #[test]
     fn tsv_round_trip(
-        edges in prop::collection::vec((0usize..6, 0usize..2, 0usize..6), 0..20),
-        facts in prop::collection::vec((0usize..6, 0usize..2, -1e6f64..1e6), 1..20),
+        edges in vec((0usize..6, 0usize..2, 0usize..6), 0..20),
+        facts in vec((0usize..6, 0usize..2, -1e6f64..1e6), 1..20),
     ) {
         let g = build(6, &edges, &facts, 2, 2);
         let mut tb = Vec::new();
@@ -111,13 +111,13 @@ proptest! {
         loader.load_triples(&tb[..]).unwrap();
         loader.load_numerics(&nb[..]).unwrap();
         let g2 = loader.finish();
-        prop_assert_eq!(g2.triples().len(), g.triples().len());
-        prop_assert_eq!(g2.numerics().len(), g.numerics().len());
+        check_assert_eq!(g2.triples().len(), g.triples().len());
+        check_assert_eq!(g2.numerics().len(), g.numerics().len());
         // Every original fact exists in the reloaded graph (by name).
         for t in g.numerics() {
             let e2 = g2.entity_by_name(g.entity_name(t.entity)).expect("entity survives");
             let a2 = g2.attribute_by_name(g.attribute_name(t.attr)).expect("attr survives");
-            prop_assert!(g2.numerics_of(e2).iter().any(|&(a, v)| a == a2 && (v - t.value).abs() < 1e-9));
+            check_assert!(g2.numerics_of(e2).iter().any(|&(a, v)| a == a2 && (v - t.value).abs() < 1e-9));
         }
     }
 }

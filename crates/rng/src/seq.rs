@@ -1,0 +1,94 @@
+//! Sequence helpers (module layout mirrors the rand crate's `seq`).
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices: Fisher–Yates shuffling and uniform element
+/// choice.
+pub trait SliceRandom {
+    /// Element type of the sequence.
+    type Item;
+
+    /// Uniform in-place shuffle (Fisher–Yates, high-to-low, matching the
+    /// classic `rand` ordering so one pass consumes exactly `len − 1`
+    /// draws).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = rng.gen_range(0..self.len());
+            Some(&self[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "identity shuffle of 100 elements is ~impossible"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<usize> = (0..32).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let v = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*v.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn works_through_dyn_rngcore() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let dynamic: &mut dyn RngCore = &mut rng;
+        let mut v = vec![1, 2, 3];
+        v.shuffle(dynamic);
+        assert!(v.choose(dynamic).is_some());
+    }
+}

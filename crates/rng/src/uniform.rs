@@ -1,0 +1,222 @@
+//! Uniform sampling over ranges and "standard" draws.
+//!
+//! Integers use Lemire's widening-multiply method with rejection, so draws
+//! are exactly uniform (no modulo bias). Floats scale a 53-bit (f64) or
+//! 24-bit (f32) mantissa, so `lo..hi` can never return `hi` and `lo..=hi`
+//! covers both endpoints.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types drawable by [`Rng::gen`](crate::Rng::gen) without a range.
+pub trait StandardSample {
+    /// One standard draw from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform in `[0, 1)` from the top 53 bits of one word.
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform in `[0, 1)` from the top 24 bits of one word.
+#[inline]
+pub(crate) fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Uniform in `[lo, hi)`; the rounding guard keeps `hi` unreachable even
+/// when `lo + u·(hi−lo)` rounds up.
+pub(crate) fn f64_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo < hi, "gen_range called with empty range {lo}..{hi}");
+    let v = lo + unit_f64(rng) * (hi - lo);
+    if v < hi {
+        v
+    } else {
+        lo
+    }
+}
+
+/// See [`f64_half_open`].
+pub(crate) fn f32_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+    assert!(lo < hi, "gen_range called with empty range {lo}..{hi}");
+    let v = lo + unit_f32(rng) * (hi - lo);
+    if v < hi {
+        v
+    } else {
+        lo
+    }
+}
+
+/// Unbiased uniform draw below `width` (Lemire's method). `width` must be
+/// nonzero.
+fn below<R: RngCore + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (width as u128);
+        let low = m as u64;
+        if low < width {
+            // Threshold = 2^64 mod width; rejecting below it removes bias.
+            let threshold = width.wrapping_neg() % width;
+            if low < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// Types with uniform range sampling; the object of
+/// [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform in `[lo, hi)`. Panics if `lo >= hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform in `[lo, hi]`. Panics if `lo > hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range called with empty range {lo}..{hi}");
+                let width = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                lo.wrapping_add(below(rng, width) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range called with empty range {lo}..={hi}");
+                let width = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if width == u64::MAX {
+                    // Full-width range: every word is a valid draw.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(below(rng, width + 1) as $t)
+            }
+        }
+    )*};
+}
+uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        f64_half_open(rng, lo, hi)
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo <= hi, "gen_range called with empty range {lo}..={hi}");
+        let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64; // [0, 1]
+        (lo + u * (hi - lo)).clamp(lo, hi)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        f32_half_open(rng, lo, hi)
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo <= hi, "gen_range called with empty range {lo}..={hi}");
+        let u = (rng.next_u64() >> 40) as f32 / ((1u32 << 24) - 1) as f32; // [0, 1]
+        (lo + u * (hi - lo)).clamp(lo, hi)
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from this range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn lemire_is_unbiased_enough_to_cover_uneven_widths() {
+        // Width 3 does not divide 2^64; every bucket must still appear at
+        // roughly 1/3 frequency.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0usize..3)] += 1;
+        }
+        for c in counts {
+            let rate = c as f64 / 30_000.0;
+            assert!((rate - 1.0 / 3.0).abs() < 0.02, "bucket rate {rate}");
+        }
+    }
+
+    #[test]
+    fn inclusive_reaches_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            match rng.gen_range(0u32..=3) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn negative_float_ranges() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..5_000 {
+            let v: f64 = rng.gen_range(-1e6..-1e3);
+            assert!((-1e6..-1e3).contains(&v));
+        }
+    }
+}

@@ -9,12 +9,26 @@ use crate::tensor::Tensor;
 /// Returns the worst relative error encountered. `f` is invoked with a fresh
 /// tape each time, so it must be deterministic.
 pub fn check_grad(input: &Tensor, eps: f32, f: impl Fn(&mut Tape, Var) -> Var) -> f32 {
+    check_grad_with_params(input, eps, 0, f)
+}
+
+/// [`check_grad`] for functions that also route through [`ParamStore`]
+/// parameters (e.g. `nn` layers): `n_params` sizes the parameter-gradient
+/// store so backward can accumulate into it.
+///
+/// [`ParamStore`]: crate::ParamStore
+pub fn check_grad_with_params(
+    input: &Tensor,
+    eps: f32,
+    n_params: usize,
+    f: impl Fn(&mut Tape, Var) -> Var,
+) -> f32 {
     // Analytic gradient.
     let mut tape = Tape::new();
     let x = tape.leaf(input.clone());
     let y = f(&mut tape, x);
     assert_eq!(tape.value(y).numel(), 1, "check_grad needs a scalar output");
-    let grads = tape.backward(y, 0);
+    let grads = tape.backward(y, n_params);
     let analytic = grads
         .grad(x)
         .cloned()
@@ -41,6 +55,22 @@ pub fn check_grad(input: &Tensor, eps: f32, f: impl Fn(&mut Tape, Var) -> Var) -
 /// Asserts the worst relative gradient error stays under `tol`.
 pub fn assert_grad_close(input: &Tensor, eps: f32, tol: f32, f: impl Fn(&mut Tape, Var) -> Var) {
     let worst = check_grad(input, eps, f);
+    assert!(
+        worst < tol,
+        "gradient check failed: worst relative error {worst} >= {tol}"
+    );
+}
+
+/// [`assert_grad_close`] for functions that route through `n_params`
+/// [`ParamStore`](crate::ParamStore) parameters.
+pub fn assert_grad_close_with_params(
+    input: &Tensor,
+    eps: f32,
+    tol: f32,
+    n_params: usize,
+    f: impl Fn(&mut Tape, Var) -> Var,
+) {
+    let worst = check_grad_with_params(input, eps, n_params, f);
     assert!(
         worst < tol,
         "gradient check failed: worst relative error {worst} >= {tol}"

@@ -2,7 +2,7 @@
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rand::Rng;
+use cf_rand::Rng;
 
 /// Initialization schemes for learnable tensors.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -34,14 +34,18 @@ impl Init {
             Init::Zeros => vec![0.0; n],
             Init::Const(c) => vec![c; n],
             Init::Uniform(a) => (0..n).map(|_| rng.gen_range(-a..=a)).collect(),
-            Init::Normal(std) => (0..n).map(|_| std * gaussian(rng)).collect(),
+            Init::Normal(std) => (0..n)
+                .map(|_| std * cf_rand::sample_normal_f32(rng))
+                .collect(),
             Init::XavierUniform => {
                 let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
                 (0..n).map(|_| rng.gen_range(-a..=a)).collect()
             }
             Init::KaimingNormal => {
                 let std = (2.0 / fan_in as f32).sqrt();
-                (0..n).map(|_| std * gaussian(rng)).collect()
+                (0..n)
+                    .map(|_| std * cf_rand::sample_normal_f32(rng))
+                    .collect()
             }
         };
         Tensor::new(shape, data)
@@ -59,18 +63,11 @@ fn fans(shape: &Shape) -> (usize, usize) {
     }
 }
 
-/// Standard normal via Box–Muller.
-fn gaussian(rng: &mut impl Rng) -> f32 {
-    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-    let u2: f32 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn zeros_and_const() {
@@ -116,7 +113,7 @@ mod tests {
     fn gaussian_is_finite() {
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..10_000 {
-            assert!(gaussian(&mut rng).is_finite());
+            assert!(cf_rand::sample_normal_f32(&mut rng).is_finite());
         }
     }
 }

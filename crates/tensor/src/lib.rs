@@ -22,9 +22,9 @@
 //! ## Example
 //! ```
 //! use cf_tensor::{Tape, Tensor, ParamStore, nn::{Mlp, Activation}, optim::Adam};
-//! use rand::SeedableRng;
+//! use cf_rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = cf_rand::rngs::StdRng::seed_from_u64(0);
 //! let mut ps = ParamStore::new();
 //! let mlp = Mlp::new(&mut ps, "f", &[2, 16, 1], Activation::Tanh, &mut rng);
 //! let mut opt = Adam::new(1e-2);

@@ -4,7 +4,7 @@ use super::linear::Linear;
 use crate::params::ParamStore;
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
-use rand::Rng;
+use cf_rand::Rng;
 
 /// Additive value for masked attention logits. Large enough to zero the
 /// softmax weight, small enough to stay far from f32 overflow.
@@ -112,8 +112,8 @@ impl MultiHeadAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     fn attn(dim: usize, heads: usize, seed: u64) -> (MultiHeadAttention, ParamStore) {
         let mut rng = StdRng::seed_from_u64(seed);

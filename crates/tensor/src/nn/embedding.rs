@@ -3,7 +3,7 @@
 use crate::init::Init;
 use crate::params::{ParamId, ParamStore};
 use crate::tape::{Tape, Var};
-use rand::Rng;
+use cf_rand::Rng;
 
 /// Learnable embedding table `[vocab, dim]` with index lookup.
 #[derive(Clone, Debug)]
@@ -57,8 +57,8 @@ impl Embedding {
 mod tests {
     use super::*;
     use crate::tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn lookup_returns_table_rows() {

@@ -3,7 +3,7 @@
 use crate::init::Init;
 use crate::params::{ParamId, ParamStore};
 use crate::tape::{Tape, Var};
-use rand::Rng;
+use cf_rand::Rng;
 
 /// Fully connected layer `y = x W + b` with `W: [in, out]`.
 ///
@@ -143,8 +143,8 @@ impl LayerNorm {
 mod tests {
     use super::*;
     use crate::tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn linear_shapes_2d_and_3d() {

@@ -4,7 +4,7 @@ use super::linear::Linear;
 use crate::params::ParamStore;
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
-use rand::Rng;
+use cf_rand::Rng;
 
 /// A unidirectional LSTM that consumes `[B, T, d_in]` and exposes the hidden
 /// state at each sequence's final *valid* position.
@@ -93,8 +93,8 @@ impl Lstm {
 mod tests {
     use super::*;
     use crate::optim::Adam;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn output_shape_and_finiteness() {

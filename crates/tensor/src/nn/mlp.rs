@@ -3,7 +3,7 @@
 use super::linear::Linear;
 use crate::params::ParamStore;
 use crate::tape::{Tape, Var};
-use rand::Rng;
+use cf_rand::Rng;
 
 /// Activation functions available to [`Mlp`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -86,8 +86,8 @@ mod tests {
     use super::*;
     use crate::optim::Adam;
     use crate::tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn mlp_learns_xor() {

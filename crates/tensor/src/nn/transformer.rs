@@ -5,7 +5,7 @@ use super::attention::MultiHeadAttention;
 use super::linear::{LayerNorm, Linear};
 use crate::params::ParamStore;
 use crate::tape::{Tape, Var};
-use rand::Rng;
+use cf_rand::Rng;
 
 /// One encoder block: self-attention and feed-forward sublayers, each wrapped
 /// in residual + layer norm (post-LN).
@@ -120,8 +120,8 @@ mod tests {
     use super::*;
     use crate::optim::Adam;
     use crate::tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn encoder_preserves_shape() {

@@ -294,7 +294,7 @@ impl Tape {
 
     /// Inverted dropout: at train time zeroes each element with probability
     /// `p` and rescales survivors by `1/(1-p)`; identity when `p == 0`.
-    pub fn dropout(&mut self, a: Var, p: f32, rng: &mut impl rand::Rng) -> Var {
+    pub fn dropout(&mut self, a: Var, p: f32, rng: &mut impl cf_rand::Rng) -> Var {
         assert!(
             (0.0..1.0).contains(&p),
             "dropout p must be in [0,1), got {p}"
@@ -438,7 +438,7 @@ mod tests {
     #[test]
     fn dropout_zero_p_is_identity() {
         let mut t = Tape::new();
-        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut rng = cf_rand::rngs::mock::StepRng::new(0, 1);
         let a = t.leaf(Tensor::vector(&[1.0, 2.0]));
         let d = t.dropout(a, 0.0, &mut rng);
         assert_eq!(d, a);
@@ -446,8 +446,8 @@ mod tests {
 
     #[test]
     fn dropout_preserves_expectation_roughly() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use cf_rand::SeedableRng;
+        let mut rng = cf_rand::rngs::StdRng::seed_from_u64(9);
         let mut t = Tape::new();
         let a = t.leaf(Tensor::full([10_000], 1.0));
         let d = t.dropout(a, 0.3, &mut rng);

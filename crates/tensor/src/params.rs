@@ -2,7 +2,7 @@
 
 use crate::init::Init;
 use crate::tensor::Tensor;
-use rand::Rng;
+use cf_rand::Rng;
 
 /// Handle to a parameter inside a [`ParamStore`]. Cheap to copy.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
@@ -99,8 +99,8 @@ impl ParamStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
 
     #[test]
     fn add_get_roundtrip() {

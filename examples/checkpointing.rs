@@ -9,8 +9,8 @@
 use cf_chains::Query;
 use cf_kg::synth::{yago15k_sim, SynthScale};
 use cf_kg::Split;
+use cf_rand::SeedableRng;
 use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
-use rand::SeedableRng;
 
 fn main() {
     let cfg = ChainsFormerConfig {
@@ -20,7 +20,7 @@ fn main() {
     };
 
     // Train.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let mut rng = cf_rand::rngs::StdRng::seed_from_u64(21);
     let graph = yago15k_sim(SynthScale::small(), &mut rng);
     let split = Split::paper_811(&graph, &mut rng);
     let visible = split.visible_graph(&graph);
@@ -42,7 +42,7 @@ fn main() {
 
     // Reload into a freshly constructed (untrained) model. Architecture is
     // rebuilt from the same config/graph/seed; only the weights load.
-    let mut rng2 = rand::rngs::StdRng::seed_from_u64(21);
+    let mut rng2 = cf_rand::rngs::StdRng::seed_from_u64(21);
     let graph2 = yago15k_sim(SynthScale::small(), &mut rng2);
     let split2 = Split::paper_811(&graph2, &mut rng2);
     let visible2 = split2.visible_graph(&graph2);
@@ -56,8 +56,8 @@ fn main() {
         entity: t.entity,
         attr: t.attr,
     };
-    let mut ra = rand::rngs::StdRng::seed_from_u64(77);
-    let mut rb = rand::rngs::StdRng::seed_from_u64(77);
+    let mut ra = cf_rand::rngs::StdRng::seed_from_u64(77);
+    let mut rb = cf_rand::rngs::StdRng::seed_from_u64(77);
     let a = model.predict(&visible, q, &mut ra);
     let b = served.predict(&visible2, q, &mut rb);
     println!("original model predicts {:.3}", a.value);

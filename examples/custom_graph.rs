@@ -10,8 +10,8 @@
 use cf_chains::Query;
 use cf_kg::io::{write_numerics, write_triples, TsvLoader};
 use cf_kg::{KnowledgeGraph, Split};
+use cf_rand::{Rng, SeedableRng};
 use chainsformer::{ChainsFormer, ChainsFormerConfig, Trainer};
-use rand::{Rng, SeedableRng};
 
 /// Builds a family/film world where birth years follow the generation
 /// structure: siblings are close, children are ~28 years after parents, and
@@ -61,7 +61,7 @@ fn build_graph(rng: &mut impl Rng) -> KnowledgeGraph {
 }
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = cf_rand::rngs::StdRng::seed_from_u64(3);
     let graph = build_graph(&mut rng);
 
     // Round-trip through the MMKG-style TSV format, proving the IO path a

@@ -10,11 +10,11 @@
 use cf_baselines::{evaluate_baseline, MrAP, NapPlusPlus, TransE, TransEConfig};
 use cf_kg::synth::{yago15k_sim, SynthScale};
 use cf_kg::{MinMaxNormalizer, NumTriple, Split};
+use cf_rand::SeedableRng;
 use chainsformer::{ChainsFormer, ChainsFormerConfig, Trainer};
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = cf_rand::rngs::StdRng::seed_from_u64(5);
     let graph = yago15k_sim(SynthScale::default_scale(), &mut rng);
     let split = Split::paper_811(&graph, &mut rng);
     let visible = split.visible_graph(&graph);

@@ -10,11 +10,11 @@ use cf_baselines::{evaluate_baseline, AttributeMean, MrAP};
 use cf_chains::Query;
 use cf_kg::synth::{fb15k_sim, SynthScale};
 use cf_kg::{MinMaxNormalizer, Split};
+use cf_rand::SeedableRng;
 use chainsformer::{ChainsFormer, ChainsFormerConfig, Trainer};
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = cf_rand::rngs::StdRng::seed_from_u64(11);
     let graph = fb15k_sim(SynthScale::small(), &mut rng);
     let split = Split::paper_811(&graph, &mut rng);
     let visible = split.visible_graph(&graph);

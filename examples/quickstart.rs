@@ -8,11 +8,11 @@
 use cf_chains::Query;
 use cf_kg::synth::{yago15k_sim, SynthScale};
 use cf_kg::Split;
+use cf_rand::SeedableRng;
 use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = cf_rand::rngs::StdRng::seed_from_u64(42);
 
     // 1. A knowledge graph with numerical attributes (YAGO15K-like twin).
     let graph = yago15k_sim(SynthScale::small(), &mut rng);

@@ -10,6 +10,11 @@ set -u
 cd "$(dirname "$0")"
 OUT=${CF_OUT:-results}
 mkdir -p "$OUT"
+# The workspace has no crates.io dependencies, so the build never needs
+# the network; --offline makes that a hard guarantee. --workspace is
+# required: the root manifest is also a package, and a bare build would
+# not produce the chainsformer-bench binaries invoked below.
+cargo build --release --offline --workspace
 run() {
   local name="$1"; shift
   echo "=== $name ($(date +%H:%M:%S)) ==="

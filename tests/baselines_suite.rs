@@ -8,12 +8,12 @@ use cf_baselines::{
 };
 use cf_kg::synth::{fb15k_sim, yago15k_sim, SynthScale};
 use cf_kg::{MinMaxNormalizer, Split};
-use rand::SeedableRng;
+use cf_rand::SeedableRng;
 
 #[test]
 fn all_baselines_run_on_both_datasets() {
     for fb in [false, true] {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = cf_rand::rngs::StdRng::seed_from_u64(9);
         let graph = if fb {
             fb15k_sim(SynthScale::small(), &mut rng)
         } else {
@@ -55,7 +55,7 @@ fn all_baselines_run_on_both_datasets() {
 
 #[test]
 fn structure_aware_methods_beat_mean_on_spatial() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let mut rng = cf_rand::rngs::StdRng::seed_from_u64(10);
     let graph = yago15k_sim(SynthScale::default_scale(), &mut rng);
     let split = Split::paper_811(&graph, &mut rng);
     let visible = split.visible_graph(&graph);
@@ -87,7 +87,7 @@ fn kga_quantization_tradeoff_is_observable() {
     // More bins → finer quantization. With enough training signal the
     // 1-bin KGA (just the mean of one big bucket) must be no better than a
     // many-bin KGA on train-set reconstruction.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = cf_rand::rngs::StdRng::seed_from_u64(11);
     let graph = yago15k_sim(SynthScale::small(), &mut rng);
     let split = Split::paper_811(&graph, &mut rng);
     let visible = split.visible_graph(&graph);

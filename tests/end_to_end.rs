@@ -3,11 +3,11 @@
 
 use cf_kg::synth::{yago15k_sim, SynthScale};
 use cf_kg::Split;
+use cf_rand::SeedableRng;
 use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
-use rand::SeedableRng;
 
-fn rng(seed: u64) -> rand::rngs::StdRng {
-    rand::rngs::StdRng::seed_from_u64(seed)
+fn rng(seed: u64) -> cf_rand::rngs::StdRng {
+    cf_rand::rngs::StdRng::seed_from_u64(seed)
 }
 
 #[test]
@@ -92,6 +92,45 @@ fn training_is_deterministic_per_seed() {
     let a = build();
     let b = build();
     assert_eq!(a, b, "same seed must give identical results");
+}
+
+#[test]
+fn training_loss_trajectory_is_bitwise_deterministic() {
+    // Stronger than equal final metrics: the entire per-epoch loss
+    // trajectory must be bit-for-bit identical across two runs from the
+    // same seed. Any hidden nondeterminism (iteration order, uncontrolled
+    // RNG, time-dependent branching) shows up here as a first-divergence
+    // epoch index, which makes regressions easy to localize.
+    let run = || {
+        let mut rng = rng(17);
+        let graph = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&graph, &mut rng);
+        let visible = split.visible_graph(&graph);
+        let cfg = ChainsFormerConfig {
+            epochs: 4,
+            ..ChainsFormerConfig::tiny()
+        };
+        let mut model = ChainsFormer::new(&visible, &split.train, cfg, &mut rng);
+        let result = Trainer::new(&mut model, &visible).train(&split, &mut rng);
+        result
+            .epochs
+            .iter()
+            .map(|e| {
+                (
+                    e.train_loss.to_bits(),
+                    e.valid_mae.map(f64::to_bits),
+                    e.skipped,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty(), "training produced no epochs");
+    for (i, (ea, eb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(ea, eb, "first divergence at epoch {i}");
+    }
+    assert_eq!(a.len(), b.len(), "runs trained different epoch counts");
 }
 
 #[test]

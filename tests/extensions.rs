@@ -4,8 +4,8 @@
 use cf_chains::Query;
 use cf_kg::synth::{yago15k_sim, SynthScale};
 use cf_kg::Split;
+use cf_rand::SeedableRng;
 use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
-use rand::SeedableRng;
 
 fn setup(
     cfg: ChainsFormerConfig,
@@ -14,9 +14,9 @@ fn setup(
     cf_kg::KnowledgeGraph,
     Split,
     ChainsFormer,
-    rand::rngs::StdRng,
+    cf_rand::rngs::StdRng,
 ) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = cf_rand::rngs::StdRng::seed_from_u64(seed);
     let graph = yago15k_sim(SynthScale::small(), &mut rng);
     let split = Split::paper_811(&graph, &mut rng);
     let visible = split.visible_graph(&graph);
@@ -36,7 +36,7 @@ fn checkpoint_round_trip_preserves_predictions() {
     model.save_params_to(&path).expect("save");
 
     // Fresh model with identical construction inputs, untrained.
-    let mut rng2 = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng2 = cf_rand::rngs::StdRng::seed_from_u64(5);
     let graph2 = yago15k_sim(SynthScale::small(), &mut rng2);
     let split2 = Split::paper_811(&graph2, &mut rng2);
     let visible2 = split2.visible_graph(&graph2);
@@ -49,8 +49,8 @@ fn checkpoint_round_trip_preserves_predictions() {
         entity: split.test[0].entity,
         attr: split.test[0].attr,
     };
-    let mut ra = rand::rngs::StdRng::seed_from_u64(99);
-    let mut rb = rand::rngs::StdRng::seed_from_u64(99);
+    let mut ra = cf_rand::rngs::StdRng::seed_from_u64(99);
+    let mut rb = cf_rand::rngs::StdRng::seed_from_u64(99);
     let a = model.predict(&visible, q, &mut ra);
     let b = fresh.predict(&visible, q, &mut rb);
     assert_eq!(a.value, b.value, "loaded checkpoint predicts differently");
@@ -73,7 +73,7 @@ fn checkpoint_rejects_foreign_architecture() {
         epochs: 1,
         ..ChainsFormerConfig::tiny()
     };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let mut rng = cf_rand::rngs::StdRng::seed_from_u64(6);
     let graph = yago15k_sim(SynthScale::small(), &mut rng);
     let split = Split::paper_811(&graph, &mut rng);
     let visible = split.visible_graph(&graph);

@@ -1,28 +1,28 @@
-//! Property-based invariants across the workspace (proptest).
+//! Property-based invariants across the workspace (cf-check).
 
+use cf_check::prelude::*;
 use cf_hyperbolic::PoincareBall;
 use cf_kg::norm::MinMaxNormalizer;
 use cf_kg::{AttributeId, EntityId, KnowledgeGraph, NumTriple};
 use cf_tensor::{Tape, Tensor};
-use proptest::prelude::*;
 
 fn ball_point(dim: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-0.35f64..0.35, dim)
+    vec(-0.35f64..0.35, dim)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+property! {
+    #![config(cases = 64)]
 
     /// Möbius addition keeps points inside the ball and has 0 as identity.
     #[test]
     fn mobius_add_stays_in_ball(x in ball_point(4), y in ball_point(4)) {
         let ball = PoincareBall::default();
         let sum = ball.mobius_add(&x, &y);
-        prop_assert!(ball.contains(&sum));
+        check_assert!(ball.contains(&sum));
         let zero = vec![0.0; 4];
         let idl = ball.mobius_add(&zero, &x);
         for (a, b) in idl.iter().zip(&x) {
-            prop_assert!((a - b).abs() < 1e-9);
+            check_assert!((a - b).abs() < 1e-9);
         }
     }
 
@@ -33,10 +33,10 @@ proptest! {
         let ball = PoincareBall::default();
         let dxy = ball.distance_arcosh(&x, &y);
         let dyx = ball.distance_arcosh(&y, &x);
-        prop_assert!(dxy >= 0.0);
-        prop_assert!((dxy - dyx).abs() < 1e-9);
-        prop_assert!(ball.distance_arcosh(&x, &x) < 1e-9);
-        prop_assert!((dxy - ball.distance(&x, &y)).abs() < 1e-7);
+        check_assert!(dxy >= 0.0);
+        check_assert!((dxy - dyx).abs() < 1e-9);
+        check_assert!(ball.distance_arcosh(&x, &x) < 1e-9);
+        check_assert!((dxy - ball.distance(&x, &y)).abs() < 1e-7);
     }
 
     /// exp0/log0 are inverse on the ball.
@@ -46,13 +46,13 @@ proptest! {
         let p = ball.exp0(&v);
         let back = ball.log0(&p);
         for (a, b) in back.iter().zip(&v) {
-            prop_assert!((a - b).abs() < 1e-8);
+            check_assert!((a - b).abs() < 1e-8);
         }
     }
 
     /// Min-max normalization round-trips for any finite values.
     #[test]
-    fn normalizer_round_trips(values in prop::collection::vec(-1e6f64..1e6, 2..20), probe in -1e6f64..1e6) {
+    fn normalizer_round_trips(values in vec(-1e6f64..1e6, 2..20), probe in -1e6f64..1e6) {
         let triples: Vec<NumTriple> = values
             .iter()
             .map(|&v| NumTriple { entity: EntityId(0), attr: AttributeId(0), value: v })
@@ -60,20 +60,20 @@ proptest! {
         let norm = MinMaxNormalizer::fit(1, &triples);
         let a = AttributeId(0);
         let rt = norm.denormalize(a, norm.normalize(a, probe));
-        prop_assert!((rt - probe).abs() < 1e-6 * (1.0 + probe.abs()));
+        check_assert!((rt - probe).abs() < 1e-6 * (1.0 + probe.abs()));
     }
 
     /// Softmax output is a distribution for any finite logits.
     #[test]
-    fn softmax_is_distribution(logits in prop::collection::vec(-50f32..50.0, 1..16)) {
+    fn softmax_is_distribution(logits in vec(-50f32..50.0, 1..16)) {
         let mut t = Tape::new();
         let n = logits.len();
         let x = t.leaf(Tensor::new([n], logits));
         let y = t.softmax_last(x);
         let data = t.value(y).data();
         let sum: f32 = data.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(data.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        check_assert!((sum - 1.0).abs() < 1e-4);
+        check_assert!(data.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
     }
 
     /// Retrieval never exceeds the hop budget, never reuses the query fact,
@@ -81,10 +81,10 @@ proptest! {
     #[test]
     fn retrieval_invariants(
         n_entities in 3usize..20,
-        edges in prop::collection::vec((0usize..20, 0usize..20), 1..40),
+        edges in vec((0usize..20, 0usize..20), 1..40),
         seed in 0u64..1000,
     ) {
-        use rand::SeedableRng;
+        use cf_rand::SeedableRng;
         let mut g = KnowledgeGraph::new();
         for i in 0..n_entities {
             g.add_entity(format!("e{i}"));
@@ -102,21 +102,21 @@ proptest! {
             g.add_numeric(EntityId(i as u32), a, i as f64);
         }
         g.build_index();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = cf_rand::rngs::StdRng::seed_from_u64(seed);
         let q = cf_chains::Query { entity: EntityId(0), attr: a };
         let cfg = cf_chains::RetrievalConfig { num_walks: 32, max_hops: 3, ..Default::default() };
         let toc = cf_chains::retrieve(&g, q, &cfg, &mut rng);
         for ci in &toc.chains {
-            prop_assert!(ci.chain.hops() <= 3);
-            prop_assert!(!(ci.source == q.entity && ci.chain.known_attr == q.attr));
-            prop_assert_eq!(ci.chain.query_attr, q.attr);
+            check_assert!(ci.chain.hops() <= 3);
+            check_assert!(!(ci.source == q.entity && ci.chain.known_attr == q.attr));
+            check_assert_eq!(ci.chain.query_attr, q.attr);
         }
-        prop_assert!(toc.len() <= 32 + 1); // walks + possible 0-hop extras (1 attr type here)
+        check_assert!(toc.len() <= 32 + 1); // walks + possible 0-hop extras (1 attr type here)
     }
 
     /// Regression metrics are non-negative and RMSE ≥ MAE per attribute.
     #[test]
-    fn metrics_are_sane(pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..30)) {
+    fn metrics_are_sane(pairs in vec((-1e3f64..1e3, -1e3f64..1e3), 1..30)) {
         let triples: Vec<NumTriple> = vec![
             NumTriple { entity: EntityId(0), attr: AttributeId(0), value: -1e3 },
             NumTriple { entity: EntityId(0), attr: AttributeId(0), value: 1e3 },
@@ -128,8 +128,8 @@ proptest! {
             .collect();
         let rep = cf_kg::RegressionReport::compute(&preds, &norm);
         let e = rep.per_attribute[&0];
-        prop_assert!(e.mae >= 0.0);
-        prop_assert!(e.rmse + 1e-12 >= e.mae, "RMSE {} < MAE {}", e.rmse, e.mae);
-        prop_assert!(rep.norm_mae >= 0.0);
+        check_assert!(e.mae >= 0.0);
+        check_assert!(e.rmse + 1e-12 >= e.mae, "RMSE {} < MAE {}", e.rmse, e.mae);
+        check_assert!(rep.norm_mae >= 0.0);
     }
 }
