@@ -14,6 +14,15 @@ cargo build --release --offline --workspace
 echo "== cargo test (offline) =="
 cargo test -q --workspace --offline
 
+echo "== bench build + smoke (offline) =="
+# Keep the micro-benchmarks compiling and runnable: a 1-sample pass of the
+# tensor benches catches kernel regressions that only manifest in release
+# bench binaries. CF_BENCH_JSON stays unset so results/BENCH_tensor.json is
+# not clobbered by smoke numbers.
+cargo build --offline --benches --workspace
+CF_BENCH_SAMPLES=1 cargo bench --offline -p chainsformer-bench \
+    --bench tensor_ops --bench tensor_kernels >/dev/null
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -1,0 +1,180 @@
+//! Dense-kernel micro-benchmarks at the paper's model shapes: GEMM variants,
+//! multi-head attention, and one full train step of the Chain-Encoder-sized
+//! Transformer. This is the perf gate for the training hot path.
+//!
+//! Unlike the `criterion_group!`-style benches, this binary drives the
+//! harness by hand so it can persist its numbers: set `CF_BENCH_JSON=1` to
+//! write `results/BENCH_tensor.json` (the repo's kernel perf trajectory).
+
+use cf_rand::rngs::StdRng;
+use cf_rand::{Rng, SeedableRng};
+use cf_tensor::nn::{Linear, TransformerEncoder};
+use cf_tensor::{ParamStore, Tape, Tensor};
+use chainsformer_bench::micro::Criterion;
+use chainsformer_bench::report::{write_json, Table};
+use std::hint::black_box;
+use std::path::Path;
+
+fn rand_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::new(
+        shape.to_vec(),
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+}
+
+/// The pre-overhaul GEMM inner loop (naive `ikj` with the `a_ip == 0.0`
+/// skip branch), kept here as the in-binary before/after baseline for the
+/// tiled kernel.
+fn matmul_into_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let a_ip = a[i * k + p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for j in 0..n {
+                out_row[j] += a_ip * b_row[j];
+            }
+        }
+    }
+}
+
+/// `[m,k] x [k,n]` products at the two shapes called out by the perf gate:
+/// the naive pre-overhaul kernel, the tiled kernel, and the transpose-fused
+/// variants (which the backward pass runs instead of materializing Aᵀ/Bᵀ).
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (128, 32, 128)] {
+        let a = rand_tensor(&[m, k], &mut rng);
+        let b = rand_tensor(&[k, n], &mut rng);
+        c.bench_function(format!("gemm_naive/{m}x{k}x{n}"), |bch| {
+            let mut out = vec![0.0f32; m * n];
+            bch.iter(|| {
+                out.fill(0.0);
+                matmul_into_naive(a.data(), b.data(), &mut out, m, k, n);
+                black_box(out[0])
+            });
+        });
+        c.bench_function(format!("gemm/{m}x{k}x{n}"), |bch| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+        // Aᵀ·B with A stored [k,m]: the dB kernel of backward.
+        let at = rand_tensor(&[k, m], &mut rng);
+        c.bench_function(format!("gemm_at/{m}x{k}x{n}"), |bch| {
+            let mut out = vec![0.0f32; m * n];
+            bch.iter(|| {
+                out.fill(0.0);
+                cf_tensor::matmul_into_at(at.data(), b.data(), &mut out, m, k, n);
+                black_box(out[0])
+            });
+        });
+        // A·Bᵀ with B stored [n,k]: the dA kernel of backward and QKᵀ.
+        let bt = rand_tensor(&[n, k], &mut rng);
+        c.bench_function(format!("gemm_bt/{m}x{k}x{n}"), |bch| {
+            let mut out = vec![0.0f32; m * n];
+            bch.iter(|| {
+                out.fill(0.0);
+                cf_tensor::matmul_into_bt(a.data(), bt.data(), &mut out, m, k, n);
+                black_box(out[0])
+            });
+        });
+    }
+}
+
+/// Forward and forward+backward of a matmul through the tape: measures the
+/// backward kernels (dA = G·Bᵀ, dB = Aᵀ·G) on top of the forward.
+fn bench_gemm_tape(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = rand_tensor(&[64, 64], &mut rng);
+    let b = rand_tensor(&[64, 64], &mut rng);
+    c.bench_function("gemm_tape/64_fwd_bwd", |bch| {
+        bch.iter(|| {
+            let mut t = Tape::new();
+            let av = t.leaf(a.clone());
+            let bv = t.leaf(b.clone());
+            let p = t.matmul(av, bv);
+            let l = t.mean_all(p);
+            black_box(t.backward(l, 0))
+        })
+    });
+}
+
+/// Multi-head attention at the paper shape B=8, T=16, d=64, h=4.
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut ps = ParamStore::new();
+    let mha = cf_tensor::nn::MultiHeadAttention::new(&mut ps, "a", 64, 4, &mut rng);
+    let x = rand_tensor(&[8, 16, 64], &mut rng);
+    c.bench_function("attention/fwd_8x16x64h4", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            black_box(mha.forward(&mut t, &ps, xv, None))
+        })
+    });
+    c.bench_function("attention/fwd_bwd_8x16x64h4", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let y = mha.forward(&mut t, &ps, xv, None);
+            let l = t.mean_all(y);
+            black_box(t.backward(l, ps.len()))
+        })
+    });
+}
+
+/// One full train step (forward, loss, backward, Adam update) of the
+/// Chain-Encoder-sized Transformer: [B=32 chains, T=6 tokens, d=48], 2
+/// layers, 4 heads — the training hot path end to end.
+fn bench_train_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ps = ParamStore::new();
+    let enc = TransformerEncoder::new(&mut ps, "enc", 48, 4, 2, 96, &mut rng);
+    let head = Linear::new(&mut ps, "head", 48, 1, &mut rng);
+    let x = rand_tensor(&[32, 6, 48], &mut rng);
+    let target = rand_tensor(&[32 * 6, 1], &mut rng);
+    let mut opt = cf_tensor::optim::Adam::new(1e-3);
+    c.bench_function("train_step/enc_32x6x48", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let h = enc.forward(&mut t, &ps, xv, None);
+            let flat = t.reshape(h, [32 * 6, 48]);
+            let pred = head.forward(&mut t, &ps, flat);
+            let loss = t.mse_loss(pred, &target);
+            let grads = t.backward(loss, ps.len());
+            opt.step(&mut ps, &grads);
+            black_box(t.value(loss).item())
+        })
+    });
+}
+
+fn main() {
+    let mut c = Criterion::default().sample_size(20);
+    bench_gemm(&mut c);
+    bench_gemm_tape(&mut c);
+    bench_attention(&mut c);
+    bench_train_step(&mut c);
+
+    if std::env::var("CF_BENCH_JSON").is_ok() {
+        let mut table = Table::new(
+            "tensor kernel micro-benchmarks (ns per call)",
+            &["bench", "median_ns", "mean_ns", "min_ns", "samples"],
+        );
+        for s in c.results() {
+            table.row(vec![
+                s.name.clone(),
+                format!("{:.0}", s.median_ns),
+                format!("{:.0}", s.mean_ns),
+                format!("{:.0}", s.min_ns),
+                s.samples.to_string(),
+            ]);
+        }
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        let path = write_json(&table, &dir, "BENCH_tensor").expect("write BENCH_tensor.json");
+        println!("wrote {}", path.display());
+    }
+}

@@ -28,16 +28,37 @@ pub enum BatchSize {
     SmallInput,
 }
 
+/// Summary statistics of one finished benchmark, in nanoseconds per call.
+/// Collected by [`Criterion`] so bench binaries can persist a machine-readable
+/// report (see `report::write_json`) next to the console output.
+#[derive(Clone, Debug)]
+pub struct BenchStats {
+    /// Benchmark id (`group/member` for grouped benches).
+    pub name: String,
+    /// Median per-call time.
+    pub median_ns: f64,
+    /// Mean per-call time.
+    pub mean_ns: f64,
+    /// Fastest sample's per-call time.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
 /// Top-level benchmark driver; build with `Criterion::default()` and
 /// adjust with [`sample_size`](Criterion::sample_size).
 #[derive(Clone, Debug)]
 pub struct Criterion {
     sample_size: usize,
+    results: Vec<BenchStats>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            results: Vec::new(),
+        }
     }
 }
 
@@ -68,8 +89,15 @@ impl Criterion {
             sample_size: self.effective_samples(),
         };
         f(&mut b);
-        report(&id.into(), &b.samples);
+        let stats = summarize(&id.into(), &b.samples);
+        report(&stats);
+        self.results.push(stats);
         self
+    }
+
+    /// Statistics of every benchmark run so far, in execution order.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
     }
 
     /// Starts a named group; member benchmarks are reported as
@@ -163,18 +191,26 @@ fn iters_for(single_ns: f64) -> u64 {
     (SAMPLE_BUDGET_NS / single_ns.max(1.0)).clamp(1.0, 1_000_000.0) as u64
 }
 
-fn report(name: &str, samples: &[f64]) {
+fn summarize(name: &str, samples: &[f64]) -> BenchStats {
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
-    let min = sorted.first().copied().unwrap_or(0.0);
-    let median = sorted[sorted.len() / 2];
-    let mean = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+    BenchStats {
+        name: name.to_string(),
+        median_ns: sorted.get(sorted.len() / 2).copied().unwrap_or(0.0),
+        mean_ns: sorted.iter().sum::<f64>() / sorted.len().max(1) as f64,
+        min_ns: sorted.first().copied().unwrap_or(0.0),
+        samples: sorted.len(),
+    }
+}
+
+fn report(stats: &BenchStats) {
     println!(
-        "{name:<40} median {:>10}  mean {:>10}  min {:>10}  ({} samples)",
-        fmt_ns(median),
-        fmt_ns(mean),
-        fmt_ns(min),
-        sorted.len()
+        "{:<40} median {:>10}  mean {:>10}  min {:>10}  ({} samples)",
+        stats.name,
+        fmt_ns(stats.median_ns),
+        fmt_ns(stats.mean_ns),
+        fmt_ns(stats.min_ns),
+        stats.samples
     );
 }
 

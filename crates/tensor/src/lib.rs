@@ -55,4 +55,4 @@ pub use params::{ParamId, ParamStore};
 pub use serialize::{load_params, save_params, CheckpointError};
 pub use shape::Shape;
 pub use tape::{GradStore, Tape, Var};
-pub use tensor::Tensor;
+pub use tensor::{matmul_into, matmul_into_at, matmul_into_bt, Tensor};

@@ -90,13 +90,48 @@ impl MultiHeadAttention {
 
         let dh = self.dim / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
+        let merged = t.fused_attention(q, k, v, self.heads, scale, add_mask.as_ref());
+        self.wo.forward(t, ps, merged)
+    }
+
+    /// Reference forward running the compositional per-head graph the fused
+    /// kernel replaced (slice, QKᵀ, scale, mask, softmax, probs·V, concat).
+    /// Kept for the bitwise fused-vs-reference equivalence test; debug builds
+    /// only so release binaries carry a single attention path.
+    #[cfg(debug_assertions)]
+    pub fn forward_reference(
+        &self,
+        t: &mut Tape,
+        ps: &ParamStore,
+        x: Var,
+        key_mask: Option<&[Vec<bool>]>,
+    ) -> Var {
+        let (b, seq, d) = t.value(x).shape().as_batch_matrix();
+        assert_eq!(d, self.dim, "attention dim mismatch: {d} vs {}", self.dim);
+        let q = self.wq.forward(t, ps, x);
+        let k = self.wk.forward(t, ps, x);
+        let v = self.wv.forward(t, ps, x);
+        let add_mask = key_mask.map(|mask| {
+            let mut data = vec![0.0f32; b * seq * seq];
+            for (bi, valid) in mask.iter().enumerate() {
+                for qi in 0..seq {
+                    for (ki, &ok) in valid.iter().enumerate() {
+                        if !ok {
+                            data[(bi * seq + qi) * seq + ki] = MASK_NEG;
+                        }
+                    }
+                }
+            }
+            Tensor::new([b, seq, seq], data)
+        });
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
         let mut head_outputs = Vec::with_capacity(self.heads);
         for h in 0..self.heads {
             let qh = t.slice_last(q, h * dh, dh);
             let kh = t.slice_last(k, h * dh, dh);
             let vh = t.slice_last(v, h * dh, dh);
-            let kht = t.transpose_batch(kh);
-            let scores = t.bmm(qh, kht);
+            let scores = t.bmm_bt(qh, kh);
             let mut scores = t.mul_scalar(scores, scale);
             if let Some(m) = &add_mask {
                 scores = t.add_const(scores, m);

@@ -1,0 +1,324 @@
+//! Fused multi-head scaled dot-product attention.
+//!
+//! [`Tape::fused_attention`] runs every head of `softmax(scale·QKᵀ + M)·V`
+//! through two tape nodes operating on head-strided `[B·H, T, d_h]` views of
+//! the packed `[B, T, d]` projections, instead of the compositional graph of
+//! `heads × (slice, transpose, bmm, scale, mask, softmax, bmm) + concat`
+//! nodes. No per-head tensor, transpose, or concat buffer is materialized in
+//! forward or backward.
+//!
+//! Bitwise contract: every reduction below consumes its terms in the same
+//! order as the compositional path (dot products ascending in the reduction
+//! index, one accumulator per output element), `scale` and mask are applied
+//! with the same grouping (`scale·dot + m`), and the rows go through the very
+//! same [`softmax_row`] — so outputs and gradients are bit-identical to the
+//! reference graph, which `MultiHeadAttention::forward_reference` keeps
+//! available for the equivalence test.
+
+use super::reduce::softmax_row;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Multi-head attention core over packed projections: `q`, `k`, `v` are
+    /// `[B, T, d]` with `heads` head bands of width `d_h = d / heads` laid out
+    /// along the last axis. Computes `softmax(scale·QKᵀ + M)·V` per head and
+    /// returns the heads re-packed as `[B, T, d]` (what the output projection
+    /// consumes). `add_mask`, when given, is a `[B, T, T]` additive logit mask
+    /// shared by all heads.
+    ///
+    /// Records two nodes: the `[B·H, T, T]` attention probabilities (softmax
+    /// fused with the scaled masked scores) and the merged context. Backward
+    /// accumulates `dQ`, `dK`, `dV` straight into the gradient slots through
+    /// head-strided kernels.
+    pub fn fused_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        heads: usize,
+        scale: f32,
+        add_mask: Option<&Tensor>,
+    ) -> Var {
+        let (bsz, seq, d) = self.value(q).shape().as_batch_matrix();
+        assert_eq!(
+            self.value(k).shape(),
+            self.value(q).shape(),
+            "fused_attention q/k shape mismatch"
+        );
+        assert_eq!(
+            self.value(v).shape(),
+            self.value(q).shape(),
+            "fused_attention q/v shape mismatch"
+        );
+        assert!(
+            heads > 0 && d % heads == 0,
+            "dim {d} not divisible by heads {heads}"
+        );
+        if let Some(m) = add_mask {
+            assert_eq!(
+                m.shape().as_batch_matrix(),
+                (bsz, seq, seq),
+                "fused_attention mask shape mismatch"
+            );
+        }
+        let dh = d / heads;
+
+        // Node 1: probs[(bi·H + h), i, j] = softmax_j(scale·⟨q_i, k_j⟩ + m_ij)
+        // over head band h of rows i, j.
+        let mut probs = vec![0.0f32; bsz * heads * seq * seq];
+        {
+            let qd = self.value(q).data();
+            let kd = self.value(k).data();
+            for bi in 0..bsz {
+                for h in 0..heads {
+                    let off = h * dh;
+                    for i in 0..seq {
+                        let qrow = &qd[(bi * seq + i) * d + off..][..dh];
+                        let row = &mut probs[((bi * heads + h) * seq + i) * seq..][..seq];
+                        for (j, slot) in row.iter_mut().enumerate() {
+                            let krow = &kd[(bi * seq + j) * d + off..][..dh];
+                            let mut s = 0.0f32;
+                            for p in 0..dh {
+                                s += qrow[p] * krow[p];
+                            }
+                            let mut val = scale * s;
+                            if let Some(m) = add_mask {
+                                val += m.data()[(bi * seq + i) * seq + j];
+                            }
+                            *slot = val;
+                        }
+                        softmax_row(row);
+                    }
+                }
+            }
+        }
+        let pnode = self.push(Tensor::new([bsz * heads, seq, seq], probs), None);
+        self.nodes[pnode.0].backward = Some(Box::new(move |g, t, grads| {
+            let qv = t.value(q);
+            let kv = t.value(k);
+            let (bsz, seq, d) = qv.shape().as_batch_matrix();
+            let dh = d / heads;
+            let y = t.value(pnode);
+            // Fold the softmax backward and the scale into the score
+            // gradient: ds = scale·(y ⊙ (g − ⟨y, g⟩)) per row, the exact
+            // composition of the softmax_last and mul_scalar rules.
+            let rows = bsz * heads * seq;
+            let mut ds = vec![0.0f32; rows * seq];
+            for r in 0..rows {
+                let yr = &y.data()[r * seq..(r + 1) * seq];
+                let gr = &g.data()[r * seq..(r + 1) * seq];
+                let mut dot = 0.0f32;
+                for j in 0..seq {
+                    dot += yr[j] * gr[j];
+                }
+                let dsr = &mut ds[r * seq..(r + 1) * seq];
+                for j in 0..seq {
+                    dsr[j] = scale * (yr[j] * (gr[j] - dot));
+                }
+            }
+            // dQ[i] += Σ_j ds[i][j]·K[j] (head-strided; j ascending).
+            let q_shape = qv.shape().clone();
+            grads.accumulate_with(q, &q_shape, |dst| {
+                for bi in 0..bsz {
+                    for h in 0..heads {
+                        let off = h * dh;
+                        for i in 0..seq {
+                            let dsr = &ds[((bi * heads + h) * seq + i) * seq..][..seq];
+                            let drow = &mut dst[(bi * seq + i) * d + off..][..dh];
+                            for (j, &s) in dsr.iter().enumerate() {
+                                let krow = &kv.data()[(bi * seq + j) * d + off..][..dh];
+                                for p in 0..dh {
+                                    drow[p] += s * krow[p];
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+            // dK[j] += Σ_i Q[i]·ds[i][j] (head-strided; i ascending).
+            let k_shape = kv.shape().clone();
+            grads.accumulate_with(k, &k_shape, |dst| {
+                for bi in 0..bsz {
+                    for h in 0..heads {
+                        let off = h * dh;
+                        for i in 0..seq {
+                            let dsr = &ds[((bi * heads + h) * seq + i) * seq..][..seq];
+                            let qrow = &qv.data()[(bi * seq + i) * d + off..][..dh];
+                            for (j, &s) in dsr.iter().enumerate() {
+                                let drow = &mut dst[(bi * seq + j) * d + off..][..dh];
+                                for p in 0..dh {
+                                    drow[p] += qrow[p] * s;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }));
+
+        // Node 2: merged[bi, i, h·d_h + p] = Σ_t probs[(bi·H + h), i, t]·V[t]
+        // — the per-head context vectors written straight into their packed
+        // `[B, T, d]` bands (what concat_last assembled before).
+        let mut merged = vec![0.0f32; bsz * seq * d];
+        {
+            let pd = self.value(pnode).data();
+            let vd = self.value(v).data();
+            for bi in 0..bsz {
+                for h in 0..heads {
+                    let off = h * dh;
+                    for i in 0..seq {
+                        let prow = &pd[((bi * heads + h) * seq + i) * seq..][..seq];
+                        let orow = &mut merged[(bi * seq + i) * d + off..][..dh];
+                        for (t_, &pv) in prow.iter().enumerate() {
+                            let vrow = &vd[(bi * seq + t_) * d + off..][..dh];
+                            for p in 0..dh {
+                                orow[p] += pv * vrow[p];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.push(
+            Tensor::new([bsz, seq, d], merged),
+            Some(Box::new(move |g, t, grads| {
+                let pv = t.value(pnode);
+                let vv = t.value(v);
+                let (bsz, seq, d) = vv.shape().as_batch_matrix();
+                let dh = d / heads;
+                // dprobs[i][t] = ⟨g[i], V[t]⟩ per head band (p ascending).
+                let p_shape = pv.shape().clone();
+                grads.accumulate_with(pnode, &p_shape, |dst| {
+                    for bi in 0..bsz {
+                        for h in 0..heads {
+                            let off = h * dh;
+                            for i in 0..seq {
+                                let gr = &g.data()[(bi * seq + i) * d + off..][..dh];
+                                let drow = &mut dst[((bi * heads + h) * seq + i) * seq..][..seq];
+                                for (t_, slot) in drow.iter_mut().enumerate() {
+                                    let vrow = &vv.data()[(bi * seq + t_) * d + off..][..dh];
+                                    let mut s = 0.0f32;
+                                    for p in 0..dh {
+                                        s += gr[p] * vrow[p];
+                                    }
+                                    *slot += s;
+                                }
+                            }
+                        }
+                    }
+                });
+                // dV[t] += Σ_i probs[i][t]·g[i] per head band (i ascending).
+                let v_shape = vv.shape().clone();
+                grads.accumulate_with(v, &v_shape, |dst| {
+                    for bi in 0..bsz {
+                        for h in 0..heads {
+                            let off = h * dh;
+                            for i in 0..seq {
+                                let gr = &g.data()[(bi * seq + i) * d + off..][..dh];
+                                let prow = &pv.data()[((bi * heads + h) * seq + i) * seq..][..seq];
+                                for (t_, &s) in prow.iter().enumerate() {
+                                    let drow = &mut dst[(bi * seq + t_) * d + off..][..dh];
+                                    for p in 0..dh {
+                                        drow[p] += s * gr[p];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(n: usize, scale: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.31 - 1.1) * scale * if i % 3 == 0 { -0.8 } else { 1.0 })
+            .collect()
+    }
+
+    /// The compositional graph the fused op replaces, head by head.
+    fn reference(
+        t: &mut Tape,
+        q: Var,
+        k: Var,
+        v: Var,
+        heads: usize,
+        scale: f32,
+        add_mask: Option<&Tensor>,
+    ) -> Var {
+        let d = t.value(q).shape().last_dim();
+        let dh = d / heads;
+        let mut outs = Vec::with_capacity(heads);
+        for h in 0..heads {
+            let qh = t.slice_last(q, h * dh, dh);
+            let kh = t.slice_last(k, h * dh, dh);
+            let vh = t.slice_last(v, h * dh, dh);
+            let scores = t.bmm_bt(qh, kh);
+            let mut scores = t.mul_scalar(scores, scale);
+            if let Some(m) = add_mask {
+                scores = t.add_const(scores, m);
+            }
+            let probs = t.softmax_last(scores);
+            outs.push(t.bmm(probs, vh));
+        }
+        t.concat_last(&outs)
+    }
+
+    fn run(fused: bool, masked: bool) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let (b, seq, d, heads) = (2, 4, 6, 3);
+        let mut t = Tape::new();
+        let q = t.leaf(Tensor::new([b, seq, d], probe(b * seq * d, 0.9)));
+        let k = t.leaf(Tensor::new([b, seq, d], probe(b * seq * d, 1.2)));
+        let v = t.leaf(Tensor::new([b, seq, d], probe(b * seq * d, 0.6)));
+        let mask = masked.then(|| {
+            let mut m = vec![0.0f32; b * seq * seq];
+            for i in 0..seq {
+                m[(0 * seq + i) * seq + 3] = -1e9; // batch 0: key 3 padded
+            }
+            Tensor::new([b, seq, seq], m)
+        });
+        let scale = 1.0 / (2.0f32).sqrt();
+        let y = if fused {
+            t.fused_attention(q, k, v, heads, scale, mask.as_ref())
+        } else {
+            reference(&mut t, q, k, v, heads, scale, mask.as_ref())
+        };
+        let w = t.constant(Tensor::new([b, seq, d], probe(b * seq * d, 0.4)));
+        let p = t.mul(y, w);
+        let l = t.sum_all(p);
+        let g = t.backward(l, 0);
+        (
+            t.value(y).data().to_vec(),
+            g.grad(q).unwrap().data().to_vec(),
+            g.grad(k).unwrap().data().to_vec(),
+            g.grad(v).unwrap().data().to_vec(),
+        )
+    }
+
+    #[test]
+    fn fused_matches_compositional_path_bitwise() {
+        assert_eq!(run(true, false), run(false, false));
+    }
+
+    #[test]
+    fn fused_matches_compositional_path_bitwise_with_mask() {
+        assert_eq!(run(true, true), run(false, true));
+    }
+
+    #[test]
+    fn fused_attention_records_two_nodes() {
+        let mut t = Tape::new();
+        let q = t.leaf(Tensor::new([1, 3, 4], probe(12, 1.0)));
+        let k = t.leaf(Tensor::new([1, 3, 4], probe(12, 0.7)));
+        let v = t.leaf(Tensor::new([1, 3, 4], probe(12, 0.5)));
+        let before = t.len();
+        let _ = t.fused_attention(q, k, v, 2, 0.5, None);
+        assert_eq!(t.len() - before, 2, "fused attention must add 2 nodes");
+    }
+}

@@ -10,8 +10,8 @@ impl Tape {
         self.push(
             value,
             Some(Box::new(move |g, _t, grads| {
-                grads.accumulate(a, g.clone());
-                grads.accumulate(b, g.clone());
+                grads.accumulate_in_place(a, g);
+                grads.accumulate_in_place(b, g);
             })),
         )
     }
@@ -22,7 +22,7 @@ impl Tape {
         self.push(
             value,
             Some(Box::new(move |g, _t, grads| {
-                grads.accumulate(a, g.clone());
+                grads.accumulate_in_place(a, g);
                 grads.accumulate(b, g.map(|x| -x));
             })),
         )
@@ -74,7 +74,7 @@ impl Tape {
         self.push(
             value,
             Some(Box::new(move |g, _t, grads| {
-                grads.accumulate(a, g.clone());
+                grads.accumulate_in_place(a, g);
             })),
         )
     }
@@ -97,7 +97,7 @@ impl Tape {
         self.push(
             value,
             Some(Box::new(move |g, _t, grads| {
-                grads.accumulate(a, g.clone());
+                grads.accumulate_in_place(a, g);
             })),
         )
     }
@@ -123,7 +123,7 @@ impl Tape {
         self.push(
             out,
             Some(Box::new(move |g, _t, grads| {
-                grads.accumulate(a, g.clone());
+                grads.accumulate_in_place(a, g);
                 let d = g.shape().last_dim();
                 let mut db = vec![0.0f32; d];
                 for row in 0..g.shape().leading() {

@@ -1,6 +1,14 @@
 //! Matrix-product and transpose ops.
+//!
+//! All product backward rules are transpose-fused: `dA = G·Bᵀ` and
+//! `dB = Aᵀ·G` go through [`matmul_into_bt`] / [`matmul_into_at`] straight
+//! into the gradient slots ([`GradStore::accumulate_with`]), so backward
+//! never materializes a transpose tensor nor a per-op gradient temporary.
+//!
+//! [`GradStore::accumulate_with`]: crate::tape::GradStore::accumulate_with
 
 use crate::tape::{Tape, Var};
+use crate::tensor::{matmul_into, matmul_into_at, matmul_into_bt, Tensor};
 
 impl Tape {
     /// Rank-2 matrix product `[m,k] x [k,n] -> [m,n]`.
@@ -9,11 +17,102 @@ impl Tape {
         self.push(
             value,
             Some(Box::new(move |g, t, grads| {
-                // dA = G Bᵀ ; dB = Aᵀ G
-                let bt = t.value(b).transpose();
-                grads.accumulate(a, g.matmul(&bt));
-                let at = t.value(a).transpose();
-                grads.accumulate(b, at.matmul(g));
+                let av = t.value(a);
+                let bv = t.value(b);
+                let (m, k) = av.shape().as_matrix();
+                let n = bv.shape().as_matrix().1;
+                // dA += G·Bᵀ (B kept in its stored layout)
+                let a_shape = av.shape().clone();
+                grads.accumulate_with(a, &a_shape, |dst| {
+                    matmul_into_bt(g.data(), bv.data(), dst, m, n, k)
+                });
+                // dB += Aᵀ·G (A kept in its stored layout)
+                let b_shape = bv.shape().clone();
+                grads.accumulate_with(b, &b_shape, |dst| {
+                    matmul_into_at(av.data(), g.data(), dst, k, m, n)
+                });
+            })),
+        )
+    }
+
+    /// Transpose-fused product `AᵀB`: `a` stored `[k,m]`, `b` stored `[k,n]`,
+    /// result `[m,n]` — no materialized transpose in forward or backward.
+    pub fn matmul_at(&mut self, a: Var, b: Var) -> Var {
+        let (k, m) = self.value(a).shape().as_matrix();
+        let (k2, n) = self.value(b).shape().as_matrix();
+        assert_eq!(
+            k,
+            k2,
+            "matmul_at inner-dim mismatch {} vs {}",
+            self.value(a).shape(),
+            self.value(b).shape()
+        );
+        let mut out = vec![0.0f32; m * n];
+        matmul_into_at(
+            self.value(a).data(),
+            self.value(b).data(),
+            &mut out,
+            m,
+            k,
+            n,
+        );
+        self.push(
+            Tensor::new([m, n], out),
+            Some(Box::new(move |g, t, grads| {
+                let av = t.value(a);
+                let bv = t.value(b);
+                let (k, m) = av.shape().as_matrix();
+                let n = bv.shape().as_matrix().1;
+                // C = AᵀB ⇒ dA = B·Gᵀ ([k,m]), dB = A·G ([k,n]).
+                let a_shape = av.shape().clone();
+                grads.accumulate_with(a, &a_shape, |dst| {
+                    matmul_into_bt(bv.data(), g.data(), dst, k, n, m)
+                });
+                let b_shape = bv.shape().clone();
+                grads.accumulate_with(b, &b_shape, |dst| {
+                    matmul_into(av.data(), g.data(), dst, k, m, n)
+                });
+            })),
+        )
+    }
+
+    /// Transpose-fused product `ABᵀ`: `a` stored `[m,k]`, `b` stored `[n,k]`,
+    /// result `[m,n]` — no materialized transpose in forward or backward.
+    pub fn matmul_bt(&mut self, a: Var, b: Var) -> Var {
+        let (m, k) = self.value(a).shape().as_matrix();
+        let (n, k2) = self.value(b).shape().as_matrix();
+        assert_eq!(
+            k,
+            k2,
+            "matmul_bt inner-dim mismatch {} vs {}",
+            self.value(a).shape(),
+            self.value(b).shape()
+        );
+        let mut out = vec![0.0f32; m * n];
+        matmul_into_bt(
+            self.value(a).data(),
+            self.value(b).data(),
+            &mut out,
+            m,
+            k,
+            n,
+        );
+        self.push(
+            Tensor::new([m, n], out),
+            Some(Box::new(move |g, t, grads| {
+                let av = t.value(a);
+                let bv = t.value(b);
+                let (m, k) = av.shape().as_matrix();
+                let n = bv.shape().as_matrix().0;
+                // C = ABᵀ ⇒ dA = G·B ([m,k]), dB = Gᵀ·A ([n,k]).
+                let a_shape = av.shape().clone();
+                grads.accumulate_with(a, &a_shape, |dst| {
+                    matmul_into(g.data(), bv.data(), dst, m, n, k)
+                });
+                let b_shape = bv.shape().clone();
+                grads.accumulate_with(b, &b_shape, |dst| {
+                    matmul_into_at(g.data(), av.data(), dst, n, m, k)
+                });
             })),
         )
     }
@@ -24,10 +123,103 @@ impl Tape {
         self.push(
             value,
             Some(Box::new(move |g, t, grads| {
-                let bt = t.value(b).transpose_batch();
-                grads.accumulate(a, g.bmm(&bt));
-                let at = t.value(a).transpose_batch();
-                grads.accumulate(b, at.bmm(g));
+                let av = t.value(a);
+                let bv = t.value(b);
+                let (bs, m, k) = av.shape().as_batch_matrix();
+                let n = bv.shape().as_batch_matrix().2;
+                let a_shape = av.shape().clone();
+                grads.accumulate_with(a, &a_shape, |dst| {
+                    for i in 0..bs {
+                        matmul_into_bt(
+                            &g.data()[i * m * n..(i + 1) * m * n],
+                            &bv.data()[i * k * n..(i + 1) * k * n],
+                            &mut dst[i * m * k..(i + 1) * m * k],
+                            m,
+                            n,
+                            k,
+                        );
+                    }
+                });
+                let b_shape = bv.shape().clone();
+                grads.accumulate_with(b, &b_shape, |dst| {
+                    for i in 0..bs {
+                        matmul_into_at(
+                            &av.data()[i * m * k..(i + 1) * m * k],
+                            &g.data()[i * m * n..(i + 1) * m * n],
+                            &mut dst[i * k * n..(i + 1) * k * n],
+                            k,
+                            m,
+                            n,
+                        );
+                    }
+                });
+            })),
+        )
+    }
+
+    /// Batched transpose-fused product `A·Bᵀ`: `[B,m,k] x [B,n,k] -> [B,m,n]`
+    /// (the attention `QKᵀ` shape) without materializing any transpose.
+    pub fn bmm_bt(&mut self, a: Var, b: Var) -> Var {
+        let (bs, m, k) = self.value(a).shape().as_batch_matrix();
+        let (bs2, n, k2) = self.value(b).shape().as_batch_matrix();
+        assert_eq!(
+            bs,
+            bs2,
+            "bmm_bt batch mismatch {} vs {}",
+            self.value(a).shape(),
+            self.value(b).shape()
+        );
+        assert_eq!(
+            k,
+            k2,
+            "bmm_bt inner-dim mismatch {} vs {}",
+            self.value(a).shape(),
+            self.value(b).shape()
+        );
+        let mut out = vec![0.0f32; bs * m * n];
+        for i in 0..bs {
+            matmul_into_bt(
+                &self.value(a).data()[i * m * k..(i + 1) * m * k],
+                &self.value(b).data()[i * n * k..(i + 1) * n * k],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        self.push(
+            Tensor::new([bs, m, n], out),
+            Some(Box::new(move |g, t, grads| {
+                let av = t.value(a);
+                let bv = t.value(b);
+                let (bs, m, k) = av.shape().as_batch_matrix();
+                let n = bv.shape().as_batch_matrix().1;
+                let a_shape = av.shape().clone();
+                grads.accumulate_with(a, &a_shape, |dst| {
+                    for i in 0..bs {
+                        matmul_into(
+                            &g.data()[i * m * n..(i + 1) * m * n],
+                            &bv.data()[i * n * k..(i + 1) * n * k],
+                            &mut dst[i * m * k..(i + 1) * m * k],
+                            m,
+                            n,
+                            k,
+                        );
+                    }
+                });
+                let b_shape = bv.shape().clone();
+                grads.accumulate_with(b, &b_shape, |dst| {
+                    for i in 0..bs {
+                        matmul_into_at(
+                            &g.data()[i * m * n..(i + 1) * m * n],
+                            &av.data()[i * m * k..(i + 1) * m * k],
+                            &mut dst[i * n * k..(i + 1) * n * k],
+                            n,
+                            m,
+                            k,
+                        );
+                    }
+                });
             })),
         )
     }
@@ -104,5 +296,105 @@ mod tests {
         let g = t.backward(s, 0);
         assert_eq!(g.grad(a).unwrap().shape().as_batch_matrix(), (2, 2, 3));
         assert_eq!(g.grad(b).unwrap().shape().as_batch_matrix(), (2, 3, 4));
+    }
+
+    fn probe(n: usize, scale: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.23 - 0.9) * scale * if i % 2 == 0 { 1.0 } else { -0.7 })
+            .collect()
+    }
+
+    #[test]
+    fn matmul_at_equals_transpose_then_matmul_bitwise() {
+        // Forward value and both gradients must match the compositional
+        // transpose + matmul graph exactly, not just approximately.
+        let run = |fused: bool| {
+            let mut t = Tape::new();
+            let a = t.leaf(Tensor::new([5, 3], probe(15, 0.8)));
+            let b = t.leaf(Tensor::new([5, 4], probe(20, 1.1)));
+            let c = if fused {
+                t.matmul_at(a, b)
+            } else {
+                let at = t.transpose(a);
+                t.matmul(at, b)
+            };
+            let w = t.constant(Tensor::new([3, 4], probe(12, 0.5)));
+            let p = t.mul(c, w);
+            let l = t.sum_all(p);
+            let g = t.backward(l, 0);
+            (
+                t.value(c).data().to_vec(),
+                g.grad(a).unwrap().data().to_vec(),
+                g.grad(b).unwrap().data().to_vec(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn matmul_bt_equals_matmul_then_transpose_bitwise() {
+        let run = |fused: bool| {
+            let mut t = Tape::new();
+            let a = t.leaf(Tensor::new([4, 6], probe(24, 0.9)));
+            let b = t.leaf(Tensor::new([3, 6], probe(18, 1.2)));
+            let c = if fused {
+                t.matmul_bt(a, b)
+            } else {
+                let bt = t.transpose(b);
+                t.matmul(a, bt)
+            };
+            let w = t.constant(Tensor::new([4, 3], probe(12, 0.6)));
+            let p = t.mul(c, w);
+            let l = t.sum_all(p);
+            let g = t.backward(l, 0);
+            (
+                t.value(c).data().to_vec(),
+                g.grad(a).unwrap().data().to_vec(),
+                g.grad(b).unwrap().data().to_vec(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn bmm_bt_equals_bmm_of_transpose_batch_bitwise() {
+        let run = |fused: bool| {
+            let mut t = Tape::new();
+            let a = t.leaf(Tensor::new([2, 3, 4], probe(24, 1.0)));
+            let b = t.leaf(Tensor::new([2, 5, 4], probe(40, 0.7)));
+            let c = if fused {
+                t.bmm_bt(a, b)
+            } else {
+                let bt = t.transpose_batch(b);
+                t.bmm(a, bt)
+            };
+            let w = t.constant(Tensor::new([2, 3, 5], probe(30, 0.4)));
+            let p = t.mul(c, w);
+            let l = t.sum_all(p);
+            let g = t.backward(l, 0);
+            (
+                t.value(c).data().to_vec(),
+                g.grad(a).unwrap().data().to_vec(),
+                g.grad(b).unwrap().data().to_vec(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn matmul_grad_accumulates_across_uses() {
+        // The same leaf feeding two matmuls exercises the occupied-slot
+        // (scratch buffer) path of accumulate_with.
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::matrix(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = t.leaf(Tensor::matrix(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let c1 = t.matmul(a, b);
+        let c2 = t.matmul(a, b);
+        let s1 = t.sum_all(c1);
+        let s2 = t.sum_all(c2);
+        let s = t.add(s1, s2);
+        let g = t.backward(s, 0);
+        // Each use contributes 1·Bᵀ = all-ones against identity B.
+        assert_eq!(g.grad(a).unwrap().data(), &[2.0, 2.0, 2.0, 2.0]);
     }
 }

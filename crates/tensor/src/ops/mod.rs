@@ -6,6 +6,7 @@
 //! tensor of any rank as the matrix `[leading, last_dim]`, which lets the same
 //! kernel serve 2-D activations and 3-D batched sequences.
 
+mod attn;
 mod elementwise;
 mod extra;
 mod linalg;

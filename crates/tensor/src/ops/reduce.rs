@@ -11,7 +11,8 @@ impl Tape {
             value,
             Some(Box::new(move |g, t, grads| {
                 let gi = g.item();
-                grads.accumulate(a, Tensor::full(t.value(a).shape().clone(), gi));
+                let a_shape = t.value(a).shape().clone();
+                grads.accumulate_with(a, &a_shape, |dst| dst.fill(gi));
             })),
         )
     }
@@ -24,7 +25,8 @@ impl Tape {
             value,
             Some(Box::new(move |g, t, grads| {
                 let gi = g.item() / n;
-                grads.accumulate(a, Tensor::full(t.value(a).shape().clone(), gi));
+                let a_shape = t.value(a).shape().clone();
+                grads.accumulate_with(a, &a_shape, |dst| dst.fill(gi));
             })),
         )
     }
@@ -46,15 +48,15 @@ impl Tape {
             Tensor::new([b, d], out),
             Some(Box::new(move |g, t, grads| {
                 let (b, tt, d) = t.value(a).shape().as_batch_matrix();
-                let mut da = Tensor::zeros(t.value(a).shape().clone());
-                for bi in 0..b {
-                    for ti in 0..tt {
-                        let base = (bi * tt + ti) * d;
-                        da.data_mut()[base..base + d]
-                            .copy_from_slice(&g.data()[bi * d..(bi + 1) * d]);
+                let a_shape = t.value(a).shape().clone();
+                grads.accumulate_with(a, &a_shape, |dst| {
+                    for bi in 0..b {
+                        for ti in 0..tt {
+                            let base = (bi * tt + ti) * d;
+                            dst[base..base + d].copy_from_slice(&g.data()[bi * d..(bi + 1) * d]);
+                        }
                     }
-                }
-                grads.accumulate(a, da);
+                });
             })),
         )
     }
@@ -73,16 +75,17 @@ impl Tape {
             let y = t.value(node);
             let d = y.shape().last_dim();
             let rows = y.shape().leading();
-            let mut da = Tensor::zeros(y.shape().clone());
-            for r in 0..rows {
-                let yr = &y.data()[r * d..(r + 1) * d];
-                let gr = &g.data()[r * d..(r + 1) * d];
-                let dot: f32 = yr.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
-                for j in 0..d {
-                    da.data_mut()[r * d + j] = yr[j] * (gr[j] - dot);
+            let y_shape = y.shape().clone();
+            grads.accumulate_with(a, &y_shape, |dst| {
+                for r in 0..rows {
+                    let yr = &y.data()[r * d..(r + 1) * d];
+                    let gr = &g.data()[r * d..(r + 1) * d];
+                    let dot: f32 = yr.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
+                    for j in 0..d {
+                        dst[r * d + j] = yr[j] * (gr[j] - dot);
+                    }
                 }
-            }
-            grads.accumulate(a, da);
+            });
         }));
         node
     }
@@ -112,25 +115,28 @@ impl Tape {
             let y = t.value(node);
             let d = y.shape().last_dim();
             let rows = y.shape().leading();
-            let mut da = Tensor::zeros(y.shape().clone());
-            for r in 0..rows {
-                let yr = &y.data()[r * d..(r + 1) * d];
-                let gr = &g.data()[r * d..(r + 1) * d];
-                let mg: f32 = gr.iter().sum::<f32>() / d as f32;
-                let mgy: f32 = gr.iter().zip(yr).map(|(&gi, &yi)| gi * yi).sum::<f32>() / d as f32;
-                let inv = inv_stds[r];
-                for j in 0..d {
-                    da.data_mut()[r * d + j] = (gr[j] - mg - yr[j] * mgy) * inv;
+            let y_shape = y.shape().clone();
+            grads.accumulate_with(a, &y_shape, |dst| {
+                for r in 0..rows {
+                    let yr = &y.data()[r * d..(r + 1) * d];
+                    let gr = &g.data()[r * d..(r + 1) * d];
+                    let mg: f32 = gr.iter().sum::<f32>() / d as f32;
+                    let mgy: f32 =
+                        gr.iter().zip(yr).map(|(&gi, &yi)| gi * yi).sum::<f32>() / d as f32;
+                    let inv = inv_stds[r];
+                    for j in 0..d {
+                        dst[r * d + j] = (gr[j] - mg - yr[j] * mgy) * inv;
+                    }
                 }
-            }
-            grads.accumulate(a, da);
+            });
         }));
         node
     }
 }
 
-/// In-place stabilized softmax of one row.
-fn softmax_row(row: &mut [f32]) {
+/// In-place stabilized softmax of one row. Shared with the fused attention
+/// kernel so both paths stay bitwise identical.
+pub(crate) fn softmax_row(row: &mut [f32]) {
     let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
     let mut sum = 0.0f32;
     for x in row.iter_mut() {

@@ -13,7 +13,7 @@ impl Tape {
         self.push(
             value,
             Some(Box::new(move |g, _t, grads| {
-                grads.accumulate(a, g.reshape(old.clone()));
+                grads.accumulate_with(a, &old, |dst| dst.copy_from_slice(g.data()));
             })),
         )
     }
@@ -40,12 +40,13 @@ impl Tape {
                 let av = t.value(a);
                 let d = av.shape().last_dim();
                 let rows = av.shape().leading();
-                let mut da = Tensor::zeros(av.shape().clone());
-                for r in 0..rows {
-                    da.data_mut()[r * d + start..r * d + start + len]
-                        .copy_from_slice(&g.data()[r * len..(r + 1) * len]);
-                }
-                grads.accumulate(a, da);
+                let a_shape = av.shape().clone();
+                grads.accumulate_with(a, &a_shape, |dst| {
+                    for r in 0..rows {
+                        dst[r * d + start..r * d + start + len]
+                            .copy_from_slice(&g.data()[r * len..(r + 1) * len]);
+                    }
+                });
             })),
         )
     }
@@ -89,12 +90,14 @@ impl Tape {
                 for (pi, &p) in parts.iter().enumerate() {
                     let w = widths[pi];
                     let offset: usize = widths[..pi].iter().sum();
-                    let mut dp = Tensor::zeros(t.value(p).shape().clone());
-                    for r in 0..rows {
-                        dp.data_mut()[r * w..(r + 1) * w]
-                            .copy_from_slice(&g.data()[r * total + offset..r * total + offset + w]);
-                    }
-                    grads.accumulate(p, dp);
+                    let p_shape = t.value(p).shape().clone();
+                    grads.accumulate_with(p, &p_shape, |dst| {
+                        for r in 0..rows {
+                            dst[r * w..(r + 1) * w].copy_from_slice(
+                                &g.data()[r * total + offset..r * total + offset + w],
+                            );
+                        }
+                    });
                 }
             })),
         )
@@ -119,13 +122,14 @@ impl Tape {
             Some(Box::new(move |g, t, grads| {
                 let av = t.value(a);
                 let d = av.shape().last_dim();
-                let mut da = Tensor::zeros(av.shape().clone());
-                for (o, &i) in indices.iter().enumerate() {
-                    for j in 0..d {
-                        da.data_mut()[i * d + j] += g.data()[o * d + j];
+                let a_shape = av.shape().clone();
+                grads.accumulate_with(a, &a_shape, |dst| {
+                    for (o, &i) in indices.iter().enumerate() {
+                        for j in 0..d {
+                            dst[i * d + j] += g.data()[o * d + j];
+                        }
                     }
-                }
-                grads.accumulate(a, da);
+                });
             })),
         )
     }
@@ -147,7 +151,7 @@ impl Tape {
             Some(Box::new(move |g, t, grads| {
                 for (i, &r) in rows.iter().enumerate() {
                     let shape = t.value(r).shape().clone();
-                    grads.accumulate(r, Tensor::new(shape, g.row(i).to_vec()));
+                    grads.accumulate_with(r, &shape, |dst| dst.copy_from_slice(g.row(i)));
                 }
             })),
         )
@@ -163,9 +167,10 @@ impl Tape {
             Some(Box::new(move |g, t, grads| {
                 let av = t.value(a);
                 let d = av.shape().last_dim();
-                let mut da = Tensor::zeros(av.shape().clone());
-                da.data_mut()[i * d..(i + 1) * d].copy_from_slice(g.data());
-                grads.accumulate(a, da);
+                let a_shape = av.shape().clone();
+                grads.accumulate_with(a, &a_shape, |dst| {
+                    dst[i * d..(i + 1) * d].copy_from_slice(g.data());
+                });
             })),
         )
     }

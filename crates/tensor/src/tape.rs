@@ -8,6 +8,7 @@
 //! idiom for linked structures in Rust.
 
 use crate::params::ParamId;
+use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 /// Handle to a node on a [`Tape`]. Cheap to copy; only valid for the tape
@@ -134,6 +135,10 @@ impl Tape {
 pub struct GradStore {
     pub(crate) node_grads: Vec<Option<Tensor>>,
     param_grads: Vec<Option<Tensor>>,
+    /// Reused zeroed staging buffer for [`GradStore::accumulate_with`] when a
+    /// slot already holds a gradient — backward rules then never allocate a
+    /// fresh tensor per contribution.
+    scratch: Vec<f32>,
 }
 
 impl GradStore {
@@ -141,6 +146,7 @@ impl GradStore {
         GradStore {
             node_grads: (0..num_nodes).map(|_| None).collect(),
             param_grads: (0..num_params).map(|_| None).collect(),
+            scratch: Vec::new(),
         }
     }
 
@@ -149,6 +155,51 @@ impl GradStore {
         match &mut self.node_grads[v.0] {
             Some(acc) => acc.add_assign(&g),
             slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Adds `g` into the gradient slot of `v` without taking ownership:
+    /// clones only when the slot is empty, otherwise accumulates directly.
+    /// Bitwise-equivalent to `accumulate(v, g.clone())` minus the allocation.
+    pub fn accumulate_in_place(&mut self, v: Var, g: &Tensor) {
+        match &mut self.node_grads[v.0] {
+            Some(acc) => acc.add_assign(g),
+            slot @ None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Accumulates a gradient contribution of `shape` into `v`'s slot via a
+    /// filler that *adds into* (or writes once per element of) a zeroed
+    /// buffer — the natural contract of the `matmul_into*` kernels.
+    ///
+    /// First contribution: `fill` runs directly on the freshly allocated
+    /// slot, so no temporary exists at all. Later contributions: `fill`
+    /// runs on a reused scratch buffer which is then added elementwise —
+    /// the same `compute-then-add` summation order as the
+    /// allocate-a-`Tensor`-per-op path this replaces, keeping gradients
+    /// bitwise identical while eliminating the per-op allocation.
+    pub fn accumulate_with(&mut self, v: Var, shape: &Shape, fill: impl FnOnce(&mut [f32])) {
+        match &mut self.node_grads[v.0] {
+            Some(acc) => {
+                debug_assert_eq!(
+                    acc.shape(),
+                    shape,
+                    "accumulate_with shape mismatch on node {}",
+                    v.0
+                );
+                let n = shape.numel();
+                self.scratch.clear();
+                self.scratch.resize(n, 0.0);
+                fill(&mut self.scratch);
+                for (o, s) in acc.data_mut().iter_mut().zip(&self.scratch) {
+                    *o += *s;
+                }
+            }
+            slot @ None => {
+                let mut fresh = Tensor::zeros(shape.clone());
+                fill(fresh.data_mut());
+                *slot = Some(fresh);
+            }
         }
     }
 

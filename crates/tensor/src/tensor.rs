@@ -284,10 +284,24 @@ impl Tensor {
     }
 }
 
-/// `out += a[m,k] * b[k,n]` with `out` pre-zeroed by the caller.
+// ---- raw GEMM kernels ---------------------------------------------------
+//
+// Three transpose-fused variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) shared by the
+// forward kernels above and the backward rules in `crate::ops::linalg` —
+// together they close matmul under differentiation without ever
+// materializing a transpose. All three obey one determinism contract:
+// every output element is produced by a single accumulator that consumes
+// the k products in strictly increasing reduction-index order. Register
+// tiling (4-wide unrolls, k-blocking) only ever splits the *independent*
+// dimensions (i, j), never the reduction, so results are bitwise-stable
+// across kernel rewrites — the bitwise loss-trajectory test depends on it.
+
+/// `out += a[m,k] * b[k,n]`.
 ///
 /// ikj loop order keeps the innermost accesses sequential in both `b` and
-/// `out`, which is the main thing that matters for a naive CPU GEMM.
+/// `out`; the reduction dimension is blocked by 4 so each pass touches four
+/// `b` rows per load/store sweep of the `out` row (4× less `out` traffic),
+/// with the per-element summation order unchanged.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -295,16 +309,110 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
+        let mut p = 0;
+        while p + 4 <= k {
+            let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+            let b0 = &b[p * n..(p + 1) * n];
+            let b1 = &b[(p + 1) * n..(p + 2) * n];
+            let b2 = &b[(p + 2) * n..(p + 3) * n];
+            let b3 = &b[(p + 3) * n..(p + 4) * n];
+            for j in 0..n {
+                // Separate adds, not a reassociated sum: keeps increasing-p
+                // summation order per element.
+                let mut acc = out_row[j];
+                acc += a0 * b0[j];
+                acc += a1 * b1[j];
+                acc += a2 * b2[j];
+                acc += a3 * b3[j];
+                out_row[j] = acc;
             }
+            p += 4;
+        }
+        for p in p..k {
+            let a_ip = a_row[p];
             let b_row = &b[p * n..(p + 1) * n];
             for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
                 *o += a_ip * b_pj;
             }
         }
     }
+}
+
+/// `out[m,n] += aᵀ[m,k] * b[k,n]` with `a` stored untransposed as `[k,m]`.
+///
+/// The reduction index is the *leading* dimension of both inputs, so the
+/// inner loop still streams `b` and `out` rows contiguously; blocking the
+/// reduction by 4 quarters the passes over `out`.
+pub fn matmul_into_at(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let mut p = 0;
+    while p + 4 <= k {
+        let b0 = &b[p * n..(p + 1) * n];
+        let b1 = &b[(p + 1) * n..(p + 2) * n];
+        let b2 = &b[(p + 2) * n..(p + 3) * n];
+        let b3 = &b[(p + 3) * n..(p + 4) * n];
+        for i in 0..m {
+            let (a0, a1, a2, a3) = (
+                a[p * m + i],
+                a[(p + 1) * m + i],
+                a[(p + 2) * m + i],
+                a[(p + 3) * m + i],
+            );
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                let mut acc = out_row[j];
+                acc += a0 * b0[j];
+                acc += a1 * b1[j];
+                acc += a2 * b2[j];
+                acc += a3 * b3[j];
+                out_row[j] = acc;
+            }
+        }
+        p += 4;
+    }
+    for p in p..k {
+        let b_row = &b[p * n..(p + 1) * n];
+        for i in 0..m {
+            let a_pi = a[p * m + i];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * b_pj;
+            }
+        }
+    }
+}
+
+/// `out[m,n] += a[m,k] * bᵀ[k,n]` with `b` stored untransposed as `[n,k]`.
+///
+/// Direct row-dot evaluation cannot vectorize here — the per-element
+/// reduction must stay a single serial chain — so the kernel instead packs
+/// `b` into a transposed `[k,n]` scratch tile (reused thread-locally, no
+/// steady-state allocation) and runs the same j-contiguous blocked loop as
+/// [`matmul_into`]. The pack is kernel-internal: callers (in particular the
+/// backward closures) never see or allocate a transposed tensor, and the
+/// per-element summation order is identical to composing a materialized
+/// transpose with `matmul_into`.
+pub fn matmul_into_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    use std::cell::RefCell;
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    thread_local! {
+        static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    }
+    PACK.with(|cell| {
+        let mut bt = cell.borrow_mut();
+        bt.clear();
+        bt.resize(k * n, 0.0);
+        for (j, b_row) in b.chunks_exact(k).enumerate() {
+            for (p, &v) in b_row.iter().enumerate() {
+                bt[p * n + j] = v;
+            }
+        }
+        matmul_into(a, &bt, out, m, k, n);
+    });
 }
 
 #[cfg(test)]
@@ -352,6 +460,92 @@ mod tests {
             let ci = ai.matmul(&bi);
             assert_eq!(&c.data()[i * 4..(i + 1) * 4], ci.data());
         }
+    }
+
+    /// Reference single-order GEMM: the determinism contract all tiled
+    /// kernels must match bitwise.
+    fn matmul_ref(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    out[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn seq(n: usize, scale: f32) -> Vec<f32> {
+        (0..n)
+            .map(|x| (x as f32 * 0.37 - 1.3) * scale * if x % 3 == 0 { -1.0 } else { 1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn tiled_matmul_matches_reference_bitwise() {
+        // Cover remainder lanes: k and n both at, below and above multiples
+        // of the 4-wide tiles.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 3, 5),
+            (3, 4, 4),
+            (5, 7, 6),
+            (4, 8, 9),
+            (6, 5, 3),
+        ] {
+            let a = seq(m * k, 0.7);
+            let b = seq(k * n, 0.9);
+            let mut out = vec![0.0f32; m * n];
+            matmul_into(&a, &b, &mut out, m, k, n);
+            assert_eq!(out, matmul_ref(&a, &b, m, k, n), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_at_matches_materialized_transpose_bitwise() {
+        for &(m, k, n) in &[(1, 1, 2), (3, 5, 4), (4, 4, 4), (2, 7, 3), (5, 8, 6)] {
+            // a stored as [k, m]; Aᵀ·B must equal transpose-then-matmul.
+            let a = Tensor::new([k, m], seq(k * m, 0.6));
+            let b = Tensor::new([k, n], seq(k * n, 1.1));
+            let expect = a.transpose().matmul(&b);
+            let mut out = vec![0.0f32; m * n];
+            matmul_into_at(a.data(), b.data(), &mut out, m, k, n);
+            assert_eq!(out, expect.data(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_bt_matches_materialized_transpose_bitwise() {
+        for &(m, k, n) in &[(2, 1, 1), (3, 5, 4), (4, 4, 4), (2, 7, 3), (5, 8, 6)] {
+            // b stored as [n, k]; A·Bᵀ must equal transpose-then-matmul.
+            let a = Tensor::new([m, k], seq(m * k, 0.8));
+            let b = Tensor::new([n, k], seq(n * k, 1.2));
+            let expect = a.matmul(&b.transpose());
+            let mut out = vec![0.0f32; m * n];
+            matmul_into_bt(a.data(), b.data(), &mut out, m, k, n);
+            assert_eq!(out, expect.data(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn fused_kernels_accumulate_into_nonzero_out() {
+        // All three kernels have `+=` semantics so backward rules can
+        // accumulate straight into an existing gradient buffer.
+        let a = seq(6, 1.0);
+        let b = seq(6, 0.5);
+        let mut out = vec![1.0f32; 4];
+        matmul_into(&a, &b, &mut out, 2, 3, 2);
+        // Same accumulation order seeded from the same pre-existing values.
+        let mut expect = vec![1.0f32; 4];
+        for i in 0..2 {
+            for p in 0..3 {
+                for j in 0..2 {
+                    expect[i * 2 + j] += a[i * 3 + p] * b[p * 2 + j];
+                }
+            }
+        }
+        assert_eq!(out, expect);
     }
 
     #[test]

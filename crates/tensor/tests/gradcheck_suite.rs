@@ -91,6 +91,65 @@ fn grad_bmm() {
 }
 
 #[test]
+fn grad_transpose_fused_matmul_variants() {
+    // matmul_at: C = AᵀB with A stored [k,m].
+    check(12, |t, x| {
+        let m = t.reshape(x, [3, 4]);
+        let b = t.constant(Tensor::new(
+            [3, 2],
+            (0..6).map(|i| 0.2 * i as f32 - 0.5).collect(),
+        ));
+        let p = t.matmul_at(m, b);
+        t.sum_all(p)
+    });
+    // matmul_bt: C = ABᵀ with B stored [n,k].
+    check(12, |t, x| {
+        let m = t.reshape(x, [3, 4]);
+        let b = t.constant(Tensor::new(
+            [2, 4],
+            (0..8).map(|i| 0.3 - 0.1 * i as f32).collect(),
+        ));
+        let p = t.matmul_bt(m, b);
+        t.mean_all(p)
+    });
+    // Gradient wrt the transposed operand as well: x feeds both sides.
+    check(12, |t, x| {
+        let m = t.reshape(x, [3, 4]);
+        let gram = t.matmul_at(m, m); // [4,4] = MᵀM
+        t.sum_all(gram)
+    });
+}
+
+#[test]
+fn grad_bmm_bt() {
+    check(12, |t, x| {
+        let m = t.reshape(x, [2, 2, 3]);
+        let p = t.bmm_bt(m, m); // [2,2,2] batched Gram
+        t.mean_all(p)
+    });
+}
+
+#[test]
+fn grad_fused_attention_core() {
+    // Gradient wrt q, k and v of the fused kernel itself (x feeds all
+    // three), with and without an additive mask.
+    check(12, |t, x| {
+        let m = t.reshape(x, [1, 3, 4]);
+        let y = t.fused_attention(m, m, m, 2, 0.5, None);
+        t.mean_all(y)
+    });
+    check(12, |t, x| {
+        let m = t.reshape(x, [1, 3, 4]);
+        let mask = Tensor::new(
+            [1, 3, 3],
+            vec![0.0, 0.0, -1e9, 0.0, 0.0, -1e9, 0.0, 0.0, -1e9],
+        );
+        let y = t.fused_attention(m, m, m, 2, 0.5, Some(&mask));
+        t.mean_all(y)
+    });
+}
+
+#[test]
 fn grad_softmax_and_layernorm() {
     check(6, |t, x| {
         let m = t.reshape(x, [2, 3]);
