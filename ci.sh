@@ -17,11 +17,96 @@ cargo test -q --workspace --offline
 echo "== bench build + smoke (offline) =="
 # Keep the micro-benchmarks compiling and runnable: a 1-sample pass of the
 # tensor benches catches kernel regressions that only manifest in release
-# bench binaries. CF_BENCH_JSON stays unset so results/BENCH_tensor.json is
+# bench binaries. CF_BENCH_JSON stays unset so results/BENCH_*.json are
 # not clobbered by smoke numbers.
 cargo build --offline --benches --workspace
 CF_BENCH_SAMPLES=1 cargo bench --offline -p chainsformer-bench \
-    --bench tensor_ops --bench tensor_kernels >/dev/null
+    --bench tensor_ops --bench tensor_kernels --bench serve_throughput >/dev/null
+
+echo "== serve smoke (offline) =="
+# End-to-end check of the cf-serve subsystem: train a tiny checkpoint,
+# start the TCP server on an ephemeral port, exercise a valid query, a
+# malformed request (must get a structured error, not a dropped
+# connection), a metrics scrape, overload shedding, and a clean SIGTERM
+# shutdown with exit 0.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CFKG=./target/release/cfkg
+"$CFKG" generate --dataset yago --scale small --seed 3 --out "$SMOKE_DIR" >/dev/null
+SMOKE_FLAGS=(--triples "$SMOKE_DIR/yago15k_sim_triples.tsv" \
+             --numerics "$SMOKE_DIR/yago15k_sim_numerics.tsv" \
+             --ckpt "$SMOKE_DIR/model.ckpt" \
+             --dim 16 --layers 1 --walks 32 --top-k 8 --seed 3)
+"$CFKG" train "${SMOKE_FLAGS[@]}" --epochs 1 >/dev/null
+
+# The server treats stdin close as a shutdown request, so hold its stdin
+# open on a FIFO for the lifetime of the smoke test (fd 5).
+mkfifo "$SMOKE_DIR/serve_stdin"
+"$CFKG" serve "${SMOKE_FLAGS[@]}" --port 0 \
+    < "$SMOKE_DIR/serve_stdin" > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+exec 5>"$SMOKE_DIR/serve_stdin"
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$SMOKE_DIR/serve.log" && break
+    sleep 0.1
+done
+SERVE_ADDR="$(sed -n 's/^listening on //p' "$SMOKE_DIR/serve.log" | head -1)"
+SERVE_PORT="${SERVE_ADDR##*:}"
+[ -n "$SERVE_PORT" ] || { echo "serve smoke: no listening line"; exit 1; }
+
+exec 3<>"/dev/tcp/127.0.0.1/$SERVE_PORT"
+printf '%s\n' '{"entity":"person_0","attr":"birth","id":1}' >&3
+read -r -t 30 REPLY_OK <&3 || { echo "serve smoke: no reply to query 1"; exit 1; }
+echo "$REPLY_OK" | grep -q '"ok":true' \
+    || { echo "serve smoke: expected ok reply, got: $REPLY_OK"; exit 1; }
+printf '%s\n' 'this is not json' >&3
+read -r -t 30 REPLY_BAD <&3 || { echo "serve smoke: no reply to bad query"; exit 1; }
+echo "$REPLY_BAD" | grep -q '"ok":false' \
+    || { echo "serve smoke: expected structured error, got: $REPLY_BAD"; exit 1; }
+printf '%s\n' '{"entity":"person_0","attr":"birth","id":2}' >&3
+read -r -t 30 REPLY_OK2 <&3 || { echo "serve smoke: no reply to query 2"; exit 1; }
+echo "$REPLY_OK2" | grep -q '"ok":true' \
+    || { echo "serve smoke: expected second ok reply, got: $REPLY_OK2"; exit 1; }
+printf '%s\n' 'GET /metrics' >&3
+METRICS=""
+while read -r -t 30 LINE <&3; do
+    [ -z "$LINE" ] && break
+    METRICS+="$LINE"$'\n'
+done
+echo "$METRICS" | grep -q '^cf_serve_ok_total 2' \
+    || { echo "serve smoke: metrics missing ok_total 2:"; echo "$METRICS"; exit 1; }
+echo "$METRICS" | grep -q '^cf_serve_latency_us_p50 ' \
+    || { echo "serve smoke: metrics missing latency p50"; exit 1; }
+exec 3<&- 3>&-
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "serve smoke: server exited non-zero"; exit 1; }
+exec 5>&-
+grep -q 'shutdown complete' "$SMOKE_DIR/serve.log" \
+    || { echo "serve smoke: no graceful shutdown message"; exit 1; }
+
+# Overload shedding: a zero-capacity queue must reject with "overloaded".
+mkfifo "$SMOKE_DIR/shed_stdin"
+"$CFKG" serve "${SMOKE_FLAGS[@]}" --port 0 --queue-cap 0 \
+    < "$SMOKE_DIR/shed_stdin" > "$SMOKE_DIR/shed.log" 2>&1 &
+SHED_PID=$!
+exec 5>"$SMOKE_DIR/shed_stdin"
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$SMOKE_DIR/shed.log" && break
+    sleep 0.1
+done
+SHED_PORT="$(sed -n 's/^listening on .*://p' "$SMOKE_DIR/shed.log" | head -1)"
+[ -n "$SHED_PORT" ] || { echo "serve smoke: no shed listening line"; exit 1; }
+exec 4<>"/dev/tcp/127.0.0.1/$SHED_PORT"
+printf '%s\n' '{"entity":"person_0","attr":"birth","id":5}' >&4
+read -r -t 30 REPLY_SHED <&4 || { echo "serve smoke: no reply from shed server"; exit 1; }
+echo "$REPLY_SHED" | grep -q 'overloaded' \
+    || { echo "serve smoke: expected overloaded, got: $REPLY_SHED"; exit 1; }
+exec 4<&- 4>&-
+kill -TERM "$SHED_PID"
+wait "$SHED_PID" || { echo "serve smoke: shed server exited non-zero"; exit 1; }
+exec 5>&-
+echo "serve smoke: ok"
 
 echo "== cargo fmt --check =="
 cargo fmt --check

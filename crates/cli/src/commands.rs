@@ -8,10 +8,13 @@ use cf_kg::synth::{fb15k_sim, yago15k_sim, SynthScale};
 use cf_kg::{KnowledgeGraph, Split};
 use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
+use cf_serve::{Engine, EngineConfig};
 use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
 use std::error::Error;
 use std::io::BufReader;
 use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -179,39 +182,89 @@ pub fn eval(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `cfkg predict`: answer one query with its reasoning trace.
+/// `cfkg predict`: answer one or more queries (comma-separated entities)
+/// with their reasoning traces, through the resident serving engine — the
+/// model loads once per process and repeated predictions share the chain
+/// cache.
 pub fn predict(args: &Args) -> CmdResult {
-    let entity_name = args.require("entity")?.to_string();
+    let entity_arg = args.require("entity")?.to_string();
     let attr_name = args.require("attr")?.to_string();
-    let (visible, _split, model, mut rng) = load_model(args)?;
-    let entity = visible
-        .entity_by_name(&entity_name)
-        .ok_or_else(|| format!("entity {entity_name:?} not found"))?;
-    let attr = visible
-        .attribute_by_name(&attr_name)
-        .ok_or_else(|| format!("attribute {attr_name:?} not found"))?;
-    let detail = model.predict(&visible, Query { entity, attr }, &mut rng);
-    println!("{attr_name} of {entity_name}: {:.4}", detail.value);
-    if detail.used_fallback {
-        println!("(no evidence chains retrievable — training-mean fallback)");
-        return Ok(());
-    }
-    println!(
-        "retrieved {} chains, {} after filtering; top evidence:",
-        detail.retrieved,
-        detail.chains.len()
+    let seed: u64 = args.get_parse("seed", 7, "integer")?;
+    let (visible, _split, model, _rng) = load_model(args)?;
+    let engine = Engine::new(
+        model,
+        visible,
+        EngineConfig {
+            workers: 1,
+            seed,
+            ..EngineConfig::default()
+        },
     );
-    let mut chains = detail.chains;
-    chains.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite"));
-    for c in chains.iter().take(8) {
+    for entity_name in entity_arg.split(',') {
+        let graph = engine.graph();
+        let entity = graph
+            .entity_by_name(entity_name)
+            .ok_or_else(|| format!("entity {entity_name:?} not found"))?;
+        let attr = graph
+            .attribute_by_name(&attr_name)
+            .ok_or_else(|| format!("attribute {attr_name:?} not found"))?;
+        let served = engine.predict(Query { entity, attr }).map_err(Box::new)?;
+        let detail = served.detail;
+        println!("{attr_name} of {entity_name}: {:.4}", detail.value);
+        if detail.used_fallback {
+            println!("(no evidence chains retrievable — training-mean fallback)");
+            continue;
+        }
         println!(
-            "  ω={:.3}  {}  via {}  (n_p={:.2}, n̂={:.2})",
-            c.weight,
-            c.chain.render(&visible),
-            visible.entity_name(c.source),
-            c.known_value,
-            c.prediction
+            "retrieved {} chains, {} after filtering; top evidence:",
+            detail.retrieved,
+            detail.chains.len()
         );
+        let mut chains = detail.chains;
+        chains.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite"));
+        for c in chains.iter().take(8) {
+            println!(
+                "  ω={:.3}  {}  via {}  (n_p={:.2}, n̂={:.2})",
+                c.weight,
+                c.chain.render(graph),
+                graph.entity_name(c.source),
+                c.known_value,
+                c.prediction
+            );
+        }
     }
+    engine.shutdown();
+    Ok(())
+}
+
+/// `cfkg serve`: run the TCP inference server until SIGTERM/SIGINT or
+/// stdin close, then drain and exit 0.
+pub fn serve(args: &Args) -> CmdResult {
+    let port: u16 = args.get_parse("port", 0, "integer")?;
+    let cfg = EngineConfig {
+        max_batch: args.get_parse("max-batch", 8, "integer")?,
+        max_wait_us: args.get_parse("max-wait-us", 2000, "integer")?,
+        queue_cap: args.get_parse("queue-cap", 256, "integer")?,
+        workers: args.get_parse("workers", 1, "integer")?,
+        cache_cap: args.get_parse("cache-cap", 4096, "integer")?,
+        seed: args.get_parse("seed", 7, "integer")?,
+    };
+    let (visible, _split, model, _rng) = load_model(args)?;
+    let engine = Arc::new(Engine::new(model, visible, cfg));
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    // Scripts parse this line to learn the ephemeral port (--port 0).
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    cf_serve::install_signals();
+    cf_serve::shutdown_on_stdin_close(Arc::clone(&shutdown));
+    cf_serve::run(Arc::clone(&engine), listener, shutdown)?;
+    // Releasing the last engine reference drains already-enqueued jobs and
+    // joins the workers (idle connections may keep theirs briefly; exit
+    // proceeds regardless).
+    drop(engine);
+    println!("shutdown complete");
     Ok(())
 }

@@ -9,6 +9,8 @@
 //! cfkg eval     --triples … --numerics … --ckpt model.ckpt          test-set report
 //! cfkg predict  --triples … --numerics … --ckpt model.ckpt \
 //!               --entity person_17 --attr birth                     explained answer
+//! cfkg serve    --triples … --numerics … --ckpt model.ckpt \
+//!               --port 7777                                         TCP inference server
 //! ```
 //!
 //! Graphs are MMKG-style TSV (`head<TAB>rel<TAB>tail`,
@@ -38,9 +40,16 @@ COMMANDS
              [--seed N] [--quality]
   eval       evaluate a checkpoint on the held-out test split
              --triples FILE --numerics FILE --ckpt FILE [--seed N] [flags as train]
-  predict    answer one query with its reasoning chains
+  predict    answer queries with their reasoning chains (resident engine)
              --triples FILE --numerics FILE --ckpt FILE
-             --entity NAME --attr NAME [--seed N] [flags as train]
+             --entity NAME[,NAME…] --attr NAME [--seed N] [flags as train]
+  serve      run the TCP inference server (line-delimited JSON protocol;
+             \"GET /metrics\" returns serving metrics; SIGTERM or stdin
+             close shuts down gracefully)
+             --triples FILE --numerics FILE --ckpt FILE
+             [--port N (0 = ephemeral)] [--max-batch N] [--max-wait-us N]
+             [--queue-cap N] [--workers N] [--cache-cap N]
+             [--seed N] [flags as train]
 ";
 
 fn main() {
@@ -62,6 +71,7 @@ fn main() {
         "train" => commands::train(&args),
         "eval" => commands::eval(&args),
         "predict" => commands::predict(&args),
+        "serve" => commands::serve(&args),
         other => {
             eprintln!("error: unknown command {other:?}\n\n{USAGE}");
             std::process::exit(2);

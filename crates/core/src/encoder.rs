@@ -9,7 +9,7 @@ use crate::value_encoding::{float_bits, log_features, FLOAT_BITS, LOG_FEATURES};
 use cf_chains::{ChainInstance, ChainVocab};
 use cf_rand::Rng;
 use cf_tensor::nn::{Embedding, Lstm, Mlp, TransformerEncoder};
-use cf_tensor::{ParamStore, Tape, Tensor, Var};
+use cf_tensor::{Forward, ParamStore, Tensor, Var};
 
 /// Encodes a batch of RA-Chains into value-aware chain representations
 /// `ẽ_c ∈ R^d` (one row per chain).
@@ -132,9 +132,16 @@ impl ChainEncoder {
 
     /// Encodes `chains` into `[k, d]` value-aware representations `ẽ_c`.
     ///
+    /// Generic over the evaluation context: a [`cf_tensor::Tape`] for
+    /// training or an [`cf_tensor::InferCtx`] for the tape-free serving
+    /// path. The batch may concatenate the chains of several queries —
+    /// every row's encoding depends only on that chain's own tokens (padded
+    /// keys are softmax-inert), so per-query rows can be `select_rows`'d
+    /// back out bitwise-unchanged.
+    ///
     /// Panics on an empty batch — the caller (the model) handles empty
     /// Enhanced ToCs with a fallback predictor.
-    pub fn forward(&self, t: &mut Tape, ps: &ParamStore, chains: &[ChainInstance]) -> Var {
+    pub fn forward<F: Forward>(&self, t: &mut F, ps: &ParamStore, chains: &[ChainInstance]) -> Var {
         assert!(
             !chains.is_empty(),
             "ChainEncoder::forward on an empty batch"
@@ -164,11 +171,11 @@ impl ChainEncoder {
 
         // Token + positional embeddings -> [k, T, d].
         let tok = self.token_emb.forward(t, ps, &flat_ids);
-        let mut x = t.reshape(tok, [k, t_max, self.dim]);
+        let mut x = t.reshape(tok, [k, t_max, self.dim].into());
         if let Some(pe) = &self.pos_emb {
             let pos_ids: Vec<usize> = (0..k).flat_map(|_| 0..t_max).collect();
             let pos = pe.forward(t, ps, &pos_ids);
-            let pos = t.reshape(pos, [k, t_max, self.dim]);
+            let pos = t.reshape(pos, [k, t_max, self.dim].into());
             x = t.add(x, pos);
         }
 
@@ -178,7 +185,7 @@ impl ChainEncoder {
                 let enc = self.transformer.as_ref().expect("transformer");
                 let h = enc.forward(t, ps, x, Some(&mask));
                 // e_end lives at position len-1 of each chain (Eq. 11/13).
-                let flat = t.reshape(h, [k * t_max, self.dim]);
+                let flat = t.reshape(h, [k * t_max, self.dim].into());
                 let idx: Vec<usize> = lens
                     .iter()
                     .enumerate()
@@ -209,9 +216,9 @@ impl ChainEncoder {
         self.affine_transfer(t, ps, e_c, chains, k)
     }
 
-    fn affine_transfer(
+    fn affine_transfer<F: Forward>(
         &self,
-        t: &mut Tape,
+        t: &mut F,
         ps: &ParamStore,
         e_c: Var,
         chains: &[ChainInstance],
@@ -231,11 +238,11 @@ impl ChainEncoder {
         let feat_dim = feats.len() / k;
         let fv = t.constant(Tensor::new([k, feat_dim], feats));
         let alpha = mlp_a.forward(t, ps, fv); // [k, d*d]
-        let alpha = t.reshape(alpha, [k, self.dim, self.dim]);
-        let e3 = t.reshape(e_c, [k, 1, self.dim]);
+        let alpha = t.reshape(alpha, [k, self.dim, self.dim].into());
+        let e3 = t.reshape(e_c, [k, 1, self.dim].into());
         // (E_α^T · e_c) computed as the row-vector product e_cᵀ E_α.
         let rotated = t.bmm(e3, alpha); // [k, 1, d]
-        let rotated = t.reshape(rotated, [k, self.dim]);
+        let rotated = t.reshape(rotated, [k, self.dim].into());
         let beta = mlp_b.forward(t, ps, fv); // [k, d]
         let affine = t.add(rotated, beta);
         // Residual keeps the un-transferred representation reachable, which
@@ -251,6 +258,7 @@ mod tests {
     use cf_kg::{AttributeId, Dir, DirRel, EntityId, RelationId};
     use cf_rand::rngs::StdRng;
     use cf_rand::SeedableRng;
+    use cf_tensor::Tape;
 
     fn chain_instance(hops: usize, value: f64) -> ChainInstance {
         ChainInstance {

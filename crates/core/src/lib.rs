@@ -51,6 +51,6 @@ pub use config::{
     ChainsFormerConfig, EncoderKind, FilterSpace, Loss, Projection, ReasoningSetting, ValueEncoding,
 };
 pub use filter::ChainFilter;
-pub use model::{ChainsFormer, ExplainedChain, PredictionDetail};
+pub use model::{ChainsFormer, ExplainedChain, PredictionDetail, ResolvedQuery};
 pub use quality::ChainQualityTracker;
 pub use train::{evaluate_model, EpochStats, TrainResult, Trainer};

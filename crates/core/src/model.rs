@@ -9,7 +9,7 @@ use crate::reasoner::{NumericalReasoner, ReasonerOutput};
 use cf_chains::{retrieve, ChainInstance, ChainVocab, Query, RaChain, TreeOfChains};
 use cf_kg::{KnowledgeGraph, MinMaxNormalizer, NumTriple};
 use cf_rand::Rng;
-use cf_tensor::{ParamStore, Tape, Var};
+use cf_tensor::{Forward, InferCtx, ParamStore, Tape, Var};
 
 /// One explained evidence chain in a prediction.
 #[derive(Clone, Debug)]
@@ -146,17 +146,19 @@ impl ChainsFormer {
         (selected, retrieved)
     }
 
-    /// Records the forward pass for one query's chains onto `tape`.
-    /// The prediction var is in raw attribute units.
-    pub fn forward(
+    /// Runs the forward pass for one query's chains on any evaluation
+    /// context — a [`Tape`] when gradients are needed, an [`InferCtx`] for
+    /// the tape-free serving path. The prediction var is in raw attribute
+    /// units.
+    pub fn forward<F: Forward>(
         &self,
-        tape: &mut Tape,
+        ctx: &mut F,
         chains: &[ChainInstance],
         query: Query,
     ) -> ReasonerOutput {
-        let e_tilde = self.encoder.forward(tape, &self.params, chains);
+        let e_tilde = self.encoder.forward(ctx, &self.params, chains);
         self.reasoner
-            .forward(tape, &self.params, e_tilde, chains, &self.norm, query.attr)
+            .forward(ctx, &self.params, e_tilde, chains, &self.norm, query.attr)
     }
 
     /// Normalizes a raw-unit prediction var to the query attribute's [0, 1]
@@ -232,7 +234,106 @@ impl ChainsFormer {
             chains,
         }
     }
+
+    /// Batched inference for several queries on the tape-free path.
+    ///
+    /// Retrieval runs sequentially (consuming `rng` exactly as `B` calls to
+    /// [`Self::predict`] would); the chain encoder then runs **once** over
+    /// the concatenation of every query's chains. Because chain encoding is
+    /// row-local and padding is softmax-inert, the result is bitwise
+    /// identical to predicting each query separately — pinned by
+    /// `predict_batch_bitwise_matches_sequential_predicts`.
+    pub fn predict_batch(
+        &self,
+        graph: &KnowledgeGraph,
+        queries: &[Query],
+        rng: &mut impl Rng,
+    ) -> Vec<PredictionDetail> {
+        let gathered: Vec<(TreeOfChains, usize)> = queries
+            .iter()
+            .map(|&q| self.gather_chains(graph, q, rng))
+            .collect();
+        let jobs: Vec<ResolvedQuery<'_>> = queries
+            .iter()
+            .zip(&gathered)
+            .map(|(&q, (toc, retrieved))| (q, toc.chains.as_slice(), *retrieved))
+            .collect();
+        self.predict_batch_with_chains(&jobs)
+    }
+
+    /// Batched tape-free inference over queries whose chains are already
+    /// resolved (the serving engine resolves them through its chain cache).
+    ///
+    /// Encodes the concatenation of every job's chains in one pass, then
+    /// runs the reasoner per query on its row range. Jobs with no chains
+    /// fall back to the training mean, exactly like [`Self::predict`].
+    pub fn predict_batch_with_chains(&self, jobs: &[ResolvedQuery<'_>]) -> Vec<PredictionDetail> {
+        let mut all_chains: Vec<ChainInstance> = Vec::new();
+        // Per job: start row of its chains in the concatenated batch.
+        let starts: Vec<usize> = jobs
+            .iter()
+            .map(|(_, chains, _)| {
+                let start = all_chains.len();
+                all_chains.extend_from_slice(chains);
+                start
+            })
+            .collect();
+        let mut ctx = InferCtx::new();
+        let e_all = if all_chains.is_empty() {
+            None
+        } else {
+            Some(self.encoder.forward(&mut ctx, &self.params, &all_chains))
+        };
+        jobs.iter()
+            .zip(&starts)
+            .map(|(&(query, chains, retrieved), &start)| {
+                if chains.is_empty() {
+                    return PredictionDetail {
+                        query,
+                        value: self.fallback_value(query),
+                        used_fallback: true,
+                        retrieved,
+                        chains: Vec::new(),
+                    };
+                }
+                let idx: Vec<usize> = (start..start + chains.len()).collect();
+                let e_q = ctx.select_rows(e_all.expect("non-empty batch"), &idx);
+                let out = self.reasoner.forward(
+                    &mut ctx,
+                    &self.params,
+                    e_q,
+                    chains,
+                    &self.norm,
+                    query.attr,
+                );
+                let value = ctx.value(out.prediction).item() as f64;
+                let explained = chains
+                    .iter()
+                    .zip(out.weights.iter().zip(&out.chain_predictions))
+                    .map(|(ci, (&weight, &prediction))| ExplainedChain {
+                        chain: ci.chain.clone(),
+                        source: ci.source,
+                        known_value: ci.value,
+                        weight,
+                        prediction,
+                    })
+                    .collect();
+                PredictionDetail {
+                    query,
+                    value,
+                    used_fallback: false,
+                    retrieved,
+                    chains: explained,
+                }
+            })
+            .collect()
+    }
 }
+
+/// One query's resolved evidence for
+/// [`ChainsFormer::predict_batch_with_chains`]: the query, its filtered
+/// chains (possibly empty), and the pre-filter retrieval count.
+pub type ResolvedQuery<'a> = (Query, &'a [ChainInstance], usize);
 
 #[cfg(test)]
 mod tests {

@@ -7,7 +7,7 @@ use cf_chains::ChainInstance;
 use cf_kg::{AttributeId, MinMaxNormalizer};
 use cf_rand::Rng;
 use cf_tensor::nn::{Activation, Embedding, Mlp, TransformerEncoder};
-use cf_tensor::{ParamStore, Tape, Tensor, Var};
+use cf_tensor::{Forward, ParamStore, Tensor, Var};
 
 /// Output of one reasoning pass.
 pub struct ReasonerOutput {
@@ -89,9 +89,9 @@ impl NumericalReasoner {
     /// loss already lives in this space (Eq. 23), and the raw magnitude of
     /// `n_p` remains visible to the model through the Numerical-Aware Affine
     /// Transfer's Float64 bit-stream (Eq. 14).
-    pub fn forward(
+    pub fn forward<F: Forward>(
         &self,
-        t: &mut Tape,
+        t: &mut F,
         ps: &ParamStore,
         e_tilde: Var,
         chains: &[ChainInstance],
@@ -119,27 +119,27 @@ impl NumericalReasoner {
         let n_hat_norm = match self.projection {
             Projection::Direct => {
                 // n̂ = MLP(ẽ): regress the normalized value directly.
-                t.reshape(head, [k])
+                t.reshape(head, [k].into())
             }
             Projection::Translation => {
                 // n̂ = n_p + β  (β starts near 0 → identity transport).
-                let beta = t.reshape(head, [k]);
+                let beta = t.reshape(head, [k].into());
                 t.add(np_var, beta)
             }
             Projection::Scaling => {
                 // n̂ = α·n_p with α = 1 + MLP(ẽ), so training starts from the
                 // identity scaling instead of annihilating n_p.
-                let a = t.reshape(head, [k]);
+                let a = t.reshape(head, [k].into());
                 let alpha = t.add_scalar(a, 1.0);
                 t.mul(alpha, np_var)
             }
             Projection::Combined => {
                 // n̂ = α·(n_p + β)
                 let a = t.slice_last(head, 0, 1);
-                let a = t.reshape(a, [k]);
+                let a = t.reshape(a, [k].into());
                 let alpha = t.add_scalar(a, 1.0);
                 let b = t.slice_last(head, 1, 1);
-                let b = t.reshape(b, [k]);
+                let b = t.reshape(b, [k].into());
                 let base = t.add(np_var, b);
                 t.mul(alpha, base)
             }
@@ -158,11 +158,11 @@ impl NumericalReasoner {
                 .collect();
             let lens = self.len_emb.forward(t, ps, &len_ids); // [k, d]
             let c0 = t.add(e_tilde, lens);
-            let c0 = t.reshape(c0, [1, k, self.dim]);
+            let c0 = t.reshape(c0, [1, k, self.dim].into());
             let enc = tree.forward(t, ps, c0, None); // [1, k, d]
-            let enc = t.reshape(enc, [k, self.dim]);
+            let enc = t.reshape(enc, [k, self.dim].into());
             let logits = self.weight_mlp.forward(t, ps, enc); // [k, 1]
-            let logits = t.reshape(logits, [k]);
+            let logits = t.reshape(logits, [k].into());
             t.softmax_last(logits)
         } else {
             t.constant(Tensor::full([k], 1.0 / k as f32))
@@ -187,6 +187,7 @@ mod tests {
     use cf_kg::{Dir, DirRel, EntityId, NumTriple, RelationId};
     use cf_rand::rngs::StdRng;
     use cf_rand::SeedableRng;
+    use cf_tensor::Tape;
 
     fn chains(values: &[f64]) -> Vec<ChainInstance> {
         values

@@ -1,0 +1,502 @@
+//! The inference engine: one resident model + graph, a bounded
+//! micro-batching queue drained by worker threads, the chain cache, and
+//! overload shedding.
+//!
+//! Requests enter through [`Engine::submit`] (or the synchronous
+//! [`Engine::predict`]). A worker collects up to `max_batch` queued jobs —
+//! waiting at most `max_wait_us` after the first — resolves each query's
+//! chains through the LRU cache (retrieval uses a per-query deterministic
+//! RNG, so a hit and a miss produce identical chains), then answers the
+//! whole batch with one tape-free
+//! [`ChainsFormer::predict_batch_with_chains`] call. That call is bitwise
+//! identical to per-query taped prediction (pinned in
+//! `crates/core/tests/batch_parity.rs`), so batching is purely a
+//! performance decision.
+
+use crate::cache::{CachedChains, ChainCache};
+use crate::metrics::Metrics;
+use cf_chains::Query;
+use cf_kg::KnowledgeGraph;
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
+use chainsformer::{ChainsFormer, PredictionDetail, ResolvedQuery};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for the serving engine.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Largest batch a worker executes in one forward pass.
+    pub max_batch: usize,
+    /// Cap on how long a worker accumulates a partial batch after the
+    /// first job, microseconds. Accumulation stops earlier the moment
+    /// arrivals go quiet (a ~100 µs slice with no new job).
+    pub max_wait_us: u64,
+    /// Queue bound; submissions beyond it are shed with
+    /// [`ServeError::Overloaded`]. `0` sheds everything (useful in tests).
+    pub queue_cap: usize,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Chain-cache capacity in queries (`0` disables caching).
+    pub cache_cap: usize,
+    /// Base seed for per-query retrieval RNGs (see [`query_rng_seed`]).
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 8,
+            max_wait_us: 2000,
+            queue_cap: 256,
+            workers: 1,
+            cache_cap: 4096,
+            seed: 7,
+        }
+    }
+}
+
+/// Why a request was not answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The queue was full; the request was shed without being enqueued.
+    Overloaded,
+    /// The request's deadline expired before a worker reached it.
+    DeadlineExceeded,
+    /// The engine is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "overloaded"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::ShuttingDown => write!(f, "shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A successful answer plus serving metadata.
+#[derive(Debug)]
+pub struct ServedPrediction {
+    /// The prediction with its reasoning trace.
+    pub detail: PredictionDetail,
+    /// Queue + inference latency for this request, microseconds.
+    pub micros: u64,
+    /// Size of the batch this request was answered in.
+    pub batch_size: usize,
+    /// Whether the chain cache answered retrieval.
+    pub cache_hit: bool,
+}
+
+/// The reply every submitted job eventually receives.
+pub type Reply = Result<ServedPrediction, ServeError>;
+
+struct Job {
+    query: Query,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Reply>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    model: ChainsFormer,
+    graph: KnowledgeGraph,
+    cfg: EngineConfig,
+    queue: Mutex<QueueState>,
+    cond: Condvar,
+    cache: Mutex<ChainCache>,
+    metrics: Metrics,
+}
+
+/// The resident serving engine. Dropping it drains the queue gracefully:
+/// already-enqueued jobs are still answered, then workers join.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Deterministic retrieval seed for a query: mixes the engine seed with the
+/// entity and attribute ids. Keeping the RNG a pure function of the query
+/// makes retrieval reproducible regardless of request order, batch
+/// composition, or whether the cache answered — a cache hit returns
+/// exactly the chains a fresh retrieval would.
+pub fn query_rng_seed(seed: u64, q: Query) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for v in [u64::from(q.entity.0), u64::from(q.attr.0)] {
+        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01B3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+impl Engine {
+    /// Takes ownership of the model and (visible) graph and spawns the
+    /// worker threads.
+    pub fn new(model: ChainsFormer, graph: KnowledgeGraph, cfg: EngineConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(ChainCache::new(cfg.cache_cap)),
+            metrics: Metrics::new(),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            model,
+            graph,
+            cfg,
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Engine {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a query; the reply arrives on the returned channel. Sheds
+    /// immediately (without enqueueing) when the queue is at capacity.
+    pub fn submit(
+        &self,
+        query: Query,
+        deadline: Option<Duration>,
+    ) -> Result<mpsc::Receiver<Reply>, ServeError> {
+        self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        if q.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.jobs.len() >= self.shared.cfg.queue_cap {
+            self.shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded);
+        }
+        let now = Instant::now();
+        q.jobs.push_back(Job {
+            query,
+            deadline: deadline.map(|d| now + d),
+            enqueued: now,
+            reply: tx,
+        });
+        drop(q);
+        self.shared.cond.notify_one();
+        Ok(rx)
+    }
+
+    /// Synchronous prediction: submit and wait for the answer.
+    pub fn predict(&self, query: Query) -> Reply {
+        let rx = self.submit(query, None)?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// The graph the engine serves against (for name resolution).
+    pub fn graph(&self) -> &KnowledgeGraph {
+        &self.shared.graph
+    }
+
+    /// The resident model.
+    pub fn model(&self) -> &ChainsFormer {
+        &self.shared.model
+    }
+
+    /// Live serving metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Renders the metrics text block (the `GET /metrics` payload).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render()
+    }
+
+    /// Current number of cached chain sets.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Graceful shutdown: already-enqueued jobs are answered, new
+    /// submissions are refused, workers join. (Equivalent to dropping the
+    /// engine; provided for explicitness at call sites.)
+    pub fn shutdown(self) {}
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.cond.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = collect_batch(shared);
+        if batch.is_empty() {
+            return; // shutdown requested and the queue is drained
+        }
+        process_batch(shared, batch);
+    }
+}
+
+/// Blocks for work, then micro-batches: grabs every queued job up to
+/// `max_batch`, waiting at most `max_wait_us` after the first for
+/// stragglers. Returns an empty batch only on drained shutdown.
+fn collect_batch(shared: &Shared) -> Vec<Job> {
+    let cfg = &shared.cfg;
+    let mut q = shared.queue.lock().expect("queue poisoned");
+    while q.jobs.is_empty() {
+        if q.shutdown {
+            return Vec::new();
+        }
+        q = shared.cond.wait(q).expect("queue poisoned");
+    }
+    let mut batch = Vec::with_capacity(cfg.max_batch.max(1));
+    let first_at = Instant::now();
+    let budget = Duration::from_micros(cfg.max_wait_us);
+    // Straggler policy: `max_wait_us` caps how long a partial batch may
+    // accumulate, but we stop as soon as arrivals go quiet — one short
+    // slice with no new job means the remaining clients are busy or
+    // absent, and waiting out the full window would only add latency
+    // without growing the batch.
+    let quiet = budget.min(Duration::from_micros(100));
+    loop {
+        while batch.len() < cfg.max_batch.max(1) {
+            match q.jobs.pop_front() {
+                Some(j) => batch.push(j),
+                None => break,
+            }
+        }
+        if batch.len() >= cfg.max_batch.max(1) || q.shutdown {
+            break;
+        }
+        if first_at.elapsed() >= budget {
+            break;
+        }
+        let (guard, _timeout) = shared.cond.wait_timeout(q, quiet).expect("queue poisoned");
+        q = guard;
+        if q.jobs.is_empty() && !q.shutdown {
+            break;
+        }
+    }
+    batch
+}
+
+fn process_batch(shared: &Shared, batch: Vec<Job>) {
+    let m = &shared.metrics;
+    m.batch_size.record(batch.len() as u64);
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.deadline.is_some_and(|d| now >= d) {
+            m.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Resolve every job's chains through the cache. The cache lock is only
+    // held for the lookup/insert, never across retrieval of *other*
+    // queries' chains in the same batch.
+    let resolved: Vec<(Arc<CachedChains>, bool)> = live
+        .iter()
+        .map(|job| {
+            let hit = shared.cache.lock().expect("cache poisoned").get(job.query);
+            match hit {
+                Some(c) => {
+                    m.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    (c, true)
+                }
+                None => {
+                    m.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    let mut rng = StdRng::seed_from_u64(query_rng_seed(shared.cfg.seed, job.query));
+                    let (toc, retrieved) =
+                        shared
+                            .model
+                            .gather_chains(&shared.graph, job.query, &mut rng);
+                    let entry = Arc::new(CachedChains {
+                        chains: toc.chains,
+                        retrieved,
+                    });
+                    shared
+                        .cache
+                        .lock()
+                        .expect("cache poisoned")
+                        .put(job.query, Arc::clone(&entry));
+                    (entry, false)
+                }
+            }
+        })
+        .collect();
+
+    let jobs_view: Vec<ResolvedQuery<'_>> = live
+        .iter()
+        .zip(&resolved)
+        .map(|(job, (c, _))| (job.query, c.chains.as_slice(), c.retrieved))
+        .collect();
+    let details = shared.model.predict_batch_with_chains(&jobs_view);
+
+    let batch_size = live.len();
+    for ((job, detail), (_, cache_hit)) in live.into_iter().zip(details).zip(&resolved) {
+        if detail.used_fallback {
+            m.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        m.ok.fetch_add(1, Ordering::Relaxed);
+        let micros = job.enqueued.elapsed().as_micros() as u64;
+        m.latency_us.record(micros);
+        let _ = job.reply.send(Ok(ServedPrediction {
+            detail,
+            micros,
+            batch_size,
+            cache_hit: *cache_hit,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_kg::synth::{yago15k_sim, SynthScale};
+    use cf_kg::Split;
+    use chainsformer::ChainsFormerConfig;
+
+    fn engine(cfg: EngineConfig) -> (Engine, Vec<Query>) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let model = ChainsFormer::new(&visible, &split.train, ChainsFormerConfig::tiny(), &mut rng);
+        let queries = split
+            .test
+            .iter()
+            .take(8)
+            .map(|t| Query {
+                entity: t.entity,
+                attr: t.attr,
+            })
+            .collect();
+        (Engine::new(model, visible, cfg), queries)
+    }
+
+    #[test]
+    fn predict_answers_and_counts_metrics() {
+        let (e, queries) = engine(EngineConfig::default());
+        let served = e.predict(queries[0]).expect("prediction");
+        assert!(served.detail.value.is_finite());
+        assert!(served.batch_size >= 1);
+        assert_eq!(e.metrics().requests.load(Ordering::Relaxed), 1);
+        assert_eq!(e.metrics().ok.load(Ordering::Relaxed), 1);
+        assert_eq!(e.metrics().latency_us.count(), 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn cache_hit_repeats_the_same_answer_bitwise() {
+        let (e, queries) = engine(EngineConfig::default());
+        let q = queries[0];
+        let first = e.predict(q).expect("first");
+        let second = e.predict(q).expect("second");
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(first.detail.value.to_bits(), second.detail.value.to_bits());
+        assert_eq!(e.metrics().cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(e.metrics().cache_misses.load(Ordering::Relaxed), 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn engine_matches_direct_model_prediction() {
+        // The served answer must equal predicting directly with the same
+        // per-query deterministic RNG — serving adds no numeric drift.
+        let (e, queries) = engine(EngineConfig::default());
+        for &q in queries.iter().take(4) {
+            let served = e.predict(q).expect("served");
+            let mut rng = StdRng::seed_from_u64(query_rng_seed(7, q));
+            let direct = e.model().predict(e.graph(), q, &mut rng);
+            assert_eq!(served.detail.value.to_bits(), direct.value.to_bits());
+            assert_eq!(served.detail.used_fallback, direct.used_fallback);
+            assert_eq!(served.detail.retrieved, direct.retrieved);
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_everything() {
+        let (e, queries) = engine(EngineConfig {
+            queue_cap: 0,
+            ..EngineConfig::default()
+        });
+        match e.submit(queries[0], None) {
+            Err(ServeError::Overloaded) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(e.metrics().shed.load(Ordering::Relaxed), 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_not_served() {
+        let (e, queries) = engine(EngineConfig::default());
+        let rx = e.submit(queries[0], Some(Duration::ZERO)).expect("submit");
+        match rx.recv().expect("reply") {
+            Err(ServeError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(e.metrics().deadline_missed.load(Ordering::Relaxed), 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn shutdown_answers_already_enqueued_jobs() {
+        let (e, queries) = engine(EngineConfig::default());
+        let receivers: Vec<_> = queries
+            .iter()
+            .take(4)
+            .map(|&q| e.submit(q, None).expect("submit"))
+            .collect();
+        e.shutdown();
+        for rx in receivers {
+            let reply = rx.recv().expect("reply channel closed without answer");
+            assert!(reply.is_ok(), "enqueued job dropped: {reply:?}");
+        }
+    }
+
+    #[test]
+    fn query_rng_seed_is_deterministic_and_query_sensitive() {
+        let a = Query {
+            entity: cf_kg::EntityId(1),
+            attr: cf_kg::AttributeId(0),
+        };
+        let b = Query {
+            entity: cf_kg::EntityId(0),
+            attr: cf_kg::AttributeId(1),
+        };
+        assert_eq!(query_rng_seed(7, a), query_rng_seed(7, a));
+        assert_ne!(query_rng_seed(7, a), query_rng_seed(7, b));
+        assert_ne!(query_rng_seed(7, a), query_rng_seed(8, a));
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # cf-serve
+//!
+//! Batched, tape-free inference serving for the ChainsFormer reproduction
+//! (DESIGN.md §9):
+//!
+//! - [`engine::Engine`] — one resident model + graph, a bounded
+//!   micro-batching queue drained by worker threads, overload shedding,
+//!   and per-query deterministic retrieval;
+//! - [`cache::ChainCache`] — LRU cache of chain-retrieval results keyed by
+//!   `(entity, attribute)`;
+//! - [`protocol`] — the hand-rolled line-delimited JSON wire format;
+//! - [`server`] — thread-per-connection TCP front-end with a
+//!   `GET /metrics` command and graceful shutdown on SIGTERM or stdin
+//!   close;
+//! - [`metrics::Metrics`] — lock-free counters and p50/p95/p99 latency /
+//!   batch-size histograms.
+//!
+//! Inference runs on [`cf_tensor::InferCtx`] (no tape nodes, no gradient
+//! closures) through [`chainsformer::ChainsFormer::predict_batch_with_chains`],
+//! which is pinned bitwise-identical to the taped single-query path — so
+//! serving never changes a prediction, only its cost.
+
+pub mod cache;
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CachedChains, ChainCache};
+pub use engine::{query_rng_seed, Engine, EngineConfig, Reply, ServeError, ServedPrediction};
+pub use metrics::{Histogram, Metrics};
+pub use server::{install_signals, run, shutdown_on_stdin_close, METRICS_COMMAND};

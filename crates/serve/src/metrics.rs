@@ -1,0 +1,294 @@
+//! Lock-free serving metrics: monotonic counters plus log₂-bucketed
+//! histograms for latency and batch size, rendered in a flat
+//! Prometheus-style text format for the `GET /metrics` command.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets. Bucket `b > 0` holds values in
+/// `[2^(b-1), 2^b)`; bucket 0 holds zero. 2³⁹ µs ≈ 6 days — far past any
+/// latency this server can produce.
+const BUCKETS: usize = 40;
+
+/// A lock-free histogram over `u64` samples with power-of-two buckets.
+///
+/// Recording is a pair of relaxed atomic increments, so worker and
+/// connection threads never contend on a lock for metrics. Quantiles are
+/// bucket lower bounds — exact enough for p50/p95/p99 dashboards, never
+/// an overestimate.
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.counts[Self::bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            0
+        } else {
+            self.sum() / n
+        }
+    }
+
+    /// Zeroes every bucket, the sum, and the max. Not atomic as a whole —
+    /// callers (benchmarks isolating a measurement window) must quiesce
+    /// recording threads first.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the lower bound of the bucket
+    /// containing the q-th sample (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if b == 0 { 0 } else { 1u64 << (b - 1) };
+            }
+        }
+        self.max()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// All serving counters and histograms. One instance lives in the engine
+/// and is shared (by reference) with the server's connection threads.
+pub struct Metrics {
+    /// Requests that reached the engine queue (accepted or shed).
+    pub requests: AtomicU64,
+    /// Successfully answered predictions.
+    pub ok: AtomicU64,
+    /// Malformed or failed requests (parse errors, unknown names).
+    pub errors: AtomicU64,
+    /// Requests rejected because the queue was full (overload shedding).
+    pub shed: AtomicU64,
+    /// Requests dropped because their deadline expired before processing.
+    pub deadline_missed: AtomicU64,
+    /// Predictions answered by the training-mean fallback (no chains).
+    pub fallbacks: AtomicU64,
+    /// Chain-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Chain-cache misses (retrieval ran).
+    pub cache_misses: AtomicU64,
+    /// End-to-end latency per answered request, microseconds.
+    pub latency_us: Histogram,
+    /// Batch sizes actually executed by the workers.
+    pub batch_size: Histogram,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            latency_us: Histogram::new(),
+            batch_size: Histogram::new(),
+        }
+    }
+
+    /// Zeroes every counter and histogram. For benchmarks that warm the
+    /// engine up and then measure a clean window; quiesce recording
+    /// threads first.
+    pub fn reset(&self) {
+        for a in [
+            &self.requests,
+            &self.ok,
+            &self.errors,
+            &self.shed,
+            &self.deadline_missed,
+            &self.fallbacks,
+            &self.cache_hits,
+            &self.cache_misses,
+        ] {
+            a.store(0, Ordering::Relaxed);
+        }
+        self.latency_us.reset();
+        self.batch_size.reset();
+    }
+
+    /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let h = self.cache_hits.load(Ordering::Relaxed) as f64;
+        let m = self.cache_misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Renders every metric as `name value` lines (Prometheus-style).
+    pub fn render(&self) -> String {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut s = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(s, "cf_serve_requests_total {}", g(&self.requests));
+        let _ = writeln!(s, "cf_serve_ok_total {}", g(&self.ok));
+        let _ = writeln!(s, "cf_serve_errors_total {}", g(&self.errors));
+        let _ = writeln!(s, "cf_serve_shed_total {}", g(&self.shed));
+        let _ = writeln!(
+            s,
+            "cf_serve_deadline_missed_total {}",
+            g(&self.deadline_missed)
+        );
+        let _ = writeln!(s, "cf_serve_fallback_total {}", g(&self.fallbacks));
+        let _ = writeln!(s, "cf_serve_cache_hits_total {}", g(&self.cache_hits));
+        let _ = writeln!(s, "cf_serve_cache_misses_total {}", g(&self.cache_misses));
+        let _ = writeln!(s, "cf_serve_cache_hit_rate {:.4}", self.cache_hit_rate());
+        let _ = writeln!(s, "cf_serve_latency_us_count {}", self.latency_us.count());
+        let _ = writeln!(s, "cf_serve_latency_us_mean {}", self.latency_us.mean());
+        let _ = writeln!(
+            s,
+            "cf_serve_latency_us_p50 {}",
+            self.latency_us.quantile(0.50)
+        );
+        let _ = writeln!(
+            s,
+            "cf_serve_latency_us_p95 {}",
+            self.latency_us.quantile(0.95)
+        );
+        let _ = writeln!(
+            s,
+            "cf_serve_latency_us_p99 {}",
+            self.latency_us.quantile(0.99)
+        );
+        let _ = writeln!(s, "cf_serve_latency_us_max {}", self.latency_us.max());
+        let _ = writeln!(s, "cf_serve_batch_size_mean {}", self.batch_size.mean());
+        let _ = writeln!(
+            s,
+            "cf_serve_batch_size_p50 {}",
+            self.batch_size.quantile(0.50)
+        );
+        let _ = writeln!(s, "cf_serve_batch_size_max {}", self.batch_size.max());
+        s
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 4, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 11_107);
+        assert_eq!(h.max(), 10_000);
+        // p50 of {1,2,4,100,1000,10000}: 3rd sample = 4 → bucket [4,8).
+        assert_eq!(h.quantile(0.5), 4);
+        // p99 lands in the last sample's bucket [8192, 16384).
+        assert_eq!(h.quantile(0.99), 8192);
+        // Quantiles never overestimate: lower bound of the bucket.
+        assert!(h.quantile(1.0) <= 10_000);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn reset_returns_metrics_to_zero() {
+        let m = Metrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(2, Ordering::Relaxed);
+        m.latency_us.record(500);
+        m.batch_size.record(4);
+        m.reset();
+        assert_eq!(m.requests.load(Ordering::Relaxed), 0);
+        assert_eq!(m.cache_hit_rate(), 0.0);
+        assert_eq!(m.latency_us.count(), 0);
+        assert_eq!(m.latency_us.max(), 0);
+        assert_eq!(m.batch_size.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn render_contains_every_counter() {
+        let m = Metrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        m.latency_us.record(500);
+        let text = m.render();
+        assert!(text.contains("cf_serve_requests_total 3"));
+        assert!(text.contains("cf_serve_cache_hit_rate 0.5000"));
+        assert!(text.contains("cf_serve_latency_us_p50 256"));
+    }
+}

@@ -1,0 +1,409 @@
+//! The line-delimited JSON wire protocol, hand-rolled (the workspace has no
+//! serde — see DESIGN.md "Offline substrate").
+//!
+//! Requests, one JSON object per line:
+//! ```text
+//! {"entity": "person_0", "attr": "birth", "id": 7, "deadline_ms": 250}
+//! ```
+//! `id` and `deadline_ms` are optional. Responses mirror the id:
+//! ```text
+//! {"id":7,"ok":true,"value":1957.3,"fallback":false,"retrieved":12,"chains":5,"micros":842}
+//! {"id":7,"ok":false,"error":"overloaded"}
+//! ```
+
+use std::collections::HashMap;
+
+/// A parsed JSON value (only what the protocol needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, kept as f64.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(HashMap<String, Json>),
+}
+
+/// A parsed prediction request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Entity name to answer for.
+    pub entity: String,
+    /// Attribute name to predict.
+    pub attr: String,
+    /// Client-chosen correlation id, echoed back verbatim.
+    pub id: Option<u64>,
+    /// Per-request deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses one request line. Returns a human-readable error for malformed
+/// input — the server turns it into a structured `ok:false` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse_json(line)?;
+    let Json::Obj(obj) = v else {
+        return Err("request must be a JSON object".into());
+    };
+    let field_str = |k: &str| -> Result<String, String> {
+        match obj.get(k) {
+            Some(Json::Str(s)) => Ok(s.clone()),
+            Some(_) => Err(format!("field {k:?} must be a string")),
+            None => Err(format!("missing field {k:?}")),
+        }
+    };
+    let field_u64 = |k: &str| -> Result<Option<u64>, String> {
+        match obj.get(k) {
+            None | Some(Json::Null) => Ok(None),
+            Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(Some(*n as u64)),
+            Some(_) => Err(format!("field {k:?} must be a non-negative integer")),
+        }
+    };
+    Ok(Request {
+        entity: field_str("entity")?,
+        attr: field_str("attr")?,
+        id: field_u64("id")?,
+        deadline_ms: field_u64("deadline_ms")?,
+    })
+}
+
+/// Serializes a success response.
+pub fn ok_response(
+    id: Option<u64>,
+    value: f64,
+    fallback: bool,
+    retrieved: usize,
+    chains: usize,
+    micros: u64,
+) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":true,\"value\":{},\"fallback\":{},\"retrieved\":{},\"chains\":{},\"micros\":{}}}",
+        id_json(id),
+        fmt_f64(value),
+        fallback,
+        retrieved,
+        chains,
+        micros
+    )
+}
+
+/// Serializes a failure response (`error` is escaped).
+pub fn err_response(id: Option<u64>, error: &str) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":false,\"error\":\"{}\"}}",
+        id_json(id),
+        escape(error)
+    )
+}
+
+fn id_json(id: Option<u64>) -> String {
+    match id {
+        Some(i) => i.to_string(),
+        None => "null".into(),
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers are valid JSON numbers, but keep the float-ness
+        // explicit so clients parse a stable type.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".into()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a complete JSON document (trailing non-whitespace is an error).
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected {:?} at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are out of scope for entity
+                            // names; map them to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (requests are valid UTF-8:
+                    // they arrived through a &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = HashMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_request() {
+        let r = parse_request(
+            r#"{"entity": "person_0", "attr": "birth", "id": 3, "deadline_ms": 250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.entity, "person_0");
+        assert_eq!(r.attr, "birth");
+        assert_eq!(r.id, Some(3));
+        assert_eq!(r.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn optional_fields_default_to_none() {
+        let r = parse_request(r#"{"entity":"e","attr":"a"}"#).unwrap();
+        assert_eq!(r.id, None);
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn malformed_requests_give_errors_not_panics() {
+        for bad in [
+            "",
+            "not json",
+            "{",
+            "[1,2]",
+            r#"{"entity": 5, "attr": "a"}"#,
+            r#"{"attr": "a"}"#,
+            r#"{"entity":"e","attr":"a","id":-1}"#,
+            r#"{"entity":"e","attr":"a"} extra"#,
+            r#"{"entity":"e","attr":"a","deadline_ms":1.5}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        let v = parse_json(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v, Json::Str("a\"b\\c\ndA".into()));
+    }
+
+    #[test]
+    fn responses_are_reparseable() {
+        let ok = ok_response(Some(9), 1957.25, false, 12, 5, 840);
+        let Json::Obj(o) = parse_json(&ok).unwrap() else {
+            panic!("not an object")
+        };
+        assert_eq!(o["ok"], Json::Bool(true));
+        assert_eq!(o["value"], Json::Num(1957.25));
+        assert_eq!(o["id"], Json::Num(9.0));
+
+        let err = err_response(None, "bad \"quote\"\nline");
+        let Json::Obj(o) = parse_json(&err).unwrap() else {
+            panic!("not an object")
+        };
+        assert_eq!(o["ok"], Json::Bool(false));
+        assert_eq!(o["id"], Json::Null);
+        assert_eq!(o["error"], Json::Str("bad \"quote\"\nline".into()));
+    }
+
+    #[test]
+    fn whole_valued_floats_stay_json_numbers() {
+        let ok = ok_response(None, 1930.0, true, 0, 0, 1);
+        assert!(ok.contains("\"value\":1930.0"), "{ok}");
+        let Json::Obj(o) = parse_json(&ok).unwrap() else {
+            panic!("not an object")
+        };
+        assert_eq!(o["value"], Json::Num(1930.0));
+    }
+
+    #[test]
+    fn nested_json_values_parse() {
+        let v = parse_json(r#"{"a":[1,true,null,{"b":"c"}],"d":-2.5e2}"#).unwrap();
+        let Json::Obj(o) = v else { panic!() };
+        assert_eq!(o["d"], Json::Num(-250.0));
+        let Json::Arr(a) = &o["a"] else { panic!() };
+        assert_eq!(a.len(), 4);
+    }
+}

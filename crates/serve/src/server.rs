@@ -1,0 +1,257 @@
+//! The TCP front-end: line-delimited JSON over a thread-per-connection
+//! accept loop, a `GET /metrics` text command, and graceful shutdown on
+//! SIGTERM/SIGINT or stdin close.
+
+use crate::engine::{Engine, ServeError};
+use crate::protocol;
+use cf_chains::Query;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The non-JSON command returning the metrics text block. The response is
+/// the metric lines followed by one empty line (so clients on a persistent
+/// connection know where it ends).
+pub const METRICS_COMMAND: &str = "GET /metrics";
+
+/// Set by the signal handler; polled by the accept loop.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    // A relaxed atomic store is async-signal-safe.
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers that request a graceful shutdown.
+///
+/// Declares libc's `signal` directly instead of pulling in a crate: the
+/// binary already links the C runtime, and registering a handler that only
+/// flips an atomic is the one async-signal-safe thing worth doing here.
+pub fn install_signals() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Spawns a watcher that flips `flag` when stdin reaches EOF, so a parent
+/// process can stop the server by closing the pipe (the second graceful
+/// shutdown path next to SIGTERM).
+pub fn shutdown_on_stdin_close(flag: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        let mut buf = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        flag.store(true, Ordering::SeqCst);
+    });
+}
+
+/// Accept loop: serves connections until `shutdown` (or a signal from
+/// [`install_signals`]) is raised, then returns so the caller can drop the
+/// engine — which drains the queue — and exit 0.
+pub fn run(
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !shutdown.load(Ordering::SeqCst) && !SIGNALLED.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(&engine);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(&engine, stream, &shutdown);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn handle_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if shutdown.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if line == METRICS_COMMAND {
+            write!(writer, "{}\n", engine.metrics_text())?;
+            writer.flush()?;
+            continue;
+        }
+        let response = answer(engine, line);
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Handles one request line end to end, always producing a response line.
+fn answer(engine: &Engine, line: &str) -> String {
+    let req = match protocol::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            engine.metrics().errors.fetch_add(1, Ordering::Relaxed);
+            return protocol::err_response(None, &format!("parse: {e}"));
+        }
+    };
+    let graph = engine.graph();
+    let Some(entity) = graph.entity_by_name(&req.entity) else {
+        engine.metrics().errors.fetch_add(1, Ordering::Relaxed);
+        return protocol::err_response(req.id, &format!("unknown entity {:?}", req.entity));
+    };
+    let Some(attr) = graph.attribute_by_name(&req.attr) else {
+        engine.metrics().errors.fetch_add(1, Ordering::Relaxed);
+        return protocol::err_response(req.id, &format!("unknown attribute {:?}", req.attr));
+    };
+    let deadline = req.deadline_ms.map(Duration::from_millis);
+    let reply = engine
+        .submit(Query { entity, attr }, deadline)
+        .and_then(|rx| rx.recv().map_err(|_| ServeError::ShuttingDown)?);
+    match reply {
+        Ok(sp) => protocol::ok_response(
+            req.id,
+            sp.detail.value,
+            sp.detail.used_fallback,
+            sp.detail.retrieved,
+            sp.detail.chains.len(),
+            sp.micros,
+        ),
+        Err(e) => protocol::err_response(req.id, &e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use cf_kg::synth::{yago15k_sim, SynthScale};
+    use cf_kg::Split;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
+    use chainsformer::{ChainsFormer, ChainsFormerConfig};
+
+    fn start(cfg: EngineConfig) -> (std::net::SocketAddr, Arc<AtomicBool>, String, Vec<String>) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let model = ChainsFormer::new(&visible, &split.train, ChainsFormerConfig::tiny(), &mut rng);
+        let entity = visible.entity_name(split.test[0].entity).to_string();
+        let attrs: Vec<String> = (0..visible.num_attributes())
+            .map(|a| {
+                visible
+                    .attribute_name(cf_kg::AttributeId(a as u32))
+                    .to_string()
+            })
+            .collect();
+        let engine = Arc::new(Engine::new(model, visible, cfg));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        std::thread::spawn(move || run(engine, listener, flag).expect("server"));
+        (addr, shutdown, entity, attrs)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, line: &str) -> String {
+        writeln!(stream, "{line}").expect("write");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut out = String::new();
+        reader.read_line(&mut out).expect("read");
+        out.trim().to_string()
+    }
+
+    #[test]
+    fn serves_queries_metrics_and_errors_over_tcp() {
+        let (addr, shutdown, entity, attrs) = start(EngineConfig::default());
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+
+        // 1. A valid query answers ok:true with a finite value.
+        let req = format!(r#"{{"entity":"{entity}","attr":"{}","id":1}}"#, attrs[0]);
+        let resp = roundtrip(&mut stream, &req);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"id\":1"), "{resp}");
+
+        // 2. A malformed line answers a structured error, not a hangup.
+        let resp = roundtrip(&mut stream, "this is not json");
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(resp.contains("parse:"), "{resp}");
+
+        // 3. An unknown entity is a structured error echoing the id.
+        let resp = roundtrip(
+            &mut stream,
+            &format!(r#"{{"entity":"nobody","attr":"{}","id":9}}"#, attrs[0]),
+        );
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(resp.contains("\"id\":9"), "{resp}");
+        assert!(resp.contains("unknown entity"), "{resp}");
+
+        // 4. Metrics scrape: text block terminated by an empty line.
+        writeln!(stream, "{METRICS_COMMAND}").expect("write");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut lines = Vec::new();
+        loop {
+            let mut l = String::new();
+            reader.read_line(&mut l).expect("read");
+            if l.trim().is_empty() {
+                break;
+            }
+            lines.push(l.trim().to_string());
+        }
+        let text = lines.join("\n");
+        assert!(text.contains("cf_serve_ok_total 1"), "{text}");
+        assert!(text.contains("cf_serve_errors_total 2"), "{text}");
+        assert!(text.contains("cf_serve_latency_us_p50"), "{text}");
+
+        shutdown.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn zero_queue_cap_server_sheds_with_overloaded() {
+        let (addr, shutdown, entity, attrs) = start(EngineConfig {
+            queue_cap: 0,
+            ..EngineConfig::default()
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        let req = format!(r#"{{"entity":"{entity}","attr":"{}","id":5}}"#, attrs[0]);
+        let resp = roundtrip(&mut stream, &req);
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(resp.contains("overloaded"), "{resp}");
+        assert!(resp.contains("\"id\":5"), "{resp}");
+        shutdown.store(true, Ordering::SeqCst);
+    }
+}

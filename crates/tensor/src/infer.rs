@@ -1,0 +1,680 @@
+//! Tape-free forward evaluation for inference/serving.
+//!
+//! Training builds every activation as a [`Tape`] node carrying a boxed
+//! backward closure; a serving process never calls `backward`, so those
+//! closures (and the `GradStore` plumbing behind them) are pure overhead.
+//! This module splits the *forward* op set out into the [`Forward`] trait,
+//! implemented twice:
+//!
+//! - by [`Tape`], delegating to the existing differentiable ops (training and
+//!   any code that might still want gradients keeps working unchanged);
+//! - by [`InferCtx`], a value-only arena: each op computes the identical
+//!   forward tensor and stores it, recording nothing else.
+//!
+//! ## Bitwise contract
+//!
+//! `InferCtx` does not approximate the taped forward — it *is* the taped
+//! forward. Every op either calls the very same kernel ([`Tensor::matmul`],
+//! [`Tensor::bmm`], `softmax_row`, `layer_norm_rows`, `gelu_fwd`,
+//! `attn_probs_forward`/`attn_merge_forward`) or repeats the same elementwise
+//! expression in the same evaluation order, so a model evaluated through
+//! `InferCtx` produces bit-identical outputs to the taped graph. The
+//! equivalence tests below and the model-shape test in `chainsformer` pin
+//! this.
+
+use crate::ops::attn::{attn_merge_forward, attn_probs_forward};
+use crate::ops::elementwise::gelu_fwd;
+use crate::ops::reduce::{layer_norm_rows, softmax_row};
+use crate::params::{ParamId, ParamStore};
+use crate::shape::Shape;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// The forward-only op set shared by [`Tape`] (training) and [`InferCtx`]
+/// (serving). Layer `forward` methods are generic over this trait, so one
+/// definition of a model serves both paths with bit-identical results.
+///
+/// The methods mirror the inherent `Tape` ops exactly — see `crate::ops` for
+/// semantics. Only the subset reachable from inference forwards is included;
+/// loss, dropout and the transpose-fused training variants stay `Tape`-only.
+pub trait Forward {
+    /// Reads the tensor behind a handle.
+    fn value(&self, v: Var) -> &Tensor;
+    /// Registers an input tensor (a differentiable leaf on the tape).
+    fn leaf(&mut self, value: Tensor) -> Var;
+    /// Registers a non-differentiable constant tensor.
+    fn constant(&mut self, value: Tensor) -> Var;
+    /// Brings a parameter from the store into the graph.
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Var;
+    /// `a + b`, same shape.
+    fn add(&mut self, a: Var, b: Var) -> Var;
+    /// Hadamard product `a ⊙ b`, same shape.
+    fn mul(&mut self, a: Var, b: Var) -> Var;
+    /// `a + c` for a scalar constant `c`.
+    fn add_scalar(&mut self, a: Var, c: f32) -> Var;
+    /// `c * a` for a scalar constant `c`.
+    fn mul_scalar(&mut self, a: Var, c: f32) -> Var;
+    /// Row-broadcast add: `a[.., d] + b[d]`.
+    fn add_bias(&mut self, a: Var, b: Var) -> Var;
+    /// Row-broadcast multiply: `a[.., d] ⊙ b[d]`.
+    fn mul_bcast_row(&mut self, a: Var, b: Var) -> Var;
+    /// Scales each row of `a` (viewed as `[L, d]`) by the matching scalar of
+    /// `w`.
+    fn scale_rows(&mut self, a: Var, w: Var) -> Var;
+    /// Rectified linear unit.
+    fn relu(&mut self, a: Var) -> Var;
+    /// GELU with the tanh approximation.
+    fn gelu(&mut self, a: Var) -> Var;
+    /// Hyperbolic tangent.
+    fn tanh(&mut self, a: Var) -> Var;
+    /// Logistic sigmoid.
+    fn sigmoid(&mut self, a: Var) -> Var;
+    /// Rank-2 matrix product.
+    fn matmul(&mut self, a: Var, b: Var) -> Var;
+    /// Batched matrix product `[b,m,k] x [b,k,n]`.
+    fn bmm(&mut self, a: Var, b: Var) -> Var;
+    /// Metadata-only reshape.
+    fn reshape(&mut self, a: Var, shape: Shape) -> Var;
+    /// Slices `len` columns starting at `start` from the last dimension.
+    fn slice_last(&mut self, a: Var, start: usize, len: usize) -> Var;
+    /// Concatenates tensors along the last dimension.
+    fn concat_last(&mut self, parts: &[Var]) -> Var;
+    /// Gathers rows of `a` (viewed as `[L, d]`) by index.
+    fn select_rows(&mut self, a: Var, indices: &[usize]) -> Var;
+    /// Stacks rank-1 vectors of equal length into a `[k, d]` matrix.
+    fn stack_rows(&mut self, rows: &[Var]) -> Var;
+    /// Extracts row `i` of `a` (viewed as `[L, d]`) as a rank-1 vector.
+    fn row(&mut self, a: Var, i: usize) -> Var;
+    /// Sum of all elements, producing a scalar.
+    fn sum_all(&mut self, a: Var) -> Var;
+    /// Sums a rank-3 tensor over its middle dimension: `[B,T,d] -> [B,d]`.
+    fn sum_dim1(&mut self, a: Var) -> Var;
+    /// Row-wise softmax over the last dimension.
+    fn softmax_last(&mut self, a: Var) -> Var;
+    /// Row-wise layer normalization over the last dimension (no affine).
+    fn layer_norm_last(&mut self, a: Var, eps: f32) -> Var;
+    /// Fused multi-head attention over packed `[B, T, d]` projections.
+    fn fused_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        heads: usize,
+        scale: f32,
+        add_mask: Option<&Tensor>,
+    ) -> Var;
+}
+
+impl Forward for Tape {
+    fn value(&self, v: Var) -> &Tensor {
+        Tape::value(self, v)
+    }
+    fn leaf(&mut self, value: Tensor) -> Var {
+        Tape::leaf(self, value)
+    }
+    fn constant(&mut self, value: Tensor) -> Var {
+        Tape::constant(self, value)
+    }
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        Tape::param(self, store, id)
+    }
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        Tape::add(self, a, b)
+    }
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        Tape::mul(self, a, b)
+    }
+    fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        Tape::add_scalar(self, a, c)
+    }
+    fn mul_scalar(&mut self, a: Var, c: f32) -> Var {
+        Tape::mul_scalar(self, a, c)
+    }
+    fn add_bias(&mut self, a: Var, b: Var) -> Var {
+        Tape::add_bias(self, a, b)
+    }
+    fn mul_bcast_row(&mut self, a: Var, b: Var) -> Var {
+        Tape::mul_bcast_row(self, a, b)
+    }
+    fn scale_rows(&mut self, a: Var, w: Var) -> Var {
+        Tape::scale_rows(self, a, w)
+    }
+    fn relu(&mut self, a: Var) -> Var {
+        Tape::relu(self, a)
+    }
+    fn gelu(&mut self, a: Var) -> Var {
+        Tape::gelu(self, a)
+    }
+    fn tanh(&mut self, a: Var) -> Var {
+        Tape::tanh(self, a)
+    }
+    fn sigmoid(&mut self, a: Var) -> Var {
+        Tape::sigmoid(self, a)
+    }
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        Tape::matmul(self, a, b)
+    }
+    fn bmm(&mut self, a: Var, b: Var) -> Var {
+        Tape::bmm(self, a, b)
+    }
+    fn reshape(&mut self, a: Var, shape: Shape) -> Var {
+        Tape::reshape(self, a, shape)
+    }
+    fn slice_last(&mut self, a: Var, start: usize, len: usize) -> Var {
+        Tape::slice_last(self, a, start, len)
+    }
+    fn concat_last(&mut self, parts: &[Var]) -> Var {
+        Tape::concat_last(self, parts)
+    }
+    fn select_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        Tape::select_rows(self, a, indices)
+    }
+    fn stack_rows(&mut self, rows: &[Var]) -> Var {
+        Tape::stack_rows(self, rows)
+    }
+    fn row(&mut self, a: Var, i: usize) -> Var {
+        Tape::row(self, a, i)
+    }
+    fn sum_all(&mut self, a: Var) -> Var {
+        Tape::sum_all(self, a)
+    }
+    fn sum_dim1(&mut self, a: Var) -> Var {
+        Tape::sum_dim1(self, a)
+    }
+    fn softmax_last(&mut self, a: Var) -> Var {
+        Tape::softmax_last(self, a)
+    }
+    fn layer_norm_last(&mut self, a: Var, eps: f32) -> Var {
+        Tape::layer_norm_last(self, a, eps)
+    }
+    fn fused_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        heads: usize,
+        scale: f32,
+        add_mask: Option<&Tensor>,
+    ) -> Var {
+        Tape::fused_attention(self, q, k, v, heads, scale, add_mask)
+    }
+}
+
+/// A value-only evaluation arena: the tape-free forward pass.
+///
+/// Holds one [`Tensor`] per op output and nothing else — no backward
+/// closures, no parent bookkeeping, no `GradStore`. `Var` handles index into
+/// this arena exactly as they index into a `Tape`, so layer code is oblivious
+/// to which one it is running on.
+#[derive(Default)]
+pub struct InferCtx {
+    vals: Vec<Tensor>,
+}
+
+impl InferCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when nothing has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Drops all recorded values (invalidating outstanding handles) so the
+    /// context can be reused for the next request without reallocating the
+    /// arena itself.
+    pub fn clear(&mut self) {
+        self.vals.clear();
+    }
+
+    fn push(&mut self, value: Tensor) -> Var {
+        self.vals.push(value);
+        Var(self.vals.len() - 1)
+    }
+}
+
+impl Forward for InferCtx {
+    fn value(&self, v: Var) -> &Tensor {
+        &self.vals[v.0]
+    }
+
+    fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value)
+    }
+
+    fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value)
+    }
+
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.get(id).clone())
+    }
+
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(value)
+    }
+
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(value)
+    }
+
+    fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| x + c);
+        self.push(value)
+    }
+
+    fn mul_scalar(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| c * x);
+        self.push(value)
+    }
+
+    fn add_bias(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let bv = self.value(b);
+        assert_eq!(
+            bv.shape().numel(),
+            d,
+            "add_bias: bias length {} != last dim {d}",
+            bv.numel()
+        );
+        let mut out = av.clone();
+        for row in 0..out.shape().leading() {
+            let base = row * d;
+            for j in 0..d {
+                out.data_mut()[base + j] += bv.data()[j];
+            }
+        }
+        self.push(out)
+    }
+
+    fn mul_bcast_row(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let bv = self.value(b);
+        assert_eq!(
+            bv.shape().numel(),
+            d,
+            "mul_bcast_row: length {} != last dim {d}",
+            bv.numel()
+        );
+        let mut out = av.clone();
+        for row in 0..out.shape().leading() {
+            let base = row * d;
+            for j in 0..d {
+                out.data_mut()[base + j] *= bv.data()[j];
+            }
+        }
+        self.push(out)
+    }
+
+    fn scale_rows(&mut self, a: Var, w: Var) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let rows = av.shape().leading();
+        let wv = self.value(w);
+        assert_eq!(
+            wv.numel(),
+            rows,
+            "scale_rows: weights {} != rows {rows}",
+            wv.numel()
+        );
+        let mut out = av.clone();
+        for r in 0..rows {
+            let s = wv.data()[r];
+            for x in &mut out.data_mut()[r * d..(r + 1) * d] {
+                *x *= s;
+            }
+        }
+        self.push(out)
+    }
+
+    fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        self.push(value)
+    }
+
+    fn gelu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(gelu_fwd);
+        self.push(value)
+    }
+
+    fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(value)
+    }
+
+    fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(value)
+    }
+
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value)
+    }
+
+    fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).bmm(self.value(b));
+        self.push(value)
+    }
+
+    fn reshape(&mut self, a: Var, shape: Shape) -> Var {
+        let value = self.value(a).reshape(shape);
+        self.push(value)
+    }
+
+    fn slice_last(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        assert!(
+            start + len <= d,
+            "slice_last [{start},{}) out of last dim {d}",
+            start + len
+        );
+        let rows = av.shape().leading();
+        let mut out = Vec::with_capacity(rows * len);
+        for r in 0..rows {
+            out.extend_from_slice(&av.data()[r * d + start..r * d + start + len]);
+        }
+        let mut shape = av.shape().0.clone();
+        *shape.last_mut().unwrap() = len;
+        self.push(Tensor::new(shape, out))
+    }
+
+    fn concat_last(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_last of zero tensors");
+        let rows = self.value(parts[0]).shape().leading();
+        let widths: Vec<usize> = parts
+            .iter()
+            .map(|&p| self.value(p).shape().last_dim())
+            .collect();
+        for &p in parts {
+            assert_eq!(
+                self.value(p).shape().leading(),
+                rows,
+                "concat_last leading-dim mismatch"
+            );
+        }
+        let total: usize = widths.iter().sum();
+        let mut out = Vec::with_capacity(rows * total);
+        for r in 0..rows {
+            for (&p, &w) in parts.iter().zip(&widths) {
+                let v = self.value(p);
+                out.extend_from_slice(&v.data()[r * w..(r + 1) * w]);
+            }
+        }
+        let mut shape = self.value(parts[0]).shape().0.clone();
+        *shape.last_mut().unwrap() = total;
+        self.push(Tensor::new(shape, out))
+    }
+
+    fn select_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let rows = av.shape().leading();
+        let mut out = Vec::with_capacity(indices.len() * d);
+        for &i in indices {
+            assert!(i < rows, "select_rows index {i} out of {rows} rows");
+            out.extend_from_slice(&av.data()[i * d..(i + 1) * d]);
+        }
+        self.push(Tensor::new([indices.len(), d], out))
+    }
+
+    fn stack_rows(&mut self, rows: &[Var]) -> Var {
+        assert!(!rows.is_empty(), "stack_rows of zero vectors");
+        let d = self.value(rows[0]).numel();
+        let mut out = Vec::with_capacity(rows.len() * d);
+        for &r in rows {
+            let v = self.value(r);
+            assert_eq!(v.numel(), d, "stack_rows length mismatch");
+            out.extend_from_slice(v.data());
+        }
+        self.push(Tensor::new([rows.len(), d], out))
+    }
+
+    fn row(&mut self, a: Var, i: usize) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let value = Tensor::new([d], av.row(i).to_vec());
+        self.push(value)
+    }
+
+    fn sum_all(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum());
+        self.push(value)
+    }
+
+    fn sum_dim1(&mut self, a: Var) -> Var {
+        let (b, tt, d) = self.value(a).shape().as_batch_matrix();
+        let av = self.value(a);
+        let mut out = vec![0.0f32; b * d];
+        for bi in 0..b {
+            for ti in 0..tt {
+                let base = (bi * tt + ti) * d;
+                for j in 0..d {
+                    out[bi * d + j] += av.data()[base + j];
+                }
+            }
+        }
+        self.push(Tensor::new([b, d], out))
+    }
+
+    fn softmax_last(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let rows = av.shape().leading();
+        let mut out = av.clone();
+        for r in 0..rows {
+            softmax_row(&mut out.data_mut()[r * d..(r + 1) * d]);
+        }
+        self.push(out)
+    }
+
+    fn layer_norm_last(&mut self, a: Var, eps: f32) -> Var {
+        let av = self.value(a);
+        let d = av.shape().last_dim();
+        let rows = av.shape().leading();
+        let mut out = av.clone();
+        layer_norm_rows(out.data_mut(), rows, d, eps);
+        self.push(out)
+    }
+
+    fn fused_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        heads: usize,
+        scale: f32,
+        add_mask: Option<&Tensor>,
+    ) -> Var {
+        let (bsz, seq, d) = self.value(q).shape().as_batch_matrix();
+        assert_eq!(
+            self.value(k).shape(),
+            self.value(q).shape(),
+            "fused_attention q/k shape mismatch"
+        );
+        assert_eq!(
+            self.value(v).shape(),
+            self.value(q).shape(),
+            "fused_attention q/v shape mismatch"
+        );
+        assert!(
+            heads > 0 && d % heads == 0,
+            "dim {d} not divisible by heads {heads}"
+        );
+        if let Some(m) = add_mask {
+            assert_eq!(
+                m.shape().as_batch_matrix(),
+                (bsz, seq, seq),
+                "fused_attention mask shape mismatch"
+            );
+        }
+        let probs = attn_probs_forward(
+            self.value(q).data(),
+            self.value(k).data(),
+            add_mask,
+            bsz,
+            seq,
+            d,
+            heads,
+            scale,
+        );
+        let merged = attn_merge_forward(&probs, self.value(v).data(), bsz, seq, d, heads);
+        self.push(Tensor::new([bsz, seq, d], merged))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::{Activation, Mlp, MultiHeadAttention, TransformerEncoder};
+    use cf_rand::rngs::StdRng;
+    use cf_rand::{Rng, SeedableRng};
+
+    fn rand_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::new(
+            shape.to_vec(),
+            (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+    }
+
+    struct Inputs {
+        a3: Tensor,
+        b3: Tensor,
+        bias: Tensor,
+        w: Tensor,
+        m1: Tensor,
+        m2: Tensor,
+        mask: Tensor,
+    }
+
+    /// Runs every trait op once and collects each output's raw data.
+    fn drive(f: &mut dyn Forward, inp: &Inputs) -> Vec<Vec<f32>> {
+        let a = f.leaf(inp.a3.clone());
+        let b = f.constant(inp.b3.clone());
+        let bi = f.leaf(inp.bias.clone());
+        let wv = f.leaf(inp.w.clone());
+        let x1 = f.leaf(inp.m1.clone());
+        let x2 = f.leaf(inp.m2.clone());
+        let mut vars = vec![
+            f.add(a, b),
+            f.mul(a, b),
+            f.add_scalar(a, 0.37),
+            f.mul_scalar(a, -1.21),
+            f.add_bias(a, bi),
+            f.mul_bcast_row(a, bi),
+            f.scale_rows(a, wv),
+            f.relu(a),
+            f.gelu(a),
+            f.tanh(a),
+            f.sigmoid(a),
+            f.matmul(x1, x2),
+            f.slice_last(a, 1, 2),
+            f.concat_last(&[a, b]),
+            f.select_rows(x1, &[4, 0, 4, 2]),
+            f.sum_all(a),
+            f.sum_dim1(a),
+            f.softmax_last(a),
+            f.layer_norm_last(a, 1e-5),
+            f.fused_attention(a, b, a, 2, 0.5, Some(&inp.mask)),
+        ];
+        let r = f.reshape(a, Shape(vec![2, 4, 3]));
+        vars.push(f.bmm(a, r));
+        let r0 = f.row(x1, 0);
+        let r3 = f.row(x1, 3);
+        vars.push(f.stack_rows(&[r0, r3]));
+        vars.iter().map(|&v| f.value(v).data().to_vec()).collect()
+    }
+
+    /// Every op available on both contexts, driven with the same inputs,
+    /// must produce bit-identical values.
+    #[test]
+    fn op_by_op_bitwise_equivalence() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let inputs = Inputs {
+            a3: rand_tensor(&[2, 3, 4], &mut rng),
+            b3: rand_tensor(&[2, 3, 4], &mut rng),
+            bias: rand_tensor(&[4], &mut rng),
+            w: rand_tensor(&[6], &mut rng),
+            m1: rand_tensor(&[6, 4], &mut rng),
+            m2: rand_tensor(&[4, 5], &mut rng),
+            mask: rand_tensor(&[2, 3, 3], &mut rng),
+        };
+        let taped = drive(&mut Tape::new(), &inputs);
+        let tape_free = drive(&mut InferCtx::new(), &inputs);
+        assert_eq!(taped.len(), tape_free.len());
+        for (i, (t, n)) in taped.iter().zip(&tape_free).enumerate() {
+            assert_eq!(t, n, "op #{i} differs between Tape and InferCtx");
+        }
+    }
+
+    /// A 2-layer Transformer encoder + MLP head — the ChainsFormer encoder
+    /// composition — evaluated on both contexts, compared bitwise.
+    #[test]
+    fn transformer_stack_bitwise_equivalence() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ps = ParamStore::new();
+        let enc = TransformerEncoder::new(&mut ps, "enc", 16, 4, 2, 32, &mut rng);
+        let head = Mlp::new(&mut ps, "head", &[16, 16, 1], Activation::Gelu, &mut rng);
+        let x = rand_tensor(&[3, 5, 16], &mut rng);
+        let key_mask = vec![
+            vec![true, true, true, true, true],
+            vec![true, true, false, false, false],
+            vec![true, true, true, false, false],
+        ];
+
+        let mut tape = Tape::new();
+        let xv = Forward::leaf(&mut tape, x.clone());
+        let h = enc.forward(&mut tape, &ps, xv, Some(&key_mask));
+        let flat = Forward::reshape(&mut tape, h, Shape(vec![15, 16]));
+        let y = head.forward(&mut tape, &ps, flat);
+        let taped = Forward::value(&tape, y).data().to_vec();
+
+        let mut ctx = InferCtx::new();
+        let xv = ctx.leaf(x);
+        let h = enc.forward(&mut ctx, &ps, xv, Some(&key_mask));
+        let flat = ctx.reshape(h, Shape(vec![15, 16]));
+        let y = head.forward(&mut ctx, &ps, flat);
+        assert_eq!(ctx.value(y).data(), taped.as_slice());
+    }
+
+    /// Padding keys out via the additive mask must not change the unpadded
+    /// rows at all — the property the batched serving path relies on.
+    #[test]
+    fn attention_padding_is_bitwise_inert() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ps = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut ps, "a", 8, 2, &mut rng);
+        let x = rand_tensor(&[1, 3, 8], &mut rng);
+        // Same rows padded out to T=5 with junk tokens.
+        let mut padded = x.data().to_vec();
+        padded.extend((0..16).map(|i| (i as f32) * 0.3 - 1.0));
+        let padded = Tensor::new([1, 5, 8], padded);
+
+        let mut c1 = InferCtx::new();
+        let xv = c1.leaf(x);
+        let mask3 = vec![vec![true; 3]];
+        let y3 = mha.forward(&mut c1, &ps, xv, Some(&mask3));
+
+        let mut c2 = InferCtx::new();
+        let xv = c2.leaf(padded);
+        let mask5 = vec![vec![true, true, true, false, false]];
+        let y5 = mha.forward(&mut c2, &ps, xv, Some(&mask5));
+
+        let short = c1.value(y3).data();
+        let long = &c2.value(y5).data()[..3 * 8];
+        assert_eq!(short, long, "padded keys leaked into real rows");
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod gradcheck;
+pub mod infer;
 pub mod init;
 pub mod nn;
 pub mod ops;
@@ -50,6 +51,7 @@ pub mod shape;
 pub mod tape;
 pub mod tensor;
 
+pub use infer::{Forward, InferCtx};
 pub use init::Init;
 pub use params::{ParamId, ParamStore};
 pub use serialize::{load_params, save_params, CheckpointError};

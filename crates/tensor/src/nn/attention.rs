@@ -1,8 +1,11 @@
 //! Multi-head scaled dot-product self-attention over `[B, T, d]` sequences.
 
 use super::linear::Linear;
+use crate::infer::Forward;
 use crate::params::ParamStore;
-use crate::tape::{Tape, Var};
+#[cfg(debug_assertions)]
+use crate::tape::Tape;
+use crate::tape::Var;
 use crate::tensor::Tensor;
 use cf_rand::Rng;
 
@@ -55,9 +58,9 @@ impl MultiHeadAttention {
     /// `key_mask`, when given, has one `Vec<bool>` per batch element with
     /// `true` marking *valid* (attendable) key positions. Padded positions
     /// receive `-1e9` logits for every query.
-    pub fn forward(
+    pub fn forward<F: Forward>(
         &self,
-        t: &mut Tape,
+        t: &mut F,
         ps: &ParamStore,
         x: Var,
         key_mask: Option<&[Vec<bool>]>,
@@ -147,6 +150,7 @@ impl MultiHeadAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tape::Tape;
     use cf_rand::rngs::StdRng;
     use cf_rand::SeedableRng;
 

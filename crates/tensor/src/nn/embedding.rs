@@ -1,8 +1,9 @@
 //! Token embedding table.
 
+use crate::infer::Forward;
 use crate::init::Init;
 use crate::params::{ParamId, ParamStore};
-use crate::tape::{Tape, Var};
+use crate::tape::Var;
 use cf_rand::Rng;
 
 /// Learnable embedding table `[vocab, dim]` with index lookup.
@@ -40,7 +41,7 @@ impl Embedding {
 
     /// Looks up `ids`, producing `[ids.len(), dim]`. Repeated ids are fine —
     /// gradients scatter-add into the table.
-    pub fn forward(&self, t: &mut Tape, ps: &ParamStore, ids: &[usize]) -> Var {
+    pub fn forward<F: Forward>(&self, t: &mut F, ps: &ParamStore, ids: &[usize]) -> Var {
         for &id in ids {
             assert!(
                 id < self.vocab,
@@ -56,6 +57,7 @@ impl Embedding {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tape::Tape;
     use crate::tensor::Tensor;
     use cf_rand::rngs::StdRng;
     use cf_rand::SeedableRng;

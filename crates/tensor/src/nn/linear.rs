@@ -1,8 +1,9 @@
 //! Affine layers: `Linear` and `LayerNorm` (with learnable affine).
 
+use crate::infer::Forward;
 use crate::init::Init;
 use crate::params::{ParamId, ParamStore};
-use crate::tape::{Tape, Var};
+use crate::tape::Var;
 use cf_rand::Rng;
 
 /// Fully connected layer `y = x W + b` with `W: [in, out]`.
@@ -75,8 +76,10 @@ impl Linear {
         self.out_dim
     }
 
-    /// Applies `x W + b` over the last dimension.
-    pub fn forward(&self, t: &mut Tape, ps: &ParamStore, x: Var) -> Var {
+    /// Applies `x W + b` over the last dimension. Generic over the evaluation
+    /// context: a [`Tape`](crate::tape::Tape) for training or an
+    /// [`InferCtx`](crate::infer::InferCtx) for the tape-free serving path.
+    pub fn forward<F: Forward>(&self, t: &mut F, ps: &ParamStore, x: Var) -> Var {
         let shape = t.value(x).shape().clone();
         assert_eq!(
             shape.last_dim(),
@@ -89,7 +92,7 @@ impl Linear {
         let flat = if shape.rank() == 2 {
             x
         } else {
-            t.reshape(x, [rows, self.in_dim])
+            t.reshape(x, [rows, self.in_dim].into())
         };
         let w = t.param(ps, self.w);
         let mut y = t.matmul(flat, w);
@@ -100,7 +103,7 @@ impl Linear {
         if shape.rank() != 2 {
             let mut out_shape = shape.0;
             *out_shape.last_mut().unwrap() = self.out_dim;
-            y = t.reshape(y, out_shape);
+            y = t.reshape(y, out_shape.into());
         }
         y
     }
@@ -130,7 +133,7 @@ impl LayerNorm {
     }
 
     /// Normalizes the last dimension, then applies gain and bias.
-    pub fn forward(&self, t: &mut Tape, ps: &ParamStore, x: Var) -> Var {
+    pub fn forward<F: Forward>(&self, t: &mut F, ps: &ParamStore, x: Var) -> Var {
         let normed = t.layer_norm_last(x, self.eps);
         let g = t.param(ps, self.gain);
         let scaled = t.mul_bcast_row(normed, g);
@@ -142,6 +145,7 @@ impl LayerNorm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tape::Tape;
     use crate::tensor::Tensor;
     use cf_rand::rngs::StdRng;
     use cf_rand::SeedableRng;

@@ -1,8 +1,9 @@
 //! Single-layer LSTM, used by the paper's "w LSTM as Chain Encoder" ablation.
 
 use super::linear::Linear;
+use crate::infer::Forward;
 use crate::params::ParamStore;
-use crate::tape::{Tape, Var};
+use crate::tape::Var;
 use crate::tensor::Tensor;
 use cf_rand::Rng;
 
@@ -47,7 +48,13 @@ impl Lstm {
     /// Runs the recurrence and returns `[B, hidden]`: the hidden state at
     /// position `lens[b] - 1` for each sequence. `lens[b]` must be in
     /// `1..=T`.
-    pub fn forward_last(&self, t: &mut Tape, ps: &ParamStore, x: Var, lens: &[usize]) -> Var {
+    pub fn forward_last<F: Forward>(
+        &self,
+        t: &mut F,
+        ps: &ParamStore,
+        x: Var,
+        lens: &[usize],
+    ) -> Var {
         let (b, seq, d) = t.value(x).shape().as_batch_matrix();
         assert_eq!(d, self.in_dim, "lstm input dim {d} != {}", self.in_dim);
         assert_eq!(lens.len(), b, "lens length mismatch");
@@ -57,7 +64,7 @@ impl Lstm {
                 "sequence length {l} outside 1..={seq}"
             );
         }
-        let flat = t.reshape(x, [b * seq, d]);
+        let flat = t.reshape(x, [b * seq, d].into());
         let mut h = t.constant(Tensor::zeros([b, self.hidden]));
         let mut c = t.constant(Tensor::zeros([b, self.hidden]));
         let mut per_step_h: Vec<Var> = Vec::with_capacity(seq);
@@ -93,6 +100,7 @@ impl Lstm {
 mod tests {
     use super::*;
     use crate::optim::Adam;
+    use crate::tape::Tape;
     use cf_rand::rngs::StdRng;
     use cf_rand::SeedableRng;
 

@@ -1,8 +1,9 @@
 //! Multi-layer perceptron with a configurable activation.
 
 use super::linear::Linear;
+use crate::infer::Forward;
 use crate::params::ParamStore;
-use crate::tape::{Tape, Var};
+use crate::tape::Var;
 use cf_rand::Rng;
 
 /// Activation functions available to [`Mlp`].
@@ -19,8 +20,8 @@ pub enum Activation {
 }
 
 impl Activation {
-    /// Applies the activation on the tape.
-    pub fn apply(self, t: &mut Tape, x: Var) -> Var {
+    /// Applies the activation on the evaluation context.
+    pub fn apply<F: Forward>(self, t: &mut F, x: Var) -> Var {
         match self {
             Activation::Relu => t.relu(x),
             Activation::Gelu => t.gelu(x),
@@ -68,7 +69,7 @@ impl Mlp {
     }
 
     /// Runs the stack; the activation sits between layers, not after the last.
-    pub fn forward(&self, t: &mut Tape, ps: &ParamStore, x: Var) -> Var {
+    pub fn forward<F: Forward>(&self, t: &mut F, ps: &ParamStore, x: Var) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
@@ -85,6 +86,7 @@ impl Mlp {
 mod tests {
     use super::*;
     use crate::optim::Adam;
+    use crate::tape::Tape;
     use crate::tensor::Tensor;
     use cf_rand::rngs::StdRng;
     use cf_rand::SeedableRng;

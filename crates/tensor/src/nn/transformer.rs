@@ -3,8 +3,9 @@
 
 use super::attention::MultiHeadAttention;
 use super::linear::{LayerNorm, Linear};
+use crate::infer::Forward;
 use crate::params::ParamStore;
-use crate::tape::{Tape, Var};
+use crate::tape::Var;
 use cf_rand::Rng;
 
 /// One encoder block: self-attention and feed-forward sublayers, each wrapped
@@ -38,9 +39,9 @@ impl TransformerEncoderLayer {
     }
 
     /// Applies attention then feed-forward, each with residual + layer norm.
-    pub fn forward(
+    pub fn forward<F: Forward>(
         &self,
-        t: &mut Tape,
+        t: &mut F,
         ps: &ParamStore,
         x: Var,
         key_mask: Option<&[Vec<bool>]>,
@@ -100,9 +101,9 @@ impl TransformerEncoder {
     }
 
     /// Encodes `x: [B, T, d]`, optionally masking padded key positions.
-    pub fn forward(
+    pub fn forward<F: Forward>(
         &self,
-        t: &mut Tape,
+        t: &mut F,
         ps: &ParamStore,
         x: Var,
         key_mask: Option<&[Vec<bool>]>,
@@ -119,6 +120,7 @@ impl TransformerEncoder {
 mod tests {
     use super::*;
     use crate::optim::Adam;
+    use crate::tape::Tape;
     use crate::tensor::Tensor;
     use cf_rand::rngs::StdRng;
     use cf_rand::SeedableRng;

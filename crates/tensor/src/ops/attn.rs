@@ -62,37 +62,18 @@ impl Tape {
                 "fused_attention mask shape mismatch"
             );
         }
-        let dh = d / heads;
-
         // Node 1: probs[(bi·H + h), i, j] = softmax_j(scale·⟨q_i, k_j⟩ + m_ij)
         // over head band h of rows i, j.
-        let mut probs = vec![0.0f32; bsz * heads * seq * seq];
-        {
-            let qd = self.value(q).data();
-            let kd = self.value(k).data();
-            for bi in 0..bsz {
-                for h in 0..heads {
-                    let off = h * dh;
-                    for i in 0..seq {
-                        let qrow = &qd[(bi * seq + i) * d + off..][..dh];
-                        let row = &mut probs[((bi * heads + h) * seq + i) * seq..][..seq];
-                        for (j, slot) in row.iter_mut().enumerate() {
-                            let krow = &kd[(bi * seq + j) * d + off..][..dh];
-                            let mut s = 0.0f32;
-                            for p in 0..dh {
-                                s += qrow[p] * krow[p];
-                            }
-                            let mut val = scale * s;
-                            if let Some(m) = add_mask {
-                                val += m.data()[(bi * seq + i) * seq + j];
-                            }
-                            *slot = val;
-                        }
-                        softmax_row(row);
-                    }
-                }
-            }
-        }
+        let probs = attn_probs_forward(
+            self.value(q).data(),
+            self.value(k).data(),
+            add_mask,
+            bsz,
+            seq,
+            d,
+            heads,
+            scale,
+        );
         let pnode = self.push(Tensor::new([bsz * heads, seq, seq], probs), None);
         self.nodes[pnode.0].backward = Some(Box::new(move |g, t, grads| {
             let qv = t.value(q);
@@ -160,26 +141,14 @@ impl Tape {
         // Node 2: merged[bi, i, h·d_h + p] = Σ_t probs[(bi·H + h), i, t]·V[t]
         // — the per-head context vectors written straight into their packed
         // `[B, T, d]` bands (what concat_last assembled before).
-        let mut merged = vec![0.0f32; bsz * seq * d];
-        {
-            let pd = self.value(pnode).data();
-            let vd = self.value(v).data();
-            for bi in 0..bsz {
-                for h in 0..heads {
-                    let off = h * dh;
-                    for i in 0..seq {
-                        let prow = &pd[((bi * heads + h) * seq + i) * seq..][..seq];
-                        let orow = &mut merged[(bi * seq + i) * d + off..][..dh];
-                        for (t_, &pv) in prow.iter().enumerate() {
-                            let vrow = &vd[(bi * seq + t_) * d + off..][..dh];
-                            for p in 0..dh {
-                                orow[p] += pv * vrow[p];
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let merged = attn_merge_forward(
+            self.value(pnode).data(),
+            self.value(v).data(),
+            bsz,
+            seq,
+            d,
+            heads,
+        );
         self.push(
             Tensor::new([bsz, seq, d], merged),
             Some(Box::new(move |g, t, grads| {
@@ -230,6 +199,77 @@ impl Tape {
             })),
         )
     }
+}
+
+/// Forward half of the probability node: `softmax_j(scale·⟨q_i, k_j⟩ + m_ij)`
+/// per head band, producing the flat `[B·H, T, T]` buffer. Shared with the
+/// tape-free path ([`crate::infer::InferCtx`]) so both stay bitwise identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn attn_probs_forward(
+    qd: &[f32],
+    kd: &[f32],
+    add_mask: Option<&Tensor>,
+    bsz: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+    scale: f32,
+) -> Vec<f32> {
+    let dh = d / heads;
+    let mut probs = vec![0.0f32; bsz * heads * seq * seq];
+    for bi in 0..bsz {
+        for h in 0..heads {
+            let off = h * dh;
+            for i in 0..seq {
+                let qrow = &qd[(bi * seq + i) * d + off..][..dh];
+                let row = &mut probs[((bi * heads + h) * seq + i) * seq..][..seq];
+                for (j, slot) in row.iter_mut().enumerate() {
+                    let krow = &kd[(bi * seq + j) * d + off..][..dh];
+                    let mut s = 0.0f32;
+                    for p in 0..dh {
+                        s += qrow[p] * krow[p];
+                    }
+                    let mut val = scale * s;
+                    if let Some(m) = add_mask {
+                        val += m.data()[(bi * seq + i) * seq + j];
+                    }
+                    *slot = val;
+                }
+                softmax_row(row);
+            }
+        }
+    }
+    probs
+}
+
+/// Forward half of the merge node: per-head context vectors written straight
+/// into their packed `[B, T, d]` bands. Shared with the tape-free path.
+pub(crate) fn attn_merge_forward(
+    pd: &[f32],
+    vd: &[f32],
+    bsz: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+) -> Vec<f32> {
+    let dh = d / heads;
+    let mut merged = vec![0.0f32; bsz * seq * d];
+    for bi in 0..bsz {
+        for h in 0..heads {
+            let off = h * dh;
+            for i in 0..seq {
+                let prow = &pd[((bi * heads + h) * seq + i) * seq..][..seq];
+                let orow = &mut merged[(bi * seq + i) * d + off..][..dh];
+                for (t_, &pv) in prow.iter().enumerate() {
+                    let vrow = &vd[(bi * seq + t_) * d + off..][..dh];
+                    for p in 0..dh {
+                        orow[p] += pv * vrow[p];
+                    }
+                }
+            }
+        }
+    }
+    merged
 }
 
 #[cfg(test)]

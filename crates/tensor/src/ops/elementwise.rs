@@ -324,7 +324,9 @@ impl Tape {
     }
 }
 
-fn gelu_fwd(x: f32) -> f32 {
+/// GELU forward (tanh approximation). Shared with the tape-free path
+/// ([`crate::infer::InferCtx`]) so both stay bitwise identical.
+pub(crate) fn gelu_fwd(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
 }

@@ -6,10 +6,10 @@
 //! tensor of any rank as the matrix `[leading, last_dim]`, which lets the same
 //! kernel serve 2-D activations and 3-D batched sequences.
 
-mod attn;
-mod elementwise;
+pub(crate) mod attn;
+pub(crate) mod elementwise;
 mod extra;
 mod linalg;
 mod loss;
-mod reduce;
+pub(crate) mod reduce;
 mod shape_ops;

@@ -98,17 +98,7 @@ impl Tape {
         let rows = av.shape().leading();
         let mut out = av.clone();
         // Cache per-row statistics for the backward rule.
-        let mut inv_stds = Vec::with_capacity(rows);
-        for r in 0..rows {
-            let slice = &mut out.data_mut()[r * d..(r + 1) * d];
-            let mean: f32 = slice.iter().sum::<f32>() / d as f32;
-            let var: f32 = slice.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / d as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            for x in slice.iter_mut() {
-                *x = (*x - mean) * inv;
-            }
-            inv_stds.push(inv);
-        }
+        let inv_stds = layer_norm_rows(out.data_mut(), rows, d, eps);
         let node = self.push(out, None);
         self.nodes[node.0].backward = Some(Box::new(move |g, t, grads| {
             // With y = (x - μ)/σ: dx = (g - mean(g) - y·mean(g⊙y)) / σ
@@ -132,6 +122,24 @@ impl Tape {
         }));
         node
     }
+}
+
+/// In-place row-wise layer normalization of `data` viewed as `[rows, d]`;
+/// returns the per-row `1/σ` the backward rule needs. Shared with the
+/// tape-free path ([`crate::infer::InferCtx`]) so both stay bitwise identical.
+pub(crate) fn layer_norm_rows(data: &mut [f32], rows: usize, d: usize, eps: f32) -> Vec<f32> {
+    let mut inv_stds = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let slice = &mut data[r * d..(r + 1) * d];
+        let mean: f32 = slice.iter().sum::<f32>() / d as f32;
+        let var: f32 = slice.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / d as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for x in slice.iter_mut() {
+            *x = (*x - mean) * inv;
+        }
+        inv_stds.push(inv);
+    }
+    inv_stds
 }
 
 /// In-place stabilized softmax of one row. Shared with the fused attention

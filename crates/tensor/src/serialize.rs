@@ -13,6 +13,10 @@ use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"CFT1";
 
+/// No tensor in the model family comes close to this rank; anything larger
+/// is a corrupt stream, not a checkpoint.
+const MAX_RANK: usize = 16;
+
 /// Errors raised while reading a checkpoint.
 #[derive(Debug)]
 pub enum CheckpointError {
@@ -102,6 +106,14 @@ pub fn load_params(store: &mut ParamStore, mut r: impl Read) -> Result<(), Check
             )));
         }
         let rank = read_u32(&mut r)? as usize;
+        // Guard before the allocation below: a corrupt rank would otherwise
+        // drive `Vec::with_capacity` into a multi-GB request and abort the
+        // process instead of surfacing a typed error.
+        if rank > MAX_RANK {
+            return Err(CheckpointError::Corrupt(format!(
+                "param {name:?}: absurd rank {rank} (max {MAX_RANK})"
+            )));
+        }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
             dims.push(read_u32(&mut r)? as usize);
@@ -206,6 +218,52 @@ mod tests {
         buf.truncate(buf.len() - 3);
         let mut dst = store();
         assert!(load_params(&mut dst, &buf[..]).is_err());
+    }
+
+    /// Byte offset of param "a"'s rank field in a checkpoint of `store()`:
+    /// magic(4) + n(4) + name_len(4) + "a"(1).
+    const RANK_OFFSET: usize = 13;
+
+    #[test]
+    fn rejects_absurd_rank_with_typed_error_not_oom() {
+        let src = store();
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        // Corrupt the rank field into a huge value; before the guard this
+        // drove Vec::with_capacity into a multi-GB allocation.
+        buf[RANK_OFFSET..RANK_OFFSET + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut dst = store();
+        let err = load_params(&mut dst, &buf[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_dims_as_mismatch() {
+        let src = store();
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        // Keep rank=2 but overwrite the first dim of "a" with garbage.
+        buf[RANK_OFFSET + 4..RANK_OFFSET + 8].copy_from_slice(&0xDEAD_u32.to_le_bytes());
+        let mut dst = store();
+        let err = load_params(&mut dst, &buf[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix() {
+        // No prefix of a valid checkpoint may panic; every one must yield a
+        // typed error (truncations land on Io, the final full length on Ok).
+        let src = store();
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let mut dst = store();
+            let err = load_params(&mut dst, &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Io(_)),
+                "cut at {cut}: unexpected {err}"
+            );
+        }
     }
 
     #[test]
