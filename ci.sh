@@ -23,6 +23,15 @@ cargo build --offline --benches --workspace
 CF_BENCH_SAMPLES=1 cargo bench --offline -p chainsformer-bench \
     --bench tensor_ops --bench tensor_kernels --bench serve_throughput >/dev/null
 
+echo "== zero-allocation gate (offline) =="
+# The buffer pool's steady-state contract on the real model: after warm-up,
+# a train step (tape forward + loss + backward + Adam) and a served predict
+# (warm InferCtx forward) must perform exactly 0 heap allocations. The gate
+# binary runs under a counting global allocator and starts with a 2-epoch
+# toy training run, so "training still converges with recycled buffers" is
+# covered on the way to the counters. See DESIGN.md §10.
+./target/release/alloc_gate
+
 echo "== serve smoke (offline) =="
 # End-to-end check of the cf-serve subsystem: train a tiny checkpoint,
 # start the TCP server on an ephemeral port, exercise a valid query, a
@@ -38,6 +47,10 @@ SMOKE_FLAGS=(--triples "$SMOKE_DIR/yago15k_sim_triples.tsv" \
              --ckpt "$SMOKE_DIR/model.ckpt" \
              --dim 16 --layers 1 --walks 32 --top-k 8 --seed 3)
 "$CFKG" train "${SMOKE_FLAGS[@]}" --epochs 1 >/dev/null
+
+# One CLI predict through the resident engine (the path the alloc gate
+# measures in-process) — must answer without error on the toy checkpoint.
+"$CFKG" predict "${SMOKE_FLAGS[@]}" --entity person_0 --attr birth >/dev/null
 
 # The server treats stdin close as a shutdown request, so hold its stdin
 # open on a FIFO for the lifetime of the smoke test (fd 5).

@@ -5,15 +5,47 @@
 //! Unlike the `criterion_group!`-style benches, this binary drives the
 //! harness by hand so it can persist its numbers: set `CF_BENCH_JSON=1` to
 //! write `results/BENCH_tensor.json` (the repo's kernel perf trajectory).
+//!
+//! The binary runs under [`CountingAlloc`], so next to the timings it
+//! records `allocs_per_step`/`frees_per_step` — steady-state allocator calls
+//! per iteration, measured after a warm-up. The pooled substrate (PR 4) must
+//! hold these at 0 for every arm that runs with the pool enabled.
 
 use cf_rand::rngs::StdRng;
 use cf_rand::{Rng, SeedableRng};
 use cf_tensor::nn::{Linear, TransformerEncoder};
 use cf_tensor::{ParamStore, Tape, Tensor};
+use chainsformer_bench::alloc::{measure, AllocCounts, CountingAlloc};
 use chainsformer_bench::micro::Criterion;
 use chainsformer_bench::report::{write_json, Table};
+use std::collections::HashMap;
 use std::hint::black_box;
 use std::path::Path;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Steady-state allocator calls per iteration of `f`: warm up, then average
+/// over `iters` runs. Registered per bench arm and joined into the JSON.
+fn steady_state_allocs(allocs: &mut HashMap<String, AllocCounts>, name: &str, mut f: impl FnMut()) {
+    for _ in 0..3 {
+        f(); // warm-up: pools fill, optimizer state materializes
+    }
+    let iters = 10u64;
+    let (_, delta) = measure(|| {
+        for _ in 0..iters {
+            f();
+        }
+    });
+    allocs.insert(
+        name.to_string(),
+        AllocCounts {
+            allocs: delta.allocs / iters,
+            frees: delta.frees / iters,
+            bytes: delta.bytes / iters,
+        },
+    );
+}
 
 fn rand_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
     let n: usize = shape.iter().product();
@@ -42,12 +74,19 @@ fn matmul_into_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, 
     }
 }
 
-/// `[m,k] x [k,n]` products at the two shapes called out by the perf gate:
-/// the naive pre-overhaul kernel, the tiled kernel, and the transpose-fused
-/// variants (which the backward pass runs instead of materializing Aᵀ/Bᵀ).
-fn bench_gemm(c: &mut Criterion) {
+/// `[m,k] x [k,n]` products: the naive pre-overhaul kernel, the
+/// register-tiled/cache-blocked kernel, and the transpose-fused variants
+/// (which the backward pass runs instead of materializing Aᵀ/Bᵀ). The two
+/// larger shapes (256³ and 128×384×128) spill L1/L2 and exist to make the
+/// cache blocking visible; the two small ones are the PR-2 gate shapes.
+fn bench_gemm(c: &mut Criterion, allocs: &mut HashMap<String, AllocCounts>) {
     let mut rng = StdRng::seed_from_u64(0);
-    for &(m, k, n) in &[(64usize, 64usize, 64usize), (128, 32, 128)] {
+    for &(m, k, n) in &[
+        (64usize, 64usize, 64usize),
+        (128, 32, 128),
+        (256, 256, 256),
+        (128, 384, 128),
+    ] {
         let a = rand_tensor(&[m, k], &mut rng);
         let b = rand_tensor(&[k, n], &mut rng);
         c.bench_function(format!("gemm_naive/{m}x{k}x{n}"), |bch| {
@@ -60,6 +99,9 @@ fn bench_gemm(c: &mut Criterion) {
         });
         c.bench_function(format!("gemm/{m}x{k}x{n}"), |bch| {
             bch.iter(|| black_box(a.matmul(&b)));
+        });
+        steady_state_allocs(allocs, &format!("gemm/{m}x{k}x{n}"), || {
+            black_box(a.matmul(&b));
         });
         // Aᵀ·B with A stored [k,m]: the dB kernel of backward.
         let at = rand_tensor(&[k, m], &mut rng);
@@ -129,7 +171,13 @@ fn bench_attention(c: &mut Criterion) {
 /// One full train step (forward, loss, backward, Adam update) of the
 /// Chain-Encoder-sized Transformer: [B=32 chains, T=6 tokens, d=48], 2
 /// layers, 4 heads — the training hot path end to end.
-fn bench_train_step(c: &mut Criterion) {
+///
+/// Three arms share the identical step closure and differ only in buffer
+/// policy: `train_step` is the default substrate (pool on — the number the
+/// acceptance gate tracks), `train_step_pooled` pins the pool on explicitly,
+/// and `train_step_unpooled` disables it, reproducing the pre-PR-4 fresh
+/// `Vec` per buffer behaviour as the before/after baseline.
+fn bench_train_step(c: &mut Criterion, allocs: &mut HashMap<String, AllocCounts>) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut ps = ParamStore::new();
     let enc = TransformerEncoder::new(&mut ps, "enc", 48, 4, 2, 96, &mut rng);
@@ -137,40 +185,76 @@ fn bench_train_step(c: &mut Criterion) {
     let x = rand_tensor(&[32, 6, 48], &mut rng);
     let target = rand_tensor(&[32 * 6, 1], &mut rng);
     let mut opt = cf_tensor::optim::Adam::new(1e-3);
-    c.bench_function("train_step/enc_32x6x48", |b| {
-        b.iter(|| {
-            let mut t = Tape::new();
-            let xv = t.leaf(x.clone());
-            let h = enc.forward(&mut t, &ps, xv, None);
-            let flat = t.reshape(h, [32 * 6, 48]);
-            let pred = head.forward(&mut t, &ps, flat);
-            let loss = t.mse_loss(pred, &target);
-            let grads = t.backward(loss, ps.len());
-            opt.step(&mut ps, &grads);
-            black_box(t.value(loss).item())
-        })
-    });
+    let step = |ps: &mut ParamStore, opt: &mut cf_tensor::optim::Adam| {
+        let mut t = Tape::new();
+        let xv = t.leaf(x.clone());
+        let h = enc.forward(&mut t, ps, xv, None);
+        let flat = t.reshape(h, [32 * 6, 48]);
+        let pred = head.forward(&mut t, ps, flat);
+        let loss = t.mse_loss(pred, &target);
+        let grads = t.backward(loss, ps.len());
+        opt.step(ps, &grads);
+        black_box(t.value(loss).item())
+    };
+    for (name, pooled) in [
+        ("train_step/enc_32x6x48", true),
+        ("train_step_pooled/enc_32x6x48", true),
+        ("train_step_unpooled/enc_32x6x48", false),
+    ] {
+        let prev = cf_tensor::pool::set_enabled(pooled);
+        c.bench_function(name, |b| b.iter(|| step(&mut ps, &mut opt)));
+        steady_state_allocs(allocs, name, || {
+            step(&mut ps, &mut opt);
+        });
+        cf_tensor::pool::set_enabled(prev);
+    }
 }
 
 fn main() {
     let mut c = Criterion::default().sample_size(20);
-    bench_gemm(&mut c);
+    let mut allocs: HashMap<String, AllocCounts> = HashMap::new();
+    bench_gemm(&mut c, &mut allocs);
     bench_gemm_tape(&mut c);
     bench_attention(&mut c);
-    bench_train_step(&mut c);
+    bench_train_step(&mut c, &mut allocs);
+
+    for (name, a) in {
+        let mut rows: Vec<_> = allocs.iter().collect();
+        rows.sort_by(|x, y| x.0.cmp(y.0));
+        rows
+    } {
+        println!(
+            "{name}: {} allocs / {} frees per step at steady state",
+            a.allocs, a.frees
+        );
+    }
 
     if std::env::var("CF_BENCH_JSON").is_ok() {
         let mut table = Table::new(
             "tensor kernel micro-benchmarks (ns per call)",
-            &["bench", "median_ns", "mean_ns", "min_ns", "samples"],
+            &[
+                "bench",
+                "median_ns",
+                "mean_ns",
+                "min_ns",
+                "samples",
+                "allocs_per_step",
+                "frees_per_step",
+            ],
         );
         for s in c.results() {
+            let (allocs_col, frees_col) = match allocs.get(&s.name) {
+                Some(a) => (a.allocs.to_string(), a.frees.to_string()),
+                None => ("-".to_string(), "-".to_string()),
+            };
             table.row(vec![
                 s.name.clone(),
                 format!("{:.0}", s.median_ns),
                 format!("{:.0}", s.mean_ns),
                 format!("{:.0}", s.min_ns),
                 s.samples.to_string(),
+                allocs_col,
+                frees_col,
             ]);
         }
         let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");

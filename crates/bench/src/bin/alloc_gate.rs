@@ -1,0 +1,146 @@
+//! Zero-allocation smoke gate (wired into `ci.sh`).
+//!
+//! Proves the PR-4 buffer pool holds its contract on the *real model*, not
+//! just the kernel microbenches: after warm-up, the numeric substrate does
+//! zero heap allocations
+//!
+//! 1. per **train step** — tape forward + loss + backward + clip + Adam over
+//!    a pre-gathered batch of chains (the Algorithm-1 inner loop minus
+//!    retrieval, which builds fresh `ChainInstance`s by design and is
+//!    outside the pooled substrate);
+//! 2. per **served predict** — the tape-free [`InferCtx`] model forward over
+//!    pre-resolved chains, exactly what a warm `cf-serve` worker runs per
+//!    batch (result materialization into `PredictionDetail`s clones chains
+//!    for the explanation payload and is likewise out of scope).
+//!
+//! Runs a 2-epoch toy training first so the gate also covers "training still
+//! converges end to end with the pool on". Exits non-zero on any violation.
+
+use cf_chains::Query;
+use cf_kg::synth::{yago15k_sim, SynthScale};
+use cf_kg::Split;
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
+use cf_tensor::optim::{clip_global_norm, Adam};
+use cf_tensor::{Forward, InferCtx, Tape, Tensor};
+use chainsformer::{ChainsFormer, ChainsFormerConfig, Trainer};
+use chainsformer_bench::alloc::{measure, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = yago15k_sim(SynthScale::small(), &mut rng);
+    let split = Split::paper_811(&g, &mut rng);
+    let visible = split.visible_graph(&g);
+    let cfg = ChainsFormerConfig {
+        epochs: 2,
+        ..ChainsFormerConfig::tiny()
+    };
+    let mut model = ChainsFormer::new(&visible, &split.train, cfg.clone(), &mut rng);
+
+    // 2-epoch toy run: warms every pool class the model uses and checks
+    // training still converges with recycled buffers.
+    let result = Trainer::new(&mut model, &visible).train(&split, &mut rng);
+    let last = result.epochs.last().expect("epochs ran");
+    assert!(
+        last.train_loss.is_finite(),
+        "toy training diverged: {}",
+        last.train_loss
+    );
+
+    // Pre-gather one batch of evidence chains (retrieval is outside the
+    // measured region — it constructs fresh chains by design).
+    let mut batch = Vec::new();
+    for t in split.train.iter() {
+        let query = Query {
+            entity: t.entity,
+            attr: t.attr,
+        };
+        let (toc, _) = model.gather_chains(&visible, query, &mut rng);
+        if !toc.is_empty() {
+            batch.push((query, toc, t.value));
+        }
+        if batch.len() >= 8 {
+            break;
+        }
+    }
+    assert!(
+        batch.len() >= 2,
+        "toy graph yielded too few evidence batches"
+    );
+
+    // --- Gate 1: steady-state allocations per train step ------------------
+    let mut opt = Adam::new(cfg.lr);
+    let mut losses = Vec::with_capacity(batch.len());
+    let mut train_step = |model: &mut ChainsFormer, opt: &mut Adam| {
+        let mut tape = Tape::new();
+        losses.clear();
+        for (query, toc, value) in &batch {
+            let out = model.forward(&mut tape, &toc.chains, *query);
+            let pred_norm = model.normalize_on_tape(&mut tape, out.prediction, *query);
+            let target = Tensor::scalar(model.normalizer().normalize(query.attr, *value) as f32);
+            let loss = tape.l1_loss(pred_norm, &target);
+            losses.push(loss);
+        }
+        let stacked = tape.stack_rows(&losses);
+        let batch_loss = tape.mean_all(stacked);
+        let mut grads = tape.backward(batch_loss, model.params.len());
+        clip_global_norm(&mut grads, cfg.grad_clip);
+        opt.step(&mut model.params, &grads);
+    };
+    for _ in 0..3 {
+        train_step(&mut model, &mut opt); // warm-up: pool classes + Adam state
+    }
+    let steps = 5u64;
+    let (_, train_delta) = measure(|| {
+        for _ in 0..steps {
+            train_step(&mut model, &mut opt);
+        }
+    });
+    let train_allocs = train_delta.allocs / steps;
+    println!("train step: {train_allocs} allocs/step at steady state ({steps} steps measured)");
+
+    // --- Gate 2: steady-state allocations per served predict --------------
+    let jobs: Vec<(Query, &[cf_chains::ChainInstance])> = batch
+        .iter()
+        .map(|(q, toc, _)| (*q, toc.chains.as_slice()))
+        .collect();
+    let mut ctx = InferCtx::new();
+    let serve_forward = |ctx: &mut InferCtx| {
+        ctx.clear();
+        for &(query, chains) in &jobs {
+            let out = model.forward(ctx, chains, query);
+            std::hint::black_box(ctx.value(out.prediction).item());
+        }
+    };
+    for _ in 0..3 {
+        serve_forward(&mut ctx);
+    }
+    let rounds = 5u64;
+    let (_, serve_delta) = measure(|| {
+        for _ in 0..rounds {
+            serve_forward(&mut ctx);
+        }
+    });
+    let serve_allocs = serve_delta.allocs / rounds;
+    println!(
+        "served predict: {serve_allocs} allocs/batch at steady state ({rounds} batches of {} jobs)",
+        jobs.len()
+    );
+
+    let mut failed = false;
+    if train_allocs != 0 {
+        eprintln!("FAIL: train step allocated at steady state ({train_allocs}/step, want 0)");
+        failed = true;
+    }
+    if serve_allocs != 0 {
+        eprintln!("FAIL: served predict allocated at steady state ({serve_allocs}/batch, want 0)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("alloc gate: PASS (0 steady-state allocations per train step and per served predict)");
+}

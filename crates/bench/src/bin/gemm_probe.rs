@@ -1,0 +1,308 @@
+//! Quick GEMM kernel probe (temporary, not part of CI).
+
+use cf_rand::rngs::StdRng;
+use cf_rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn rand_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let a_ip = a[i * k + p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for j in 0..n {
+                out_row[j] += a_ip * b_row[j];
+            }
+        }
+    }
+}
+
+fn time(mut f: impl FnMut(), iters: usize) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64 * 1e6
+}
+
+fn train_step_phases() {
+    use cf_tensor::nn::{Linear, TransformerEncoder};
+    use cf_tensor::{ParamStore, Tape, Tensor};
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ps = ParamStore::new();
+    let enc = TransformerEncoder::new(&mut ps, "enc", 48, 4, 2, 96, &mut rng);
+    let head = Linear::new(&mut ps, "head", 48, 1, &mut rng);
+    let x = Tensor::new(
+        [32, 6, 48],
+        (0..32 * 6 * 48)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect::<Vec<f32>>(),
+    );
+    let target = Tensor::new(
+        [32 * 6, 1],
+        (0..32 * 6)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect::<Vec<f32>>(),
+    );
+    let mut opt = cf_tensor::optim::Adam::new(1e-3);
+    let iters = 200;
+    let t_fwd = time(
+        || {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let h = enc.forward(&mut t, &ps, xv, None);
+            let flat = t.reshape(h, [32 * 6, 48]);
+            let pred = head.forward(&mut t, &ps, flat);
+            let loss = t.mse_loss(pred, &target);
+            black_box(t.value(loss).item());
+        },
+        iters,
+    );
+    let t_fwd_bwd = time(
+        || {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let h = enc.forward(&mut t, &ps, xv, None);
+            let flat = t.reshape(h, [32 * 6, 48]);
+            let pred = head.forward(&mut t, &ps, flat);
+            let loss = t.mse_loss(pred, &target);
+            black_box(t.backward(loss, ps.len()));
+        },
+        iters,
+    );
+    let t_full = time(
+        || {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let h = enc.forward(&mut t, &ps, xv, None);
+            let flat = t.reshape(h, [32 * 6, 48]);
+            let pred = head.forward(&mut t, &ps, flat);
+            let loss = t.mse_loss(pred, &target);
+            let grads = t.backward(loss, ps.len());
+            opt.step(&mut ps, &grads);
+            black_box(t.value(loss).item());
+        },
+        iters,
+    );
+    println!(
+        "train_step phases: fwd {t_fwd:.1} us  fwd+bwd {t_fwd_bwd:.1} us  full {t_full:.1} us  (bwd {:.1}, adam {:.1})",
+        t_fwd_bwd - t_fwd,
+        t_full - t_fwd_bwd
+    );
+}
+
+fn component_phases() {
+    use cf_tensor::nn::{LayerNorm, MultiHeadAttention};
+    use cf_tensor::{ParamStore, Tape, Tensor};
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut ps = ParamStore::new();
+    let mha = MultiHeadAttention::new(&mut ps, "a", 48, 4, &mut rng);
+    let ln = LayerNorm::new(&mut ps, "ln", 48);
+    let x = Tensor::new(
+        [32, 6, 48],
+        (0..32 * 6 * 48)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect::<Vec<f32>>(),
+    );
+    let iters = 400;
+    let t_mha = time(
+        || {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let y = mha.forward(&mut t, &ps, xv, None);
+            let l = t.mean_all(y);
+            black_box(t.backward(l, ps.len()));
+        },
+        iters,
+    );
+    let t_ln = time(
+        || {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let y = ln.forward(&mut t, &ps, xv);
+            let l = t.mean_all(y);
+            black_box(t.backward(l, ps.len()));
+        },
+        iters,
+    );
+    let w1 = Tensor::new(
+        [48, 96],
+        (0..48 * 96)
+            .map(|_| rng.gen_range(-0.1..0.1))
+            .collect::<Vec<f32>>(),
+    );
+    let w2 = Tensor::new(
+        [96, 48],
+        (0..96 * 48)
+            .map(|_| rng.gen_range(-0.1..0.1))
+            .collect::<Vec<f32>>(),
+    );
+    let xf = Tensor::new(
+        [192, 48],
+        (0..192 * 48)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect::<Vec<f32>>(),
+    );
+    let t_ffn = time(
+        || {
+            let mut t = Tape::new();
+            let xv = t.leaf(xf.clone());
+            let w1v = t.leaf(w1.clone());
+            let w2v = t.leaf(w2.clone());
+            let h = t.matmul(xv, w1v);
+            let h = t.relu(h);
+            let y = t.matmul(h, w2v);
+            let l = t.mean_all(y);
+            black_box(t.backward(l, 0));
+        },
+        iters,
+    );
+    println!("components fwd+bwd [32,6,48]: mha {t_mha:.1} us  layernorm {t_ln:.1} us  ffn(192x48x96) {t_ffn:.1} us");
+}
+
+fn op_phases() {
+    use cf_tensor::nn::Linear;
+    use cf_tensor::{ParamStore, Tape, Tensor};
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = Tensor::new(
+        [32, 6, 48],
+        (0..32 * 6 * 48)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect::<Vec<f32>>(),
+    );
+    let iters = 600;
+
+    // Fused attention core alone (no projections).
+    let t_attn = time(
+        || {
+            let mut t = Tape::new();
+            let q = t.leaf(x.clone());
+            let k = t.leaf(x.clone());
+            let v = t.leaf(x.clone());
+            let y = t.fused_attention(q, k, v, 4, 0.2886751, None);
+            let l = t.mean_all(y);
+            black_box(t.backward(l, 0));
+        },
+        iters,
+    );
+    let t_attn_fwd = time(
+        || {
+            let mut t = Tape::new();
+            let q = t.leaf(x.clone());
+            let k = t.leaf(x.clone());
+            let v = t.leaf(x.clone());
+            let y = t.fused_attention(q, k, v, 4, 0.2886751, None);
+            black_box(t.value(y).data()[0]);
+        },
+        iters,
+    );
+    // Softmax at the attention shape: 768 rows of 6 (exp cost).
+    let sm = Tensor::new(
+        [768, 6],
+        (0..768 * 6)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect::<Vec<f32>>(),
+    );
+    let t_softmax = time(
+        || {
+            let mut t = Tape::new();
+            let a = t.leaf(sm.clone());
+            let y = t.softmax_last(a);
+            black_box(t.value(y).data()[0]);
+        },
+        iters,
+    );
+    // One residual add at the activation shape.
+    let t_add = time(
+        || {
+            let mut t = Tape::new();
+            let a = t.leaf(x.clone());
+            let b = t.leaf(x.clone());
+            let y = t.add(a, b);
+            let l = t.mean_all(y);
+            black_box(t.backward(l, 0));
+        },
+        iters,
+    );
+    // Linear 48->48 at [192,48] fwd+bwd (GEMM + bias + at/bt backward).
+    let mut ps = ParamStore::new();
+    let lin = Linear::new(&mut ps, "l", 48, 48, &mut rng);
+    let xf = Tensor::new(
+        [192, 48],
+        (0..192 * 48)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect::<Vec<f32>>(),
+    );
+    let t_linear = time(
+        || {
+            let mut t = Tape::new();
+            let xv = t.leaf(xf.clone());
+            let y = lin.forward(&mut t, &ps, xv);
+            let l = t.mean_all(y);
+            black_box(t.backward(l, ps.len()));
+        },
+        iters,
+    );
+    // Tape + leaf-clone + trivial backward overhead.
+    let t_tape = time(
+        || {
+            let mut t = Tape::new();
+            let a = t.leaf(x.clone());
+            let l = t.mean_all(a);
+            black_box(t.backward(l, 0));
+        },
+        iters,
+    );
+    println!(
+        "ops fwd+bwd: attn_core {t_attn:.1} us (fwd {t_attn_fwd:.1})  softmax768x6 {t_softmax:.1} us  add[32,6,48] {t_add:.1} us  linear48 {t_linear:.1} us  tape+leaf {t_tape:.1} us"
+    );
+}
+
+fn main() {
+    component_phases();
+    op_phases();
+    train_step_phases();
+    let mut rng = StdRng::seed_from_u64(0);
+    for &(m, k, n) in &[
+        (64usize, 64usize, 64usize),
+        (256, 256, 256),
+        (128, 384, 128),
+        (192, 48, 48),
+        (192, 48, 96),
+        (192, 96, 48),
+        (48, 192, 48),
+    ] {
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        let iters = (50_000_000 / (m * k * n)).max(3);
+        let t_naive = time(
+            || {
+                out.fill(0.0);
+                naive(&a, &b, &mut out, m, k, n);
+                black_box(out[0]);
+            },
+            iters,
+        );
+        let t_blocked = time(
+            || {
+                out.fill(0.0);
+                cf_tensor::matmul_into(&a, &b, &mut out, m, k, n);
+                black_box(out[0]);
+            },
+            iters,
+        );
+        println!("{m}x{k}x{n}: naive {t_naive:.1} us  blocked {t_blocked:.1} us");
+    }
+}

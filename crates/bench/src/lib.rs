@@ -13,6 +13,7 @@
 //! - `CF_EPOCHS` — ChainsFormer training epochs override;
 //! - `CF_OUT` — directory for CSV outputs (default `results/`).
 
+pub mod alloc;
 pub mod ascii_plot;
 pub mod harness;
 pub mod methods;

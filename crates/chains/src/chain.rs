@@ -40,14 +40,25 @@ impl RaChain {
     /// `r_l` is the step adjacent to the query entity. Padding is appended
     /// by the encoder, not here.
     pub fn tokens(&self, vocab: &ChainVocab) -> Vec<usize> {
-        let mut toks = Vec::with_capacity(self.rels.len() + 3);
-        toks.push(vocab.attr_token(self.known_attr));
-        for dr in &self.rels {
-            toks.push(vocab.rel_token(*dr));
-        }
-        toks.push(vocab.attr_token(self.query_attr));
-        toks.push(vocab.end_token());
+        let mut toks = Vec::with_capacity(self.token_len());
+        self.tokens_into(vocab, &mut toks);
         toks
+    }
+
+    /// Number of tokens [`Self::tokens`] produces: `hops + 3` framing.
+    pub fn token_len(&self) -> usize {
+        self.rels.len() + 3
+    }
+
+    /// Appends the token sequence to `out` without allocating — the
+    /// steady-state encoder path writes straight into a pooled flat buffer.
+    pub fn tokens_into(&self, vocab: &ChainVocab, out: &mut Vec<usize>) {
+        out.push(vocab.attr_token(self.known_attr));
+        for dr in &self.rels {
+            out.push(vocab.rel_token(*dr));
+        }
+        out.push(vocab.attr_token(self.query_attr));
+        out.push(vocab.end_token());
     }
 
     /// Human-readable rendering in the paper's Table-V style, e.g.

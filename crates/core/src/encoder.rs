@@ -5,11 +5,11 @@
 
 use crate::config::{ChainsFormerConfig, EncoderKind, ValueEncoding};
 use crate::filter::ChainFilter;
-use crate::value_encoding::{float_bits, log_features, FLOAT_BITS, LOG_FEATURES};
+use crate::value_encoding::{float_bits_into, log_features_into, FLOAT_BITS, LOG_FEATURES};
 use cf_chains::{ChainInstance, ChainVocab};
 use cf_rand::Rng;
-use cf_tensor::nn::{Embedding, Lstm, Mlp, TransformerEncoder};
-use cf_tensor::{Forward, ParamStore, Tensor, Var};
+use cf_tensor::nn::{Embedding, KeyMask, Lstm, Mlp, TransformerEncoder};
+use cf_tensor::{pool, Forward, ParamStore, Tensor, Var};
 
 /// Encodes a batch of RA-Chains into value-aware chain representations
 /// `ẽ_c ∈ R^d` (one row per chain).
@@ -147,50 +147,48 @@ impl ChainEncoder {
             "ChainEncoder::forward on an empty batch"
         );
         let k = chains.len();
-        // Tokenize with padding.
-        let token_lists: Vec<Vec<usize>> =
-            chains.iter().map(|c| c.chain.tokens(&self.vocab)).collect();
-        let t_max = token_lists.iter().map(Vec::len).max().expect("non-empty");
+        // Tokenize with padding, straight into pooled flat buffers — the
+        // steady-state training loop re-enters here every step, so no
+        // per-chain or per-row vectors.
+        let mut lens = pool::ScratchUsize::with_capacity(k);
+        lens.extend(chains.iter().map(|c| c.chain.token_len()));
+        let t_max = lens.iter().copied().max().expect("non-empty");
         assert!(
             t_max <= self.max_len,
             "chain of {t_max} tokens exceeds configured max_len {}",
             self.max_len
         );
         let pad = self.vocab.pad_token();
-        let mut flat_ids = Vec::with_capacity(k * t_max);
-        let mut lens = Vec::with_capacity(k);
-        let mut mask: Vec<Vec<bool>> = Vec::with_capacity(k);
-        for toks in &token_lists {
-            lens.push(toks.len());
-            let mut row_mask = vec![true; toks.len()];
-            row_mask.resize(t_max, false);
-            mask.push(row_mask);
-            flat_ids.extend_from_slice(toks);
-            flat_ids.extend(std::iter::repeat(pad).take(t_max - toks.len()));
+        let mut flat_ids = pool::ScratchUsize::with_capacity(k * t_max);
+        for c in chains {
+            let start = flat_ids.len();
+            c.chain.tokens_into(&self.vocab, &mut flat_ids);
+            flat_ids.resize(start + t_max, pad);
         }
 
         // Token + positional embeddings -> [k, T, d].
         let tok = self.token_emb.forward(t, ps, &flat_ids);
         let mut x = t.reshape(tok, [k, t_max, self.dim].into());
         if let Some(pe) = &self.pos_emb {
-            let pos_ids: Vec<usize> = (0..k).flat_map(|_| 0..t_max).collect();
+            let mut pos_ids = pool::ScratchUsize::with_capacity(k * t_max);
+            for _ in 0..k {
+                pos_ids.extend(0..t_max);
+            }
             let pos = pe.forward(t, ps, &pos_ids);
             let pos = t.reshape(pos, [k, t_max, self.dim].into());
             x = t.add(x, pos);
         }
 
-        // Sequence encoding -> [k, d].
+        // Sequence encoding -> [k, d]. The padding mask is prefix-shaped by
+        // construction, so `lens` itself is the mask.
         let e_c = match self.kind {
             EncoderKind::Transformer => {
                 let enc = self.transformer.as_ref().expect("transformer");
-                let h = enc.forward(t, ps, x, Some(&mask));
+                let h = enc.forward(t, ps, x, Some(KeyMask::PrefixLens(&lens)));
                 // e_end lives at position len-1 of each chain (Eq. 11/13).
                 let flat = t.reshape(h, [k * t_max, self.dim].into());
-                let idx: Vec<usize> = lens
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &l)| i * t_max + l - 1)
-                    .collect();
+                let mut idx = pool::ScratchUsize::with_capacity(k);
+                idx.extend(lens.iter().enumerate().map(|(i, &l)| i * t_max + l - 1));
                 t.select_rows(flat, &idx)
             }
             EncoderKind::Lstm => {
@@ -199,14 +197,15 @@ impl ChainEncoder {
             }
             EncoderKind::MeanPool => {
                 // Masked mean of token embeddings ("w/o Chain Encoder").
-                let w: Vec<f32> = mask
-                    .iter()
-                    .flat_map(|row| row.iter().map(|&m| if m { 1.0 } else { 0.0 }))
-                    .collect();
+                let mut w = pool::take_f32(k * t_max);
+                for &l in lens.iter() {
+                    w.extend((0..t_max).map(|j| if j < l { 1.0 } else { 0.0 }));
+                }
                 let wv = t.constant(Tensor::new([k * t_max], w));
                 let masked = t.scale_rows(x, wv);
                 let summed = t.sum_dim1(masked); // [k, d]
-                let inv: Vec<f32> = lens.iter().map(|&l| 1.0 / l as f32).collect();
+                let mut inv = pool::take_f32(k);
+                inv.extend(lens.iter().map(|&l| 1.0 / l as f32));
                 let invv = t.constant(Tensor::new([k], inv));
                 t.scale_rows(summed, invv)
             }
@@ -227,15 +226,19 @@ impl ChainEncoder {
         let (Some(mlp_a), Some(mlp_b)) = (&self.mlp_alpha, &self.mlp_beta) else {
             return e_c; // ValueEncoding::Disabled
         };
-        let feats: Vec<f32> = chains
-            .iter()
-            .flat_map(|c| match self.value_encoding {
-                ValueEncoding::FloatBits => float_bits(c.value),
-                ValueEncoding::Log => log_features(c.value),
+        let feat_dim = match self.value_encoding {
+            ValueEncoding::FloatBits => FLOAT_BITS,
+            ValueEncoding::Log => LOG_FEATURES,
+            ValueEncoding::Disabled => unreachable!("guarded above"),
+        };
+        let mut feats = pool::take_f32(k * feat_dim);
+        for c in chains {
+            match self.value_encoding {
+                ValueEncoding::FloatBits => float_bits_into(c.value, &mut feats),
+                ValueEncoding::Log => log_features_into(c.value, &mut feats),
                 ValueEncoding::Disabled => unreachable!("guarded above"),
-            })
-            .collect();
-        let feat_dim = feats.len() / k;
+            }
+        }
         let fv = t.constant(Tensor::new([k, feat_dim], feats));
         let alpha = mlp_a.forward(t, ps, fv); // [k, d*d]
         let alpha = t.reshape(alpha, [k, self.dim, self.dim].into());

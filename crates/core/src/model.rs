@@ -214,10 +214,12 @@ impl ChainsFormer {
         let mut tape = Tape::new();
         let out = self.forward(&mut tape, &toc.chains, query);
         let value = tape.value(out.prediction).item() as f64;
+        let weights = tape.value(out.weights).data();
+        let chain_preds = tape.value(out.chain_predictions).data();
         let chains = toc
             .chains
             .iter()
-            .zip(out.weights.iter().zip(&out.chain_predictions))
+            .zip(weights.iter().zip(chain_preds))
             .map(|(ci, (&weight, &prediction))| ExplainedChain {
                 chain: ci.chain.clone(),
                 source: ci.source,
@@ -264,28 +266,40 @@ impl ChainsFormer {
     /// Batched tape-free inference over queries whose chains are already
     /// resolved (the serving engine resolves them through its chain cache).
     ///
-    /// Encodes the concatenation of every job's chains in one pass, then
-    /// runs the reasoner per query on its row range. Jobs with no chains
-    /// fall back to the training mean, exactly like [`Self::predict`].
+    /// Convenience wrapper around [`Self::predict_batch_with_chains_in`]
+    /// with a throwaway context; long-lived callers (serve workers, benches)
+    /// should hold one [`InferCtx`] and reuse it so the numeric substrate
+    /// stops allocating after the first batch.
     pub fn predict_batch_with_chains(&self, jobs: &[ResolvedQuery<'_>]) -> Vec<PredictionDetail> {
+        let mut ctx = InferCtx::new();
+        self.predict_batch_with_chains_in(jobs, &mut ctx)
+    }
+
+    /// [`Self::predict_batch_with_chains`] running on a caller-owned
+    /// [`InferCtx`]. The context is cleared on entry; its value arena (and,
+    /// through the tensor buffer pool, every op's scratch) is reused across
+    /// calls, so a warm worker serves predictions without touching the heap
+    /// in the model forward.
+    pub fn predict_batch_with_chains_in(
+        &self,
+        jobs: &[ResolvedQuery<'_>],
+        ctx: &mut InferCtx,
+    ) -> Vec<PredictionDetail> {
+        ctx.clear();
         let mut all_chains: Vec<ChainInstance> = Vec::new();
         // Per job: start row of its chains in the concatenated batch.
-        let starts: Vec<usize> = jobs
-            .iter()
-            .map(|(_, chains, _)| {
-                let start = all_chains.len();
-                all_chains.extend_from_slice(chains);
-                start
-            })
-            .collect();
-        let mut ctx = InferCtx::new();
+        let mut starts = cf_tensor::pool::ScratchUsize::with_capacity(jobs.len());
+        for (_, chains, _) in jobs {
+            starts.push(all_chains.len());
+            all_chains.extend_from_slice(chains);
+        }
         let e_all = if all_chains.is_empty() {
             None
         } else {
-            Some(self.encoder.forward(&mut ctx, &self.params, &all_chains))
+            Some(self.encoder.forward(ctx, &self.params, &all_chains))
         };
         jobs.iter()
-            .zip(&starts)
+            .zip(starts.iter())
             .map(|(&(query, chains, retrieved), &start)| {
                 if chains.is_empty() {
                     return PredictionDetail {
@@ -296,20 +310,18 @@ impl ChainsFormer {
                         chains: Vec::new(),
                     };
                 }
-                let idx: Vec<usize> = (start..start + chains.len()).collect();
+                let mut idx = cf_tensor::pool::ScratchUsize::with_capacity(chains.len());
+                idx.extend(start..start + chains.len());
                 let e_q = ctx.select_rows(e_all.expect("non-empty batch"), &idx);
-                let out = self.reasoner.forward(
-                    &mut ctx,
-                    &self.params,
-                    e_q,
-                    chains,
-                    &self.norm,
-                    query.attr,
-                );
+                let out =
+                    self.reasoner
+                        .forward(ctx, &self.params, e_q, chains, &self.norm, query.attr);
                 let value = ctx.value(out.prediction).item() as f64;
+                let weights = ctx.value(out.weights).data();
+                let chain_preds = ctx.value(out.chain_predictions).data();
                 let explained = chains
                     .iter()
-                    .zip(out.weights.iter().zip(&out.chain_predictions))
+                    .zip(weights.iter().zip(chain_preds))
                     .map(|(ci, (&weight, &prediction))| ExplainedChain {
                         chain: ci.chain.clone(),
                         source: ci.source,

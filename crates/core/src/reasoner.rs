@@ -10,13 +10,18 @@ use cf_tensor::nn::{Activation, Embedding, Mlp, TransformerEncoder};
 use cf_tensor::{Forward, ParamStore, Tensor, Var};
 
 /// Output of one reasoning pass.
+///
+/// All three fields are tape/context nodes rather than materialized vectors:
+/// consumers that need the evaluated numbers (explanation traces, quality
+/// tracking) read them through [`Forward::value`] at the boundary, so the
+/// steady-state forward pass allocates nothing for its outputs.
 pub struct ReasonerOutput {
     /// Final prediction `n̂_q` (raw attribute units) as a scalar tape node.
     pub prediction: Var,
-    /// Per-chain importance scores `ω` (evaluated, for explainability).
-    pub weights: Vec<f32>,
-    /// Per-chain predictions `n̂_{p_i}` (evaluated, raw units).
-    pub chain_predictions: Vec<f32>,
+    /// Per-chain importance scores `ω` (`[k]` node, for explainability).
+    pub weights: Var,
+    /// Per-chain predictions `n̂_{p_i}` (`[k]` node, raw units).
+    pub chain_predictions: Var,
 }
 
 /// Weighted numerical inference over the Enhanced ToC.
@@ -105,13 +110,13 @@ impl NumericalReasoner {
         let range = norm.range(query_attr) as f32;
         let min = norm.min(query_attr) as f32;
         // n_p normalized by the *known* attribute of each chain.
-        let n_p_norm = Tensor::new(
-            [k],
+        let mut n_p_data = cf_tensor::pool::take_f32(k);
+        n_p_data.extend(
             chains
                 .iter()
-                .map(|c| norm.normalize(c.chain.known_attr, c.value) as f32)
-                .collect::<Vec<_>>(),
+                .map(|c| norm.normalize(c.chain.known_attr, c.value) as f32),
         );
+        let n_p_norm = Tensor::new([k], n_p_data);
 
         // ---- Numerical Prediction (Eq. 17-19), in normalized space -------
         let head = self.proj_mlp.forward(t, ps, e_tilde); // [k, 1|2]
@@ -152,10 +157,8 @@ impl NumericalReasoner {
         let omega = if self.chain_weighting && k > 1 {
             let tree = self.treeformer.as_ref().expect("treeformer");
             // C^(0) = chain reps + length encoding; no positional encoding.
-            let len_ids: Vec<usize> = chains
-                .iter()
-                .map(|c| c.chain.hops().min(self.max_hops))
-                .collect();
+            let mut len_ids = cf_tensor::pool::ScratchUsize::with_capacity(k);
+            len_ids.extend(chains.iter().map(|c| c.chain.hops().min(self.max_hops)));
             let lens = self.len_emb.forward(t, ps, &len_ids); // [k, d]
             let c0 = t.add(e_tilde, lens);
             let c0 = t.reshape(c0, [1, k, self.dim].into());
@@ -174,8 +177,8 @@ impl NumericalReasoner {
 
         ReasonerOutput {
             prediction,
-            weights: t.value(omega).data().to_vec(),
-            chain_predictions: t.value(n_hat).data().to_vec(),
+            weights: omega,
+            chain_predictions: n_hat,
         }
     }
 }
@@ -244,38 +247,44 @@ mod tests {
         (r, ps, cfg)
     }
 
-    fn run(projection: Projection, weighting: bool, values: &[f64]) -> ReasonerOutput {
+    /// Runs one reasoning pass and materializes (weights, chain predictions)
+    /// before the tape drops (the output holds tape nodes, not vectors).
+    fn run(projection: Projection, weighting: bool, values: &[f64]) -> (Vec<f32>, Vec<f32>) {
         let (r, ps, cfg) = build(projection, weighting);
         let mut t = Tape::new();
         let e = t.leaf(Tensor::new(
             [values.len(), cfg.dim],
             vec![0.05; values.len() * cfg.dim],
         ));
-        r.forward(&mut t, &ps, e, &chains(values), &norm(), AttributeId(0))
+        let out = r.forward(&mut t, &ps, e, &chains(values), &norm(), AttributeId(0));
+        (
+            t.value(out.weights).data().to_vec(),
+            t.value(out.chain_predictions).data().to_vec(),
+        )
     }
 
     #[test]
     fn weights_are_a_distribution() {
-        let out = run(Projection::Scaling, true, &[10.0, 20.0, 30.0]);
-        let sum: f32 = out.weights.iter().sum();
+        let (weights, _) = run(Projection::Scaling, true, &[10.0, 20.0, 30.0]);
+        let sum: f32 = weights.iter().sum();
         assert!((sum - 1.0).abs() < 1e-5, "weights sum to {sum}");
-        assert!(out.weights.iter().all(|&w| w >= 0.0));
+        assert!(weights.iter().all(|&w| w >= 0.0));
     }
 
     #[test]
     fn uniform_weights_without_weighting() {
-        let out = run(Projection::Scaling, false, &[10.0, 20.0]);
-        assert_eq!(out.weights, vec![0.5, 0.5]);
+        let (weights, _) = run(Projection::Scaling, false, &[10.0, 20.0]);
+        assert_eq!(weights, vec![0.5, 0.5]);
     }
 
     #[test]
     fn scaling_starts_near_identity() {
         // α = 1 + MLP(·) with a small init keeps n̂ ≈ n_p at step 0.
-        let out = run(Projection::Scaling, false, &[50.0]);
+        let (_, chain_preds) = run(Projection::Scaling, false, &[50.0]);
         assert!(
-            (out.chain_predictions[0] - 50.0).abs() < 25.0,
+            (chain_preds[0] - 50.0).abs() < 25.0,
             "scaling init far from identity: {}",
-            out.chain_predictions[0]
+            chain_preds[0]
         );
     }
 
@@ -287,20 +296,15 @@ mod tests {
             Projection::Scaling,
             Projection::Combined,
         ] {
-            let out = run(p, true, &[1.0, 1e6, -40.0]);
-            assert!(out.chain_predictions.iter().all(|x| x.is_finite()), "{p:?}");
+            let (_, chain_preds) = run(p, true, &[1.0, 1e6, -40.0]);
+            assert!(chain_preds.iter().all(|x| x.is_finite()), "{p:?}");
         }
     }
 
     #[test]
     fn prediction_is_weighted_sum_of_chain_predictions() {
-        let out = run(Projection::Scaling, true, &[10.0, 30.0, 90.0]);
-        let manual: f32 = out
-            .weights
-            .iter()
-            .zip(&out.chain_predictions)
-            .map(|(w, p)| w * p)
-            .sum();
+        let (weights, chain_preds) = run(Projection::Scaling, true, &[10.0, 30.0, 90.0]);
+        let manual: f32 = weights.iter().zip(&chain_preds).map(|(w, p)| w * p).sum();
         // Reconstruct prediction value from parts (Eq. 22).
         // The tape value is checked by the model tests; here compare parts.
         assert!(manual.is_finite());
@@ -308,8 +312,8 @@ mod tests {
 
     #[test]
     fn single_chain_short_circuits_weighting() {
-        let out = run(Projection::Scaling, true, &[42.0]);
-        assert_eq!(out.weights, vec![1.0]);
+        let (weights, _) = run(Projection::Scaling, true, &[42.0]);
+        assert_eq!(weights, vec![1.0]);
     }
 
     #[test]

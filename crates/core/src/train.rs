@@ -66,9 +66,11 @@ impl<'a> Trainer<'a> {
             let mut counted = 0usize;
             let mut skipped = 0usize;
 
+            // Hoisted across batches: only grows to the batch size once.
+            let mut losses = Vec::with_capacity(cfg.batch_size);
             for batch in order.chunks(cfg.batch_size) {
                 let mut tape = Tape::new();
-                let mut losses = Vec::with_capacity(batch.len());
+                losses.clear();
                 for &qi in batch {
                     let triple = split.train[qi];
                     let query = Query {
@@ -87,7 +89,7 @@ impl<'a> Trainer<'a> {
                         let errs: Vec<(cf_chains::RaChain, f64)> = toc
                             .chains
                             .iter()
-                            .zip(&out.chain_predictions)
+                            .zip(tape.value(out.chain_predictions).data())
                             .map(|(ci, &p)| {
                                 let pn = self.model.normalizer().normalize(query.attr, p as f64);
                                 (ci.chain.clone(), (pn - truth_norm).abs())

@@ -11,23 +11,36 @@ pub const LOG_FEATURES: usize = 4;
 /// representation (sign, exponent, mantissa — a machine-friendly
 /// scientific notation, per the paper's NLP-number-encoding inspiration).
 pub fn float_bits(value: f64) -> Vec<f32> {
+    let mut out = Vec::with_capacity(FLOAT_BITS);
+    float_bits_into(value, &mut out);
+    out
+}
+
+/// [`float_bits`] appended to `out` — lets the encoder fill one pooled
+/// feature buffer for a whole batch without per-chain allocations.
+pub fn float_bits_into(value: f64, out: &mut Vec<f32>) {
     let bits = value.to_bits();
-    (0..FLOAT_BITS)
-        .map(|i| ((bits >> (FLOAT_BITS - 1 - i)) & 1) as f32)
-        .collect()
+    out.extend((0..FLOAT_BITS).map(|i| ((bits >> (FLOAT_BITS - 1 - i)) & 1) as f32));
 }
 
 /// Ablation variant: `[sign, log1p(|v|), fractional part of log10|v|,
 /// 1/(1+|v|)]` — a compact magnitude descriptor.
 pub fn log_features(value: f64) -> Vec<f32> {
+    let mut out = Vec::with_capacity(LOG_FEATURES);
+    log_features_into(value, &mut out);
+    out
+}
+
+/// [`log_features`] appended to `out`, allocation-free.
+pub fn log_features_into(value: f64, out: &mut Vec<f32>) {
     let mag = value.abs();
     let log10 = if mag > 0.0 { mag.log10() } else { 0.0 };
-    vec![
+    out.extend([
         value.signum() as f32,
         (mag.ln_1p() / 25.0) as f32, // ~unit scale up to e^25
         (log10 - log10.floor()) as f32,
         (1.0 / (1.0 + mag)) as f32,
-    ]
+    ]);
 }
 
 #[cfg(test)]

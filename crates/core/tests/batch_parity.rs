@@ -51,21 +51,26 @@ fn tape_free_forward_is_bitwise_equal_to_taped() {
             "prediction bits diverged for {q:?}"
         );
         assert_eq!(
-            taped
-                .weights
+            tape.value(taped.weights)
+                .data()
                 .iter()
                 .map(|w| w.to_bits())
                 .collect::<Vec<_>>(),
-            free.weights.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            ctx.value(free.weights)
+                .data()
+                .iter()
+                .map(|w| w.to_bits())
+                .collect::<Vec<_>>(),
             "weights diverged for {q:?}"
         );
         assert_eq!(
-            taped
-                .chain_predictions
+            tape.value(taped.chain_predictions)
+                .data()
                 .iter()
                 .map(|p| p.to_bits())
                 .collect::<Vec<_>>(),
-            free.chain_predictions
+            ctx.value(free.chain_predictions)
+                .data()
                 .iter()
                 .map(|p| p.to_bits())
                 .collect::<Vec<_>>(),

@@ -250,12 +250,16 @@ impl Drop for Engine {
 }
 
 fn worker_loop(shared: &Shared) {
+    // One inference context per worker, reused across batches: after the
+    // first batch its value arena and the thread's tensor buffer pool are
+    // warm, so steady-state forwards never touch the global allocator.
+    let mut ctx = cf_tensor::InferCtx::new();
     loop {
         let batch = collect_batch(shared);
         if batch.is_empty() {
             return; // shutdown requested and the queue is drained
         }
-        process_batch(shared, batch);
+        process_batch(shared, batch, &mut ctx);
     }
 }
 
@@ -302,7 +306,7 @@ fn collect_batch(shared: &Shared) -> Vec<Job> {
     batch
 }
 
-fn process_batch(shared: &Shared, batch: Vec<Job>) {
+fn process_batch(shared: &Shared, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx) {
     let m = &shared.metrics;
     m.batch_size.record(batch.len() as u64);
     let now = Instant::now();
@@ -358,7 +362,7 @@ fn process_batch(shared: &Shared, batch: Vec<Job>) {
         .zip(&resolved)
         .map(|(job, (c, _))| (job.query, c.chains.as_slice(), c.retrieved))
         .collect();
-    let details = shared.model.predict_batch_with_chains(&jobs_view);
+    let details = shared.model.predict_batch_with_chains_in(&jobs_view, ctx);
 
     let batch_size = live.len();
     for ((job, detail), (_, cache_hit)) in live.into_iter().zip(details).zip(&resolved) {

@@ -288,12 +288,8 @@ impl Forward for InferCtx {
             bv.numel()
         );
         let mut out = av.clone();
-        for row in 0..out.shape().leading() {
-            let base = row * d;
-            for j in 0..d {
-                out.data_mut()[base + j] += bv.data()[j];
-            }
-        }
+        let rows = out.shape().leading();
+        crate::ops::elementwise::add_bias_rows(out.data_mut(), bv.data(), rows, d);
         self.push(out)
     }
 
@@ -308,12 +304,8 @@ impl Forward for InferCtx {
             bv.numel()
         );
         let mut out = av.clone();
-        for row in 0..out.shape().leading() {
-            let base = row * d;
-            for j in 0..d {
-                out.data_mut()[base + j] *= bv.data()[j];
-            }
-        }
+        let rows = out.shape().leading();
+        crate::ops::elementwise::mul_rows(out.data_mut(), bv.data(), rows, d);
         self.push(out)
     }
 
@@ -329,12 +321,7 @@ impl Forward for InferCtx {
             wv.numel()
         );
         let mut out = av.clone();
-        for r in 0..rows {
-            let s = wv.data()[r];
-            for x in &mut out.data_mut()[r * d..(r + 1) * d] {
-                *x *= s;
-            }
-        }
+        crate::ops::elementwise::scale_rows_inplace(out.data_mut(), wv.data(), rows, d);
         self.push(out)
     }
 
@@ -382,23 +369,20 @@ impl Forward for InferCtx {
             start + len
         );
         let rows = av.shape().leading();
-        let mut out = Vec::with_capacity(rows * len);
+        let mut out = crate::pool::take_f32(rows * len);
         for r in 0..rows {
             out.extend_from_slice(&av.data()[r * d + start..r * d + start + len]);
         }
-        let mut shape = av.shape().0.clone();
-        *shape.last_mut().unwrap() = len;
+        let shape = av.shape().with_last(len);
         self.push(Tensor::new(shape, out))
     }
 
     fn concat_last(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_last of zero tensors");
         let rows = self.value(parts[0]).shape().leading();
-        let widths: Vec<usize> = parts
-            .iter()
-            .map(|&p| self.value(p).shape().last_dim())
-            .collect();
+        let mut widths = crate::pool::ScratchUsize::with_capacity(parts.len());
         for &p in parts {
+            widths.push(self.value(p).shape().last_dim());
             assert_eq!(
                 self.value(p).shape().leading(),
                 rows,
@@ -406,15 +390,14 @@ impl Forward for InferCtx {
             );
         }
         let total: usize = widths.iter().sum();
-        let mut out = Vec::with_capacity(rows * total);
+        let mut out = crate::pool::take_f32(rows * total);
         for r in 0..rows {
-            for (&p, &w) in parts.iter().zip(&widths) {
+            for (&p, &w) in parts.iter().zip(widths.iter()) {
                 let v = self.value(p);
                 out.extend_from_slice(&v.data()[r * w..(r + 1) * w]);
             }
         }
-        let mut shape = self.value(parts[0]).shape().0.clone();
-        *shape.last_mut().unwrap() = total;
+        let shape = self.value(parts[0]).shape().with_last(total);
         self.push(Tensor::new(shape, out))
     }
 
@@ -422,7 +405,7 @@ impl Forward for InferCtx {
         let av = self.value(a);
         let d = av.shape().last_dim();
         let rows = av.shape().leading();
-        let mut out = Vec::with_capacity(indices.len() * d);
+        let mut out = crate::pool::take_f32(indices.len() * d);
         for &i in indices {
             assert!(i < rows, "select_rows index {i} out of {rows} rows");
             out.extend_from_slice(&av.data()[i * d..(i + 1) * d]);
@@ -433,7 +416,7 @@ impl Forward for InferCtx {
     fn stack_rows(&mut self, rows: &[Var]) -> Var {
         assert!(!rows.is_empty(), "stack_rows of zero vectors");
         let d = self.value(rows[0]).numel();
-        let mut out = Vec::with_capacity(rows.len() * d);
+        let mut out = crate::pool::take_f32(rows.len() * d);
         for &r in rows {
             let v = self.value(r);
             assert_eq!(v.numel(), d, "stack_rows length mismatch");
@@ -445,7 +428,9 @@ impl Forward for InferCtx {
     fn row(&mut self, a: Var, i: usize) -> Var {
         let av = self.value(a);
         let d = av.shape().last_dim();
-        let value = Tensor::new([d], av.row(i).to_vec());
+        let mut data = crate::pool::take_f32(d);
+        data.extend_from_slice(av.row(i));
+        let value = Tensor::new([d], data);
         self.push(value)
     }
 
@@ -457,7 +442,7 @@ impl Forward for InferCtx {
     fn sum_dim1(&mut self, a: Var) -> Var {
         let (b, tt, d) = self.value(a).shape().as_batch_matrix();
         let av = self.value(a);
-        let mut out = vec![0.0f32; b * d];
+        let mut out = crate::pool::take_f32_zeroed(b * d);
         for bi in 0..b {
             for ti in 0..tt {
                 let base = (bi * tt + ti) * d;
@@ -485,7 +470,9 @@ impl Forward for InferCtx {
         let d = av.shape().last_dim();
         let rows = av.shape().leading();
         let mut out = av.clone();
-        layer_norm_rows(out.data_mut(), rows, d, eps);
+        // The per-row 1/σ is backward-only state; recycle it immediately so
+        // the serve path doesn't bleed one pooled buffer per layer-norm.
+        crate::pool::recycle_f32(layer_norm_rows(out.data_mut(), rows, d, eps));
         self.push(out)
     }
 
@@ -520,7 +507,9 @@ impl Forward for InferCtx {
                 "fused_attention mask shape mismatch"
             );
         }
-        let probs = attn_probs_forward(
+        // Pooled scratch: the probabilities are only an intermediate here
+        // (no backward pass), so they recycle as soon as the merge is done.
+        let probs = crate::pool::ScratchF32(attn_probs_forward(
             self.value(q).data(),
             self.value(k).data(),
             add_mask,
@@ -529,7 +518,7 @@ impl Forward for InferCtx {
             d,
             heads,
             scale,
-        );
+        ));
         let merged = attn_merge_forward(&probs, self.value(v).data(), bsz, seq, d, heads);
         self.push(Tensor::new([bsz, seq, d], merged))
     }
@@ -538,7 +527,7 @@ impl Forward for InferCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::nn::{Activation, Mlp, MultiHeadAttention, TransformerEncoder};
+    use crate::nn::{Activation, KeyMask, Mlp, MultiHeadAttention, TransformerEncoder};
     use cf_rand::rngs::StdRng;
     use cf_rand::{Rng, SeedableRng};
 
@@ -590,7 +579,7 @@ mod tests {
             f.layer_norm_last(a, 1e-5),
             f.fused_attention(a, b, a, 2, 0.5, Some(&inp.mask)),
         ];
-        let r = f.reshape(a, Shape(vec![2, 4, 3]));
+        let r = f.reshape(a, Shape::from([2, 4, 3]));
         vars.push(f.bmm(a, r));
         let r0 = f.row(x1, 0);
         let r3 = f.row(x1, 3);
@@ -637,15 +626,15 @@ mod tests {
 
         let mut tape = Tape::new();
         let xv = Forward::leaf(&mut tape, x.clone());
-        let h = enc.forward(&mut tape, &ps, xv, Some(&key_mask));
-        let flat = Forward::reshape(&mut tape, h, Shape(vec![15, 16]));
+        let h = enc.forward(&mut tape, &ps, xv, Some(KeyMask::Rows(&key_mask)));
+        let flat = Forward::reshape(&mut tape, h, Shape::from([15, 16]));
         let y = head.forward(&mut tape, &ps, flat);
         let taped = Forward::value(&tape, y).data().to_vec();
 
         let mut ctx = InferCtx::new();
         let xv = ctx.leaf(x);
-        let h = enc.forward(&mut ctx, &ps, xv, Some(&key_mask));
-        let flat = ctx.reshape(h, Shape(vec![15, 16]));
+        let h = enc.forward(&mut ctx, &ps, xv, Some(KeyMask::Rows(&key_mask)));
+        let flat = ctx.reshape(h, Shape::from([15, 16]));
         let y = head.forward(&mut ctx, &ps, flat);
         assert_eq!(ctx.value(y).data(), taped.as_slice());
     }
@@ -666,12 +655,12 @@ mod tests {
         let mut c1 = InferCtx::new();
         let xv = c1.leaf(x);
         let mask3 = vec![vec![true; 3]];
-        let y3 = mha.forward(&mut c1, &ps, xv, Some(&mask3));
+        let y3 = mha.forward(&mut c1, &ps, xv, Some(KeyMask::Rows(&mask3)));
 
         let mut c2 = InferCtx::new();
         let xv = c2.leaf(padded);
         let mask5 = vec![vec![true, true, true, false, false]];
-        let y5 = mha.forward(&mut c2, &ps, xv, Some(&mask5));
+        let y5 = mha.forward(&mut c2, &ps, xv, Some(KeyMask::Rows(&mask5)));
 
         let short = c1.value(y3).data();
         let long = &c2.value(y5).data()[..3 * 8];

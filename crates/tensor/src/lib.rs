@@ -17,6 +17,10 @@
 //! - [`nn`] — Linear/MLP/Embedding/LayerNorm, multi-head attention,
 //!   encoder-only Transformers, and an LSTM for the paper's ablation;
 //! - [`optim`] — Adam (paper default) and SGD with global-norm clipping;
+//! - [`pool`] — thread-local size-bucketed buffer pool behind every tensor
+//!   and scratch allocation (zero steady-state heap traffic per step);
+//! - `simd` (internal) — runtime AVX2/AVX-512 dispatch for the hot kernels,
+//!   bitwise-identical across tiers because no fast-math is ever enabled;
 //! - [`gradcheck`] — finite-difference gradient checking used across tests.
 //!
 //! ## Example
@@ -46,10 +50,14 @@ pub mod nn;
 pub mod ops;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod serialize;
 pub mod shape;
+pub(crate) mod simd;
 pub mod tape;
 pub mod tensor;
+#[cfg(test)]
+mod test_alloc;
 
 pub use infer::{Forward, InferCtx};
 pub use init::Init;

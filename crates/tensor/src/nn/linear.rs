@@ -101,9 +101,7 @@ impl Linear {
             y = t.add_bias(y, bv);
         }
         if shape.rank() != 2 {
-            let mut out_shape = shape.0;
-            *out_shape.last_mut().unwrap() = self.out_dim;
-            y = t.reshape(y, out_shape.into());
+            y = t.reshape(y, shape.with_last(self.out_dim));
         }
         y
     }

@@ -1,7 +1,7 @@
 //! Encoder-only Transformer (post-LN, as in Vaswani et al. and the paper's
 //! Chain Encoder / Treeformer).
 
-use super::attention::MultiHeadAttention;
+use super::attention::{KeyMask, MultiHeadAttention};
 use super::linear::{LayerNorm, Linear};
 use crate::infer::Forward;
 use crate::params::ParamStore;
@@ -44,7 +44,7 @@ impl TransformerEncoderLayer {
         t: &mut F,
         ps: &ParamStore,
         x: Var,
-        key_mask: Option<&[Vec<bool>]>,
+        key_mask: Option<KeyMask<'_>>,
     ) -> Var {
         let attended = self.attn.forward(t, ps, x, key_mask);
         let res1 = t.add(x, attended);
@@ -106,7 +106,7 @@ impl TransformerEncoder {
         t: &mut F,
         ps: &ParamStore,
         x: Var,
-        key_mask: Option<&[Vec<bool>]>,
+        key_mask: Option<KeyMask<'_>>,
     ) -> Var {
         let mut h = x;
         for layer in &self.layers {

@@ -74,69 +74,27 @@ impl Tape {
             heads,
             scale,
         );
-        let pnode = self.push(Tensor::new([bsz * heads, seq, seq], probs), None);
-        self.nodes[pnode.0].backward = Some(Box::new(move |g, t, grads| {
+        let pnode = self.push_value(Tensor::new([bsz * heads, seq, seq], probs));
+        self.set_bwd(pnode, move |g, t, grads| {
             let qv = t.value(q);
             let kv = t.value(k);
             let (bsz, seq, d) = qv.shape().as_batch_matrix();
-            let dh = d / heads;
             let y = t.value(pnode);
             // Fold the softmax backward and the scale into the score
             // gradient: ds = scale·(y ⊙ (g − ⟨y, g⟩)) per row, the exact
             // composition of the softmax_last and mul_scalar rules.
             let rows = bsz * heads * seq;
-            let mut ds = vec![0.0f32; rows * seq];
-            for r in 0..rows {
-                let yr = &y.data()[r * seq..(r + 1) * seq];
-                let gr = &g.data()[r * seq..(r + 1) * seq];
-                let mut dot = 0.0f32;
-                for j in 0..seq {
-                    dot += yr[j] * gr[j];
-                }
-                let dsr = &mut ds[r * seq..(r + 1) * seq];
-                for j in 0..seq {
-                    dsr[j] = scale * (yr[j] * (gr[j] - dot));
-                }
-            }
-            // dQ[i] += Σ_j ds[i][j]·K[j] (head-strided; j ascending).
-            let q_shape = qv.shape().clone();
+            let mut ds = crate::pool::ScratchF32::zeroed(rows * seq);
+            attn_dscore_rows(y.data(), g.data(), &mut ds, rows, seq, scale);
+            let q_shape = *qv.shape();
             grads.accumulate_with(q, &q_shape, |dst| {
-                for bi in 0..bsz {
-                    for h in 0..heads {
-                        let off = h * dh;
-                        for i in 0..seq {
-                            let dsr = &ds[((bi * heads + h) * seq + i) * seq..][..seq];
-                            let drow = &mut dst[(bi * seq + i) * d + off..][..dh];
-                            for (j, &s) in dsr.iter().enumerate() {
-                                let krow = &kv.data()[(bi * seq + j) * d + off..][..dh];
-                                for p in 0..dh {
-                                    drow[p] += s * krow[p];
-                                }
-                            }
-                        }
-                    }
-                }
+                attn_dq(&ds, kv.data(), dst, bsz, seq, d, heads);
             });
-            // dK[j] += Σ_i Q[i]·ds[i][j] (head-strided; i ascending).
-            let k_shape = kv.shape().clone();
+            let k_shape = *kv.shape();
             grads.accumulate_with(k, &k_shape, |dst| {
-                for bi in 0..bsz {
-                    for h in 0..heads {
-                        let off = h * dh;
-                        for i in 0..seq {
-                            let dsr = &ds[((bi * heads + h) * seq + i) * seq..][..seq];
-                            let qrow = &qv.data()[(bi * seq + i) * d + off..][..dh];
-                            for (j, &s) in dsr.iter().enumerate() {
-                                let drow = &mut dst[(bi * seq + j) * d + off..][..dh];
-                                for p in 0..dh {
-                                    drow[p] += qrow[p] * s;
-                                }
-                            }
-                        }
-                    }
-                }
+                attn_dk(&ds, qv.data(), dst, bsz, seq, d, heads);
             });
-        }));
+        });
 
         // Node 2: merged[bi, i, h·d_h + p] = Σ_t probs[(bi·H + h), i, t]·V[t]
         // — the per-head context vectors written straight into their packed
@@ -149,57 +107,23 @@ impl Tape {
             d,
             heads,
         );
-        self.push(
-            Tensor::new([bsz, seq, d], merged),
-            Some(Box::new(move |g, t, grads| {
-                let pv = t.value(pnode);
-                let vv = t.value(v);
-                let (bsz, seq, d) = vv.shape().as_batch_matrix();
-                let dh = d / heads;
-                // dprobs[i][t] = ⟨g[i], V[t]⟩ per head band (p ascending).
-                let p_shape = pv.shape().clone();
-                grads.accumulate_with(pnode, &p_shape, |dst| {
-                    for bi in 0..bsz {
-                        for h in 0..heads {
-                            let off = h * dh;
-                            for i in 0..seq {
-                                let gr = &g.data()[(bi * seq + i) * d + off..][..dh];
-                                let drow = &mut dst[((bi * heads + h) * seq + i) * seq..][..seq];
-                                for (t_, slot) in drow.iter_mut().enumerate() {
-                                    let vrow = &vv.data()[(bi * seq + t_) * d + off..][..dh];
-                                    let mut s = 0.0f32;
-                                    for p in 0..dh {
-                                        s += gr[p] * vrow[p];
-                                    }
-                                    *slot += s;
-                                }
-                            }
-                        }
-                    }
-                });
-                // dV[t] += Σ_i probs[i][t]·g[i] per head band (i ascending).
-                let v_shape = vv.shape().clone();
-                grads.accumulate_with(v, &v_shape, |dst| {
-                    for bi in 0..bsz {
-                        for h in 0..heads {
-                            let off = h * dh;
-                            for i in 0..seq {
-                                let gr = &g.data()[(bi * seq + i) * d + off..][..dh];
-                                let prow = &pv.data()[((bi * heads + h) * seq + i) * seq..][..seq];
-                                for (t_, &s) in prow.iter().enumerate() {
-                                    let drow = &mut dst[(bi * seq + t_) * d + off..][..dh];
-                                    for p in 0..dh {
-                                        drow[p] += s * gr[p];
-                                    }
-                                }
-                            }
-                        }
-                    }
-                });
-            })),
-        )
+        self.push_bwd(Tensor::new([bsz, seq, d], merged), move |g, t, grads| {
+            let pv = t.value(pnode);
+            let vv = t.value(v);
+            let (bsz, seq, d) = vv.shape().as_batch_matrix();
+            let p_shape = *pv.shape();
+            grads.accumulate_with(pnode, &p_shape, |dst| {
+                attn_dprobs(g.data(), vv.data(), dst, bsz, seq, d, heads);
+            });
+            let v_shape = *vv.shape();
+            grads.accumulate_with(v, &v_shape, |dst| {
+                attn_dv(pv.data(), g.data(), dst, bsz, seq, d, heads);
+            });
+        })
     }
 }
+
+crate::simd::simd_hot! {
 
 /// Forward half of the probability node: `softmax_j(scale·⟨q_i, k_j⟩ + m_ij)`
 /// per head band, producing the flat `[B·H, T, T]` buffer. Shared with the
@@ -216,7 +140,7 @@ pub(crate) fn attn_probs_forward(
     scale: f32,
 ) -> Vec<f32> {
     let dh = d / heads;
-    let mut probs = vec![0.0f32; bsz * heads * seq * seq];
+    let mut probs = crate::pool::take_f32_zeroed(bsz * heads * seq * seq);
     for bi in 0..bsz {
         for h in 0..heads {
             let off = h * dh;
@@ -253,7 +177,7 @@ pub(crate) fn attn_merge_forward(
     heads: usize,
 ) -> Vec<f32> {
     let dh = d / heads;
-    let mut merged = vec![0.0f32; bsz * seq * d];
+    let mut merged = crate::pool::take_f32_zeroed(bsz * seq * d);
     for bi in 0..bsz {
         for h in 0..heads {
             let off = h * dh;
@@ -270,6 +194,147 @@ pub(crate) fn attn_merge_forward(
         }
     }
     merged
+}
+
+/// Backward of the softmax-probability node folded with the `scale` factor:
+/// `ds = scale·(y ⊙ (g − ⟨y, g⟩))` per row — the exact composition of the
+/// softmax_last and mul_scalar rules (dot ascending in `j`).
+pub(crate) fn attn_dscore_rows(
+    yd: &[f32],
+    gd: &[f32],
+    ds: &mut [f32],
+    rows: usize,
+    seq: usize,
+    scale: f32,
+) {
+    for r in 0..rows {
+        let yr = &yd[r * seq..(r + 1) * seq];
+        let gr = &gd[r * seq..(r + 1) * seq];
+        let mut dot = 0.0f32;
+        for j in 0..seq {
+            dot += yr[j] * gr[j];
+        }
+        let dsr = &mut ds[r * seq..(r + 1) * seq];
+        for j in 0..seq {
+            dsr[j] = scale * (yr[j] * (gr[j] - dot));
+        }
+    }
+}
+
+/// `dQ[i] += Σ_j ds[i][j]·K[j]` per head band (j ascending).
+pub(crate) fn attn_dq(
+    ds: &[f32],
+    kd: &[f32],
+    dst: &mut [f32],
+    bsz: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+) {
+    let dh = d / heads;
+    for bi in 0..bsz {
+        for h in 0..heads {
+            let off = h * dh;
+            for i in 0..seq {
+                let dsr = &ds[((bi * heads + h) * seq + i) * seq..][..seq];
+                let drow = &mut dst[(bi * seq + i) * d + off..][..dh];
+                for (j, &s) in dsr.iter().enumerate() {
+                    let krow = &kd[(bi * seq + j) * d + off..][..dh];
+                    for p in 0..dh {
+                        drow[p] += s * krow[p];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `dK[j] += Σ_i Q[i]·ds[i][j]` per head band (i ascending).
+pub(crate) fn attn_dk(
+    ds: &[f32],
+    qd: &[f32],
+    dst: &mut [f32],
+    bsz: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+) {
+    let dh = d / heads;
+    for bi in 0..bsz {
+        for h in 0..heads {
+            let off = h * dh;
+            for i in 0..seq {
+                let dsr = &ds[((bi * heads + h) * seq + i) * seq..][..seq];
+                let qrow = &qd[(bi * seq + i) * d + off..][..dh];
+                for (j, &s) in dsr.iter().enumerate() {
+                    let drow = &mut dst[(bi * seq + j) * d + off..][..dh];
+                    for p in 0..dh {
+                        drow[p] += qrow[p] * s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `dprobs[i][t] = ⟨g[i], V[t]⟩` per head band (p ascending).
+pub(crate) fn attn_dprobs(
+    gd: &[f32],
+    vd: &[f32],
+    dst: &mut [f32],
+    bsz: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+) {
+    let dh = d / heads;
+    for bi in 0..bsz {
+        for h in 0..heads {
+            let off = h * dh;
+            for i in 0..seq {
+                let gr = &gd[(bi * seq + i) * d + off..][..dh];
+                let drow = &mut dst[((bi * heads + h) * seq + i) * seq..][..seq];
+                for (t_, slot) in drow.iter_mut().enumerate() {
+                    let vrow = &vd[(bi * seq + t_) * d + off..][..dh];
+                    let mut s = 0.0f32;
+                    for p in 0..dh {
+                        s += gr[p] * vrow[p];
+                    }
+                    *slot += s;
+                }
+            }
+        }
+    }
+}
+
+/// `dV[t] += Σ_i probs[i][t]·g[i]` per head band (i ascending).
+pub(crate) fn attn_dv(
+    pd: &[f32],
+    gd: &[f32],
+    dst: &mut [f32],
+    bsz: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+) {
+    let dh = d / heads;
+    for bi in 0..bsz {
+        for h in 0..heads {
+            let off = h * dh;
+            for i in 0..seq {
+                let gr = &gd[(bi * seq + i) * d + off..][..dh];
+                let prow = &pd[((bi * heads + h) * seq + i) * seq..][..seq];
+                for (t_, &s) in prow.iter().enumerate() {
+                    let drow = &mut dst[(bi * seq + t_) * d + off..][..dh];
+                    for p in 0..dh {
+                        drow[p] += s * gr[p];
+                    }
+                }
+            }
+        }
+    }
+}
+
 }
 
 #[cfg(test)]

@@ -7,99 +7,75 @@ impl Tape {
     /// `a + b`, same shape.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let value = self.value(a).zip(self.value(b), |x, y| x + y);
-        self.push(
-            value,
-            Some(Box::new(move |g, _t, grads| {
-                grads.accumulate_in_place(a, g);
-                grads.accumulate_in_place(b, g);
-            })),
-        )
+        self.push_bwd(value, move |g, _t, grads| {
+            grads.accumulate_in_place(a, g);
+            grads.accumulate_in_place(b, g);
+        })
     }
 
     /// `a - b`, same shape.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let value = self.value(a).zip(self.value(b), |x, y| x - y);
-        self.push(
-            value,
-            Some(Box::new(move |g, _t, grads| {
-                grads.accumulate_in_place(a, g);
-                grads.accumulate(b, g.map(|x| -x));
-            })),
-        )
+        self.push_bwd(value, move |g, _t, grads| {
+            grads.accumulate_in_place(a, g);
+            grads.accumulate(b, g.map(|x| -x));
+        })
     }
 
     /// Hadamard product `a ⊙ b`, same shape.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let value = self.value(a).zip(self.value(b), |x, y| x * y);
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                grads.accumulate(a, g.zip(t.value(b), |gi, bi| gi * bi));
-                grads.accumulate(b, g.zip(t.value(a), |gi, ai| gi * ai));
-            })),
-        )
+        self.push_bwd(value, move |g, t, grads| {
+            grads.accumulate(a, g.zip(t.value(b), |gi, bi| gi * bi));
+            grads.accumulate(b, g.zip(t.value(a), |gi, ai| gi * ai));
+        })
     }
 
     /// Elementwise `a / b`, same shape.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
         let value = self.value(a).zip(self.value(b), |x, y| x / y);
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                let bv = t.value(b);
-                grads.accumulate(a, g.zip(bv, |gi, bi| gi / bi));
-                let av = t.value(a);
-                let mut db = g.zip(av, |gi, ai| gi * ai);
-                let db2 = db.zip(bv, |x, bi| -x / (bi * bi));
-                db = db2;
-                grads.accumulate(b, db);
-            })),
-        )
+        self.push_bwd(value, move |g, t, grads| {
+            let bv = t.value(b);
+            grads.accumulate(a, g.zip(bv, |gi, bi| gi / bi));
+            let av = t.value(a);
+            let mut db = g.zip(av, |gi, ai| gi * ai);
+            let db2 = db.zip(bv, |x, bi| -x / (bi * bi));
+            db = db2;
+            grads.accumulate(b, db);
+        })
     }
 
     /// `-a`.
     pub fn neg(&mut self, a: Var) -> Var {
         let value = self.value(a).map(|x| -x);
-        self.push(
-            value,
-            Some(Box::new(move |g, _t, grads| {
-                grads.accumulate(a, g.map(|x| -x));
-            })),
-        )
+        self.push_bwd(value, move |g, _t, grads| {
+            grads.accumulate(a, g.map(|x| -x));
+        })
     }
 
     /// `a + c` for a scalar constant `c`.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
         let value = self.value(a).map(|x| x + c);
-        self.push(
-            value,
-            Some(Box::new(move |g, _t, grads| {
-                grads.accumulate_in_place(a, g);
-            })),
-        )
+        self.push_bwd(value, move |g, _t, grads| {
+            grads.accumulate_in_place(a, g);
+        })
     }
 
     /// `c * a` for a scalar constant `c`.
     pub fn mul_scalar(&mut self, a: Var, c: f32) -> Var {
         let value = self.value(a).map(|x| c * x);
-        self.push(
-            value,
-            Some(Box::new(move |g, _t, grads| {
-                grads.accumulate(a, g.map(|x| c * x));
-            })),
-        )
+        self.push_bwd(value, move |g, _t, grads| {
+            grads.accumulate(a, g.map(|x| c * x));
+        })
     }
 
     /// Adds a constant tensor with no gradient path into it (e.g. an additive
     /// attention mask). Shapes must match.
     pub fn add_const(&mut self, a: Var, c: &Tensor) -> Var {
         let value = self.value(a).zip(c, |x, y| x + y);
-        self.push(
-            value,
-            Some(Box::new(move |g, _t, grads| {
-                grads.accumulate_in_place(a, g);
-            })),
-        )
+        self.push_bwd(value, move |g, _t, grads| {
+            grads.accumulate_in_place(a, g);
+        })
     }
 
     /// Row-broadcast add: `a[.., d] + b[d]`.
@@ -114,26 +90,15 @@ impl Tape {
             bv.numel()
         );
         let mut out = av.clone();
-        for row in 0..out.shape().leading() {
-            let base = row * d;
-            for j in 0..d {
-                out.data_mut()[base + j] += bv.data()[j];
-            }
-        }
-        self.push(
-            out,
-            Some(Box::new(move |g, _t, grads| {
-                grads.accumulate_in_place(a, g);
-                let d = g.shape().last_dim();
-                let mut db = vec![0.0f32; d];
-                for row in 0..g.shape().leading() {
-                    for j in 0..d {
-                        db[j] += g.data()[row * d + j];
-                    }
-                }
-                grads.accumulate(b, Tensor::new([d], db));
-            })),
-        )
+        let rows = out.shape().leading();
+        add_bias_rows(out.data_mut(), bv.data(), rows, d);
+        self.push_bwd(out, move |g, _t, grads| {
+            grads.accumulate_in_place(a, g);
+            let d = g.shape().last_dim();
+            let mut db = crate::pool::take_f32_zeroed(d);
+            colsum_rows(g.data(), &mut db, g.shape().leading(), d);
+            grads.accumulate(b, Tensor::new([d], db));
+        })
     }
 
     /// Row-broadcast multiply: `a[.., d] ⊙ b[d]`.
@@ -148,32 +113,27 @@ impl Tape {
             bv.numel()
         );
         let mut out = av.clone();
-        for row in 0..out.shape().leading() {
-            let base = row * d;
-            for j in 0..d {
-                out.data_mut()[base + j] *= bv.data()[j];
-            }
-        }
-        self.push(
-            out,
-            Some(Box::new(move |g, t, grads| {
-                let d = g.shape().last_dim();
-                let rows = g.shape().leading();
-                let bv = t.value(b);
-                let av = t.value(a);
-                let mut da = g.clone();
-                let mut db = vec![0.0f32; d];
-                for row in 0..rows {
-                    let base = row * d;
-                    for j in 0..d {
-                        da.data_mut()[base + j] *= bv.data()[j];
-                        db[j] += g.data()[base + j] * av.data()[base + j];
-                    }
-                }
-                grads.accumulate(a, da);
-                grads.accumulate(b, Tensor::new([d], db));
-            })),
-        )
+        let rows = out.shape().leading();
+        mul_rows(out.data_mut(), bv.data(), rows, d);
+        self.push_bwd(out, move |g, t, grads| {
+            let d = g.shape().last_dim();
+            let rows = g.shape().leading();
+            let bv = t.value(b);
+            let av = t.value(a);
+            let mut da = g.clone();
+            let mut db = crate::pool::take_f32_zeroed(d);
+            mul_bcast_backward_rows(
+                da.data_mut(),
+                &mut db,
+                g.data(),
+                av.data(),
+                bv.data(),
+                rows,
+                d,
+            );
+            grads.accumulate(a, da);
+            grads.accumulate(b, Tensor::new([d], db));
+        })
     }
 
     /// Scales each row of `a` (viewed as `[L, d]`) by the matching scalar of
@@ -193,103 +153,96 @@ impl Tape {
             wv.numel()
         );
         let mut out = av.clone();
-        for r in 0..rows {
-            let s = wv.data()[r];
-            for x in &mut out.data_mut()[r * d..(r + 1) * d] {
-                *x *= s;
-            }
-        }
-        self.push(
-            out,
-            Some(Box::new(move |g, t, grads| {
-                let av = t.value(a);
-                let wv = t.value(w);
-                let d = av.shape().last_dim();
-                let rows = av.shape().leading();
-                let mut da = g.clone();
-                let mut dw = vec![0.0f32; rows];
-                for r in 0..rows {
-                    let s = wv.data()[r];
-                    let base = r * d;
-                    for j in 0..d {
-                        dw[r] += g.data()[base + j] * av.data()[base + j];
-                        da.data_mut()[base + j] *= s;
-                    }
-                }
-                grads.accumulate(a, da);
-                grads.accumulate(w, Tensor::new(wv.shape().clone(), dw));
-            })),
-        )
+        scale_rows_inplace(out.data_mut(), wv.data(), rows, d);
+        self.push_bwd(out, move |g, t, grads| {
+            let av = t.value(a);
+            let wv = t.value(w);
+            let d = av.shape().last_dim();
+            let rows = av.shape().leading();
+            let mut da = g.clone();
+            let mut dw = crate::pool::take_f32_zeroed(rows);
+            scale_rows_backward(
+                da.data_mut(),
+                &mut dw,
+                g.data(),
+                av.data(),
+                wv.data(),
+                rows,
+                d,
+            );
+            grads.accumulate(a, da);
+            grads.accumulate(w, Tensor::new(wv.shape().clone(), dw));
+        })
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
         let value = self.value(a).map(|x| x.max(0.0));
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                grads.accumulate(a, g.zip(t.value(a), |gi, x| if x > 0.0 { gi } else { 0.0 }));
-            })),
-        )
+        self.push_bwd(value, move |g, t, grads| {
+            grads.accumulate(a, g.zip(t.value(a), |gi, x| if x > 0.0 { gi } else { 0.0 }));
+        })
     }
 
     /// GELU with the tanh approximation (as used by most Transformer stacks).
+    ///
+    /// The forward pass caches its `tanh` evaluations in a pooled scratch so
+    /// the backward rule reuses them instead of recomputing — `tanh` is by
+    /// far the most expensive scalar in the FFN, and the cached value is the
+    /// exact same bits the recomputation would produce.
     pub fn gelu(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(gelu_fwd);
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                grads.accumulate(a, g.zip(t.value(a), |gi, x| gi * gelu_grad(x)));
-            })),
-        )
+        let av = self.value(a);
+        let n = av.numel();
+        let mut value = av.clone();
+        let mut th = crate::pool::take_f32(n);
+        gelu_forward_cached(value.data_mut(), &mut th);
+        let th = crate::pool::ScratchF32(th);
+        self.push_bwd(value, move |g, t, grads| {
+            let av = t.value(a);
+            let a_shape = *av.shape();
+            grads.accumulate_with(a, &a_shape, |dst| {
+                gelu_backward_cached(g.data(), av.data(), &th, dst);
+            });
+        })
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
         let value = self.value(a).map(f32::tanh);
-        let out = self.push(
-            value,
-            Some(Box::new(move |_g, _t, _grads| {
-                unreachable!("replaced below")
-            })),
-        );
-        // tanh's gradient is cheapest in terms of the *output*; rebuild the
-        // closure now that we know the output var id.
-        self.nodes[out.0].backward = Some(Box::new(move |g, t, grads| {
+        let out = self.push_value(value);
+        // tanh's gradient is cheapest in terms of the *output*; the closure
+        // is attached after the push so it can capture the output var id.
+        self.set_bwd(out, move |g, t, grads| {
             grads.accumulate(a, g.zip(t.value(out), |gi, y| gi * (1.0 - y * y)));
-        }));
+        });
         out
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
         let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        let out = self.push(value, None);
-        self.nodes[out.0].backward = Some(Box::new(move |g, t, grads| {
+        let out = self.push_value(value);
+        self.set_bwd(out, move |g, t, grads| {
             grads.accumulate(a, g.zip(t.value(out), |gi, y| gi * y * (1.0 - y)));
-        }));
+        });
         out
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
         let value = self.value(a).map(f32::exp);
-        let out = self.push(value, None);
-        self.nodes[out.0].backward = Some(Box::new(move |g, t, grads| {
+        let out = self.push_value(value);
+        self.set_bwd(out, move |g, t, grads| {
             grads.accumulate(a, g.zip(t.value(out), |gi, y| gi * y));
-        }));
+        });
         out
     }
 
     /// Elementwise natural log (inputs must be positive).
     pub fn ln(&mut self, a: Var) -> Var {
         let value = self.value(a).map(f32::ln);
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                grads.accumulate(a, g.zip(t.value(a), |gi, x| gi / x));
-            })),
-        )
+        self.push_bwd(value, move |g, t, grads| {
+            grads.accumulate(a, g.zip(t.value(a), |gi, x| gi / x));
+        })
     }
 
     /// Inverted dropout: at train time zeroes each element with probability
@@ -304,24 +257,104 @@ impl Tape {
         }
         let keep = 1.0 - p;
         let av = self.value(a);
-        let mask: Vec<f32> = (0..av.numel())
-            .map(|_| {
-                if rng.gen::<f32>() < keep {
-                    1.0 / keep
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let mask = Tensor::new(av.shape().clone(), mask);
+        let mut mask = crate::pool::take_f32(av.numel());
+        mask.extend((0..av.numel()).map(|_| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        }));
+        let mask = Tensor::new(*av.shape(), mask);
         let value = av.zip(&mask, |x, m| x * m);
-        self.push(
-            value,
-            Some(Box::new(move |g, _t, grads| {
-                grads.accumulate(a, g.zip(&mask, |gi, m| gi * m));
-            })),
-        )
+        self.push_bwd(value, move |g, _t, grads| {
+            grads.accumulate(a, g.zip(&mask, |gi, m| gi * m));
+        })
     }
+}
+
+crate::simd::simd_hot! {
+
+/// Row-broadcast add in place: `data[r, :] += bias`.
+pub(crate) fn add_bias_rows(data: &mut [f32], bias: &[f32], rows: usize, d: usize) {
+    for row in 0..rows {
+        let base = row * d;
+        for j in 0..d {
+            data[base + j] += bias[j];
+        }
+    }
+}
+
+/// Column sums (bias gradient): `db[j] += Σ_r g[r, j]`, rows ascending.
+pub(crate) fn colsum_rows(gd: &[f32], db: &mut [f32], rows: usize, d: usize) {
+    for row in 0..rows {
+        for j in 0..d {
+            db[j] += gd[row * d + j];
+        }
+    }
+}
+
+/// Row-broadcast multiply in place: `data[r, :] *= bias`.
+pub(crate) fn mul_rows(data: &mut [f32], bias: &[f32], rows: usize, d: usize) {
+    for row in 0..rows {
+        let base = row * d;
+        for j in 0..d {
+            data[base + j] *= bias[j];
+        }
+    }
+}
+
+/// Fused backward of [`Tape::mul_bcast_row`]: `da[r,j] *= b[j]` and
+/// `db[j] += g[r,j]·a[r,j]` in the original single-pass order.
+pub(crate) fn mul_bcast_backward_rows(
+    da: &mut [f32],
+    db: &mut [f32],
+    gd: &[f32],
+    ad: &[f32],
+    bv: &[f32],
+    rows: usize,
+    d: usize,
+) {
+    for row in 0..rows {
+        let base = row * d;
+        for j in 0..d {
+            da[base + j] *= bv[j];
+            db[j] += gd[base + j] * ad[base + j];
+        }
+    }
+}
+
+/// Per-row scaling in place: `data[r, :] *= w[r]`.
+pub(crate) fn scale_rows_inplace(data: &mut [f32], w: &[f32], rows: usize, d: usize) {
+    for r in 0..rows {
+        let s = w[r];
+        for x in &mut data[r * d..(r + 1) * d] {
+            *x *= s;
+        }
+    }
+}
+
+/// Fused backward of [`Tape::scale_rows`]: `dw[r] += Σ_j g[r,j]·a[r,j]`
+/// (j ascending) and `da[r, :] *= w[r]`, in the original single-pass order.
+pub(crate) fn scale_rows_backward(
+    da: &mut [f32],
+    dw: &mut [f32],
+    gd: &[f32],
+    ad: &[f32],
+    w: &[f32],
+    rows: usize,
+    d: usize,
+) {
+    for r in 0..rows {
+        let s = w[r];
+        let base = r * d;
+        for j in 0..d {
+            dw[r] += gd[base + j] * ad[base + j];
+            da[base + j] *= s;
+        }
+    }
+}
+
 }
 
 /// GELU forward (tanh approximation). Shared with the tape-free path
@@ -331,12 +364,31 @@ pub(crate) fn gelu_fwd(x: f32) -> f32 {
     0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
 }
 
-fn gelu_grad(x: f32) -> f32 {
+/// In-place [`gelu_fwd`] over `data` that also pushes each element's `tanh`
+/// into `th` for the backward rule. Identical expression tree to
+/// [`gelu_fwd`], so the outputs are the same bits.
+fn gelu_forward_cached(data: &mut [f32], th: &mut Vec<f32>) {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    for x in data.iter_mut() {
+        let xi = *x;
+        let t = (C * (xi + 0.044_715 * xi * xi * xi)).tanh();
+        th.push(t);
+        *x = 0.5 * xi * (1.0 + t);
+    }
+}
+
+/// GELU backward using the cached forward `tanh`: same arithmetic as the
+/// recompute-from-`x` rule (`tanh` is a pure function of `x`), minus the
+/// second `tanh` evaluation per element.
+fn gelu_backward_cached(gd: &[f32], xd: &[f32], th: &[f32], dst: &mut [f32]) {
     const C: f32 = 0.797_884_6;
-    let inner = C * (x + 0.044_715 * x * x * x);
-    let th = inner.tanh();
-    let sech2 = 1.0 - th * th;
-    0.5 * (1.0 + th) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
+    for i in 0..gd.len() {
+        let x = xd[i];
+        let t = th[i];
+        let sech2 = 1.0 - t * t;
+        let grad = 0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x);
+        dst[i] = gd[i] * grad;
+    }
 }
 
 #[cfg(test)]

@@ -10,37 +10,46 @@ impl Tape {
     /// their trailing dims; a `[a, d]` and a `[b, d]` give `[a+b, d]`.
     pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_rows of zero tensors");
-        let first_shape = self.value(parts[0]).shape().0.clone();
-        assert!(!first_shape.is_empty(), "concat_rows needs rank >= 1");
-        let trailing = &first_shape[1..];
+        let first_shape = *self.value(parts[0]).shape();
+        assert!(first_shape.rank() >= 1, "concat_rows needs rank >= 1");
+        let trailing = &first_shape.dims()[1..];
         let mut total_rows = 0usize;
         for &p in parts {
             let s = self.value(p).shape();
-            assert_eq!(&s.0[1..], trailing, "concat_rows trailing-dim mismatch");
-            total_rows += s.0[0];
+            assert_eq!(
+                &s.dims()[1..],
+                trailing,
+                "concat_rows trailing-dim mismatch"
+            );
+            total_rows += s.dim(0);
         }
-        let mut data = Vec::with_capacity(total_rows * trailing.iter().product::<usize>().max(1));
+        let mut data =
+            crate::pool::take_f32(total_rows * trailing.iter().product::<usize>().max(1));
         for &p in parts {
             data.extend_from_slice(self.value(p).data());
         }
-        let mut shape = vec![total_rows];
-        shape.extend_from_slice(trailing);
-        let parts: Vec<Var> = parts.to_vec();
-        self.push(
-            Tensor::new(shape, data),
-            Some(Box::new(move |g, t, grads| {
-                let mut offset = 0usize;
-                for &p in &parts {
-                    let n = t.value(p).numel();
-                    let dp = Tensor::new(
-                        t.value(p).shape().clone(),
-                        g.data()[offset..offset + n].to_vec(),
-                    );
-                    grads.accumulate(p, dp);
-                    offset += n;
-                }
-            })),
-        )
+        let mut dims = [0usize; crate::shape::MAX_RANK];
+        dims[..first_shape.rank()].copy_from_slice(first_shape.dims());
+        dims[0] = total_rows;
+        let shape = crate::shape::Shape::new(&dims[..first_shape.rank()]);
+        let parts = crate::pool::ScratchUsize(parts.iter().fold(
+            crate::pool::take_usize(parts.len()),
+            |mut v, p| {
+                v.push(p.0);
+                v
+            },
+        ));
+        self.push_bwd(Tensor::new(shape, data), move |g, t, grads| {
+            let mut offset = 0usize;
+            for &p in parts.iter() {
+                let n = t.value(Var(p)).numel();
+                let p_shape = *t.value(Var(p)).shape();
+                grads.accumulate_with(Var(p), &p_shape, |dst| {
+                    dst.copy_from_slice(&g.data()[offset..offset + n]);
+                });
+                offset += n;
+            }
+        })
     }
 
     /// Clamps every element into `[lo, hi]`; gradient is zero outside the
@@ -49,32 +58,26 @@ impl Tape {
     pub fn clamp(&mut self, a: Var, lo: f32, hi: f32) -> Var {
         assert!(lo <= hi, "clamp bounds inverted: [{lo}, {hi}]");
         let value = self.value(a).map(|x| x.clamp(lo, hi));
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                grads.accumulate(
-                    a,
-                    g.zip(
-                        t.value(a),
-                        |gi, x| if (lo..=hi).contains(&x) { gi } else { 0.0 },
-                    ),
-                );
-            })),
-        )
+        self.push_bwd(value, move |g, t, grads| {
+            grads.accumulate(
+                a,
+                g.zip(
+                    t.value(a),
+                    |gi, x| if (lo..=hi).contains(&x) { gi } else { 0.0 },
+                ),
+            );
+        })
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
         let value = self.value(a).map(|x| if x > 0.0 { x } else { alpha * x });
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                grads.accumulate(
-                    a,
-                    g.zip(t.value(a), |gi, x| if x > 0.0 { gi } else { alpha * gi }),
-                );
-            })),
-        )
+        self.push_bwd(value, move |g, t, grads| {
+            grads.accumulate(
+                a,
+                g.zip(t.value(a), |gi, x| if x > 0.0 { gi } else { alpha * gi }),
+            );
+        })
     }
 
     /// Numerically-stable softplus `ln(1 + e^x)`.
@@ -88,13 +91,10 @@ impl Tape {
                 x.exp().ln_1p()
             }
         });
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                // d softplus / dx = sigmoid(x)
-                grads.accumulate(a, g.zip(t.value(a), |gi, x| gi / (1.0 + (-x).exp())));
-            })),
-        )
+        self.push_bwd(value, move |g, t, grads| {
+            // d softplus / dx = sigmoid(x)
+            grads.accumulate(a, g.zip(t.value(a), |gi, x| gi / (1.0 + (-x).exp())));
+        })
     }
 
     /// Row-wise log-softmax over the last dimension (stable log-sum-exp).
@@ -111,23 +111,24 @@ impl Tape {
                 *x -= lse;
             }
         }
-        let node = self.push(out, None);
-        self.nodes[node.0].backward = Some(Box::new(move |g, t, grads| {
+        let node = self.push_value(out);
+        self.set_bwd(node, move |g, t, grads| {
             // dx = g − softmax(x) · Σ g   (row-wise)
             let y = t.value(node); // log-probs
             let d = y.shape().last_dim();
             let rows = y.shape().leading();
-            let mut da = Tensor::zeros(y.shape().clone());
-            for r in 0..rows {
-                let yr = &y.data()[r * d..(r + 1) * d];
-                let gr = &g.data()[r * d..(r + 1) * d];
-                let gsum: f32 = gr.iter().sum();
-                for j in 0..d {
-                    da.data_mut()[r * d + j] = gr[j] - yr[j].exp() * gsum;
+            let y_shape = *y.shape();
+            grads.accumulate_with(a, &y_shape, |dst| {
+                for r in 0..rows {
+                    let yr = &y.data()[r * d..(r + 1) * d];
+                    let gr = &g.data()[r * d..(r + 1) * d];
+                    let gsum: f32 = gr.iter().sum();
+                    for j in 0..d {
+                        dst[r * d + j] = gr[j] - yr[j].exp() * gsum;
+                    }
                 }
-            }
-            grads.accumulate(a, da);
-        }));
+            });
+        });
         node
     }
 
@@ -137,8 +138,8 @@ impl Tape {
         let av = self.value(a);
         let d = av.shape().last_dim();
         let rows = av.shape().leading();
-        let mut maxima = Vec::with_capacity(rows);
-        let mut arg = Vec::with_capacity(rows);
+        let mut maxima = crate::pool::take_f32(rows);
+        let mut arg = crate::pool::ScratchUsize::with_capacity(rows);
         for r in 0..rows {
             let slice = &av.data()[r * d..(r + 1) * d];
             let (i, &m) = slice
@@ -149,18 +150,16 @@ impl Tape {
             maxima.push(m);
             arg.push(i);
         }
-        self.push(
-            Tensor::new([rows], maxima),
-            Some(Box::new(move |g, t, grads| {
-                let av = t.value(a);
-                let d = av.shape().last_dim();
-                let mut da = Tensor::zeros(av.shape().clone());
+        self.push_bwd(Tensor::new([rows], maxima), move |g, t, grads| {
+            let av = t.value(a);
+            let d = av.shape().last_dim();
+            let a_shape = *av.shape();
+            grads.accumulate_with(a, &a_shape, |dst| {
                 for (r, (&i, &gi)) in arg.iter().zip(g.data()).enumerate() {
-                    da.data_mut()[r * d + i] = gi;
+                    dst[r * d + i] = gi;
                 }
-                grads.accumulate(a, da);
-            })),
-        )
+            });
+        })
     }
 
     /// Row-wise arg-max over the last dimension (no gradient; returns plain

@@ -14,25 +14,22 @@ impl Tape {
     /// Rank-2 matrix product `[m,k] x [k,n] -> [m,n]`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let value = self.value(a).matmul(self.value(b));
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                let av = t.value(a);
-                let bv = t.value(b);
-                let (m, k) = av.shape().as_matrix();
-                let n = bv.shape().as_matrix().1;
-                // dA += G·Bᵀ (B kept in its stored layout)
-                let a_shape = av.shape().clone();
-                grads.accumulate_with(a, &a_shape, |dst| {
-                    matmul_into_bt(g.data(), bv.data(), dst, m, n, k)
-                });
-                // dB += Aᵀ·G (A kept in its stored layout)
-                let b_shape = bv.shape().clone();
-                grads.accumulate_with(b, &b_shape, |dst| {
-                    matmul_into_at(av.data(), g.data(), dst, k, m, n)
-                });
-            })),
-        )
+        self.push_bwd(value, move |g, t, grads| {
+            let av = t.value(a);
+            let bv = t.value(b);
+            let (m, k) = av.shape().as_matrix();
+            let n = bv.shape().as_matrix().1;
+            // dA += G·Bᵀ (B kept in its stored layout)
+            let a_shape = av.shape().clone();
+            grads.accumulate_with(a, &a_shape, |dst| {
+                matmul_into_bt(g.data(), bv.data(), dst, m, n, k)
+            });
+            // dB += Aᵀ·G (A kept in its stored layout)
+            let b_shape = bv.shape().clone();
+            grads.accumulate_with(b, &b_shape, |dst| {
+                matmul_into_at(av.data(), g.data(), dst, k, m, n)
+            });
+        })
     }
 
     /// Transpose-fused product `AᵀB`: `a` stored `[k,m]`, `b` stored `[k,n]`,
@@ -47,7 +44,7 @@ impl Tape {
             self.value(a).shape(),
             self.value(b).shape()
         );
-        let mut out = vec![0.0f32; m * n];
+        let mut out = crate::pool::take_f32_zeroed(m * n);
         matmul_into_at(
             self.value(a).data(),
             self.value(b).data(),
@@ -56,24 +53,21 @@ impl Tape {
             k,
             n,
         );
-        self.push(
-            Tensor::new([m, n], out),
-            Some(Box::new(move |g, t, grads| {
-                let av = t.value(a);
-                let bv = t.value(b);
-                let (k, m) = av.shape().as_matrix();
-                let n = bv.shape().as_matrix().1;
-                // C = AᵀB ⇒ dA = B·Gᵀ ([k,m]), dB = A·G ([k,n]).
-                let a_shape = av.shape().clone();
-                grads.accumulate_with(a, &a_shape, |dst| {
-                    matmul_into_bt(bv.data(), g.data(), dst, k, n, m)
-                });
-                let b_shape = bv.shape().clone();
-                grads.accumulate_with(b, &b_shape, |dst| {
-                    matmul_into(av.data(), g.data(), dst, k, m, n)
-                });
-            })),
-        )
+        self.push_bwd(Tensor::new([m, n], out), move |g, t, grads| {
+            let av = t.value(a);
+            let bv = t.value(b);
+            let (k, m) = av.shape().as_matrix();
+            let n = bv.shape().as_matrix().1;
+            // C = AᵀB ⇒ dA = B·Gᵀ ([k,m]), dB = A·G ([k,n]).
+            let a_shape = av.shape().clone();
+            grads.accumulate_with(a, &a_shape, |dst| {
+                matmul_into_bt(bv.data(), g.data(), dst, k, n, m)
+            });
+            let b_shape = bv.shape().clone();
+            grads.accumulate_with(b, &b_shape, |dst| {
+                matmul_into(av.data(), g.data(), dst, k, m, n)
+            });
+        })
     }
 
     /// Transpose-fused product `ABᵀ`: `a` stored `[m,k]`, `b` stored `[n,k]`,
@@ -88,7 +82,7 @@ impl Tape {
             self.value(a).shape(),
             self.value(b).shape()
         );
-        let mut out = vec![0.0f32; m * n];
+        let mut out = crate::pool::take_f32_zeroed(m * n);
         matmul_into_bt(
             self.value(a).data(),
             self.value(b).data(),
@@ -97,64 +91,58 @@ impl Tape {
             k,
             n,
         );
-        self.push(
-            Tensor::new([m, n], out),
-            Some(Box::new(move |g, t, grads| {
-                let av = t.value(a);
-                let bv = t.value(b);
-                let (m, k) = av.shape().as_matrix();
-                let n = bv.shape().as_matrix().0;
-                // C = ABᵀ ⇒ dA = G·B ([m,k]), dB = Gᵀ·A ([n,k]).
-                let a_shape = av.shape().clone();
-                grads.accumulate_with(a, &a_shape, |dst| {
-                    matmul_into(g.data(), bv.data(), dst, m, n, k)
-                });
-                let b_shape = bv.shape().clone();
-                grads.accumulate_with(b, &b_shape, |dst| {
-                    matmul_into_at(g.data(), av.data(), dst, n, m, k)
-                });
-            })),
-        )
+        self.push_bwd(Tensor::new([m, n], out), move |g, t, grads| {
+            let av = t.value(a);
+            let bv = t.value(b);
+            let (m, k) = av.shape().as_matrix();
+            let n = bv.shape().as_matrix().0;
+            // C = ABᵀ ⇒ dA = G·B ([m,k]), dB = Gᵀ·A ([n,k]).
+            let a_shape = av.shape().clone();
+            grads.accumulate_with(a, &a_shape, |dst| {
+                matmul_into(g.data(), bv.data(), dst, m, n, k)
+            });
+            let b_shape = bv.shape().clone();
+            grads.accumulate_with(b, &b_shape, |dst| {
+                matmul_into_at(g.data(), av.data(), dst, n, m, k)
+            });
+        })
     }
 
     /// Batched matrix product `[B,m,k] x [B,k,n] -> [B,m,n]`.
     pub fn bmm(&mut self, a: Var, b: Var) -> Var {
         let value = self.value(a).bmm(self.value(b));
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                let av = t.value(a);
-                let bv = t.value(b);
-                let (bs, m, k) = av.shape().as_batch_matrix();
-                let n = bv.shape().as_batch_matrix().2;
-                let a_shape = av.shape().clone();
-                grads.accumulate_with(a, &a_shape, |dst| {
-                    for i in 0..bs {
-                        matmul_into_bt(
-                            &g.data()[i * m * n..(i + 1) * m * n],
-                            &bv.data()[i * k * n..(i + 1) * k * n],
-                            &mut dst[i * m * k..(i + 1) * m * k],
-                            m,
-                            n,
-                            k,
-                        );
-                    }
-                });
-                let b_shape = bv.shape().clone();
-                grads.accumulate_with(b, &b_shape, |dst| {
-                    for i in 0..bs {
-                        matmul_into_at(
-                            &av.data()[i * m * k..(i + 1) * m * k],
-                            &g.data()[i * m * n..(i + 1) * m * n],
-                            &mut dst[i * k * n..(i + 1) * k * n],
-                            k,
-                            m,
-                            n,
-                        );
-                    }
-                });
-            })),
-        )
+        self.push_bwd(value, move |g, t, grads| {
+            let av = t.value(a);
+            let bv = t.value(b);
+            let (bs, m, k) = av.shape().as_batch_matrix();
+            let n = bv.shape().as_batch_matrix().2;
+            let a_shape = av.shape().clone();
+            grads.accumulate_with(a, &a_shape, |dst| {
+                for i in 0..bs {
+                    matmul_into_bt(
+                        &g.data()[i * m * n..(i + 1) * m * n],
+                        &bv.data()[i * k * n..(i + 1) * k * n],
+                        &mut dst[i * m * k..(i + 1) * m * k],
+                        m,
+                        n,
+                        k,
+                    );
+                }
+            });
+            let b_shape = bv.shape().clone();
+            grads.accumulate_with(b, &b_shape, |dst| {
+                for i in 0..bs {
+                    matmul_into_at(
+                        &av.data()[i * m * k..(i + 1) * m * k],
+                        &g.data()[i * m * n..(i + 1) * m * n],
+                        &mut dst[i * k * n..(i + 1) * k * n],
+                        k,
+                        m,
+                        n,
+                    );
+                }
+            });
+        })
     }
 
     /// Batched transpose-fused product `A·Bᵀ`: `[B,m,k] x [B,n,k] -> [B,m,n]`
@@ -176,7 +164,7 @@ impl Tape {
             self.value(a).shape(),
             self.value(b).shape()
         );
-        let mut out = vec![0.0f32; bs * m * n];
+        let mut out = crate::pool::take_f32_zeroed(bs * m * n);
         for i in 0..bs {
             matmul_into_bt(
                 &self.value(a).data()[i * m * k..(i + 1) * m * k],
@@ -187,63 +175,54 @@ impl Tape {
                 n,
             );
         }
-        self.push(
-            Tensor::new([bs, m, n], out),
-            Some(Box::new(move |g, t, grads| {
-                let av = t.value(a);
-                let bv = t.value(b);
-                let (bs, m, k) = av.shape().as_batch_matrix();
-                let n = bv.shape().as_batch_matrix().1;
-                let a_shape = av.shape().clone();
-                grads.accumulate_with(a, &a_shape, |dst| {
-                    for i in 0..bs {
-                        matmul_into(
-                            &g.data()[i * m * n..(i + 1) * m * n],
-                            &bv.data()[i * n * k..(i + 1) * n * k],
-                            &mut dst[i * m * k..(i + 1) * m * k],
-                            m,
-                            n,
-                            k,
-                        );
-                    }
-                });
-                let b_shape = bv.shape().clone();
-                grads.accumulate_with(b, &b_shape, |dst| {
-                    for i in 0..bs {
-                        matmul_into_at(
-                            &g.data()[i * m * n..(i + 1) * m * n],
-                            &av.data()[i * m * k..(i + 1) * m * k],
-                            &mut dst[i * n * k..(i + 1) * n * k],
-                            n,
-                            m,
-                            k,
-                        );
-                    }
-                });
-            })),
-        )
+        self.push_bwd(Tensor::new([bs, m, n], out), move |g, t, grads| {
+            let av = t.value(a);
+            let bv = t.value(b);
+            let (bs, m, k) = av.shape().as_batch_matrix();
+            let n = bv.shape().as_batch_matrix().1;
+            let a_shape = av.shape().clone();
+            grads.accumulate_with(a, &a_shape, |dst| {
+                for i in 0..bs {
+                    matmul_into(
+                        &g.data()[i * m * n..(i + 1) * m * n],
+                        &bv.data()[i * n * k..(i + 1) * n * k],
+                        &mut dst[i * m * k..(i + 1) * m * k],
+                        m,
+                        n,
+                        k,
+                    );
+                }
+            });
+            let b_shape = bv.shape().clone();
+            grads.accumulate_with(b, &b_shape, |dst| {
+                for i in 0..bs {
+                    matmul_into_at(
+                        &g.data()[i * m * n..(i + 1) * m * n],
+                        &av.data()[i * m * k..(i + 1) * m * k],
+                        &mut dst[i * n * k..(i + 1) * n * k],
+                        n,
+                        m,
+                        k,
+                    );
+                }
+            });
+        })
     }
 
     /// Rank-2 transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
         let value = self.value(a).transpose();
-        self.push(
-            value,
-            Some(Box::new(move |g, _t, grads| {
-                grads.accumulate(a, g.transpose());
-            })),
-        )
+        self.push_bwd(value, move |g, _t, grads| {
+            grads.accumulate(a, g.transpose());
+        })
     }
 
     /// Batched transpose of the trailing two dims.
     pub fn transpose_batch(&mut self, a: Var) -> Var {
         let value = self.value(a).transpose_batch();
-        self.push(
-            value,
-            Some(Box::new(move |g, _t, grads| {
-                grads.accumulate(a, g.transpose_batch());
-            })),
-        )
+        self.push_bwd(value, move |g, _t, grads| {
+            grads.accumulate(a, g.transpose_batch());
+        })
     }
 }
 

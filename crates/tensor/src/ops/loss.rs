@@ -11,16 +11,13 @@ impl Tape {
         let n = pv.numel() as f32;
         let loss = pv.zip(target, |p, t| (p - t).powi(2)).sum() / n;
         let target = target.clone();
-        self.push(
-            Tensor::scalar(loss),
-            Some(Box::new(move |g, t, grads| {
-                let gi = g.item();
-                let dp = t
-                    .value(pred)
-                    .zip(&target, |p, tv| gi * 2.0 * (p - tv) / target.numel() as f32);
-                grads.accumulate(pred, dp);
-            })),
-        )
+        self.push_bwd(Tensor::scalar(loss), move |g, t, grads| {
+            let gi = g.item();
+            let dp = t
+                .value(pred)
+                .zip(&target, |p, tv| gi * 2.0 * (p - tv) / target.numel() as f32);
+            grads.accumulate(pred, dp);
+        })
     }
 
     /// Mean absolute error against a constant target (L1 loss of §V-A).
@@ -32,17 +29,14 @@ impl Tape {
         let n = pv.numel() as f32;
         let loss = pv.zip(target, |p, t| (p - t).abs()).sum() / n;
         let target = target.clone();
-        self.push(
-            Tensor::scalar(loss),
-            Some(Box::new(move |g, t, grads| {
-                let gi = g.item();
-                let n = target.numel() as f32;
-                let dp = t.value(pred).zip(&target, |p, tv| {
-                    gi * (p - tv).signum() * if p == tv { 0.0 } else { 1.0 } / n
-                });
-                grads.accumulate(pred, dp);
-            })),
-        )
+        self.push_bwd(Tensor::scalar(loss), move |g, t, grads| {
+            let gi = g.item();
+            let n = target.numel() as f32;
+            let dp = t.value(pred).zip(&target, |p, tv| {
+                gi * (p - tv).signum() * if p == tv { 0.0 } else { 1.0 } / n
+            });
+            grads.accumulate(pred, dp);
+        })
     }
 
     /// Huber (smooth-L1) loss with threshold `delta`; robust alternative used
@@ -63,23 +57,20 @@ impl Tape {
             .sum()
             / n;
         let target = target.clone();
-        self.push(
-            Tensor::scalar(loss),
-            Some(Box::new(move |g, t, grads| {
-                let gi = g.item();
-                let n = target.numel() as f32;
-                let dp = t.value(pred).zip(&target, |p, tv| {
-                    let e = p - tv;
-                    let de = if e.abs() <= delta {
-                        e
-                    } else {
-                        delta * e.signum()
-                    };
-                    gi * de / n
-                });
-                grads.accumulate(pred, dp);
-            })),
-        )
+        self.push_bwd(Tensor::scalar(loss), move |g, t, grads| {
+            let gi = g.item();
+            let n = target.numel() as f32;
+            let dp = t.value(pred).zip(&target, |p, tv| {
+                let e = p - tv;
+                let de = if e.abs() <= delta {
+                    e
+                } else {
+                    delta * e.signum()
+                };
+                gi * de / n
+            });
+            grads.accumulate(pred, dp);
+        })
     }
 }
 

@@ -7,35 +7,29 @@ impl Tape {
     /// Sum of all elements, producing a scalar.
     pub fn sum_all(&mut self, a: Var) -> Var {
         let value = Tensor::scalar(self.value(a).sum());
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                let gi = g.item();
-                let a_shape = t.value(a).shape().clone();
-                grads.accumulate_with(a, &a_shape, |dst| dst.fill(gi));
-            })),
-        )
+        self.push_bwd(value, move |g, t, grads| {
+            let gi = g.item();
+            let a_shape = *t.value(a).shape();
+            grads.accumulate_with(a, &a_shape, |dst| dst.fill(gi));
+        })
     }
 
     /// Mean of all elements, producing a scalar.
     pub fn mean_all(&mut self, a: Var) -> Var {
         let n = self.value(a).numel() as f32;
         let value = Tensor::scalar(self.value(a).mean());
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                let gi = g.item() / n;
-                let a_shape = t.value(a).shape().clone();
-                grads.accumulate_with(a, &a_shape, |dst| dst.fill(gi));
-            })),
-        )
+        self.push_bwd(value, move |g, t, grads| {
+            let gi = g.item() / n;
+            let a_shape = *t.value(a).shape();
+            grads.accumulate_with(a, &a_shape, |dst| dst.fill(gi));
+        })
     }
 
     /// Sums a rank-3 tensor over its middle dimension: `[B,T,d] -> [B,d]`.
     pub fn sum_dim1(&mut self, a: Var) -> Var {
         let (b, tt, d) = self.value(a).shape().as_batch_matrix();
         let av = self.value(a);
-        let mut out = vec![0.0f32; b * d];
+        let mut out = crate::pool::take_f32_zeroed(b * d);
         for bi in 0..b {
             for ti in 0..tt {
                 let base = (bi * tt + ti) * d;
@@ -44,21 +38,18 @@ impl Tape {
                 }
             }
         }
-        self.push(
-            Tensor::new([b, d], out),
-            Some(Box::new(move |g, t, grads| {
-                let (b, tt, d) = t.value(a).shape().as_batch_matrix();
-                let a_shape = t.value(a).shape().clone();
-                grads.accumulate_with(a, &a_shape, |dst| {
-                    for bi in 0..b {
-                        for ti in 0..tt {
-                            let base = (bi * tt + ti) * d;
-                            dst[base..base + d].copy_from_slice(&g.data()[bi * d..(bi + 1) * d]);
-                        }
+        self.push_bwd(Tensor::new([b, d], out), move |g, t, grads| {
+            let (b, tt, d) = t.value(a).shape().as_batch_matrix();
+            let a_shape = *t.value(a).shape();
+            grads.accumulate_with(a, &a_shape, |dst| {
+                for bi in 0..b {
+                    for ti in 0..tt {
+                        let base = (bi * tt + ti) * d;
+                        dst[base..base + d].copy_from_slice(&g.data()[bi * d..(bi + 1) * d]);
                     }
-                });
-            })),
-        )
+                }
+            });
+        })
     }
 
     /// Row-wise softmax over the last dimension (numerically stabilized).
@@ -70,23 +61,16 @@ impl Tape {
         for r in 0..rows {
             softmax_row(&mut out.data_mut()[r * d..(r + 1) * d]);
         }
-        let node = self.push(out, None);
-        self.nodes[node.0].backward = Some(Box::new(move |g, t, grads| {
+        let node = self.push_value(out);
+        self.set_bwd(node, move |g, t, grads| {
             let y = t.value(node);
             let d = y.shape().last_dim();
             let rows = y.shape().leading();
-            let y_shape = y.shape().clone();
+            let y_shape = *y.shape();
             grads.accumulate_with(a, &y_shape, |dst| {
-                for r in 0..rows {
-                    let yr = &y.data()[r * d..(r + 1) * d];
-                    let gr = &g.data()[r * d..(r + 1) * d];
-                    let dot: f32 = yr.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
-                    for j in 0..d {
-                        dst[r * d + j] = yr[j] * (gr[j] - dot);
-                    }
-                }
+                softmax_backward_rows(y.data(), g.data(), dst, rows, d);
             });
-        }));
+        });
         node
     }
 
@@ -97,38 +81,31 @@ impl Tape {
         let d = av.shape().last_dim();
         let rows = av.shape().leading();
         let mut out = av.clone();
-        // Cache per-row statistics for the backward rule.
-        let inv_stds = layer_norm_rows(out.data_mut(), rows, d, eps);
-        let node = self.push(out, None);
-        self.nodes[node.0].backward = Some(Box::new(move |g, t, grads| {
+        // Cache per-row statistics for the backward rule. The pooled scratch
+        // is recycled when the closure is dropped on tape reset.
+        let inv_stds = crate::pool::ScratchF32(layer_norm_rows(out.data_mut(), rows, d, eps));
+        let node = self.push_value(out);
+        self.set_bwd(node, move |g, t, grads| {
             // With y = (x - μ)/σ: dx = (g - mean(g) - y·mean(g⊙y)) / σ
             let y = t.value(node);
             let d = y.shape().last_dim();
             let rows = y.shape().leading();
-            let y_shape = y.shape().clone();
+            let y_shape = *y.shape();
             grads.accumulate_with(a, &y_shape, |dst| {
-                for r in 0..rows {
-                    let yr = &y.data()[r * d..(r + 1) * d];
-                    let gr = &g.data()[r * d..(r + 1) * d];
-                    let mg: f32 = gr.iter().sum::<f32>() / d as f32;
-                    let mgy: f32 =
-                        gr.iter().zip(yr).map(|(&gi, &yi)| gi * yi).sum::<f32>() / d as f32;
-                    let inv = inv_stds[r];
-                    for j in 0..d {
-                        dst[r * d + j] = (gr[j] - mg - yr[j] * mgy) * inv;
-                    }
-                }
+                layer_norm_backward_rows(y.data(), g.data(), &inv_stds, dst, rows, d);
             });
-        }));
+        });
         node
     }
 }
+
+crate::simd::simd_hot! {
 
 /// In-place row-wise layer normalization of `data` viewed as `[rows, d]`;
 /// returns the per-row `1/σ` the backward rule needs. Shared with the
 /// tape-free path ([`crate::infer::InferCtx`]) so both stay bitwise identical.
 pub(crate) fn layer_norm_rows(data: &mut [f32], rows: usize, d: usize, eps: f32) -> Vec<f32> {
-    let mut inv_stds = Vec::with_capacity(rows);
+    let mut inv_stds = crate::pool::take_f32(rows);
     for r in 0..rows {
         let slice = &mut data[r * d..(r + 1) * d];
         let mean: f32 = slice.iter().sum::<f32>() / d as f32;
@@ -142,8 +119,45 @@ pub(crate) fn layer_norm_rows(data: &mut [f32], rows: usize, d: usize, eps: f32)
     inv_stds
 }
 
+/// Softmax backward: `dst[r] = y_r ⊙ (g_r − ⟨y_r, g_r⟩)` (dot ascending).
+pub(crate) fn softmax_backward_rows(yd: &[f32], gd: &[f32], dst: &mut [f32], rows: usize, d: usize) {
+    for r in 0..rows {
+        let yr = &yd[r * d..(r + 1) * d];
+        let gr = &gd[r * d..(r + 1) * d];
+        let dot: f32 = yr.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
+        for j in 0..d {
+            dst[r * d + j] = yr[j] * (gr[j] - dot);
+        }
+    }
+}
+
+/// Layer-norm backward: `dst[r] = (g_r − mean(g_r) − y_r·mean(g_r ⊙ y_r))/σ_r`
+/// (both row means ascending).
+pub(crate) fn layer_norm_backward_rows(
+    yd: &[f32],
+    gd: &[f32],
+    inv_stds: &[f32],
+    dst: &mut [f32],
+    rows: usize,
+    d: usize,
+) {
+    for r in 0..rows {
+        let yr = &yd[r * d..(r + 1) * d];
+        let gr = &gd[r * d..(r + 1) * d];
+        let mg: f32 = gr.iter().sum::<f32>() / d as f32;
+        let mgy: f32 = gr.iter().zip(yr).map(|(&gi, &yi)| gi * yi).sum::<f32>() / d as f32;
+        let inv = inv_stds[r];
+        for j in 0..d {
+            dst[r * d + j] = (gr[j] - mg - yr[j] * mgy) * inv;
+        }
+    }
+}
+
+}
+
 /// In-place stabilized softmax of one row. Shared with the fused attention
 /// kernel so both paths stay bitwise identical.
+#[inline(always)]
 pub(crate) fn softmax_row(row: &mut [f32]) {
     let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
     let mut sum = 0.0f32;

@@ -8,14 +8,11 @@ use crate::tensor::Tensor;
 impl Tape {
     /// Metadata-only reshape (element count preserved).
     pub fn reshape(&mut self, a: Var, shape: impl Into<Shape>) -> Var {
-        let old = self.value(a).shape().clone();
+        let old = *self.value(a).shape();
         let value = self.value(a).reshape(shape);
-        self.push(
-            value,
-            Some(Box::new(move |g, _t, grads| {
-                grads.accumulate_with(a, &old, |dst| dst.copy_from_slice(g.data()));
-            })),
-        )
+        self.push_bwd(value, move |g, _t, grads| {
+            grads.accumulate_with(a, &old, |dst| dst.copy_from_slice(g.data()));
+        })
     }
 
     /// Slices `len` columns starting at `start` from the last dimension.
@@ -28,27 +25,23 @@ impl Tape {
             start + len
         );
         let rows = av.shape().leading();
-        let mut out = Vec::with_capacity(rows * len);
+        let mut out = crate::pool::take_f32(rows * len);
         for r in 0..rows {
             out.extend_from_slice(&av.data()[r * d + start..r * d + start + len]);
         }
-        let mut shape = av.shape().0.clone();
-        *shape.last_mut().unwrap() = len;
-        self.push(
-            Tensor::new(shape, out),
-            Some(Box::new(move |g, t, grads| {
-                let av = t.value(a);
-                let d = av.shape().last_dim();
-                let rows = av.shape().leading();
-                let a_shape = av.shape().clone();
-                grads.accumulate_with(a, &a_shape, |dst| {
-                    for r in 0..rows {
-                        dst[r * d + start..r * d + start + len]
-                            .copy_from_slice(&g.data()[r * len..(r + 1) * len]);
-                    }
-                });
-            })),
-        )
+        let shape = av.shape().with_last(len);
+        self.push_bwd(Tensor::new(shape, out), move |g, t, grads| {
+            let av = t.value(a);
+            let d = av.shape().last_dim();
+            let rows = av.shape().leading();
+            let a_shape = *av.shape();
+            grads.accumulate_with(a, &a_shape, |dst| {
+                for r in 0..rows {
+                    dst[r * d + start..r * d + start + len]
+                        .copy_from_slice(&g.data()[r * len..(r + 1) * len]);
+                }
+            });
+        })
     }
 
     /// Concatenates tensors along the last dimension. All inputs must share
@@ -56,11 +49,9 @@ impl Tape {
     pub fn concat_last(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_last of zero tensors");
         let rows = self.value(parts[0]).shape().leading();
-        let widths: Vec<usize> = parts
-            .iter()
-            .map(|&p| self.value(p).shape().last_dim())
-            .collect();
+        let mut widths = crate::pool::ScratchUsize::with_capacity(parts.len());
         for &p in parts {
+            widths.push(self.value(p).shape().last_dim());
             assert_eq!(
                 self.value(p).shape().leading(),
                 rows,
@@ -68,39 +59,42 @@ impl Tape {
             );
         }
         let total: usize = widths.iter().sum();
-        let mut out = Vec::with_capacity(rows * total);
+        let mut out = crate::pool::take_f32(rows * total);
         for r in 0..rows {
-            for (&p, &w) in parts.iter().zip(&widths) {
+            for (&p, &w) in parts.iter().zip(widths.iter()) {
                 let v = self.value(p);
                 out.extend_from_slice(&v.data()[r * w..(r + 1) * w]);
             }
         }
-        let mut shape = self.value(parts[0]).shape().0.clone();
-        *shape.last_mut().unwrap() = total;
-        let parts: Vec<Var> = parts.to_vec();
-        self.push(
-            Tensor::new(shape, out),
-            Some(Box::new(move |g, t, grads| {
-                let rows = t.value(parts[0]).shape().leading();
-                let widths: Vec<usize> = parts
-                    .iter()
-                    .map(|&p| t.value(p).shape().last_dim())
-                    .collect();
-                let total: usize = widths.iter().sum();
-                for (pi, &p) in parts.iter().enumerate() {
-                    let w = widths[pi];
-                    let offset: usize = widths[..pi].iter().sum();
-                    let p_shape = t.value(p).shape().clone();
-                    grads.accumulate_with(p, &p_shape, |dst| {
-                        for r in 0..rows {
-                            dst[r * w..(r + 1) * w].copy_from_slice(
-                                &g.data()[r * total + offset..r * total + offset + w],
-                            );
-                        }
-                    });
-                }
-            })),
-        )
+        let shape = self.value(parts[0]).shape().with_last(total);
+        // `Var` is a plain index, so the capture is a pooled index buffer
+        // (recycled when the closure is dropped on tape reset).
+        let parts = crate::pool::ScratchUsize(parts.iter().fold(
+            crate::pool::take_usize(parts.len()),
+            |mut v, p| {
+                v.push(p.0);
+                v
+            },
+        ));
+        self.push_bwd(Tensor::new(shape, out), move |g, t, grads| {
+            let rows = t.value(Var(parts[0])).shape().leading();
+            let mut widths = crate::pool::ScratchUsize::with_capacity(parts.len());
+            for &p in parts.iter() {
+                widths.push(t.value(Var(p)).shape().last_dim());
+            }
+            let total: usize = widths.iter().sum();
+            for (pi, &p) in parts.iter().enumerate() {
+                let w = widths[pi];
+                let offset: usize = widths[..pi].iter().sum();
+                let p_shape = *t.value(Var(p)).shape();
+                grads.accumulate_with(Var(p), &p_shape, |dst| {
+                    for r in 0..rows {
+                        dst[r * w..(r + 1) * w]
+                            .copy_from_slice(&g.data()[r * total + offset..r * total + offset + w]);
+                    }
+                });
+            }
+        })
     }
 
     /// Gathers rows of `a` (viewed as `[L, d]`) by index, producing
@@ -111,68 +105,68 @@ impl Tape {
         let av = self.value(a);
         let d = av.shape().last_dim();
         let rows = av.shape().leading();
-        let mut out = Vec::with_capacity(indices.len() * d);
+        let mut out = crate::pool::take_f32(indices.len() * d);
         for &i in indices {
             assert!(i < rows, "select_rows index {i} out of {rows} rows");
             out.extend_from_slice(&av.data()[i * d..(i + 1) * d]);
         }
-        let indices: Vec<usize> = indices.to_vec();
-        self.push(
-            Tensor::new([indices.len(), d], out),
-            Some(Box::new(move |g, t, grads| {
-                let av = t.value(a);
-                let d = av.shape().last_dim();
-                let a_shape = av.shape().clone();
-                grads.accumulate_with(a, &a_shape, |dst| {
-                    for (o, &i) in indices.iter().enumerate() {
-                        for j in 0..d {
-                            dst[i * d + j] += g.data()[o * d + j];
-                        }
+        let n = indices.len();
+        let indices = crate::pool::ScratchUsize::copy_of(indices);
+        self.push_bwd(Tensor::new([n, d], out), move |g, t, grads| {
+            let av = t.value(a);
+            let d = av.shape().last_dim();
+            let a_shape = *av.shape();
+            grads.accumulate_with(a, &a_shape, |dst| {
+                for (o, &i) in indices.iter().enumerate() {
+                    for j in 0..d {
+                        dst[i * d + j] += g.data()[o * d + j];
                     }
-                });
-            })),
-        )
+                }
+            });
+        })
     }
 
     /// Stacks rank-1 vectors of equal length into a `[k, d]` matrix.
     pub fn stack_rows(&mut self, rows: &[Var]) -> Var {
         assert!(!rows.is_empty(), "stack_rows of zero vectors");
         let d = self.value(rows[0]).numel();
-        let mut out = Vec::with_capacity(rows.len() * d);
+        let mut out = crate::pool::take_f32(rows.len() * d);
         for &r in rows {
             let v = self.value(r);
             assert_eq!(v.numel(), d, "stack_rows length mismatch");
             out.extend_from_slice(v.data());
         }
-        let rows: Vec<Var> = rows.to_vec();
         let k = rows.len();
-        self.push(
-            Tensor::new([k, d], out),
-            Some(Box::new(move |g, t, grads| {
-                for (i, &r) in rows.iter().enumerate() {
-                    let shape = t.value(r).shape().clone();
-                    grads.accumulate_with(r, &shape, |dst| dst.copy_from_slice(g.row(i)));
-                }
-            })),
-        )
+        let rows = crate::pool::ScratchUsize(rows.iter().fold(
+            crate::pool::take_usize(rows.len()),
+            |mut v, r| {
+                v.push(r.0);
+                v
+            },
+        ));
+        self.push_bwd(Tensor::new([k, d], out), move |g, t, grads| {
+            for (i, &r) in rows.iter().enumerate() {
+                let shape = *t.value(Var(r)).shape();
+                grads.accumulate_with(Var(r), &shape, |dst| dst.copy_from_slice(g.row(i)));
+            }
+        })
     }
 
     /// Extracts row `i` of `a` (viewed as `[L, d]`) as a rank-1 vector.
     pub fn row(&mut self, a: Var, i: usize) -> Var {
         let av = self.value(a);
         let d = av.shape().last_dim();
-        let value = Tensor::new([d], av.row(i).to_vec());
-        self.push(
-            value,
-            Some(Box::new(move |g, t, grads| {
-                let av = t.value(a);
-                let d = av.shape().last_dim();
-                let a_shape = av.shape().clone();
-                grads.accumulate_with(a, &a_shape, |dst| {
-                    dst[i * d..(i + 1) * d].copy_from_slice(g.data());
-                });
-            })),
-        )
+        let mut data = crate::pool::take_f32(d);
+        data.extend_from_slice(av.row(i));
+        let value = Tensor::new([d], data);
+        self.push_bwd(value, move |g, t, grads| {
+            let av = t.value(a);
+            let d = av.shape().last_dim();
+            let a_shape = *av.shape();
+            grads.accumulate_with(a, &a_shape, |dst| {
+                dst[i * d..(i + 1) * d].copy_from_slice(g.data());
+            });
+        })
     }
 }
 

@@ -77,23 +77,57 @@ impl Adam {
             let m = self.m[idx].get_or_insert_with(|| Tensor::zeros(g.shape().clone()));
             let v = self.v[idx].get_or_insert_with(|| Tensor::zeros(g.shape().clone()));
             let p = params.get_mut(id);
-            let lr = self.lr;
-            for i in 0..g.numel() {
-                let gi = g.data()[i];
-                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * gi;
-                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * gi * gi;
-                m.data_mut()[i] = mi;
-                v.data_mut()[i] = vi;
-                let m_hat = mi / bc1;
-                let v_hat = vi / bc2;
-                let mut update = lr * m_hat / (v_hat.sqrt() + self.eps);
-                if self.weight_decay > 0.0 {
-                    update += lr * self.weight_decay * p.data()[i];
-                }
-                p.data_mut()[i] -= update;
-            }
+            adam_update_slice(
+                p.data_mut(),
+                g.data(),
+                m.data_mut(),
+                v.data_mut(),
+                self.beta1,
+                self.beta2,
+                bc1,
+                bc2,
+                self.lr,
+                self.eps,
+                self.weight_decay,
+            );
         }
     }
+}
+
+crate::simd::simd_hot! {
+
+/// One Adam update over a parameter's flat data: every lane is an
+/// independent exactly-rounded chain, so this vectorizes fully.
+#[allow(clippy::too_many_arguments)]
+fn adam_update_slice(
+    p: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    beta1: f32,
+    beta2: f32,
+    bc1: f32,
+    bc2: f32,
+    lr: f32,
+    eps: f32,
+    weight_decay: f32,
+) {
+    for i in 0..g.len() {
+        let gi = g[i];
+        let mi = beta1 * m[i] + (1.0 - beta1) * gi;
+        let vi = beta2 * v[i] + (1.0 - beta2) * gi * gi;
+        m[i] = mi;
+        v[i] = vi;
+        let m_hat = mi / bc1;
+        let v_hat = vi / bc2;
+        let mut update = lr * m_hat / (v_hat.sqrt() + eps);
+        if weight_decay > 0.0 {
+            update += lr * weight_decay * p[i];
+        }
+        p[i] -= update;
+    }
+}
+
 }
 
 /// Plain stochastic gradient descent (used by a few baselines and tests).

@@ -1,0 +1,351 @@
+//! Size-bucketed buffer pool backing every tensor and scratch allocation.
+//!
+//! The tape arena gives buffers a shared lifetime: every op output, gradient
+//! slot and packing panel allocated during a step dies together when the tape
+//! (or [`crate::InferCtx`]) is reset. Instead of returning those `Vec`s to the
+//! global allocator and immediately re-requesting identical sizes on the next
+//! step, this module keeps per-thread free-lists bucketed by power-of-two
+//! capacity. After one warm-up step the steady state performs **zero** heap
+//! allocations in the numeric substrate (see `DESIGN.md` §10).
+//!
+//! Recycling is bitwise-safe by construction: a pooled buffer is never
+//! observable with stale contents. [`take_zeroed`] clears and `resize(n, 0.0)`s
+//! the vector (producing exactly the bytes of `vec![0.0; n]`) and
+//! [`take_f32`] returns a zero-length vector whose contents are only ever
+//! `extend`ed with freshly computed values.
+//!
+//! The pool is thread-local (the tape itself is `!Send`), so no locking is
+//! involved; each serve worker warms its own pool.
+
+use std::cell::RefCell;
+
+/// Number of power-of-two size classes. Class `c` holds vectors whose
+/// capacity lies in `[2^c, 2^(c+1))`; class 27 covers 512 MiB of `f32`s,
+/// far beyond anything the workloads allocate.
+const NUM_CLASSES: usize = 28;
+
+/// Maximum retained vectors per size class (per thread). A batched serve
+/// context retires a couple thousand buffers at once when it clears —
+/// heavily concentrated in the tiny classes (per-chain scalars and `[k]`
+/// vectors land together) — and any overflow here turns into one allocator
+/// round-trip per step, so the cap is sized well above what one tape or one
+/// serve batch of the model shapes retires at once. The byte budget below
+/// is the real memory bound.
+const MAX_PER_CLASS: usize = 4096;
+
+/// Total retained bytes per element-type pool (per thread). Bounds the pool
+/// the way the old `matmul_into_bt` thread-local `PACK` scratch was not.
+const MAX_POOL_BYTES: usize = 64 << 20;
+
+struct Pool<T> {
+    classes: Vec<Vec<Vec<T>>>,
+    bytes: usize,
+    enabled: bool,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T: Clone + Default> Pool<T> {
+    fn new() -> Self {
+        Pool {
+            classes: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
+            bytes: 0,
+            enabled: true,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Class that can serve requests of length `n`: every vector stored in
+    /// class `c` has capacity `>= 2^c`, so serving from `ceil(log2(n))`
+    /// guarantees no reallocation on `resize`/`extend` up to `n` elements.
+    fn class_for_request(n: usize) -> usize {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+
+    /// Class a vector of capacity `cap` is stored in: `floor(log2(cap))`.
+    fn class_for_capacity(cap: usize) -> usize {
+        (usize::BITS - 1 - cap.leading_zeros()) as usize
+    }
+
+    /// A vector with `len == 0` and `capacity >= n` (pooled or fresh).
+    fn take(&mut self, n: usize) -> Vec<T> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.enabled {
+            let class = Self::class_for_request(n);
+            if class < NUM_CLASSES {
+                if let Some(mut v) = self.classes[class].pop() {
+                    self.bytes -= v.capacity() * std::mem::size_of::<T>();
+                    self.hits += 1;
+                    v.clear();
+                    return v;
+                }
+                self.misses += 1;
+                // Allocate the full class width so the buffer lands back in
+                // `class` on recycle and serves every future request of this
+                // size without reallocating.
+                return Vec::with_capacity(n.next_power_of_two());
+            }
+        }
+        self.misses += 1;
+        Vec::with_capacity(n)
+    }
+
+    fn recycle(&mut self, v: Vec<T>) {
+        let cap = v.capacity();
+        if !self.enabled || cap == 0 {
+            return;
+        }
+        let class = Self::class_for_capacity(cap);
+        let bytes = cap * std::mem::size_of::<T>();
+        if class >= NUM_CLASSES
+            || self.classes[class].len() >= MAX_PER_CLASS
+            || self.bytes + bytes > MAX_POOL_BYTES
+        {
+            return; // over budget: let the allocator have it back
+        }
+        self.bytes += bytes;
+        self.classes[class].push(v);
+    }
+}
+
+thread_local! {
+    static F32_POOL: RefCell<Pool<f32>> = RefCell::new(Pool::new());
+    static USIZE_POOL: RefCell<Pool<usize>> = RefCell::new(Pool::new());
+}
+
+/// Pool hit/miss counters for one thread (used by benches and the zero-alloc
+/// gate to prove the steady state never touches the allocator).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from a free-list.
+    pub hits: u64,
+    /// Requests that had to allocate (warm-up or pool disabled).
+    pub misses: u64,
+    /// Bytes currently retained by the `f32` pool.
+    pub retained_bytes: usize,
+}
+
+/// Snapshot of this thread's `f32`-pool counters.
+pub fn stats() -> PoolStats {
+    F32_POOL.with(|p| {
+        let p = p.borrow();
+        PoolStats {
+            hits: p.hits,
+            misses: p.misses,
+            retained_bytes: p.bytes,
+        }
+    })
+}
+
+/// Resets this thread's hit/miss counters (retained buffers are kept).
+pub fn reset_stats() {
+    F32_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.hits = 0;
+        p.misses = 0;
+    });
+    USIZE_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.hits = 0;
+        p.misses = 0;
+    });
+}
+
+/// Enables or disables pooling on this thread, returning the previous state.
+///
+/// While disabled, takes allocate fresh exact-size vectors and recycles drop
+/// their argument — the pre-pool behaviour. Tests use this to prove the
+/// pooled and fresh paths are bit-identical; the bench uses it for the
+/// unpooled `train_step` baseline arm.
+pub fn set_enabled(enabled: bool) -> bool {
+    let prev_f = F32_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        std::mem::replace(&mut p.enabled, enabled)
+    });
+    USIZE_POOL.with(|p| p.borrow_mut().enabled = enabled);
+    prev_f
+}
+
+/// An empty `Vec<f32>` with capacity for at least `n` elements. Extend it
+/// with exactly the values you would have collected into a fresh vector.
+pub fn take_f32(n: usize) -> Vec<f32> {
+    F32_POOL.with(|p| p.borrow_mut().take(n))
+}
+
+/// A `Vec<f32>` of length `n` holding all zeros — bitwise identical to
+/// `vec![0.0f32; n]`.
+pub fn take_f32_zeroed(n: usize) -> Vec<f32> {
+    let mut v = take_f32(n);
+    v.resize(n, 0.0);
+    v
+}
+
+/// A `Vec<f32>` of length `n` filled with `x` — bitwise `vec![x; n]`.
+pub fn take_f32_filled(n: usize, x: f32) -> Vec<f32> {
+    let mut v = take_f32(n);
+    v.resize(n, x);
+    v
+}
+
+/// Returns a buffer to this thread's pool. Called by `Tensor::drop`; call it
+/// directly for raw scratch vectors obtained from [`take_f32`].
+pub fn recycle_f32(v: Vec<f32>) {
+    // `try_with` so drops during thread teardown degrade to a plain free.
+    let _ = F32_POOL.try_with(|p| p.borrow_mut().recycle(v));
+}
+
+/// An empty `Vec<usize>` with capacity for at least `n` elements.
+pub fn take_usize(n: usize) -> Vec<usize> {
+    USIZE_POOL.with(|p| p.borrow_mut().take(n))
+}
+
+/// Returns an index buffer to this thread's pool.
+pub fn recycle_usize(v: Vec<usize>) {
+    let _ = USIZE_POOL.try_with(|p| p.borrow_mut().recycle(v));
+}
+
+/// RAII scratch buffer of `f32`s: recycles itself into the pool on drop.
+/// Used for kernel packing panels and backward-pass scratch that is not a
+/// [`crate::Tensor`] (tensors recycle through their own `Drop`).
+#[derive(Debug, Default)]
+pub struct ScratchF32(pub Vec<f32>);
+
+impl ScratchF32 {
+    /// Empty scratch with capacity for at least `n` elements.
+    pub fn with_capacity(n: usize) -> Self {
+        ScratchF32(take_f32(n))
+    }
+
+    /// Zero-filled scratch of length `n` (bitwise `vec![0.0; n]`).
+    pub fn zeroed(n: usize) -> Self {
+        ScratchF32(take_f32_zeroed(n))
+    }
+}
+
+impl Drop for ScratchF32 {
+    fn drop(&mut self) {
+        recycle_f32(std::mem::take(&mut self.0));
+    }
+}
+
+impl std::ops::Deref for ScratchF32 {
+    type Target = Vec<f32>;
+    fn deref(&self) -> &Vec<f32> {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for ScratchF32 {
+    fn deref_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.0
+    }
+}
+
+/// RAII scratch buffer of `usize`s (chain/row indices, argmax results, …).
+#[derive(Debug, Default)]
+pub struct ScratchUsize(pub Vec<usize>);
+
+impl ScratchUsize {
+    /// Empty scratch with capacity for at least `n` elements.
+    pub fn with_capacity(n: usize) -> Self {
+        ScratchUsize(take_usize(n))
+    }
+
+    /// Pooled copy of a slice.
+    pub fn copy_of(xs: &[usize]) -> Self {
+        let mut v = take_usize(xs.len());
+        v.extend_from_slice(xs);
+        ScratchUsize(v)
+    }
+}
+
+impl Drop for ScratchUsize {
+    fn drop(&mut self) {
+        recycle_usize(std::mem::take(&mut self.0));
+    }
+}
+
+impl std::ops::Deref for ScratchUsize {
+    type Target = Vec<usize>;
+    fn deref(&self) -> &Vec<usize> {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for ScratchUsize {
+    fn deref_mut(&mut self) -> &mut Vec<usize> {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroed_matches_fresh_vec_bitwise() {
+        // Dirty the pool with a recognizable pattern, then prove a zeroed
+        // take cannot observe it.
+        let mut v = take_f32(100);
+        v.resize(100, f32::NAN);
+        recycle_f32(v);
+        let z = take_f32_zeroed(100);
+        let fresh = vec![0.0f32; 100];
+        assert_eq!(z.len(), fresh.len());
+        for (a, b) in z.iter().zip(&fresh) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn steady_state_hits_after_warm_up() {
+        reset_stats();
+        for _ in 0..3 {
+            let v = take_f32_zeroed(1000);
+            recycle_f32(v);
+        }
+        let s = stats();
+        assert!(s.hits >= 2, "expected pool hits, got {s:?}");
+        assert!(s.misses <= 1, "expected one warm-up miss, got {s:?}");
+    }
+
+    #[test]
+    fn served_capacity_always_fits_request() {
+        // A recycled odd-capacity vector must never be served to a request
+        // it cannot hold without reallocating.
+        recycle_f32(Vec::with_capacity(100)); // class 6 (64..128)
+        let v = take_f32(100); // requests class 7
+        assert!(v.capacity() >= 100);
+        let w = take_f32(65); // class 7 again; the cap-100 vec is in class 6
+        assert!(w.capacity() >= 65);
+    }
+
+    #[test]
+    fn disabled_pool_allocates_fresh() {
+        let prev = set_enabled(false);
+        let v = take_f32_zeroed(64);
+        recycle_f32(v);
+        reset_stats();
+        let v = take_f32_zeroed(64);
+        assert_eq!(stats().hits, 0);
+        drop(v);
+        set_enabled(prev);
+    }
+
+    #[test]
+    fn scratch_recycles_on_drop() {
+        let prev = set_enabled(true);
+        {
+            let mut s = ScratchF32::with_capacity(512);
+            s.push(1.0);
+        }
+        reset_stats();
+        let s2 = ScratchF32::with_capacity(512);
+        assert_eq!(stats().hits, 1, "scratch drop did not recycle");
+        drop(s2);
+        set_enabled(prev);
+    }
+}

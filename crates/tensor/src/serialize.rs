@@ -57,7 +57,7 @@ pub fn save_params(store: &ParamStore, mut w: impl Write) -> io::Result<()> {
         let name_bytes = name.as_bytes();
         w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
         w.write_all(name_bytes)?;
-        let dims = &tensor.shape().0;
+        let dims = tensor.shape().dims();
         w.write_all(&(dims.len() as u32).to_le_bytes())?;
         for &d in dims {
             w.write_all(&(d as u32).to_le_bytes())?;
@@ -118,10 +118,10 @@ pub fn load_params(store: &mut ParamStore, mut r: impl Read) -> Result<(), Check
         for _ in 0..rank {
             dims.push(read_u32(&mut r)? as usize);
         }
-        if dims != tensor.shape().0 {
+        if dims.as_slice() != tensor.shape().dims() {
             return Err(CheckpointError::Mismatch(format!(
                 "param {name:?}: checkpoint shape {dims:?} vs store {:?}",
-                tensor.shape().0
+                tensor.shape().dims()
             )));
         }
         let numel: usize = dims.iter().product::<usize>().max(1);

@@ -1,91 +1,155 @@
 //! Shape utilities for row-major contiguous tensors.
 
+/// Maximum supported tensor rank. Nothing in the model exceeds rank 3
+/// (`[batch, seq, dim]`); 4 leaves headroom without growing the struct.
+pub const MAX_RANK: usize = 4;
+
 /// A tensor shape: dimension sizes, outermost first.
 ///
 /// Tensors in this crate are always row-major and contiguous, so a shape plus
 /// a flat `Vec<f32>` fully describes the data. There are no strided views;
 /// `reshape` is metadata-only and `transpose` materializes.
-#[derive(Clone, PartialEq, Eq, Debug, Hash)]
-pub struct Shape(pub Vec<usize>);
+///
+/// Dimensions are stored inline (rank ≤ [`MAX_RANK`]) so `Shape` is `Copy`
+/// and constructing or cloning a tensor never heap-allocates for its shape —
+/// a prerequisite for the zero-allocation steady state (`DESIGN.md` §10).
+#[derive(Clone, Copy, Debug)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
 
 impl Shape {
+    /// Shape from a dimension list. Panics if the rank exceeds [`MAX_RANK`].
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "rank {} exceeds MAX_RANK {MAX_RANK}",
+            dims.len()
+        );
+        let mut d = [0usize; MAX_RANK];
+        d[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: d,
+            rank: dims.len() as u8,
+        }
+    }
+
     /// Scalar shape (rank 0, one element).
     pub fn scalar() -> Self {
-        Shape(vec![])
+        Shape::new(&[])
+    }
+
+    /// The dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
     }
 
     /// Total number of elements.
     pub fn numel(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.rank as usize
     }
 
     /// Size of the last dimension; 1 for scalars.
     pub fn last_dim(&self) -> usize {
-        self.0.last().copied().unwrap_or(1)
+        self.dims().last().copied().unwrap_or(1)
     }
 
     /// Number of rows when the tensor is viewed as `[numel / last_dim, last_dim]`.
     pub fn leading(&self) -> usize {
-        if self.0.is_empty() {
+        let d = self.dims();
+        if d.is_empty() {
             1
         } else {
-            self.0[..self.0.len() - 1].iter().product()
+            d[..d.len() - 1].iter().product()
         }
     }
 
     /// Dimension size at `i`, panicking with a readable message out of range.
     pub fn dim(&self, i: usize) -> usize {
         assert!(
-            i < self.0.len(),
+            i < self.rank(),
             "dim {i} out of range for shape {:?}",
-            self.0
+            self.dims()
         );
-        self.0[i]
+        self.dims[i]
+    }
+
+    /// This shape with the last dimension replaced by `len`.
+    ///
+    /// Panics on scalars (there is no last dimension to replace).
+    pub fn with_last(&self, len: usize) -> Shape {
+        assert!(self.rank() > 0, "scalar shape has no last dimension");
+        let mut s = *self;
+        s.dims[s.rank as usize - 1] = len;
+        s
     }
 
     /// Interprets the shape as a matrix `[rows, cols]`.
     ///
     /// Panics unless the rank is exactly 2.
     pub fn as_matrix(&self) -> (usize, usize) {
-        assert!(self.rank() == 2, "expected rank-2 shape, got {:?}", self.0);
-        (self.0[0], self.0[1])
+        assert!(
+            self.rank() == 2,
+            "expected rank-2 shape, got {:?}",
+            self.dims()
+        );
+        (self.dims[0], self.dims[1])
     }
 
     /// Interprets the shape as a batch of matrices `[batch, rows, cols]`.
     ///
     /// Panics unless the rank is exactly 3.
     pub fn as_batch_matrix(&self) -> (usize, usize, usize) {
-        assert!(self.rank() == 3, "expected rank-3 shape, got {:?}", self.0);
-        (self.0[0], self.0[1], self.0[2])
+        assert!(
+            self.rank() == 3,
+            "expected rank-3 shape, got {:?}",
+            self.dims()
+        );
+        (self.dims[0], self.dims[1], self.dims[2])
+    }
+}
+
+impl PartialEq for Shape {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims() == other.dims()
+    }
+}
+
+impl Eq for Shape {}
+
+impl std::hash::Hash for Shape {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.dims().hash(state);
     }
 }
 
 impl From<Vec<usize>> for Shape {
     fn from(v: Vec<usize>) -> Self {
-        Shape(v)
+        Shape::new(&v)
     }
 }
 
 impl From<&[usize]> for Shape {
     fn from(v: &[usize]) -> Self {
-        Shape(v.to_vec())
+        Shape::new(v)
     }
 }
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(v: [usize; N]) -> Self {
-        Shape(v.to_vec())
+        Shape::new(&v)
     }
 }
 
 impl std::fmt::Display for Shape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:?}", self.0)
+        write!(f, "{:?}", self.dims())
     }
 }
 
@@ -121,5 +185,12 @@ mod tests {
     #[should_panic(expected = "rank-2")]
     fn as_matrix_rejects_vector() {
         Shape::from([3]).as_matrix();
+    }
+
+    #[test]
+    fn equality_ignores_trailing_storage() {
+        assert_eq!(Shape::from([2, 3]), Shape::new(&[2, 3]));
+        assert_ne!(Shape::from([2, 3]), Shape::from([2, 3, 1]));
+        assert_eq!(Shape::from([4]).with_last(7), Shape::from([7]));
     }
 }

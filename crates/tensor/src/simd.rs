@@ -1,0 +1,165 @@
+//! Runtime-dispatched wide-vector compilation of the hot numeric kernels.
+//!
+//! The workspace builds for baseline `x86-64` (SSE2, 4 f32 lanes) so the
+//! binaries stay portable. The hot loops, however, are memory-bandwidth and
+//! port-width bound: on an AVX2 (8-lane) or AVX-512 (16-lane) machine the
+//! baseline codegen leaves most of the vector unit idle. [`simd_hot!`]
+//! closes that gap without a second build: it compiles the *same* function
+//! body once per feature tier behind `#[target_feature]`, and a cached
+//! one-time CPUID probe picks the widest tier the host supports.
+//!
+//! # Why this cannot change results
+//!
+//! The repo's determinism contract is bitwise: every reduction consumes its
+//! terms in a fixed order, one exactly-rounded IEEE op at a time. Widening
+//! the vector unit cannot break that, for two structural reasons:
+//!
+//! 1. rustc emits no fast-math flags, so LLVM is not *allowed* to
+//!    reassociate floating-point reductions or contract `a*b + c` into an
+//!    FMA — the only transforms that could alter rounding. Loops that
+//!    auto-vectorize are exactly the element-independent ones, where each
+//!    lane is the same serial chain of exactly-rounded ops it was in scalar
+//!    code (IEEE-754 `mulps`/`addps`/`divps`/`sqrtps` are exact per lane).
+//! 2. Serial dependence (dot products, running sums, `softmax` row sums)
+//!    therefore stays scalar in every tier — slower, but bit-stable.
+//!
+//! Consequently baseline, AVX2 and AVX-512 tiers return identical bits and
+//! the dispatch never needs to be pinned for reproducibility. The
+//! `fused_attention` / pooled-vs-fresh equivalence suites run the same
+//! kernels on whatever host executes them, so any codegen deviation would
+//! trip the bitwise asserts immediately.
+
+/// Baseline tier: whatever the crate was compiled for (SSE2 on x86-64).
+pub(crate) const BASELINE: u8 = 0;
+/// AVX2 tier: 8-lane f32 vectors.
+pub(crate) const AVX2: u8 = 1;
+/// AVX-512 tier: 16-lane f32 vectors (F/VL/DQ/BW, the f32-relevant subset).
+pub(crate) const AVX512: u8 = 2;
+
+/// The widest tier this CPU supports; probed once, then cached.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn level() -> u8 {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    const UNPROBED: u8 = u8::MAX;
+    static LEVEL: AtomicU8 = AtomicU8::new(UNPROBED);
+    let cached = LEVEL.load(Ordering::Relaxed);
+    if cached != UNPROBED {
+        return cached;
+    }
+    let detected = if std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512vl")
+        && std::arch::is_x86_feature_detected!("avx512dq")
+        && std::arch::is_x86_feature_detected!("avx512bw")
+    {
+        AVX512
+    } else if std::arch::is_x86_feature_detected!("avx2") {
+        AVX2
+    } else {
+        BASELINE
+    };
+    LEVEL.store(detected, Ordering::Relaxed);
+    detected
+}
+
+/// Non-x86 hosts always run the baseline tier.
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn level() -> u8 {
+    BASELINE
+}
+
+/// Compiles each function body three times — baseline, AVX2, AVX-512 — and
+/// dispatches on [`level()`]. The body is emitted as an `#[inline(always)]`
+/// inner function, so helpers it calls must themselves be `#[inline]`-able
+/// for the wide tiers to reach them; anything that stays out-of-line simply
+/// runs baseline code, which is bit-identical (see module docs).
+macro_rules! simd_hot {
+    ($( $(#[$meta:meta])* $vis:vis fn $name:ident( $($arg:ident : $ty:ty),* $(,)? ) $(-> $ret:ty)? $body:block )*) => {$(
+        $(#[$meta])*
+        $vis fn $name($($arg: $ty),*) $(-> $ret)? {
+            #[inline(always)]
+            fn baseline($($arg: $ty),*) $(-> $ret)? $body
+            #[cfg(target_arch = "x86_64")]
+            {
+                #[target_feature(enable = "avx2")]
+                unsafe fn avx2($($arg: $ty),*) $(-> $ret)? {
+                    baseline($($arg),*)
+                }
+                #[target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw")]
+                unsafe fn avx512($($arg: $ty),*) $(-> $ret)? {
+                    baseline($($arg),*)
+                }
+                // SAFETY: `level()` only reports a tier after probing that
+                // this CPU supports every feature the tier enables.
+                match $crate::simd::level() {
+                    $crate::simd::AVX512 => return unsafe { avx512($($arg),*) },
+                    $crate::simd::AVX2 => return unsafe { avx2($($arg),*) },
+                    _ => {}
+                }
+            }
+            baseline($($arg),*)
+        }
+    )*};
+}
+pub(crate) use simd_hot;
+
+simd_hot! {
+    /// `dst[i] += src[i]` — the gradient-accumulation workhorse.
+    pub(crate) fn add_assign_slice(dst: &mut [f32], src: &[f32]) {
+        assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
+        for (o, s) in dst.iter_mut().zip(src) {
+            *o += *s;
+        }
+    }
+
+    /// `dst[i] *= alpha` — gradient clipping / scaling.
+    pub(crate) fn scale_slice(dst: &mut [f32], alpha: f32) {
+        for x in dst.iter_mut() {
+            *x *= alpha;
+        }
+    }
+
+    /// `dst[i] += alpha * src[i]`.
+    pub(crate) fn axpy_slice(dst: &mut [f32], alpha: f32, src: &[f32]) {
+        assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+        for (o, s) in dst.iter_mut().zip(src) {
+            *o += alpha * *s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probed_level_is_a_known_tier() {
+        let l = level();
+        assert!(l == BASELINE || l == AVX2 || l == AVX512);
+        assert_eq!(l, level(), "probe must be stable");
+    }
+
+    #[test]
+    fn slice_helpers_match_scalar_reference() {
+        let n = 1037; // odd length: exercises the vector tail
+        let a: Vec<f32> = (0..n).map(|i| (i as f32) * 0.37 - 11.0).collect();
+        let b: Vec<f32> = (0..n).map(|i| (i as f32) * -0.11 + 3.0).collect();
+
+        let mut got = a.clone();
+        add_assign_slice(&mut got, &b);
+        for i in 0..n {
+            assert_eq!(got[i].to_bits(), (a[i] + b[i]).to_bits());
+        }
+
+        let mut got = a.clone();
+        scale_slice(&mut got, 0.731);
+        for i in 0..n {
+            assert_eq!(got[i].to_bits(), (a[i] * 0.731f32).to_bits());
+        }
+
+        let mut got = a.clone();
+        axpy_slice(&mut got, -1.93, &b);
+        for i in 0..n {
+            assert_eq!(got[i].to_bits(), (a[i] + (-1.93f32) * b[i]).to_bits());
+        }
+    }
+}

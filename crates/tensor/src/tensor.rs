@@ -3,14 +3,43 @@
 //! These kernels are shared by the autodiff layer (forward evaluation and the
 //! hand-written backward rules in [`crate::ops`]) and by non-learned code such
 //! as the baselines.
+//!
+//! All tensor data buffers come from the thread-local [`crate::pool`]; a
+//! tensor's `Drop` returns its buffer to the pool, so arena-lifetime tensors
+//! (tape nodes, gradient slots, `InferCtx` values) recycle instead of hitting
+//! the global allocator every step.
 
+use crate::pool;
 use crate::shape::Shape;
 
 /// A dense, row-major, contiguous `f32` tensor.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Debug)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = pool::take_f32(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor {
+            shape: self.shape,
+            data,
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        pool::recycle_f32(std::mem::take(&mut self.data));
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
 }
 
 impl Tensor {
@@ -33,7 +62,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: pool::take_f32_zeroed(n),
         }
     }
 
@@ -48,7 +77,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![value; n],
+            data: pool::take_f32_filled(n, value),
         }
     }
 
@@ -56,20 +85,22 @@ impl Tensor {
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::scalar(),
-            data: vec![value],
+            data: pool::take_f32_filled(1, value),
         }
     }
 
     /// A rank-1 tensor from a slice.
     pub fn vector(values: &[f32]) -> Self {
-        Tensor::new([values.len()], values.to_vec())
+        let mut data = pool::take_f32(values.len());
+        data.extend_from_slice(values);
+        Tensor::new([values.len()], data)
     }
 
     /// A rank-2 tensor from rows; panics on ragged input.
     pub fn matrix(rows: &[&[f32]]) -> Self {
         let r = rows.len();
         let c = rows.first().map_or(0, |row| row.len());
-        let mut data = Vec::with_capacity(r * c);
+        let mut data = pool::take_f32(r * c);
         for row in rows {
             assert_eq!(row.len(), c, "ragged matrix rows");
             data.extend_from_slice(row);
@@ -98,8 +129,11 @@ impl Tensor {
     }
 
     /// Consumes the tensor, returning its flat data.
-    pub fn into_data(self) -> Vec<f32> {
-        self.data
+    ///
+    /// The buffer leaves the pool's custody: dropping the returned `Vec`
+    /// frees it to the allocator.
+    pub fn into_data(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// The single value of a rank-0/1-element tensor.
@@ -130,17 +164,18 @@ impl Tensor {
             "reshape {} -> {shape} changes element count",
             self.shape
         );
-        Tensor {
-            shape,
-            data: self.data.clone(),
-        }
+        let mut data = pool::take_f32(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor { shape, data }
     }
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = pool::take_f32(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape,
+            data,
         }
     }
 
@@ -151,14 +186,10 @@ impl Tensor {
             "zip shape mismatch {} vs {}",
             self.shape, other.shape
         );
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = pool::take_f32(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data,
         }
     }
@@ -166,24 +197,18 @@ impl Tensor {
     /// In-place `self += other` (same shape).
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        crate::simd::add_assign_slice(&mut self.data, &other.data);
     }
 
     /// In-place `self += alpha * other` (same shape).
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        crate::simd::axpy_slice(&mut self.data, alpha, &other.data);
     }
 
     /// Scales every element in place.
     pub fn scale_in_place(&mut self, alpha: f32) {
-        for a in &mut self.data {
-            *a *= alpha;
-        }
+        crate::simd::scale_slice(&mut self.data, alpha);
     }
 
     /// Sum of all elements.
@@ -226,7 +251,7 @@ impl Tensor {
             "matmul inner-dim mismatch {} vs {}",
             self.shape, rhs.shape
         );
-        let mut out = vec![0.0f32; m * n];
+        let mut out = pool::take_f32_zeroed(m * n);
         matmul_into(&self.data, &rhs.data, &mut out, m, k, n);
         Tensor::new([m, n], out)
     }
@@ -241,7 +266,7 @@ impl Tensor {
             "bmm inner-dim mismatch {} vs {}",
             self.shape, rhs.shape
         );
-        let mut out = vec![0.0f32; b * m * n];
+        let mut out = pool::take_f32_zeroed(b * m * n);
         for i in 0..b {
             matmul_into(
                 &self.data[i * m * k..(i + 1) * m * k],
@@ -258,7 +283,7 @@ impl Tensor {
     /// Rank-2 transpose (materialized).
     pub fn transpose(&self) -> Tensor {
         let (m, n) = self.shape.as_matrix();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = pool::take_f32_zeroed(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = self.data[i * n + j];
@@ -270,7 +295,7 @@ impl Tensor {
     /// Batched transpose of the last two dims `[b,m,n] -> [b,n,m]`.
     pub fn transpose_batch(&self) -> Tensor {
         let (b, m, n) = self.shape.as_batch_matrix();
-        let mut out = vec![0.0f32; b * m * n];
+        let mut out = pool::take_f32_zeroed(b * m * n);
         for i in 0..b {
             let src = &self.data[i * m * n..(i + 1) * m * n];
             let dst = &mut out[i * m * n..(i + 1) * m * n];
@@ -290,22 +315,204 @@ impl Tensor {
 // forward kernels above and the backward rules in `crate::ops::linalg` —
 // together they close matmul under differentiation without ever
 // materializing a transpose. All three obey one determinism contract:
-// every output element is produced by a single accumulator that consumes
-// the k products in strictly increasing reduction-index order. Register
-// tiling (4-wide unrolls, k-blocking) only ever splits the *independent*
-// dimensions (i, j), never the reduction, so results are bitwise-stable
-// across kernel rewrites — the bitwise loss-trajectory test depends on it.
+// every output element is produced by a single accumulator chain that
+// starts from the element's prior `out` value and consumes the k products
+// in strictly increasing reduction-index order. Tiling and packing only
+// ever split the *independent* dimensions (i, j), never the reduction, so
+// results are bitwise-stable across kernel rewrites — the bitwise
+// loss-trajectory test depends on it.
+//
+// Shapes above `BLOCKED_MIN_FLOPS` take the register-tiled path: A and B
+// are packed into pooled MR-row / NR-column panels and a 4×8 micro-kernel
+// keeps the output tile in registers for the entire reduction, so each
+// loaded panel value feeds 8 (resp. 4) multiplies instead of 1. The
+// reduction is deliberately *not* split into Kc chunks spilled through
+// memory: with `+=`-into-out semantics that would re-associate the
+// per-element chain (`(out + s1) + s2 ≠ out + (s1 + s2)` in f32). The
+// panels are small enough at these problem sizes (k ≤ a few hundred) that
+// an MR×k strip lives comfortably in L1 anyway; cache blocking falls out
+// of the panel traversal order rather than an explicit Kc loop.
+
+/// Register tile height: rows of `out` carried per micro-kernel.
+const MR: usize = 4;
+/// Register tile width: columns of `out` carried per micro-kernel.
+const NR: usize = 8;
+/// Problem-volume floor (`m·k·n`) below which the scalar kernels win
+/// (packing overhead dominates tiny GEMMs like per-head attention bmm).
+const BLOCKED_MIN_FLOPS: usize = 8 * 1024;
+
+/// Deterministic dispatcher shared by all three kernel variants.
+fn use_blocked(m: usize, k: usize, n: usize) -> bool {
+    m >= MR && n >= NR && k >= 2 && m * k * n >= BLOCKED_MIN_FLOPS
+}
+
+/// Packs `a` (either `[m,k]` or, when `AT`, `[k,m]`) into MR-row panels:
+/// `ap[ip*MR*k + p*MR + r] = A[i0+r, p]`. Rows past `m` stay zero.
+#[inline(always)]
+fn pack_a<const AT: bool>(a: &[f32], ap: &mut [f32], m: usize, k: usize) {
+    let mp = m.div_ceil(MR);
+    for ip in 0..mp {
+        let i0 = ip * MR;
+        let rows = MR.min(m - i0);
+        let panel = &mut ap[ip * MR * k..(ip + 1) * MR * k];
+        for r in 0..rows {
+            let i = i0 + r;
+            if AT {
+                for p in 0..k {
+                    panel[p * MR + r] = a[p * m + i];
+                }
+            } else {
+                let a_row = &a[i * k..(i + 1) * k];
+                for (p, &v) in a_row.iter().enumerate() {
+                    panel[p * MR + r] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Packs `b` (either `[k,n]` or, when `BT`, `[n,k]`) into NR-column panels:
+/// `bp[jp*NR*k + p*NR + c] = B[p, j0+c]`. Columns past `n` stay zero.
+#[inline(always)]
+fn pack_b<const BT: bool>(b: &[f32], bp: &mut [f32], k: usize, n: usize) {
+    let np = n.div_ceil(NR);
+    for jp in 0..np {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let panel = &mut bp[jp * NR * k..(jp + 1) * NR * k];
+        if BT {
+            for c in 0..cols {
+                let b_row = &b[(j0 + c) * k..(j0 + c + 1) * k];
+                for (p, &v) in b_row.iter().enumerate() {
+                    panel[p * NR + c] = v;
+                }
+            }
+        } else {
+            for p in 0..k {
+                let b_row = &b[p * n + j0..p * n + j0 + cols];
+                for (c, &v) in b_row.iter().enumerate() {
+                    panel[p * NR + c] = v;
+                }
+            }
+        }
+    }
+}
+
+/// MR×NR micro-kernel for a *full* output tile: constant-size loads and
+/// stores only, so LLVM promotes the whole accumulator tile to vector
+/// registers (SROA fails the moment `acc` is borrowed at a runtime-length
+/// slice, which is why edge tiles take the generic kernel below).
+#[inline(always)]
+fn micro_full(a_panel: &[f32], b_panel: &[f32], out: &mut [f32], i0: usize, j0: usize, n: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for r in 0..MR {
+        let o = (i0 + r) * n + j0;
+        acc[r].copy_from_slice(&out[o..o + NR]);
+    }
+    for (av, bv) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+        let bn: &[f32; NR] = bv.try_into().unwrap();
+        for r in 0..MR {
+            let ar = av[r];
+            for c in 0..NR {
+                acc[r][c] += ar * bn[c];
+            }
+        }
+    }
+    for r in 0..MR {
+        let o = (i0 + r) * n + j0;
+        out[o..o + NR].copy_from_slice(&acc[r]);
+    }
+}
+
+/// Generic micro-kernel for edge tiles (`rows < MR` or `cols < NR`): same
+/// accumulation chain, but load/store only the valid rectangle. `acc` spills
+/// to the stack here, which is fine — edge tiles are at most one strip per
+/// dimension.
+#[inline(never)]
+fn micro_edge(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    n: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_row) in acc.iter_mut().enumerate().take(rows) {
+        let o = (i0 + r) * n + j0;
+        acc_row[..cols].copy_from_slice(&out[o..o + cols]);
+    }
+    for (av, bv) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let ar = av[r];
+            for c in 0..NR {
+                acc_row[c] += ar * bv[c];
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+        let o = (i0 + r) * n + j0;
+        out[o..o + cols].copy_from_slice(&acc_row[..cols]);
+    }
+}
+
+/// Register-tiled `out += A·B` over pooled packed panels.
+///
+/// Each MR×NR output tile is loaded once, accumulated in registers across
+/// the **whole** reduction (increasing p, one add per product — bitwise
+/// identical to the scalar kernels), and stored once. Panel entries beyond
+/// the valid edge are zero-padded; their accumulator lanes are discarded,
+/// never stored.
+#[inline(always)]
+fn gemm_blocked<const AT: bool, const BT: bool>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let mp = m.div_ceil(MR);
+    let np = n.div_ceil(NR);
+    let mut ap = pool::ScratchF32::zeroed(mp * MR * k);
+    let mut bp = pool::ScratchF32::zeroed(np * NR * k);
+    pack_a::<AT>(a, &mut ap, m, k);
+    pack_b::<BT>(b, &mut bp, k, n);
+    for jp in 0..np {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let b_panel = &bp[jp * NR * k..(jp + 1) * NR * k];
+        for ip in 0..mp {
+            let i0 = ip * MR;
+            let rows = MR.min(m - i0);
+            let a_panel = &ap[ip * MR * k..(ip + 1) * MR * k];
+            if rows == MR && cols == NR {
+                micro_full(a_panel, b_panel, out, i0, j0, n);
+            } else {
+                micro_edge(a_panel, b_panel, out, i0, j0, n, rows, cols);
+            }
+        }
+    }
+}
+
+crate::simd::simd_hot! {
 
 /// `out += a[m,k] * b[k,n]`.
 ///
-/// ikj loop order keeps the innermost accesses sequential in both `b` and
-/// `out`; the reduction dimension is blocked by 4 so each pass touches four
-/// `b` rows per load/store sweep of the `out` row (4× less `out` traffic),
-/// with the per-element summation order unchanged.
+/// Large shapes dispatch to the register-tiled packed path; small shapes use
+/// an ikj loop that keeps the innermost accesses sequential in both `b` and
+/// `out`, with the reduction blocked by 4 so each pass touches four `b` rows
+/// per load/store sweep of the `out` row. Both paths produce identical bits
+/// (per-element summation order is the same serial chain).
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    if use_blocked(m, k, n) {
+        return gemm_blocked::<false, false>(a, b, out, m, k, n);
+    }
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
@@ -340,13 +547,16 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
 
 /// `out[m,n] += aᵀ[m,k] * b[k,n]` with `a` stored untransposed as `[k,m]`.
 ///
-/// The reduction index is the *leading* dimension of both inputs, so the
-/// inner loop still streams `b` and `out` rows contiguously; blocking the
-/// reduction by 4 quarters the passes over `out`.
+/// The reduction index is the *leading* dimension of both inputs; the packed
+/// path gathers `a` columns into row panels during packing, the small path
+/// streams `b` and `out` rows with the reduction blocked by 4.
 pub fn matmul_into_at(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    if use_blocked(m, k, n) {
+        return gemm_blocked::<true, false>(a, b, out, m, k, n);
+    }
     let mut p = 0;
     while p + 4 <= k {
         let b0 = &b[p * n..(p + 1) * n];
@@ -386,33 +596,30 @@ pub fn matmul_into_at(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
 
 /// `out[m,n] += a[m,k] * bᵀ[k,n]` with `b` stored untransposed as `[n,k]`.
 ///
-/// Direct row-dot evaluation cannot vectorize here — the per-element
-/// reduction must stay a single serial chain — so the kernel instead packs
-/// `b` into a transposed `[k,n]` scratch tile (reused thread-locally, no
-/// steady-state allocation) and runs the same j-contiguous blocked loop as
-/// [`matmul_into`]. The pack is kernel-internal: callers (in particular the
-/// backward closures) never see or allocate a transposed tensor, and the
-/// per-element summation order is identical to composing a materialized
-/// transpose with `matmul_into`.
+/// The packed path reads `b` rows directly as column panels (the transpose
+/// is free in the packing gather). The small path packs `b` into a pooled
+/// transposed `[k,n]` scratch tile — bounded and reusable via the pool,
+/// unlike the unbounded thread-local it replaces — and runs the blocked
+/// small loop of [`matmul_into`]. Either way the pack is kernel-internal:
+/// callers (in particular the backward closures) never see or allocate a
+/// transposed tensor, and the per-element summation order is identical to
+/// composing a materialized transpose with [`matmul_into`].
 pub fn matmul_into_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    use std::cell::RefCell;
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
-    thread_local! {
-        static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    if use_blocked(m, k, n) {
+        return gemm_blocked::<false, true>(a, b, out, m, k, n);
     }
-    PACK.with(|cell| {
-        let mut bt = cell.borrow_mut();
-        bt.clear();
-        bt.resize(k * n, 0.0);
-        for (j, b_row) in b.chunks_exact(k).enumerate() {
-            for (p, &v) in b_row.iter().enumerate() {
-                bt[p * n + j] = v;
-            }
+    let mut bt = pool::ScratchF32::zeroed(k * n);
+    for (j, b_row) in b.chunks_exact(k).enumerate() {
+        for (p, &v) in b_row.iter().enumerate() {
+            bt[p * n + j] = v;
         }
-        matmul_into(a, &bt, out, m, k, n);
-    });
+    }
+    matmul_into(a, &bt, out, m, k, n);
+}
+
 }
 
 #[cfg(test)]
@@ -499,6 +706,71 @@ mod tests {
             let mut out = vec![0.0f32; m * n];
             matmul_into(&a, &b, &mut out, m, k, n);
             assert_eq!(out, matmul_ref(&a, &b, m, k, n), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_matches_reference_bitwise_on_odd_sizes() {
+        // Drive the register-tiled path directly (below the dispatch
+        // threshold) on degenerate and odd shapes: 1×1×1, 3×5×7, and every
+        // combination straddling the MR/NR tile boundaries by ±1.
+        let mut shapes = vec![(1usize, 1usize, 1usize), (3, 5, 7)];
+        for m in [MR - 1, MR, MR + 1, 2 * MR + 1] {
+            for n in [NR - 1, NR, NR + 1, 2 * NR + 1] {
+                for k in [1, 3, 4, 5] {
+                    shapes.push((m, k, n));
+                }
+            }
+        }
+        for &(m, k, n) in &shapes {
+            let a = seq(m * k, 0.7);
+            let b = seq(k * n, 0.9);
+            let mut out = vec![0.0f32; m * n];
+            gemm_blocked::<false, false>(&a, &b, &mut out, m, k, n);
+            assert_eq!(out, matmul_ref(&a, &b, m, k, n), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_dispatch_matches_scalar_kernels_bitwise() {
+        // Shapes above the dispatch threshold, including tile-boundary ±1
+        // edges, must produce the same bits as the scalar small-path kernels
+        // (and hence the pre-blocking kernels).
+        for &(m, k, n) in &[
+            (16, 32, 16),
+            (15, 31, 23),
+            (17, 33, 25),
+            (32, 17, 24),
+            (33, 16, 23),
+            (48, 48, 48),
+        ] {
+            assert!(use_blocked(m, k, n), "shape {m}x{k}x{n} not blocked");
+            let a = seq(m * k, 0.7);
+            let b = seq(k * n, 0.9);
+            let mut out = vec![0.1f32; m * n];
+            matmul_into(&a, &b, &mut out, m, k, n);
+            // Scalar reference seeded from the same nonzero out.
+            let mut expect = vec![0.1f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    for p in 0..k {
+                        expect[i * n + j] += a[i * k + p] * b[p * n + j];
+                    }
+                }
+            }
+            assert_eq!(out, expect, "shape {m}x{k}x{n}");
+
+            // Aᵀ·B variant on the same shape.
+            let at = Tensor::new([m, k], a.clone()).transpose();
+            let mut out_at = vec![0.1f32; m * n];
+            matmul_into_at(at.data(), &b, &mut out_at, m, k, n);
+            assert_eq!(out_at, expect, "at shape {m}x{k}x{n}");
+
+            // A·Bᵀ variant on the same shape.
+            let bt = Tensor::new([k, n], b.clone()).transpose();
+            let mut out_bt = vec![0.1f32; m * n];
+            matmul_into_bt(&a, bt.data(), &mut out_bt, m, k, n);
+            assert_eq!(out_bt, expect, "bt shape {m}x{k}x{n}");
         }
     }
 

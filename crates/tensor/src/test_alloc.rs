@@ -1,0 +1,110 @@
+//! A `#[cfg(test)]` counting global allocator for this crate's unit tests.
+//!
+//! The bench crate carries the release-mode twin (`chainsformer-bench`'s
+//! `alloc` module) used by the CI zero-allocation gate; this variant is
+//! compiled only into `cf-tensor`'s unit-test binary so the pool's
+//! steady-state contract is enforced close to the code it constrains.
+//!
+//! Counters are **thread-local** (a `Cell` bump, no locking, no allocation),
+//! so a measurement is exact for the test's own thread even while the
+//! harness runs other tests concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static FREES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// [`System`] plus thread-local alloc/free counters.
+pub(crate) struct CountingTestAlloc;
+
+// SAFETY: defers every allocation verbatim to `System`; counter updates are
+// allocation-free `Cell` bumps (`try_with` so allocator use during TLS
+// setup/teardown degrades to not counting instead of recursing).
+unsafe impl GlobalAlloc for CountingTestAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        let _ = FREES.try_with(|c| c.set(c.get() + 1));
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Book a grow as free-of-old + alloc-of-new: it is allocator traffic
+        // the pool should have absorbed.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = FREES.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static TEST_ALLOC: CountingTestAlloc = CountingTestAlloc;
+
+/// Runs `f` and returns `(allocs, frees)` it caused **on this thread**.
+pub(crate) fn measure_thread<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let (a0, f0) = (ALLOCS.with(Cell::get), FREES.with(Cell::get));
+    let out = f();
+    let (a1, f1) = (ALLOCS.with(Cell::get), FREES.with(Cell::get));
+    (out, a1 - a0, f1 - f0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::measure_thread;
+    use crate::nn::{Linear, TransformerEncoder};
+    use crate::optim::Adam;
+    use crate::{ParamStore, Tape, Tensor};
+    use cf_rand::rngs::StdRng;
+    use cf_rand::{Rng, SeedableRng};
+
+    /// The pool's headline contract, enforced in-crate: after warm-up, a
+    /// full taped train step (forward, loss, backward, Adam) performs zero
+    /// heap allocations on this thread.
+    #[test]
+    fn steady_state_train_step_allocates_nothing() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ps = ParamStore::new();
+        let enc = TransformerEncoder::new(&mut ps, "enc", 16, 2, 1, 32, &mut rng);
+        let head = Linear::new(&mut ps, "head", 16, 1, &mut rng);
+        let x = Tensor::new(
+            [4, 3, 16],
+            (0..4 * 3 * 16)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect::<Vec<f32>>(),
+        );
+        let target = Tensor::new(
+            [12, 1],
+            (0..12)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect::<Vec<f32>>(),
+        );
+        let mut opt = Adam::new(1e-3);
+        let step = |ps: &mut ParamStore, opt: &mut Adam| {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let h = enc.forward(&mut t, ps, xv, None);
+            let flat = t.reshape(h, [12, 16]);
+            let pred = head.forward(&mut t, ps, flat);
+            let loss = t.mse_loss(pred, &target);
+            let grads = t.backward(loss, ps.len());
+            opt.step(ps, &grads);
+            std::hint::black_box(t.value(loss).item())
+        };
+        for _ in 0..3 {
+            step(&mut ps, &mut opt); // warm-up: pool classes + Adam state
+        }
+        let (_, allocs, frees) = measure_thread(|| {
+            for _ in 0..5 {
+                step(&mut ps, &mut opt);
+            }
+        });
+        assert_eq!(allocs, 0, "taped train step allocated at steady state");
+        assert_eq!(frees, 0, "taped train step freed at steady state");
+    }
+}

@@ -339,7 +339,7 @@ fn grad_attention_forward() {
         let mha = MultiHeadAttention::new(&mut ps, "gc", 4, 2, &mut rng);
         let xs = t.reshape(x, [1, 3, 4]);
         let mask = vec![vec![true, true, false]];
-        let y = mha.forward(t, &ps, xs, Some(&mask));
+        let y = mha.forward(t, &ps, xs, Some(cf_tensor::nn::KeyMask::Rows(&mask)));
         t.mean_all(y)
     });
 }
