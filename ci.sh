@@ -80,16 +80,37 @@ printf '%s\n' '{"entity":"person_0","attr":"birth","id":2}' >&3
 read -r -t 30 REPLY_OK2 <&3 || { echo "serve smoke: no reply to query 2"; exit 1; }
 echo "$REPLY_OK2" | grep -q '"ok":true' \
     || { echo "serve smoke: expected second ok reply, got: $REPLY_OK2"; exit 1; }
+# Hot-reload: a valid checkpoint swaps in over the same connection without
+# dropping traffic; a corrupt one is rejected with a structured error and
+# the old model keeps serving.
+cp "$SMOKE_DIR/model.ckpt" "$SMOKE_DIR/reload.ckpt"
+printf '%s\n' "{\"reload\":\"$SMOKE_DIR/reload.ckpt\",\"id\":3}" >&3
+read -r -t 30 REPLY_RELOAD <&3 || { echo "serve smoke: no reply to reload"; exit 1; }
+echo "$REPLY_RELOAD" | grep -q '"reloaded":true' \
+    || { echo "serve smoke: expected reload ack, got: $REPLY_RELOAD"; exit 1; }
+head -c 100 "$SMOKE_DIR/model.ckpt" > "$SMOKE_DIR/corrupt.ckpt"
+printf '%s\n' "{\"reload\":\"$SMOKE_DIR/corrupt.ckpt\",\"id\":4}" >&3
+read -r -t 30 REPLY_CORRUPT <&3 || { echo "serve smoke: no reply to corrupt reload"; exit 1; }
+echo "$REPLY_CORRUPT" | grep -q '"ok":false' \
+    || { echo "serve smoke: corrupt checkpoint was accepted: $REPLY_CORRUPT"; exit 1; }
+printf '%s\n' '{"entity":"person_0","attr":"birth","id":6}' >&3
+read -r -t 30 REPLY_OK3 <&3 || { echo "serve smoke: no reply after rejected reload"; exit 1; }
+echo "$REPLY_OK3" | grep -q '"ok":true' \
+    || { echo "serve smoke: server broken after rejected reload: $REPLY_OK3"; exit 1; }
 printf '%s\n' 'GET /metrics' >&3
 METRICS=""
 while read -r -t 30 LINE <&3; do
     [ -z "$LINE" ] && break
     METRICS+="$LINE"$'\n'
 done
-echo "$METRICS" | grep -q '^cf_serve_ok_total 2' \
-    || { echo "serve smoke: metrics missing ok_total 2:"; echo "$METRICS"; exit 1; }
+echo "$METRICS" | grep -q '^cf_serve_ok_total 3' \
+    || { echo "serve smoke: metrics missing ok_total 3:"; echo "$METRICS"; exit 1; }
 echo "$METRICS" | grep -q '^cf_serve_latency_us_p50 ' \
     || { echo "serve smoke: metrics missing latency p50"; exit 1; }
+echo "$METRICS" | grep -q '^cf_serve_reloads_ok_total 1' \
+    || { echo "serve smoke: metrics missing reloads_ok 1:"; echo "$METRICS"; exit 1; }
+echo "$METRICS" | grep -q '^cf_serve_reloads_rejected_total 1' \
+    || { echo "serve smoke: metrics missing reloads_rejected 1:"; echo "$METRICS"; exit 1; }
 exec 3<&- 3>&-
 
 kill -TERM "$SERVE_PID"
@@ -120,6 +141,36 @@ kill -TERM "$SHED_PID"
 wait "$SHED_PID" || { echo "serve smoke: shed server exited non-zero"; exit 1; }
 exec 5>&-
 echo "serve smoke: ok"
+
+echo "== crash-recovery smoke (offline) =="
+# The durability contract end to end, with a real kill -9: a run killed
+# mid-training and resumed with --resume must produce a final checkpoint
+# byte-identical to an uninterrupted control run (the in-process version of
+# this property is pinned by crates/core/tests/resume_parity.rs; this
+# exercises it across an actual process death).
+CRASH_FLAGS=(--triples "$SMOKE_DIR/yago15k_sim_triples.tsv" \
+             --numerics "$SMOKE_DIR/yago15k_sim_numerics.tsv" \
+             --dim 16 --layers 1 --walks 32 --top-k 8 --seed 3 --epochs 5)
+"$CFKG" train "${CRASH_FLAGS[@]}" --ckpt "$SMOKE_DIR/control.ckpt" >/dev/null
+"$CFKG" train "${CRASH_FLAGS[@]}" --ckpt "$SMOKE_DIR/crash.ckpt" \
+    > "$SMOKE_DIR/crash.log" 2>&1 &
+CRASH_PID=$!
+# The first epoch-boundary checkpoint appearing means the run is mid-epoch
+# 2 of 5 — kill it there, as unceremoniously as possible.
+for _ in $(seq 1 3000); do
+    [ -f "$SMOKE_DIR/crash.ckpt" ] && break
+    kill -0 "$CRASH_PID" 2>/dev/null || break
+    sleep 0.02
+done
+kill -9 "$CRASH_PID" 2>/dev/null \
+    || { echo "crash smoke: run finished before kill -9 landed"; exit 1; }
+wait "$CRASH_PID" 2>/dev/null || true
+[ -f "$SMOKE_DIR/crash.ckpt" ] \
+    || { echo "crash smoke: no checkpoint on disk at kill time"; exit 1; }
+"$CFKG" train "${CRASH_FLAGS[@]}" --resume --ckpt "$SMOKE_DIR/crash.ckpt" >/dev/null
+cmp "$SMOKE_DIR/control.ckpt" "$SMOKE_DIR/crash.ckpt" \
+    || { echo "crash smoke: resumed checkpoint differs from control"; exit 1; }
+echo "crash-recovery smoke: ok"
 
 echo "== cargo fmt --check =="
 cargo fmt --check

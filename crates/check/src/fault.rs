@@ -1,0 +1,185 @@
+//! Fault injection for durability testing.
+//!
+//! Two tools, matching the two places a checkpoint write can die:
+//!
+//! * [`FaultyWriter`] wraps any `Write` and kills the stream at an exact
+//!   byte offset — either loudly ([`FaultMode::Error`], a failed syscall)
+//!   or silently ([`FaultMode::Truncate`], bytes accepted but never hitting
+//!   the platter, the page-cache lie a power cut exposes). Sweeping the
+//!   offset over every byte of a serialized artifact exercises every
+//!   partial-write the serializer can produce.
+//!
+//! * [`crash_states`] enumerates the on-disk states reachable when a crash
+//!   interrupts the atomic save protocol (write `*.tmp` → fsync → rename →
+//!   fsync dir) at any point. A recovery property then materializes each
+//!   state and asserts the reader yields the old artifact or the new one —
+//!   never garbage, never a panic.
+
+use std::io::{self, Write};
+
+/// What [`FaultyWriter`] does when the budget runs out.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Fail the write syscall with an injected `io::Error` (disk full,
+    /// EIO, a yanked USB stick).
+    Error,
+    /// Report success but drop the bytes — the write reached the page
+    /// cache, the power failed before writeback.
+    Truncate,
+}
+
+/// A `Write` adapter that forwards exactly `budget` bytes to the inner
+/// writer and then injects the configured fault. Deterministic: the same
+/// budget always kills the stream at the same offset.
+pub struct FaultyWriter<W> {
+    inner: W,
+    budget: usize,
+    mode: FaultMode,
+    written: usize,
+    faulted: bool,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner`, letting `budget` bytes through before injecting
+    /// `mode`.
+    pub fn new(inner: W, budget: usize, mode: FaultMode) -> Self {
+        FaultyWriter {
+            inner,
+            budget,
+            mode,
+            written: 0,
+            faulted: false,
+        }
+    }
+
+    /// Bytes actually forwarded to the inner writer (≤ budget).
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// True once the fault has been injected.
+    pub fn faulted(&self) -> bool {
+        self.faulted
+    }
+
+    /// Consumes the adapter, returning the inner writer (holding only the
+    /// bytes that "survived the crash").
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let remaining = self.budget.saturating_sub(self.written);
+        let pass = remaining.min(buf.len());
+        if pass > 0 {
+            self.inner.write_all(&buf[..pass])?;
+            self.written += pass;
+        }
+        if pass < buf.len() {
+            self.faulted = true;
+            match self.mode {
+                FaultMode::Error => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Other,
+                        format!("injected fault after {} bytes", self.budget),
+                    ))
+                }
+                // Claim full success; the tail silently never lands.
+                FaultMode::Truncate => return Ok(buf.len()),
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// One on-disk state a crash can leave behind during an atomic
+/// write-tmp-then-rename save.
+#[derive(Clone, Debug)]
+pub struct CrashState {
+    /// Contents of the final path (`None` = file absent).
+    pub path_bytes: Option<Vec<u8>>,
+    /// Contents of the stale `*.tmp` file, if the crash left one.
+    pub tmp_bytes: Option<Vec<u8>>,
+    /// Human-readable label for assertion messages.
+    pub label: String,
+}
+
+/// Enumerates every on-disk state reachable when a crash interrupts the
+/// protocol *write `tmp` → fsync → rename(tmp, path)* at an arbitrary
+/// byte: the final path still holds `old` (or is absent) while `tmp`
+/// carries any prefix of `new`, or the rename completed and the path holds
+/// `new` exactly. POSIX rename is atomic, so no state interleaves the two.
+pub fn crash_states(old: Option<&[u8]>, new: &[u8]) -> Vec<CrashState> {
+    let mut states = Vec::with_capacity(new.len() + 2);
+    for cut in 0..=new.len() {
+        states.push(CrashState {
+            path_bytes: old.map(<[u8]>::to_vec),
+            tmp_bytes: Some(new[..cut].to_vec()),
+            label: format!("crash with {cut}/{} bytes in tmp", new.len()),
+        });
+    }
+    states.push(CrashState {
+        path_bytes: Some(new.to_vec()),
+        tmp_bytes: None,
+        label: "crash after rename".into(),
+    });
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_mode_stops_at_exact_offset() {
+        for budget in 0..20 {
+            let mut w = FaultyWriter::new(Vec::new(), budget, FaultMode::Error);
+            let payload = [7u8; 20];
+            // Write in awkward chunk sizes to cross the budget mid-chunk.
+            let mut err = None;
+            for chunk in payload.chunks(3) {
+                if let Err(e) = w.write_all(chunk) {
+                    err = Some(e);
+                    break;
+                }
+            }
+            assert!(err.is_some(), "budget {budget}: fault never fired");
+            assert!(w.faulted());
+            assert_eq!(w.written(), budget);
+            assert_eq!(w.into_inner().len(), budget);
+        }
+    }
+
+    #[test]
+    fn truncate_mode_lies_about_success() {
+        let mut w = FaultyWriter::new(Vec::new(), 5, FaultMode::Truncate);
+        w.write_all(&[1u8; 12])
+            .expect("truncate mode reports success");
+        w.write_all(&[2u8; 4]).expect("still lying");
+        assert!(w.faulted());
+        let survived = w.into_inner();
+        assert_eq!(survived, vec![1u8; 5], "only the budget hit the disk");
+    }
+
+    #[test]
+    fn crash_states_cover_old_every_prefix_and_new() {
+        let states = crash_states(Some(b"OLD"), b"NEWDATA");
+        assert_eq!(states.len(), b"NEWDATA".len() + 2);
+        assert!(states
+            .iter()
+            .take(b"NEWDATA".len() + 1)
+            .all(|s| s.path_bytes.as_deref() == Some(b"OLD".as_slice())));
+        let last = states.last().unwrap();
+        assert_eq!(last.path_bytes.as_deref(), Some(b"NEWDATA".as_slice()));
+        assert_eq!(last.tmp_bytes, None);
+        // First-save case: no old file yet.
+        let fresh = crash_states(None, b"X");
+        assert!(fresh[0].path_bytes.is_none());
+    }
+}

@@ -47,6 +47,7 @@
 //! the in-range point closest to it), tuples shrink one component at a
 //! time. The loop is bounded by [`Config::max_shrink_steps`].
 
+pub mod fault;
 pub mod runner;
 pub mod strategy;
 

@@ -9,7 +9,7 @@ use cf_kg::{KnowledgeGraph, Split};
 use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
 use cf_serve::{Engine, EngineConfig};
-use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, Trainer};
+use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, TrainOptions, Trainer};
 use std::error::Error;
 use std::io::BufReader;
 use std::path::Path;
@@ -119,17 +119,44 @@ fn setup(args: &Args) -> Result<(KnowledgeGraph, Split, ChainsFormer, StdRng), B
     Ok((visible, split, model, rng))
 }
 
-/// `cfkg train`: train and save a checkpoint.
+/// `cfkg train`: crash-safe training. A full CFT2 checkpoint (params +
+/// optimizer + RNG + early-stopping cursor) is written atomically to
+/// `--ckpt` at every epoch boundary; `--resume` continues a killed run
+/// bit-for-bit from that file; SIGINT/SIGTERM stops at the next batch
+/// boundary and still saves the best checkpoint durably.
 pub fn train(args: &Args) -> CmdResult {
     let ckpt = args.require("ckpt")?.to_string();
+    let resume = args.switch("resume");
     let (visible, split, mut model, mut rng) = setup(args)?;
     println!(
-        "training on {} queries ({} validation) for up to {} epochs …",
+        "{} on {} queries ({} validation) for up to {} epochs …",
+        if resume { "resuming" } else { "training" },
         split.train.len(),
         split.valid.len(),
         model.cfg.epochs
     );
-    let result = Trainer::new(&mut model, &visible).train(&split, &mut rng);
+    cf_serve::install_signals();
+    let interrupt = Arc::new(AtomicBool::new(false));
+    {
+        // Bridge the async-signal-safe static flag into the trainer's
+        // cooperative interrupt: a watcher thread polls it so the handler
+        // itself never does more than one atomic store.
+        let interrupt = Arc::clone(&interrupt);
+        std::thread::spawn(move || loop {
+            if cf_serve::signalled() {
+                interrupt.store(true, std::sync::atomic::Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+    let opts = TrainOptions {
+        checkpoint_path: Some(ckpt.clone().into()),
+        resume,
+        interrupt: Some(interrupt),
+        stop_after_epochs: None,
+    };
+    let result = Trainer::new(&mut model, &visible).train_opts(&split, &mut rng, &opts)?;
     for e in &result.epochs {
         match e.valid_mae {
             Some(v) => println!(
@@ -139,12 +166,15 @@ pub fn train(args: &Args) -> CmdResult {
             None => println!("epoch {:>3}  loss {:.4}", e.epoch, e.train_loss),
         }
     }
+    if result.interrupted {
+        println!("interrupted — best checkpoint saved durably to {ckpt}");
+        return Ok(());
+    }
     let report = evaluate_model(&model, &visible, &split.test, &mut rng);
     println!(
         "test normalized MAE {:.4}, RMSE {:.4}",
         report.norm_mae, report.norm_rmse
     );
-    model.save_params_to(&ckpt)?;
     println!("saved checkpoint to {ckpt}");
     Ok(())
 }

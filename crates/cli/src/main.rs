@@ -34,8 +34,10 @@ COMMANDS
              --out DIR
   stats      print Table-I/II statistics for a TSV graph
              --triples FILE --numerics FILE
-  train      train ChainsFormer and save a checkpoint
+  train      train ChainsFormer, checkpointing durably every epoch
+             (SIGINT stops gracefully and still saves the best model)
              --triples FILE --numerics FILE --ckpt FILE
+             [--resume (continue a killed run bit-for-bit from --ckpt)]
              [--epochs N] [--dim N] [--layers N] [--walks N] [--top-k N]
              [--seed N] [--quality]
   eval       evaluate a checkpoint on the held-out test split

@@ -383,6 +383,20 @@ impl ChainsFormerConfig {
         Ok(cfg)
     }
 
+    /// A stable 64-bit fingerprint of this configuration (FNV-1a over the
+    /// canonical [`to_toml`](Self::to_toml) text). Stored in CFT2
+    /// checkpoints so `--resume` can refuse to continue a run under a
+    /// different configuration — silently mixing hyperparameters would
+    /// produce a trajectory that matches neither run.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.to_toml().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     /// Validates internal consistency; call before building a model.
     pub fn validate(&self) -> Result<(), String> {
         if self.dim % self.heads != 0 {

@@ -53,4 +53,4 @@ pub use config::{
 pub use filter::ChainFilter;
 pub use model::{ChainsFormer, ExplainedChain, PredictionDetail, ResolvedQuery};
 pub use quality::ChainQualityTracker;
-pub use train::{evaluate_model, EpochStats, TrainResult, Trainer};
+pub use train::{evaluate_model, EpochStats, TrainError, TrainOptions, TrainResult, Trainer};

@@ -175,17 +175,20 @@ impl ChainsFormer {
         self.fallback[query.attr.0 as usize]
     }
 
-    /// Saves the trained parameters to `path` (see
-    /// [`cf_tensor::serialize`]). The architecture itself is reconstructed
-    /// from configuration — rebuild the model with the same config, graph
-    /// and seed, then [`Self::load_params_from`].
+    /// Saves the trained parameters to `path` as a CRC-protected CFT2
+    /// checkpoint, written atomically and durably (tmp + fsync + rename;
+    /// see [`cf_tensor::serialize`]) — a crash mid-save leaves the previous
+    /// file intact, never a torn one. The architecture itself is
+    /// reconstructed from configuration — rebuild the model with the same
+    /// config, graph and seed, then [`Self::load_params_from`].
     pub fn save_params_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let f = std::fs::File::create(path)?;
-        cf_tensor::save_params(&self.params, std::io::BufWriter::new(f))
+        cf_tensor::save_params_atomic(&self.params, path)
     }
 
-    /// Loads parameters saved by [`Self::save_params_to`] into this model.
-    /// Fails (without corrupting the model) on any name/shape mismatch.
+    /// Loads parameters saved by [`Self::save_params_to`] (CFT2) or by
+    /// older releases (CFT1) into this model; any training state in the
+    /// file is validated and discarded. Fails (without corrupting the
+    /// model) on any corruption or name/shape mismatch.
     pub fn load_params_from(
         &mut self,
         path: impl AsRef<std::path::Path>,

@@ -1,13 +1,16 @@
-//! Training loop (Algorithm 1) and evaluation.
+//! Training loop (Algorithm 1), evaluation, and crash-safe resume.
 
 use crate::config::Loss;
 use crate::model::ChainsFormer;
 use cf_chains::Query;
 use cf_kg::{KnowledgeGraph, NumTriple, Prediction, RegressionReport, Split};
 use cf_rand::seq::SliceRandom;
-use cf_rand::Rng;
+use cf_rand::{Rng, SnapshotRng};
 use cf_tensor::optim::{clip_global_norm, Adam};
-use cf_tensor::{Tape, Tensor};
+use cf_tensor::{CheckpointError, Tape, Tensor, TrainState};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Per-epoch training telemetry.
 #[derive(Clone, Debug)]
@@ -25,10 +28,95 @@ pub struct EpochStats {
 /// Result of a full training run.
 #[derive(Clone, Debug)]
 pub struct TrainResult {
-    /// Per-epoch telemetry, in order.
+    /// Per-epoch telemetry, in order. After a resume this holds only the
+    /// epochs run by *this* invocation; `EpochStats::epoch` carries the
+    /// absolute index, so concatenating invocations reconstructs the full
+    /// trajectory.
     pub epochs: Vec<EpochStats>,
     /// Epoch index with the best validation MAE (if validation was used).
     pub best_epoch: Option<usize>,
+    /// True when the run stopped early on an interrupt signal (or a
+    /// `stop_after_epochs` fault-injection bound) rather than finishing.
+    pub interrupted: bool,
+}
+
+/// Errors from checkpointed training ([`Trainer::train_opts`]).
+#[derive(Debug)]
+pub enum TrainError {
+    /// Writing or reading the checkpoint file failed.
+    Io(std::io::Error),
+    /// The checkpoint exists but is rejected (corrupt, CRC failure, or
+    /// shape/name mismatch against the freshly built model).
+    Checkpoint(CheckpointError),
+    /// The checkpoint was written under a different configuration; resuming
+    /// it would produce a trajectory matching neither run.
+    ConfigMismatch {
+        /// Fingerprint of the live configuration.
+        expected: u64,
+        /// Fingerprint stored in the checkpoint.
+        found: u64,
+    },
+    /// `resume` was requested but the checkpoint carries no training state
+    /// (a finished params-only artifact, or legacy CFT1).
+    NotResumable,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+            TrainError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint was written under a different config \
+                 (fingerprint {found:#018x}, expected {expected:#018x})"
+            ),
+            TrainError::NotResumable => write!(
+                f,
+                "checkpoint has no training state (finished or legacy artifact) — \
+                 it can be served, not resumed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<std::io::Error> for TrainError {
+    fn from(e: std::io::Error) -> Self {
+        TrainError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// Knobs for checkpointed training. `Default` disables everything, which
+/// makes [`Trainer::train_opts`] behave exactly like [`Trainer::train`].
+#[derive(Clone, Debug, Default)]
+pub struct TrainOptions {
+    /// When set, a full CFT2 checkpoint (params + optimizer + RNG + cursor)
+    /// is written atomically here at every epoch boundary, and a final
+    /// params-only checkpoint of the shipped (best-validation) model
+    /// replaces it when the run finishes.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from `checkpoint_path` instead of starting at epoch 0. The
+    /// checkpoint must carry training state and match the live config's
+    /// fingerprint; the caller's RNG is rewound to the stored state, so the
+    /// resumed trajectory is bit-identical to the uninterrupted one.
+    pub resume: bool,
+    /// Cooperative interrupt flag (set from a SIGINT handler): checked at
+    /// every batch boundary; when raised, training stops, the best params
+    /// are restored, and the final checkpoint is still written durably.
+    pub interrupt: Option<Arc<AtomicBool>>,
+    /// Fault injection for tests: return (as `interrupted`) after this many
+    /// epochs *of this invocation*, skipping the best-restore and final
+    /// save — exactly what a `kill -9` after the epoch-boundary checkpoint
+    /// looks like.
+    pub stop_after_epochs: Option<usize>,
 }
 
 /// Trains a [`ChainsFormer`] on a split (Algorithm 1: per query retrieve →
@@ -48,7 +136,24 @@ impl<'a> Trainer<'a> {
 
     /// Runs the configured number of epochs with early stopping on
     /// validation normalized MAE (patience from the config; 0 disables).
-    pub fn train(&mut self, split: &Split, rng: &mut impl Rng) -> TrainResult {
+    pub fn train(&mut self, split: &Split, rng: &mut impl SnapshotRng) -> TrainResult {
+        self.train_opts(split, rng, &TrainOptions::default())
+            .expect("training without checkpointing cannot fail")
+    }
+
+    /// [`Self::train`] with crash safety: epoch-boundary CFT2 checkpoints,
+    /// bitwise resume, and cooperative interrupts (see [`TrainOptions`]).
+    ///
+    /// Resume contract: `(train, crash, resume)` replays the uninterrupted
+    /// run bit-for-bit — the checkpoint captures parameters, Adam moments
+    /// and step count, the data-order RNG, and the early-stopping cursor at
+    /// an epoch boundary, which together determine every subsequent update.
+    pub fn train_opts(
+        &mut self,
+        split: &Split,
+        rng: &mut impl SnapshotRng,
+        opts: &TrainOptions,
+    ) -> Result<TrainResult, TrainError> {
         let cfg = self.model.cfg.clone();
         if cfg.chain_quality && self.model.quality.is_none() {
             self.model.quality = Some(crate::quality::ChainQualityTracker::default());
@@ -59,8 +164,43 @@ impl<'a> Trainer<'a> {
         let mut best: Option<(usize, f64)> = None;
         let mut best_params: Option<cf_tensor::ParamStore> = None;
         let mut bad_epochs = 0usize;
+        let mut start_epoch = 0usize;
+        let fingerprint = cfg.fingerprint();
 
-        for epoch in 0..cfg.epochs {
+        if opts.resume {
+            let path = opts
+                .checkpoint_path
+                .as_deref()
+                .expect("TrainOptions::resume requires checkpoint_path");
+            let f = std::fs::File::open(path)?;
+            let state =
+                cf_tensor::load_checkpoint(&mut self.model.params, std::io::BufReader::new(f))?
+                    .ok_or(TrainError::NotResumable)?;
+            if state.config_fingerprint != fingerprint {
+                return Err(TrainError::ConfigMismatch {
+                    expected: fingerprint,
+                    found: state.config_fingerprint,
+                });
+            }
+            opt.restore(state.adam);
+            rng.restore_state_words(state.rng);
+            start_epoch = state.next_epoch as usize;
+            bad_epochs = state.bad_epochs as usize;
+            best = state
+                .best_epoch
+                .zip(state.best_val)
+                .map(|(e, v)| (e as usize, v));
+            best_params = state.best_params;
+        }
+
+        let mut interrupted = false;
+        'epochs: for epoch in start_epoch..cfg.epochs {
+            // Reset to identity before shuffling: the epoch's visit order is
+            // then a pure function of the RNG state at the epoch boundary
+            // (what the checkpoint stores), not of the accumulated in-place
+            // permutation history a resumed process wouldn't have.
+            order.clear();
+            order.extend(0..split.train.len());
             order.shuffle(rng);
             let mut total_loss = 0.0f64;
             let mut counted = 0usize;
@@ -69,6 +209,15 @@ impl<'a> Trainer<'a> {
             // Hoisted across batches: only grows to the batch size once.
             let mut losses = Vec::with_capacity(cfg.batch_size);
             for batch in order.chunks(cfg.batch_size) {
+                if let Some(flag) = &opts.interrupt {
+                    if flag.load(Ordering::Relaxed) {
+                        // Stop at a batch boundary. The disk checkpoint
+                        // still holds the last epoch boundary, so the
+                        // partial epoch in memory never taints resumability.
+                        interrupted = true;
+                        break 'epochs;
+                    }
+                }
                 let mut tape = Tape::new();
                 losses.clear();
                 for &qi in batch {
@@ -138,13 +287,12 @@ impl<'a> Trainer<'a> {
                 skipped,
             });
 
+            let mut out_of_patience = false;
             if let Some(v) = valid_mae {
                 match best {
                     Some((_, b)) if v >= b => {
                         bad_epochs += 1;
-                        if cfg.patience > 0 && bad_epochs >= cfg.patience {
-                            break;
-                        }
+                        out_of_patience = cfg.patience > 0 && bad_epochs >= cfg.patience;
                     }
                     _ => {
                         best = Some((epoch, v));
@@ -153,16 +301,57 @@ impl<'a> Trainer<'a> {
                     }
                 }
             }
+
+            // Epoch-boundary checkpoint: the RNG was last consumed by the
+            // validation pass above, so the stored state words are exactly
+            // what the uninterrupted run would carry into the next epoch.
+            if let Some(path) = &opts.checkpoint_path {
+                let state = TrainState {
+                    adam: opt.snapshot(),
+                    rng: rng.state_words(),
+                    next_epoch: (epoch + 1) as u64,
+                    bad_epochs: bad_epochs as u64,
+                    best_epoch: best.map(|(e, _)| e as u64),
+                    best_val: best.map(|(_, v)| v),
+                    config_fingerprint: fingerprint,
+                    best_params: best_params.clone(),
+                };
+                cf_tensor::save_checkpoint_atomic(&self.model.params, Some(&state), path)?;
+            }
+
+            if out_of_patience {
+                break;
+            }
+            if let Some(n) = opts.stop_after_epochs {
+                if epoch + 1 - start_epoch >= n {
+                    // Simulated crash: the epoch-boundary checkpoint is on
+                    // disk, but skip the best-restore and final save the
+                    // process would never have reached.
+                    return Ok(TrainResult {
+                        epochs,
+                        best_epoch: best.map(|(e, _)| e),
+                        interrupted: true,
+                    });
+                }
+            }
         }
         // Early-stopping semantics: ship the best-validation checkpoint, not
         // whatever the final (possibly overfit/noisy) epoch left behind.
         if let Some(bp) = best_params {
             self.model.params = bp;
         }
-        TrainResult {
+        // Replace the resumable epoch-boundary checkpoint with the finished
+        // artifact: params only, durably written. Resuming a finished run is
+        // rejected with `TrainError::NotResumable` rather than silently
+        // retraining from a non-boundary state.
+        if let Some(path) = &opts.checkpoint_path {
+            cf_tensor::save_params_atomic(&self.model.params, path)?;
+        }
+        Ok(TrainResult {
             epochs,
             best_epoch: best.map(|(e, _)| e),
-        }
+            interrupted,
+        })
     }
 
     /// Evaluates on a set of numeric triples, producing the Table-III style

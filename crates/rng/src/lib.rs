@@ -110,6 +110,29 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;
 }
 
+/// Generators whose complete state fits in four `u64` words and can be
+/// exported and restored losslessly — the contract checkpointing needs:
+/// restoring the words resumes the stream at exactly the draw where the
+/// snapshot was taken, so a crashed run replays bit-for-bit.
+pub trait SnapshotRng: RngCore {
+    /// The generator's full state as four words.
+    fn state_words(&self) -> [u64; 4];
+
+    /// Restores state saved by [`Self::state_words`]; the next draw equals
+    /// what the snapshotted generator would have produced next.
+    fn restore_state_words(&mut self, words: [u64; 4]);
+}
+
+impl<R: SnapshotRng + ?Sized> SnapshotRng for &mut R {
+    fn state_words(&self) -> [u64; 4] {
+        (**self).state_words()
+    }
+
+    fn restore_state_words(&mut self, words: [u64; 4]) {
+        (**self).restore_state_words(words)
+    }
+}
+
 /// Standard normal (mean 0, variance 1) via the Box–Muller transform.
 ///
 /// `u1` is drawn from `[EPSILON, 1)` so the logarithm never sees zero.

@@ -21,8 +21,9 @@ use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
 use chainsformer::{ChainsFormer, PredictionDetail, ResolvedQuery};
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -111,7 +112,10 @@ struct QueueState {
 }
 
 struct Shared {
-    model: ChainsFormer,
+    /// The resident model. Workers hold the read lock for the duration of
+    /// a batch; [`Engine::reload`] takes the write lock only for the final
+    /// parameter swap, after the new checkpoint has been fully validated.
+    model: RwLock<ChainsFormer>,
     graph: KnowledgeGraph,
     cfg: EngineConfig,
     queue: Mutex<QueueState>,
@@ -154,7 +158,7 @@ impl Engine {
                 shutdown: false,
             }),
             cond: Condvar::new(),
-            model,
+            model: RwLock::new(model),
             graph,
             cfg,
         });
@@ -210,9 +214,53 @@ impl Engine {
         &self.shared.graph
     }
 
-    /// The resident model.
-    pub fn model(&self) -> &ChainsFormer {
-        &self.shared.model
+    /// The resident model (a read guard: drops cheaply, blocks a
+    /// concurrent [`Self::reload`]'s final swap while held).
+    pub fn model(&self) -> RwLockReadGuard<'_, ChainsFormer> {
+        self.shared.model.read().expect("model poisoned")
+    }
+
+    /// Hot-swaps the serving model's learnable parameters from a
+    /// checkpoint file without restarting the engine or dropping queued
+    /// work.
+    ///
+    /// Validation happens **off the request path**: the checkpoint's
+    /// magic, per-section CRCs, and every parameter name and shape are
+    /// checked against a staged clone of the live [`ParamStore`]; workers
+    /// keep answering under the read lock the whole time. Only after the
+    /// entire file has been accepted does a brief write lock swap the
+    /// parameters in — between batches, never mid-forward. On any error
+    /// the staged clone is dropped and the live model is untouched, so
+    /// rollback is implicit.
+    ///
+    /// The chain cache stays valid across a reload: retrieval uses the
+    /// frozen filter embeddings and per-query RNG, not the swapped
+    /// parameters, so cached chains are exactly what a fresh retrieval
+    /// would produce.
+    ///
+    /// Counted in `cf_serve_reloads_ok_total` / `cf_serve_reloads_rejected_total`.
+    ///
+    /// [`ParamStore`]: cf_tensor::ParamStore
+    pub fn reload(&self, path: impl AsRef<Path>) -> Result<(), cf_tensor::CheckpointError> {
+        let result = (|| {
+            let mut staged = self
+                .shared
+                .model
+                .read()
+                .expect("model poisoned")
+                .params
+                .clone();
+            let f = std::fs::File::open(path).map_err(cf_tensor::CheckpointError::Io)?;
+            cf_tensor::load_params(&mut staged, std::io::BufReader::new(f))?;
+            self.shared.model.write().expect("model poisoned").params = staged;
+            Ok(())
+        })();
+        let counter = match &result {
+            Ok(()) => &self.shared.metrics.reloads_ok,
+            Err(_) => &self.shared.metrics.reloads_rejected,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        result
     }
 
     /// Live serving metrics.
@@ -323,6 +371,11 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx
         return;
     }
 
+    // One read guard for the whole batch: every job in it is answered by
+    // the same model generation, and a concurrent reload's write lock
+    // lands between batches, never mid-forward.
+    let model = shared.model.read().expect("model poisoned");
+
     // Resolve every job's chains through the cache. The cache lock is only
     // held for the lookup/insert, never across retrieval of *other*
     // queries' chains in the same batch.
@@ -338,10 +391,7 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx
                 None => {
                     m.cache_misses.fetch_add(1, Ordering::Relaxed);
                     let mut rng = StdRng::seed_from_u64(query_rng_seed(shared.cfg.seed, job.query));
-                    let (toc, retrieved) =
-                        shared
-                            .model
-                            .gather_chains(&shared.graph, job.query, &mut rng);
+                    let (toc, retrieved) = model.gather_chains(&shared.graph, job.query, &mut rng);
                     let entry = Arc::new(CachedChains {
                         chains: toc.chains,
                         retrieved,
@@ -362,7 +412,8 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx
         .zip(&resolved)
         .map(|(job, (c, _))| (job.query, c.chains.as_slice(), c.retrieved))
         .collect();
-    let details = shared.model.predict_batch_with_chains_in(&jobs_view, ctx);
+    let details = model.predict_batch_with_chains_in(&jobs_view, ctx);
+    drop(model);
 
     let batch_size = live.len();
     for ((job, detail), (_, cache_hit)) in live.into_iter().zip(details).zip(&resolved) {
@@ -487,6 +538,90 @@ mod tests {
             let reply = rx.recv().expect("reply channel closed without answer");
             assert!(reply.is_ok(), "enqueued job dropped: {reply:?}");
         }
+    }
+
+    #[test]
+    fn reload_hot_swaps_weights_and_rolls_back_on_corruption() {
+        fn param_bits(ps: &cf_tensor::ParamStore) -> Vec<u32> {
+            ps.iter()
+                .flat_map(|(_, _, t)| t.data().iter().map(|x| x.to_bits()))
+                .collect()
+        }
+        let dir = std::env::temp_dir().join(format!("cf_reload_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let model_a =
+            ChainsFormer::new(&visible, &split.train, ChainsFormerConfig::tiny(), &mut rng);
+        // Same architecture (shapes come from the graph + config), fresh
+        // weights: exactly what a retraining run hands to a live server.
+        let mut rng_b = StdRng::seed_from_u64(9001);
+        let model_b = ChainsFormer::new(
+            &visible,
+            &split.train,
+            ChainsFormerConfig::tiny(),
+            &mut rng_b,
+        );
+        let a_bits = param_bits(&model_a.params);
+        let b_bits = param_bits(&model_b.params);
+        assert_ne!(a_bits, b_bits, "seeds must give distinct weights");
+        let a_ckpt = dir.join("a.ckpt");
+        let b_ckpt = dir.join("b.ckpt");
+        model_a.save_params_to(&a_ckpt).unwrap();
+        model_b.save_params_to(&b_ckpt).unwrap();
+
+        let queries: Vec<Query> = split
+            .test
+            .iter()
+            .take(8)
+            .map(|t| Query {
+                entity: t.entity,
+                attr: t.attr,
+            })
+            .collect();
+        let e = Engine::new(model_a, visible, EngineConfig::default());
+        let baseline: Vec<u64> = queries
+            .iter()
+            .map(|&q| e.predict(q).expect("baseline").detail.value.to_bits())
+            .collect();
+
+        // A good reload swaps every parameter to the new checkpoint.
+        e.reload(&b_ckpt).expect("valid checkpoint accepted");
+        assert_eq!(param_bits(&e.model().params), b_bits);
+
+        // A truncated checkpoint is rejected and the live weights stay B.
+        let full = std::fs::read(&b_ckpt).unwrap();
+        let bad_ckpt = dir.join("bad.ckpt");
+        std::fs::write(&bad_ckpt, &full[..full.len() / 2]).unwrap();
+        e.reload(&bad_ckpt)
+            .expect_err("truncated checkpoint accepted");
+        assert_eq!(
+            param_bits(&e.model().params),
+            b_bits,
+            "rejected reload tainted weights"
+        );
+        e.reload(dir.join("missing.ckpt"))
+            .expect_err("missing file accepted");
+
+        // Reloading A back restores the original served answers bitwise —
+        // through the chain cache, which stays valid across reloads.
+        e.reload(&a_ckpt).expect("original checkpoint accepted");
+        assert_eq!(param_bits(&e.model().params), a_bits);
+        for (&q, &want) in queries.iter().zip(&baseline) {
+            let served = e.predict(q).expect("post-reload predict");
+            assert_eq!(served.detail.value.to_bits(), want);
+        }
+
+        assert_eq!(e.metrics().reloads_ok.load(Ordering::Relaxed), 2);
+        assert_eq!(e.metrics().reloads_rejected.load(Ordering::Relaxed), 2);
+        let text = e.metrics_text();
+        assert!(text.contains("cf_serve_reloads_ok_total 2"), "{text}");
+        assert!(text.contains("cf_serve_reloads_rejected_total 2"), "{text}");
+        e.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //!   `(entity, attribute)`;
 //! - [`protocol`] — the hand-rolled line-delimited JSON wire format;
 //! - [`server`] — thread-per-connection TCP front-end with a
-//!   `GET /metrics` command and graceful shutdown on SIGTERM or stdin
-//!   close;
+//!   `GET /metrics` command, a `{"reload": "path"}` admin request that
+//!   hot-swaps the model checkpoint ([`engine::Engine::reload`]) without
+//!   dropping traffic, and graceful shutdown on SIGTERM or stdin close;
 //! - [`metrics::Metrics`] — lock-free counters and p50/p95/p99 latency /
 //!   batch-size histograms.
 //!
@@ -31,4 +32,4 @@ pub mod server;
 pub use cache::{CachedChains, ChainCache};
 pub use engine::{query_rng_seed, Engine, EngineConfig, Reply, ServeError, ServedPrediction};
 pub use metrics::{Histogram, Metrics};
-pub use server::{install_signals, run, shutdown_on_stdin_close, METRICS_COMMAND};
+pub use server::{install_signals, run, shutdown_on_stdin_close, signalled, METRICS_COMMAND};

@@ -71,15 +71,23 @@ impl Histogram {
         }
     }
 
-    /// Zeroes every bucket, the sum, and the max. Not atomic as a whole —
-    /// callers (benchmarks isolating a measurement window) must quiesce
-    /// recording threads first.
-    pub fn reset(&self) {
+    /// Drains every bucket, the sum, and the max back to zero, returning
+    /// the number of samples drained.
+    ///
+    /// Each bucket is drained with an atomic `swap`, so a sample recorded
+    /// concurrently is observed exactly once — either by this drain or by
+    /// a later reader — never lost in a load-then-store window and never
+    /// double-counted. (The `sum` and `max` cells are separate atomics, so
+    /// a sample racing the drain may land its count and sum on opposite
+    /// sides of the boundary; counts themselves are exact.)
+    pub fn reset(&self) -> u64 {
+        let mut drained = 0;
         for c in &self.counts {
-            c.store(0, Ordering::Relaxed);
+            drained += c.swap(0, Ordering::AcqRel);
         }
-        self.sum.store(0, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.sum.swap(0, Ordering::AcqRel);
+        self.max.swap(0, Ordering::AcqRel);
+        drained
     }
 
     /// Approximate quantile `q ∈ [0, 1]`: the lower bound of the bucket
@@ -126,6 +134,11 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Chain-cache misses (retrieval ran).
     pub cache_misses: AtomicU64,
+    /// Model hot-reloads that validated and swapped successfully.
+    pub reloads_ok: AtomicU64,
+    /// Model hot-reloads rejected (corrupt file, shape mismatch, io
+    /// error); the previous model kept serving.
+    pub reloads_rejected: AtomicU64,
     /// End-to-end latency per answered request, microseconds.
     pub latency_us: Histogram,
     /// Batch sizes actually executed by the workers.
@@ -144,17 +157,23 @@ impl Metrics {
             fallbacks: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            reloads_ok: AtomicU64::new(0),
+            reloads_rejected: AtomicU64::new(0),
             latency_us: Histogram::new(),
             batch_size: Histogram::new(),
         }
     }
 
-    /// Zeroes every counter and histogram. For benchmarks that warm the
-    /// engine up and then measure a clean window; quiesce recording
-    /// threads first.
-    pub fn reset(&self) {
+    /// Drains every counter and histogram back to zero, returning the
+    /// number of requests drained. For benchmarks that warm the engine up
+    /// and then measure a clean window.
+    ///
+    /// Like [`Histogram::reset`], every cell is drained with an atomic
+    /// `swap`, so concurrent increments are never lost — each one is seen
+    /// exactly once, by this drain or by a later reader.
+    pub fn reset(&self) -> u64 {
+        let drained = self.requests.swap(0, Ordering::AcqRel);
         for a in [
-            &self.requests,
             &self.ok,
             &self.errors,
             &self.shed,
@@ -162,11 +181,14 @@ impl Metrics {
             &self.fallbacks,
             &self.cache_hits,
             &self.cache_misses,
+            &self.reloads_ok,
+            &self.reloads_rejected,
         ] {
-            a.store(0, Ordering::Relaxed);
+            a.swap(0, Ordering::AcqRel);
         }
         self.latency_us.reset();
         self.batch_size.reset();
+        drained
     }
 
     /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
@@ -198,6 +220,12 @@ impl Metrics {
         let _ = writeln!(s, "cf_serve_cache_hits_total {}", g(&self.cache_hits));
         let _ = writeln!(s, "cf_serve_cache_misses_total {}", g(&self.cache_misses));
         let _ = writeln!(s, "cf_serve_cache_hit_rate {:.4}", self.cache_hit_rate());
+        let _ = writeln!(s, "cf_serve_reloads_ok_total {}", g(&self.reloads_ok));
+        let _ = writeln!(
+            s,
+            "cf_serve_reloads_rejected_total {}",
+            g(&self.reloads_rejected)
+        );
         let _ = writeln!(s, "cf_serve_latency_us_count {}", self.latency_us.count());
         let _ = writeln!(s, "cf_serve_latency_us_mean {}", self.latency_us.mean());
         let _ = writeln!(
@@ -277,6 +305,54 @@ mod tests {
         assert_eq!(m.latency_us.count(), 0);
         assert_eq!(m.latency_us.max(), 0);
         assert_eq!(m.batch_size.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_reset_never_loses_or_double_counts_samples() {
+        // Recording threads hammer the histogram while a drainer resets it
+        // in a tight loop. The swap-based drain guarantees every sample is
+        // counted exactly once: the drained totals plus whatever remains
+        // equal exactly what was recorded. (The old store(0) reset lost
+        // samples recorded between its load and its store.)
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 20_000;
+        let m = Arc::new(Metrics::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let drainer = {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut drained = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    drained += m.latency_us.reset();
+                }
+                drained
+            })
+        };
+        let recorders: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        m.latency_us.record((t as u64 * 31 + i) % 512);
+                    }
+                })
+            })
+            .collect();
+        for r in recorders {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let drained = drainer.join().unwrap();
+        assert_eq!(
+            drained + m.latency_us.count(),
+            THREADS as u64 * PER_THREAD,
+            "samples lost or double-counted across concurrent resets"
+        );
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //! {"id":7,"ok":true,"value":1957.3,"fallback":false,"retrieved":12,"chains":5,"micros":842}
 //! {"id":7,"ok":false,"error":"overloaded"}
 //! ```
+//!
+//! One admin command shares the line format — an object with a `"reload"`
+//! key asks the server to hot-swap its model parameters from a checkpoint
+//! on the server's filesystem:
+//! ```text
+//! {"reload": "runs/model.ckpt", "id": 3}
+//! {"id":3,"ok":true,"reloaded":true}
+//! {"id":3,"ok":false,"error":"reload: corrupt checkpoint: …"}
+//! ```
 
 use std::collections::HashMap;
 
@@ -41,6 +50,52 @@ pub struct Request {
     pub id: Option<u64>,
     /// Per-request deadline in milliseconds.
     pub deadline_ms: Option<u64>,
+}
+
+/// One parsed protocol line: a prediction request or an admin command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// An ordinary prediction request.
+    Predict(Request),
+    /// Hot-reload the serving model's parameters from a checkpoint file
+    /// (path as seen by the server process).
+    Reload {
+        /// Checkpoint path on the server's filesystem.
+        ckpt: String,
+        /// Correlation id, echoed back.
+        id: Option<u64>,
+    },
+}
+
+/// Parses one line into a [`Command`]. An object carrying a `"reload"` key
+/// is the admin reload request; everything else must be a prediction
+/// request. Errors are human-readable — the server turns them into
+/// structured `ok:false` responses.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let v = parse_json(line)?;
+    let Json::Obj(obj) = v else {
+        return Err("request must be a JSON object".into());
+    };
+    if let Some(r) = obj.get("reload") {
+        let Json::Str(ckpt) = r else {
+            return Err("field \"reload\" must be a string path".into());
+        };
+        let id = match obj.get("id") {
+            None | Some(Json::Null) => None,
+            Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            Some(_) => return Err("field \"id\" must be a non-negative integer".into()),
+        };
+        return Ok(Command::Reload {
+            ckpt: ckpt.clone(),
+            id,
+        });
+    }
+    parse_request(line).map(Command::Predict)
+}
+
+/// Serializes the success response to a reload command.
+pub fn reload_ok_response(id: Option<u64>) -> String {
+    format!("{{\"id\":{},\"ok\":true,\"reloaded\":true}}", id_json(id))
 }
 
 /// Parses one request line. Returns a human-readable error for malformed
@@ -361,6 +416,34 @@ mod tests {
         ] {
             assert!(parse_request(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn reload_command_parses_and_responds() {
+        let c = parse_command(r#"{"reload": "runs/model.ckpt", "id": 3}"#).unwrap();
+        assert_eq!(
+            c,
+            Command::Reload {
+                ckpt: "runs/model.ckpt".into(),
+                id: Some(3)
+            }
+        );
+        let c = parse_command(r#"{"reload":"m.ckpt"}"#).unwrap();
+        assert!(matches!(c, Command::Reload { id: None, .. }));
+        // A prediction line still parses as Predict through the same entry.
+        let c = parse_command(r#"{"entity":"e","attr":"a"}"#).unwrap();
+        assert!(matches!(c, Command::Predict(_)));
+        // Malformed admin lines are errors, not silent predictions.
+        assert!(parse_command(r#"{"reload": 5}"#).is_err());
+        assert!(parse_command(r#"{"reload":"m.ckpt","id":-1}"#).is_err());
+
+        let ok = reload_ok_response(Some(3));
+        let Json::Obj(o) = parse_json(&ok).unwrap() else {
+            panic!("not an object")
+        };
+        assert_eq!(o["ok"], Json::Bool(true));
+        assert_eq!(o["reloaded"], Json::Bool(true));
+        assert_eq!(o["id"], Json::Num(3.0));
     }
 
     #[test]

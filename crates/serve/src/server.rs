@@ -1,6 +1,7 @@
 //! The TCP front-end: line-delimited JSON over a thread-per-connection
-//! accept loop, a `GET /metrics` text command, and graceful shutdown on
-//! SIGTERM/SIGINT or stdin close.
+//! accept loop, a `GET /metrics` text command, a `{"reload": "path"}`
+//! admin request that hot-swaps the model checkpoint, and graceful
+//! shutdown on SIGTERM/SIGINT or stdin close.
 
 use crate::engine::{Engine, ServeError};
 use crate::protocol;
@@ -22,6 +23,13 @@ static SIGNALLED: AtomicBool = AtomicBool::new(false);
 extern "C" fn on_signal(_sig: i32) {
     // A relaxed atomic store is async-signal-safe.
     SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// True once a signal installed by [`install_signals`] has fired. Lets
+/// other long-running commands (e.g. `cfkg train`) poll the same handler
+/// for cooperative interruption.
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
 }
 
 /// Installs SIGTERM/SIGINT handlers that request a graceful shutdown.
@@ -115,8 +123,17 @@ fn handle_connection(
 
 /// Handles one request line end to end, always producing a response line.
 fn answer(engine: &Engine, line: &str) -> String {
-    let req = match protocol::parse_request(line) {
-        Ok(r) => r,
+    let req = match protocol::parse_command(line) {
+        Ok(protocol::Command::Predict(r)) => r,
+        Ok(protocol::Command::Reload { ckpt, id }) => {
+            // Validation runs here on the connection thread — never on a
+            // worker — so in-flight predictions keep flowing while the new
+            // checkpoint is checked. Rejections keep the old model live.
+            return match engine.reload(&ckpt) {
+                Ok(()) => protocol::reload_ok_response(id),
+                Err(e) => protocol::err_response(id, &format!("reload: {e}")),
+            };
+        }
         Err(e) => {
             engine.metrics().errors.fetch_add(1, Ordering::Relaxed);
             return protocol::err_response(None, &format!("parse: {e}"));
@@ -235,6 +252,77 @@ mod tests {
         assert!(text.contains("cf_serve_latency_us_p50"), "{text}");
 
         shutdown.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn reload_admin_request_swaps_and_rejects_over_tcp() {
+        let dir = std::env::temp_dir().join(format!("cf_srv_reload_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let model = ChainsFormer::new(&visible, &split.train, ChainsFormerConfig::tiny(), &mut rng);
+        let entity = visible.entity_name(split.test[0].entity).to_string();
+        let attr = visible.attribute_name(cf_kg::AttributeId(0)).to_string();
+        let good = dir.join("good.ckpt");
+        model.save_params_to(&good).unwrap();
+        let bad = dir.join("bad.ckpt");
+        std::fs::write(&bad, b"CFT2 this is not a checkpoint").unwrap();
+
+        let engine = Arc::new(Engine::new(model, visible, EngineConfig::default()));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        std::thread::spawn(move || run(engine, listener, flag).expect("server"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+
+        // A valid checkpoint swaps in and acknowledges with the echoed id.
+        let resp = roundtrip(
+            &mut stream,
+            &format!(r#"{{"reload":"{}","id":11}}"#, good.display()),
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"reloaded\":true"), "{resp}");
+        assert!(resp.contains("\"id\":11"), "{resp}");
+
+        // A corrupt checkpoint is rejected with a structured error and the
+        // server keeps answering predictions with the old weights.
+        let resp = roundtrip(
+            &mut stream,
+            &format!(r#"{{"reload":"{}","id":12}}"#, bad.display()),
+        );
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(resp.contains("reload:"), "{resp}");
+        assert!(resp.contains("\"id\":12"), "{resp}");
+        let resp = roundtrip(
+            &mut stream,
+            &format!(r#"{{"entity":"{entity}","attr":"{attr}","id":13}}"#),
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+
+        // Both outcomes are visible on the metrics scrape.
+        writeln!(stream, "{METRICS_COMMAND}").expect("write");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut text = String::new();
+        loop {
+            let mut l = String::new();
+            reader.read_line(&mut l).expect("read");
+            if l.trim().is_empty() {
+                break;
+            }
+            text.push_str(&l);
+        }
+        assert!(text.contains("cf_serve_reloads_ok_total 1"), "{text}");
+        assert!(text.contains("cf_serve_reloads_rejected_total 1"), "{text}");
+
+        shutdown.store(true, Ordering::SeqCst);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -61,8 +61,12 @@ mod test_alloc;
 
 pub use infer::{Forward, InferCtx};
 pub use init::Init;
+pub use optim::AdamSnapshot;
 pub use params::{ParamId, ParamStore};
-pub use serialize::{load_params, save_params, CheckpointError};
+pub use serialize::{
+    crc32, load_checkpoint, load_params, save_checkpoint, save_checkpoint_atomic, save_params,
+    save_params_atomic, CheckpointError, TrainState,
+};
 pub use shape::Shape;
 pub use tape::{GradStore, Tape, Var};
 pub use tensor::{matmul_into, matmul_into_at, matmul_into_bt, Tensor};
