@@ -172,6 +172,35 @@ cmp "$SMOKE_DIR/control.ckpt" "$SMOKE_DIR/crash.ckpt" \
     || { echo "crash smoke: resumed checkpoint differs from control"; exit 1; }
 echo "crash-recovery smoke: ok"
 
+echo "== thread-matrix gate (offline) =="
+# Deterministic parallelism end to end: the same training run at --threads 1
+# and --threads 4 must produce byte-identical checkpoints and epoch-loss
+# trajectories (the in-process version is
+# crates/core/tests/thread_invariance.rs; this pins it across the CLI,
+# including the --threads/CF_THREADS plumbing), and the zero-allocation
+# steady-state contract must keep holding with the pool fanned out.
+"$CFKG" train "${CRASH_FLAGS[@]}" --threads 1 --ckpt "$SMOKE_DIR/t1.ckpt" \
+    > "$SMOKE_DIR/t1.log"
+"$CFKG" train "${CRASH_FLAGS[@]}" --threads 4 --ckpt "$SMOKE_DIR/t4.ckpt" \
+    > "$SMOKE_DIR/t4.log"
+cmp "$SMOKE_DIR/t1.ckpt" "$SMOKE_DIR/t4.ckpt" \
+    || { echo "thread matrix: checkpoints differ between 1 and 4 threads"; exit 1; }
+# The control run above used the default width (CF_THREADS / auto-detect):
+# it must match the pinned widths too.
+cmp "$SMOKE_DIR/t1.ckpt" "$SMOKE_DIR/control.ckpt" \
+    || { echo "thread matrix: default-width checkpoint differs from --threads 1"; exit 1; }
+grep '^epoch' "$SMOKE_DIR/t1.log" > "$SMOKE_DIR/t1.epochs"
+grep '^epoch' "$SMOKE_DIR/t4.log" > "$SMOKE_DIR/t4.epochs"
+[ -s "$SMOKE_DIR/t1.epochs" ] \
+    || { echo "thread matrix: no epoch lines in training output"; exit 1; }
+cmp "$SMOKE_DIR/t1.epochs" "$SMOKE_DIR/t4.epochs" \
+    || { echo "thread matrix: epoch-loss dumps differ between 1 and 4 threads"; exit 1; }
+CF_THREADS=1 ./target/release/alloc_gate >/dev/null \
+    || { echo "thread matrix: alloc gate failed at 1 thread"; exit 1; }
+CF_THREADS=4 ./target/release/alloc_gate >/dev/null \
+    || { echo "thread matrix: alloc gate failed at 4 threads"; exit 1; }
+echo "thread-matrix gate: ok"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -210,13 +210,76 @@ fn bench_train_step(c: &mut Criterion, allocs: &mut HashMap<String, AllocCounts>
     }
 }
 
+/// Thread-scaling arms: the 256³ GEMM and the full train step at pool
+/// widths 1/2/4/8. The outputs are bitwise identical at every width (pinned
+/// by the `thread_invariance` suites); these rows track what the width buys
+/// in wall clock on the host the bench ran on. On a single-core host the
+/// widths time-slice one core, so the >1-thread rows measure pool overhead,
+/// not speedup — read the ratios together with the host's core count.
+fn bench_mt(c: &mut Criterion, allocs: &mut HashMap<String, AllocCounts>) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let (m, k, n) = (256usize, 256usize, 256usize);
+    let a = rand_tensor(&[m, k], &mut rng);
+    let b = rand_tensor(&[k, n], &mut rng);
+
+    let mut ps = ParamStore::new();
+    let enc = TransformerEncoder::new(&mut ps, "enc", 48, 4, 2, 96, &mut rng);
+    let head = Linear::new(&mut ps, "head", 48, 1, &mut rng);
+    let x = rand_tensor(&[32, 6, 48], &mut rng);
+    let target = rand_tensor(&[32 * 6, 1], &mut rng);
+    let mut opt = cf_tensor::optim::Adam::new(1e-3);
+    let step = |ps: &mut ParamStore, opt: &mut cf_tensor::optim::Adam| {
+        let mut t = Tape::new();
+        let xv = t.leaf(x.clone());
+        let h = enc.forward(&mut t, ps, xv, None);
+        let flat = t.reshape(h, [32 * 6, 48]);
+        let pred = head.forward(&mut t, ps, flat);
+        let loss = t.mse_loss(pred, &target);
+        let grads = t.backward(loss, ps.len());
+        opt.step(ps, &grads);
+        black_box(t.value(loss).item())
+    };
+
+    for threads in [1usize, 2, 4, 8] {
+        cf_tensor::pool::set_threads(threads);
+        let gemm_name = format!("gemm_mt/{m}x{k}x{n}/t{threads}");
+        c.bench_function(gemm_name.clone(), |bch| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+        steady_state_allocs(allocs, &gemm_name, || {
+            black_box(a.matmul(&b));
+        });
+        let step_name = format!("train_step_mt/enc_32x6x48/t{threads}");
+        c.bench_function(step_name.clone(), |bch| {
+            bch.iter(|| step(&mut ps, &mut opt))
+        });
+        steady_state_allocs(allocs, &step_name, || {
+            step(&mut ps, &mut opt);
+        });
+    }
+    cf_tensor::pool::set_threads(1);
+}
+
+/// Pool width a bench arm ran at: the `/tN` suffix of the `_mt` arms, else 1
+/// (`main` pins the default arms to a single thread).
+fn threads_of(name: &str) -> String {
+    name.rsplit_once("/t")
+        .and_then(|(_, t)| t.parse::<usize>().ok())
+        .unwrap_or(1)
+        .to_string()
+}
+
 fn main() {
+    // Pin the non-_mt arms to one thread so their trajectory stays
+    // comparable across hosts regardless of CF_THREADS or core count.
+    cf_tensor::pool::set_threads(1);
     let mut c = Criterion::default().sample_size(20);
     let mut allocs: HashMap<String, AllocCounts> = HashMap::new();
     bench_gemm(&mut c, &mut allocs);
     bench_gemm_tape(&mut c);
     bench_attention(&mut c);
     bench_train_step(&mut c, &mut allocs);
+    bench_mt(&mut c, &mut allocs);
 
     for (name, a) in {
         let mut rows: Vec<_> = allocs.iter().collect();
@@ -230,10 +293,18 @@ fn main() {
     }
 
     if std::env::var("CF_BENCH_JSON").is_ok() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let mut table = Table::new(
-            "tensor kernel micro-benchmarks (ns per call)",
+            format!(
+                "tensor kernel micro-benchmarks (ns per call; host cores: {cores} \
+                 — _mt arms time-slice one core when threads exceed cores, so \
+                 their ratios measure pool overhead there, not speedup)"
+            ),
             &[
                 "bench",
+                "threads",
                 "median_ns",
                 "mean_ns",
                 "min_ns",
@@ -249,6 +320,7 @@ fn main() {
             };
             table.row(vec![
                 s.name.clone(),
+                threads_of(&s.name),
                 format!("{:.0}", s.median_ns),
                 format!("{:.0}", s.mean_ns),
                 format!("{:.0}", s.min_ns),

@@ -61,6 +61,21 @@ impl RaChain {
         out.push(vocab.end_token());
     }
 
+    /// Writes the token sequence into `out`, which must be exactly
+    /// [`Self::token_len`] long. Unlike [`Self::tokens_into`] this never
+    /// grows the destination, so the encoder can hand each chain its own
+    /// pre-padded row of a shared flat buffer and tokenize chains in
+    /// parallel.
+    pub fn tokens_into_slice(&self, vocab: &ChainVocab, out: &mut [usize]) {
+        assert_eq!(out.len(), self.token_len(), "tokens_into_slice length");
+        out[0] = vocab.attr_token(self.known_attr);
+        for (slot, dr) in out[1..=self.rels.len()].iter_mut().zip(&self.rels) {
+            *slot = vocab.rel_token(*dr);
+        }
+        out[self.rels.len() + 1] = vocab.attr_token(self.query_attr);
+        out[self.rels.len() + 2] = vocab.end_token();
+    }
+
     /// Human-readable rendering in the paper's Table-V style, e.g.
     /// `(sibling, birth)` or `(team, team_inv, weight)`.
     pub fn render(&self, g: &KnowledgeGraph) -> String {

@@ -17,6 +17,11 @@
 //! `entity<TAB>attr<TAB>value`); checkpoints use `cf_tensor::serialize`.
 //! Train/eval/predict must share `--seed` so the 8:1:1 split and the model
 //! architecture line up with the checkpoint.
+//!
+//! Every command accepts `--threads N` (or the `CF_THREADS` env var) to run
+//! the numeric kernels on an in-tree thread pool. Results are bitwise
+//! identical at every thread count, so the flag never has to match between
+//! train and resume, or between machines.
 
 mod args;
 mod commands;
@@ -27,6 +32,10 @@ const USAGE: &str = "\
 cfkg — chain-based numerical reasoning on knowledge graphs (ChainsFormer)
 
 USAGE: cfkg <COMMAND> [--flag value]…
+
+GLOBAL FLAGS
+  --threads N   numeric-kernel thread count (default: CF_THREADS env var,
+                else auto-detect; output is bitwise identical at any N)
 
 COMMANDS
   generate   write a synthetic dataset twin as TSV
@@ -67,6 +76,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Numeric-kernel thread count: --threads beats the CF_THREADS env var,
+    // which beats auto-detection. Results are bitwise identical at every
+    // width, so this is purely a speed knob.
+    match args.get_parse("threads", 0usize, "thread count") {
+        Ok(0) => {} // fall through to CF_THREADS / auto-detect
+        Ok(n) => cf_tensor::pool::set_threads(n),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
     let result = match args.command.as_str() {
         "generate" => commands::generate(&args),
         "stats" => commands::stats(&args),

@@ -160,10 +160,22 @@ impl ChainEncoder {
         );
         let pad = self.vocab.pad_token();
         let mut flat_ids = pool::ScratchUsize::with_capacity(k * t_max);
-        for c in chains {
-            let start = flat_ids.len();
-            c.chain.tokens_into(&self.vocab, &mut flat_ids);
-            flat_ids.resize(start + t_max, pad);
+        flat_ids.resize(k * t_max, pad);
+        {
+            // Chains tokenize independently into disjoint pre-padded rows,
+            // so they fan out across the thread pool (pure index writes —
+            // trivially bitwise invariant).
+            let shared = pool::SharedMut::new(&mut flat_ids[..]);
+            pool::parallel_for(k, |r| {
+                for i in r {
+                    // SAFETY: row `i` belongs to this slice alone.
+                    let row = unsafe { shared.get(i * t_max, t_max) };
+                    let len = chains[i].chain.token_len();
+                    chains[i]
+                        .chain
+                        .tokens_into_slice(&self.vocab, &mut row[..len]);
+                }
+            });
         }
 
         // Token + positional embeddings -> [k, T, d].

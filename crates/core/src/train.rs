@@ -2,15 +2,49 @@
 
 use crate::config::Loss;
 use crate::model::ChainsFormer;
-use cf_chains::Query;
+use cf_chains::{Query, TreeOfChains};
 use cf_kg::{KnowledgeGraph, NumTriple, Prediction, RegressionReport, Split};
 use cf_rand::seq::SliceRandom;
 use cf_rand::{Rng, SnapshotRng};
 use cf_tensor::optim::{clip_global_norm, Adam};
-use cf_tensor::{CheckpointError, Tape, Tensor, TrainState};
+use cf_tensor::{pool, CheckpointError, GradStore, ParamId, Shape, Tape, Tensor, TrainState};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Number of gradient shards each batch is split into. Deliberately a
+/// constant — never derived from the live thread count — so the per-shard
+/// forward/backward graphs and the fixed-order shard merge are the same at
+/// `CF_THREADS=1` and `CF_THREADS=64`, making the trained bits a pure
+/// function of the data and seed.
+const GRAD_SHARDS: usize = 8;
+
+/// One query's pre-gathered evidence, produced by the serial retrieval
+/// phase (which owns the data-order RNG) and consumed by a shard worker.
+struct GatheredQuery {
+    query: Query,
+    /// Ground-truth attribute value of the training triple.
+    value: f64,
+    toc: TreeOfChains,
+}
+
+/// Per-query results written by a shard worker and applied serially, in
+/// query order, after the parallel phase joins.
+#[derive(Default)]
+struct QueryOut {
+    loss: f64,
+    /// Per-chain predictions, captured only when chain-quality tracking is
+    /// on (the tracker must observe chains in visit order, on one thread).
+    preds: Vec<f32>,
+}
+
+/// One shard's gradient contribution: a flat image of every parameter
+/// gradient plus per-parameter touch flags. Pre-sized once per run and
+/// reused every batch, so steady-state training stays allocation-free.
+struct ShardGrad {
+    flat: Vec<f32>,
+    touched: Vec<bool>,
+}
 
 /// Per-epoch training telemetry.
 #[derive(Clone, Debug)]
@@ -193,6 +227,25 @@ impl<'a> Trainer<'a> {
             best_params = state.best_params;
         }
 
+        // Data-parallel scaffolding, hoisted across the whole run: the flat
+        // parameter layout for per-shard gradient images, the shard buffers
+        // themselves, and the gather/output staging vectors.
+        let num_params = self.model.params.len();
+        let mut param_meta: Vec<(ParamId, Shape, usize, usize)> = Vec::with_capacity(num_params);
+        let mut total_elems = 0usize;
+        for (pid, _, t) in self.model.params.iter() {
+            param_meta.push((pid, *t.shape(), total_elems, t.numel()));
+            total_elems += t.numel();
+        }
+        let mut shard_grads: Vec<ShardGrad> = (0..GRAD_SHARDS)
+            .map(|_| ShardGrad {
+                flat: vec![0.0f32; total_elems],
+                touched: vec![false; num_params],
+            })
+            .collect();
+        let mut gathered: Vec<GatheredQuery> = Vec::with_capacity(cfg.batch_size);
+        let mut outs: Vec<QueryOut> = Vec::new();
+
         let mut interrupted = false;
         'epochs: for epoch in start_epoch..cfg.epochs {
             // Reset to identity before shuffling: the epoch's visit order is
@@ -206,8 +259,6 @@ impl<'a> Trainer<'a> {
             let mut counted = 0usize;
             let mut skipped = 0usize;
 
-            // Hoisted across batches: only grows to the batch size once.
-            let mut losses = Vec::with_capacity(cfg.batch_size);
             for batch in order.chunks(cfg.batch_size) {
                 if let Some(flag) = &opts.interrupt {
                     if flag.load(Ordering::Relaxed) {
@@ -218,8 +269,11 @@ impl<'a> Trainer<'a> {
                         break 'epochs;
                     }
                 }
-                let mut tape = Tape::new();
-                losses.clear();
+
+                // Phase 1 — serial gather. Retrieval consumes the data-order
+                // RNG exactly as a single-threaded loop would, so the stored
+                // RNG state keeps determining the trajectory (resume safety).
+                gathered.clear();
                 for &qi in batch {
                     let triple = split.train[qi];
                     let query = Query {
@@ -231,16 +285,123 @@ impl<'a> Trainer<'a> {
                         skipped += 1;
                         continue;
                     }
-                    let out = self.model.forward(&mut tape, &toc.chains, query);
+                    gathered.push(GatheredQuery {
+                        query,
+                        value: triple.value,
+                        toc,
+                    });
+                }
+                if gathered.is_empty() {
+                    continue;
+                }
+                let n = gathered.len();
+                // Upstream gradient per query loss. Each shard's objective
+                // is `sum(shard losses) * inv_b`, so summed over shards the
+                // batch objective is the batch mean — and the per-loss seed
+                // is bitwise the `g / n` that `mean_all`'s backward emits.
+                let inv_b = 1.0f32 / n as f32;
+                let shards = GRAD_SHARDS.min(n);
+                if outs.len() < n {
+                    outs.resize_with(n, QueryOut::default);
+                }
+
+                // Phase 2 — parallel shards. Shard s owns the contiguous
+                // query range `slice_range(n, shards, s)`; each worker runs
+                // its shard's forward/backward on a private tape and writes
+                // gradients into its own pre-sized flat buffer. Inner
+                // kernels see the pool as busy and run serially, so the
+                // per-shard float-op sequence never depends on scheduling.
+                {
+                    let model: &ChainsFormer = self.model;
+                    let record_preds = cfg.chain_quality;
+                    let loss_kind = cfg.loss;
+                    let gathered = &gathered[..];
+                    let param_meta = &param_meta[..];
+                    let outs_sh = pool::SharedMut::new(&mut outs[..n]);
+                    let grads_sh = pool::SharedMut::new(&mut shard_grads[..shards]);
+                    pool::parallel_for(shards, |sr| {
+                        for s in sr {
+                            // SAFETY: each shard index is visited exactly
+                            // once, so the per-shard borrow never aliases.
+                            let sg = &mut unsafe { grads_sh.get(s, 1) }[0];
+                            for t in sg.touched.iter_mut() {
+                                *t = false;
+                            }
+                            let qr = pool::slice_range(n, shards, s);
+                            if qr.is_empty() {
+                                continue;
+                            }
+                            // SAFETY: shard query ranges are disjoint.
+                            let shard_outs = unsafe { outs_sh.get(qr.start, qr.len()) };
+                            let mut tape = Tape::new();
+                            let mut losses = Vec::with_capacity(qr.len());
+                            for (gq, o) in gathered[qr].iter().zip(shard_outs) {
+                                let out = model.forward(&mut tape, &gq.toc.chains, gq.query);
+                                if record_preds {
+                                    o.preds.clear();
+                                    o.preds.extend_from_slice(
+                                        tape.value(out.chain_predictions).data(),
+                                    );
+                                }
+                                let pred_norm =
+                                    model.normalize_on_tape(&mut tape, out.prediction, gq.query);
+                                let target = Tensor::scalar(
+                                    model.normalizer().normalize(gq.query.attr, gq.value) as f32,
+                                );
+                                let loss = match loss_kind {
+                                    Loss::L1 => tape.l1_loss(pred_norm, &target),
+                                    Loss::Mse => tape.mse_loss(pred_norm, &target),
+                                };
+                                o.loss = tape.value(loss).item() as f64;
+                                losses.push(loss);
+                            }
+                            let stacked = tape.stack_rows(&losses);
+                            let summed = tape.sum_all(stacked);
+                            let objective = tape.mul_scalar(summed, inv_b);
+                            let grads = tape.backward(objective, num_params);
+                            for (i, (pid, _, off, len)) in param_meta.iter().enumerate() {
+                                if let Some(g) = grads.param_grad(*pid) {
+                                    sg.flat[*off..*off + *len].copy_from_slice(g.data());
+                                    sg.touched[i] = true;
+                                }
+                            }
+                            // `grads` and `tape` drop here, on the worker
+                            // that built them: each worker's tape and
+                            // gradient stashes stay warm across batches.
+                        }
+                    });
+                }
+
+                // Phase 3 — fixed-order reduction tree: parameters outer
+                // (ascending id), shards inner (ascending index), serial
+                // adds. The float-op sequence is a pure function of the
+                // batch content, not of how shards were scheduled.
+                let mut grads = GradStore::for_params(num_params);
+                for (i, (pid, shape, off, len)) in param_meta.iter().enumerate() {
+                    for sg in &shard_grads[..shards] {
+                        if sg.touched[i] {
+                            grads.add_param_grad(*pid, shape, &sg.flat[*off..*off + *len]);
+                        }
+                    }
+                }
+                clip_global_norm(&mut grads, cfg.grad_clip);
+                opt.step(&mut self.model.params, &grads);
+
+                // Phase 4 — serial epilogue in query order: loss bookkeeping
+                // and the chain-quality prior observe queries exactly as the
+                // single-threaded loop visited them.
+                for (gq, o) in gathered.iter().zip(&outs) {
+                    total_loss += o.loss;
+                    counted += 1;
                     if cfg.chain_quality {
-                        let truth_norm =
-                            self.model.normalizer().normalize(query.attr, triple.value);
-                        let errs: Vec<(cf_chains::RaChain, f64)> = toc
+                        let truth_norm = self.model.normalizer().normalize(gq.query.attr, gq.value);
+                        let errs: Vec<(cf_chains::RaChain, f64)> = gq
+                            .toc
                             .chains
                             .iter()
-                            .zip(tape.value(out.chain_predictions).data())
+                            .zip(&o.preds)
                             .map(|(ci, &p)| {
-                                let pn = self.model.normalizer().normalize(query.attr, p as f64);
+                                let pn = self.model.normalizer().normalize(gq.query.attr, p as f64);
                                 (ci.chain.clone(), (pn - truth_norm).abs())
                             })
                             .collect();
@@ -250,28 +411,7 @@ impl<'a> Trainer<'a> {
                             }
                         }
                     }
-                    let pred_norm = self
-                        .model
-                        .normalize_on_tape(&mut tape, out.prediction, query);
-                    let target = Tensor::scalar(
-                        self.model.normalizer().normalize(query.attr, triple.value) as f32,
-                    );
-                    let loss = match cfg.loss {
-                        Loss::L1 => tape.l1_loss(pred_norm, &target),
-                        Loss::Mse => tape.mse_loss(pred_norm, &target),
-                    };
-                    total_loss += tape.value(loss).item() as f64;
-                    counted += 1;
-                    losses.push(loss);
                 }
-                if losses.is_empty() {
-                    continue;
-                }
-                let stacked = tape.stack_rows(&losses);
-                let batch_loss = tape.mean_all(stacked);
-                let mut grads = tape.backward(batch_loss, self.model.params.len());
-                clip_global_norm(&mut grads, cfg.grad_clip);
-                opt.step(&mut self.model.params, &grads);
             }
 
             let train_loss = total_loss / counted.max(1) as f64;

@@ -1,0 +1,86 @@
+//! End-to-end thread invariance: a full training run — retrieval, sharded
+//! forward/backward, the fixed-order gradient merge, clipping, Adam — must
+//! produce bit-identical loss trajectories and parameters at every thread
+//! count. The shard count is a constant of the batch, never of the pool
+//! width, so `CF_THREADS=8` replays `CF_THREADS=1` exactly.
+
+use cf_kg::synth::{yago15k_sim, SynthScale};
+use cf_kg::Split;
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
+use cf_tensor::pool::set_threads;
+use chainsformer::config::ChainsFormerConfig;
+use chainsformer::model::ChainsFormer;
+use chainsformer::train::Trainer;
+
+/// Trains a tiny model from a fixed seed and returns (per-epoch loss bits,
+/// final parameter bits).
+fn train_and_fingerprint(cfg: &ChainsFormerConfig) -> (Vec<u64>, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let g = yago15k_sim(SynthScale::small(), &mut rng);
+    let split = Split::paper_811(&g, &mut rng);
+    let visible = split.visible_graph(&g);
+    let mut model = ChainsFormer::new(&visible, &split.train, cfg.clone(), &mut rng);
+    let result = Trainer::new(&mut model, &visible).train(&split, &mut rng);
+    let losses = result
+        .epochs
+        .iter()
+        .map(|e| e.train_loss.to_bits())
+        .collect();
+    let mut params = Vec::new();
+    for (_, _, t) in model.params.iter() {
+        params.extend(t.data().iter().map(|x| x.to_bits()));
+    }
+    (losses, params)
+}
+
+#[test]
+fn training_is_bitwise_identical_at_every_thread_count() {
+    let cfg = ChainsFormerConfig {
+        epochs: 2,
+        ..ChainsFormerConfig::tiny()
+    };
+    set_threads(1);
+    let (base_losses, base_params) = train_and_fingerprint(&cfg);
+    assert!(!base_losses.is_empty());
+    for threads in [2, 4, 8] {
+        set_threads(threads);
+        let (losses, params) = train_and_fingerprint(&cfg);
+        assert_eq!(
+            base_losses, losses,
+            "loss trajectory diverged at {threads} threads"
+        );
+        assert_eq!(
+            base_params, params,
+            "trained parameters diverged at {threads} threads"
+        );
+    }
+    set_threads(1);
+}
+
+#[test]
+fn chain_quality_training_is_bitwise_identical_at_every_thread_count() {
+    // Chain-quality tracking adds the per-query prediction capture and the
+    // serial in-order prior updates — the pieces most sensitive to shard
+    // scheduling — so pin that configuration too.
+    let cfg = ChainsFormerConfig {
+        epochs: 2,
+        chain_quality: true,
+        ..ChainsFormerConfig::tiny()
+    };
+    set_threads(1);
+    let (base_losses, base_params) = train_and_fingerprint(&cfg);
+    for threads in [4, 8] {
+        set_threads(threads);
+        let (losses, params) = train_and_fingerprint(&cfg);
+        assert_eq!(
+            base_losses, losses,
+            "quality-tracked trajectory diverged at {threads} threads"
+        );
+        assert_eq!(
+            base_params, params,
+            "quality-tracked parameters diverged at {threads} threads"
+        );
+    }
+    set_threads(1);
+}

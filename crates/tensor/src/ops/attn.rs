@@ -123,7 +123,34 @@ impl Tape {
     }
 }
 
-crate::simd::simd_hot! {
+// ---- parallel dispatch ---------------------------------------------------
+//
+// Every kernel below iterates `for bi { for h { … } }` over (batch, head)
+// bands whose writes are element-disjoint. The dispatchers fan the *batch*
+// dimension out across the thread pool: each batch owns one contiguous block
+// of the output (`[H·T·T]` of probs, `[T·d]` of packed projections), so
+// threads receive genuinely disjoint `&mut` slices — no aliasing, and every
+// band's float-op sequence is unchanged, keeping results bitwise identical
+// at any thread count (see `DESIGN.md` §12).
+
+/// Work floor (multiply count) above which an attention kernel fans out.
+/// Attention problems here are much smaller than GEMMs, so the floor sits
+/// below `tensor::PAR_MIN_FLOPS`.
+const PAR_MIN_FLOPS: usize = 64 * 1024;
+
+/// Runs `f(lo, hi)` over `0..n` — one call on the caller when the work is
+/// small, else one call per pool slice with a contiguous subrange.
+fn par_ranges(n: usize, flops: usize, f: impl Fn(usize, usize) + Sync) {
+    if flops >= PAR_MIN_FLOPS {
+        crate::pool::parallel_for(n, |r| {
+            if !r.is_empty() {
+                f(r.start, r.end);
+            }
+        });
+    } else {
+        f(0, n);
+    }
+}
 
 /// Forward half of the probability node: `softmax_j(scale·⟨q_i, k_j⟩ + m_ij)`
 /// per head band, producing the flat `[B·H, T, T]` buffer. Shared with the
@@ -140,13 +167,155 @@ pub(crate) fn attn_probs_forward(
     scale: f32,
 ) -> Vec<f32> {
     let dh = d / heads;
-    let mut probs = crate::pool::take_f32_zeroed(bsz * heads * seq * seq);
-    for bi in 0..bsz {
+    let block = heads * seq * seq;
+    let mut probs = crate::pool::take_f32_zeroed(bsz * block);
+    let shared = crate::pool::SharedMut::new(&mut probs);
+    par_ranges(bsz, bsz * block * dh, |b0, b1| {
+        // SAFETY: batch blocks are contiguous and disjoint across slices.
+        let out = unsafe { shared.get(b0 * block, (b1 - b0) * block) };
+        attn_probs_range(qd, kd, add_mask, out, b0, b1, seq, d, heads, scale);
+    });
+    probs
+}
+
+/// Forward half of the merge node: per-head context vectors written straight
+/// into their packed `[B, T, d]` bands. Shared with the tape-free path.
+pub(crate) fn attn_merge_forward(
+    pd: &[f32],
+    vd: &[f32],
+    bsz: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+) -> Vec<f32> {
+    let block = seq * d;
+    let mut merged = crate::pool::take_f32_zeroed(bsz * block);
+    let shared = crate::pool::SharedMut::new(&mut merged);
+    par_ranges(bsz, bsz * seq * seq * d, |b0, b1| {
+        // SAFETY: batch blocks are contiguous and disjoint across slices.
+        let out = unsafe { shared.get(b0 * block, (b1 - b0) * block) };
+        attn_merge_range(pd, vd, out, b0, b1, seq, d, heads);
+    });
+    merged
+}
+
+/// Backward of the softmax-probability node folded with the `scale` factor:
+/// `ds = scale·(y ⊙ (g − ⟨y, g⟩))` per row — the exact composition of the
+/// softmax_last and mul_scalar rules (dot ascending in `j`). Rows are
+/// independent, so they split across the pool by contiguous range.
+pub(crate) fn attn_dscore_rows(
+    yd: &[f32],
+    gd: &[f32],
+    ds: &mut [f32],
+    rows: usize,
+    seq: usize,
+    scale: f32,
+) {
+    let shared = crate::pool::SharedMut::new(ds);
+    par_ranges(rows, rows * seq * 2, |r0, r1| {
+        // SAFETY: row ranges are contiguous and disjoint across slices.
+        let out = unsafe { shared.get(r0 * seq, (r1 - r0) * seq) };
+        attn_dscore_range(yd, gd, out, r0, r1, seq, scale);
+    });
+}
+
+/// `dQ[i] += Σ_j ds[i][j]·K[j]` per head band (j ascending).
+pub(crate) fn attn_dq(
+    ds: &[f32],
+    kd: &[f32],
+    dst: &mut [f32],
+    bsz: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+) {
+    let shared = crate::pool::SharedMut::new(dst);
+    par_ranges(bsz, bsz * seq * seq * d, |b0, b1| {
+        // SAFETY: batch blocks are contiguous and disjoint across slices.
+        let out = unsafe { shared.get(b0 * seq * d, (b1 - b0) * seq * d) };
+        attn_dq_range(ds, kd, out, b0, b1, seq, d, heads);
+    });
+}
+
+/// `dK[j] += Σ_i Q[i]·ds[i][j]` per head band (i ascending).
+pub(crate) fn attn_dk(
+    ds: &[f32],
+    qd: &[f32],
+    dst: &mut [f32],
+    bsz: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+) {
+    let shared = crate::pool::SharedMut::new(dst);
+    par_ranges(bsz, bsz * seq * seq * d, |b0, b1| {
+        // SAFETY: batch blocks are contiguous and disjoint across slices.
+        let out = unsafe { shared.get(b0 * seq * d, (b1 - b0) * seq * d) };
+        attn_dk_range(ds, qd, out, b0, b1, seq, d, heads);
+    });
+}
+
+/// `dprobs[i][t] = ⟨g[i], V[t]⟩` per head band (p ascending).
+pub(crate) fn attn_dprobs(
+    gd: &[f32],
+    vd: &[f32],
+    dst: &mut [f32],
+    bsz: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+) {
+    let block = heads * seq * seq;
+    let shared = crate::pool::SharedMut::new(dst);
+    par_ranges(bsz, bsz * seq * seq * d, |b0, b1| {
+        // SAFETY: batch blocks are contiguous and disjoint across slices.
+        let out = unsafe { shared.get(b0 * block, (b1 - b0) * block) };
+        attn_dprobs_range(gd, vd, out, b0, b1, seq, d, heads);
+    });
+}
+
+/// `dV[t] += Σ_i probs[i][t]·g[i]` per head band (i ascending).
+pub(crate) fn attn_dv(
+    pd: &[f32],
+    gd: &[f32],
+    dst: &mut [f32],
+    bsz: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+) {
+    let shared = crate::pool::SharedMut::new(dst);
+    par_ranges(bsz, bsz * seq * seq * d, |b0, b1| {
+        // SAFETY: batch blocks are contiguous and disjoint across slices.
+        let out = unsafe { shared.get(b0 * seq * d, (b1 - b0) * seq * d) };
+        attn_dv_range(pd, gd, out, b0, b1, seq, d, heads);
+    });
+}
+
+crate::simd::simd_hot! {
+
+/// [`attn_probs_forward`] over batches `b0..b1`; `probs` is that batch
+/// band's contiguous `[(b1-b0)·H, T, T]` block.
+#[allow(clippy::too_many_arguments)]
+fn attn_probs_range(
+    qd: &[f32],
+    kd: &[f32],
+    add_mask: Option<&Tensor>,
+    probs: &mut [f32],
+    b0: usize,
+    b1: usize,
+    seq: usize,
+    d: usize,
+    heads: usize,
+    scale: f32,
+) {
+    let dh = d / heads;
+    for bi in b0..b1 {
         for h in 0..heads {
             let off = h * dh;
             for i in 0..seq {
                 let qrow = &qd[(bi * seq + i) * d + off..][..dh];
-                let row = &mut probs[((bi * heads + h) * seq + i) * seq..][..seq];
+                let row = &mut probs[(((bi - b0) * heads + h) * seq + i) * seq..][..seq];
                 for (j, slot) in row.iter_mut().enumerate() {
                     let krow = &kd[(bi * seq + j) * d + off..][..dh];
                     let mut s = 0.0f32;
@@ -163,27 +332,27 @@ pub(crate) fn attn_probs_forward(
             }
         }
     }
-    probs
 }
 
-/// Forward half of the merge node: per-head context vectors written straight
-/// into their packed `[B, T, d]` bands. Shared with the tape-free path.
-pub(crate) fn attn_merge_forward(
+/// [`attn_merge_forward`] over batches `b0..b1`; `merged` is that band's
+/// contiguous `[(b1-b0), T, d]` block.
+fn attn_merge_range(
     pd: &[f32],
     vd: &[f32],
-    bsz: usize,
+    merged: &mut [f32],
+    b0: usize,
+    b1: usize,
     seq: usize,
     d: usize,
     heads: usize,
-) -> Vec<f32> {
+) {
     let dh = d / heads;
-    let mut merged = crate::pool::take_f32_zeroed(bsz * seq * d);
-    for bi in 0..bsz {
+    for bi in b0..b1 {
         for h in 0..heads {
             let off = h * dh;
             for i in 0..seq {
                 let prow = &pd[((bi * heads + h) * seq + i) * seq..][..seq];
-                let orow = &mut merged[(bi * seq + i) * d + off..][..dh];
+                let orow = &mut merged[((bi - b0) * seq + i) * d + off..][..dh];
                 for (t_, &pv) in prow.iter().enumerate() {
                     let vrow = &vd[(bi * seq + t_) * d + off..][..dh];
                     for p in 0..dh {
@@ -193,51 +362,50 @@ pub(crate) fn attn_merge_forward(
             }
         }
     }
-    merged
 }
 
-/// Backward of the softmax-probability node folded with the `scale` factor:
-/// `ds = scale·(y ⊙ (g − ⟨y, g⟩))` per row — the exact composition of the
-/// softmax_last and mul_scalar rules (dot ascending in `j`).
-pub(crate) fn attn_dscore_rows(
+/// [`attn_dscore_rows`] over rows `r0..r1`; `ds` is that contiguous band.
+fn attn_dscore_range(
     yd: &[f32],
     gd: &[f32],
     ds: &mut [f32],
-    rows: usize,
+    r0: usize,
+    r1: usize,
     seq: usize,
     scale: f32,
 ) {
-    for r in 0..rows {
+    for r in r0..r1 {
         let yr = &yd[r * seq..(r + 1) * seq];
         let gr = &gd[r * seq..(r + 1) * seq];
         let mut dot = 0.0f32;
         for j in 0..seq {
             dot += yr[j] * gr[j];
         }
-        let dsr = &mut ds[r * seq..(r + 1) * seq];
+        let dsr = &mut ds[(r - r0) * seq..(r - r0 + 1) * seq];
         for j in 0..seq {
             dsr[j] = scale * (yr[j] * (gr[j] - dot));
         }
     }
 }
 
-/// `dQ[i] += Σ_j ds[i][j]·K[j]` per head band (j ascending).
-pub(crate) fn attn_dq(
+/// [`attn_dq`] over batches `b0..b1`; `dst` is that band's `[.., T, d]`.
+fn attn_dq_range(
     ds: &[f32],
     kd: &[f32],
     dst: &mut [f32],
-    bsz: usize,
+    b0: usize,
+    b1: usize,
     seq: usize,
     d: usize,
     heads: usize,
 ) {
     let dh = d / heads;
-    for bi in 0..bsz {
+    for bi in b0..b1 {
         for h in 0..heads {
             let off = h * dh;
             for i in 0..seq {
                 let dsr = &ds[((bi * heads + h) * seq + i) * seq..][..seq];
-                let drow = &mut dst[(bi * seq + i) * d + off..][..dh];
+                let drow = &mut dst[((bi - b0) * seq + i) * d + off..][..dh];
                 for (j, &s) in dsr.iter().enumerate() {
                     let krow = &kd[(bi * seq + j) * d + off..][..dh];
                     for p in 0..dh {
@@ -249,25 +417,26 @@ pub(crate) fn attn_dq(
     }
 }
 
-/// `dK[j] += Σ_i Q[i]·ds[i][j]` per head band (i ascending).
-pub(crate) fn attn_dk(
+/// [`attn_dk`] over batches `b0..b1`; `dst` is that band's `[.., T, d]`.
+fn attn_dk_range(
     ds: &[f32],
     qd: &[f32],
     dst: &mut [f32],
-    bsz: usize,
+    b0: usize,
+    b1: usize,
     seq: usize,
     d: usize,
     heads: usize,
 ) {
     let dh = d / heads;
-    for bi in 0..bsz {
+    for bi in b0..b1 {
         for h in 0..heads {
             let off = h * dh;
             for i in 0..seq {
                 let dsr = &ds[((bi * heads + h) * seq + i) * seq..][..seq];
                 let qrow = &qd[(bi * seq + i) * d + off..][..dh];
                 for (j, &s) in dsr.iter().enumerate() {
-                    let drow = &mut dst[(bi * seq + j) * d + off..][..dh];
+                    let drow = &mut dst[((bi - b0) * seq + j) * d + off..][..dh];
                     for p in 0..dh {
                         drow[p] += qrow[p] * s;
                     }
@@ -277,23 +446,25 @@ pub(crate) fn attn_dk(
     }
 }
 
-/// `dprobs[i][t] = ⟨g[i], V[t]⟩` per head band (p ascending).
-pub(crate) fn attn_dprobs(
+/// [`attn_dprobs`] over batches `b0..b1`; `dst` is that band's
+/// `[(b1-b0)·H, T, T]` block.
+fn attn_dprobs_range(
     gd: &[f32],
     vd: &[f32],
     dst: &mut [f32],
-    bsz: usize,
+    b0: usize,
+    b1: usize,
     seq: usize,
     d: usize,
     heads: usize,
 ) {
     let dh = d / heads;
-    for bi in 0..bsz {
+    for bi in b0..b1 {
         for h in 0..heads {
             let off = h * dh;
             for i in 0..seq {
                 let gr = &gd[(bi * seq + i) * d + off..][..dh];
-                let drow = &mut dst[((bi * heads + h) * seq + i) * seq..][..seq];
+                let drow = &mut dst[(((bi - b0) * heads + h) * seq + i) * seq..][..seq];
                 for (t_, slot) in drow.iter_mut().enumerate() {
                     let vrow = &vd[(bi * seq + t_) * d + off..][..dh];
                     let mut s = 0.0f32;
@@ -307,25 +478,26 @@ pub(crate) fn attn_dprobs(
     }
 }
 
-/// `dV[t] += Σ_i probs[i][t]·g[i]` per head band (i ascending).
-pub(crate) fn attn_dv(
+/// [`attn_dv`] over batches `b0..b1`; `dst` is that band's `[.., T, d]`.
+fn attn_dv_range(
     pd: &[f32],
     gd: &[f32],
     dst: &mut [f32],
-    bsz: usize,
+    b0: usize,
+    b1: usize,
     seq: usize,
     d: usize,
     heads: usize,
 ) {
     let dh = d / heads;
-    for bi in 0..bsz {
+    for bi in b0..b1 {
         for h in 0..heads {
             let off = h * dh;
             for i in 0..seq {
                 let gr = &gd[(bi * seq + i) * d + off..][..dh];
                 let prow = &pd[((bi * heads + h) * seq + i) * seq..][..seq];
                 for (t_, &s) in prow.iter().enumerate() {
-                    let drow = &mut dst[(bi * seq + t_) * d + off..][..dh];
+                    let drow = &mut dst[((bi - b0) * seq + t_) * d + off..][..dh];
                     for p in 0..dh {
                         drow[p] += s * gr[p];
                     }

@@ -7,8 +7,9 @@
 //!
 //! [`GradStore::accumulate_with`]: crate::tape::GradStore::accumulate_with
 
+use crate::pool::SharedMut;
 use crate::tape::{Tape, Var};
-use crate::tensor::{matmul_into, matmul_into_at, matmul_into_bt, Tensor};
+use crate::tensor::{matmul_into, matmul_into_at, matmul_into_bt, par_batches, Tensor};
 
 impl Tape {
     /// Rank-2 matrix product `[m,k] x [k,n] -> [m,n]`.
@@ -118,29 +119,35 @@ impl Tape {
             let n = bv.shape().as_batch_matrix().2;
             let a_shape = av.shape().clone();
             grads.accumulate_with(a, &a_shape, |dst| {
-                for i in 0..bs {
+                let sh = SharedMut::new(dst);
+                par_batches(bs, bs * m * n * k, |i| {
+                    // SAFETY: each batch writes its own contiguous block.
+                    let d = unsafe { sh.get(i * m * k, m * k) };
                     matmul_into_bt(
                         &g.data()[i * m * n..(i + 1) * m * n],
                         &bv.data()[i * k * n..(i + 1) * k * n],
-                        &mut dst[i * m * k..(i + 1) * m * k],
+                        d,
                         m,
                         n,
                         k,
                     );
-                }
+                });
             });
             let b_shape = bv.shape().clone();
             grads.accumulate_with(b, &b_shape, |dst| {
-                for i in 0..bs {
+                let sh = SharedMut::new(dst);
+                par_batches(bs, bs * m * n * k, |i| {
+                    // SAFETY: each batch writes its own contiguous block.
+                    let d = unsafe { sh.get(i * k * n, k * n) };
                     matmul_into_at(
                         &av.data()[i * m * k..(i + 1) * m * k],
                         &g.data()[i * m * n..(i + 1) * m * n],
-                        &mut dst[i * k * n..(i + 1) * k * n],
+                        d,
                         k,
                         m,
                         n,
                     );
-                }
+                });
             });
         })
     }
@@ -165,15 +172,21 @@ impl Tape {
             self.value(b).shape()
         );
         let mut out = crate::pool::take_f32_zeroed(bs * m * n);
-        for i in 0..bs {
-            matmul_into_bt(
-                &self.value(a).data()[i * m * k..(i + 1) * m * k],
-                &self.value(b).data()[i * n * k..(i + 1) * n * k],
-                &mut out[i * m * n..(i + 1) * m * n],
-                m,
-                k,
-                n,
-            );
+        {
+            let sh = SharedMut::new(&mut out);
+            let (ad, bd) = (self.value(a).data(), self.value(b).data());
+            par_batches(bs, bs * m * k * n, |i| {
+                // SAFETY: each batch writes its own contiguous block.
+                let o = unsafe { sh.get(i * m * n, m * n) };
+                matmul_into_bt(
+                    &ad[i * m * k..(i + 1) * m * k],
+                    &bd[i * n * k..(i + 1) * n * k],
+                    o,
+                    m,
+                    k,
+                    n,
+                );
+            });
         }
         self.push_bwd(Tensor::new([bs, m, n], out), move |g, t, grads| {
             let av = t.value(a);
@@ -182,29 +195,35 @@ impl Tape {
             let n = bv.shape().as_batch_matrix().1;
             let a_shape = av.shape().clone();
             grads.accumulate_with(a, &a_shape, |dst| {
-                for i in 0..bs {
+                let sh = SharedMut::new(dst);
+                par_batches(bs, bs * m * n * k, |i| {
+                    // SAFETY: each batch writes its own contiguous block.
+                    let d = unsafe { sh.get(i * m * k, m * k) };
                     matmul_into(
                         &g.data()[i * m * n..(i + 1) * m * n],
                         &bv.data()[i * n * k..(i + 1) * n * k],
-                        &mut dst[i * m * k..(i + 1) * m * k],
+                        d,
                         m,
                         n,
                         k,
                     );
-                }
+                });
             });
             let b_shape = bv.shape().clone();
             grads.accumulate_with(b, &b_shape, |dst| {
-                for i in 0..bs {
+                let sh = SharedMut::new(dst);
+                par_batches(bs, bs * m * n * k, |i| {
+                    // SAFETY: each batch writes its own contiguous block.
+                    let d = unsafe { sh.get(i * n * k, n * k) };
                     matmul_into_at(
                         &g.data()[i * m * n..(i + 1) * m * n],
                         &av.data()[i * m * k..(i + 1) * m * k],
-                        &mut dst[i * n * k..(i + 1) * n * k],
+                        d,
                         n,
                         m,
                         k,
                     );
-                }
+                });
             });
         })
     }

@@ -113,12 +113,69 @@ impl Adam {
     }
 }
 
-crate::simd::simd_hot! {
+/// Element count above which one parameter's Adam update fans out across
+/// the thread pool (every lane is independent, so the split is bitwise
+/// invariant at any thread count).
+const PAR_MIN_ELEMS: usize = 32 * 1024;
 
-/// One Adam update over a parameter's flat data: every lane is an
-/// independent exactly-rounded chain, so this vectorizes fully.
+/// One Adam update over a parameter's flat data, chunked across the thread
+/// pool for large tensors.
 #[allow(clippy::too_many_arguments)]
 fn adam_update_slice(
+    p: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    beta1: f32,
+    beta2: f32,
+    bc1: f32,
+    bc2: f32,
+    lr: f32,
+    eps: f32,
+    weight_decay: f32,
+) {
+    let n = g.len();
+    if n >= PAR_MIN_ELEMS {
+        let (sp, sm, sv) = (
+            crate::pool::SharedMut::new(p),
+            crate::pool::SharedMut::new(m),
+            crate::pool::SharedMut::new(v),
+        );
+        crate::pool::parallel_for(n, |r| {
+            // SAFETY: partition ranges are disjoint and identical across
+            // all four buffers.
+            let (pr, mr, vr) = unsafe {
+                (
+                    sp.get(r.start, r.len()),
+                    sm.get(r.start, r.len()),
+                    sv.get(r.start, r.len()),
+                )
+            };
+            adam_update_chunk(
+                pr,
+                &g[r],
+                mr,
+                vr,
+                beta1,
+                beta2,
+                bc1,
+                bc2,
+                lr,
+                eps,
+                weight_decay,
+            );
+        });
+    } else {
+        adam_update_chunk(p, g, m, v, beta1, beta2, bc1, bc2, lr, eps, weight_decay);
+    }
+}
+
+crate::simd::simd_hot! {
+
+/// One contiguous chunk of an Adam update: every lane is an independent
+/// exactly-rounded chain, so this vectorizes fully.
+#[allow(clippy::too_many_arguments)]
+fn adam_update_chunk(
     p: &mut [f32],
     g: &[f32],
     m: &mut [f32],

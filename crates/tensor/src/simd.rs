@@ -102,28 +102,78 @@ macro_rules! simd_hot {
 }
 pub(crate) use simd_hot;
 
+/// Element count above which the element-wise helpers fan contiguous chunks
+/// out across the thread pool. Every lane is an independent one-op chain, so
+/// the split is bitwise invariant; below this the pool round-trip costs more
+/// than the memory-bound loop it would hide.
+const PAR_MIN_ELEMS: usize = 32 * 1024;
+
 simd_hot! {
-    /// `dst[i] += src[i]` — the gradient-accumulation workhorse.
-    pub(crate) fn add_assign_slice(dst: &mut [f32], src: &[f32]) {
-        assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
+    /// `dst[i] += src[i]` over one contiguous chunk.
+    fn add_assign_chunk(dst: &mut [f32], src: &[f32]) {
         for (o, s) in dst.iter_mut().zip(src) {
             *o += *s;
         }
     }
 
-    /// `dst[i] *= alpha` — gradient clipping / scaling.
-    pub(crate) fn scale_slice(dst: &mut [f32], alpha: f32) {
+    /// `dst[i] *= alpha` over one contiguous chunk.
+    fn scale_chunk(dst: &mut [f32], alpha: f32) {
         for x in dst.iter_mut() {
             *x *= alpha;
         }
     }
 
-    /// `dst[i] += alpha * src[i]`.
-    pub(crate) fn axpy_slice(dst: &mut [f32], alpha: f32, src: &[f32]) {
-        assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+    /// `dst[i] += alpha * src[i]` over one contiguous chunk.
+    fn axpy_chunk(dst: &mut [f32], alpha: f32, src: &[f32]) {
         for (o, s) in dst.iter_mut().zip(src) {
             *o += alpha * *s;
         }
+    }
+}
+
+/// `dst[i] += src[i]` — the gradient-accumulation workhorse. Large slices
+/// split into per-thread chunks (independent lanes, so bitwise invariant).
+pub(crate) fn add_assign_slice(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
+    if dst.len() >= PAR_MIN_ELEMS {
+        let d = crate::pool::SharedMut::new(dst);
+        crate::pool::parallel_for(src.len(), |r| {
+            // SAFETY: partition ranges are disjoint.
+            let dr = unsafe { d.get(r.start, r.len()) };
+            add_assign_chunk(dr, &src[r]);
+        });
+    } else {
+        add_assign_chunk(dst, src);
+    }
+}
+
+/// `dst[i] *= alpha` — gradient clipping / scaling.
+pub(crate) fn scale_slice(dst: &mut [f32], alpha: f32) {
+    let n = dst.len();
+    if n >= PAR_MIN_ELEMS {
+        let d = crate::pool::SharedMut::new(dst);
+        crate::pool::parallel_for(n, |r| {
+            // SAFETY: partition ranges are disjoint.
+            let dr = unsafe { d.get(r.start, r.len()) };
+            scale_chunk(dr, alpha);
+        });
+    } else {
+        scale_chunk(dst, alpha);
+    }
+}
+
+/// `dst[i] += alpha * src[i]`.
+pub(crate) fn axpy_slice(dst: &mut [f32], alpha: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+    if dst.len() >= PAR_MIN_ELEMS {
+        let d = crate::pool::SharedMut::new(dst);
+        crate::pool::parallel_for(src.len(), |r| {
+            // SAFETY: partition ranges are disjoint.
+            let dr = unsafe { d.get(r.start, r.len()) };
+            axpy_chunk(dr, alpha, &src[r]);
+        });
+    } else {
+        axpy_chunk(dst, alpha, src);
     }
 }
 

@@ -309,6 +309,30 @@ impl GradStore {
         }
     }
 
+    /// An empty parameter-gradient table with no tape nodes. The
+    /// data-parallel trainer builds one per optimizer step and merges the
+    /// per-shard contributions into it through [`Self::add_param_grad`] in a
+    /// fixed order, so the reduction tree is identical at every thread count.
+    pub fn for_params(num_params: usize) -> Self {
+        GradStore::new(0, num_params)
+    }
+
+    /// Adds a flat gradient contribution for parameter `id`. The first
+    /// contribution copies the bits verbatim (not `0.0 + x`, which would
+    /// flip `-0.0`); later contributions add elementwise in call order, so
+    /// the caller controls the reduction order exactly.
+    pub fn add_param_grad(&mut self, id: ParamId, shape: &Shape, data: &[f32]) {
+        assert_eq!(shape.numel(), data.len(), "add_param_grad length mismatch");
+        match &mut self.param_grads[id.index()] {
+            Some(acc) => crate::simd::add_assign_slice(acc.data_mut(), data),
+            slot @ None => {
+                let mut buf = crate::pool::take_f32(data.len());
+                buf.extend_from_slice(data);
+                *slot = Some(Tensor::new(*shape, buf));
+            }
+        }
+    }
+
     /// Adds `g` into the gradient slot of `v`.
     pub fn accumulate(&mut self, v: Var, g: Tensor) {
         match &mut self.node_grads[v.0] {

@@ -267,15 +267,20 @@ impl Tensor {
             self.shape, rhs.shape
         );
         let mut out = pool::take_f32_zeroed(b * m * n);
-        for i in 0..b {
-            matmul_into(
-                &self.data[i * m * k..(i + 1) * m * k],
-                &rhs.data[i * k * n..(i + 1) * k * n],
-                &mut out[i * m * n..(i + 1) * m * n],
-                m,
-                k,
-                n,
-            );
+        {
+            let shared = pool::SharedMut::new(&mut out);
+            par_batches(b, b * m * k * n, |i| {
+                // SAFETY: each batch writes only its own contiguous block.
+                let o = unsafe { shared.get(i * m * n, m * n) };
+                matmul_into(
+                    &self.data[i * m * k..(i + 1) * m * k],
+                    &rhs.data[i * k * n..(i + 1) * k * n],
+                    o,
+                    m,
+                    k,
+                    n,
+                );
+            });
         }
         Tensor::new([b, m, n], out)
     }
@@ -340,6 +345,10 @@ const NR: usize = 8;
 /// Problem-volume floor (`m·k·n`) below which the scalar kernels win
 /// (packing overhead dominates tiny GEMMs like per-head attention bmm).
 const BLOCKED_MIN_FLOPS: usize = 8 * 1024;
+/// Problem-volume floor above which blocked GEMM fans its row panels out
+/// across the global thread pool. Below it a pool round-trip (~µs of
+/// park/unpark latency) rivals the kernel itself.
+pub(crate) const PAR_MIN_FLOPS: usize = 512 * 1024;
 
 /// Deterministic dispatcher shared by all three kernel variants.
 fn use_blocked(m: usize, k: usize, n: usize) -> bool {
@@ -465,7 +474,12 @@ fn micro_edge(
 /// identical to the scalar kernels), and stored once. Panel entries beyond
 /// the valid edge are zero-padded; their accumulator lanes are discarded,
 /// never stored.
-#[inline(always)]
+///
+/// Packing runs once on the caller; large problems then split their *row
+/// panels* across the thread pool. Every output element's accumulation chain
+/// is confined to one tile computed by one thread, so the split cannot
+/// change bits — the serial path runs the exact same tiles in a different
+/// interleaving (see `DESIGN.md` §12).
 fn gemm_blocked<const AT: bool, const BT: bool>(
     a: &[f32],
     b: &[f32],
@@ -480,39 +494,83 @@ fn gemm_blocked<const AT: bool, const BT: bool>(
     let mut bp = pool::ScratchF32::zeroed(np * NR * k);
     pack_a::<AT>(a, &mut ap, m, k);
     pack_b::<BT>(b, &mut bp, k, n);
-    for jp in 0..np {
-        let j0 = jp * NR;
-        let cols = NR.min(n - j0);
-        let b_panel = &bp[jp * NR * k..(jp + 1) * NR * k];
-        for ip in 0..mp {
-            let i0 = ip * MR;
-            let rows = MR.min(m - i0);
-            let a_panel = &ap[ip * MR * k..(ip + 1) * MR * k];
-            if rows == MR && cols == NR {
-                micro_full(a_panel, b_panel, out, i0, j0, n);
-            } else {
-                micro_edge(a_panel, b_panel, out, i0, j0, n, rows, cols);
+    if m * k * n >= PAR_MIN_FLOPS {
+        let shared = pool::SharedMut::new(out);
+        pool::parallel_for(mp, |r| {
+            if r.is_empty() {
+                return;
             }
+            let row0 = r.start * MR;
+            let row1 = (r.end * MR).min(m);
+            // SAFETY: panel ranges from the static partition map to disjoint
+            // row bands of `out`, and the borrow outlives the scoped run.
+            let band = unsafe { shared.get(row0 * n, (row1 - row0) * n) };
+            gemm_tiles(&ap, &bp, band, m, k, n, r.start, r.end);
+        });
+    } else {
+        gemm_tiles(&ap, &bp, out, m, k, n, 0, mp);
+    }
+}
+
+/// Runs `f(i)` for every batch index `0..batches`, fanning the indices out
+/// across the thread pool when the total problem volume is large enough to
+/// amortize one pool round-trip. Batch items must be independent (disjoint
+/// outputs), which also makes the fan-out bitwise invariant.
+pub(crate) fn par_batches(batches: usize, flops: usize, f: impl Fn(usize) + Sync) {
+    if flops >= PAR_MIN_FLOPS {
+        pool::parallel_for(batches, |r| {
+            for i in r {
+                f(i);
+            }
+        });
+    } else {
+        for i in 0..batches {
+            f(i);
         }
     }
 }
 
 crate::simd::simd_hot! {
 
-/// `out += a[m,k] * b[k,n]`.
-///
-/// Large shapes dispatch to the register-tiled packed path; small shapes use
-/// an ikj loop that keeps the innermost accesses sequential in both `b` and
-/// `out`, with the reduction blocked by 4 so each pass touches four `b` rows
-/// per load/store sweep of the `out` row. Both paths produce identical bits
-/// (per-element summation order is the same serial chain).
-pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    if use_blocked(m, k, n) {
-        return gemm_blocked::<false, false>(a, b, out, m, k, n);
+/// Register-tiled micro-kernel sweep over row panels `ip0..ip1`, writing
+/// output rows `ip0*MR .. min(ip1*MR, m)`. `out_rows` is exactly that row
+/// band (callers slice it out of the full matrix, so concurrent bands never
+/// alias); indices are band-relative while panel lookups stay absolute.
+fn gemm_tiles(
+    ap: &[f32],
+    bp: &[f32],
+    out_rows: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ip0: usize,
+    ip1: usize,
+) {
+    let np = n.div_ceil(NR);
+    let row0 = ip0 * MR;
+    for jp in 0..np {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let b_panel = &bp[jp * NR * k..(jp + 1) * NR * k];
+        for ip in ip0..ip1 {
+            let i0 = ip * MR;
+            let rows = MR.min(m - i0);
+            let a_panel = &ap[ip * MR * k..(ip + 1) * MR * k];
+            if rows == MR && cols == NR {
+                micro_full(a_panel, b_panel, out_rows, i0 - row0, j0, n);
+            } else {
+                micro_edge(a_panel, b_panel, out_rows, i0 - row0, j0, n, rows, cols);
+            }
+        }
     }
+}
+
+/// Small-shape `out += a[m,k] * b[k,n]`: an ikj loop that keeps the
+/// innermost accesses sequential in both `b` and `out`, with the reduction
+/// blocked by 4 so each pass touches four `b` rows per load/store sweep of
+/// the `out` row. Bitwise identical to the blocked path (per-element
+/// summation order is the same serial chain).
+fn matmul_into_small(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
@@ -545,18 +603,9 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
     }
 }
 
-/// `out[m,n] += aᵀ[m,k] * b[k,n]` with `a` stored untransposed as `[k,m]`.
-///
-/// The reduction index is the *leading* dimension of both inputs; the packed
-/// path gathers `a` columns into row panels during packing, the small path
-/// streams `b` and `out` rows with the reduction blocked by 4.
-pub fn matmul_into_at(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    if use_blocked(m, k, n) {
-        return gemm_blocked::<true, false>(a, b, out, m, k, n);
-    }
+/// Small-shape `out[m,n] += aᵀ * b` with `a` stored `[k,m]`: streams `b`
+/// and `out` rows with the reduction blocked by 4.
+fn matmul_into_at_small(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     let mut p = 0;
     while p + 4 <= k {
         let b0 = &b[p * n..(p + 1) * n];
@@ -594,6 +643,42 @@ pub fn matmul_into_at(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
     }
 }
 
+}
+
+/// `out += a[m,k] * b[k,n]`.
+///
+/// Large shapes take the register-tiled packed path (row panels fan out
+/// across the thread pool — see [`gemm_blocked`]); small shapes use the
+/// scalar ikj loop. Both paths produce identical bits: every output
+/// element is one serial accumulator chain in increasing reduction order,
+/// regardless of tiling, SIMD tier, or thread count.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if use_blocked(m, k, n) {
+        gemm_blocked::<false, false>(a, b, out, m, k, n);
+    } else {
+        matmul_into_small(a, b, out, m, k, n);
+    }
+}
+
+/// `out[m,n] += aᵀ[m,k] * b[k,n]` with `a` stored untransposed as `[k,m]`.
+///
+/// The reduction index is the *leading* dimension of both inputs; the packed
+/// path gathers `a` columns into row panels during packing, the small path
+/// streams `b` and `out` rows with the reduction blocked by 4.
+pub fn matmul_into_at(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if use_blocked(m, k, n) {
+        gemm_blocked::<true, false>(a, b, out, m, k, n);
+    } else {
+        matmul_into_at_small(a, b, out, m, k, n);
+    }
+}
+
 /// `out[m,n] += a[m,k] * bᵀ[k,n]` with `b` stored untransposed as `[n,k]`.
 ///
 /// The packed path reads `b` rows directly as column panels (the transpose
@@ -617,9 +702,7 @@ pub fn matmul_into_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
             bt[p * n + j] = v;
         }
     }
-    matmul_into(a, &bt, out, m, k, n);
-}
-
+    matmul_into_small(a, &bt, out, m, k, n);
 }
 
 #[cfg(test)]

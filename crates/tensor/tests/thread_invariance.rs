@@ -1,0 +1,233 @@
+//! Bitwise thread-invariance suite: every parallel code path must produce
+//! *identical bits* at every thread count. The kernels only ever split
+//! independent output regions (GEMM row bands, attention batch blocks,
+//! element chunks) and never a reduction chain, so `CF_THREADS=8` must match
+//! `CF_THREADS=1` exactly — these tests pin that contract, including the
+//! ragged cases where items don't divide evenly across slices (7 row panels
+//! on 4 threads, empty slices, single-row inputs).
+
+use cf_tensor::optim::{clip_global_norm, Adam};
+use cf_tensor::pool::set_threads;
+use cf_tensor::{matmul_into, matmul_into_at, matmul_into_bt, GradStore, ParamStore, Tape, Tensor};
+use std::sync::Mutex;
+
+/// `set_threads` is process-global; serialize tests that sweep it so one
+/// test's sweep doesn't overlap another's (overlap would still be *correct*
+/// — the whole point is that bits don't depend on the width — but keeping
+/// the sweeps disjoint makes a failure unambiguous about which width broke).
+static THREADS_GUARD: Mutex<()> = Mutex::new(());
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs `f` at 1 thread, then asserts every other width reproduces the
+/// result bit-for-bit (`T` carries bits, e.g. `Vec<u32>` of `to_bits`).
+fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(label: &str, f: impl Fn() -> T) {
+    let _g = THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    set_threads(1);
+    let base = f();
+    for &t in &WIDTHS[1..] {
+        set_threads(t);
+        let got = f();
+        assert_eq!(base, got, "{label}: bits diverged at {t} threads");
+    }
+    set_threads(1);
+}
+
+/// Deterministic pseudo-random fill (tiny LCG), identical on every run.
+fn fill(n: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 8) as f32) / ((1u32 << 23) as f32) - 1.0
+        })
+        .collect()
+}
+
+fn bits(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|x| x.to_bits()).collect()
+}
+
+/// GEMM shapes covering: the parallel blocked path (≥ 512k flops), ragged
+/// row-panel counts (7 rows → 2 panels over up to 8 slices, 129 rows → 33
+/// panels), the 0-row and 1-row degenerate cases, and small shapes that stay
+/// on the serial kernels.
+const GEMM_SHAPES: [(usize, usize, usize); 7] = [
+    (128, 128, 128), // square, parallel
+    (7, 512, 512),   // ragged: 2 row panels across up to 8 slices
+    (129, 64, 96),   // panel count 33: straddles every partition boundary
+    (0, 64, 64),     // empty output
+    (1, 512, 1024),  // single row (below MR: serial small kernel)
+    (64, 64, 8),     // below the flop floor: serial blocked
+    (5, 3, 9),       // tiny: serial small kernel
+];
+
+#[test]
+fn gemm_all_three_transposes_are_thread_invariant() {
+    for &(m, k, n) in &GEMM_SHAPES {
+        let a = fill(m * k, 11);
+        let b = fill(k * n, 23);
+        let at = fill(k * m, 31); // A stored [k, m] for matmul_into_at
+        let bt = fill(n * k, 43); // B stored [n, k] for matmul_into_bt
+        assert_thread_invariant(&format!("matmul_into {m}x{k}x{n}"), || {
+            let mut out = vec![0.0f32; m * n];
+            matmul_into(&a, &b, &mut out, m, k, n);
+            bits(&out)
+        });
+        assert_thread_invariant(&format!("matmul_into_at {m}x{k}x{n}"), || {
+            let mut out = vec![0.0f32; m * n];
+            matmul_into_at(&at, &b, &mut out, m, k, n);
+            bits(&out)
+        });
+        assert_thread_invariant(&format!("matmul_into_bt {m}x{k}x{n}"), || {
+            let mut out = vec![0.0f32; m * n];
+            matmul_into_bt(&a, &bt, &mut out, m, k, n);
+            bits(&out)
+        });
+    }
+}
+
+#[test]
+fn batched_matmul_is_thread_invariant() {
+    // 16 batches of 32³ = 524288 flops: over the fan-out floor.
+    let (bsz, m, k, n) = (16, 32, 32, 32);
+    let a = Tensor::new([bsz, m, k], fill(bsz * m * k, 7));
+    let b = Tensor::new([bsz, k, n], fill(bsz * k * n, 13));
+    assert_thread_invariant("Tensor::bmm 16x32x32x32", || bits(a.bmm(&b).data()));
+}
+
+#[test]
+fn fused_attention_forward_and_backward_are_thread_invariant() {
+    // [B=8, T=16, d=32] with 2 heads: probs work = 8·2·16·16·16 = 65536
+    // flops, over the attention fan-out floor, so the per-batch block split
+    // engages at widths > 1.
+    let (b, t, d, heads) = (8usize, 16usize, 32usize, 2usize);
+    let q = Tensor::new([b, t, d], fill(b * t * d, 3));
+    let k = Tensor::new([b, t, d], fill(b * t * d, 5));
+    let v = Tensor::new([b, t, d], fill(b * t * d, 9));
+    let scale = 1.0 / ((d / heads) as f32).sqrt();
+    assert_thread_invariant("fused_attention fwd+bwd", || {
+        let mut tape = Tape::new();
+        let qv = tape.leaf(q.clone());
+        let kv = tape.leaf(k.clone());
+        let vv = tape.leaf(v.clone());
+        let y = tape.fused_attention(qv, kv, vv, heads, scale, None);
+        let out_bits = bits(tape.value(y).data());
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss, 0);
+        let mut all = out_bits;
+        for leaf in [qv, kv, vv] {
+            all.extend(bits(grads.grad(leaf).expect("leaf grad").data()));
+        }
+        all
+    });
+}
+
+#[test]
+fn adam_step_and_clip_are_thread_invariant() {
+    // One parameter above the element-chunking floor (40k elems) and one
+    // tiny one, so both the parallel and serial Adam paths are covered.
+    let big = Tensor::new([200, 200], fill(40_000, 17));
+    let small = Tensor::new([7], fill(7, 19));
+    let gbig = fill(40_000, 29);
+    let gsmall = fill(7, 37);
+    assert_thread_invariant("adam step + clip", || {
+        let mut ps = ParamStore::new();
+        let id_big = ps.add("big", big.clone());
+        let id_small = ps.add("small", small.clone());
+        let mut opt = Adam::new(1e-2);
+        let mut all = Vec::new();
+        for _ in 0..3 {
+            let mut grads = GradStore::for_params(ps.len());
+            grads.add_param_grad(id_big, big.shape(), &gbig);
+            grads.add_param_grad(id_small, small.shape(), &gsmall);
+            clip_global_norm(&mut grads, 1.0);
+            opt.step(&mut ps, &grads);
+        }
+        all.extend(bits(ps.get(id_big).data()));
+        all.extend(bits(ps.get(id_small).data()));
+        all
+    });
+}
+
+#[test]
+fn gradient_accumulation_is_thread_invariant() {
+    // A parameter used twice on the tape: its two gradient contributions
+    // accumulate through `add_assign`, which chunks across the pool at 40k
+    // elements. The shard-merge path (`add_param_grad` onto an occupied
+    // slot) is exercised by the Adam test above.
+    let w = Tensor::new([200, 200], fill(40_000, 41));
+    assert_thread_invariant("param grad accumulate", || {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", w.clone());
+        let mut tape = Tape::new();
+        let a = tape.param(&ps, id);
+        let b = tape.param(&ps, id);
+        let y = tape.mul(a, b);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss, ps.len());
+        bits(grads.param_grad(id).expect("param grad").data())
+    });
+}
+
+#[test]
+fn shard_merge_first_touch_preserves_negative_zero() {
+    // The fixed-order merge must copy the first contribution verbatim: a
+    // `0.0 + x` seed would turn -0.0 into +0.0 and break bitwise parity
+    // with the single-tape path.
+    let _g = THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let mut ps = ParamStore::new();
+    let t = Tensor::new([3], vec![0.25, -0.5, 1.0]);
+    let id = ps.add("w", t.clone());
+    let mut grads = GradStore::for_params(ps.len());
+    grads.add_param_grad(id, t.shape(), &[-0.0, 1.5, -2.0]);
+    let g = grads.param_grad(id).unwrap().data();
+    assert_eq!(g[0].to_bits(), (-0.0f32).to_bits(), "-0.0 not preserved");
+    // Second contribution adds elementwise in call order.
+    grads.add_param_grad(id, t.shape(), &[1.0, 0.5, 0.5]);
+    let g = grads.param_grad(id).unwrap().data();
+    assert_eq!(bits(g), bits(&[-0.0 + 1.0, 1.5 + 0.5, -2.0 + 0.5]));
+}
+
+#[test]
+fn gradcheck_passes_with_pool_active() {
+    // Finite-difference gradient checks with the pool at width 4. The
+    // matmul is sized over the fan-out floor (4·128·1024 = 524288 flops) so
+    // the row-panel split genuinely runs during every probe evaluation.
+    let _g = THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    set_threads(4);
+    let x = Tensor::new([512], fill(512, 53));
+    let w = Tensor::new([128, 1024], fill(128 * 1024, 59));
+    cf_tensor::gradcheck::assert_grad_close(&x, 1e-2, 3e-2, |t, v| {
+        let m = t.reshape(v, [4, 128]);
+        let wc = t.constant(w.clone());
+        let p = t.matmul(m, wc);
+        t.mean_all(p)
+    });
+    // And the attention block with learnable projections, as in the main
+    // gradcheck suite, now under an active pool.
+    use cf_tensor::nn::MultiHeadAttention;
+    let xin = Tensor::new(
+        [12],
+        (0..12)
+            .map(|i| 0.15 * (i as f32 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect(),
+    );
+    let n_params = {
+        let mut rng = cf_rand::rngs::StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        MultiHeadAttention::new(&mut store, "gc", 4, 2, &mut rng);
+        store.len()
+    };
+    cf_tensor::gradcheck::assert_grad_close_with_params(&xin, 1e-2, 3e-2, n_params, |t, v| {
+        let mut rng = cf_rand::rngs::StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "gc", 4, 2, &mut rng);
+        let xs = t.reshape(v, [1, 3, 4]);
+        let y = mha.forward(t, &store, xs, None);
+        t.mean_all(y)
+    });
+    set_threads(1);
+}
+
+use cf_rand::SeedableRng;
