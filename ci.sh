@@ -21,7 +21,8 @@ echo "== bench build + smoke (offline) =="
 # not clobbered by smoke numbers.
 cargo build --offline --benches --workspace
 CF_BENCH_SAMPLES=1 cargo bench --offline -p chainsformer-bench \
-    --bench tensor_ops --bench tensor_kernels --bench serve_throughput >/dev/null
+    --bench tensor_ops --bench tensor_kernels --bench serve_throughput \
+    --bench kg_retrieval >/dev/null
 
 echo "== zero-allocation gate (offline) =="
 # The buffer pool's steady-state contract on the real model: after warm-up,
@@ -200,6 +201,75 @@ CF_THREADS=1 ./target/release/alloc_gate >/dev/null \
 CF_THREADS=4 ./target/release/alloc_gate >/dev/null \
     || { echo "thread matrix: alloc gate failed at 4 threads"; exit 1; }
 echo "thread-matrix gate: ok"
+
+echo "== kg_store gate (offline) =="
+# The CFKG1/CFCI1 contracts end to end through the CLI (DESIGN.md §13):
+# ingest is a pure function of the graph (byte-identical re-ingest), a
+# flipped body byte yields a typed error naming the failing section (never
+# a panic or a garbage graph), the chain index is bitwise identical at
+# every thread count, and serving retrieval from the index answers
+# queries end to end.
+KG_DIR="$SMOKE_DIR/kg"
+mkdir -p "$KG_DIR"
+"$CFKG" gen --entities 3000 --avg-degree 4 --seed 11 --out "$KG_DIR" \
+    --store "$KG_DIR/gen.cfkg" >/dev/null
+KG_TSV=(--triples "$KG_DIR/large_triples.tsv" --numerics "$KG_DIR/large_numerics.tsv")
+"$CFKG" ingest "${KG_TSV[@]}" --out "$KG_DIR/a.cfkg" >/dev/null
+"$CFKG" ingest "${KG_TSV[@]}" --out "$KG_DIR/b.cfkg" >/dev/null
+cmp "$KG_DIR/a.cfkg" "$KG_DIR/b.cfkg" \
+    || { echo "kg_store: re-ingested store is not byte-identical"; exit 1; }
+cmp "$KG_DIR/a.cfkg" "$KG_DIR/gen.cfkg" \
+    || { echo "kg_store: TSV-ingested store differs from gen --store"; exit 1; }
+"$CFKG" stats --store "$KG_DIR/a.cfkg" >/dev/null \
+    || { echo "kg_store: stats over the store failed"; exit 1; }
+# Flip one byte inside the first section body (offset 24: past the 8-byte
+# magic and the 16-byte section header) — the load must fail with a typed
+# error naming the section, not panic or succeed.
+cp "$KG_DIR/a.cfkg" "$KG_DIR/corrupt.cfkg"
+printf '\xff' | dd of="$KG_DIR/corrupt.cfkg" bs=1 seek=24 conv=notrunc status=none
+if "$CFKG" stats --store "$KG_DIR/corrupt.cfkg" > "$KG_DIR/corrupt.log" 2>&1; then
+    echo "kg_store: corrupted store loaded successfully"; exit 1
+fi
+grep -q 'section "counts" failed its CRC32 check' "$KG_DIR/corrupt.log" \
+    || { echo "kg_store: corruption error does not name the section:"; \
+         cat "$KG_DIR/corrupt.log"; exit 1; }
+# Chain index: bitwise identical across pool widths.
+"$CFKG" index --store "$KG_DIR/a.cfkg" --full --threads 1 \
+    --out "$KG_DIR/t1.cfci" >/dev/null
+"$CFKG" index --store "$KG_DIR/a.cfkg" --full --threads 4 \
+    --out "$KG_DIR/t4.cfci" >/dev/null
+cmp "$KG_DIR/t1.cfci" "$KG_DIR/t4.cfci" \
+    || { echo "kg_store: chain index differs between 1 and 4 threads"; exit 1; }
+# Indexed-retrieval smoke: ingest the serve-smoke graph, index its visible
+# split, and answer a query through `serve --store --index`.
+"$CFKG" ingest --triples "$SMOKE_DIR/yago15k_sim_triples.tsv" \
+    --numerics "$SMOKE_DIR/yago15k_sim_numerics.tsv" \
+    --out "$KG_DIR/yago.cfkg" >/dev/null
+"$CFKG" index --store "$KG_DIR/yago.cfkg" --seed 3 \
+    --out "$KG_DIR/yago.cfci" >/dev/null
+mkfifo "$KG_DIR/ix_stdin"
+"$CFKG" serve --store "$KG_DIR/yago.cfkg" --index "$KG_DIR/yago.cfci" \
+    --ckpt "$SMOKE_DIR/model.ckpt" \
+    --dim 16 --layers 1 --walks 32 --top-k 8 --seed 3 --port 0 \
+    < "$KG_DIR/ix_stdin" > "$KG_DIR/ix.log" 2>&1 &
+IX_PID=$!
+exec 5>"$KG_DIR/ix_stdin"
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$KG_DIR/ix.log" && break
+    sleep 0.1
+done
+IX_PORT="$(sed -n 's/^listening on .*://p' "$KG_DIR/ix.log" | head -1)"
+[ -n "$IX_PORT" ] || { echo "kg_store: no listening line from indexed serve"; exit 1; }
+exec 6<>"/dev/tcp/127.0.0.1/$IX_PORT"
+printf '%s\n' '{"entity":"person_0","attr":"birth","id":1}' >&6
+read -r -t 30 REPLY_IX <&6 || { echo "kg_store: no reply from indexed serve"; exit 1; }
+echo "$REPLY_IX" | grep -q '"ok":true' \
+    || { echo "kg_store: expected ok reply, got: $REPLY_IX"; exit 1; }
+exec 6<&- 6>&-
+kill -TERM "$IX_PID"
+wait "$IX_PID" || { echo "kg_store: indexed serve exited non-zero"; exit 1; }
+exec 5>&-
+echo "kg_store gate: ok"
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -39,12 +39,12 @@ impl MrAP {
                 continue;
             }
             for edge in graph.neighbors(e) {
-                for &(a_src, x) in graph.numerics_of(edge.to) {
-                    for &(a_dst, y) in dst_facts {
+                for fs in graph.numerics_of(edge.to) {
+                    for fd in dst_facts {
                         pairs
-                            .entry((edge.dr, a_src, a_dst))
+                            .entry((edge.dr, fs.attr, fd.attr))
                             .or_default()
-                            .push((x, y));
+                            .push((fs.value, fd.value));
                     }
                 }
             }
@@ -81,9 +81,9 @@ impl MrAP {
     fn messages(&self, graph: &KnowledgeGraph, query: Query) -> Vec<(f64, f64)> {
         let mut msgs = Vec::new();
         for edge in graph.neighbors(query.entity) {
-            for &(a_src, x) in graph.numerics_of(edge.to) {
-                if let Some(t) = self.transports.get(&(edge.dr, a_src, query.attr)) {
-                    msgs.push((t.alpha * x + t.beta, t.samples as f64));
+            for fs in graph.numerics_of(edge.to) {
+                if let Some(t) = self.transports.get(&(edge.dr, fs.attr, query.attr)) {
+                    msgs.push((t.alpha * fs.value + t.beta, t.samples as f64));
                 }
             }
         }

@@ -128,10 +128,10 @@ mod tests {
         // Prediction must be inside the attribute's observed convex hull
         // (it is a weighted average of observed values).
         let owners = visible.entities_with_attribute(q.attr);
-        let min = owners.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        let min = owners.iter().map(|o| o.value).fold(f64::INFINITY, f64::min);
         let max = owners
             .iter()
-            .map(|&(_, v)| v)
+            .map(|o| o.value)
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(pred >= min - 1e-9 && pred <= max + 1e-9);
     }

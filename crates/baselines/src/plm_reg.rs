@@ -25,8 +25,8 @@ pub fn entity_features(graph: &KnowledgeGraph, e: EntityId) -> Vec<f32> {
         let key = edge.dr.rel.0 as usize * 2 + matches!(edge.dr.dir, Dir::Inverse) as usize;
         f[hash(key) % (FEATURE_DIM - 2)] += 1.0;
     }
-    for &(a, _) in graph.numerics_of(e) {
-        f[hash(1_000 + a.0 as usize) % (FEATURE_DIM - 2)] += 1.0;
+    for fact in graph.numerics_of(e) {
+        f[hash(1_000 + fact.attr.0 as usize) % (FEATURE_DIM - 2)] += 1.0;
     }
     // Normalize the histogram part, keep two slots for globals.
     let norm: f32 = f.iter().map(|x| x * x).sum::<f32>().sqrt().max(1.0);

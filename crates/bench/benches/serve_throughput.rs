@@ -24,7 +24,7 @@ use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
 use cf_serve::{Engine, EngineConfig};
 use chainsformer::{ChainsFormer, ChainsFormerConfig};
-use chainsformer_bench::report::{write_json, Table};
+use chainsformer_bench::report::{write_json_merged, Table};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -237,7 +237,8 @@ fn main() {
             String::new(),
         ]);
         let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
-        let path = write_json(&table, &dir, "BENCH_serve").expect("write BENCH_serve.json");
+        let path =
+            write_json_merged(&table, &dir, "BENCH_serve", 2).expect("write BENCH_serve.json");
         println!("wrote {}", path.display());
     }
 }

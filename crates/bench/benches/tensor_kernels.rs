@@ -17,7 +17,7 @@ use cf_tensor::nn::{Linear, TransformerEncoder};
 use cf_tensor::{ParamStore, Tape, Tensor};
 use chainsformer_bench::alloc::{measure, AllocCounts, CountingAlloc};
 use chainsformer_bench::micro::Criterion;
-use chainsformer_bench::report::{write_json, Table};
+use chainsformer_bench::report::{write_json_merged, Table};
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::path::Path;
@@ -330,7 +330,8 @@ fn main() {
             ]);
         }
         let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
-        let path = write_json(&table, &dir, "BENCH_tensor").expect("write BENCH_tensor.json");
+        let path =
+            write_json_merged(&table, &dir, "BENCH_tensor", 2).expect("write BENCH_tensor.json");
         println!("wrote {}", path.display());
     }
 }

@@ -150,6 +150,175 @@ pub fn write_json(table: &Table, dir: &Path, name: &str) -> std::io::Result<std:
     Ok(path)
 }
 
+/// Writes a table as JSON under `dir/name.json`, *merging* with an existing
+/// file of the same schema instead of clobbering it.
+///
+/// Benches with gated arms (e.g. the 1M-entity arm of `kg_retrieval` behind
+/// `CF_BENCH_KG_LARGE=1`) run partially most of the time; a plain
+/// [`write_json`] would silently drop the expensive rows from the previous
+/// full run. Here rows are keyed on their first `key_cols` cells: new rows
+/// replace existing rows with the same key and append otherwise, existing
+/// rows with keys this run didn't produce survive. If the existing file is
+/// unreadable, malformed, or has different headers, the new table replaces
+/// it wholesale.
+pub fn write_json_merged(
+    table: &Table,
+    dir: &Path,
+    name: &str,
+    key_cols: usize,
+) -> std::io::Result<std::path::PathBuf> {
+    assert!(
+        key_cols >= 1 && key_cols <= table.headers.len(),
+        "key_cols out of range"
+    );
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let old = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| parse_table_json(&t));
+    let merged = match old {
+        Some(old) if old.headers == table.headers => {
+            let mut rows = old.rows;
+            for row in &table.rows {
+                match rows.iter_mut().find(|r| r[..key_cols] == row[..key_cols]) {
+                    Some(existing) => *existing = row.clone(),
+                    None => rows.push(row.clone()),
+                }
+            }
+            Table {
+                title: table.title.clone(),
+                headers: table.headers.clone(),
+                rows,
+            }
+        }
+        _ => Table {
+            title: table.title.clone(),
+            headers: table.headers.clone(),
+            rows: table.rows.clone(),
+        },
+    };
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(merged.to_json().as_bytes())?;
+    Ok(path)
+}
+
+/// Parses the fixed `{"title", "headers", "rows"}` JSON shape produced by
+/// [`Table::to_json`]. Returns `None` on anything else — the merge writer
+/// then falls back to replacing the file.
+fn parse_table_json(text: &str) -> Option<Table> {
+    let mut p = JsonParser {
+        chars: text.chars().peekable(),
+    };
+    p.expect('{')?;
+    p.key("title")?;
+    let title = p.string()?;
+    p.expect(',')?;
+    p.key("headers")?;
+    let headers = p.string_array()?;
+    p.expect(',')?;
+    p.key("rows")?;
+    p.expect('[')?;
+    let mut rows = Vec::new();
+    if p.peek()? == ']' {
+        p.expect(']')?;
+    } else {
+        loop {
+            let row = p.string_array()?;
+            if row.len() != headers.len() {
+                return None;
+            }
+            rows.push(row);
+            match p.next_non_ws()? {
+                ',' => continue,
+                ']' => break,
+                _ => return None,
+            }
+        }
+    }
+    p.expect('}')?;
+    Some(Table {
+        title,
+        headers,
+        rows,
+    })
+}
+
+/// Minimal recursive-descent reader for [`parse_table_json`]; any deviation
+/// from the expected shape surfaces as `None`.
+struct JsonParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl JsonParser<'_> {
+    fn peek(&mut self) -> Option<char> {
+        while self.chars.peek().is_some_and(|c| c.is_whitespace()) {
+            self.chars.next();
+        }
+        self.chars.peek().copied()
+    }
+
+    fn next_non_ws(&mut self) -> Option<char> {
+        self.peek()?;
+        self.chars.next()
+    }
+
+    fn expect(&mut self, want: char) -> Option<()> {
+        (self.next_non_ws()? == want).then_some(())
+    }
+
+    /// `"name":` with the exact given name.
+    fn key(&mut self, name: &str) -> Option<()> {
+        (self.string()? == name).then_some(())?;
+        self.expect(':')
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next()? {
+                '"' => return Some(out),
+                '\\' => match self.chars.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            v = v * 16 + self.chars.next()?.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(v)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn string_array(&mut self) -> Option<Vec<String>> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        if self.peek()? == ']' {
+            self.expect(']')?;
+            return Some(out);
+        }
+        loop {
+            out.push(self.string()?);
+            match self.next_non_ws()? {
+                ',' => continue,
+                ']' => return Some(out),
+                _ => return None,
+            }
+        }
+    }
+}
+
 /// Formats an error the way the paper's tables do: sensible precision for
 /// magnitudes from 1e-4 to 1e9.
 pub fn fmt_err(v: f64) -> String {
@@ -225,6 +394,91 @@ mod tests {
         let path = write_json(&t, &dir, "unit").unwrap();
         assert!(path.exists());
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn parse_table_json_round_trips() {
+        let mut t = Table::new("ti\"tle\n", &["k", "v"]);
+        t.row(vec!["a\\b".into(), "1".into()]);
+        t.row(vec!["c\td".into(), "2".into()]);
+        let back = parse_table_json(&t.to_json()).unwrap();
+        assert_eq!(back.title, t.title);
+        assert_eq!(back.headers, t.headers);
+        assert_eq!(back.rows, t.rows);
+    }
+
+    #[test]
+    fn parse_table_json_rejects_malformed() {
+        assert!(parse_table_json("").is_none());
+        assert!(parse_table_json("{}").is_none());
+        assert!(parse_table_json("not json at all").is_none());
+        // ragged row (width != headers)
+        let ragged = "{\n  \"title\": \"t\",\n  \"headers\": [\"a\", \"b\"],\n  \"rows\": [\n    [\"1\"]\n  ]\n}\n";
+        assert!(parse_table_json(ragged).is_none());
+        // truncated file (e.g. interrupted write)
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        let full = t.to_json();
+        assert!(parse_table_json(&full[..full.len() / 2]).is_none());
+    }
+
+    #[test]
+    fn write_json_merged_keeps_rows_from_other_arms() {
+        let dir = std::env::temp_dir().join(format!("cf_bench_merge_{}", std::process::id()));
+        // First run: the expensive arm writes its rows.
+        let mut big = Table::new("t", &["scale", "metric", "value"]);
+        big.row(vec!["1m".into(), "p99".into(), "500".into()]);
+        write_json_merged(&big, &dir, "unit_merge", 2).unwrap();
+        // Second run: only the small arm runs; it must not clobber "1m".
+        let mut small = Table::new("t", &["scale", "metric", "value"]);
+        small.row(vec!["15k".into(), "p99".into(), "20".into()]);
+        let path = write_json_merged(&small, &dir, "unit_merge", 2).unwrap();
+        let merged = parse_table_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(merged.rows.len(), 2);
+        assert!(merged.rows.iter().any(|r| r[0] == "1m" && r[2] == "500"));
+        assert!(merged.rows.iter().any(|r| r[0] == "15k" && r[2] == "20"));
+        // Third run: small arm again with a new value replaces its row in place.
+        let mut rerun = Table::new("t", &["scale", "metric", "value"]);
+        rerun.row(vec!["15k".into(), "p99".into(), "25".into()]);
+        write_json_merged(&rerun, &dir, "unit_merge", 2).unwrap();
+        let merged = parse_table_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(merged.rows.len(), 2);
+        assert!(merged.rows.iter().any(|r| r[0] == "15k" && r[2] == "25"));
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_json_merged_replaces_on_schema_change() {
+        let dir =
+            std::env::temp_dir().join(format!("cf_bench_merge_schema_{}", std::process::id()));
+        let mut old = Table::new("t", &["a", "b"]);
+        old.row(vec!["1".into(), "2".into()]);
+        write_json_merged(&old, &dir, "unit_schema", 1).unwrap();
+        let mut new = Table::new("t", &["a", "b", "c"]);
+        new.row(vec!["1".into(), "2".into(), "3".into()]);
+        let path = write_json_merged(&new, &dir, "unit_schema", 1).unwrap();
+        let got = parse_table_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(got.headers, vec!["a", "b", "c"]);
+        assert_eq!(got.rows.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_json_merged_replaces_corrupt_file() {
+        let dir =
+            std::env::temp_dir().join(format!("cf_bench_merge_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit_corrupt.json");
+        std::fs::write(&path, b"{ truncated garba").unwrap();
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        write_json_merged(&t, &dir, "unit_corrupt", 1).unwrap();
+        let got = parse_table_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(got.rows, vec![vec!["1".to_string()]]);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir(&dir).unwrap();
     }
 
     #[test]

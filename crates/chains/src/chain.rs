@@ -1,6 +1,6 @@
 //! Relation-Attribute Chains (§IV-A, Eq. 5).
 
-use cf_kg::{AttributeId, DirRel, EntityId, KnowledgeGraph};
+use cf_kg::{AttributeId, DirRel, EntityId, GraphView};
 
 /// A numerical-reasoning query `(v_q, a_q, ?)`.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -78,7 +78,7 @@ impl RaChain {
 
     /// Human-readable rendering in the paper's Table-V style, e.g.
     /// `(sibling, birth)` or `(team, team_inv, weight)`.
-    pub fn render(&self, g: &KnowledgeGraph) -> String {
+    pub fn render(&self, g: &impl GraphView) -> String {
         let mut parts: Vec<String> = self.rels.iter().map(|&dr| g.dir_rel_name(dr)).collect();
         parts.push(g.attribute_name(self.known_attr).to_string());
         format!("({})", parts.join(", "))
@@ -107,7 +107,7 @@ pub struct ChainVocab {
 
 impl ChainVocab {
     /// Vocabulary sized for a graph's relation/attribute inventories.
-    pub fn for_graph(g: &KnowledgeGraph) -> Self {
+    pub fn for_graph(g: &impl GraphView) -> Self {
         ChainVocab {
             num_relations: g.num_relations(),
             num_attributes: g.num_attributes(),
@@ -166,6 +166,7 @@ impl ChainVocab {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cf_kg::KnowledgeGraph;
     use cf_kg::{Dir, RelationId};
 
     fn vocab() -> ChainVocab {

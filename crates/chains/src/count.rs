@@ -1,7 +1,7 @@
 //! Chain counting for Figure 2: the number of logic chains connected to a
 //! query explodes with reasoning depth.
 
-use cf_kg::{EntityId, KnowledgeGraph};
+use cf_kg::{EntityId, GraphView, KnowledgeGraph};
 use cf_rand::Rng;
 
 /// Exact number of logic chains of exactly `hops` relation steps rooted at
@@ -11,7 +11,7 @@ use cf_rand::Rng;
 ///
 /// DFS cost grows exponentially; `cap` bounds the count (returns
 /// `min(count, cap)`), letting callers fall back to sampling estimates.
-pub fn exact_chain_count(g: &KnowledgeGraph, entity: EntityId, hops: usize, cap: u64) -> u64 {
+pub fn exact_chain_count(g: &impl GraphView, entity: EntityId, hops: usize, cap: u64) -> u64 {
     let mut visited = vec![false; g.num_entities()];
     visited[entity.0 as usize] = true;
     let mut count = 0u64;
@@ -20,7 +20,7 @@ pub fn exact_chain_count(g: &KnowledgeGraph, entity: EntityId, hops: usize, cap:
 }
 
 fn dfs(
-    g: &KnowledgeGraph,
+    g: &impl GraphView,
     at: EntityId,
     remaining: usize,
     visited: &mut [bool],
@@ -50,7 +50,7 @@ fn dfs(
 
 /// Chains of *up to* `hops` steps (what Figure 2 plots per hop count).
 pub fn chain_count_by_hops(
-    g: &KnowledgeGraph,
+    g: &impl GraphView,
     entity: EntityId,
     max_hops: usize,
     cap: u64,

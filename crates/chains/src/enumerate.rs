@@ -3,7 +3,7 @@
 //! (`retrieve ⊆ enumerate`).
 
 use crate::chain::{ChainInstance, Query, RaChain};
-use cf_kg::{EntityId, KnowledgeGraph};
+use cf_kg::{EntityId, GraphView};
 
 /// Enumerates every chain instance of at most `max_hops` relation steps for
 /// a query: all simple paths from the query entity crossed with every
@@ -18,7 +18,7 @@ use cf_kg::{EntityId, KnowledgeGraph};
 /// result size (equal on graphs without parallel path patterns); `cap`
 /// bounds memory on dense graphs.
 pub fn enumerate_chains(
-    graph: &KnowledgeGraph,
+    graph: &impl GraphView,
     query: Query,
     max_hops: usize,
     zero_hop: bool,
@@ -26,16 +26,16 @@ pub fn enumerate_chains(
 ) -> Vec<ChainInstance> {
     let mut out = Vec::new();
     if zero_hop {
-        for &(attr, value) in graph.numerics_of(query.entity) {
-            if attr != query.attr {
+        for f in graph.numerics_of(query.entity) {
+            if f.attr != query.attr {
                 out.push(ChainInstance {
                     chain: RaChain {
-                        known_attr: attr,
+                        known_attr: f.attr,
                         rels: Vec::new(),
                         query_attr: query.attr,
                     },
                     source: query.entity,
-                    value,
+                    value: f.value,
                 });
             }
         }
@@ -60,7 +60,7 @@ pub fn enumerate_chains(
 
 #[allow(clippy::too_many_arguments)]
 fn walk(
-    graph: &KnowledgeGraph,
+    graph: &impl GraphView,
     query: Query,
     at: EntityId,
     remaining: usize,
@@ -82,15 +82,15 @@ fn walk(
             continue;
         }
         rels.push(edge.dr);
-        for &(attr, value) in graph.numerics_of(next) {
-            if next == query.entity && attr == query.attr {
+        for f in graph.numerics_of(next) {
+            if next == query.entity && f.attr == query.attr {
                 continue;
             }
             if out.len() >= cap {
                 break;
             }
             let chain = RaChain {
-                known_attr: attr,
+                known_attr: f.attr,
                 rels: rels.clone(),
                 query_attr: query.attr,
             };
@@ -98,7 +98,7 @@ fn walk(
                 out.push(ChainInstance {
                     chain,
                     source: next,
-                    value,
+                    value: f.value,
                 });
             }
         }
@@ -125,7 +125,7 @@ mod tests {
     use crate::count::exact_chain_count;
     use crate::retrieval::{retrieve, RetrievalConfig};
     use cf_kg::synth::{yago15k_sim, SynthScale};
-    use cf_kg::AttributeId;
+    use cf_kg::{AttributeId, KnowledgeGraph};
     use cf_rand::rngs::StdRng;
     use cf_rand::SeedableRng;
 

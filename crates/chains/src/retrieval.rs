@@ -2,7 +2,7 @@
 //! (§IV-B, Eq. 6).
 
 use crate::chain::{ChainInstance, ChainVocab, Query, RaChain};
-use cf_kg::{EntityId, KnowledgeGraph};
+use cf_kg::{ChainIndexView, DirRel, EntityId, GraphView};
 use cf_rand::seq::SliceRandom;
 use cf_rand::Rng;
 
@@ -82,7 +82,7 @@ impl TreeOfChains {
 /// removal) and the query's own `(entity, attr)` fact is never used as
 /// evidence.
 pub fn retrieve(
-    graph: &KnowledgeGraph,
+    graph: &impl GraphView,
     query: Query,
     cfg: &RetrievalConfig,
     rng: &mut impl Rng,
@@ -94,12 +94,12 @@ pub fn retrieve(
 
     // 0-hop chains: the query entity's other attributes.
     if cfg.allow_zero_hop {
-        for &(attr, value) in graph.numerics_of(query.entity) {
-            if attr == query.attr {
+        for f in graph.numerics_of(query.entity) {
+            if f.attr == query.attr {
                 continue;
             }
             let chain = RaChain {
-                known_attr: attr,
+                known_attr: f.attr,
                 rels: Vec::new(),
                 query_attr: query.attr,
             };
@@ -107,7 +107,7 @@ pub fn retrieve(
                 chains.push(ChainInstance {
                     chain,
                     source: query.entity,
-                    value,
+                    value: f.value,
                 });
             }
         }
@@ -146,12 +146,12 @@ pub fn retrieve(
             if facts.is_empty() {
                 continue;
             }
-            let &(attr, value) = facts.choose(rng).expect("non-empty");
-            if current == query.entity && attr == query.attr {
+            let f = *facts.choose(rng).expect("non-empty");
+            if current == query.entity && f.attr == query.attr {
                 continue;
             }
             let chain = RaChain {
-                known_attr: attr,
+                known_attr: f.attr,
                 rels: rels.clone(),
                 query_attr: query.attr,
             };
@@ -159,7 +159,7 @@ pub fn retrieve(
                 chains.push(ChainInstance {
                     chain,
                     source: current,
-                    value,
+                    value: f.value,
                 });
                 if chains.len() >= cfg.num_walks {
                     break;
@@ -170,11 +170,99 @@ pub fn retrieve(
     TreeOfChains { query, chains }
 }
 
+/// Index-backed retrieval: builds the Tree of Chains from the precomputed
+/// per-entity chain index (`cf_kg::index`) instead of walking the graph.
+///
+/// Every index entry is a (pattern, source, value) triple the random walks
+/// of [`retrieve`] could have sampled, already deduplicated and in canonical
+/// order, so this reduces to filtering plus weighted sampling:
+///
+/// - entries beyond `cfg.max_hops` are skipped (the index may have been
+///   built deeper than the query wants);
+/// - 0-hop entries are all emitted first when `cfg.allow_zero_hop` is set,
+///   mirroring [`retrieve`]'s zero-hop pass;
+/// - if more deep candidates remain than the `cfg.num_walks` budget, a
+///   weighted sample without replacement keeps each with weight
+///   `2^-(hops-1)` — the same geometric bias toward short chains the
+///   uniform-hop-count random walks exhibit — otherwise all are kept.
+///
+/// The result is a deterministic function of the index bytes and the RNG
+/// stream, so heap-built and mmapped indexes yield bitwise-identical trees
+/// for the same seed.
+pub fn retrieve_indexed(
+    index: &impl ChainIndexView,
+    query: Query,
+    cfg: &RetrievalConfig,
+    rng: &mut impl Rng,
+) -> TreeOfChains {
+    let mut chains = Vec::new();
+    let entries = index.entries_of(query.entity);
+
+    // Zero-hop pass: identical candidate set to `retrieve`'s first loop.
+    if cfg.allow_zero_hop {
+        for e in entries.iter().filter(|e| e.hops == 0) {
+            if e.attr == query.attr {
+                continue;
+            }
+            chains.push(instance_of(e, query));
+            if chains.len() >= cfg.num_walks {
+                return TreeOfChains { query, chains };
+            }
+        }
+    }
+
+    let budget = cfg.num_walks - chains.len();
+    let deep: Vec<&cf_kg::ChainEntry> = entries
+        .iter()
+        .filter(|e| e.hops >= 1 && e.hops as usize <= cfg.max_hops)
+        .filter(|e| !(e.source == query.entity && e.attr == query.attr))
+        .collect();
+
+    if deep.len() <= budget {
+        chains.extend(deep.into_iter().map(|e| instance_of(e, query)));
+        return TreeOfChains { query, chains };
+    }
+
+    // Weighted sampling without replacement via exponential keys: candidate
+    // i survives with probability proportional to w_i = 2^-(hops-1). Keys
+    // are `Exp(w)` draws; the `budget` smallest win. Ties (never expected
+    // from a real RNG, but possible with a constant one) break by position
+    // so the outcome stays deterministic.
+    let mut keyed: Vec<(f64, usize)> = deep
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let w = 1.0f64 / (1u64 << (e.hops - 1)) as f64;
+            let u: f64 = rng.gen();
+            (-(1.0 - u).ln() / w, i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut picked: Vec<usize> = keyed[..budget].iter().map(|&(_, i)| i).collect();
+    // Emit in canonical index order, not selection order, so the tree is
+    // independent of the sort's internals.
+    picked.sort_unstable();
+    chains.extend(picked.into_iter().map(|i| instance_of(deep[i], query)));
+    TreeOfChains { query, chains }
+}
+
+fn instance_of(e: &cf_kg::ChainEntry, query: Query) -> ChainInstance {
+    ChainInstance {
+        chain: RaChain {
+            known_attr: e.attr,
+            rels: e.rels().collect::<Vec<DirRel>>(),
+            query_attr: query.attr,
+        },
+        source: e.source,
+        value: e.value,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cf_kg::synth::{yago15k_sim, SynthScale};
-
+    use cf_kg::KnowledgeGraph;
     use cf_rand::rngs::StdRng;
     use cf_rand::SeedableRng;
 

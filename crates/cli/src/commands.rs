@@ -4,8 +4,11 @@ use crate::args::{ArgError, Args};
 use cf_chains::Query;
 use cf_kg::io::{write_numerics, write_triples, TsvLoader};
 use cf_kg::stats::{attribute_stats, dataset_stats};
-use cf_kg::synth::{fb15k_sim, yago15k_sim, SynthScale};
-use cf_kg::{KnowledgeGraph, Split};
+use cf_kg::synth::{fb15k_sim, large_sim, yago15k_sim, LargeScale, SynthScale};
+use cf_kg::{
+    build_chain_index, read_store, write_index, write_store, ChainIndexStore, ChainIndexView,
+    GraphView, IndexParams, KnowledgeGraph, MappedChainIndex, Split,
+};
 use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
 use cf_serve::{Engine, EngineConfig};
@@ -63,7 +66,12 @@ pub fn generate(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Loads the working graph: either a CFKG1 binary store (`--store`, one
+/// mmap-validated read) or the MMKG TSV pair (`--triples`/`--numerics`).
 fn load_graph(args: &Args) -> Result<KnowledgeGraph, Box<dyn Error>> {
+    if let Some(store) = args.get("store") {
+        return Ok(read_store(store)?);
+    }
     let triples = args.require("triples")?;
     let numerics = args.require("numerics")?;
     let mut loader = TsvLoader::new();
@@ -280,7 +288,17 @@ pub fn serve(args: &Args) -> CmdResult {
         seed: args.get_parse("seed", 7, "integer")?,
     };
     let (visible, _split, model, _rng) = load_model(args)?;
-    let engine = Arc::new(Engine::new(model, visible, cfg));
+    let index = match args.get("index") {
+        Some(path) => {
+            let ix = ChainIndexStore::from(MappedChainIndex::open(path)?);
+            // Check here (not in the engine) so a stale index is a clean
+            // CLI error instead of a panic.
+            ix.check_matches(&visible)?;
+            Some(ix)
+        }
+        None => None,
+    };
+    let engine = Arc::new(Engine::new_with_index(model, visible, index, cfg));
     let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
     // Scripts parse this line to learn the ephemeral port (--port 0).
@@ -296,5 +314,136 @@ pub fn serve(args: &Args) -> CmdResult {
     // proceeds regardless).
     drop(engine);
     println!("shutdown complete");
+    Ok(())
+}
+
+fn large_scale_from(args: &Args) -> Result<LargeScale, Box<dyn Error>> {
+    let mut scale = LargeScale::million();
+    scale.entities = args
+        .get_parse("entities", scale.entities, "integer")?
+        .max(2);
+    scale.avg_degree = args.get_parse("avg-degree", scale.avg_degree, "integer")?;
+    // Communities must stay well under the entity count or the planted
+    // intra-community structure degenerates to uniform noise.
+    scale.communities = scale.communities.min((scale.entities / 8).max(1));
+    Ok(scale)
+}
+
+/// `cfkg gen`: the million-entity zipfian world (`synth::large_sim`),
+/// written as TSV (`--out DIR`) and/or directly as a CFKG1 store
+/// (`--store FILE`, skipping the TSV round trip).
+pub fn gen(args: &Args) -> CmdResult {
+    let seed: u64 = args.get_parse("seed", 7, "integer")?;
+    let scale = large_scale_from(args)?;
+    if args.get("out").is_none() && args.get("store").is_none() {
+        return Err("gen needs --out DIR (TSV) and/or --store FILE (binary)".into());
+    }
+    let t0 = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = large_sim(scale, &mut rng);
+    // Canonical id order makes the emitted store byte-comparable with a
+    // store ingested from the emitted TSVs (CI cmp's the two).
+    graph.canonicalize();
+    let s = dataset_stats(&graph);
+    println!(
+        "generated large_sim in {:.2}s: {} entities, {} relations, {} attributes, {} triples, {} numeric facts",
+        t0.elapsed().as_secs_f64(),
+        s.entities, s.relations, s.attributes, s.relational_triples, s.numeric_triples
+    );
+    if let Some(dir) = args.get("out") {
+        let out = Path::new(dir);
+        std::fs::create_dir_all(out)?;
+        let triples_path = out.join("large_triples.tsv");
+        let numerics_path = out.join("large_numerics.tsv");
+        write_triples(
+            &graph,
+            std::io::BufWriter::new(std::fs::File::create(&triples_path)?),
+        )?;
+        write_numerics(
+            &graph,
+            std::io::BufWriter::new(std::fs::File::create(&numerics_path)?),
+        )?;
+        println!("  {}", triples_path.display());
+        println!("  {}", numerics_path.display());
+    }
+    if let Some(store) = args.get("store") {
+        let t = std::time::Instant::now();
+        write_store(&graph, store)?;
+        println!(
+            "  {} ({} bytes, {:.2}s)",
+            store,
+            std::fs::metadata(store)?.len(),
+            t.elapsed().as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+/// `cfkg ingest`: TSV → CFKG1 binary store. The graph is canonicalized
+/// (name-sorted ids, sorted fact lists) before writing, so the output is a
+/// pure function of the graph *content* — re-ingesting the same TSV, or any
+/// row-permutation of it, is byte-identical. CI diffs a re-ingested store
+/// and a `gen --store` twin against it.
+pub fn ingest(args: &Args) -> CmdResult {
+    let out = args.require("out")?;
+    let t0 = std::time::Instant::now();
+    let mut graph = load_graph(args)?;
+    // Store bytes must be a function of graph content, not TSV row order:
+    // renumber into canonical (name-sorted) order before writing.
+    graph.canonicalize();
+    let parse_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    write_store(&graph, out)?;
+    let s = dataset_stats(&graph);
+    println!(
+        "ingested {} entities / {} triples / {} numeric facts (parse {:.2}s, write {:.2}s)",
+        s.entities,
+        s.relational_triples,
+        s.numeric_triples,
+        parse_s,
+        t1.elapsed().as_secs_f64()
+    );
+    println!("  {} ({} bytes)", out, std::fs::metadata(out)?.len());
+    Ok(())
+}
+
+/// `cfkg index`: precompute the per-entity chain index (CFCI1).
+///
+/// By default the index covers the *visible* graph of the 8:1:1 split for
+/// `--seed` — exactly the graph `serve --index` runs retrieval against. With
+/// `--full` it covers the raw graph as loaded (the bench / determinism
+/// path; such an index pairs with the store itself, not with a split).
+pub fn index(args: &Args) -> CmdResult {
+    let out = args.require("out")?;
+    let params = IndexParams {
+        max_hops: args.get_parse("max-hops", 3u32, "integer")?,
+        fanout: args.get_parse("fanout", IndexParams::default().fanout, "integer")?,
+        per_entity_cap: args.get_parse(
+            "per-entity-cap",
+            IndexParams::default().per_entity_cap,
+            "integer",
+        )?,
+    };
+    let graph = load_graph(args)?;
+    let graph = if args.switch("full") {
+        graph
+    } else {
+        let seed: u64 = args.get_parse("seed", 7, "integer")?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = Split::paper_811(&graph, &mut rng);
+        split.visible_graph(&graph)
+    };
+    let t0 = std::time::Instant::now();
+    let ix = build_chain_index(&graph, params);
+    let build_s = t0.elapsed().as_secs_f64();
+    write_index(&ix, out)?;
+    println!(
+        "indexed {} entities: {} chain entries in {:.2}s ({} threads)",
+        ix.num_entities(),
+        ix.total_entries(),
+        build_s,
+        cf_tensor::pool::threads(),
+    );
+    println!("  {} ({} bytes)", out, std::fs::metadata(out)?.len());
     Ok(())
 }

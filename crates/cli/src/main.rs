@@ -41,11 +41,24 @@ COMMANDS
   generate   write a synthetic dataset twin as TSV
              --dataset yago|fb   --scale small|default|paper   --seed N
              --out DIR
-  stats      print Table-I/II statistics for a TSV graph
-             --triples FILE --numerics FILE
+  gen        write a large zipfian world with planted numeric structure
+             (1M+ entities; O(V+E)) as TSV and/or a CFKG1 binary store
+             --entities N [--avg-degree N] [--seed N]
+             [--out DIR (TSV)] [--store FILE (binary store)]
+  ingest     compile MMKG TSV into a CFKG1 binary store (CRC-protected,
+             mmap-ready; byte-identical for identical input)
+             --triples FILE --numerics FILE --out FILE
+  index      precompute the per-entity chain index (CFCI1) for fast
+             retrieval; defaults to the --seed split's visible graph so it
+             pairs with `serve --index`, --full indexes the raw graph
+             --store FILE (or --triples/--numerics) --out FILE
+             [--max-hops N] [--fanout N] [--per-entity-cap N]
+             [--seed N | --full]
+  stats      print Table-I/II statistics for a graph
+             --triples FILE --numerics FILE   (or --store FILE)
   train      train ChainsFormer, checkpointing durably every epoch
              (SIGINT stops gracefully and still saves the best model)
-             --triples FILE --numerics FILE --ckpt FILE
+             --triples FILE --numerics FILE (or --store FILE) --ckpt FILE
              [--resume (continue a killed run bit-for-bit from --ckpt)]
              [--epochs N] [--dim N] [--layers N] [--walks N] [--top-k N]
              [--seed N] [--quality]
@@ -57,7 +70,8 @@ COMMANDS
   serve      run the TCP inference server (line-delimited JSON protocol;
              \"GET /metrics\" returns serving metrics; SIGTERM or stdin
              close shuts down gracefully)
-             --triples FILE --numerics FILE --ckpt FILE
+             --triples FILE --numerics FILE (or --store FILE) --ckpt FILE
+             [--index FILE (serve retrieval from a chain index)]
              [--port N (0 = ephemeral)] [--max-batch N] [--max-wait-us N]
              [--queue-cap N] [--workers N] [--cache-cap N]
              [--seed N] [flags as train]
@@ -89,6 +103,9 @@ fn main() {
     }
     let result = match args.command.as_str() {
         "generate" => commands::generate(&args),
+        "gen" => commands::gen(&args),
+        "ingest" => commands::ingest(&args),
+        "index" => commands::index(&args),
         "stats" => commands::stats(&args),
         "train" => commands::train(&args),
         "eval" => commands::eval(&args),

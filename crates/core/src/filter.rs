@@ -50,9 +50,9 @@ fn cooccurrence_pairs(
     // Same-entity (attribute, attribute) pairs: supervises the intra-score.
     for e in graph.entities() {
         let facts = graph.numerics_of(e);
-        for (i, &(a, _)) in facts.iter().enumerate() {
-            for &(b, _) in &facts[i + 1..] {
-                pairs.push((vocab.attr_token(a), vocab.attr_token(b)));
+        for (i, fa) in facts.iter().enumerate() {
+            for fb in &facts[i + 1..] {
+                pairs.push((vocab.attr_token(fa.attr), vocab.attr_token(fb.attr)));
             }
         }
     }
@@ -76,9 +76,9 @@ fn cooccurrence_pairs(
             if rels.is_empty() {
                 continue;
             }
-            if let Some(&(attr, _)) = graph.numerics_of(at).first() {
+            if let Some(f) = graph.numerics_of(at).first() {
                 for dr in rels {
-                    pairs.push((vocab.rel_token(dr), vocab.attr_token(attr)));
+                    pairs.push((vocab.rel_token(dr), vocab.attr_token(f.attr)));
                 }
             }
         }

@@ -6,8 +6,10 @@ use crate::encoder::ChainEncoder;
 use crate::filter::ChainFilter;
 use crate::quality::ChainQualityTracker;
 use crate::reasoner::{NumericalReasoner, ReasonerOutput};
-use cf_chains::{retrieve, ChainInstance, ChainVocab, Query, RaChain, TreeOfChains};
-use cf_kg::{KnowledgeGraph, MinMaxNormalizer, NumTriple};
+use cf_chains::{
+    retrieve, retrieve_indexed, ChainInstance, ChainVocab, Query, RaChain, TreeOfChains,
+};
+use cf_kg::{ChainIndexView, GraphView, KnowledgeGraph, MinMaxNormalizer, NumTriple};
 use cf_rand::Rng;
 use cf_tensor::{Forward, InferCtx, ParamStore, Tape, Var};
 
@@ -128,11 +130,35 @@ impl ChainsFormer {
     /// `T_q^k` for a query.
     pub fn gather_chains(
         &self,
-        graph: &KnowledgeGraph,
+        graph: &impl GraphView,
         query: Query,
         rng: &mut impl Rng,
     ) -> (TreeOfChains, usize) {
         let mut toc = retrieve(graph, query, &self.cfg.retrieval(), rng);
+        let retrieved = toc.len();
+        if !self.cfg.setting.multi_attribute {
+            toc.chains.retain(|c| c.chain.known_attr == query.attr);
+        }
+        let mut selected = self.filter.select_top_k(&toc, self.cfg.top_k, rng);
+        if self.cfg.chain_quality {
+            if let Some(q) = &self.quality {
+                selected.chains = q.prune(selected.chains, self.cfg.quality_prune_factor);
+            }
+        }
+        (selected, retrieved)
+    }
+
+    /// [`Self::gather_chains`] over a precomputed chain index instead of
+    /// graph walks (`cf_chains::retrieve_indexed`): same setting
+    /// restriction, filter and quality pruning, but the candidate chains
+    /// come from an index lookup rather than `num_walks` random walks.
+    pub fn gather_chains_indexed(
+        &self,
+        index: &impl ChainIndexView,
+        query: Query,
+        rng: &mut impl Rng,
+    ) -> (TreeOfChains, usize) {
+        let mut toc = retrieve_indexed(index, query, &self.cfg.retrieval(), rng);
         let retrieved = toc.len();
         if !self.cfg.setting.multi_attribute {
             toc.chains.retain(|c| c.chain.known_attr == query.attr);
@@ -200,7 +226,7 @@ impl ChainsFormer {
     /// Full inference for one query, with the reasoning trace.
     pub fn predict(
         &self,
-        graph: &KnowledgeGraph,
+        graph: &impl GraphView,
         query: Query,
         rng: &mut impl Rng,
     ) -> PredictionDetail {
@@ -250,7 +276,7 @@ impl ChainsFormer {
     /// `predict_batch_bitwise_matches_sequential_predicts`.
     pub fn predict_batch(
         &self,
-        graph: &KnowledgeGraph,
+        graph: &impl GraphView,
         queries: &[Query],
         rng: &mut impl Rng,
     ) -> Vec<PredictionDetail> {

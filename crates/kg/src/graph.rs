@@ -28,12 +28,43 @@ pub struct NumTriple {
 
 /// One traversable edge in the adjacency index (relation + direction +
 /// neighbor).
+///
+/// `repr(C)` pins the layout to 12 bytes (`rel: u32, dir: u32, to: u32`) so
+/// the CFKG1 mmap view (`crate::store`) can cast validated section bytes
+/// directly to `&[Edge]`.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[repr(C)]
 pub struct Edge {
     /// Relation type and traversal direction.
     pub dr: DirRel,
     /// Neighbor reached by following the edge.
     pub to: EntityId,
+}
+
+/// One numeric fact in the per-entity CSR index: `(attribute, value)`.
+///
+/// `repr(C)`: 16 bytes (`attr: u32`, 4 bytes padding, `value: f64`), shared
+/// between the heap index and the CFKG1 on-disk layout.
+#[derive(Copy, Clone, PartialEq, Debug)]
+#[repr(C)]
+pub struct AttrFact {
+    /// Attribute type.
+    pub attr: AttributeId,
+    /// The numerical value.
+    pub value: f64,
+}
+
+/// One owner in the per-attribute CSR index: `(entity, value)`.
+///
+/// `repr(C)`: 16 bytes (`entity: u32`, 4 bytes padding, `value: f64`),
+/// shared between the heap index and the CFKG1 on-disk layout.
+#[derive(Copy, Clone, PartialEq, Debug)]
+#[repr(C)]
+pub struct AttrOwner {
+    /// Entity carrying the value.
+    pub entity: EntityId,
+    /// The numerical value.
+    pub value: f64,
 }
 
 /// Multi-relational KG enriched with numerical attributes.
@@ -44,21 +75,25 @@ pub struct Edge {
 /// index is CSR-style: one flat edge vec plus per-entity offsets.
 #[derive(Clone, Debug, Default)]
 pub struct KnowledgeGraph {
-    entity_names: Vec<String>,
-    relation_names: Vec<String>,
-    attribute_names: Vec<String>,
-    triples: Vec<Triple>,
-    numerics: Vec<NumTriple>,
+    // Fields are pub(crate) so `crate::store` can serialize the built
+    // indexes without re-deriving them.
+    pub(crate) entity_names: Vec<String>,
+    pub(crate) relation_names: Vec<String>,
+    pub(crate) attribute_names: Vec<String>,
+    pub(crate) triples: Vec<Triple>,
+    pub(crate) numerics: Vec<NumTriple>,
 
     // CSR adjacency (both directions), valid after build_index.
-    adj_offsets: Vec<usize>,
-    adj_edges: Vec<Edge>,
+    pub(crate) adj_offsets: Vec<usize>,
+    pub(crate) adj_edges: Vec<Edge>,
     // Per-entity numeric facts, valid after build_index.
-    num_offsets: Vec<usize>,
-    num_facts: Vec<(AttributeId, f64)>,
-    // Per-attribute owner lists, valid after build_index.
-    attr_entities: Vec<Vec<(EntityId, f64)>>,
-    indexed: bool,
+    pub(crate) num_offsets: Vec<usize>,
+    pub(crate) num_facts: Vec<AttrFact>,
+    // Per-attribute owners as CSR (one flat vec + offsets), valid after
+    // build_index; layout matches the CFKG1 ATTRIDX section.
+    pub(crate) attr_offsets: Vec<usize>,
+    pub(crate) attr_facts: Vec<AttrOwner>,
+    pub(crate) indexed: bool,
 }
 
 impl KnowledgeGraph {
@@ -185,17 +220,55 @@ impl KnowledgeGraph {
             noff.push(acc);
         }
         let mut ncur = noff.clone();
-        let mut nfacts = vec![(AttributeId(0), 0.0f64); acc];
-        let mut per_attr: Vec<Vec<(EntityId, f64)>> = vec![Vec::new(); self.attribute_names.len()];
+        let mut nfacts = vec![
+            AttrFact {
+                attr: AttributeId(0),
+                value: 0.0
+            };
+            acc
+        ];
         for f in &self.numerics {
             let e = f.entity.0 as usize;
-            nfacts[ncur[e]] = (f.attr, f.value);
+            nfacts[ncur[e]] = AttrFact {
+                attr: f.attr,
+                value: f.value,
+            };
             ncur[e] += 1;
-            per_attr[f.attr.0 as usize].push((f.entity, f.value));
         }
         self.num_offsets = noff;
         self.num_facts = nfacts;
-        self.attr_entities = per_attr;
+
+        // Per-attribute owners as CSR, mirroring the adjacency layout.
+        let na = self.attribute_names.len();
+        let mut adeg = vec![0usize; na];
+        for f in &self.numerics {
+            adeg[f.attr.0 as usize] += 1;
+        }
+        let mut aoff = Vec::with_capacity(na + 1);
+        let mut acc = 0usize;
+        aoff.push(0);
+        for d in &adeg {
+            acc += d;
+            aoff.push(acc);
+        }
+        let mut acur = aoff.clone();
+        let mut afacts = vec![
+            AttrOwner {
+                entity: EntityId(0),
+                value: 0.0
+            };
+            acc
+        ];
+        for f in &self.numerics {
+            let a = f.attr.0 as usize;
+            afacts[acur[a]] = AttrOwner {
+                entity: f.entity,
+                value: f.value,
+            };
+            acur[a] += 1;
+        }
+        self.attr_offsets = aoff;
+        self.attr_facts = afacts;
         self.indexed = true;
     }
 
@@ -294,7 +367,7 @@ impl KnowledgeGraph {
     }
 
     /// Numeric facts attached to `e`.
-    pub fn numerics_of(&self, e: EntityId) -> &[(AttributeId, f64)] {
+    pub fn numerics_of(&self, e: EntityId) -> &[AttrFact] {
         self.assert_indexed();
         let i = e.0 as usize;
         &self.num_facts[self.num_offsets[i]..self.num_offsets[i + 1]]
@@ -304,14 +377,15 @@ impl KnowledgeGraph {
     pub fn value_of(&self, e: EntityId, a: AttributeId) -> Option<f64> {
         self.numerics_of(e)
             .iter()
-            .find(|(attr, _)| *attr == a)
-            .map(|&(_, v)| v)
+            .find(|f| f.attr == a)
+            .map(|f| f.value)
     }
 
     /// All `(entity, value)` owners of an attribute.
-    pub fn entities_with_attribute(&self, a: AttributeId) -> &[(EntityId, f64)] {
+    pub fn entities_with_attribute(&self, a: AttributeId) -> &[AttrOwner] {
         self.assert_indexed();
-        &self.attr_entities[a.0 as usize]
+        let i = a.0 as usize;
+        &self.attr_facts[self.attr_offsets[i]..self.attr_offsets[i + 1]]
     }
 
     /// Iterates over all entity ids.
@@ -327,14 +401,61 @@ impl KnowledgeGraph {
         let mut counts = HashMap::new();
         for t in &self.triples {
             // head --rel--> tail: tail's attributes co-occur with forward rel
-            for &(a, _) in self.numerics_of(t.tail) {
-                *counts.entry((DirRel::forward(t.rel), a)).or_insert(0) += 1;
+            for f in self.numerics_of(t.tail) {
+                *counts.entry((DirRel::forward(t.rel), f.attr)).or_insert(0) += 1;
             }
-            for &(a, _) in self.numerics_of(t.head) {
-                *counts.entry((DirRel::inverse(t.rel), a)).or_insert(0) += 1;
+            for f in self.numerics_of(t.head) {
+                *counts.entry((DirRel::inverse(t.rel), f.attr)).or_insert(0) += 1;
             }
         }
         counts
+    }
+
+    /// Renumbers all three vocabularies into lexicographic name order and
+    /// sorts the fact lists by the new ids, then rebuilds the indexes.
+    ///
+    /// Two graphs holding the same *content* — regardless of the order
+    /// names were registered or facts were added (e.g. TSV row order vs
+    /// generator order) — become identical structures, so
+    /// [`crate::write_store`] serializes them to byte-identical CFKG1
+    /// files. The CLI `gen --store` and `ingest` paths both canonicalize
+    /// before writing, which is what lets CI `cmp` a generated store
+    /// against a TSV-round-tripped one.
+    pub fn canonicalize(&mut self) {
+        /// Sorts `names` in place; returns `inv` with `inv[old_id] = new_id`.
+        fn perm_by_name(names: &mut Vec<String>) -> Vec<u32> {
+            let mut order: Vec<u32> = (0..names.len() as u32).collect();
+            order.sort_by(|&a, &b| names[a as usize].cmp(&names[b as usize]));
+            let mut inv = vec![0u32; names.len()];
+            for (new, &old) in order.iter().enumerate() {
+                inv[old as usize] = new as u32;
+            }
+            let mut sorted = Vec::with_capacity(names.len());
+            for &old in &order {
+                sorted.push(std::mem::take(&mut names[old as usize]));
+            }
+            *names = sorted;
+            inv
+        }
+        let ent = perm_by_name(&mut self.entity_names);
+        let rel = perm_by_name(&mut self.relation_names);
+        let attr = perm_by_name(&mut self.attribute_names);
+        for t in &mut self.triples {
+            t.head = EntityId(ent[t.head.0 as usize]);
+            t.rel = RelationId(rel[t.rel.0 as usize]);
+            t.tail = EntityId(ent[t.tail.0 as usize]);
+        }
+        self.triples.sort_by_key(|t| (t.head.0, t.rel.0, t.tail.0));
+        for n in &mut self.numerics {
+            n.entity = EntityId(ent[n.entity.0 as usize]);
+            n.attr = AttributeId(attr[n.attr.0 as usize]);
+        }
+        // value.to_bits() is not value order for negatives, but any fixed
+        // total order canonicalizes; only determinism matters here.
+        self.numerics
+            .sort_by_key(|n| (n.entity.0, n.attr.0, n.value.to_bits()));
+        self.indexed = false;
+        self.build_index();
     }
 
     /// Removes the given numeric triples (used to hide validation/test
@@ -392,6 +513,64 @@ mod tests {
         assert_eq!(g.value_of(e[1], a), Some(30.0));
         assert_eq!(g.value_of(e[0], a), None);
         assert_eq!(g.entities_with_attribute(a).len(), 2);
+    }
+
+    /// The same content registered in two different orders must
+    /// canonicalize to identical structures and byte-identical stores.
+    #[test]
+    fn canonicalize_is_order_independent() {
+        let build = |ent_order: &[&str], flip_facts: bool| {
+            let mut g = KnowledgeGraph::new();
+            let ids: std::collections::HashMap<&str, EntityId> = ent_order
+                .iter()
+                .map(|name| (*name, g.add_entity(*name)))
+                .collect();
+            let (r1, r2) = if flip_facts {
+                (g.add_relation_type("r2"), g.add_relation_type("r1"))
+            } else {
+                (g.add_relation_type("r1"), g.add_relation_type("r2"))
+            };
+            let (r1, r2) = if flip_facts { (r2, r1) } else { (r1, r2) };
+            let a = g.add_attribute_type("age");
+            let mut facts = vec![
+                (ids["alice"], r1, ids["bob"]),
+                (ids["bob"], r2, ids["carol"]),
+                (ids["carol"], r1, ids["alice"]),
+            ];
+            if flip_facts {
+                facts.reverse();
+            }
+            for (h, r, t) in facts {
+                g.add_triple(h, r, t);
+            }
+            let mut nums = vec![(ids["bob"], a, 30.0), (ids["alice"], a, 41.5)];
+            if flip_facts {
+                nums.reverse();
+            }
+            for (e, a, v) in nums {
+                g.add_numeric(e, a, v);
+            }
+            g.canonicalize();
+            g
+        };
+        let g1 = build(&["alice", "bob", "carol"], false);
+        let g2 = build(&["carol", "alice", "bob"], true);
+        assert_eq!(g1.entity_names, g2.entity_names);
+        assert_eq!(g1.relation_names, g2.relation_names);
+        assert_eq!(g1.triples, g2.triples);
+        assert_eq!(g1.numerics, g2.numerics);
+        let tmp = |n: &str| {
+            let mut p = std::env::temp_dir();
+            p.push(format!("cfkg_canon_{}_{n}", std::process::id()));
+            p
+        };
+        let (p1, p2) = (tmp("a"), tmp("b"));
+        crate::write_store(&g1, &p1).unwrap();
+        crate::write_store(&g2, &p2).unwrap();
+        let same = std::fs::read(&p1).unwrap() == std::fs::read(&p2).unwrap();
+        let _ = std::fs::remove_file(&p1);
+        let _ = std::fs::remove_file(&p2);
+        assert!(same, "canonicalized stores differ");
     }
 
     #[test]

@@ -6,20 +6,28 @@
 
 /// An entity (node) id.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct EntityId(pub u32);
 
 /// A relation *type* id (direction-less; see [`Dir`]).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct RelationId(pub u32);
 
 /// A numerical attribute type id.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct AttributeId(pub u32);
 
 /// Traversal direction of a relation. The paper's chains freely use inverse
 /// relations (rendered `_inv` in Table V), so every edge is walkable both
 /// ways with the direction recorded.
+///
+/// `repr(u32)` with pinned discriminants: the CFKG1 graph store serializes
+/// directions as raw `u32`s and the mmap view casts validated section bytes
+/// straight back to [`crate::Edge`] slices (see `crate::store`).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[repr(u32)]
 pub enum Dir {
     /// Traverse head → tail.
     Forward,
@@ -40,6 +48,7 @@ impl Dir {
 /// A relation type together with a traversal direction — one "step token"
 /// of an RA-Chain.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[repr(C)]
 pub struct DirRel {
     /// The relation type.
     pub rel: RelationId,

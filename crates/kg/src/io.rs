@@ -7,7 +7,15 @@
 
 use crate::graph::KnowledgeGraph;
 use std::collections::HashMap;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+
+/// Cap on a single TSV line, enforced *before* the line is buffered — the
+/// same length-cap-before-allocation discipline as the CFT2/CFKG1 binary
+/// readers. A malicious or corrupt dump can therefore never balloon memory.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Cap on a single token (entity/relation/attribute name or number).
+pub const MAX_TOKEN_BYTES: usize = 1 << 16;
 
 /// Errors raised while parsing TSV dumps.
 #[derive(Debug)]
@@ -69,12 +77,58 @@ impl TsvLoader {
         id
     }
 
+    /// Reads one line into `buf` with the [`MAX_LINE_BYTES`] cap applied
+    /// before buffering. Returns false at EOF.
+    fn read_capped_line(
+        reader: &mut impl BufRead,
+        buf: &mut String,
+        lineno: usize,
+    ) -> Result<bool, LoadError> {
+        buf.clear();
+        // Reading through a Take means an overlong line stops growing the
+        // buffer at the cap instead of allocating without bound.
+        let n = reader
+            .by_ref()
+            .take(MAX_LINE_BYTES as u64 + 1)
+            .read_line(buf)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    LoadError::Malformed(lineno, "line is not valid UTF-8".into())
+                } else {
+                    LoadError::Io(e)
+                }
+            })?;
+        if n > MAX_LINE_BYTES {
+            return Err(LoadError::Malformed(
+                lineno,
+                format!("line exceeds {MAX_LINE_BYTES} bytes"),
+            ));
+        }
+        Ok(n > 0)
+    }
+
+    /// Checks a token against [`MAX_TOKEN_BYTES`] before it is interned.
+    fn check_token(tok: &str, lineno: usize) -> Result<&str, LoadError> {
+        if tok.len() > MAX_TOKEN_BYTES {
+            return Err(LoadError::Malformed(
+                lineno,
+                format!("token exceeds {MAX_TOKEN_BYTES} bytes"),
+            ));
+        }
+        Ok(tok)
+    }
+
     /// Reads relational triples from a TSV reader.
-    pub fn load_triples(&mut self, reader: impl BufRead) -> Result<usize, LoadError> {
+    pub fn load_triples(&mut self, mut reader: impl BufRead) -> Result<usize, LoadError> {
         let mut n = 0;
-        for (lineno, line) in reader.lines().enumerate() {
-            let line = line?;
-            let line = line.trim();
+        let mut buf = String::new();
+        let mut lineno = 0usize;
+        loop {
+            lineno += 1;
+            if !Self::read_capped_line(&mut reader, &mut buf, lineno)? {
+                break;
+            }
+            let line = buf.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
@@ -83,11 +137,14 @@ impl TsvLoader {
                 (Some(h), Some(r), Some(t)) => (h, r, t),
                 _ => {
                     return Err(LoadError::Malformed(
-                        lineno + 1,
+                        lineno,
                         format!("expected 3 fields, got {line:?}"),
                     ))
                 }
             };
+            let h = Self::check_token(h, lineno)?;
+            let r = Self::check_token(r, lineno)?;
+            let t = Self::check_token(t, lineno)?;
             let h = self.entity(h);
             let rel = if let Some(&id) = self.relations.get(r) {
                 id
@@ -104,11 +161,16 @@ impl TsvLoader {
     }
 
     /// Reads numeric triples from a TSV reader.
-    pub fn load_numerics(&mut self, reader: impl BufRead) -> Result<usize, LoadError> {
+    pub fn load_numerics(&mut self, mut reader: impl BufRead) -> Result<usize, LoadError> {
         let mut n = 0;
-        for (lineno, line) in reader.lines().enumerate() {
-            let line = line?;
-            let line = line.trim();
+        let mut buf = String::new();
+        let mut lineno = 0usize;
+        loop {
+            lineno += 1;
+            if !Self::read_capped_line(&mut reader, &mut buf, lineno)? {
+                break;
+            }
+            let line = buf.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
@@ -117,17 +179,20 @@ impl TsvLoader {
                 (Some(e), Some(a), Some(v)) => (e, a, v),
                 _ => {
                     return Err(LoadError::Malformed(
-                        lineno + 1,
+                        lineno,
                         format!("expected 3 fields, got {line:?}"),
                     ))
                 }
             };
+            let e = Self::check_token(e, lineno)?;
+            let a = Self::check_token(a, lineno)?;
+            let v = Self::check_token(v, lineno)?;
             let value: f64 = v
                 .parse()
-                .map_err(|_| LoadError::Malformed(lineno + 1, format!("bad number {v:?}")))?;
+                .map_err(|_| LoadError::Malformed(lineno, format!("bad number {v:?}")))?;
             if !value.is_finite() {
                 return Err(LoadError::Malformed(
-                    lineno + 1,
+                    lineno,
                     format!("non-finite number {v:?}"),
                 ));
             }
@@ -238,6 +303,65 @@ mod tests {
         let input2 = b"alice\tage\tabc\n";
         let mut loader2 = TsvLoader::new();
         assert!(loader2.load_numerics(&input2[..]).is_err());
+    }
+
+    #[test]
+    fn reports_line_numbers_after_skipped_lines() {
+        // Comments and blanks still advance the reported line number.
+        let input = b"# header\n\na\tr\tb\nbroken line\n";
+        let mut loader = TsvLoader::new();
+        match loader.load_triples(&input[..]) {
+            Err(LoadError::Malformed(4, msg)) => assert!(msg.contains("3 fields"), "{msg}"),
+            other => panic!("expected Malformed(4), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlong_line_is_rejected_before_buffering() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"a\tr\t");
+        input.resize(input.len() + MAX_LINE_BYTES + 10, b'x');
+        input.push(b'\n');
+        let mut loader = TsvLoader::new();
+        match loader.load_triples(&input[..]) {
+            Err(LoadError::Malformed(1, msg)) => assert!(msg.contains("exceeds"), "{msg}"),
+            other => panic!("expected Malformed(1), got {other:?}"),
+        }
+        // The graph must not have interned anything from the bad line.
+        assert_eq!(loader.finish().num_entities(), 0);
+    }
+
+    #[test]
+    fn overlong_token_is_rejected() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"a\t");
+        input.resize(input.len() + MAX_TOKEN_BYTES + 1, b'r');
+        input.extend_from_slice(b"\tb\n");
+        let mut loader = TsvLoader::new();
+        match loader.load_triples(&input[..]) {
+            Err(LoadError::Malformed(1, msg)) => assert!(msg.contains("token"), "{msg}"),
+            other => panic!("expected Malformed(1), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_parse_error_not_io() {
+        let input: &[u8] = b"a\tr\t\xFF\xFE\n";
+        let mut loader = TsvLoader::new();
+        match loader.load_triples(input) {
+            Err(LoadError::Malformed(1, msg)) => assert!(msg.contains("UTF-8"), "{msg}"),
+            other => panic!("expected Malformed(1), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_numeric_rows_keep_line_numbers() {
+        let input = b"e\tage\t1.0\ne\tage\n";
+        let mut loader = TsvLoader::new();
+        match loader.load_numerics(&input[..]) {
+            Err(LoadError::Malformed(2, _)) => {}
+            other => panic!("expected Malformed(2), got {other:?}"),
+        }
     }
 
     #[test]

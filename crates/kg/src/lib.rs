@@ -26,18 +26,28 @@
 pub mod categories;
 pub mod graph;
 pub mod ids;
+pub mod index;
 pub mod io;
 pub mod metrics;
+pub mod mmapio;
 pub mod norm;
 pub mod split;
 pub mod stats;
+pub mod store;
 pub mod subgraph;
 pub mod synth;
+pub mod view;
 
 pub use categories::{categorize, categorize_name, category_mae, AttributeCategory};
-pub use graph::{Edge, KnowledgeGraph, NumTriple, Triple};
+pub use graph::{AttrFact, AttrOwner, Edge, KnowledgeGraph, NumTriple, Triple};
 pub use ids::{AttributeId, Dir, DirRel, EntityId, RelationId};
+pub use index::{
+    build_chain_index, graph_fingerprint, write_index, ChainEntry, ChainIndex, ChainIndexStore,
+    ChainIndexView, IndexParams, MappedChainIndex,
+};
 pub use metrics::{Prediction, RegressionReport};
 pub use norm::MinMaxNormalizer;
 pub use split::Split;
+pub use store::{read_store, write_store, MappedGraph, StoreError};
 pub use subgraph::{induced_subgraph, k_hop_entities, k_hop_subgraph};
+pub use view::{GraphStore, GraphView};

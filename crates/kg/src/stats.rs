@@ -66,10 +66,10 @@ pub fn attribute_stats(g: &KnowledgeGraph) -> Vec<AttributeStats> {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut sum = 0.0;
-        for &(_, v) in owners {
-            min = min.min(v);
-            max = max.max(v);
-            sum += v;
+        for f in owners {
+            min = min.min(f.value);
+            max = max.max(f.value);
+            sum += f.value;
         }
         out.push(AttributeStats {
             attr,

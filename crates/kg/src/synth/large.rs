@@ -1,0 +1,269 @@
+//! The million-entity zipfian generator (`large_sim`).
+//!
+//! The world generator (`world.rs`) plants its correlations with O(n²)
+//! nearest-neighbor scans, which is fine at 15K entities and hopeless at
+//! 1M–10M. This generator is strictly O(V + E): entities live in
+//! `n_communities` latent communities, each with its own latent scalar
+//! `θ_c`; edges are drawn with a zipfian-degree head (a few hubs, a long
+//! low-degree tail, like real KG degree distributions) and a strong
+//! intra-community bias; numeric attributes are noisy affine functions of
+//! the community latent. The planted numeric structure is therefore exactly
+//! the kind RA-Chains exploit: an entity's missing value is predictable
+//! from the values carried by its ≤3-hop neighborhood, because neighbors
+//! overwhelmingly share a community and the community pins the value.
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::{AttributeId, EntityId, RelationId};
+use cf_rand::Rng;
+
+/// Parameters of the large zipfian world.
+#[derive(Copy, Clone, Debug)]
+pub struct LargeScale {
+    /// Number of entities (1M–10M is the design range; any value works).
+    pub entities: usize,
+    /// Average *directed* edges per entity (total triples = entities × this).
+    pub avg_degree: usize,
+    /// Number of relation types.
+    pub relations: usize,
+    /// Number of numeric attribute types.
+    pub attributes: usize,
+    /// Number of latent communities pinning the numeric structure.
+    pub communities: usize,
+    /// Zipf exponent of the hub-degree distribution (≈1.1 matches real KGs).
+    pub zipf_exponent: f64,
+    /// Probability that each (entity, attribute) numeric fact is present.
+    pub attr_presence: f64,
+}
+
+impl LargeScale {
+    /// A 1M-entity world (≈4M triples, ≈2.4M numeric facts).
+    pub fn million() -> Self {
+        LargeScale {
+            entities: 1_000_000,
+            avg_degree: 4,
+            relations: 24,
+            attributes: 8,
+            communities: 1 << 12,
+            zipf_exponent: 1.1,
+            attr_presence: 0.3,
+        }
+    }
+
+    /// A small smoke-test variant of the same distribution (15K entities).
+    pub fn smoke() -> Self {
+        LargeScale {
+            entities: 15_000,
+            avg_degree: 4,
+            relations: 24,
+            attributes: 8,
+            communities: 1 << 7,
+            zipf_exponent: 1.1,
+            attr_presence: 0.3,
+        }
+    }
+
+    /// Approximate number of relational triples generated.
+    pub fn approx_triples(&self) -> usize {
+        self.entities * self.avg_degree
+    }
+}
+
+/// Samples a zipfian rank in `0..n` with exponent `s` by inverting the
+/// truncated zeta CDF approximation (bounded rejection, O(1) expected).
+fn zipf_rank(n: usize, s: f64, rng: &mut impl Rng) -> usize {
+    // Inverse-CDF on the continuous envelope f(x) = x^-s over [1, n+1),
+    // accepted against the discrete mass — standard rejection sampler.
+    let n = n as f64;
+    loop {
+        let u: f64 = rng.gen::<f64>();
+        let t = ((n + 1.0).powf(1.0 - s) - 1.0) * u + 1.0;
+        let x = t.powf(1.0 / (1.0 - s));
+        let k = x.floor();
+        if k >= 1.0 && k <= n {
+            // Acceptance ratio of discrete pmf vs continuous envelope.
+            let ratio = (k / x).powf(s);
+            if rng.gen::<f64>() < ratio {
+                return (k as usize) - 1;
+            }
+        }
+    }
+}
+
+/// Generates the large zipfian world. O(V + E) time and memory; entity
+/// names are compact (`e<idx>`), so a 1M-entity graph stays ≈10 bytes of
+/// name per entity.
+pub fn large_sim(scale: LargeScale, rng: &mut impl Rng) -> KnowledgeGraph {
+    assert!(scale.entities > 1 && scale.communities >= 1);
+    assert!(scale.zipf_exponent > 1.0, "zipf exponent must exceed 1");
+    let mut g = KnowledgeGraph::new();
+
+    // Vocabularies.
+    for r in 0..scale.relations {
+        g.add_relation_type(format!("rel_{r}"));
+    }
+    for a in 0..scale.attributes {
+        g.add_attribute_type(format!("attr_{a}"));
+    }
+    let mut name = String::with_capacity(16);
+    for i in 0..scale.entities {
+        use std::fmt::Write as _;
+        name.clear();
+        let _ = write!(name, "e{i}");
+        g.add_entity(name.as_str());
+    }
+
+    // Latent structure: community assignment and per-community scalar.
+    // Entities are striped over communities so communities are equal-sized;
+    // hubs (low ids, by the zipf head) spread across communities.
+    let thetas: Vec<f64> = (0..scale.communities)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let community = |e: usize| e % scale.communities;
+
+    // Per-attribute affine maps (offset, span, noise) over the latent, with
+    // ranges loosely shaped like Table II magnitudes.
+    let attr_maps: Vec<(f64, f64, f64)> = (0..scale.attributes)
+        .map(|a| {
+            let span = 10f64.powi((a % 4) as i32 + 1); // 10, 100, 1k, 10k
+            let offset = rng.gen_range(0.0..span);
+            let noise = span * 0.02;
+            (offset, span, noise)
+        })
+        .collect();
+
+    // Edges: one endpoint uniform (every entity gets coverage), the other
+    // zipfian (hubs), biased to stay inside the community. Relation type is
+    // a deterministic function of the community pair so relation identity
+    // correlates with value structure (chains carry signal, like the
+    // world generator's planted correlations).
+    let n_triples = scale.approx_triples();
+    for _ in 0..n_triples {
+        let head = rng.gen_range(0..scale.entities);
+        let tail = if rng.gen::<f64>() < 0.8 {
+            // Intra-community: jump a random multiple of the stripe width.
+            let hops = rng.gen_range(1..=((scale.entities / scale.communities).max(2) - 1));
+            (head + hops * scale.communities) % scale.entities
+        } else {
+            // Cross-community long-range edge to a zipfian hub.
+            zipf_rank(scale.entities, scale.zipf_exponent, rng)
+        };
+        if tail == head {
+            continue;
+        }
+        let rel = (community(head) + 3 * community(tail)) % scale.relations;
+        g.add_triple(
+            EntityId(head as u32),
+            RelationId(rel as u32),
+            EntityId(tail as u32),
+        );
+    }
+
+    // Numeric facts: value = offset + span · σ(θ_c + ε) with attribute-
+    // specific noise; entities in the same community (i.e. most 1–3 hop
+    // neighborhoods) share values up to noise.
+    for e in 0..scale.entities {
+        let theta = thetas[community(e)];
+        for (a, &(offset, span, noise)) in attr_maps.iter().enumerate() {
+            if rng.gen::<f64>() >= scale.attr_presence {
+                continue;
+            }
+            let eps: f64 = rng.gen_range(-1.0..1.0) * noise / span;
+            let latent = theta + eps;
+            // Logistic squash keeps every value inside [offset, offset+span].
+            let v = offset + span / (1.0 + (-2.0 * latent).exp());
+            g.add_numeric(EntityId(e as u32), AttributeId(a as u32), v);
+        }
+    }
+
+    g.build_index();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::GraphView;
+    use cf_rand::rngs::StdRng;
+    use cf_rand::SeedableRng;
+
+    #[test]
+    fn smoke_scale_has_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let scale = LargeScale::smoke();
+        let g = large_sim(scale, &mut rng);
+        assert_eq!(g.num_entities(), scale.entities);
+        assert_eq!(g.num_relations(), scale.relations);
+        assert_eq!(g.num_attributes(), scale.attributes);
+        // Self-loops are skipped, so triples land slightly under the target.
+        assert!(g.triples().len() > scale.approx_triples() * 9 / 10);
+        assert!(!g.numerics().is_empty());
+        for t in g.numerics() {
+            assert!(t.value.is_finite());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g1 = large_sim(LargeScale::smoke(), &mut StdRng::seed_from_u64(42));
+        let g2 = large_sim(LargeScale::smoke(), &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1.triples(), g2.triples());
+        assert_eq!(g1.numerics(), g2.numerics());
+    }
+
+    #[test]
+    fn degree_distribution_has_hubs_and_tail() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = large_sim(LargeScale::smoke(), &mut rng);
+        let mut degrees: Vec<usize> = GraphView::entities(&g).map(|e| g.degree(e)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // Hubs: the top entity should be far above the mean degree.
+        let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!(
+            degrees[0] as f64 > mean * 8.0,
+            "no zipfian head: max {} mean {mean:.1}",
+            degrees[0]
+        );
+    }
+
+    #[test]
+    fn community_values_are_correlated_across_edges() {
+        // The planted structure: 1-hop neighbors usually share a community,
+        // so their attribute values correlate much more than random pairs.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = large_sim(LargeScale::smoke(), &mut rng);
+        let a = AttributeId(0);
+        let mut neighbor_gap = 0.0;
+        let mut neighbor_n = 0usize;
+        for t in g.triples().iter().take(20_000) {
+            if let (Some(v1), Some(v2)) = (g.value_of(t.head, a), g.value_of(t.tail, a)) {
+                neighbor_gap += (v1 - v2).abs();
+                neighbor_n += 1;
+            }
+        }
+        let owners = g.entities_with_attribute(a);
+        let mut random_gap = 0.0;
+        let mut random_n = 0usize;
+        for i in 0..owners.len().min(20_000) {
+            let j = (i * 7919 + 13) % owners.len();
+            if i != j {
+                random_gap += (owners[i].value - owners[j].value).abs();
+                random_n += 1;
+            }
+        }
+        let neighbor_mean = neighbor_gap / neighbor_n.max(1) as f64;
+        let random_mean = random_gap / random_n.max(1) as f64;
+        assert!(
+            neighbor_mean < random_mean * 0.7,
+            "planted correlation missing: neighbor {neighbor_mean:.2} vs random {random_mean:.2}"
+        );
+    }
+
+    #[test]
+    fn zipf_rank_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let k = zipf_rank(1000, 1.1, &mut rng);
+            assert!(k < 1000);
+        }
+    }
+}

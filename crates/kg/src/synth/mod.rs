@@ -18,6 +18,8 @@
 //! key RA-Chains, so a model that exploits multi-hop structure can win here
 //! for the same reasons it wins on the real data.
 
+mod large;
 mod world;
 
+pub use large::{large_sim, LargeScale};
 pub use world::{fb15k_sim, yago15k_sim, Profile, SynthScale};

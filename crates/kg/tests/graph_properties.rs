@@ -74,8 +74,8 @@ property! {
         let indexed: usize = g.entities().map(|e| g.numerics_of(e).len()).sum();
         check_assert_eq!(indexed, g.numerics().len());
         for a in 0..3u32 {
-            for &(e, v) in g.entities_with_attribute(AttributeId(a)) {
-                check_assert!(g.numerics_of(e).iter().any(|&(fa, fv)| fa == AttributeId(a) && fv == v));
+            for o in g.entities_with_attribute(AttributeId(a)) {
+                check_assert!(g.numerics_of(o.entity).iter().any(|f| f.attr == AttributeId(a) && f.value == o.value));
             }
         }
     }
@@ -117,7 +117,7 @@ property! {
         for t in g.numerics() {
             let e2 = g2.entity_by_name(g.entity_name(t.entity)).expect("entity survives");
             let a2 = g2.attribute_by_name(g.attribute_name(t.attr)).expect("attr survives");
-            check_assert!(g2.numerics_of(e2).iter().any(|&(a, v)| a == a2 && (v - t.value).abs() < 1e-9));
+            check_assert!(g2.numerics_of(e2).iter().any(|f| f.attr == a2 && (f.value - t.value).abs() < 1e-9));
         }
     }
 }

@@ -16,7 +16,7 @@
 use crate::cache::{CachedChains, ChainCache};
 use crate::metrics::Metrics;
 use cf_chains::Query;
-use cf_kg::KnowledgeGraph;
+use cf_kg::{ChainIndexStore, ChainIndexView, GraphStore};
 use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
 use chainsformer::{ChainsFormer, PredictionDetail, ResolvedQuery};
@@ -116,7 +116,8 @@ struct Shared {
     /// a batch; [`Engine::reload`] takes the write lock only for the final
     /// parameter swap, after the new checkpoint has been fully validated.
     model: RwLock<ChainsFormer>,
-    graph: KnowledgeGraph,
+    graph: GraphStore,
+    index: Option<ChainIndexStore>,
     cfg: EngineConfig,
     queue: Mutex<QueueState>,
     cond: Condvar,
@@ -148,7 +149,25 @@ pub fn query_rng_seed(seed: u64, q: Query) -> u64 {
 impl Engine {
     /// Takes ownership of the model and (visible) graph and spawns the
     /// worker threads.
-    pub fn new(model: ChainsFormer, graph: KnowledgeGraph, cfg: EngineConfig) -> Self {
+    pub fn new(model: ChainsFormer, graph: impl Into<GraphStore>, cfg: EngineConfig) -> Self {
+        Self::new_with_index(model, graph, None, cfg)
+    }
+
+    /// [`Self::new`], optionally serving retrieval from a precomputed chain
+    /// index (`cfkg index`). When an index is given it must have been built
+    /// from (a graph bitwise-equal to) `graph`; workers then answer cache
+    /// misses by index lookup instead of random walks.
+    pub fn new_with_index(
+        model: ChainsFormer,
+        graph: impl Into<GraphStore>,
+        index: Option<ChainIndexStore>,
+        cfg: EngineConfig,
+    ) -> Self {
+        let graph = graph.into();
+        if let Some(ix) = &index {
+            ix.check_matches(&graph)
+                .expect("chain index does not match the serving graph");
+        }
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             cache: Mutex::new(ChainCache::new(cfg.cache_cap)),
@@ -160,6 +179,7 @@ impl Engine {
             cond: Condvar::new(),
             model: RwLock::new(model),
             graph,
+            index,
             cfg,
         });
         let handles = (0..workers)
@@ -210,7 +230,7 @@ impl Engine {
     }
 
     /// The graph the engine serves against (for name resolution).
-    pub fn graph(&self) -> &KnowledgeGraph {
+    pub fn graph(&self) -> &GraphStore {
         &self.shared.graph
     }
 
@@ -391,7 +411,10 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx
                 None => {
                     m.cache_misses.fetch_add(1, Ordering::Relaxed);
                     let mut rng = StdRng::seed_from_u64(query_rng_seed(shared.cfg.seed, job.query));
-                    let (toc, retrieved) = model.gather_chains(&shared.graph, job.query, &mut rng);
+                    let (toc, retrieved) = match &shared.index {
+                        Some(ix) => model.gather_chains_indexed(ix, job.query, &mut rng),
+                        None => model.gather_chains(&shared.graph, job.query, &mut rng),
+                    };
                     let entry = Arc::new(CachedChains {
                         chains: toc.chains,
                         retrieved,

@@ -6,6 +6,7 @@
 use crate::engine::{Engine, ServeError};
 use crate::protocol;
 use cf_chains::Query;
+use cf_kg::GraphView;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
