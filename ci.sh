@@ -271,6 +271,65 @@ wait "$IX_PID" || { echo "kg_store: indexed serve exited non-zero"; exit 1; }
 exec 5>&-
 echo "kg_store gate: ok"
 
+echo "== shard-matrix gate (offline) =="
+# The sharded-serving contract end to end through the CLI (DESIGN.md §14):
+# servers at --shards 1 and --shards 4 driven by the same deterministic
+# open-loop plan must return byte-identical responses (entity-hash routing
+# + per-query retrieval RNG make answers independent of shard count), and
+# the metrics text must carry shard-labeled counters without disturbing
+# the unlabeled global names.
+SHARD_DIR="$SMOKE_DIR/shards"
+mkdir -p "$SHARD_DIR"
+for SH in 1 4; do
+    mkfifo "$SHARD_DIR/stdin_$SH"
+    "$CFKG" serve "${SMOKE_FLAGS[@]}" --port 0 --shards "$SH" \
+        < "$SHARD_DIR/stdin_$SH" > "$SHARD_DIR/serve_$SH.log" 2>&1 &
+    SH_PID=$!
+    exec 5>"$SHARD_DIR/stdin_$SH"
+    for _ in $(seq 1 100); do
+        grep -q '^listening on ' "$SHARD_DIR/serve_$SH.log" && break
+        sleep 0.1
+    done
+    SH_PORT="$(sed -n 's/^listening on .*://p' "$SHARD_DIR/serve_$SH.log" | head -1)"
+    [ -n "$SH_PORT" ] || { echo "shard matrix: no listening line at $SH shards"; exit 1; }
+    grep -q "serving with $SH shard" "$SHARD_DIR/serve_$SH.log" \
+        || { echo "shard matrix: server did not report $SH shards"; exit 1; }
+    "$CFKG" loadtest --addr "127.0.0.1:$SH_PORT" \
+        --triples "$SMOKE_DIR/yago15k_sim_triples.tsv" \
+        --numerics "$SMOKE_DIR/yago15k_sim_numerics.tsv" \
+        --rate 500 --requests 120 --warmup 20 --conns 4 --seed 5 \
+        --dump "$SHARD_DIR/responses_$SH.dump" > "$SHARD_DIR/load_$SH.log" \
+        || { echo "shard matrix: loadtest failed at $SH shards"; exit 1; }
+    grep -q 'shed 0 ' "$SHARD_DIR/load_$SH.log" \
+        || { echo "shard matrix: light load shed requests at $SH shards:"; \
+             cat "$SHARD_DIR/load_$SH.log"; exit 1; }
+    # Scrape shard-labeled metrics: every shard row present, globals intact.
+    exec 7<>"/dev/tcp/127.0.0.1/$SH_PORT"
+    printf '%s\n' 'GET /metrics' >&7
+    SH_METRICS=""
+    while read -r -t 30 LINE <&7; do
+        [ -z "$LINE" ] && break
+        SH_METRICS+="$LINE"$'\n'
+    done
+    exec 7<&- 7>&-
+    echo "$SH_METRICS" | grep -q '^cf_serve_ok_total ' \
+        || { echo "shard matrix: global counters missing at $SH shards"; exit 1; }
+    for S in $(seq 0 $((SH - 1))); do
+        echo "$SH_METRICS" | grep -q "^cf_serve_shard_requests_total{shard=\"$S\"} " \
+            || { echo "shard matrix: no metrics row for shard $S of $SH"; exit 1; }
+    done
+    echo "$SH_METRICS" | grep -q "^cf_serve_shard_requests_total{shard=\"$SH\"} " \
+        && { echo "shard matrix: phantom shard row at $SH shards"; exit 1; }
+    kill -TERM "$SH_PID"
+    wait "$SH_PID" || { echo "shard matrix: server exited non-zero at $SH shards"; exit 1; }
+    exec 5>&-
+done
+cmp "$SHARD_DIR/responses_1.dump" "$SHARD_DIR/responses_4.dump" \
+    || { echo "shard matrix: response bytes differ between 1 and 4 shards"; exit 1; }
+[ -s "$SHARD_DIR/responses_1.dump" ] \
+    || { echo "shard matrix: empty response dump"; exit 1; }
+echo "shard-matrix gate: ok"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -284,6 +284,10 @@ pub fn serve(args: &Args) -> CmdResult {
         max_wait_us: args.get_parse("max-wait-us", 2000, "integer")?,
         queue_cap: args.get_parse("queue-cap", 256, "integer")?,
         workers: args.get_parse("workers", 1, "integer")?,
+        // 0 = auto: one model replica per numeric-pool thread. Responses
+        // are bitwise identical at every shard count (entity-hash routing
+        // + per-query retrieval RNG), so this is purely a throughput knob.
+        shards: args.get_parse("shards", 0, "integer")?,
         cache_cap: args.get_parse("cache-cap", 4096, "integer")?,
         seed: args.get_parse("seed", 7, "integer")?,
     };
@@ -299,6 +303,11 @@ pub fn serve(args: &Args) -> CmdResult {
         None => None,
     };
     let engine = Arc::new(Engine::new_with_index(model, visible, index, cfg));
+    println!(
+        "serving with {} shard(s), {} worker(s) each",
+        engine.shards(),
+        args.get_parse("workers", 1usize, "integer")?.max(1)
+    );
     let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
     // Scripts parse this line to learn the ephemeral port (--port 0).
@@ -314,6 +323,64 @@ pub fn serve(args: &Args) -> CmdResult {
     // proceeds regardless).
     drop(engine);
     println!("shutdown complete");
+    Ok(())
+}
+
+/// `cfkg loadtest`: open-loop load against a running `cfkg serve`.
+///
+/// The arrival schedule (Poisson or uniform), zipfian entity popularity,
+/// and optional reload mix are all fixed up front from `--seed` and the
+/// loaded graph — requests go out at their scheduled instants whether or
+/// not earlier ones were answered, so overload shows up as shed requests
+/// and honest tail latency instead of a silently throttled client. The
+/// same plan replayed against servers at different `--shards` settings
+/// produces byte-identical `--dump` files (CI diffs them).
+pub fn loadtest(args: &Args) -> CmdResult {
+    let addr = args.require("addr")?.to_string();
+    // Only names and counts are needed: the split hides facts, not
+    // entities, so the raw graph names exactly what the server resolves.
+    let graph = load_graph(args)?;
+    let plan_cfg = cf_load::PlanConfig {
+        arrivals: args.get("arrivals").unwrap_or("poisson").parse()?,
+        rate_hz: args.get_parse("rate", 2000.0, "number")?,
+        requests: args.get_parse("requests", 2000, "integer")?,
+        warmup: args.get_parse("warmup", 200, "integer")?,
+        zipf_s: args.get_parse("zipf", 1.0, "number")?,
+        reload_every: args.get_parse("reload-every", 0, "integer")?,
+        seed: args.get_parse("seed", 1, "integer")?,
+    };
+    let deadline_ms = match args.get("deadline-ms") {
+        None => None,
+        Some(_) => Some(args.get_parse("deadline-ms", 0u64, "integer")?),
+    };
+    let reload_path = args.get("reload");
+    if plan_cfg.reload_every > 0 && reload_path.is_none() {
+        return Err(
+            "--reload-every needs --reload PATH (a checkpoint on the server's filesystem)".into(),
+        );
+    }
+    let conns: usize = args.get_parse("conns", 8, "integer")?;
+    let plan = cf_load::build_plan(
+        GraphView::num_entities(&graph),
+        GraphView::num_attributes(&graph),
+        &plan_cfg,
+    );
+    let events = cf_load::render_events(&plan, &graph, deadline_ms, reload_path);
+    println!(
+        "loadtest {addr}: {} events ({} warmup) at {:.0}/s {:?} over {} conns, zipf {}",
+        events.len(),
+        plan_cfg.warmup,
+        plan_cfg.rate_hz,
+        plan_cfg.arrivals,
+        conns.clamp(1, events.len().max(1)),
+        plan_cfg.zipf_s,
+    );
+    let outcome = cf_load::run_tcp(&addr, &events, conns)?;
+    println!("{}", outcome.report.render());
+    if let Some(dump) = args.get("dump") {
+        std::fs::write(dump, cf_load::canonical_dump(&outcome.responses))?;
+        println!("canonical responses → {dump}");
+    }
     Ok(())
 }
 

@@ -73,8 +73,20 @@ COMMANDS
              --triples FILE --numerics FILE (or --store FILE) --ckpt FILE
              [--index FILE (serve retrieval from a chain index)]
              [--port N (0 = ephemeral)] [--max-batch N] [--max-wait-us N]
-             [--queue-cap N] [--workers N] [--cache-cap N]
-             [--seed N] [flags as train]
+             [--queue-cap N] [--workers N (per shard)]
+             [--shards N (model replicas; 0 = one per pool thread;
+              responses are bitwise identical at every N)]
+             [--cache-cap N (per shard)] [--seed N] [flags as train]
+  loadtest   open-loop load generator against a running serve (fixed
+             arrival schedule: overload sheds instead of throttling the
+             client; identical --seed ⇒ identical request stream)
+             --addr HOST:PORT  --triples FILE --numerics FILE (or --store)
+             [--rate REQ_PER_S] [--requests N] [--warmup N]
+             [--arrivals poisson|uniform] [--zipf S] [--conns N]
+             [--deadline-ms N] [--seed N]
+             [--reload CKPT --reload-every N (mix in hot-reloads)]
+             [--dump FILE (canonical response bytes, diffable across
+              --shards settings)]
 ";
 
 fn main() {
@@ -111,6 +123,7 @@ fn main() {
         "eval" => commands::eval(&args),
         "predict" => commands::predict(&args),
         "serve" => commands::serve(&args),
+        "loadtest" => commands::loadtest(&args),
         other => {
             eprintln!("error: unknown command {other:?}\n\n{USAGE}");
             std::process::exit(2);

@@ -47,6 +47,11 @@ pub struct PredictionDetail {
 /// The ChainsFormer model. Construction pre-trains (and freezes) the filter
 /// embeddings; the encoder/reasoner parameters live in [`Self::params`] and
 /// are trained by [`crate::train::Trainer`].
+///
+/// `Clone` exists for multi-replica serving: each `cf-serve` shard owns a
+/// full clone (its own `ParamStore`), so shards never contend on parameter
+/// reads and hot-reload can swap them one shard at a time.
+#[derive(Clone)]
 pub struct ChainsFormer {
     /// The configuration the model was built with.
     pub cfg: ChainsFormerConfig,

@@ -1,0 +1,185 @@
+//! Event plans: the full request schedule, fixed before the run.
+//!
+//! A plan is a pure function of its [`PlanConfig`] and the store's entity
+//! and attribute counts — no wall clock, no network state — so the same
+//! config replays the identical request stream against servers at
+//! different shard counts, which is the precondition for diffing their
+//! response bytes.
+
+use crate::arrival::{arrival_offsets_us, ArrivalProcess};
+use crate::zipf::ZipfSampler;
+use cf_kg::{AttributeId, EntityId};
+use cf_rand::rngs::StdRng;
+use cf_rand::{Rng, SeedableRng};
+
+/// What one scheduled event does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A prediction request.
+    Query {
+        /// Entity to ask about (zipf-sampled popularity).
+        entity: EntityId,
+        /// Attribute to predict (uniform).
+        attr: AttributeId,
+    },
+    /// A hot-reload admin request (the read/reload mix).
+    Reload,
+}
+
+/// One scheduled event: *when* (microseconds from run start), *what*, and
+/// whether it falls inside the measurement window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Scheduled send instant, microseconds from run start.
+    pub at_us: u64,
+    /// Request kind.
+    pub kind: EventKind,
+    /// True for queries past the warmup window; only measured events feed
+    /// the latency histogram and qps. Warmup queries fill the server's
+    /// chain caches and EWMA so the window measures steady state. Reloads
+    /// are never measured.
+    pub measured: bool,
+}
+
+/// Everything that determines a plan.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanConfig {
+    /// Inter-arrival distribution.
+    pub arrivals: ArrivalProcess,
+    /// Offered rate, requests per second.
+    pub rate_hz: f64,
+    /// Queries inside the measurement window.
+    pub requests: usize,
+    /// Unmeasured queries sent first at the same rate.
+    pub warmup: usize,
+    /// Zipf exponent for entity popularity (`0` = uniform).
+    pub zipf_s: f64,
+    /// Insert a reload event after every `n`-th query (`0` = never).
+    pub reload_every: usize,
+    /// Seed for the plan RNG (arrivals + popularity draws).
+    pub seed: u64,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            arrivals: ArrivalProcess::Poisson,
+            rate_hz: 2000.0,
+            requests: 2000,
+            warmup: 200,
+            zipf_s: 1.0,
+            reload_every: 0,
+            seed: 1,
+        }
+    }
+}
+
+/// Builds the event plan for a store with `num_entities` entities and
+/// `num_attributes` attributes. Entity popularity rank equals entity id
+/// (the routing hash in cf-serve spreads consecutive ids, so rank order
+/// carries no shard bias); attributes are drawn uniformly. A reload event
+/// inherits the timestamp of the query it follows, modelling an operator
+/// pushing a checkpoint while traffic flows.
+///
+/// Panics if the store has no entities or no attributes.
+pub fn build_plan(num_entities: usize, num_attributes: usize, cfg: &PlanConfig) -> Vec<Event> {
+    assert!(num_entities > 0, "store has no entities");
+    assert!(num_attributes > 0, "store has no attributes");
+    let total = cfg.warmup + cfg.requests;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let offsets = arrival_offsets_us(cfg.arrivals, cfg.rate_hz, total, &mut rng);
+    let zipf = ZipfSampler::new(num_entities, cfg.zipf_s);
+    let mut events = Vec::with_capacity(total + total / cfg.reload_every.max(1));
+    for (i, &at_us) in offsets.iter().enumerate() {
+        let entity = EntityId(zipf.sample(&mut rng) as u32);
+        let attr = AttributeId(rng.gen_range(0..num_attributes as u32));
+        events.push(Event {
+            at_us,
+            kind: EventKind::Query { entity, attr },
+            measured: i >= cfg.warmup,
+        });
+        if cfg.reload_every > 0 && (i + 1) % cfg.reload_every == 0 {
+            events.push(Event {
+                at_us,
+                kind: EventKind::Reload,
+                measured: false,
+            });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let cfg = PlanConfig {
+            requests: 300,
+            warmup: 50,
+            reload_every: 64,
+            ..PlanConfig::default()
+        };
+        let a = build_plan(1000, 5, &cfg);
+        let b = build_plan(1000, 5, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warmup_marks_the_measurement_window() {
+        let cfg = PlanConfig {
+            requests: 100,
+            warmup: 25,
+            ..PlanConfig::default()
+        };
+        let plan = build_plan(50, 3, &cfg);
+        let queries: Vec<&Event> = plan
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Query { .. }))
+            .collect();
+        assert_eq!(queries.len(), 125);
+        assert!(queries[..25].iter().all(|e| !e.measured));
+        assert!(queries[25..].iter().all(|e| e.measured));
+    }
+
+    #[test]
+    fn reload_mix_inserts_unmeasured_reloads_at_query_timestamps() {
+        let cfg = PlanConfig {
+            requests: 90,
+            warmup: 10,
+            reload_every: 25,
+            ..PlanConfig::default()
+        };
+        let plan = build_plan(50, 3, &cfg);
+        let reloads: Vec<usize> = plan
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind == EventKind::Reload)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(reloads.len(), 4, "100 queries / 25 = 4 reloads");
+        for &i in &reloads {
+            assert!(!plan[i].measured);
+            assert_eq!(plan[i].at_us, plan[i - 1].at_us, "reload rides its query");
+        }
+        let zero = PlanConfig {
+            reload_every: 0,
+            ..cfg
+        };
+        assert!(build_plan(50, 3, &zero)
+            .iter()
+            .all(|e| e.kind != EventKind::Reload));
+    }
+
+    #[test]
+    fn entities_and_attrs_stay_in_range() {
+        let plan = build_plan(7, 2, &PlanConfig::default());
+        for e in &plan {
+            if let EventKind::Query { entity, attr } = e.kind {
+                assert!(entity.0 < 7);
+                assert!(attr.0 < 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The integration claim behind admission control: under open-loop
+//! overload the engine answers `overloaded` at the door instead of letting
+//! accepted requests queue without bound. A closed-loop client cannot
+//! produce this situation — its offered rate collapses with the server —
+//! so the plan's arrival schedule is fixed up front and submissions happen
+//! at their scheduled instants regardless of how far behind the engine is.
+
+use cf_chains::Query;
+use cf_kg::synth::{yago15k_sim, SynthScale};
+use cf_kg::{GraphView, Split};
+use cf_load::{build_plan, sleep_until, ArrivalProcess, EventKind, PlanConfig};
+use cf_rand::rngs::StdRng;
+use cf_rand::SeedableRng;
+use cf_serve::{Engine, EngineConfig, ServeError};
+use chainsformer::{ChainsFormer, ChainsFormerConfig};
+use std::time::{Duration, Instant};
+
+#[test]
+fn open_loop_overload_sheds_instead_of_unbounded_latency() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let g = yago15k_sim(SynthScale::small(), &mut rng);
+    let split = Split::paper_811(&g, &mut rng);
+    let visible = split.visible_graph(&g);
+    let model = ChainsFormer::new(&visible, &split.train, ChainsFormerConfig::tiny(), &mut rng);
+    let num_entities = GraphView::num_entities(&visible);
+    let num_attributes = GraphView::num_attributes(&visible);
+    // A queue cap far above anything this test reaches: the only thing
+    // standing between the flood and unbounded queueing is the
+    // projected-delay shed.
+    let engine = Engine::new(
+        model,
+        visible,
+        EngineConfig {
+            queue_cap: 100_000,
+            cache_cap: 0, // every request pays full retrieval: low capacity
+            ..EngineConfig::default()
+        },
+    );
+
+    // Warm the EWMA so admission has a service-time estimate from the
+    // first overload arrival (a cold EWMA admits on depth alone).
+    let warm_plan = build_plan(
+        num_entities,
+        num_attributes,
+        &PlanConfig {
+            requests: 16,
+            warmup: 0,
+            rate_hz: 100.0,
+            seed: 3,
+            ..PlanConfig::default()
+        },
+    );
+    for e in &warm_plan {
+        if let EventKind::Query { entity, attr } = e.kind {
+            let _ = engine.predict(Query { entity, attr });
+        }
+    }
+
+    // Offered load far beyond a single shard on one core (~30k/s), every
+    // request carrying a 20 ms deadline.
+    let deadline = Duration::from_millis(20);
+    let plan = build_plan(
+        num_entities,
+        num_attributes,
+        &PlanConfig {
+            arrivals: ArrivalProcess::Poisson,
+            rate_hz: 30_000.0,
+            requests: 1500,
+            warmup: 0,
+            zipf_s: 1.0,
+            reload_every: 0,
+            seed: 11,
+        },
+    );
+    let start = Instant::now() + Duration::from_millis(2);
+    let mut receivers = Vec::new();
+    let mut shed = 0u64;
+    let mut expired = 0u64;
+    let mut sent = 0u64;
+    for e in &plan {
+        let EventKind::Query { entity, attr } = e.kind else {
+            continue;
+        };
+        sleep_until(start + Duration::from_micros(e.at_us));
+        sent += 1;
+        match engine.submit(Query { entity, attr }, Some(deadline)) {
+            Ok(rx) => receivers.push(rx),
+            Err(ServeError::Overloaded) => shed += 1,
+            Err(ServeError::DeadlineExceeded) => expired += 1,
+            Err(e) => panic!("unexpected submit error: {e:?}"),
+        }
+    }
+
+    let mut ok = 0u64;
+    let mut late = 0u64;
+    let mut worst_us = 0u64;
+    for rx in receivers {
+        match rx.recv().expect("reply channel closed") {
+            Ok(sp) => {
+                ok += 1;
+                worst_us = worst_us.max(sp.micros);
+            }
+            Err(ServeError::DeadlineExceeded) => late += 1,
+            Err(e) => panic!("unexpected reply error: {e:?}"),
+        }
+    }
+    assert_eq!(sent, 1500);
+    assert_eq!(ok + late + shed + expired, sent, "every request accounted");
+
+    // The engine pushed back: a meaningful slice of the flood was refused
+    // at the door with `overloaded` rather than enqueued to rot.
+    assert!(
+        shed > sent / 10,
+        "expected heavy shedding at 30k/s offered, got {shed}/{sent} (ok {ok}, late {late})"
+    );
+    assert!(ok > 0, "admission must not starve the engine entirely");
+
+    // And what *was* admitted stayed bounded: projected delay ≤ deadline
+    // at admit time caps the queue a request can sit behind. The bound
+    // here is deliberately loose (deadline + generous service/scheduling
+    // slack on a 1-core CI host) — the failure mode it guards against is
+    // multi-second queueing collapse, not millisecond jitter.
+    assert!(
+        worst_us < 2_000_000,
+        "admitted request waited {worst_us} µs — unbounded queueing"
+    );
+
+    // Engine-side accounting agrees with the client's view.
+    let m = engine.metrics();
+    use std::sync::atomic::Ordering;
+    assert_eq!(m.shed.load(Ordering::Relaxed), shed);
+    let shard_shed: u64 = (0..engine.shards())
+        .map(|s| m.shard(s).shed.load(Ordering::Relaxed))
+        .sum();
+    assert_eq!(shard_shed, shed + expired);
+    engine.shutdown();
+}

@@ -1,28 +1,39 @@
-//! The inference engine: one resident model + graph, a bounded
-//! micro-batching queue drained by worker threads, the chain cache, and
-//! overload shedding.
+//! The inference engine: N worker shards, each owning a full model replica
+//! (its own [`ParamStore`]), a bounded micro-batching queue, and a private
+//! LRU chain cache — plus entity-hash routing, latency-aware admission
+//! control, and hot-reload coordinated across all shards.
 //!
 //! Requests enter through [`Engine::submit`] (or the synchronous
-//! [`Engine::predict`]). A worker collects up to `max_batch` queued jobs —
-//! waiting at most `max_wait_us` after the first — resolves each query's
-//! chains through the LRU cache (retrieval uses a per-query deterministic
-//! RNG, so a hit and a miss produce identical chains), then answers the
+//! [`Engine::predict`]) and are routed to `shard_of(entity, shards)`: the
+//! shard is a pure function of the entity, so a hot entity always lands on
+//! the same shard's cache and — because retrieval already uses a per-query
+//! deterministic RNG ([`query_rng_seed`]) — the served answer is bitwise
+//! identical at *any* shard count. A shard's worker collects up to
+//! `max_batch` queued jobs — waiting at most `max_wait_us` after the first —
+//! resolves each query's chains through the shard cache, then answers the
 //! whole batch with one tape-free
-//! [`ChainsFormer::predict_batch_with_chains`] call. That call is bitwise
-//! identical to per-query taped prediction (pinned in
-//! `crates/core/tests/batch_parity.rs`), so batching is purely a
-//! performance decision.
+//! [`ChainsFormer::predict_batch_with_chains`] call (bitwise identical to
+//! per-query taped prediction, pinned in `crates/core/tests/batch_parity.rs`).
+//!
+//! Admission is latency-aware: beyond the hard per-shard `queue_cap`, a
+//! request carrying a deadline is shed when its *projected queue delay*
+//! (shard queue depth × EWMA per-request service time) already exceeds the
+//! deadline — see [`admit`]. Shedding at the door beats queueing collapse:
+//! under open-loop overload the client gets `overloaded` now instead of a
+//! reply that was doomed to miss its deadline after an unbounded wait.
+//!
+//! [`ParamStore`]: cf_tensor::ParamStore
 
 use crate::cache::{CachedChains, ChainCache};
 use crate::metrics::Metrics;
 use cf_chains::Query;
-use cf_kg::{ChainIndexStore, ChainIndexView, GraphStore};
+use cf_kg::{ChainIndexStore, ChainIndexView, EntityId, GraphStore};
 use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
 use chainsformer::{ChainsFormer, PredictionDetail, ResolvedQuery};
 use std::collections::VecDeque;
 use std::path::Path;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -30,18 +41,24 @@ use std::time::{Duration, Instant};
 /// Tunables for the serving engine.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
-    /// Largest batch a worker executes in one forward pass.
+    /// Largest batch a shard worker executes in one forward pass.
     pub max_batch: usize,
     /// Cap on how long a worker accumulates a partial batch after the
     /// first job, microseconds. Accumulation stops earlier the moment
     /// arrivals go quiet (a ~100 µs slice with no new job).
     pub max_wait_us: u64,
-    /// Queue bound; submissions beyond it are shed with
+    /// Per-shard queue bound; submissions beyond it are shed with
     /// [`ServeError::Overloaded`]. `0` sheds everything (useful in tests).
     pub queue_cap: usize,
-    /// Worker thread count.
+    /// Worker threads *per shard*.
     pub workers: usize,
-    /// Chain-cache capacity in queries (`0` disables caching).
+    /// Number of model-replica shards. `0` means auto: the numeric thread
+    /// pool's width (`cf_tensor::pool::threads()`), i.e. one replica per
+    /// core under the default pool sizing.
+    pub shards: usize,
+    /// Per-shard chain-cache capacity in queries (`0` disables caching).
+    /// Entity-hash routing means a query only ever visits one shard, so
+    /// shard caches never duplicate entries.
     pub cache_cap: usize,
     /// Base seed for per-query retrieval RNGs (see [`query_rng_seed`]).
     pub seed: u64,
@@ -54,6 +71,7 @@ impl Default for EngineConfig {
             max_wait_us: 2000,
             queue_cap: 256,
             workers: 1,
+            shards: 1,
             cache_cap: 4096,
             seed: 7,
         }
@@ -63,9 +81,11 @@ impl Default for EngineConfig {
 /// Why a request was not answered.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServeError {
-    /// The queue was full; the request was shed without being enqueued.
+    /// The request was shed without being enqueued: the shard queue was
+    /// full, or its projected queue delay already exceeded the deadline.
     Overloaded,
-    /// The request's deadline expired before a worker reached it.
+    /// The request's deadline expired — at submission time (nothing was
+    /// enqueued) or before a worker reached it.
     DeadlineExceeded,
     /// The engine is shutting down and no longer accepts work.
     ShuttingDown,
@@ -92,8 +112,10 @@ pub struct ServedPrediction {
     pub micros: u64,
     /// Size of the batch this request was answered in.
     pub batch_size: usize,
-    /// Whether the chain cache answered retrieval.
+    /// Whether the shard's chain cache answered retrieval.
     pub cache_hit: bool,
+    /// The shard that answered.
+    pub shard: usize,
 }
 
 /// The reply every submitted job eventually receives.
@@ -111,22 +133,30 @@ struct QueueState {
     shutdown: bool,
 }
 
-struct Shared {
-    /// The resident model. Workers hold the read lock for the duration of
-    /// a batch; [`Engine::reload`] takes the write lock only for the final
-    /// parameter swap, after the new checkpoint has been fully validated.
+/// One model replica: parameters, queue, cache. The graph and chain index
+/// are shared read-only across shards (they are immutable while serving);
+/// everything a request *mutates* is shard-private, so shards never contend.
+struct Shard {
+    /// This shard's model replica. Workers hold the read lock for the
+    /// duration of a batch; [`Engine::reload`] takes the write lock only
+    /// for the final parameter swap, after the new checkpoint has been
+    /// fully validated.
     model: RwLock<ChainsFormer>,
-    graph: GraphStore,
-    index: Option<ChainIndexStore>,
-    cfg: EngineConfig,
     queue: Mutex<QueueState>,
     cond: Condvar,
     cache: Mutex<ChainCache>,
+}
+
+struct Shared {
+    graph: GraphStore,
+    index: Option<ChainIndexStore>,
+    cfg: EngineConfig,
+    shards: Vec<Shard>,
     metrics: Metrics,
 }
 
-/// The resident serving engine. Dropping it drains the queue gracefully:
-/// already-enqueued jobs are still answered, then workers join.
+/// The resident serving engine. Dropping it drains every shard queue
+/// gracefully: already-enqueued jobs are still answered, then workers join.
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -135,8 +165,8 @@ pub struct Engine {
 /// Deterministic retrieval seed for a query: mixes the engine seed with the
 /// entity and attribute ids. Keeping the RNG a pure function of the query
 /// makes retrieval reproducible regardless of request order, batch
-/// composition, or whether the cache answered — a cache hit returns
-/// exactly the chains a fresh retrieval would.
+/// composition, shard count, or whether the cache answered — a cache hit
+/// returns exactly the chains a fresh retrieval would.
 pub fn query_rng_seed(seed: u64, q: Query) -> u64 {
     let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
     for v in [u64::from(q.entity.0), u64::from(q.attr.0)] {
@@ -146,9 +176,93 @@ pub fn query_rng_seed(seed: u64, q: Query) -> u64 {
     h
 }
 
+/// The routing invariant: which shard serves `entity` at a given shard
+/// count. A pure function of the entity id (splitmix64-style finalizer, so
+/// consecutive ids spread instead of striping), which is what keeps a hot
+/// entity on one cache and makes responses shard-count-independent.
+pub fn shard_of(entity: EntityId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut h = u64::from(entity.0).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h % shards as u64) as usize
+}
+
+/// Outcome of latency-aware admission control for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueue the request.
+    Accept,
+    /// Shed with [`ServeError::Overloaded`]: queue full, or the projected
+    /// queue delay already exceeds the deadline.
+    ShedOverloaded,
+    /// Shed with [`ServeError::DeadlineExceeded`]: the deadline had already
+    /// expired at submission time.
+    ShedExpired,
+}
+
+/// Projected queue delay for a request arriving at a shard whose queue
+/// holds `depth` jobs: every queued job must be served first, at the
+/// EWMA per-request service time. Saturating — a huge backlog times a huge
+/// estimate must still shed, not wrap.
+pub fn projected_delay_us(depth: usize, ewma_service_us: u64) -> u64 {
+    (depth as u64).saturating_mul(ewma_service_us)
+}
+
+/// The admission decision, pure so the boundary cases are unit-pinnable:
+///
+/// - `depth >= queue_cap` always sheds (`ShedOverloaded`) — the hard bound
+///   survives from the pre-sharded engine;
+/// - a deadline with zero microseconds remaining sheds as `ShedExpired`
+///   without enqueueing (the worker-side check still catches deadlines
+///   that expire while queued);
+/// - otherwise shed iff [`projected_delay_us`] *strictly* exceeds the
+///   remaining deadline. An empty queue projects zero delay and always
+///   admits; a stale/unwarmed EWMA (0 µs) also projects zero — admission
+///   then degrades to the depth bound until the first batch re-warms it,
+///   which errs toward serving, never toward spurious shedding;
+/// - deadline-free requests are only subject to the depth bound.
+pub fn admit(
+    depth: usize,
+    queue_cap: usize,
+    ewma_service_us: u64,
+    deadline_us: Option<u64>,
+) -> Admission {
+    if depth >= queue_cap {
+        return Admission::ShedOverloaded;
+    }
+    let Some(deadline_us) = deadline_us else {
+        return Admission::Accept;
+    };
+    if deadline_us == 0 {
+        return Admission::ShedExpired;
+    }
+    if projected_delay_us(depth, ewma_service_us) > deadline_us {
+        Admission::ShedOverloaded
+    } else {
+        Admission::Accept
+    }
+}
+
+/// Folds one per-request service-time sample into the shard's EWMA cell
+/// (α = 1/4). The first sample is adopted whole; samples are clamped to
+/// ≥ 1 µs so a warmed estimate can never decay back to the "stale" zero.
+fn update_ewma(cell: &AtomicU64, sample_us: u64) {
+    let sample = sample_us.max(1);
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+        Some(if old == 0 {
+            sample
+        } else {
+            (3 * old + sample) / 4
+        })
+    });
+}
+
 impl Engine {
     /// Takes ownership of the model and (visible) graph and spawns the
-    /// worker threads.
+    /// shard workers. Every shard beyond the first receives a clone of the
+    /// model (its own `ParamStore`).
     pub fn new(model: ChainsFormer, graph: impl Into<GraphStore>, cfg: EngineConfig) -> Self {
         Self::new_with_index(model, graph, None, cfg)
     }
@@ -156,7 +270,8 @@ impl Engine {
     /// [`Self::new`], optionally serving retrieval from a precomputed chain
     /// index (`cfkg index`). When an index is given it must have been built
     /// from (a graph bitwise-equal to) `graph`; workers then answer cache
-    /// misses by index lookup instead of random walks.
+    /// misses by index lookup instead of random walks. The index is shared
+    /// read-only across all shards.
     pub fn new_with_index(
         model: ChainsFormer,
         graph: impl Into<GraphStore>,
@@ -168,48 +283,97 @@ impl Engine {
             ix.check_matches(&graph)
                 .expect("chain index does not match the serving graph");
         }
-        let workers = cfg.workers.max(1);
+        let nshards = if cfg.shards == 0 {
+            cf_tensor::pool::threads().max(1)
+        } else {
+            cfg.shards
+        };
+        let workers_per_shard = cfg.workers.max(1);
+        let mut shards = Vec::with_capacity(nshards);
+        // One clone per extra shard; the original model lands in the last
+        // slot so a single-shard engine never pays for a copy.
+        let mut replicas = VecDeque::with_capacity(nshards);
+        for _ in 1..nshards {
+            replicas.push_back(model.clone());
+        }
+        replicas.push_back(model);
+        for replica in replicas {
+            shards.push(Shard {
+                model: RwLock::new(replica),
+                queue: Mutex::new(QueueState {
+                    jobs: VecDeque::new(),
+                    shutdown: false,
+                }),
+                cond: Condvar::new(),
+                cache: Mutex::new(ChainCache::new(cfg.cache_cap)),
+            });
+        }
+        let cfg = EngineConfig {
+            shards: nshards,
+            ..cfg
+        };
         let shared = Arc::new(Shared {
-            cache: Mutex::new(ChainCache::new(cfg.cache_cap)),
-            metrics: Metrics::new(),
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            cond: Condvar::new(),
-            model: RwLock::new(model),
+            metrics: Metrics::with_shards(nshards),
             graph,
             index,
             cfg,
+            shards,
         });
-        let handles = (0..workers)
-            .map(|_| {
+        let mut handles = Vec::with_capacity(nshards * workers_per_shard);
+        for s in 0..nshards {
+            for w in 0..workers_per_shard {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
+                let h = std::thread::Builder::new()
+                    .name(format!("cf-serve-s{s}w{w}"))
+                    .spawn(move || worker_loop(&shared, s))
+                    .expect("spawn shard worker");
+                handles.push(h);
+            }
+        }
         Engine {
             shared,
             workers: handles,
         }
     }
 
-    /// Enqueues a query; the reply arrives on the returned channel. Sheds
-    /// immediately (without enqueueing) when the queue is at capacity.
+    /// The resolved shard count (after `shards: 0` auto-sizing).
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Routes and enqueues a query; the reply arrives on the returned
+    /// channel. Sheds immediately (without enqueueing) when the shard queue
+    /// is at capacity, when the deadline has already expired, or when the
+    /// shard's projected queue delay exceeds the deadline (see [`admit`]).
     pub fn submit(
         &self,
         query: Query,
         deadline: Option<Duration>,
     ) -> Result<mpsc::Receiver<Reply>, ServeError> {
-        self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let m = &self.shared.metrics;
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        let s = shard_of(query.entity, self.shared.shards.len());
+        m.shard(s).requests.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shared.shards[s];
         let (tx, rx) = mpsc::channel();
-        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        let mut q = shard.queue.lock().expect("queue poisoned");
         if q.shutdown {
             return Err(ServeError::ShuttingDown);
         }
-        if q.jobs.len() >= self.shared.cfg.queue_cap {
-            self.shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
-            return Err(ServeError::Overloaded);
+        let ewma = m.shard(s).ewma_service_us.load(Ordering::Relaxed);
+        let deadline_us = deadline.map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64);
+        match admit(q.jobs.len(), self.shared.cfg.queue_cap, ewma, deadline_us) {
+            Admission::Accept => {}
+            Admission::ShedOverloaded => {
+                m.shed.fetch_add(1, Ordering::Relaxed);
+                m.shard(s).shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded);
+            }
+            Admission::ShedExpired => {
+                m.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                m.shard(s).shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineExceeded);
+            }
         }
         let now = Instant::now();
         q.jobs.push_back(Job {
@@ -219,7 +383,7 @@ impl Engine {
             reply: tx,
         });
         drop(q);
-        self.shared.cond.notify_one();
+        shard.cond.notify_one();
         Ok(rx)
     }
 
@@ -234,37 +398,45 @@ impl Engine {
         &self.shared.graph
     }
 
-    /// The resident model (a read guard: drops cheaply, blocks a
-    /// concurrent [`Self::reload`]'s final swap while held).
+    /// Shard 0's model replica (a read guard: drops cheaply, blocks a
+    /// concurrent [`Self::reload`]'s swap of that shard while held). All
+    /// replicas carry identical parameters outside the brief window of a
+    /// coordinated reload; use [`Self::model_of_shard`] to inspect others.
     pub fn model(&self) -> RwLockReadGuard<'_, ChainsFormer> {
-        self.shared.model.read().expect("model poisoned")
+        self.model_of_shard(0)
     }
 
-    /// Hot-swaps the serving model's learnable parameters from a
-    /// checkpoint file without restarting the engine or dropping queued
-    /// work.
+    /// Shard `i`'s model replica.
+    pub fn model_of_shard(&self, i: usize) -> RwLockReadGuard<'_, ChainsFormer> {
+        self.shared.shards[i].model.read().expect("model poisoned")
+    }
+
+    /// Hot-swaps every shard's learnable parameters from a checkpoint file
+    /// without restarting the engine or dropping queued work.
     ///
-    /// Validation happens **off the request path**: the checkpoint's
+    /// The reload is **all-or-nothing across shards**: the checkpoint's
     /// magic, per-section CRCs, and every parameter name and shape are
-    /// checked against a staged clone of the live [`ParamStore`]; workers
-    /// keep answering under the read lock the whole time. Only after the
-    /// entire file has been accepted does a brief write lock swap the
-    /// parameters in — between batches, never mid-forward. On any error
-    /// the staged clone is dropped and the live model is untouched, so
-    /// rollback is implicit.
+    /// validated *once*, off the request path, into a staged clone of a
+    /// live [`ParamStore`] — workers keep answering under their read locks
+    /// the whole time. Only after the entire file has been accepted are
+    /// per-shard copies staged and swapped in, shard by shard, under each
+    /// shard's brief write lock (between that shard's batches, never
+    /// mid-forward). Every failure mode lives in the validation phase,
+    /// before the first swap; on any error the staged clone is dropped and
+    /// all replicas keep their previous parameters — rollback is implicit
+    /// and no shard can be left on a different generation than its peers.
     ///
-    /// The chain cache stays valid across a reload: retrieval uses the
-    /// frozen filter embeddings and per-query RNG, not the swapped
-    /// parameters, so cached chains are exactly what a fresh retrieval
-    /// would produce.
+    /// Shard caches stay valid across a reload: retrieval uses the frozen
+    /// filter embeddings and per-query RNG, not the swapped parameters, so
+    /// cached chains are exactly what a fresh retrieval would produce.
     ///
-    /// Counted in `cf_serve_reloads_ok_total` / `cf_serve_reloads_rejected_total`.
+    /// Counted in `cf_serve_reloads_ok_total` / `cf_serve_reloads_rejected_total`
+    /// and the shard-labeled `cf_serve_shard_reloads_*` counters.
     ///
     /// [`ParamStore`]: cf_tensor::ParamStore
     pub fn reload(&self, path: impl AsRef<Path>) -> Result<(), cf_tensor::CheckpointError> {
         let result = (|| {
-            let mut staged = self
-                .shared
+            let mut staged = self.shared.shards[0]
                 .model
                 .read()
                 .expect("model poisoned")
@@ -272,14 +444,32 @@ impl Engine {
                 .clone();
             let f = std::fs::File::open(path).map_err(cf_tensor::CheckpointError::Io)?;
             cf_tensor::load_params(&mut staged, std::io::BufReader::new(f))?;
-            self.shared.model.write().expect("model poisoned").params = staged;
+            // Validation is complete: nothing below this line can fail.
+            // Stage one copy per shard up front, then swap them in; the
+            // last shard takes `staged` itself.
+            let n = self.shared.shards.len();
+            let mut copies: Vec<cf_tensor::ParamStore> = (1..n).map(|_| staged.clone()).collect();
+            copies.push(staged);
+            for (shard, params) in self.shared.shards.iter().zip(copies) {
+                shard.model.write().expect("model poisoned").params = params;
+            }
             Ok(())
         })();
-        let counter = match &result {
-            Ok(()) => &self.shared.metrics.reloads_ok,
-            Err(_) => &self.shared.metrics.reloads_rejected,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
+        let m = &self.shared.metrics;
+        match &result {
+            Ok(()) => {
+                m.reloads_ok.fetch_add(1, Ordering::Relaxed);
+                for s in 0..self.shared.shards.len() {
+                    m.shard(s).reloads_ok.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                m.reloads_rejected.fetch_add(1, Ordering::Relaxed);
+                for s in 0..self.shared.shards.len() {
+                    m.shard(s).reloads_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         result
     }
 
@@ -293,9 +483,14 @@ impl Engine {
         self.shared.metrics.render()
     }
 
-    /// Current number of cached chain sets.
+    /// Current number of cached chain sets, summed across shards (shards
+    /// never duplicate an entry: a query routes to exactly one shard).
     pub fn cache_len(&self) -> usize {
-        self.shared.cache.lock().expect("cache poisoned").len()
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.cache.lock().expect("cache poisoned").len())
+            .sum()
     }
 
     /// Graceful shutdown: already-enqueued jobs are answered, new
@@ -306,42 +501,44 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        {
-            let mut q = self.shared.queue.lock().expect("queue poisoned");
+        for shard in &self.shared.shards {
+            let mut q = shard.queue.lock().expect("queue poisoned");
             q.shutdown = true;
+            drop(q);
+            shard.cond.notify_all();
         }
-        self.shared.cond.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, shard_ix: usize) {
     // One inference context per worker, reused across batches: after the
     // first batch its value arena and the thread's tensor buffer pool are
     // warm, so steady-state forwards never touch the global allocator.
     let mut ctx = cf_tensor::InferCtx::new();
     loop {
-        let batch = collect_batch(shared);
+        let batch = collect_batch(shared, shard_ix);
         if batch.is_empty() {
-            return; // shutdown requested and the queue is drained
+            return; // shutdown requested and the shard queue is drained
         }
-        process_batch(shared, batch, &mut ctx);
+        process_batch(shared, shard_ix, batch, &mut ctx);
     }
 }
 
-/// Blocks for work, then micro-batches: grabs every queued job up to
-/// `max_batch`, waiting at most `max_wait_us` after the first for
+/// Blocks for work on one shard, then micro-batches: grabs every queued job
+/// up to `max_batch`, waiting at most `max_wait_us` after the first for
 /// stragglers. Returns an empty batch only on drained shutdown.
-fn collect_batch(shared: &Shared) -> Vec<Job> {
+fn collect_batch(shared: &Shared, shard_ix: usize) -> Vec<Job> {
     let cfg = &shared.cfg;
-    let mut q = shared.queue.lock().expect("queue poisoned");
+    let shard = &shared.shards[shard_ix];
+    let mut q = shard.queue.lock().expect("queue poisoned");
     while q.jobs.is_empty() {
         if q.shutdown {
             return Vec::new();
         }
-        q = shared.cond.wait(q).expect("queue poisoned");
+        q = shard.cond.wait(q).expect("queue poisoned");
     }
     let mut batch = Vec::with_capacity(cfg.max_batch.max(1));
     let first_at = Instant::now();
@@ -365,7 +562,7 @@ fn collect_batch(shared: &Shared) -> Vec<Job> {
         if first_at.elapsed() >= budget {
             break;
         }
-        let (guard, _timeout) = shared.cond.wait_timeout(q, quiet).expect("queue poisoned");
+        let (guard, _timeout) = shard.cond.wait_timeout(q, quiet).expect("queue poisoned");
         q = guard;
         if q.jobs.is_empty() && !q.shutdown {
             break;
@@ -374,8 +571,9 @@ fn collect_batch(shared: &Shared) -> Vec<Job> {
     batch
 }
 
-fn process_batch(shared: &Shared, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx) {
+fn process_batch(shared: &Shared, shard_ix: usize, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx) {
     let m = &shared.metrics;
+    let shard = &shared.shards[shard_ix];
     m.batch_size.record(batch.len() as u64);
     let now = Instant::now();
     let mut live = Vec::with_capacity(batch.len());
@@ -394,22 +592,27 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx
     // One read guard for the whole batch: every job in it is answered by
     // the same model generation, and a concurrent reload's write lock
     // lands between batches, never mid-forward.
-    let model = shared.model.read().expect("model poisoned");
+    let model = shard.model.read().expect("model poisoned");
+    let service_start = Instant::now();
 
-    // Resolve every job's chains through the cache. The cache lock is only
-    // held for the lookup/insert, never across retrieval of *other*
+    // Resolve every job's chains through the shard cache. The cache lock is
+    // only held for the lookup/insert, never across retrieval of *other*
     // queries' chains in the same batch.
     let resolved: Vec<(Arc<CachedChains>, bool)> = live
         .iter()
         .map(|job| {
-            let hit = shared.cache.lock().expect("cache poisoned").get(job.query);
+            let hit = shard.cache.lock().expect("cache poisoned").get(job.query);
             match hit {
                 Some(c) => {
                     m.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    m.shard(shard_ix).cache_hits.fetch_add(1, Ordering::Relaxed);
                     (c, true)
                 }
                 None => {
                     m.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    m.shard(shard_ix)
+                        .cache_misses
+                        .fetch_add(1, Ordering::Relaxed);
                     let mut rng = StdRng::seed_from_u64(query_rng_seed(shared.cfg.seed, job.query));
                     let (toc, retrieved) = match &shared.index {
                         Some(ix) => model.gather_chains_indexed(ix, job.query, &mut rng),
@@ -419,7 +622,7 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx
                         chains: toc.chains,
                         retrieved,
                     });
-                    shared
+                    shard
                         .cache
                         .lock()
                         .expect("cache poisoned")
@@ -438,6 +641,11 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx
     let details = model.predict_batch_with_chains_in(&jobs_view, ctx);
     drop(model);
 
+    // Feed admission control: per-request service time (retrieval +
+    // forward, amortized over the batch) folded into this shard's EWMA.
+    let per_request_us = (service_start.elapsed().as_micros() as u64) / (live.len() as u64);
+    update_ewma(&m.shard(shard_ix).ewma_service_us, per_request_us);
+
     let batch_size = live.len();
     for ((job, detail), (_, cache_hit)) in live.into_iter().zip(details).zip(&resolved) {
         if detail.used_fallback {
@@ -451,6 +659,7 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx
             micros,
             batch_size,
             cache_hit: *cache_hit,
+            shard: shard_ix,
         }));
     }
 }
@@ -489,6 +698,11 @@ mod tests {
         assert_eq!(e.metrics().requests.load(Ordering::Relaxed), 1);
         assert_eq!(e.metrics().ok.load(Ordering::Relaxed), 1);
         assert_eq!(e.metrics().latency_us.count(), 1);
+        // The request is attributed to exactly one shard's counters.
+        let shard_requests: u64 = (0..e.shards())
+            .map(|s| e.metrics().shard(s).requests.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(shard_requests, 1);
         e.shutdown();
     }
 
@@ -500,6 +714,7 @@ mod tests {
         let second = e.predict(q).expect("second");
         assert!(!first.cache_hit);
         assert!(second.cache_hit);
+        assert_eq!(first.shard, second.shard, "same entity must route stably");
         assert_eq!(first.detail.value.to_bits(), second.detail.value.to_bits());
         assert_eq!(e.metrics().cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(e.metrics().cache_misses.load(Ordering::Relaxed), 1);
@@ -523,6 +738,25 @@ mod tests {
     }
 
     #[test]
+    fn multi_shard_engine_answers_and_balances() {
+        let (e, queries) = engine(EngineConfig {
+            shards: 4,
+            ..EngineConfig::default()
+        });
+        assert_eq!(e.shards(), 4);
+        for &q in &queries {
+            let served = e.predict(q).expect("prediction");
+            assert_eq!(served.shard, shard_of(q.entity, 4));
+        }
+        let m = e.metrics();
+        let total: u64 = (0..4)
+            .map(|s| m.shard(s).requests.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(total, queries.len() as u64);
+        e.shutdown();
+    }
+
+    #[test]
     fn zero_capacity_queue_sheds_everything() {
         let (e, queries) = engine(EngineConfig {
             queue_cap: 0,
@@ -533,18 +767,58 @@ mod tests {
             other => panic!("expected Overloaded, got {other:?}"),
         }
         assert_eq!(e.metrics().shed.load(Ordering::Relaxed), 1);
+        let shard_shed: u64 = (0..e.shards())
+            .map(|s| e.metrics().shard(s).shed.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(shard_shed, 1);
         e.shutdown();
     }
 
     #[test]
-    fn expired_deadline_is_reported_not_served() {
+    fn expired_deadline_is_shed_at_the_door() {
+        // A deadline with nothing left is refused at submit time — nothing
+        // is enqueued, no worker wakes, the caller learns immediately.
         let (e, queries) = engine(EngineConfig::default());
-        let rx = e.submit(queries[0], Some(Duration::ZERO)).expect("submit");
-        match rx.recv().expect("reply") {
+        match e.submit(queries[0], Some(Duration::ZERO)) {
             Err(ServeError::DeadlineExceeded) => {}
             other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
         assert_eq!(e.metrics().deadline_missed.load(Ordering::Relaxed), 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn projected_delay_sheds_when_queue_implies_a_miss() {
+        // Pre-warm the EWMA by serving once, then flood a shard with
+        // deadline-free work and submit a deadlined request behind it: the
+        // projected delay (depth × EWMA) must shed it at the door.
+        let (e, queries) = engine(EngineConfig {
+            max_batch: 1,
+            max_wait_us: 0,
+            cache_cap: 0,
+            ..EngineConfig::default()
+        });
+        let q = queries[0];
+        e.predict(q).expect("warm the EWMA");
+        let s = shard_of(q.entity, e.shards());
+        let ewma = e.metrics().shard(s).ewma_service_us.load(Ordering::Relaxed);
+        assert!(ewma > 0, "EWMA must be warm after a served batch");
+        // Enough queued work that depth × ewma far exceeds 1 µs.
+        let receivers: Vec<_> = (0..64).filter_map(|_| e.submit(q, None).ok()).collect();
+        assert!(!receivers.is_empty());
+        let mut shed = false;
+        for _ in 0..64 {
+            match e.submit(q, Some(Duration::from_micros(1))) {
+                Err(ServeError::Overloaded) => {
+                    shed = true;
+                    break;
+                }
+                Err(ServeError::DeadlineExceeded) => unreachable!("1 µs is not 0"),
+                _ => {}
+            }
+        }
+        assert!(shed, "projected queue delay never shed a doomed request");
+        drop(receivers);
         e.shutdown();
     }
 
@@ -564,7 +838,7 @@ mod tests {
     }
 
     #[test]
-    fn reload_hot_swaps_weights_and_rolls_back_on_corruption() {
+    fn reload_hot_swaps_all_shards_and_rolls_back_on_corruption() {
         fn param_bits(ps: &cf_tensor::ParamStore) -> Vec<u32> {
             ps.iter()
                 .flat_map(|(_, _, t)| t.data().iter().map(|x| x.to_bits()))
@@ -605,34 +879,49 @@ mod tests {
                 attr: t.attr,
             })
             .collect();
-        let e = Engine::new(model_a, visible, EngineConfig::default());
+        let e = Engine::new(
+            model_a,
+            visible,
+            EngineConfig {
+                shards: 2,
+                ..EngineConfig::default()
+            },
+        );
         let baseline: Vec<u64> = queries
             .iter()
             .map(|&q| e.predict(q).expect("baseline").detail.value.to_bits())
             .collect();
 
-        // A good reload swaps every parameter to the new checkpoint.
+        // A good reload swaps every shard to the new checkpoint.
         e.reload(&b_ckpt).expect("valid checkpoint accepted");
-        assert_eq!(param_bits(&e.model().params), b_bits);
+        for s in 0..e.shards() {
+            assert_eq!(
+                param_bits(&e.model_of_shard(s).params),
+                b_bits,
+                "shard {s} missed the coordinated swap"
+            );
+        }
 
-        // A truncated checkpoint is rejected and the live weights stay B.
+        // A truncated checkpoint is rejected and every shard stays on B —
+        // no shard can land on a different generation than its peers.
         let full = std::fs::read(&b_ckpt).unwrap();
         let bad_ckpt = dir.join("bad.ckpt");
         std::fs::write(&bad_ckpt, &full[..full.len() / 2]).unwrap();
         e.reload(&bad_ckpt)
             .expect_err("truncated checkpoint accepted");
-        assert_eq!(
-            param_bits(&e.model().params),
-            b_bits,
-            "rejected reload tainted weights"
-        );
+        for s in 0..e.shards() {
+            assert_eq!(
+                param_bits(&e.model_of_shard(s).params),
+                b_bits,
+                "rejected reload tainted shard {s}"
+            );
+        }
         e.reload(dir.join("missing.ckpt"))
             .expect_err("missing file accepted");
 
         // Reloading A back restores the original served answers bitwise —
-        // through the chain cache, which stays valid across reloads.
+        // through the shard caches, which stay valid across reloads.
         e.reload(&a_ckpt).expect("original checkpoint accepted");
-        assert_eq!(param_bits(&e.model().params), a_bits);
         for (&q, &want) in queries.iter().zip(&baseline) {
             let served = e.predict(q).expect("post-reload predict");
             assert_eq!(served.detail.value.to_bits(), want);
@@ -643,6 +932,14 @@ mod tests {
         let text = e.metrics_text();
         assert!(text.contains("cf_serve_reloads_ok_total 2"), "{text}");
         assert!(text.contains("cf_serve_reloads_rejected_total 2"), "{text}");
+        assert!(
+            text.contains("cf_serve_shard_reloads_ok_total{shard=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cf_serve_shard_reloads_rejected_total{shard=\"0\"} 2"),
+            "{text}"
+        );
         e.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -660,5 +957,65 @@ mod tests {
         assert_eq!(query_rng_seed(7, a), query_rng_seed(7, a));
         assert_ne!(query_rng_seed(7, a), query_rng_seed(7, b));
         assert_ne!(query_rng_seed(7, a), query_rng_seed(8, a));
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_covers_all_shards() {
+        // Pure function: same entity, same shard, every time.
+        for id in 0..64u32 {
+            let e = EntityId(id);
+            assert_eq!(shard_of(e, 4), shard_of(e, 4));
+            assert!(shard_of(e, 4) < 4);
+            assert_eq!(shard_of(e, 1), 0);
+        }
+        // The finalizer spreads consecutive ids: all 4 shards get traffic
+        // from the first 64 ids.
+        let mut seen = [false; 4];
+        for id in 0..64u32 {
+            seen[shard_of(EntityId(id), 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "unbalanced routing: {seen:?}");
+    }
+
+    #[test]
+    fn admission_boundary_cases_are_pinned() {
+        use Admission::*;
+        // Empty queue projects zero delay: always admit, even with a huge
+        // EWMA and a 1 µs deadline.
+        assert_eq!(admit(0, 256, u64::MAX, Some(1)), Accept);
+        // Stale/unwarmed EWMA (0) projects zero delay: depth bound only.
+        assert_eq!(admit(255, 256, 0, Some(1)), Accept);
+        // Deadline already expired at the door: shed as expired, never
+        // enqueued (regardless of EWMA state).
+        assert_eq!(admit(0, 256, 0, Some(0)), ShedExpired);
+        assert_eq!(admit(10, 256, 1000, Some(0)), ShedExpired);
+        // Projected delay strictly exceeding the deadline sheds…
+        assert_eq!(admit(10, 256, 1000, Some(9_999)), ShedOverloaded);
+        // …but exactly meeting it admits (strict inequality).
+        assert_eq!(admit(10, 256, 1000, Some(10_000)), Accept);
+        // The hard depth bound survives and outranks everything.
+        assert_eq!(admit(256, 256, 0, None), ShedOverloaded);
+        assert_eq!(admit(0, 0, 0, None), ShedOverloaded);
+        // Deadline-free requests only see the depth bound.
+        assert_eq!(admit(255, 256, u64::MAX, None), Accept);
+        // Saturating projection: a huge backlog must shed, not wrap.
+        assert_eq!(
+            admit(1 << 40, 1 << 60, u64::MAX, Some(u64::MAX - 1)),
+            ShedOverloaded
+        );
+    }
+
+    #[test]
+    fn ewma_warms_then_tracks() {
+        let cell = AtomicU64::new(0);
+        update_ewma(&cell, 1000);
+        assert_eq!(cell.load(Ordering::Relaxed), 1000, "first sample adopted");
+        update_ewma(&cell, 2000);
+        assert_eq!(cell.load(Ordering::Relaxed), 1250, "α = 1/4 blend");
+        // Zero samples clamp to 1 µs: a warmed estimate never reads as
+        // stale again.
+        let cell = AtomicU64::new(0);
+        update_ewma(&cell, 0);
+        assert_eq!(cell.load(Ordering::Relaxed), 1);
     }
 }

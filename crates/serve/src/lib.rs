@@ -5,9 +5,11 @@
 //! Batched, tape-free inference serving for the ChainsFormer reproduction
 //! (DESIGN.md §9):
 //!
-//! - [`engine::Engine`] — one resident model + graph, a bounded
-//!   micro-batching queue drained by worker threads, overload shedding,
-//!   and per-query deterministic retrieval;
+//! - [`engine::Engine`] — N model-replica shards (entity-hash routed, so
+//!   responses are bitwise identical at any shard count), each with a
+//!   bounded micro-batching queue drained by worker threads, latency-aware
+//!   admission control ([`engine::admit`]), coordinated hot-reload, and
+//!   per-query deterministic retrieval;
 //! - [`cache::ChainCache`] — LRU cache of chain-retrieval results keyed by
 //!   `(entity, attribute)`;
 //! - [`protocol`] — the hand-rolled line-delimited JSON wire format;
@@ -30,6 +32,9 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CachedChains, ChainCache};
-pub use engine::{query_rng_seed, Engine, EngineConfig, Reply, ServeError, ServedPrediction};
+pub use engine::{
+    admit, projected_delay_us, query_rng_seed, shard_of, Admission, Engine, EngineConfig, Reply,
+    ServeError, ServedPrediction,
+};
 pub use metrics::{Histogram, Metrics};
 pub use server::{install_signals, run, shutdown_on_stdin_close, signalled, METRICS_COMMAND};

@@ -15,6 +15,7 @@ const BUCKETS: usize = 40;
 /// connection threads never contend on a lock for metrics. Quantiles are
 /// bucket lower bounds — exact enough for p50/p95/p99 dashboards, never
 /// an overestimate.
+#[derive(Debug)]
 pub struct Histogram {
     counts: Vec<AtomicU64>,
     sum: AtomicU64,
@@ -115,6 +116,57 @@ impl Default for Histogram {
     }
 }
 
+/// Per-shard serving counters, rendered with a `{shard="i"}` label after
+/// the global (unlabeled) metrics. Every cell is also counted in the
+/// matching global counter, so existing dashboards keep working unchanged;
+/// the shard rows exist to expose routing balance, per-shard shedding, and
+/// the admission controller's service-time estimate.
+pub struct ShardMetrics {
+    /// Requests routed to this shard (accepted or shed).
+    pub requests: AtomicU64,
+    /// Requests this shard shed (queue full or projected delay > deadline).
+    pub shed: AtomicU64,
+    /// Chain-cache hits in this shard's cache.
+    pub cache_hits: AtomicU64,
+    /// Chain-cache misses in this shard's cache.
+    pub cache_misses: AtomicU64,
+    /// Coordinated reloads that swapped this shard's parameters.
+    pub reloads_ok: AtomicU64,
+    /// Coordinated reloads rejected before any shard swapped.
+    pub reloads_rejected: AtomicU64,
+    /// EWMA of per-request service time on this shard, microseconds
+    /// (gauge, written by the shard's workers; admission control reads it).
+    pub ewma_service_us: AtomicU64,
+}
+
+impl ShardMetrics {
+    fn new() -> Self {
+        ShardMetrics {
+            requests: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            reloads_ok: AtomicU64::new(0),
+            reloads_rejected: AtomicU64::new(0),
+            ewma_service_us: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        for a in [
+            &self.requests,
+            &self.shed,
+            &self.cache_hits,
+            &self.cache_misses,
+            &self.reloads_ok,
+            &self.reloads_rejected,
+            &self.ewma_service_us,
+        ] {
+            a.swap(0, Ordering::AcqRel);
+        }
+    }
+}
+
 /// All serving counters and histograms. One instance lives in the engine
 /// and is shared (by reference) with the server's connection threads.
 pub struct Metrics {
@@ -143,11 +195,19 @@ pub struct Metrics {
     pub latency_us: Histogram,
     /// Batch sizes actually executed by the workers.
     pub batch_size: Histogram,
+    /// Per-shard counters (empty for non-sharded users of the type).
+    shards: Vec<ShardMetrics>,
 }
 
 impl Metrics {
-    /// Fresh, all-zero metrics.
+    /// Fresh, all-zero metrics with no per-shard rows (the single-engine /
+    /// unit-test shape; the sharded engine uses [`Self::with_shards`]).
     pub fn new() -> Self {
+        Self::with_shards(0)
+    }
+
+    /// Fresh, all-zero metrics carrying `shards` per-shard counter rows.
+    pub fn with_shards(shards: usize) -> Self {
         Metrics {
             requests: AtomicU64::new(0),
             ok: AtomicU64::new(0),
@@ -161,7 +221,19 @@ impl Metrics {
             reloads_rejected: AtomicU64::new(0),
             latency_us: Histogram::new(),
             batch_size: Histogram::new(),
+            shards: (0..shards).map(|_| ShardMetrics::new()).collect(),
         }
+    }
+
+    /// The counters for shard `i` (panics when out of range — the engine
+    /// routes with `% shard_count`, so a miss is a routing bug).
+    pub fn shard(&self, i: usize) -> &ShardMetrics {
+        &self.shards[i]
+    }
+
+    /// Number of per-shard counter rows.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Drains every counter and histogram back to zero, returning the
@@ -188,6 +260,9 @@ impl Metrics {
         }
         self.latency_us.reset();
         self.batch_size.reset();
+        for s in &self.shards {
+            s.reset();
+        }
         drained
     }
 
@@ -251,6 +326,46 @@ impl Metrics {
             self.batch_size.quantile(0.50)
         );
         let _ = writeln!(s, "cf_serve_batch_size_max {}", self.batch_size.max());
+        // Shard-labeled rows come after every global line, so scrapers that
+        // stop at the first unknown name (or match exact prefixes) keep
+        // seeing the original unlabeled fields untouched.
+        for (i, sh) in self.shards.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "cf_serve_shard_requests_total{{shard=\"{i}\"}} {}",
+                g(&sh.requests)
+            );
+            let _ = writeln!(
+                s,
+                "cf_serve_shard_shed_total{{shard=\"{i}\"}} {}",
+                g(&sh.shed)
+            );
+            let _ = writeln!(
+                s,
+                "cf_serve_shard_cache_hits_total{{shard=\"{i}\"}} {}",
+                g(&sh.cache_hits)
+            );
+            let _ = writeln!(
+                s,
+                "cf_serve_shard_cache_misses_total{{shard=\"{i}\"}} {}",
+                g(&sh.cache_misses)
+            );
+            let _ = writeln!(
+                s,
+                "cf_serve_shard_reloads_ok_total{{shard=\"{i}\"}} {}",
+                g(&sh.reloads_ok)
+            );
+            let _ = writeln!(
+                s,
+                "cf_serve_shard_reloads_rejected_total{{shard=\"{i}\"}} {}",
+                g(&sh.reloads_rejected)
+            );
+            let _ = writeln!(
+                s,
+                "cf_serve_shard_ewma_service_us{{shard=\"{i}\"}} {}",
+                g(&sh.ewma_service_us)
+            );
+        }
         s
     }
 }
@@ -353,6 +468,52 @@ mod tests {
             THREADS as u64 * PER_THREAD,
             "samples lost or double-counted across concurrent resets"
         );
+    }
+
+    #[test]
+    fn shard_rows_render_after_globals_and_reset_drains_them() {
+        let m = Metrics::with_shards(2);
+        assert_eq!(m.shard_count(), 2);
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.shard(0).requests.fetch_add(2, Ordering::Relaxed);
+        m.shard(1).requests.fetch_add(1, Ordering::Relaxed);
+        m.shard(1).shed.fetch_add(1, Ordering::Relaxed);
+        m.shard(0).ewma_service_us.store(512, Ordering::Relaxed);
+        let text = m.render();
+        // Global names are untouched (no label crept into them)…
+        assert!(text.contains("cf_serve_requests_total 3"), "{text}");
+        // …and every shard row is labeled.
+        assert!(
+            text.contains("cf_serve_shard_requests_total{shard=\"0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cf_serve_shard_requests_total{shard=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cf_serve_shard_shed_total{shard=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cf_serve_shard_ewma_service_us{shard=\"0\"} 512"),
+            "{text}"
+        );
+        // Shard rows come after the last global line.
+        let global_at = text.find("cf_serve_batch_size_max").unwrap();
+        let shard_at = text.find("cf_serve_shard_requests_total").unwrap();
+        assert!(shard_at > global_at, "shard rows interleaved with globals");
+        m.reset();
+        assert_eq!(m.shard(0).requests.load(Ordering::Relaxed), 0);
+        assert_eq!(m.shard(1).shed.load(Ordering::Relaxed), 0);
+        assert_eq!(m.shard(0).ewma_service_us.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn unsharded_metrics_render_no_shard_rows() {
+        let m = Metrics::new();
+        assert_eq!(m.shard_count(), 0);
+        assert!(!m.render().contains("cf_serve_shard_"));
     }
 
     #[test]
