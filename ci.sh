@@ -14,6 +14,13 @@ cargo build --release --offline --workspace
 echo "== cargo test (offline) =="
 cargo test -q --workspace --offline
 
+echo "== quantized accuracy gate (offline, release) =="
+# The int8 serving path is accuracy-gated, not assumed: per-attribute MAE
+# drift of QuantInferCtx vs the f32 path must stay under the pinned
+# threshold on the simulated twins (DESIGN.md §15). Run it in release so
+# the gate exercises the same SIMD dispatch tiers production serving uses.
+cargo test -q --release --offline -p chainsformer --test quant_accuracy
+
 echo "== bench build + smoke (offline) =="
 # Keep the micro-benchmarks compiling and runnable: a 1-sample pass of the
 # tensor benches catches kernel regressions that only manifest in release
@@ -27,10 +34,11 @@ CF_BENCH_SAMPLES=1 cargo bench --offline -p chainsformer-bench \
 echo "== zero-allocation gate (offline) =="
 # The buffer pool's steady-state contract on the real model: after warm-up,
 # a train step (tape forward + loss + backward + Adam) and a served predict
-# (warm InferCtx forward) must perform exactly 0 heap allocations. The gate
-# binary runs under a counting global allocator and starts with a 2-epoch
-# toy training run, so "training still converges with recycled buffers" is
-# covered on the way to the counters. See DESIGN.md §10.
+# (warm InferCtx forward, f32 and quantized int8) must perform exactly 0
+# heap allocations. The gate binary runs under a counting global allocator
+# and starts with a 2-epoch toy training run, so "training still converges
+# with recycled buffers" is covered on the way to the counters. See
+# DESIGN.md §10 and §15.
 ./target/release/alloc_gate
 
 echo "== serve smoke (offline) =="
@@ -277,33 +285,40 @@ echo "== shard-matrix gate (offline) =="
 # open-loop plan must return byte-identical responses (entity-hash routing
 # + per-query retrieval RNG make answers independent of shard count), and
 # the metrics text must carry shard-labeled counters without disturbing
-# the unlabeled global names.
+# the unlabeled global names. The matrix runs once per quantize mode
+# (DESIGN.md §15): int8 serving is integer math under the hood, so its
+# responses must be exactly as shard-count-invariant as f32's, and the
+# scraped metrics must report the active mode.
 SHARD_DIR="$SMOKE_DIR/shards"
 mkdir -p "$SHARD_DIR"
-for SH in 1 4; do
-    mkfifo "$SHARD_DIR/stdin_$SH"
-    "$CFKG" serve "${SMOKE_FLAGS[@]}" --port 0 --shards "$SH" \
-        < "$SHARD_DIR/stdin_$SH" > "$SHARD_DIR/serve_$SH.log" 2>&1 &
+for QZ in f32 int8; do
+  for SH in 1 4; do
+    mkfifo "$SHARD_DIR/stdin_${QZ}_$SH"
+    "$CFKG" serve "${SMOKE_FLAGS[@]}" --port 0 --shards "$SH" --quantize "$QZ" \
+        < "$SHARD_DIR/stdin_${QZ}_$SH" > "$SHARD_DIR/serve_${QZ}_$SH.log" 2>&1 &
     SH_PID=$!
-    exec 5>"$SHARD_DIR/stdin_$SH"
+    exec 5>"$SHARD_DIR/stdin_${QZ}_$SH"
     for _ in $(seq 1 100); do
-        grep -q '^listening on ' "$SHARD_DIR/serve_$SH.log" && break
+        grep -q '^listening on ' "$SHARD_DIR/serve_${QZ}_$SH.log" && break
         sleep 0.1
     done
-    SH_PORT="$(sed -n 's/^listening on .*://p' "$SHARD_DIR/serve_$SH.log" | head -1)"
-    [ -n "$SH_PORT" ] || { echo "shard matrix: no listening line at $SH shards"; exit 1; }
-    grep -q "serving with $SH shard" "$SHARD_DIR/serve_$SH.log" \
+    SH_PORT="$(sed -n 's/^listening on .*://p' "$SHARD_DIR/serve_${QZ}_$SH.log" | head -1)"
+    [ -n "$SH_PORT" ] || { echo "shard matrix: no listening line at $QZ/$SH shards"; exit 1; }
+    grep -q "serving with $SH shard" "$SHARD_DIR/serve_${QZ}_$SH.log" \
         || { echo "shard matrix: server did not report $SH shards"; exit 1; }
+    grep -q "$QZ inference" "$SHARD_DIR/serve_${QZ}_$SH.log" \
+        || { echo "shard matrix: server did not report $QZ inference"; exit 1; }
     "$CFKG" loadtest --addr "127.0.0.1:$SH_PORT" \
         --triples "$SMOKE_DIR/yago15k_sim_triples.tsv" \
         --numerics "$SMOKE_DIR/yago15k_sim_numerics.tsv" \
         --rate 500 --requests 120 --warmup 20 --conns 4 --seed 5 \
-        --dump "$SHARD_DIR/responses_$SH.dump" > "$SHARD_DIR/load_$SH.log" \
-        || { echo "shard matrix: loadtest failed at $SH shards"; exit 1; }
-    grep -q 'shed 0 ' "$SHARD_DIR/load_$SH.log" \
-        || { echo "shard matrix: light load shed requests at $SH shards:"; \
-             cat "$SHARD_DIR/load_$SH.log"; exit 1; }
-    # Scrape shard-labeled metrics: every shard row present, globals intact.
+        --dump "$SHARD_DIR/responses_${QZ}_$SH.dump" > "$SHARD_DIR/load_${QZ}_$SH.log" \
+        || { echo "shard matrix: loadtest failed at $QZ/$SH shards"; exit 1; }
+    grep -q 'shed 0 ' "$SHARD_DIR/load_${QZ}_$SH.log" \
+        || { echo "shard matrix: light load shed requests at $QZ/$SH shards:"; \
+             cat "$SHARD_DIR/load_${QZ}_$SH.log"; exit 1; }
+    # Scrape shard-labeled metrics: every shard row present, globals intact,
+    # quantize-mode gauge reporting the configured mode.
     exec 7<>"/dev/tcp/127.0.0.1/$SH_PORT"
     printf '%s\n' 'GET /metrics' >&7
     SH_METRICS=""
@@ -313,7 +328,10 @@ for SH in 1 4; do
     done
     exec 7<&- 7>&-
     echo "$SH_METRICS" | grep -q '^cf_serve_ok_total ' \
-        || { echo "shard matrix: global counters missing at $SH shards"; exit 1; }
+        || { echo "shard matrix: global counters missing at $QZ/$SH shards"; exit 1; }
+    echo "$SH_METRICS" | grep -q "^cf_serve_quantize_mode{mode=\"$QZ\"} 1" \
+        || { echo "shard matrix: metrics do not report mode $QZ:"; \
+             echo "$SH_METRICS"; exit 1; }
     for S in $(seq 0 $((SH - 1))); do
         echo "$SH_METRICS" | grep -q "^cf_serve_shard_requests_total{shard=\"$S\"} " \
             || { echo "shard matrix: no metrics row for shard $S of $SH"; exit 1; }
@@ -321,13 +339,14 @@ for SH in 1 4; do
     echo "$SH_METRICS" | grep -q "^cf_serve_shard_requests_total{shard=\"$SH\"} " \
         && { echo "shard matrix: phantom shard row at $SH shards"; exit 1; }
     kill -TERM "$SH_PID"
-    wait "$SH_PID" || { echo "shard matrix: server exited non-zero at $SH shards"; exit 1; }
+    wait "$SH_PID" || { echo "shard matrix: server exited non-zero at $QZ/$SH shards"; exit 1; }
     exec 5>&-
+  done
+  cmp "$SHARD_DIR/responses_${QZ}_1.dump" "$SHARD_DIR/responses_${QZ}_4.dump" \
+      || { echo "shard matrix: $QZ response bytes differ between 1 and 4 shards"; exit 1; }
+  [ -s "$SHARD_DIR/responses_${QZ}_1.dump" ] \
+      || { echo "shard matrix: empty $QZ response dump"; exit 1; }
 done
-cmp "$SHARD_DIR/responses_1.dump" "$SHARD_DIR/responses_4.dump" \
-    || { echo "shard matrix: response bytes differ between 1 and 4 shards"; exit 1; }
-[ -s "$SHARD_DIR/responses_1.dump" ] \
-    || { echo "shard matrix: empty response dump"; exit 1; }
 echo "shard-matrix gate: ok"
 
 echo "== cargo fmt --check =="

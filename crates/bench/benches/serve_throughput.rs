@@ -20,6 +20,9 @@
 //!   (answered predictions per second of the measurement window), and the
 //!   latency quantiles are measured from each request's *scheduled* send
 //!   instant, so queueing delay is charged honestly.
+//! - the same open-loop setup with `--quantize int8` (DESIGN.md §15) at
+//!   shard counts 1 and 4, so the quantized serving path has f32 rows to
+//!   sit next to in `BENCH_serve.json` (`quantize` column).
 //!
 //! Host caveat: on a single-core host (CI) extra shards cannot add
 //! parallel speedup — the open-loop arms then measure the sharding
@@ -34,7 +37,7 @@ use cf_kg::synth::{yago15k_sim, SynthScale};
 use cf_kg::{GraphView, Split};
 use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
-use cf_serve::{Engine, EngineConfig};
+use cf_serve::{Engine, EngineConfig, QuantMode};
 use chainsformer::{ChainsFormer, ChainsFormerConfig};
 use chainsformer_bench::report::{write_json_merged, Table};
 use std::path::Path;
@@ -46,6 +49,7 @@ struct ArmResult {
     arm: &'static str,
     clients: usize,
     shards: usize,
+    quantize: QuantMode,
     requests: usize,
     elapsed_ms: f64,
     qps: f64,
@@ -148,6 +152,7 @@ fn run_closed_loop(
         arm,
         clients,
         shards: 1,
+        quantize: QuantMode::F32,
         requests,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         qps: requests as f64 / elapsed.as_secs_f64(),
@@ -163,6 +168,7 @@ fn run_closed_loop(
 /// the same deterministic plan `cfkg loadtest` would send.
 fn run_open_loop(
     shards: usize,
+    quantize: QuantMode,
     conns: usize,
     requests: usize,
     warmup: usize,
@@ -175,6 +181,7 @@ fn run_open_loop(
         graph.clone(),
         EngineConfig {
             shards,
+            quantize,
             ..EngineConfig::default()
         },
     ));
@@ -209,6 +216,7 @@ fn run_open_loop(
         arm: "open_loop",
         clients: conns,
         shards,
+        quantize,
         requests: r.sent as usize,
         elapsed_ms: r.elapsed_s * 1e3,
         qps: r.qps,
@@ -254,6 +262,23 @@ fn main() {
     for &shards in &[1usize, 2, 4] {
         let r = run_open_loop(
             shards,
+            QuantMode::F32,
+            16,
+            open_requests,
+            open_warmup,
+            rate_hz,
+            &graph,
+            &model,
+        );
+        print_arm(&r);
+        results.push(r);
+    }
+    // Quantized serving arms next to the f32 rows: same offered load, same
+    // plan, engine built with `quantize: int8` (DESIGN.md §15).
+    for &shards in &[1usize, 4] {
+        let r = run_open_loop(
+            shards,
+            QuantMode::Int8,
             16,
             open_requests,
             open_warmup,
@@ -286,6 +311,7 @@ fn main() {
                 "arm",
                 "clients",
                 "shards",
+                "quantize",
                 "requests",
                 "elapsed_ms",
                 "qps",
@@ -301,6 +327,7 @@ fn main() {
                 r.arm.to_string(),
                 r.clients.to_string(),
                 r.shards.to_string(),
+                r.quantize.to_string(),
                 r.requests.to_string(),
                 format!("{:.1}", r.elapsed_ms),
                 format!("{:.1}", r.qps),
@@ -315,6 +342,7 @@ fn main() {
             "speedup_micro_vs_per_request_4_clients".into(),
             "4".into(),
             "1".into(),
+            "f32".into(),
             String::new(),
             String::new(),
             format!("{speedup:.2}"),
@@ -326,17 +354,18 @@ fn main() {
         ]);
         let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
         let path =
-            write_json_merged(&table, &dir, "BENCH_serve", 3).expect("write BENCH_serve.json");
+            write_json_merged(&table, &dir, "BENCH_serve", 4).expect("write BENCH_serve.json");
         println!("wrote {}", path.display());
     }
 }
 
 fn print_arm(r: &ArmResult) {
     println!(
-        "{:<12} clients={} shards={} requests={:>5} {:>8.1} ms  {:>7.1} q/s  batch≈{} hit={:.2} p50={}us p95={}us p99={}us",
+        "{:<12} clients={} shards={} quantize={} requests={:>5} {:>8.1} ms  {:>7.1} q/s  batch≈{} hit={:.2} p50={}us p95={}us p99={}us",
         r.arm,
         r.clients,
         r.shards,
+        r.quantize,
         r.requests,
         r.elapsed_ms,
         r.qps,

@@ -126,6 +126,53 @@ fn bench_gemm(c: &mut Criterion, allocs: &mut HashMap<String, AllocCounts>) {
     }
 }
 
+/// Int8 GEMM arms next to their f32 counterparts (same shapes as
+/// `bench_gemm`'s cache-spilling pair). Two flavors:
+///
+/// - `gemm_i8/…` — the raw kernel `matmul_q8_into` on pre-quantized
+///   operands (pack + int8×int8→i32 tiles), the apples-to-apples rival of
+///   `gemm/…` which also packs per call;
+/// - `gemm_i8_dyn/…` — the serving path `QuantizedTensor::matmul_quantized`:
+///   dynamic per-batch activation quantization, packed int8 GEMM, and f32
+///   dequantize — what `--quantize int8` actually pays per linear layer.
+fn bench_gemm_i8(c: &mut Criterion, allocs: &mut HashMap<String, AllocCounts>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    for &(m, k, n) in &[
+        (64usize, 64usize, 64usize),
+        (256, 256, 256),
+        (128, 384, 128),
+    ] {
+        let a = rand_tensor(&[m, k], &mut rng);
+        let b = rand_tensor(&[k, n], &mut rng);
+        let qa = {
+            let recip = 1.0 / cf_tensor::quant::quantize_scale(a.data());
+            let mut out = Vec::new();
+            cf_tensor::quant::quantize_slice_into(a.data(), recip, &mut out);
+            out
+        };
+        let qb = {
+            let recip = 1.0 / cf_tensor::quant::quantize_scale(b.data());
+            let mut out = Vec::new();
+            cf_tensor::quant::quantize_slice_into(b.data(), recip, &mut out);
+            out
+        };
+        c.bench_function(format!("gemm_i8/{m}x{k}x{n}"), |bch| {
+            let mut out = vec![0i32; m * n];
+            bch.iter(|| {
+                cf_tensor::quant::matmul_q8_into(&qa, &qb, &mut out, m, k, n);
+                black_box(out[0])
+            });
+        });
+        let qt = cf_tensor::QuantizedTensor::from_tensor(&b).expect("eligible weight");
+        c.bench_function(format!("gemm_i8_dyn/{m}x{k}x{n}"), |bch| {
+            bch.iter(|| black_box(qt.matmul_quantized(&a)));
+        });
+        steady_state_allocs(allocs, &format!("gemm_i8_dyn/{m}x{k}x{n}"), || {
+            black_box(qt.matmul_quantized(&a));
+        });
+    }
+}
+
 /// Forward and forward+backward of a matmul through the tape: measures the
 /// backward kernels (dA = G·Bᵀ, dB = Aᵀ·G) on top of the forward.
 fn bench_gemm_tape(c: &mut Criterion) {
@@ -276,6 +323,7 @@ fn main() {
     let mut c = Criterion::default().sample_size(20);
     let mut allocs: HashMap<String, AllocCounts> = HashMap::new();
     bench_gemm(&mut c, &mut allocs);
+    bench_gemm_i8(&mut c, &mut allocs);
     bench_gemm_tape(&mut c);
     bench_attention(&mut c);
     bench_train_step(&mut c, &mut allocs);

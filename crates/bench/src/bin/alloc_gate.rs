@@ -11,7 +11,11 @@
 //! 2. per **served predict** — the tape-free [`InferCtx`] model forward over
 //!    pre-resolved chains, exactly what a warm `cf-serve` worker runs per
 //!    batch (result materialization into `PredictionDetail`s clones chains
-//!    for the explanation payload and is likewise out of scope).
+//!    for the explanation payload and is likewise out of scope);
+//! 3. per **quantized served predict** — the same forward through
+//!    [`QuantInferCtx`] with an int8 [`QuantizedParamStore`], the
+//!    `--quantize int8` serving path (DESIGN.md §15). Quantizing the store
+//!    itself allocates once at load/reload time and is outside the loop.
 //!
 //! Runs a 2-epoch toy training first so the gate also covers "training still
 //! converges end to end with the pool on". Exits non-zero on any violation.
@@ -22,9 +26,10 @@ use cf_kg::Split;
 use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
 use cf_tensor::optim::{clip_global_norm, Adam};
-use cf_tensor::{Forward, InferCtx, Tape, Tensor};
+use cf_tensor::{Forward, InferCtx, QuantInferCtx, QuantizedParamStore, Tape, Tensor};
 use chainsformer::{ChainsFormer, ChainsFormerConfig, Trainer};
 use chainsformer_bench::alloc::{measure, CountingAlloc};
+use std::sync::Arc;
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -130,6 +135,31 @@ fn main() {
         jobs.len()
     );
 
+    // --- Gate 3: steady-state allocations per quantized served predict ----
+    let quant = Arc::new(QuantizedParamStore::from_store(&model.params));
+    let mut qctx = QuantInferCtx::new();
+    qctx.set_weights(quant);
+    let quant_forward = |qctx: &mut QuantInferCtx| {
+        qctx.clear();
+        for &(query, chains) in &jobs {
+            let out = model.forward(qctx, chains, query);
+            std::hint::black_box(qctx.value(out.prediction).item());
+        }
+    };
+    for _ in 0..3 {
+        quant_forward(&mut qctx);
+    }
+    let (_, quant_delta) = measure(|| {
+        for _ in 0..rounds {
+            quant_forward(&mut qctx);
+        }
+    });
+    let quant_allocs = quant_delta.allocs / rounds;
+    println!(
+        "quantized served predict: {quant_allocs} allocs/batch at steady state ({rounds} batches of {} jobs)",
+        jobs.len()
+    );
+
     let mut failed = false;
     if train_allocs != 0 {
         eprintln!("FAIL: train step allocated at steady state ({train_allocs}/step, want 0)");
@@ -139,8 +169,16 @@ fn main() {
         eprintln!("FAIL: served predict allocated at steady state ({serve_allocs}/batch, want 0)");
         failed = true;
     }
+    if quant_allocs != 0 {
+        eprintln!(
+            "FAIL: quantized served predict allocated at steady state ({quant_allocs}/batch, want 0)"
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
-    println!("alloc gate: PASS (0 steady-state allocations per train step and per served predict)");
+    println!(
+        "alloc gate: PASS (0 steady-state allocations per train step and per served predict, f32 and int8)"
+    );
 }

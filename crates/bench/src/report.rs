@@ -7,10 +7,23 @@
 use std::io::Write;
 use std::path::Path;
 
+/// Core count of the host running the benchmark, as recorded in the JSON
+/// metadata of every written table. Absolute numbers in `results/` are only
+/// comparable across runs on similarly-sized hosts; recording the count in
+/// the file (instead of only in free-text table titles) lets tooling check.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// A simple printable/serializable table.
 pub struct Table {
     /// Table caption.
     pub title: String,
+    /// Core count of the host that produced the rows (serialized as the
+    /// `host_cores` JSON field; defaults to this host's).
+    pub host_cores: usize,
     /// Column headers.
     pub headers: Vec<String>,
     /// Data rows (each as wide as `headers`).
@@ -22,6 +35,7 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             title: title.into(),
+            host_cores: host_cores(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
         }
@@ -90,8 +104,8 @@ impl Table {
         out
     }
 
-    /// JSON rendering: `{"title", "headers", "rows"}` with all cells as
-    /// strings, matching the CSV contents exactly.
+    /// JSON rendering: `{"title", "host_cores", "headers", "rows"}` with
+    /// all cells as strings, matching the CSV contents exactly.
     pub fn to_json(&self) -> String {
         let str_array = |items: &[String]| {
             let parts: Vec<String> = items.iter().map(|s| json_string(s)).collect();
@@ -103,8 +117,9 @@ impl Table {
             .map(|r| format!("    {}", str_array(r)))
             .collect();
         format!(
-            "{{\n  \"title\": {},\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"title\": {},\n  \"host_cores\": \"{}\",\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
             json_string(&self.title),
+            self.host_cores,
             str_array(&self.headers),
             rows.join(",\n")
         )
@@ -187,12 +202,17 @@ pub fn write_json_merged(
             }
             Table {
                 title: table.title.clone(),
+                // Always stamp the *current* host: after a merge the file
+                // claims this machine's shape, and mixing hosts in one file
+                // is exactly what the field exists to surface.
+                host_cores: table.host_cores,
                 headers: table.headers.clone(),
                 rows,
             }
         }
         _ => Table {
             title: table.title.clone(),
+            host_cores: table.host_cores,
             headers: table.headers.clone(),
             rows: table.rows.clone(),
         },
@@ -202,9 +222,10 @@ pub fn write_json_merged(
     Ok(path)
 }
 
-/// Parses the fixed `{"title", "headers", "rows"}` JSON shape produced by
-/// [`Table::to_json`]. Returns `None` on anything else — the merge writer
-/// then falls back to replacing the file.
+/// Parses the fixed `{"title", "host_cores", "headers", "rows"}` JSON shape
+/// produced by [`Table::to_json`]. Returns `None` on anything else — the
+/// merge writer then falls back to replacing the file. (Pre-`host_cores`
+/// files fail here and are replaced wholesale on the next write.)
 fn parse_table_json(text: &str) -> Option<Table> {
     let mut p = JsonParser {
         chars: text.chars().peekable(),
@@ -212,6 +233,9 @@ fn parse_table_json(text: &str) -> Option<Table> {
     p.expect('{')?;
     p.key("title")?;
     let title = p.string()?;
+    p.expect(',')?;
+    p.key("host_cores")?;
+    let host_cores: usize = p.string()?.parse().ok()?;
     p.expect(',')?;
     p.key("headers")?;
     let headers = p.string_array()?;
@@ -238,6 +262,7 @@ fn parse_table_json(text: &str) -> Option<Table> {
     p.expect('}')?;
     Some(Table {
         title,
+        host_cores,
         headers,
         rows,
     })
@@ -378,12 +403,27 @@ mod tests {
     #[test]
     fn json_has_expected_shape() {
         let mut t = Table::new("t", &["a", "b"]);
+        t.host_cores = 32; // pin for an exact-format assertion
         t.row(vec!["1".into(), "2".into()]);
         t.row(vec!["3".into(), "4".into()]);
         assert_eq!(
             t.to_json(),
-            "{\n  \"title\": \"t\",\n  \"headers\": [\"a\", \"b\"],\n  \"rows\": [\n    [\"1\", \"2\"],\n    [\"3\", \"4\"]\n  ]\n}\n"
+            "{\n  \"title\": \"t\",\n  \"host_cores\": \"32\",\n  \"headers\": [\"a\", \"b\"],\n  \"rows\": [\n    [\"1\", \"2\"],\n    [\"3\", \"4\"]\n  ]\n}\n"
         );
+    }
+
+    #[test]
+    fn json_metadata_records_this_hosts_cores() {
+        let t = Table::new("t", &["a"]);
+        assert_eq!(t.host_cores, host_cores());
+        assert!(host_cores() >= 1);
+        let back = parse_table_json(&t.to_json()).unwrap();
+        assert_eq!(back.host_cores, host_cores());
+        // Pre-metadata files (no host_cores key) are rejected, which makes
+        // the merge writer replace them wholesale rather than guess.
+        let legacy =
+            "{\n  \"title\": \"t\",\n  \"headers\": [\"a\"],\n  \"rows\": [\n    [\"1\"]\n  ]\n}\n";
+        assert!(parse_table_json(legacy).is_none());
     }
 
     #[test]
@@ -413,7 +453,7 @@ mod tests {
         assert!(parse_table_json("{}").is_none());
         assert!(parse_table_json("not json at all").is_none());
         // ragged row (width != headers)
-        let ragged = "{\n  \"title\": \"t\",\n  \"headers\": [\"a\", \"b\"],\n  \"rows\": [\n    [\"1\"]\n  ]\n}\n";
+        let ragged = "{\n  \"title\": \"t\",\n  \"host_cores\": \"8\",\n  \"headers\": [\"a\", \"b\"],\n  \"rows\": [\n    [\"1\"]\n  ]\n}\n";
         assert!(parse_table_json(ragged).is_none());
         // truncated file (e.g. interrupted write)
         let mut t = Table::new("t", &["a"]);

@@ -11,7 +11,7 @@ use cf_kg::{
 };
 use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
-use cf_serve::{Engine, EngineConfig};
+use cf_serve::{Engine, EngineConfig, QuantMode};
 use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, TrainOptions, Trainer};
 use std::error::Error;
 use std::io::BufReader;
@@ -228,6 +228,7 @@ pub fn predict(args: &Args) -> CmdResult {
     let entity_arg = args.require("entity")?.to_string();
     let attr_name = args.require("attr")?.to_string();
     let seed: u64 = args.get_parse("seed", 7, "integer")?;
+    let quantize: QuantMode = args.get_parse("quantize", QuantMode::F32, "f32|int8")?;
     let (visible, _split, model, _rng) = load_model(args)?;
     let engine = Engine::new(
         model,
@@ -235,6 +236,7 @@ pub fn predict(args: &Args) -> CmdResult {
         EngineConfig {
             workers: 1,
             seed,
+            quantize,
             ..EngineConfig::default()
         },
     );
@@ -290,6 +292,7 @@ pub fn serve(args: &Args) -> CmdResult {
         shards: args.get_parse("shards", 0, "integer")?,
         cache_cap: args.get_parse("cache-cap", 4096, "integer")?,
         seed: args.get_parse("seed", 7, "integer")?,
+        quantize: args.get_parse("quantize", QuantMode::F32, "f32|int8")?,
     };
     let (visible, _split, model, _rng) = load_model(args)?;
     let index = match args.get("index") {
@@ -302,11 +305,13 @@ pub fn serve(args: &Args) -> CmdResult {
         }
         None => None,
     };
+    let quantize = cfg.quantize;
     let engine = Arc::new(Engine::new_with_index(model, visible, index, cfg));
     println!(
-        "serving with {} shard(s), {} worker(s) each",
+        "serving with {} shard(s), {} worker(s) each, {} inference",
         engine.shards(),
-        args.get_parse("workers", 1usize, "integer")?.max(1)
+        args.get_parse("workers", 1usize, "integer")?.max(1),
+        quantize
     );
     let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;

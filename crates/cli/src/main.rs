@@ -66,7 +66,9 @@ COMMANDS
              --triples FILE --numerics FILE --ckpt FILE [--seed N] [flags as train]
   predict    answer queries with their reasoning chains (resident engine)
              --triples FILE --numerics FILE --ckpt FILE
-             --entity NAME[,NAME…] --attr NAME [--seed N] [flags as train]
+             --entity NAME[,NAME…] --attr NAME [--seed N]
+             [--quantize f32|int8 (int8: quantized linear layers, accuracy
+              pinned by the cargo-test gate)] [flags as train]
   serve      run the TCP inference server (line-delimited JSON protocol;
              \"GET /metrics\" returns serving metrics; SIGTERM or stdin
              close shuts down gracefully)
@@ -76,7 +78,10 @@ COMMANDS
              [--queue-cap N] [--workers N (per shard)]
              [--shards N (model replicas; 0 = one per pool thread;
               responses are bitwise identical at every N)]
-             [--cache-cap N (per shard)] [--seed N] [flags as train]
+             [--cache-cap N (per shard)] [--seed N]
+             [--quantize f32|int8 (int8: per-shard int8 weight twins,
+              rebuilt on hot-reload; responses stay deterministic)]
+             [flags as train]
   loadtest   open-loop load generator against a running serve (fixed
              arrival schedule: overload sheds instead of throttling the
              client; identical --seed ⇒ identical request stream)

@@ -11,7 +11,7 @@ use cf_chains::{
 };
 use cf_kg::{ChainIndexView, GraphView, KnowledgeGraph, MinMaxNormalizer, NumTriple};
 use cf_rand::Rng;
-use cf_tensor::{Forward, InferCtx, ParamStore, Tape, Var};
+use cf_tensor::{Forward, ForwardArena, InferCtx, ParamStore, Tape, Var};
 
 /// One explained evidence chain in a prediction.
 #[derive(Clone, Debug)]
@@ -310,14 +310,15 @@ impl ChainsFormer {
     }
 
     /// [`Self::predict_batch_with_chains`] running on a caller-owned
-    /// [`InferCtx`]. The context is cleared on entry; its value arena (and,
-    /// through the tensor buffer pool, every op's scratch) is reused across
-    /// calls, so a warm worker serves predictions without touching the heap
-    /// in the model forward.
-    pub fn predict_batch_with_chains_in(
+    /// forward arena — an [`InferCtx`] for the f32 path or a
+    /// [`cf_tensor::QuantInferCtx`] for int8 serving. The context is cleared
+    /// on entry; its value arena (and, through the tensor buffer pool, every
+    /// op's scratch) is reused across calls, so a warm worker serves
+    /// predictions without touching the heap in the model forward.
+    pub fn predict_batch_with_chains_in<C: ForwardArena>(
         &self,
         jobs: &[ResolvedQuery<'_>],
-        ctx: &mut InferCtx,
+        ctx: &mut C,
     ) -> Vec<PredictionDetail> {
         ctx.clear();
         let mut all_chains: Vec<ChainInstance> = Vec::new();

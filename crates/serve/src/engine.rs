@@ -30,6 +30,7 @@ use cf_chains::Query;
 use cf_kg::{ChainIndexStore, ChainIndexView, EntityId, GraphStore};
 use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
+use cf_tensor::{QuantInferCtx, QuantizedParamStore};
 use chainsformer::{ChainsFormer, PredictionDetail, ResolvedQuery};
 use std::collections::VecDeque;
 use std::path::Path;
@@ -37,6 +38,43 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Numeric mode the shard workers run linear layers in.
+///
+/// `Int8` packs every eligible weight matrix to per-tensor symmetric int8
+/// once per replica (at engine construction and again at hot-reload swap
+/// time); activations are quantized per batch and accumulation stays i32 →
+/// f32, so attention softmax and the numeric heads keep full precision.
+/// Accuracy drift vs `F32` is pinned by `crates/core/tests/quant_accuracy.rs`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Full-precision f32 inference (the default).
+    #[default]
+    F32,
+    /// Int8 weights with f32 activations/accumulate on linear layers.
+    Int8,
+}
+
+impl std::str::FromStr for QuantMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" => Ok(QuantMode::F32),
+            "int8" => Ok(QuantMode::Int8),
+            other => Err(format!("unknown quantize mode `{other}` (f32|int8)")),
+        }
+    }
+}
+
+impl std::fmt::Display for QuantMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QuantMode::F32 => "f32",
+            QuantMode::Int8 => "int8",
+        })
+    }
+}
 
 /// Tunables for the serving engine.
 #[derive(Clone, Debug)]
@@ -62,6 +100,8 @@ pub struct EngineConfig {
     pub cache_cap: usize,
     /// Base seed for per-query retrieval RNGs (see [`query_rng_seed`]).
     pub seed: u64,
+    /// Numeric inference mode (see [`QuantMode`]).
+    pub quantize: QuantMode,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +114,7 @@ impl Default for EngineConfig {
             shards: 1,
             cache_cap: 4096,
             seed: 7,
+            quantize: QuantMode::F32,
         }
     }
 }
@@ -142,6 +183,11 @@ struct Shard {
     /// for the final parameter swap, after the new checkpoint has been
     /// fully validated.
     model: RwLock<ChainsFormer>,
+    /// Int8 twin of this replica's weight matrices (`None` in f32 mode).
+    /// Written only while the shard's `model` write lock is held ([`
+    /// Engine::reload`]), so a worker holding the read lock always sees a
+    /// `(params, quant)` pair from the same generation.
+    quant: Mutex<Option<Arc<QuantizedParamStore>>>,
     queue: Mutex<QueueState>,
     cond: Condvar,
     cache: Mutex<ChainCache>,
@@ -298,8 +344,14 @@ impl Engine {
         }
         replicas.push_back(model);
         for replica in replicas {
+            // Each shard quantizes its own replica: QuantizedParamStore is a
+            // pure function of the parameter bits, so all twins are bitwise
+            // identical and responses stay shard-count-invariant.
+            let quant = (cfg.quantize == QuantMode::Int8)
+                .then(|| Arc::new(QuantizedParamStore::from_store(&replica.params)));
             shards.push(Shard {
                 model: RwLock::new(replica),
+                quant: Mutex::new(quant),
                 queue: Mutex::new(QueueState {
                     jobs: VecDeque::new(),
                     shutdown: false,
@@ -312,8 +364,10 @@ impl Engine {
             shards: nshards,
             ..cfg
         };
+        let metrics = Metrics::with_shards(nshards);
+        metrics.set_quantize_int8(cfg.quantize == QuantMode::Int8);
         let shared = Arc::new(Shared {
-            metrics: Metrics::with_shards(nshards),
+            metrics,
             graph,
             index,
             cfg,
@@ -450,8 +504,16 @@ impl Engine {
             let n = self.shared.shards.len();
             let mut copies: Vec<cf_tensor::ParamStore> = (1..n).map(|_| staged.clone()).collect();
             copies.push(staged);
+            let quantize = self.shared.cfg.quantize == QuantMode::Int8;
             for (shard, params) in self.shared.shards.iter().zip(copies) {
-                shard.model.write().expect("model poisoned").params = params;
+                // Quantize the staged replica before taking the write lock
+                // (packing is the expensive part); swap the int8 twin while
+                // the lock is held so workers never see params from one
+                // generation paired with quantized weights from another.
+                let quant = quantize.then(|| Arc::new(QuantizedParamStore::from_store(&params)));
+                let mut model = shard.model.write().expect("model poisoned");
+                model.params = params;
+                *shard.quant.lock().expect("quant poisoned") = quant;
             }
             Ok(())
         })();
@@ -513,11 +575,21 @@ impl Drop for Engine {
     }
 }
 
+/// A worker's reusable inference arena: the f32 context or its quantized
+/// variant, fixed for the engine's lifetime by [`EngineConfig::quantize`].
+enum WorkerCtx {
+    F32(cf_tensor::InferCtx),
+    Int8(QuantInferCtx),
+}
+
 fn worker_loop(shared: &Shared, shard_ix: usize) {
     // One inference context per worker, reused across batches: after the
     // first batch its value arena and the thread's tensor buffer pool are
     // warm, so steady-state forwards never touch the global allocator.
-    let mut ctx = cf_tensor::InferCtx::new();
+    let mut ctx = match shared.cfg.quantize {
+        QuantMode::F32 => WorkerCtx::F32(cf_tensor::InferCtx::new()),
+        QuantMode::Int8 => WorkerCtx::Int8(QuantInferCtx::new()),
+    };
     loop {
         let batch = collect_batch(shared, shard_ix);
         if batch.is_empty() {
@@ -571,7 +643,7 @@ fn collect_batch(shared: &Shared, shard_ix: usize) -> Vec<Job> {
     batch
 }
 
-fn process_batch(shared: &Shared, shard_ix: usize, batch: Vec<Job>, ctx: &mut cf_tensor::InferCtx) {
+fn process_batch(shared: &Shared, shard_ix: usize, batch: Vec<Job>, ctx: &mut WorkerCtx) {
     let m = &shared.metrics;
     let shard = &shared.shards[shard_ix];
     m.batch_size.record(batch.len() as u64);
@@ -638,7 +710,18 @@ fn process_batch(shared: &Shared, shard_ix: usize, batch: Vec<Job>, ctx: &mut cf
         .zip(&resolved)
         .map(|(job, (c, _))| (job.query, c.chains.as_slice(), c.retrieved))
         .collect();
-    let details = model.predict_batch_with_chains_in(&jobs_view, ctx);
+    let details = match ctx {
+        WorkerCtx::F32(c) => model.predict_batch_with_chains_in(&jobs_view, c),
+        WorkerCtx::Int8(c) => {
+            // Re-adopt the shard's int8 twin every batch (an Arc clone):
+            // read under the model read lock, so a concurrent reload can
+            // never hand this batch a stale quantized generation.
+            if let Some(q) = shard.quant.lock().expect("quant poisoned").clone() {
+                c.set_weights(q);
+            }
+            model.predict_batch_with_chains_in(&jobs_view, c)
+        }
+    };
     drop(model);
 
     // Feed admission control: per-request service time (retrieval +
@@ -940,6 +1023,137 @@ mod tests {
             text.contains("cf_serve_shard_reloads_rejected_total{shard=\"0\"} 2"),
             "{text}"
         );
+        e.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quantized_engine_serves_and_reports_its_mode() {
+        let (e, queries) = engine(EngineConfig {
+            quantize: QuantMode::Int8,
+            ..EngineConfig::default()
+        });
+        for &q in queries.iter().take(4) {
+            let served = e.predict(q).expect("quantized prediction");
+            assert!(served.detail.value.is_finite());
+        }
+        let text = e.metrics_text();
+        assert!(
+            text.contains("cf_serve_quantize_mode{mode=\"int8\"} 1"),
+            "{text}"
+        );
+        e.shutdown();
+
+        let (e, _) = engine(EngineConfig::default());
+        assert!(
+            e.metrics_text()
+                .contains("cf_serve_quantize_mode{mode=\"f32\"} 1"),
+            "f32 engine must report its mode too"
+        );
+        e.shutdown();
+    }
+
+    #[test]
+    fn quantized_answers_are_shard_count_invariant() {
+        // The int8 twin is a pure function of the parameter bits and every
+        // shard quantizes its own (bitwise-identical) replica, so the
+        // quantized engine keeps the f32 engine's shard-count invariance.
+        let mut answers: Vec<Vec<u64>> = Vec::new();
+        for shards in [1usize, 4] {
+            let (e, queries) = engine(EngineConfig {
+                shards,
+                quantize: QuantMode::Int8,
+                ..EngineConfig::default()
+            });
+            answers.push(
+                queries
+                    .iter()
+                    .map(|&q| e.predict(q).expect("predict").detail.value.to_bits())
+                    .collect(),
+            );
+            e.shutdown();
+        }
+        assert_eq!(answers[0], answers[1], "shard count changed int8 bits");
+    }
+
+    #[test]
+    fn quantized_engine_diverges_from_f32_within_tolerance() {
+        let (ef, queries) = engine(EngineConfig::default());
+        let (eq, _) = engine(EngineConfig {
+            quantize: QuantMode::Int8,
+            ..EngineConfig::default()
+        });
+        let mut any_diff = false;
+        let mut evidence_backed = 0;
+        for &q in &queries {
+            let f = ef.predict(q).expect("f32").detail;
+            let i = eq.predict(q).expect("int8").detail;
+            assert_eq!(f.used_fallback, i.used_fallback);
+            if f.used_fallback {
+                // No linear layer runs: the fallback must stay bit-equal.
+                assert_eq!(f.value.to_bits(), i.value.to_bits());
+                continue;
+            }
+            evidence_backed += 1;
+            any_diff |= f.value.to_bits() != i.value.to_bits();
+            // Bound the per-query deviation in the attribute's normalized
+            // [0, 1] scale (raw units vary wildly across attributes).
+            let range = ef.model().normalizer().range(q.attr).max(1e-9);
+            assert!(
+                ((f.value - i.value) / range).abs() < 0.05,
+                "int8 answer drifted: f32 {} vs int8 {} (range {range})",
+                f.value,
+                i.value
+            );
+        }
+        assert!(evidence_backed >= 3, "too few evidence-backed queries");
+        assert!(any_diff, "int8 path produced f32-identical bits");
+        ef.shutdown();
+        eq.shutdown();
+    }
+
+    #[test]
+    fn reload_requantizes_every_shard() {
+        // After a hot reload the int8 twins must be rebuilt from the new
+        // parameters: reloading the same checkpoint back must restore the
+        // original quantized answers bitwise.
+        let dir = std::env::temp_dir().join(format!("cf_qreload_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (e, queries) = engine(EngineConfig {
+            shards: 2,
+            cache_cap: 0,
+            quantize: QuantMode::Int8,
+            ..EngineConfig::default()
+        });
+        let ckpt_a = dir.join("a.ckpt");
+        e.model().save_params_to(&ckpt_a).unwrap();
+        let baseline: Vec<u64> = queries
+            .iter()
+            .map(|&q| e.predict(q).expect("baseline").detail.value.to_bits())
+            .collect();
+
+        // Fresh weights (same architecture) must change quantized answers —
+        // proof the workers re-adopt the swapped twin, not the stale one.
+        let mut rng = StdRng::seed_from_u64(4242);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let fresh = ChainsFormer::new(&visible, &split.train, ChainsFormerConfig::tiny(), &mut rng);
+        let ckpt_b = dir.join("b.ckpt");
+        fresh.save_params_to(&ckpt_b).unwrap();
+        e.reload(&ckpt_b).expect("reload fresh weights");
+        let swapped: Vec<u64> = queries
+            .iter()
+            .map(|&q| e.predict(q).expect("post-swap").detail.value.to_bits())
+            .collect();
+        assert_ne!(baseline, swapped, "reload did not requantize");
+
+        e.reload(&ckpt_a).expect("reload original weights");
+        let restored: Vec<u64> = queries
+            .iter()
+            .map(|&q| e.predict(q).expect("restored").detail.value.to_bits())
+            .collect();
+        assert_eq!(baseline, restored, "requantization is not reproducible");
         e.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -33,8 +33,8 @@ pub mod server;
 
 pub use cache::{CachedChains, ChainCache};
 pub use engine::{
-    admit, projected_delay_us, query_rng_seed, shard_of, Admission, Engine, EngineConfig, Reply,
-    ServeError, ServedPrediction,
+    admit, projected_delay_us, query_rng_seed, shard_of, Admission, Engine, EngineConfig,
+    QuantMode, Reply, ServeError, ServedPrediction,
 };
 pub use metrics::{Histogram, Metrics};
 pub use server::{install_signals, run, shutdown_on_stdin_close, signalled, METRICS_COMMAND};

@@ -195,6 +195,10 @@ pub struct Metrics {
     pub latency_us: Histogram,
     /// Batch sizes actually executed by the workers.
     pub batch_size: Histogram,
+    /// Inference mode gauge: 1 when the engine serves the int8 quantized
+    /// path, 0 for f32. Config state, not a counter — [`Self::reset`]
+    /// leaves it alone so a drained benchmark window still reports its mode.
+    quantize_int8: AtomicU64,
     /// Per-shard counters (empty for non-sharded users of the type).
     shards: Vec<ShardMetrics>,
 }
@@ -221,8 +225,15 @@ impl Metrics {
             reloads_rejected: AtomicU64::new(0),
             latency_us: Histogram::new(),
             batch_size: Histogram::new(),
+            quantize_int8: AtomicU64::new(0),
             shards: (0..shards).map(|_| ShardMetrics::new()).collect(),
         }
+    }
+
+    /// Records which numeric mode the engine serves in (rendered as the
+    /// `cf_serve_quantize_mode{mode="..."}` gauge).
+    pub fn set_quantize_int8(&self, int8: bool) {
+        self.quantize_int8.store(u64::from(int8), Ordering::Relaxed);
     }
 
     /// The counters for shard `i` (panics when out of range — the engine
@@ -326,6 +337,12 @@ impl Metrics {
             self.batch_size.quantile(0.50)
         );
         let _ = writeln!(s, "cf_serve_batch_size_max {}", self.batch_size.max());
+        let mode = if self.quantize_int8.load(Ordering::Relaxed) != 0 {
+            "int8"
+        } else {
+            "f32"
+        };
+        let _ = writeln!(s, "cf_serve_quantize_mode{{mode=\"{mode}\"}} 1");
         // Shard-labeled rows come after every global line, so scrapers that
         // stop at the first unknown name (or match exact prefixes) keep
         // seeing the original unlabeled fields untouched.
@@ -514,6 +531,23 @@ mod tests {
         let m = Metrics::new();
         assert_eq!(m.shard_count(), 0);
         assert!(!m.render().contains("cf_serve_shard_"));
+    }
+
+    #[test]
+    fn quantize_mode_gauge_renders_and_survives_reset() {
+        let m = Metrics::new();
+        assert!(m
+            .render()
+            .contains("cf_serve_quantize_mode{mode=\"f32\"} 1"));
+        m.set_quantize_int8(true);
+        assert!(m
+            .render()
+            .contains("cf_serve_quantize_mode{mode=\"int8\"} 1"));
+        m.reset();
+        // Mode is config state: a drained bench window still reports it.
+        assert!(m
+            .render()
+            .contains("cf_serve_quantize_mode{mode=\"int8\"} 1"));
     }
 
     #[test]

@@ -105,6 +105,23 @@ pub trait Forward {
     ) -> Var;
 }
 
+/// A reusable forward arena: a [`Forward`] context that can be cleared and
+/// driven again for the next request without reallocating. Implemented by
+/// [`InferCtx`] and [`crate::quant::QuantInferCtx`]; batch-serving entry
+/// points are generic over this trait so one definition serves the f32 and
+/// quantized paths.
+pub trait ForwardArena: Forward {
+    /// Drops all recorded values (invalidating outstanding handles) so the
+    /// context can be reused.
+    fn clear(&mut self);
+}
+
+impl ForwardArena for InferCtx {
+    fn clear(&mut self) {
+        InferCtx::clear(self);
+    }
+}
+
 impl Forward for Tape {
     fn value(&self, v: Var) -> &Tensor {
         Tape::value(self, v)

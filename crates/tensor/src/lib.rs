@@ -51,6 +51,7 @@ pub mod ops;
 pub mod optim;
 pub mod params;
 pub mod pool;
+pub mod quant;
 pub mod serialize;
 pub mod shape;
 pub(crate) mod simd;
@@ -59,10 +60,11 @@ pub mod tensor;
 #[cfg(test)]
 mod test_alloc;
 
-pub use infer::{Forward, InferCtx};
+pub use infer::{Forward, ForwardArena, InferCtx};
 pub use init::Init;
 pub use optim::AdamSnapshot;
 pub use params::{ParamId, ParamStore};
+pub use quant::{QuantInferCtx, QuantizedParamStore, QuantizedTensor};
 pub use serialize::{
     crc32, load_checkpoint, load_params, save_checkpoint, save_checkpoint_atomic, save_params,
     save_params_atomic, CheckpointError, TrainState,

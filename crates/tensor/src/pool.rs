@@ -115,6 +115,8 @@ impl<T: Clone + Default> Pool<T> {
 thread_local! {
     static F32_POOL: RefCell<Pool<f32>> = RefCell::new(Pool::new());
     static USIZE_POOL: RefCell<Pool<usize>> = RefCell::new(Pool::new());
+    static I16_POOL: RefCell<Pool<i16>> = RefCell::new(Pool::new());
+    static I32_POOL: RefCell<Pool<i32>> = RefCell::new(Pool::new());
 }
 
 /// Pool hit/miss counters for one thread (used by benches and the zero-alloc
@@ -153,6 +155,16 @@ pub fn reset_stats() {
         p.hits = 0;
         p.misses = 0;
     });
+    I16_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.hits = 0;
+        p.misses = 0;
+    });
+    I32_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.hits = 0;
+        p.misses = 0;
+    });
 }
 
 /// Enables or disables pooling on this thread, returning the previous state.
@@ -167,6 +179,8 @@ pub fn set_enabled(enabled: bool) -> bool {
         std::mem::replace(&mut p.enabled, enabled)
     });
     USIZE_POOL.with(|p| p.borrow_mut().enabled = enabled);
+    I16_POOL.with(|p| p.borrow_mut().enabled = enabled);
+    I32_POOL.with(|p| p.borrow_mut().enabled = enabled);
     prev_f
 }
 
@@ -241,6 +255,115 @@ impl std::ops::Deref for ScratchF32 {
 
 impl std::ops::DerefMut for ScratchF32 {
     fn deref_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.0
+    }
+}
+
+/// An empty `Vec<i16>` with capacity for at least `n` elements (quantized
+/// GEMM packing panels).
+pub fn take_i16(n: usize) -> Vec<i16> {
+    I16_POOL.with(|p| p.borrow_mut().take(n))
+}
+
+/// A `Vec<i16>` of length `n` holding all zeros — identical to
+/// `vec![0i16; n]`.
+pub fn take_i16_zeroed(n: usize) -> Vec<i16> {
+    let mut v = take_i16(n);
+    v.resize(n, 0);
+    v
+}
+
+/// Returns a quantized-panel buffer to this thread's pool.
+pub fn recycle_i16(v: Vec<i16>) {
+    let _ = I16_POOL.try_with(|p| p.borrow_mut().recycle(v));
+}
+
+/// An empty `Vec<i32>` with capacity for at least `n` elements (quantized
+/// GEMM accumulators).
+pub fn take_i32(n: usize) -> Vec<i32> {
+    I32_POOL.with(|p| p.borrow_mut().take(n))
+}
+
+/// A `Vec<i32>` of length `n` holding all zeros — identical to
+/// `vec![0i32; n]`.
+pub fn take_i32_zeroed(n: usize) -> Vec<i32> {
+    let mut v = take_i32(n);
+    v.resize(n, 0);
+    v
+}
+
+/// Returns an accumulator buffer to this thread's pool.
+pub fn recycle_i32(v: Vec<i32>) {
+    let _ = I32_POOL.try_with(|p| p.borrow_mut().recycle(v));
+}
+
+/// RAII scratch buffer of `i16`s: recycles itself into the pool on drop.
+/// Holds the quantized activation/weight packing panels of the int8 GEMM.
+#[derive(Debug, Default)]
+pub struct ScratchI16(pub Vec<i16>);
+
+impl ScratchI16 {
+    /// Empty scratch with capacity for at least `n` elements.
+    pub fn with_capacity(n: usize) -> Self {
+        ScratchI16(take_i16(n))
+    }
+
+    /// Zero-filled scratch of length `n` (identical to `vec![0i16; n]`).
+    pub fn zeroed(n: usize) -> Self {
+        ScratchI16(take_i16_zeroed(n))
+    }
+}
+
+impl Drop for ScratchI16 {
+    fn drop(&mut self) {
+        recycle_i16(std::mem::take(&mut self.0));
+    }
+}
+
+impl std::ops::Deref for ScratchI16 {
+    type Target = Vec<i16>;
+    fn deref(&self) -> &Vec<i16> {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for ScratchI16 {
+    fn deref_mut(&mut self) -> &mut Vec<i16> {
+        &mut self.0
+    }
+}
+
+/// RAII scratch buffer of `i32`s (int8-GEMM accumulator tiles).
+#[derive(Debug, Default)]
+pub struct ScratchI32(pub Vec<i32>);
+
+impl ScratchI32 {
+    /// Empty scratch with capacity for at least `n` elements.
+    pub fn with_capacity(n: usize) -> Self {
+        ScratchI32(take_i32(n))
+    }
+
+    /// Zero-filled scratch of length `n` (identical to `vec![0i32; n]`).
+    pub fn zeroed(n: usize) -> Self {
+        ScratchI32(take_i32_zeroed(n))
+    }
+}
+
+impl Drop for ScratchI32 {
+    fn drop(&mut self) {
+        recycle_i32(std::mem::take(&mut self.0));
+    }
+}
+
+impl std::ops::Deref for ScratchI32 {
+    type Target = Vec<i32>;
+    fn deref(&self) -> &Vec<i32> {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for ScratchI32 {
+    fn deref_mut(&mut self) -> &mut Vec<i32> {
         &mut self.0
     }
 }

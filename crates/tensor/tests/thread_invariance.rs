@@ -87,6 +87,63 @@ fn gemm_all_three_transposes_are_thread_invariant() {
     }
 }
 
+/// Quantized fill in the i8 range, deterministic.
+fn fill_q8(n: usize, seed: u32) -> Vec<i16> {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 8) % 255) as i16 - 127
+        })
+        .collect()
+}
+
+/// The int8 GEMM is exact integer math, so it must equal the naive scalar
+/// reference *and* be invariant across thread counts on every ragged /
+/// panel-straddle shape — including the parallel-path shapes (7×512×512 ragged
+/// row panels, 129×64×96 straddling every partition boundary).
+#[test]
+fn q8_gemm_matches_reference_at_every_thread_count() {
+    use cf_tensor::quant::matmul_q8_into;
+    for &(m, k, n) in &GEMM_SHAPES {
+        let aq = fill_q8(m * k, 19);
+        let bq = fill_q8(k * n, 47);
+        // Naive reference (exact i32).
+        let mut reference = vec![0i32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = aq[i * k + p] as i32;
+                for j in 0..n {
+                    reference[i * n + j] += a * bq[p * n + j] as i32;
+                }
+            }
+        }
+        assert_thread_invariant(&format!("matmul_q8_into {m}x{k}x{n}"), || {
+            let mut out = vec![0i32; m * n];
+            matmul_q8_into(&aq, &bq, &mut out, m, k, n);
+            assert_eq!(
+                out, reference,
+                "{m}x{k}x{n}: kernel diverged from reference"
+            );
+            out
+        });
+    }
+}
+
+/// The full quantized-weight matmul (dynamic activation quantization +
+/// int GEMM + dequantize) must produce identical f32 bits at every width.
+#[test]
+fn quantized_weight_matmul_is_thread_invariant() {
+    use cf_tensor::quant::QuantizedTensor;
+    let (m, k, n) = (32usize, 96usize, 64usize);
+    let w = Tensor::new([k, n], fill(k * n, 61));
+    let a = Tensor::new([m, k], fill(m * k, 67));
+    let qt = QuantizedTensor::from_tensor(&w).expect("eligible weight");
+    assert_thread_invariant("QuantizedTensor::matmul_quantized 32x96x64", || {
+        bits(qt.matmul_quantized(&a).data())
+    });
+}
+
 #[test]
 fn batched_matmul_is_thread_invariant() {
     // 16 batches of 32³ = 524288 flops: over the fan-out floor.
