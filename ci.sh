@@ -29,7 +29,7 @@ echo "== bench build + smoke (offline) =="
 cargo build --offline --benches --workspace
 CF_BENCH_SAMPLES=1 cargo bench --offline -p chainsformer-bench \
     --bench tensor_ops --bench tensor_kernels --bench serve_throughput \
-    --bench kg_retrieval >/dev/null
+    --bench kg_retrieval --bench kg_mutate >/dev/null
 
 echo "== zero-allocation gate (offline) =="
 # The buffer pool's steady-state contract on the real model: after warm-up,
@@ -348,6 +348,131 @@ for QZ in f32 int8; do
       || { echo "shard matrix: empty $QZ response dump"; exit 1; }
 done
 echo "shard-matrix gate: ok"
+
+echo "== live-mutation gate (offline) =="
+# The live-mutation durability contract end to end with a real kill -9
+# (DESIGN.md §16): two servers over the same base store receive an
+# identical mutation stream — a deterministic --mutate-every loadtest on a
+# single connection, then an explicit acked batch over /dev/tcp. The
+# control server stops gracefully; the crash server is kill -9'd after the
+# acks and its journal grows a synthetic torn tail (a partial CFJ1 frame,
+# what a mid-append power cut leaves behind). On restart the journal must
+# replay — torn tail truncated, every acked mutation preserved — and keep
+# serving, including the entity that only exists in the overlay. Offline
+# compaction of both journals must then produce byte-identical stores.
+MUT_DIR="$SMOKE_DIR/mut"
+mkdir -p "$MUT_DIR"
+MUT_FLAGS=(--store "$KG_DIR/yago.cfkg" --ckpt "$SMOKE_DIR/model.ckpt" \
+           --dim 16 --layers 1 --walks 32 --top-k 8 --seed 3)
+MUT_BATCH='{"mutate":[{"op":"upsert","entity":"person_0","attr":"birth","value":1984.5},{"op":"add_entity","name":"smoke_probe"},{"op":"add_edge","head":"smoke_probe","rel":"is_citizen_of","tail":"person_0"}],"id":2}'
+mutation_arm() { # $1 = arm name; starts the server, drives traffic + batch
+    local ARM="$1"
+    mkfifo "$MUT_DIR/${ARM}_stdin"
+    "$CFKG" serve "${MUT_FLAGS[@]}" --port 0 --journal "$MUT_DIR/$ARM.cfj" \
+        < "$MUT_DIR/${ARM}_stdin" > "$MUT_DIR/$ARM.log" 2>&1 &
+    MUT_PID=$!
+    exec 5>"$MUT_DIR/${ARM}_stdin"
+    for _ in $(seq 1 100); do
+        grep -q '^listening on ' "$MUT_DIR/$ARM.log" && break
+        sleep 0.1
+    done
+    MUT_PORT="$(sed -n 's/^listening on .*://p' "$MUT_DIR/$ARM.log" | head -1)"
+    [ -n "$MUT_PORT" ] || { echo "mutation gate: no listening line ($ARM)"; exit 1; }
+    # Mutations mid-traffic: every 10th planned request carries an upsert.
+    # One connection keeps the mutation order identical across arms; the
+    # retry budget exercises the shed-then-resend client path.
+    "$CFKG" loadtest --addr "127.0.0.1:$MUT_PORT" \
+        --triples "$SMOKE_DIR/yago15k_sim_triples.tsv" \
+        --numerics "$SMOKE_DIR/yago15k_sim_numerics.tsv" \
+        --rate 500 --requests 100 --warmup 0 --conns 1 --seed 7 \
+        --mutate-every 10 --retries 2 > "$MUT_DIR/load_$ARM.log" \
+        || { echo "mutation gate: loadtest failed ($ARM)"; exit 1; }
+    grep -q 'mutations 10+0' "$MUT_DIR/load_$ARM.log" \
+        || { echo "mutation gate: expected 10 acked mutations ($ARM):"; \
+             cat "$MUT_DIR/load_$ARM.log"; exit 1; }
+    exec 8<>"/dev/tcp/127.0.0.1/$MUT_PORT"
+    printf '%s\n' "$MUT_BATCH" >&8
+    read -r -t 30 REPLY_MUT <&8 || { echo "mutation gate: no mutate ack ($ARM)"; exit 1; }
+    echo "$REPLY_MUT" | grep -q '"mutated":true' \
+        || { echo "mutation gate: mutate rejected ($ARM): $REPLY_MUT"; exit 1; }
+    # A malformed mutation must fail with a typed per-field error line.
+    printf '%s\n' '{"mutate":{"op":"upsert","entity":"e","attr":"a","value":"x"},"id":3}' >&8
+    read -r -t 30 REPLY_BADMUT <&8 || { echo "mutation gate: no bad-mutate reply ($ARM)"; exit 1; }
+    echo "$REPLY_BADMUT" | grep -q 'mutate.value\\" must be a finite number' \
+        || { echo "mutation gate: untyped mutate error ($ARM): $REPLY_BADMUT"; exit 1; }
+    # A well-formed mutation naming an attribute outside the serving
+    # vocabulary is rejected by the engine (and counted as such) without
+    # touching the journal or the overlay.
+    printf '%s\n' '{"mutate":{"op":"upsert","entity":"person_0","attr":"no_such_attr","value":1.0},"id":9}' >&8
+    read -r -t 30 REPLY_VOCAB <&8 || { echo "mutation gate: no vocab-reject reply ($ARM)"; exit 1; }
+    echo "$REPLY_VOCAB" | grep -q 'not in the serving vocabulary' \
+        || { echo "mutation gate: vocab rejection missing ($ARM): $REPLY_VOCAB"; exit 1; }
+    # The overlay-only entity must be servable, and the mutation counters
+    # must be scrapable (10 loadtest upserts + 1 batch, 1 rejected).
+    printf '%s\n' '{"entity":"smoke_probe","attr":"birth","id":4}' >&8
+    read -r -t 30 REPLY_PROBE <&8 || { echo "mutation gate: no probe reply ($ARM)"; exit 1; }
+    echo "$REPLY_PROBE" | grep -q '"ok":true' \
+        || { echo "mutation gate: overlay entity not served ($ARM): $REPLY_PROBE"; exit 1; }
+    printf '%s\n' 'GET /metrics' >&8
+    MUT_METRICS=""
+    while read -r -t 30 LINE <&8; do
+        [ -z "$LINE" ] && break
+        MUT_METRICS+="$LINE"$'\n'
+    done
+    exec 8<&- 8>&-
+    echo "$MUT_METRICS" | grep -q '^cf_serve_mutations_ok_total 11' \
+        || { echo "mutation gate: metrics missing mutations_ok 11 ($ARM):"; \
+             echo "$MUT_METRICS"; exit 1; }
+    echo "$MUT_METRICS" | grep -q '^cf_serve_mutations_rejected_total 1' \
+        || { echo "mutation gate: metrics missing mutations_rejected 1 ($ARM)"; exit 1; }
+}
+
+mutation_arm control
+kill -TERM "$MUT_PID"
+wait "$MUT_PID" || { echo "mutation gate: control server exited non-zero"; exit 1; }
+exec 5>&-
+
+mutation_arm crash
+kill -9 "$MUT_PID"
+wait "$MUT_PID" 2>/dev/null || true
+exec 5>&-
+# A partial CFJ1 frame (length word + 1 crc byte) on the tail: the torn
+# write a power cut leaves. Replay must truncate it, not fail.
+printf '\x20\x00\x00\x00\x99' >> "$MUT_DIR/crash.cfj"
+mkfifo "$MUT_DIR/restart_stdin"
+"$CFKG" serve "${MUT_FLAGS[@]}" --port 0 --journal "$MUT_DIR/crash.cfj" \
+    < "$MUT_DIR/restart_stdin" > "$MUT_DIR/restart.log" 2>&1 &
+RESTART_PID=$!
+exec 5>"$MUT_DIR/restart_stdin"
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$MUT_DIR/restart.log" && break
+    sleep 0.1
+done
+RESTART_PORT="$(sed -n 's/^listening on .*://p' "$MUT_DIR/restart.log" | head -1)"
+[ -n "$RESTART_PORT" ] || { echo "mutation gate: no listening line after restart"; exit 1; }
+grep -q 'replayed 13 mutation(s)' "$MUT_DIR/restart.log" \
+    || { echo "mutation gate: restart did not replay 13 mutations:"; \
+         cat "$MUT_DIR/restart.log"; exit 1; }
+exec 8<>"/dev/tcp/127.0.0.1/$RESTART_PORT"
+printf '%s\n' '{"entity":"smoke_probe","attr":"birth","id":5}' >&8
+read -r -t 30 REPLY_REPLAY <&8 || { echo "mutation gate: no reply after replay"; exit 1; }
+echo "$REPLY_REPLAY" | grep -q '"ok":true' \
+    || { echo "mutation gate: replayed overlay entity not served: $REPLY_REPLAY"; exit 1; }
+exec 8<&- 8>&-
+kill -TERM "$RESTART_PID"
+wait "$RESTART_PID" || { echo "mutation gate: restarted server exited non-zero"; exit 1; }
+exec 5>&-
+
+# Fold both journals into stores offline: identical mutation histories must
+# compact to byte-identical CFKG1 files — the crash changed nothing.
+for ARM in control crash; do
+    "$CFKG" compact --store "$KG_DIR/yago.cfkg" --journal "$MUT_DIR/$ARM.cfj" \
+        --out "$MUT_DIR/$ARM.kg" > "$MUT_DIR/compact_$ARM.log" \
+        || { echo "mutation gate: compact failed ($ARM)"; exit 1; }
+done
+cmp "$MUT_DIR/control.kg" "$MUT_DIR/crash.kg" \
+    || { echo "mutation gate: crash-recovered store differs from control"; exit 1; }
+echo "live-mutation gate: ok"
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -255,8 +255,12 @@ fn main() {
         println!("CF_BENCH_KG_LARGE not set: skipping the 1M-entity arm");
     }
 
+    // Shared with `kg_mutate` — both benches merge rows into
+    // `BENCH_kg.json`, and the merge stamps the last writer's title, so the
+    // title must describe the union.
     let mut table = Table::new(
-        "graph store + chain index: load and retrieval latency (mmap vs TSV, indexed vs walk)",
+        "graph store + chain index: load/retrieval latency and live-mutation cost \
+         (mmap vs TSV, indexed vs walk, journal/overlay/invalidation)",
         &["scale", "metric", "value", "unit"],
     );
     for (label, scale, params, queries) in arms {

@@ -204,6 +204,7 @@ fn run_open_loop(
             warmup,
             zipf_s: 1.0,
             reload_every: 0,
+            mutate_every: 0,
             seed: 29,
         },
     );

@@ -132,6 +132,26 @@ pub fn crash_states(old: Option<&[u8]>, new: &[u8]) -> Vec<CrashState> {
     states
 }
 
+/// Enumerates every on-disk state reachable when a crash interrupts an
+/// *append* to an existing file (a journal commit): the stable prefix
+/// `base` always survives — appends never rewrite it — while any prefix of
+/// the `appended` bytes may have landed, including none and all of them.
+/// Unlike [`crash_states`] there is no rename step: append-mode recovery
+/// must handle a torn tail *in place* (scan, validate, truncate).
+pub fn append_crash_states(base: &[u8], appended: &[u8]) -> Vec<CrashState> {
+    let mut states = Vec::with_capacity(appended.len() + 1);
+    for cut in 0..=appended.len() {
+        let mut bytes = base.to_vec();
+        bytes.extend_from_slice(&appended[..cut]);
+        states.push(CrashState {
+            path_bytes: Some(bytes),
+            tmp_bytes: None,
+            label: format!("crash with {cut}/{} appended bytes", appended.len()),
+        });
+    }
+    states
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +201,17 @@ mod tests {
         // First-save case: no old file yet.
         let fresh = crash_states(None, b"X");
         assert!(fresh[0].path_bytes.is_none());
+    }
+
+    #[test]
+    fn append_crash_states_keep_the_base_and_sweep_the_tail() {
+        let states = append_crash_states(b"BASE", b"TAIL");
+        assert_eq!(states.len(), b"TAIL".len() + 1);
+        for (cut, s) in states.iter().enumerate() {
+            let bytes = s.path_bytes.as_deref().expect("append never unlinks");
+            assert!(bytes.starts_with(b"BASE"), "{}: base damaged", s.label);
+            assert_eq!(&bytes[4..], &b"TAIL"[..cut], "{}", s.label);
+            assert!(s.tmp_bytes.is_none(), "appends have no tmp file");
+        }
     }
 }

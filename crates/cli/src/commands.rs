@@ -10,12 +10,12 @@ use cf_kg::{
     GraphView, IndexParams, KnowledgeGraph, MappedChainIndex, Split,
 };
 use cf_rand::rngs::StdRng;
-use cf_rand::SeedableRng;
-use cf_serve::{Engine, EngineConfig, QuantMode};
+use cf_rand::{Rng, SeedableRng};
+use cf_serve::{Engine, EngineConfig, QuantMode, ServeError, ServedPrediction};
 use chainsformer::{evaluate_model, ChainsFormer, ChainsFormerConfig, TrainOptions, Trainer};
 use std::error::Error;
 use std::io::BufReader;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
@@ -220,14 +220,42 @@ pub fn eval(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Bounded retry with deterministic backoff for shed requests: only
+/// [`ServeError::Overloaded`] is retried (deadline and shutdown failures
+/// are final), sleeping `2^attempt · base ± jitter` between attempts with
+/// the jitter drawn from a seeded [`StdRng`] — the retry *schedule* is a
+/// pure function of the seed, so runs are reproducible.
+fn predict_with_retries(
+    engine: &Engine,
+    q: Query,
+    retries: u32,
+    rng: &mut StdRng,
+) -> Result<(ServedPrediction, u32), ServeError> {
+    let mut attempt = 0u32;
+    loop {
+        match engine.predict(q) {
+            Ok(served) => return Ok((served, attempt)),
+            Err(ServeError::Overloaded) if attempt < retries => {
+                let base_us = 1000u64 << attempt.min(10);
+                let jitter = rng.gen_range(0..=base_us / 2);
+                std::thread::sleep(std::time::Duration::from_micros(base_us + jitter));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// `cfkg predict`: answer one or more queries (comma-separated entities)
 /// with their reasoning traces, through the resident serving engine — the
 /// model loads once per process and repeated predictions share the chain
-/// cache.
+/// cache. `--retries N` retries shed (`overloaded`) queries with
+/// deterministic backoff instead of failing.
 pub fn predict(args: &Args) -> CmdResult {
     let entity_arg = args.require("entity")?.to_string();
     let attr_name = args.require("attr")?.to_string();
     let seed: u64 = args.get_parse("seed", 7, "integer")?;
+    let retries: u32 = args.get_parse("retries", 0u32, "integer")?;
     let quantize: QuantMode = args.get_parse("quantize", QuantMode::F32, "f32|int8")?;
     let (visible, _split, model, _rng) = load_model(args)?;
     let engine = Engine::new(
@@ -240,15 +268,28 @@ pub fn predict(args: &Args) -> CmdResult {
             ..EngineConfig::default()
         },
     );
+    let mut backoff_rng = StdRng::seed_from_u64(seed ^ 0xBACC_0FF5);
     for entity_name in entity_arg.split(',') {
+        // Resolve names in a scope of their own: holding the live-graph
+        // read guard across `predict` (which waits on a worker that takes
+        // the same lock) could deadlock behind a queued mutation writer.
+        let (entity, attr) = {
+            let graph = engine.graph();
+            let entity = graph
+                .entity_by_name(entity_name)
+                .ok_or_else(|| format!("entity {entity_name:?} not found"))?;
+            let attr = graph
+                .attribute_by_name(&attr_name)
+                .ok_or_else(|| format!("attribute {attr_name:?} not found"))?;
+            (entity, attr)
+        };
+        let (served, retried) =
+            predict_with_retries(&engine, Query { entity, attr }, retries, &mut backoff_rng)
+                .map_err(Box::new)?;
+        if retried > 0 {
+            println!("(shed {retried} time(s), answered on retry)");
+        }
         let graph = engine.graph();
-        let entity = graph
-            .entity_by_name(entity_name)
-            .ok_or_else(|| format!("entity {entity_name:?} not found"))?;
-        let attr = graph
-            .attribute_by_name(&attr_name)
-            .ok_or_else(|| format!("attribute {attr_name:?} not found"))?;
-        let served = engine.predict(Query { entity, attr }).map_err(Box::new)?;
         let detail = served.detail;
         println!("{attr_name} of {entity_name}: {:.4}", detail.value);
         if detail.used_fallback {
@@ -266,7 +307,7 @@ pub fn predict(args: &Args) -> CmdResult {
             println!(
                 "  ω={:.3}  {}  via {}  (n_p={:.2}, n̂={:.2})",
                 c.weight,
-                c.chain.render(graph),
+                c.chain.render(&*graph),
                 graph.entity_name(c.source),
                 c.known_value,
                 c.prediction
@@ -274,6 +315,42 @@ pub fn predict(args: &Args) -> CmdResult {
         }
     }
     engine.shutdown();
+    Ok(())
+}
+
+/// `cfkg compact`: offline journal compaction. Reads a CFKG1 store and a
+/// CFJ1 mutation journal, replays the journal over an overlay (recovery
+/// drops a torn tail, replay is idempotent), and writes the merged graph
+/// as a canonical store to `--out`. The journal file itself is left
+/// untouched, so the command is safe to re-run and safe to point at a
+/// live server's journal for a consistent offline snapshot.
+pub fn compact(args: &Args) -> CmdResult {
+    let store = args.require("store")?;
+    let journal = args.require("journal")?;
+    let out = args.require("out")?;
+    let graph = read_store(store)?;
+    let mut overlay = cf_kg::OverlayGraph::new(graph.into());
+    let rec = cf_kg::recover_file(journal)?;
+    if let Some(d) = &rec.dropped {
+        println!(
+            "journal: dropped torn tail at record {} ({} bytes)",
+            d.record, d.bytes
+        );
+    }
+    let mut changed = 0usize;
+    for m in &rec.mutations {
+        if overlay.apply(m).changed {
+            changed += 1;
+        }
+    }
+    overlay.compact_to(out)?;
+    println!(
+        "compacted {} journaled mutation(s) ({} effective) into {}",
+        rec.mutations.len(),
+        changed,
+        out
+    );
+    println!("  {} ({} bytes)", out, std::fs::metadata(out)?.len());
     Ok(())
 }
 
@@ -306,7 +383,27 @@ pub fn serve(args: &Args) -> CmdResult {
         None => None,
     };
     let quantize = cfg.quantize;
+    let journal = args.get("journal").map(str::to_string);
+    let compact_to = args.get("compact-to").map(PathBuf::from);
+    let compact_every: u64 = args.get_parse("compact-every", 0u64, "integer")?;
+    if journal.is_none() && (compact_to.is_some() || compact_every > 0) {
+        return Err("--compact-to/--compact-every need --journal PATH".into());
+    }
+    if compact_to.is_some() != (compact_every > 0) {
+        return Err("--compact-to FILE and --compact-every N (> 0) must be given together".into());
+    }
     let engine = Arc::new(Engine::new_with_index(model, visible, index, cfg));
+    if let Some(jpath) = journal {
+        // Attached after the index check above: the index pairs with the
+        // pristine base store; journaled mutations land in the overlay and
+        // mark their neighborhoods stale, which bypasses the index.
+        let replayed = engine.attach_journal(&jpath, compact_to.map(|p| (p, compact_every)))?;
+        if replayed > 0 {
+            println!("journal {jpath}: replayed {replayed} mutation(s)");
+        } else {
+            println!("journal {jpath}: clean");
+        }
+    }
     println!(
         "serving with {} shard(s), {} worker(s) each, {} inference",
         engine.shards(),
@@ -352,6 +449,7 @@ pub fn loadtest(args: &Args) -> CmdResult {
         warmup: args.get_parse("warmup", 200, "integer")?,
         zipf_s: args.get_parse("zipf", 1.0, "number")?,
         reload_every: args.get_parse("reload-every", 0, "integer")?,
+        mutate_every: args.get_parse("mutate-every", 0, "integer")?,
         seed: args.get_parse("seed", 1, "integer")?,
     };
     let deadline_ms = match args.get("deadline-ms") {
@@ -380,7 +478,12 @@ pub fn loadtest(args: &Args) -> CmdResult {
         conns.clamp(1, events.len().max(1)),
         plan_cfg.zipf_s,
     );
-    let outcome = cf_load::run_tcp(&addr, &events, conns)?;
+    let retry = cf_load::RetryPolicy {
+        retries: args.get_parse("retries", 0u32, "integer")?,
+        seed: plan_cfg.seed,
+        ..cf_load::RetryPolicy::none()
+    };
+    let outcome = cf_load::run_tcp_with(&addr, &events, conns, retry)?;
     println!("{}", outcome.report.render());
     if let Some(dump) = args.get("dump") {
         std::fs::write(dump, cf_load::canonical_dump(&outcome.responses))?;

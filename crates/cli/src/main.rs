@@ -67,8 +67,12 @@ COMMANDS
   predict    answer queries with their reasoning chains (resident engine)
              --triples FILE --numerics FILE --ckpt FILE
              --entity NAME[,NAME…] --attr NAME [--seed N]
+             [--retries N (retry shed queries with deterministic backoff)]
              [--quantize f32|int8 (int8: quantized linear layers, accuracy
               pinned by the cargo-test gate)] [flags as train]
+  compact    fold a CFJ1 mutation journal into its CFKG1 store offline
+             (torn tails dropped, replay idempotent; journal left intact)
+             --store FILE --journal FILE --out FILE
   serve      run the TCP inference server (line-delimited JSON protocol;
              \"GET /metrics\" returns serving metrics; SIGTERM or stdin
              close shuts down gracefully)
@@ -81,6 +85,10 @@ COMMANDS
              [--cache-cap N (per shard)] [--seed N]
              [--quantize f32|int8 (int8: per-shard int8 weight twins,
               rebuilt on hot-reload; responses stay deterministic)]
+             [--journal FILE (CFJ1 crash-safe mutation journal: {\"mutate\":…}
+              requests are fsynced before visible and replayed on restart)]
+             [--compact-to FILE --compact-every N (fold the journal into a
+              canonical store every N records; atomic tmp+fsync+rename)]
              [flags as train]
   loadtest   open-loop load generator against a running serve (fixed
              arrival schedule: overload sheds instead of throttling the
@@ -90,6 +98,10 @@ COMMANDS
              [--arrivals poisson|uniform] [--zipf S] [--conns N]
              [--deadline-ms N] [--seed N]
              [--reload CKPT --reload-every N (mix in hot-reloads)]
+             [--mutate-every N (mix in live-graph mutations; needs a
+              server running with --journal)]
+             [--retries N (retry shed requests with deterministic backoff;
+              reported separately as retried/retried-ok)]
              [--dump FILE (canonical response bytes, diffable across
               --shards settings)]
 ";
@@ -127,6 +139,7 @@ fn main() {
         "train" => commands::train(&args),
         "eval" => commands::eval(&args),
         "predict" => commands::predict(&args),
+        "compact" => commands::compact(&args),
         "serve" => commands::serve(&args),
         "loadtest" => commands::loadtest(&args),
         other => {

@@ -28,9 +28,11 @@ pub mod graph;
 pub mod ids;
 pub mod index;
 pub mod io;
+pub mod journal;
 pub mod metrics;
 pub mod mmapio;
 pub mod norm;
+pub mod overlay;
 pub mod split;
 pub mod stats;
 pub mod store;
@@ -45,8 +47,10 @@ pub use index::{
     build_chain_index, graph_fingerprint, write_index, ChainEntry, ChainIndex, ChainIndexStore,
     ChainIndexView, IndexParams, MappedChainIndex,
 };
+pub use journal::{recover_file, validate_mutation, JournalWriter, Mutation, Recovery};
 pub use metrics::{Prediction, RegressionReport};
 pub use norm::MinMaxNormalizer;
+pub use overlay::{ApplyOutcome, OverlayGraph};
 pub use split::Split;
 pub use store::{read_store, write_store, MappedGraph, StoreError};
 pub use subgraph::{induced_subgraph, k_hop_entities, k_hop_subgraph};

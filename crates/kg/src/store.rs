@@ -1565,6 +1565,17 @@ impl MappedGraph {
         let s = &blob[offs[i] as usize..offs[i + 1] as usize];
         std::str::from_utf8(s).expect("validated at open")
     }
+
+    /// The triples section as its three id columns `(heads, rels, tails)`,
+    /// file order — the same insertion order `read_store` would replay.
+    pub(crate) fn triples_cols(&self) -> (&[u32], &[u32], &[u32]) {
+        let b = self.mem.bytes();
+        (
+            cast_u32s(&b[self.layout.heads.clone()]),
+            cast_u32s(&b[self.layout.rels.clone()]),
+            cast_u32s(&b[self.layout.tails.clone()]),
+        )
+    }
 }
 
 impl GraphView for MappedGraph {

@@ -24,6 +24,18 @@ pub enum EventKind {
     },
     /// A hot-reload admin request (the read/reload mix).
     Reload,
+    /// A live-graph mutation admin request: upsert a numeric fact. The
+    /// value is carried in milli-units so the event stays `Eq`-comparable
+    /// (the wire value is `value_milli / 1000`).
+    Mutate {
+        /// Entity whose fact is upserted (the preceding query's entity, so
+        /// mutations land on hot neighborhoods and exercise invalidation).
+        entity: EntityId,
+        /// Attribute to upsert (uniform; always in the server vocabulary).
+        attr: AttributeId,
+        /// Upserted value × 1000.
+        value_milli: u64,
+    },
 }
 
 /// One scheduled event: *when* (microseconds from run start), *what*, and
@@ -56,6 +68,8 @@ pub struct PlanConfig {
     pub zipf_s: f64,
     /// Insert a reload event after every `n`-th query (`0` = never).
     pub reload_every: usize,
+    /// Insert a mutation event after every `n`-th query (`0` = never).
+    pub mutate_every: usize,
     /// Seed for the plan RNG (arrivals + popularity draws).
     pub seed: u64,
 }
@@ -69,6 +83,7 @@ impl Default for PlanConfig {
             warmup: 200,
             zipf_s: 1.0,
             reload_every: 0,
+            mutate_every: 0,
             seed: 1,
         }
     }
@@ -102,6 +117,20 @@ pub fn build_plan(num_entities: usize, num_attributes: usize, cfg: &PlanConfig) 
             events.push(Event {
                 at_us,
                 kind: EventKind::Reload,
+                measured: false,
+            });
+        }
+        if cfg.mutate_every > 0 && (i + 1) % cfg.mutate_every == 0 {
+            // Mutate the entity just queried: mutations land on hot
+            // (popular, likely-cached) neighborhoods, which is exactly
+            // where chain-cache invalidation earns its keep.
+            events.push(Event {
+                at_us,
+                kind: EventKind::Mutate {
+                    entity,
+                    attr: AttributeId(rng.gen_range(0..num_attributes as u32)),
+                    value_milli: rng.gen_range(0..1_000_000u64),
+                },
                 measured: false,
             });
         }
@@ -170,6 +199,43 @@ mod tests {
         assert!(build_plan(50, 3, &zero)
             .iter()
             .all(|e| e.kind != EventKind::Reload));
+    }
+
+    #[test]
+    fn mutate_mix_rides_its_query_and_targets_its_entity() {
+        let cfg = PlanConfig {
+            requests: 90,
+            warmup: 10,
+            mutate_every: 20,
+            ..PlanConfig::default()
+        };
+        let plan = build_plan(50, 3, &cfg);
+        let mutates: Vec<usize> = plan
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, EventKind::Mutate { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(mutates.len(), 5, "100 queries / 20 = 5 mutations");
+        for &i in &mutates {
+            assert!(!plan[i].measured);
+            assert_eq!(plan[i].at_us, plan[i - 1].at_us, "mutation rides its query");
+            let EventKind::Mutate { entity, attr, .. } = plan[i].kind else {
+                unreachable!()
+            };
+            let EventKind::Query { entity: qe, .. } = plan[i - 1].kind else {
+                panic!("mutation not preceded by a query")
+            };
+            assert_eq!(entity, qe, "mutation targets the queried entity");
+            assert!(attr.0 < 3);
+        }
+        let zero = PlanConfig {
+            mutate_every: 0,
+            ..cfg
+        };
+        assert!(build_plan(50, 3, &zero)
+            .iter()
+            .all(|e| !matches!(e.kind, EventKind::Mutate { .. })));
     }
 
     #[test]

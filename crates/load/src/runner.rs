@@ -10,10 +10,13 @@
 
 use crate::plan::{Event, EventKind};
 use cf_kg::GraphView;
+use cf_rand::rngs::StdRng;
+use cf_rand::{Rng, SeedableRng};
 use cf_serve::protocol::{parse_json, Json};
 use cf_serve::Histogram;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One plan event rendered to its wire line. The line carries the event's
@@ -28,6 +31,8 @@ pub struct PreparedEvent {
     pub measured: bool,
     /// True for reload admin requests.
     pub is_reload: bool,
+    /// True for mutate admin requests.
+    pub is_mutate: bool,
 }
 
 /// Renders a plan against a graph: entity/attribute ids become the names
@@ -59,6 +64,7 @@ pub fn render_events(
                     line,
                     measured: e.measured,
                     is_reload: false,
+                    is_mutate: false,
                 });
             }
             EventKind::Reload => {
@@ -68,6 +74,25 @@ pub fn render_events(
                     line: format!("{{\"reload\":\"{}\",\"id\":{id}}}", escape(path)),
                     measured: false,
                     is_reload: true,
+                    is_mutate: false,
+                });
+            }
+            EventKind::Mutate {
+                entity,
+                attr,
+                value_milli,
+            } => {
+                out.push(PreparedEvent {
+                    at_us: e.at_us,
+                    line: format!(
+                        "{{\"mutate\":{{\"op\":\"upsert\",\"entity\":\"{}\",\"attr\":\"{}\",\"value\":{}}},\"id\":{id}}}",
+                        escape(graph.entity_name(entity)),
+                        escape(graph.attribute_name(attr)),
+                        value_milli as f64 / 1000.0,
+                    ),
+                    measured: false,
+                    is_reload: false,
+                    is_mutate: true,
                 });
             }
         }
@@ -105,6 +130,16 @@ pub struct LoadReport {
     pub reloads_ok: u64,
     /// Reload admin requests rejected.
     pub reloads_rejected: u64,
+    /// Mutate admin requests applied.
+    pub mutations_ok: u64,
+    /// Mutate admin requests rejected.
+    pub mutations_rejected: u64,
+    /// Shed requests re-sent under the retry policy (total resends).
+    pub retried: u64,
+    /// Requests that were shed at least once and then answered `ok` on a
+    /// retry — counted separately from `ok` requests that never shed, so
+    /// the report distinguishes clean capacity from recovered-by-retry.
+    pub retried_ok: u64,
     /// Measured-window queries that were answered (any outcome).
     pub measured: u64,
     /// Seconds from the first measured request's scheduled instant to the
@@ -125,7 +160,8 @@ impl LoadReport {
     /// Human-readable one-block summary.
     pub fn render(&self) -> String {
         format!(
-            "sent {} · ok {} · shed {} · deadline_missed {} · errors {} · reloads {}+{}\n\
+            "sent {} · ok {} · shed {} · deadline_missed {} · errors {} · reloads {}+{} · mutations {}+{}\n\
+             retried {} resend(s) · {} recovered by retry\n\
              measured {} in {:.3} s → {:.1} qps\n\
              latency µs (scheduled→reply): p50 {} · p95 {} · p99 {} · max {}",
             self.sent,
@@ -135,6 +171,10 @@ impl LoadReport {
             self.errors,
             self.reloads_ok,
             self.reloads_rejected,
+            self.mutations_ok,
+            self.mutations_rejected,
+            self.retried,
+            self.retried_ok,
             self.measured,
             self.elapsed_s,
             self.qps,
@@ -156,6 +196,73 @@ pub struct RunOutcome {
     pub responses: Vec<Option<String>>,
 }
 
+/// Client-side handling of shed (`overloaded`) replies.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Resend a shed request up to this many times (`0` = never).
+    pub retries: u32,
+    /// Base backoff before the first resend; doubles per attempt.
+    pub base_us: u64,
+    /// Seed for the backoff jitter — the retry *schedule* is a pure
+    /// function of `(seed, event id, attempt)`, so a rerun with the same
+    /// plan and policy resends at the same offsets.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every shed reply is final (the open-loop default).
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            base_us: 2000,
+            seed: 0,
+        }
+    }
+
+    /// Deterministic backoff before resend `attempt` (1-based) of event
+    /// `id`: `base · 2^(attempt-1)` plus up to 50% seeded jitter, so
+    /// synchronized shed bursts don't resend in lockstep.
+    pub fn backoff_us(&self, id: usize, attempt: u32) -> u64 {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt) << 56,
+        );
+        let base = self.base_us << (attempt - 1).min(10);
+        base + rng.gen_range(0..=base / 2)
+    }
+}
+
+/// What one in-flight request on a connection is: which event, when it was
+/// originally scheduled, and how many resends it has behind it.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    id: usize,
+    at_us: u64,
+    attempt: u32,
+}
+
+/// The write half of one connection. Every line write pushes its
+/// [`InFlight`] under the same lock, so the order queue mirrors the byte
+/// order on the socket exactly — the server answers strictly in order per
+/// connection, so the reader pops one entry per reply line.
+struct ConnWriter {
+    stream: TcpStream,
+    order: std::collections::VecDeque<InFlight>,
+}
+
+impl ConnWriter {
+    fn send(&mut self, line: &str, meta: InFlight) -> std::io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.order.push_back(meta);
+        Ok(())
+    }
+}
+
+/// Drives `addr` with the rendered plan over `conns` connections, without
+/// retries. See [`run_tcp_with`].
+pub fn run_tcp(addr: &str, events: &[PreparedEvent], conns: usize) -> std::io::Result<RunOutcome> {
+    run_tcp_with(addr, events, conns, RetryPolicy::none())
+}
+
 /// Drives `addr` with the rendered plan over `conns` connections.
 ///
 /// Events are assigned round-robin by index, so each connection's share
@@ -163,7 +270,22 @@ pub struct RunOutcome {
 /// each line at its scheduled instant — never waiting for replies (the
 /// open-loop property; the kernel's socket buffer absorbs bursts) — while
 /// a reader thread timestamps replies as they land.
-pub fn run_tcp(addr: &str, events: &[PreparedEvent], conns: usize) -> std::io::Result<RunOutcome> {
+///
+/// With a non-zero [`RetryPolicy`], a query shed with `overloaded` is
+/// resent after a deterministic backoff (a per-connection retry thread
+/// replays it down the same connection) up to `retries` times. A retried
+/// request keeps its original scheduled instant for latency accounting —
+/// the backoff wait is part of the price of being shed — and its *final*
+/// reply is the one that lands in [`RunOutcome::responses`], so a dump
+/// from a retried run stays diffable against one that never shed. Admin
+/// lines (reload/mutate) are answered inline by the server and are never
+/// shed, so they are never retried.
+pub fn run_tcp_with(
+    addr: &str,
+    events: &[PreparedEvent],
+    conns: usize,
+    policy: RetryPolicy,
+) -> std::io::Result<RunOutcome> {
     let conns = conns.clamp(1, events.len().max(1));
     let mut streams = Vec::with_capacity(conns);
     for _ in 0..conns {
@@ -174,53 +296,127 @@ pub fn run_tcp(addr: &str, events: &[PreparedEvent], conns: usize) -> std::io::R
     // A short lead so every sender sees the epoch in its future.
     let start = Instant::now() + Duration::from_millis(5);
 
+    type ReaderOut = Vec<(usize, u64, String, u32)>;
     let mut join = Vec::with_capacity(conns);
     for (c, stream) in streams.into_iter().enumerate() {
-        let assigned: Vec<(usize, u64, String)> = events
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % conns == c)
-            .map(|(i, e)| (i, e.at_us, format!("{}\n", e.line)))
-            .collect();
+        let assigned: Arc<Vec<(usize, u64, String)>> = Arc::new(
+            events
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % conns == c)
+                .map(|(i, e)| (i, e.at_us, format!("{}\n", e.line)))
+                .collect(),
+        );
         let reader_stream = stream.try_clone()?;
+        let writer = Arc::new(Mutex::new(ConnWriter {
+            stream,
+            order: std::collections::VecDeque::new(),
+        }));
         let expect = assigned.len();
-        let schedule: Vec<(usize, u64)> = assigned.iter().map(|(i, at, _)| (*i, *at)).collect();
 
-        let sender = std::thread::spawn(move || -> std::io::Result<()> {
-            let mut stream = stream;
-            for (_, at_us, line) in &assigned {
-                sleep_until(start + Duration::from_micros(*at_us));
-                stream.write_all(line.as_bytes())?;
-            }
-            Ok(())
-        });
-        let reader = std::thread::spawn(move || -> Vec<(usize, u64, String)> {
-            let mut got = Vec::with_capacity(expect);
-            let mut lines = BufReader::new(reader_stream).lines();
-            for &(id, at_us) in schedule.iter().take(expect) {
-                match lines.next() {
-                    Some(Ok(line)) => {
-                        let arrived_us = start.elapsed().as_micros() as u64;
-                        got.push((id, arrived_us.saturating_sub(at_us), line));
-                    }
-                    _ => break,
+        let sender = {
+            let assigned = Arc::clone(&assigned);
+            let writer = Arc::clone(&writer);
+            std::thread::spawn(move || -> std::io::Result<()> {
+                for (id, at_us, line) in assigned.iter() {
+                    sleep_until(start + Duration::from_micros(*at_us));
+                    writer.lock().expect("conn writer poisoned").send(
+                        line,
+                        InFlight {
+                            id: *id,
+                            at_us: *at_us,
+                            attempt: 0,
+                        },
+                    )?;
                 }
-            }
-            got
-        });
-        join.push((sender, reader));
+                Ok(())
+            })
+        };
+
+        // The retry lane: the reader hands over (meta, resend instant);
+        // this thread sleeps and replays the original line down the same
+        // connection. Processing is FIFO — with exponential backoff a
+        // long earlier sleep can briefly delay a later resend, which only
+        // makes the measured retry latency *more* honest, never less.
+        let (retry_tx, retry_rx) = mpsc::channel::<(InFlight, Instant)>();
+        let retry = {
+            let assigned = Arc::clone(&assigned);
+            let writer = Arc::clone(&writer);
+            std::thread::spawn(move || -> std::io::Result<()> {
+                let by_id: std::collections::HashMap<usize, usize> = assigned
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, (id, _, _))| (*id, pos))
+                    .collect();
+                while let Ok((meta, resend_at)) = retry_rx.recv() {
+                    sleep_until(resend_at);
+                    let line = &assigned[by_id[&meta.id]].2;
+                    writer
+                        .lock()
+                        .expect("conn writer poisoned")
+                        .send(line, meta)?;
+                }
+                Ok(())
+            })
+        };
+
+        let reader = {
+            let writer = Arc::clone(&writer);
+            std::thread::spawn(move || -> ReaderOut {
+                let mut got: ReaderOut = Vec::with_capacity(expect);
+                let mut lines = BufReader::new(reader_stream).lines();
+                while got.len() < expect {
+                    let Some(Ok(line)) = lines.next() else { break };
+                    let arrived_us = start.elapsed().as_micros() as u64;
+                    let meta = writer
+                        .lock()
+                        .expect("conn writer poisoned")
+                        .order
+                        .pop_front()
+                        .expect("reply without a matching request");
+                    let shed = line.contains("\"error\":\"overloaded\"");
+                    if shed && meta.attempt < policy.retries {
+                        let next = InFlight {
+                            attempt: meta.attempt + 1,
+                            ..meta
+                        };
+                        let wait = policy.backoff_us(meta.id, next.attempt);
+                        let _ = retry_tx.send((next, Instant::now() + Duration::from_micros(wait)));
+                        continue;
+                    }
+                    got.push((
+                        meta.id,
+                        arrived_us.saturating_sub(meta.at_us),
+                        line,
+                        meta.attempt,
+                    ));
+                }
+                drop(retry_tx); // closes the retry lane
+                got
+            })
+        };
+        join.push((sender, retry, reader));
     }
 
     let mut responses: Vec<Option<String>> = vec![None; events.len()];
     let mut latencies: Vec<Option<u64>> = vec![None; events.len()];
-    for (sender, reader) in join {
+    let mut retried = 0u64;
+    let mut retried_ok = 0u64;
+    for (sender, retry, reader) in join {
         sender.join().expect("load sender panicked")?;
-        for (id, lat_us, line) in reader.join().expect("load reader panicked") {
+        for (id, lat_us, line, attempts) in reader.join().expect("load reader panicked") {
             latencies[id] = Some(lat_us);
+            retried += u64::from(attempts);
+            if attempts > 0 && line.contains("\"ok\":true") {
+                retried_ok += 1;
+            }
             responses[id] = Some(line);
         }
+        retry.join().expect("load retry thread panicked")?;
     }
-    let report = fold_report(events, &responses, &latencies);
+    let mut report = fold_report(events, &responses, &latencies);
+    report.retried = retried;
+    report.retried_ok = retried_ok;
     Ok(RunOutcome { report, responses })
 }
 
@@ -259,6 +455,10 @@ pub fn fold_report(
         errors: 0,
         reloads_ok: 0,
         reloads_rejected: 0,
+        mutations_ok: 0,
+        mutations_rejected: 0,
+        retried: 0,
+        retried_ok: 0,
         measured: 0,
         elapsed_s: 0.0,
         qps: 0.0,
@@ -278,6 +478,14 @@ pub fn fold_report(
                 r.reloads_ok += 1;
             } else {
                 r.reloads_rejected += 1;
+            }
+            continue;
+        }
+        if event.is_mutate {
+            if ok {
+                r.mutations_ok += 1;
+            } else {
+                r.mutations_rejected += 1;
             }
             continue;
         }
@@ -348,6 +556,7 @@ mod tests {
             requests: 40,
             warmup: 10,
             reload_every: 16,
+            mutate_every: 12,
             ..PlanConfig::default()
         };
         let plan = build_plan(
@@ -357,6 +566,7 @@ mod tests {
         );
         let events = render_events(&plan, &g, Some(250), Some("m.ckpt"));
         assert!(events.iter().any(|e| e.is_reload));
+        assert!(events.iter().any(|e| e.is_mutate));
         for (i, e) in events.iter().enumerate() {
             let cmd = cf_serve::protocol::parse_command(&e.line)
                 .unwrap_or_else(|err| panic!("unparseable line {:?}: {err}", e.line));
@@ -364,12 +574,21 @@ mod tests {
                 cf_serve::protocol::Command::Predict(r) => {
                     assert_eq!(r.id, Some(i as u64));
                     assert_eq!(r.deadline_ms, Some(250));
-                    assert!(!e.is_reload);
+                    assert!(!e.is_reload && !e.is_mutate);
                 }
                 cf_serve::protocol::Command::Reload { ckpt, id } => {
                     assert_eq!(ckpt, "m.ckpt");
                     assert_eq!(id, Some(i as u64));
                     assert!(e.is_reload);
+                }
+                cf_serve::protocol::Command::Mutate { muts, id } => {
+                    assert_eq!(id, Some(i as u64));
+                    assert_eq!(muts.len(), 1);
+                    assert!(matches!(
+                        &muts[0],
+                        cf_kg::Mutation::UpsertNumeric { value, .. } if value.is_finite()
+                    ));
+                    assert!(e.is_mutate);
                 }
             }
         }
@@ -378,6 +597,27 @@ mod tests {
         let no_reload = render_events(&plan, &g, None, None);
         assert!(no_reload.iter().all(|e| !e.is_reload));
         assert!(no_reload.iter().all(|e| !e.line.contains("deadline_ms")));
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_grows() {
+        let p = RetryPolicy {
+            retries: 3,
+            base_us: 1000,
+            seed: 9,
+        };
+        for id in [0usize, 17, 4096] {
+            let a: Vec<u64> = (1..=3).map(|k| p.backoff_us(id, k)).collect();
+            let b: Vec<u64> = (1..=3).map(|k| p.backoff_us(id, k)).collect();
+            assert_eq!(a, b, "backoff schedule must be reproducible");
+            for (k, &w) in a.iter().enumerate() {
+                let base = p.base_us << k;
+                assert!(w >= base && w <= base + base / 2, "attempt {k}: {w}");
+            }
+        }
+        // Different seeds jitter differently (else thundering herds sync).
+        let q = RetryPolicy { seed: 10, ..p };
+        assert!((1..=3).any(|k| p.backoff_us(17, k) != q.backoff_us(17, k)));
     }
 
     #[test]
@@ -397,19 +637,22 @@ mod tests {
 
     #[test]
     fn fold_report_classifies_outcomes_and_measures_the_window() {
-        let ev = |at_us: u64, measured: bool, is_reload: bool| PreparedEvent {
+        let ev = |at_us: u64, measured: bool, is_reload: bool, is_mutate: bool| PreparedEvent {
             at_us,
             line: String::new(),
             measured,
             is_reload,
+            is_mutate,
         };
         let events = vec![
-            ev(0, false, false),  // warmup
-            ev(100, true, false), // ok
-            ev(200, true, false), // shed
-            ev(300, true, false), // deadline
-            ev(300, false, true), // reload rejected
-            ev(400, true, false), // parse error
+            ev(0, false, false, false),  // warmup
+            ev(100, true, false, false), // ok
+            ev(200, true, false, false), // shed
+            ev(300, true, false, false), // deadline
+            ev(300, false, true, false), // reload rejected
+            ev(400, true, false, false), // parse error
+            ev(400, false, false, true), // mutate applied
+            ev(450, false, false, true), // mutate rejected
         ];
         let responses = vec![
             Some(r#"{"id":0,"ok":true,"value":1.0,"fallback":false,"retrieved":1,"chains":1,"micros":10}"#.to_string()),
@@ -418,14 +661,26 @@ mod tests {
             Some(r#"{"id":3,"ok":false,"error":"deadline exceeded"}"#.to_string()),
             Some(r#"{"id":4,"ok":false,"error":"reload: corrupt"}"#.to_string()),
             Some(r#"{"id":5,"ok":false,"error":"parse: bad"}"#.to_string()),
+            Some(r#"{"id":6,"ok":true,"mutated":true,"applied":1,"changed":1}"#.to_string()),
+            Some(r#"{"id":7,"ok":false,"error":"mutate: attr not in vocabulary"}"#.to_string()),
         ];
-        let latencies = vec![Some(50), Some(900), Some(5), Some(5), Some(5), Some(5)];
+        let latencies = vec![
+            Some(50),
+            Some(900),
+            Some(5),
+            Some(5),
+            Some(5),
+            Some(5),
+            Some(5),
+            Some(5),
+        ];
         let r = fold_report(&events, &responses, &latencies);
         assert_eq!(
             (r.sent, r.ok, r.shed, r.deadline_missed, r.errors),
-            (6, 2, 1, 1, 1)
+            (8, 2, 1, 1, 1)
         );
         assert_eq!((r.reloads_ok, r.reloads_rejected), (0, 1));
+        assert_eq!((r.mutations_ok, r.mutations_rejected), (1, 1));
         assert_eq!(r.measured, 4);
         assert_eq!(r.latency.count(), 4);
         // Window: first measured at 100 µs, last done at 100+900 = 1000 µs.

@@ -69,6 +69,7 @@ fn open_loop_overload_sheds_instead_of_unbounded_latency() {
             warmup: 0,
             zipf_s: 1.0,
             reload_every: 0,
+            mutate_every: 0,
             seed: 11,
         },
     );

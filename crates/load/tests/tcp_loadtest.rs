@@ -56,6 +56,7 @@ fn identical_plans_give_identical_dumps_and_reports() {
             warmup: 20,
             zipf_s: 1.0,
             reload_every: 48,
+            mutate_every: 0,
             seed: 5,
             ..PlanConfig::default()
         },

@@ -6,7 +6,7 @@
 //! at once without copying.
 
 use cf_chains::{ChainInstance, Query};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A cached retrieval result: the filtered chains plus the pre-filter
@@ -72,6 +72,20 @@ impl ChainCache {
         self.map.insert(q, (self.tick, v));
     }
 
+    /// Drops every entry whose query source entity is in `dirty`,
+    /// returning how many were removed.
+    ///
+    /// Cached chains are keyed by the query, but a chain *traverses* up to
+    /// `max_hops` entities beyond its source; the engine therefore passes
+    /// the mutation's touched set expanded by a `max_hops` BFS over the
+    /// live adjacency (both CSR directions), so any cached chain that
+    /// could reach a mutated entity is discarded.
+    pub fn invalidate_entities(&mut self, dirty: &HashSet<u32>) -> usize {
+        let before = self.map.len();
+        self.map.retain(|q, _| !dirty.contains(&q.entity.0));
+        before - self.map.len()
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -133,6 +147,22 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(q(1, 0)).unwrap().retrieved, 10);
         assert!(c.get(q(2, 0)).is_some());
+    }
+
+    #[test]
+    fn invalidate_drops_only_dirty_entities() {
+        let mut c = ChainCache::new(8);
+        c.put(q(1, 0), entry(1));
+        c.put(q(1, 1), entry(2));
+        c.put(q(2, 0), entry(3));
+        c.put(q(3, 0), entry(4));
+        let dirty: HashSet<u32> = [1, 3].into_iter().collect();
+        assert_eq!(c.invalidate_entities(&dirty), 3);
+        assert!(c.get(q(1, 0)).is_none());
+        assert!(c.get(q(1, 1)).is_none());
+        assert!(c.get(q(3, 0)).is_none());
+        assert_eq!(c.get(q(2, 0)).unwrap().retrieved, 3);
+        assert_eq!(c.invalidate_entities(&dirty), 0, "second pass is a no-op");
     }
 
     #[test]

@@ -27,13 +27,16 @@
 use crate::cache::{CachedChains, ChainCache};
 use crate::metrics::Metrics;
 use cf_chains::Query;
-use cf_kg::{ChainIndexStore, ChainIndexView, EntityId, GraphStore};
+use cf_kg::{
+    validate_mutation, ChainIndexStore, ChainIndexView, EntityId, GraphStore, GraphView,
+    JournalWriter, Mutation, OverlayGraph, StoreError,
+};
 use cf_rand::rngs::StdRng;
 use cf_rand::SeedableRng;
 use cf_tensor::{QuantInferCtx, QuantizedParamStore};
 use chainsformer::{ChainsFormer, PredictionDetail, ResolvedQuery};
-use std::collections::VecDeque;
-use std::path::Path;
+use std::collections::{HashSet, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
@@ -193,9 +196,53 @@ struct Shard {
     cache: Mutex<ChainCache>,
 }
 
+/// The mutable serving graph: the immutable base store wrapped in a
+/// mutation overlay, plus the bookkeeping that keeps the precomputed chain
+/// index honest after mutations.
+///
+/// Guarded by one engine-wide `RwLock` — the same generation discipline the
+/// per-shard model locks use: workers hold the read lock across a batch's
+/// chain resolution, [`Engine::mutate`] takes the write lock to apply, so
+/// every shard observes each mutation atomically (no batch can see half a
+/// mutation, and no stale chain set can be cached after the invalidation
+/// pass ran).
+struct LiveGraph {
+    overlay: OverlayGraph,
+    /// Entities whose indexed chains may no longer match the live graph:
+    /// the mutation's touched entities expanded by a `max_hops` BFS over
+    /// the live adjacency (the CSR row holds both edge directions, so this
+    /// covers entities whose chains *traverse* a touched entity). Workers
+    /// bypass the chain index for these and walk the overlay instead.
+    stale: HashSet<u32>,
+    /// Bumped once per applied mutation batch.
+    generation: u64,
+}
+
+/// Durability state behind [`Engine::mutate`]: the append-only CFJ1 writer
+/// plus the optional compaction policy.
+struct JournalState {
+    writer: JournalWriter,
+    compact: Option<CompactionPolicy>,
+    /// Set when a commit fails. The file may end in a torn tail that only
+    /// [`JournalWriter::open`]'s recovery can truncate safely, so further
+    /// appends are refused until restart — they would extend garbage.
+    failed: bool,
+}
+
+/// Rewrite the canonical CFKG1 store (atomic tmp → fsync → rename) and
+/// truncate the journal whenever it accumulates `every` records.
+struct CompactionPolicy {
+    path: PathBuf,
+    every: u64,
+}
+
 struct Shared {
-    graph: GraphStore,
+    live: RwLock<LiveGraph>,
+    journal: Mutex<Option<JournalState>>,
     index: Option<ChainIndexStore>,
+    /// The served model's `max_hops` (chain-length bound): the BFS radius
+    /// for cache/index invalidation.
+    hops: usize,
     cfg: EngineConfig,
     shards: Vec<Shard>,
     metrics: Metrics,
@@ -206,6 +253,100 @@ struct Shared {
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+}
+
+/// Read guard over the live serving graph, dereferencing to the
+/// [`OverlayGraph`] (a [`GraphView`]) for name resolution and inspection.
+/// While held, a concurrent [`Engine::mutate`] blocks — see the caveat on
+/// [`Engine::graph`].
+pub struct GraphGuard<'a> {
+    guard: RwLockReadGuard<'a, LiveGraph>,
+}
+
+impl std::ops::Deref for GraphGuard<'_> {
+    type Target = OverlayGraph;
+
+    fn deref(&self) -> &OverlayGraph {
+        &self.guard.overlay
+    }
+}
+
+/// What one [`Engine::mutate`] batch did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// Mutations in the batch (all validated, journaled, applied).
+    pub applied: usize,
+    /// How many actually changed the graph (the rest were idempotent
+    /// re-applies).
+    pub changed: usize,
+    /// Entities marked stale for the chain index: the touched set expanded
+    /// by the `max_hops` invalidation BFS.
+    pub dirty: usize,
+    /// Cached chain sets dropped across all shards.
+    pub invalidated: usize,
+    /// Live-graph generation after this batch.
+    pub generation: u64,
+    /// Whether this batch triggered a store compaction + journal truncate.
+    pub compacted: bool,
+}
+
+/// The invalidation neighborhood of a mutation: every entity within `hops`
+/// edges of a touched entity, in either direction (adjacency rows hold the
+/// forward and the inverse edge, so one BFS covers both).
+///
+/// Soundness: a chain gathered for source `s` only visits entities
+/// reachable from `s` in ≤ `hops` steps, so a cached or indexed chain set
+/// for `s` can only be affected by a mutation touching that neighborhood —
+/// equivalently, `s` is within `hops` of a touched entity, i.e. in this
+/// set. Edges are only ever added, never removed, so running the BFS over
+/// the *post-mutation* adjacency can only widen the set (it contains every
+/// path that existed pre-mutation).
+pub fn dirty_entities(g: &OverlayGraph, touched: &[EntityId], hops: usize) -> HashSet<u32> {
+    let mut dirty: HashSet<u32> = touched.iter().map(|e| e.0).collect();
+    let mut frontier: Vec<u32> = dirty.iter().copied().collect();
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &e in &frontier {
+            for edge in g.neighbors(EntityId(e)) {
+                if dirty.insert(edge.to.0) {
+                    next.push(edge.to.0);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    dirty
+}
+
+/// Rejects mutations naming a relation or attribute outside the serving
+/// vocabulary. The model's token embedding tables are sized from the
+/// training graph's relations and attributes; a chain through an unseen
+/// token could not be encoded. Entities are fine — the model is inductive
+/// over them.
+fn check_vocab(g: &OverlayGraph, m: &Mutation) -> Result<(), String> {
+    match m {
+        Mutation::UpsertNumeric { attr, .. } => {
+            if g.attribute_by_name(attr).is_none() {
+                return Err(format!(
+                    "attr: \"{attr}\" is not in the serving vocabulary \
+                     (new attributes require retraining)"
+                ));
+            }
+        }
+        Mutation::AddEdge { rel, .. } => {
+            if g.relation_by_name(rel).is_none() {
+                return Err(format!(
+                    "rel: \"{rel}\" is not in the serving vocabulary \
+                     (new relations require retraining)"
+                ));
+            }
+        }
+        Mutation::AddEntity { .. } => {}
+    }
+    Ok(())
 }
 
 /// Deterministic retrieval seed for a query: mixes the engine seed with the
@@ -329,6 +470,7 @@ impl Engine {
             ix.check_matches(&graph)
                 .expect("chain index does not match the serving graph");
         }
+        let hops = model.cfg.setting.max_hops;
         let nshards = if cfg.shards == 0 {
             cf_tensor::pool::threads().max(1)
         } else {
@@ -368,8 +510,14 @@ impl Engine {
         metrics.set_quantize_int8(cfg.quantize == QuantMode::Int8);
         let shared = Arc::new(Shared {
             metrics,
-            graph,
+            live: RwLock::new(LiveGraph {
+                overlay: OverlayGraph::new(graph),
+                stale: HashSet::new(),
+                generation: 0,
+            }),
+            journal: Mutex::new(None),
             index,
+            hops,
             cfg,
             shards,
         });
@@ -447,9 +595,198 @@ impl Engine {
         rx.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 
-    /// The graph the engine serves against (for name resolution).
-    pub fn graph(&self) -> &GraphStore {
-        &self.shared.graph
+    /// The live graph the engine serves against (base store + mutation
+    /// overlay), behind a read guard.
+    ///
+    /// **Do not hold the guard across [`Self::submit`] / [`Self::predict`]
+    /// and the reply wait**: a concurrent [`Self::mutate`] queued on the
+    /// write lock can make the workers' own read acquisition wait behind
+    /// it, and the workers are what answer the reply you are blocked on.
+    /// Resolve names, drop the guard, then submit.
+    pub fn graph(&self) -> GraphGuard<'_> {
+        GraphGuard {
+            guard: self.shared.live.read().expect("live graph poisoned"),
+        }
+    }
+
+    /// Generation counter of the live graph (bumped per applied mutation
+    /// batch; 0 until the first mutation).
+    pub fn graph_generation(&self) -> u64 {
+        self.shared
+            .live
+            .read()
+            .expect("live graph poisoned")
+            .generation
+    }
+
+    /// Applies a batch of live-graph mutations: validate every mutation,
+    /// append + fsync them to the journal (when one is attached) **before**
+    /// they become visible, then apply to the overlay, mark the touched
+    /// `max_hops` neighborhood stale for the chain index, and drop every
+    /// cached chain set that could traverse a mutated entity — all under
+    /// the live write lock, so every shard observes the mutation
+    /// atomically.
+    ///
+    /// All-or-nothing: any validation or journal error leaves the live
+    /// graph untouched. Mutations naming a relation or attribute absent
+    /// from the serving vocabulary are rejected here (the model's embedding
+    /// tables are sized at training time; retrieval through an unseen
+    /// relation token could not be encoded). New *entities* are fine — the
+    /// model is inductive over entities.
+    ///
+    /// Counted in `cf_serve_mutations_ok_total` /
+    /// `cf_serve_mutations_rejected_total`.
+    pub fn mutate(&self, muts: &[Mutation]) -> Result<MutationOutcome, String> {
+        let result = self.mutate_inner(muts);
+        let m = &self.shared.metrics;
+        match &result {
+            Ok(_) => m.mutations_ok.fetch_add(1, Ordering::Relaxed),
+            Err(_) => m.mutations_rejected.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    fn mutate_inner(&self, muts: &[Mutation]) -> Result<MutationOutcome, String> {
+        for (i, mu) in muts.iter().enumerate() {
+            validate_mutation(mu).map_err(|e| format!("mutation {i}: {e}"))?;
+        }
+        {
+            let live = self.shared.live.read().expect("live graph poisoned");
+            for (i, mu) in muts.iter().enumerate() {
+                check_vocab(&live.overlay, mu).map_err(|e| format!("mutation {i}: {e}"))?;
+            }
+        }
+        // Durability before visibility: a mutation the journal has not
+        // fsynced must not influence any answer (lock order: journal →
+        // live.write → shard caches; workers take live.read → model.read;
+        // no path takes them in the opposite order).
+        let mut journal = self.shared.journal.lock().expect("journal poisoned");
+        if let Some(js) = journal.as_mut() {
+            if js.failed {
+                return Err(
+                    "journal: an earlier commit failed; mutations are disabled until restart"
+                        .into(),
+                );
+            }
+            for mu in muts {
+                js.writer.append(mu);
+            }
+            if let Err(e) = js.writer.commit() {
+                js.failed = true;
+                return Err(format!("journal: {e}"));
+            }
+        }
+        let mut live = self.shared.live.write().expect("live graph poisoned");
+        let mut changed = 0usize;
+        let mut touched: Vec<EntityId> = Vec::new();
+        let mut seen = HashSet::new();
+        for mu in muts {
+            let out = live.overlay.apply(mu);
+            changed += usize::from(out.changed);
+            for e in out.touched {
+                if seen.insert(e.0) {
+                    touched.push(e);
+                }
+            }
+        }
+        let dirty = dirty_entities(&live.overlay, &touched, self.shared.hops);
+        live.stale.extend(dirty.iter().copied());
+        live.generation += 1;
+        let generation = live.generation;
+        let mut invalidated = 0usize;
+        for shard in &self.shared.shards {
+            invalidated += shard
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .invalidate_entities(&dirty);
+        }
+        // Compaction under both locks: the canonical rewrite and the
+        // journal truncation stay atomic with respect to other mutations.
+        // A crash *between* the two is harmless — replaying the surviving
+        // journal onto the compacted store is a no-op (idempotence).
+        let mut compacted = false;
+        if let Some(js) = journal.as_mut() {
+            if let Some(pol) = &js.compact {
+                if pol.every > 0 && js.writer.records() >= pol.every {
+                    live.overlay
+                        .compact_to(&pol.path)
+                        .map_err(|e| format!("compaction: {e}"))?;
+                    js.writer
+                        .truncate_all()
+                        .map_err(|e| format!("journal truncate: {e}"))?;
+                    compacted = true;
+                }
+            }
+        }
+        Ok(MutationOutcome {
+            applied: muts.len(),
+            changed,
+            dirty: dirty.len(),
+            invalidated,
+            generation,
+            compacted,
+        })
+    }
+
+    /// Attaches a CFJ1 mutation journal, replaying any mutations it already
+    /// holds onto the live graph (with the same stale-marking and cache
+    /// invalidation a fresh [`Self::mutate`] performs — the chain index was
+    /// built against the pristine base, so replayed neighborhoods must
+    /// bypass it too). A torn tail left by a crash mid-append is truncated
+    /// by [`JournalWriter::open`]; returns how many committed mutations
+    /// were replayed.
+    ///
+    /// With `compaction = Some((path, every))`, every `every` journaled
+    /// records the live graph is compacted to a canonical CFKG1 at `path`
+    /// and the journal is truncated.
+    pub fn attach_journal(
+        &self,
+        path: impl AsRef<Path>,
+        compaction: Option<(PathBuf, u64)>,
+    ) -> Result<usize, StoreError> {
+        let mut journal = self.shared.journal.lock().expect("journal poisoned");
+        let (writer, recovery) = JournalWriter::open(path)?;
+        let replayed = recovery.mutations.len();
+        if replayed > 0 {
+            let mut live = self.shared.live.write().expect("live graph poisoned");
+            for (i, mu) in recovery.mutations.iter().enumerate() {
+                check_vocab(&live.overlay, mu).map_err(|what| StoreError::Corrupt {
+                    section: "journal",
+                    what: format!("record {i}: {what}"),
+                })?;
+                let touched = live.overlay.apply(mu).touched;
+                let dirty = dirty_entities(&live.overlay, &touched, self.shared.hops);
+                live.stale.extend(dirty.iter().copied());
+                for shard in &self.shared.shards {
+                    shard
+                        .cache
+                        .lock()
+                        .expect("cache poisoned")
+                        .invalidate_entities(&dirty);
+                }
+            }
+            live.generation += 1;
+        }
+        *journal = Some(JournalState {
+            writer,
+            compact: compaction.map(|(path, every)| CompactionPolicy { path, every }),
+            failed: false,
+        });
+        Ok(replayed)
+    }
+
+    /// Compacts the live graph (base + overlay) to a canonical CFKG1 file
+    /// via the store's atomic tmp → fsync → rename path, then truncates the
+    /// attached journal (if any) — its mutations are now in the base.
+    pub fn compact_to(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let mut journal = self.shared.journal.lock().expect("journal poisoned");
+        let live = self.shared.live.read().expect("live graph poisoned");
+        live.overlay.compact_to(path)?;
+        if let Some(js) = journal.as_mut() {
+            js.writer.truncate_all()?;
+        }
+        Ok(())
     }
 
     /// Shard 0's model replica (a read guard: drops cheaply, blocks a
@@ -667,6 +1004,13 @@ fn process_batch(shared: &Shared, shard_ix: usize, batch: Vec<Job>, ctx: &mut Wo
     let model = shard.model.read().expect("model poisoned");
     let service_start = Instant::now();
 
+    // The live-graph read guard spans the whole resolve phase (cache
+    // lookup → retrieval → cache insert), so a concurrent mutate's write
+    // lock — which applies the mutation *and* invalidates the caches —
+    // cannot interleave with it: chains cached here are consistent with
+    // the graph generation this batch retrieved against.
+    let live_graph = shared.live.read().expect("live graph poisoned");
+
     // Resolve every job's chains through the shard cache. The cache lock is
     // only held for the lookup/insert, never across retrieval of *other*
     // queries' chains in the same batch.
@@ -686,9 +1030,20 @@ fn process_batch(shared: &Shared, shard_ix: usize, batch: Vec<Job>, ctx: &mut Wo
                         .cache_misses
                         .fetch_add(1, Ordering::Relaxed);
                     let mut rng = StdRng::seed_from_u64(query_rng_seed(shared.cfg.seed, job.query));
-                    let (toc, retrieved) = match &shared.index {
+                    // The precomputed chain index answers only entities it
+                    // was built for whose `max_hops` neighborhood is still
+                    // pristine; mutated neighborhoods (and entities added
+                    // after the build) walk the live overlay instead. The
+                    // bypass predicate is a pure function of the query and
+                    // the mutation history — shard-count independent, so
+                    // responses stay bitwise-identical at every shard count.
+                    let ix = shared.index.as_ref().filter(|ix| {
+                        (job.query.entity.0 as usize) < ix.num_entities()
+                            && !live_graph.stale.contains(&job.query.entity.0)
+                    });
+                    let (toc, retrieved) = match ix {
                         Some(ix) => model.gather_chains_indexed(ix, job.query, &mut rng),
-                        None => model.gather_chains(&shared.graph, job.query, &mut rng),
+                        None => model.gather_chains(&live_graph.overlay, job.query, &mut rng),
                     };
                     let entry = Arc::new(CachedChains {
                         chains: toc.chains,
@@ -704,6 +1059,7 @@ fn process_batch(shared: &Shared, shard_ix: usize, batch: Vec<Job>, ctx: &mut Wo
             }
         })
         .collect();
+    drop(live_graph);
 
     let jobs_view: Vec<ResolvedQuery<'_>> = live
         .iter()
@@ -812,7 +1168,7 @@ mod tests {
         for &q in queries.iter().take(4) {
             let served = e.predict(q).expect("served");
             let mut rng = StdRng::seed_from_u64(query_rng_seed(7, q));
-            let direct = e.model().predict(e.graph(), q, &mut rng);
+            let direct = e.model().predict(&*e.graph(), q, &mut rng);
             assert_eq!(served.detail.value.to_bits(), direct.value.to_bits());
             assert_eq!(served.detail.used_fallback, direct.used_fallback);
             assert_eq!(served.detail.retrieved, direct.retrieved);
@@ -1156,6 +1512,276 @@ mod tests {
         assert_eq!(baseline, restored, "requantization is not reproducible");
         e.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A mutation batch exercising every op: a numeric upsert on a served
+    /// entity, a new entity, and an edge linking it into the graph.
+    fn mutation_batch(graph: &impl cf_kg::GraphView, q: Query) -> Vec<Mutation> {
+        let entity = graph.entity_name(q.entity).to_string();
+        let attr = graph.attribute_name(q.attr).to_string();
+        let rel = graph.relation_name(cf_kg::RelationId(0)).to_string();
+        vec![
+            Mutation::UpsertNumeric {
+                entity: entity.clone(),
+                attr,
+                value: 1234.5,
+            },
+            Mutation::AddEntity {
+                name: "mutant_0".into(),
+            },
+            Mutation::AddEdge {
+                head: "mutant_0".into(),
+                rel,
+                tail: entity,
+            },
+        ]
+    }
+
+    #[test]
+    fn mutate_applies_invalidates_and_changes_answers() {
+        let (e, queries) = engine(EngineConfig::default());
+        let q = queries[0];
+        let before = e.predict(q).expect("before");
+        assert!(e.predict(q).expect("cached").cache_hit);
+
+        let muts = mutation_batch(&*e.graph(), q);
+        let out = e.mutate(&muts).expect("mutate");
+        assert_eq!(out.applied, 3);
+        assert_eq!(out.changed, 3);
+        assert!(out.dirty >= 2, "touched entities must be marked stale");
+        assert!(out.invalidated >= 1, "cached entry for q must be dropped");
+        assert_eq!(out.generation, 1);
+        assert_eq!(e.graph_generation(), 1);
+
+        // The cached entry was invalidated: the next predict re-retrieves
+        // against the mutated graph, and the upsert of this very
+        // (entity, attr) fact changes the answer.
+        let after = e.predict(q).expect("after");
+        assert!(!after.cache_hit, "stale chains served from cache");
+        assert_ne!(
+            before.detail.value.to_bits(),
+            after.detail.value.to_bits(),
+            "upserting the queried fact must change the prediction"
+        );
+
+        // Idempotence: re-applying the same batch changes nothing and the
+        // answer (now cached again) is stable.
+        let out = e.mutate(&muts).expect("re-mutate");
+        assert_eq!(out.changed, 0);
+        assert_eq!(out.dirty, 0);
+        let again = e.predict(q).expect("again");
+        assert_eq!(after.detail.value.to_bits(), again.detail.value.to_bits());
+
+        assert_eq!(e.metrics().mutations_ok.load(Ordering::Relaxed), 2);
+        e.shutdown();
+    }
+
+    #[test]
+    fn invalid_mutations_are_rejected_without_applying() {
+        let (e, queries) = engine(EngineConfig::default());
+        let q = queries[0];
+        let entity = e.graph().entity_name(q.entity).to_string();
+        // Per-field validation error, batch position named.
+        let err = e
+            .mutate(&[
+                Mutation::AddEntity { name: "ok".into() },
+                Mutation::UpsertNumeric {
+                    entity: entity.clone(),
+                    attr: "birth".into(),
+                    value: f64::NAN,
+                },
+            ])
+            .expect_err("NaN accepted");
+        assert!(err.contains("mutation 1"), "{err}");
+        assert!(err.contains("value: not finite"), "{err}");
+        // Out-of-vocabulary attribute / relation.
+        let err = e
+            .mutate(&[Mutation::UpsertNumeric {
+                entity: entity.clone(),
+                attr: "unheard_of".into(),
+                value: 1.0,
+            }])
+            .expect_err("unknown attr accepted");
+        assert!(err.contains("not in the serving vocabulary"), "{err}");
+        let err = e
+            .mutate(&[Mutation::AddEdge {
+                head: entity.clone(),
+                rel: "unheard_of".into(),
+                tail: entity,
+            }])
+            .expect_err("unknown rel accepted");
+        assert!(err.contains("not in the serving vocabulary"), "{err}");
+        // Nothing was applied: generation unchanged, vocabulary additions
+        // from rejected batches (the "ok" entity) never landed.
+        assert_eq!(e.graph_generation(), 0);
+        assert!(e.graph().entity_by_name("ok").is_none());
+        assert_eq!(e.metrics().mutations_rejected.load(Ordering::Relaxed), 3);
+        assert_eq!(e.metrics().mutations_ok.load(Ordering::Relaxed), 0);
+        e.shutdown();
+    }
+
+    #[test]
+    fn post_mutation_answers_are_shard_count_invariant() {
+        // The acceptance bar: after the same mutation batch, every query —
+        // including one for a freshly added entity — answers with the same
+        // bits at shards 1 and 4, f32 and int8.
+        for quantize in [QuantMode::F32, QuantMode::Int8] {
+            let mut answers: Vec<Vec<u64>> = Vec::new();
+            for shards in [1usize, 4] {
+                let (e, queries) = engine(EngineConfig {
+                    shards,
+                    quantize,
+                    ..EngineConfig::default()
+                });
+                // Warm caches pre-mutation so invalidation is exercised.
+                for &q in &queries {
+                    e.predict(q).expect("warm");
+                }
+                let muts = mutation_batch(&*e.graph(), queries[0]);
+                e.mutate(&muts).expect("mutate");
+                let new_entity = e.graph().entity_by_name("mutant_0").expect("added");
+                let mut qs = queries.clone();
+                qs.push(Query {
+                    entity: new_entity,
+                    attr: queries[0].attr,
+                });
+                answers.push(
+                    qs.iter()
+                        .map(|&q| e.predict(q).expect("predict").detail.value.to_bits())
+                        .collect(),
+                );
+                e.shutdown();
+            }
+            assert_eq!(
+                answers[0], answers[1],
+                "shard count changed post-mutation bits ({quantize})"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_attach_replays_mutations_bitwise() {
+        let dir = std::env::temp_dir().join(format!("cf_engine_journal_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("live.cfj");
+
+        let (e, queries) = engine(EngineConfig::default());
+        assert_eq!(e.attach_journal(&journal, None).expect("attach"), 0);
+        let muts = mutation_batch(&*e.graph(), queries[0]);
+        e.mutate(&muts).expect("mutate");
+        let want: Vec<u64> = queries
+            .iter()
+            .map(|&q| e.predict(q).expect("predict").detail.value.to_bits())
+            .collect();
+        e.shutdown();
+
+        // A fresh engine over the same base replays the journal on attach
+        // and serves identical bits.
+        let (e2, _) = engine(EngineConfig::default());
+        let replayed = e2.attach_journal(&journal, None).expect("attach");
+        assert_eq!(replayed, muts.len());
+        assert!(e2.graph().entity_by_name("mutant_0").is_some());
+        let got: Vec<u64> = queries
+            .iter()
+            .map(|&q| e2.predict(q).expect("predict").detail.value.to_bits())
+            .collect();
+        assert_eq!(want, got, "journal replay changed served bits");
+
+        // Compaction folds the overlay into a canonical store and empties
+        // the journal; an engine over the compacted store (no journal)
+        // serves the same bits again.
+        let store = dir.join("compacted.cfkg");
+        e2.compact_to(&store).expect("compact");
+        assert_eq!(cf_kg::recover_file(&journal).unwrap().mutations.len(), 0);
+        e2.shutdown();
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = yago15k_sim(SynthScale::small(), &mut rng);
+        let split = Split::paper_811(&g, &mut rng);
+        let visible = split.visible_graph(&g);
+        let model = ChainsFormer::new(&visible, &split.train, ChainsFormerConfig::tiny(), &mut rng);
+        let compacted = cf_kg::read_store(&store).expect("read compacted");
+        let e3 = Engine::new(model, compacted, EngineConfig::default());
+        let got: Vec<u64> = queries
+            .iter()
+            .map(|&q| e3.predict(q).expect("predict").detail.value.to_bits())
+            .collect();
+        assert_eq!(want, got, "compacted store changed served bits");
+        e3.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mutation_under_index_bypasses_stale_neighborhoods() {
+        // Indexed engines must not serve pre-mutation chains out of the
+        // frozen index: entities inside the dirty BFS neighborhood (and
+        // entities past the index bound, i.e. freshly added ones) bypass
+        // the index and walk the overlay instead — and the bypass
+        // predicate is a pure function of the query and mutation history,
+        // so the bits stay shard-count invariant.
+        let mut answers: Vec<Vec<u64>> = Vec::new();
+        for shards in [1usize, 4] {
+            let mut rng = StdRng::seed_from_u64(17);
+            let g = yago15k_sim(SynthScale::small(), &mut rng);
+            let split = Split::paper_811(&g, &mut rng);
+            let visible = split.visible_graph(&g);
+            let model =
+                ChainsFormer::new(&visible, &split.train, ChainsFormerConfig::tiny(), &mut rng);
+            let queries: Vec<Query> = split
+                .test
+                .iter()
+                .take(8)
+                .map(|t| Query {
+                    entity: t.entity,
+                    attr: t.attr,
+                })
+                .collect();
+            let params = cf_kg::IndexParams {
+                max_hops: model.cfg.setting.max_hops as u32,
+                ..cf_kg::IndexParams::default()
+            };
+            let ix = cf_kg::build_chain_index(&visible, params);
+            let e = Engine::new_with_index(
+                model,
+                visible,
+                Some(ChainIndexStore::Built(ix)),
+                EngineConfig {
+                    shards,
+                    ..EngineConfig::default()
+                },
+            );
+            let q = queries[0];
+            let before = e.predict(q).expect("before").detail;
+            let muts = mutation_batch(&*e.graph(), q);
+            e.mutate(&muts).expect("mutate indexed engine");
+            // The queried fact was upserted; if the frozen index were still
+            // consulted for this (now stale) neighborhood the old chain
+            // values would survive and the answer could not move.
+            let after = e.predict(q).expect("after").detail;
+            assert_ne!(
+                before.value.to_bits(),
+                after.value.to_bits(),
+                "stale index still serving pre-mutation chains"
+            );
+            // A freshly added entity lies past the index bound and must be
+            // answerable through the overlay walk path.
+            let new_entity = e.graph().entity_by_name("mutant_0").expect("added");
+            let mut qs = queries.clone();
+            qs.push(Query {
+                entity: new_entity,
+                attr: q.attr,
+            });
+            answers.push(
+                qs.iter()
+                    .map(|&q| e.predict(q).expect("predict").detail.value.to_bits())
+                    .collect(),
+            );
+            e.shutdown();
+        }
+        assert_eq!(
+            answers[0], answers[1],
+            "index bypass broke shard-count invariance"
+        );
     }
 
     #[test]

@@ -8,15 +8,17 @@
 //! - [`engine::Engine`] — N model-replica shards (entity-hash routed, so
 //!   responses are bitwise identical at any shard count), each with a
 //!   bounded micro-batching queue drained by worker threads, latency-aware
-//!   admission control ([`engine::admit`]), coordinated hot-reload, and
-//!   per-query deterministic retrieval;
+//!   admission control ([`engine::admit`]), coordinated hot-reload, live
+//!   graph mutation ([`engine::Engine::mutate`]: CFJ1-journaled before
+//!   visible, `max_hops`-BFS cache/index invalidation, periodic
+//!   compaction), and per-query deterministic retrieval;
 //! - [`cache::ChainCache`] — LRU cache of chain-retrieval results keyed by
-//!   `(entity, attribute)`;
+//!   `(entity, attribute)`, invalidated by entity on mutation;
 //! - [`protocol`] — the hand-rolled line-delimited JSON wire format;
 //! - [`server`] — thread-per-connection TCP front-end with a
-//!   `GET /metrics` command, a `{"reload": "path"}` admin request that
-//!   hot-swaps the model checkpoint ([`engine::Engine::reload`]) without
-//!   dropping traffic, and graceful shutdown on SIGTERM or stdin close;
+//!   `GET /metrics` command, `{"reload": "path"}` / `{"mutate": …}` admin
+//!   requests (hot model swap, live-graph mutation) that never drop
+//!   traffic, and graceful shutdown on SIGTERM or stdin close;
 //! - [`metrics::Metrics`] — lock-free counters and p50/p95/p99 latency /
 //!   batch-size histograms.
 //!
@@ -33,8 +35,8 @@ pub mod server;
 
 pub use cache::{CachedChains, ChainCache};
 pub use engine::{
-    admit, projected_delay_us, query_rng_seed, shard_of, Admission, Engine, EngineConfig,
-    QuantMode, Reply, ServeError, ServedPrediction,
+    admit, dirty_entities, projected_delay_us, query_rng_seed, shard_of, Admission, Engine,
+    EngineConfig, GraphGuard, MutationOutcome, QuantMode, Reply, ServeError, ServedPrediction,
 };
 pub use metrics::{Histogram, Metrics};
 pub use server::{install_signals, run, shutdown_on_stdin_close, signalled, METRICS_COMMAND};

@@ -191,6 +191,11 @@ pub struct Metrics {
     /// Model hot-reloads rejected (corrupt file, shape mismatch, io
     /// error); the previous model kept serving.
     pub reloads_rejected: AtomicU64,
+    /// Graph mutation batches validated, journaled, and applied.
+    pub mutations_ok: AtomicU64,
+    /// Graph mutation batches rejected (validation or journal failure);
+    /// the live graph was left untouched.
+    pub mutations_rejected: AtomicU64,
     /// End-to-end latency per answered request, microseconds.
     pub latency_us: Histogram,
     /// Batch sizes actually executed by the workers.
@@ -223,6 +228,8 @@ impl Metrics {
             cache_misses: AtomicU64::new(0),
             reloads_ok: AtomicU64::new(0),
             reloads_rejected: AtomicU64::new(0),
+            mutations_ok: AtomicU64::new(0),
+            mutations_rejected: AtomicU64::new(0),
             latency_us: Histogram::new(),
             batch_size: Histogram::new(),
             quantize_int8: AtomicU64::new(0),
@@ -266,6 +273,8 @@ impl Metrics {
             &self.cache_misses,
             &self.reloads_ok,
             &self.reloads_rejected,
+            &self.mutations_ok,
+            &self.mutations_rejected,
         ] {
             a.swap(0, Ordering::AcqRel);
         }
@@ -311,6 +320,12 @@ impl Metrics {
             s,
             "cf_serve_reloads_rejected_total {}",
             g(&self.reloads_rejected)
+        );
+        let _ = writeln!(s, "cf_serve_mutations_ok_total {}", g(&self.mutations_ok));
+        let _ = writeln!(
+            s,
+            "cf_serve_mutations_rejected_total {}",
+            g(&self.mutations_rejected)
         );
         let _ = writeln!(s, "cf_serve_latency_us_count {}", self.latency_us.count());
         let _ = writeln!(s, "cf_serve_latency_us_mean {}", self.latency_us.mean());
@@ -561,5 +576,26 @@ mod tests {
         assert!(text.contains("cf_serve_requests_total 3"));
         assert!(text.contains("cf_serve_cache_hit_rate 0.5000"));
         assert!(text.contains("cf_serve_latency_us_p50 256"));
+    }
+
+    #[test]
+    fn mutation_counters_render_and_reset() {
+        let m = Metrics::new();
+        m.mutations_ok.fetch_add(2, Ordering::Relaxed);
+        m.mutations_rejected.fetch_add(1, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("cf_serve_mutations_ok_total 2"), "{text}");
+        assert!(
+            text.contains("cf_serve_mutations_rejected_total 1"),
+            "{text}"
+        );
+        // New rows slot into the global region without renaming anything:
+        // they render before the first shard-labeled row would.
+        let at = text.find("cf_serve_mutations_ok_total").unwrap();
+        let last_global = text.find("cf_serve_batch_size_max").unwrap();
+        assert!(at < last_global, "mutation rows must sit in the globals");
+        m.reset();
+        assert_eq!(m.mutations_ok.load(Ordering::Relaxed), 0);
+        assert_eq!(m.mutations_rejected.load(Ordering::Relaxed), 0);
     }
 }

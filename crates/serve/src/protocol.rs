@@ -11,7 +11,7 @@
 //! {"id":7,"ok":false,"error":"overloaded"}
 //! ```
 //!
-//! One admin command shares the line format — an object with a `"reload"`
+//! Two admin commands share the line format. An object with a `"reload"`
 //! key asks the server to hot-swap its model parameters from a checkpoint
 //! on the server's filesystem:
 //! ```text
@@ -19,7 +19,16 @@
 //! {"id":3,"ok":true,"reloaded":true}
 //! {"id":3,"ok":false,"error":"reload: corrupt checkpoint: …"}
 //! ```
+//! An object with a `"mutate"` key carries one mutation object or an array
+//! of them, applied atomically (journaled before visible):
+//! ```text
+//! {"mutate": {"op":"upsert","entity":"person_0","attr":"birth","value":1957.0}, "id": 4}
+//! {"mutate": [{"op":"add_entity","name":"e9"},{"op":"add_edge","head":"e9","rel":"knows","tail":"person_0"}]}
+//! {"id":4,"ok":true,"mutated":true,"applied":1,"changed":1}
+//! {"id":4,"ok":false,"error":"field \"mutate.value\" must be a finite number"}
+//! ```
 
+use cf_kg::Mutation;
 use std::collections::HashMap;
 
 /// A parsed JSON value (only what the protocol needs).
@@ -65,6 +74,13 @@ pub enum Command {
         /// Correlation id, echoed back.
         id: Option<u64>,
     },
+    /// Apply a batch of live-graph mutations atomically.
+    Mutate {
+        /// The mutations, request order.
+        muts: Vec<Mutation>,
+        /// Correlation id, echoed back.
+        id: Option<u64>,
+    },
 }
 
 /// Parses one line into a [`Command`]. An object carrying a `"reload"` key
@@ -90,12 +106,98 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             id,
         });
     }
+    if let Some(m) = obj.get("mutate") {
+        let id = parse_id(&obj)?;
+        let muts = parse_mutations(m)?;
+        return Ok(Command::Mutate { muts, id });
+    }
     parse_request(line).map(Command::Predict)
+}
+
+fn parse_id(obj: &HashMap<String, Json>) -> Result<Option<u64>, String> {
+    match obj.get("id") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(Some(*n as u64)),
+        Some(_) => Err("field \"id\" must be a non-negative integer".into()),
+    }
+}
+
+/// Parses the body of a `"mutate"` key: one mutation object or an array of
+/// them. Every error names the exact field (`mutate.value`,
+/// `mutate[2].head`, …) — admin requests fail with a typed per-field line,
+/// never a generic parse failure.
+fn parse_mutations(v: &Json) -> Result<Vec<Mutation>, String> {
+    match v {
+        Json::Obj(_) => Ok(vec![parse_mutation(v, "mutate")?]),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                return Err("field \"mutate\" must not be an empty array".into());
+            }
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, m)| parse_mutation(m, &format!("mutate[{i}]")))
+                .collect()
+        }
+        _ => Err("field \"mutate\" must be a mutation object or an array of them".into()),
+    }
+}
+
+fn parse_mutation(v: &Json, path: &str) -> Result<Mutation, String> {
+    let Json::Obj(obj) = v else {
+        return Err(format!("field \"{path}\" must be a mutation object"));
+    };
+    let field_str = |k: &str| -> Result<String, String> {
+        match obj.get(k) {
+            Some(Json::Str(s)) => Ok(s.clone()),
+            Some(_) => Err(format!("field \"{path}.{k}\" must be a string")),
+            None => Err(format!("missing field \"{path}.{k}\"")),
+        }
+    };
+    let op = field_str("op")?;
+    match op.as_str() {
+        "upsert" => {
+            let entity = field_str("entity")?;
+            let attr = field_str("attr")?;
+            let value = match obj.get("value") {
+                Some(Json::Num(n)) => *n,
+                Some(_) => return Err(format!("field \"{path}.value\" must be a finite number")),
+                None => return Err(format!("missing field \"{path}.value\"")),
+            };
+            Ok(Mutation::UpsertNumeric {
+                entity,
+                attr,
+                value,
+            })
+        }
+        "add_entity" => Ok(Mutation::AddEntity {
+            name: field_str("name")?,
+        }),
+        "add_edge" => Ok(Mutation::AddEdge {
+            head: field_str("head")?,
+            rel: field_str("rel")?,
+            tail: field_str("tail")?,
+        }),
+        other => Err(format!(
+            "field \"{path}.op\" must be \"upsert\", \"add_entity\" or \"add_edge\", got {other:?}"
+        )),
+    }
 }
 
 /// Serializes the success response to a reload command.
 pub fn reload_ok_response(id: Option<u64>) -> String {
     format!("{{\"id\":{},\"ok\":true,\"reloaded\":true}}", id_json(id))
+}
+
+/// Serializes the success response to a mutate command: how many mutations
+/// the batch carried and how many actually changed the graph. (Both are
+/// pure functions of the request stream, so response bytes stay
+/// reproducible across runs and shard counts.)
+pub fn mutate_ok_response(id: Option<u64>, applied: usize, changed: usize) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":true,\"mutated\":true,\"applied\":{applied},\"changed\":{changed}}}",
+        id_json(id)
+    )
 }
 
 /// Parses one request line. Returns a human-readable error for malformed
@@ -444,6 +546,83 @@ mod tests {
         assert_eq!(o["ok"], Json::Bool(true));
         assert_eq!(o["reloaded"], Json::Bool(true));
         assert_eq!(o["id"], Json::Num(3.0));
+    }
+
+    #[test]
+    fn mutate_command_parses_single_and_batch() {
+        let c = parse_command(
+            r#"{"mutate": {"op":"upsert","entity":"e0","attr":"birth","value":1957.5}, "id": 4}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Mutate {
+                muts: vec![Mutation::UpsertNumeric {
+                    entity: "e0".into(),
+                    attr: "birth".into(),
+                    value: 1957.5
+                }],
+                id: Some(4)
+            }
+        );
+        let c = parse_command(
+            r#"{"mutate": [{"op":"add_entity","name":"e9"},{"op":"add_edge","head":"e9","rel":"knows","tail":"e0"}]}"#,
+        )
+        .unwrap();
+        let Command::Mutate { muts, id } = c else {
+            panic!("not a mutate");
+        };
+        assert_eq!(id, None);
+        assert_eq!(muts.len(), 2);
+        assert_eq!(muts[0], Mutation::AddEntity { name: "e9".into() });
+
+        let ok = mutate_ok_response(Some(4), 2, 1);
+        let Json::Obj(o) = parse_json(&ok).unwrap() else {
+            panic!("not an object")
+        };
+        assert_eq!(o["ok"], Json::Bool(true));
+        assert_eq!(o["mutated"], Json::Bool(true));
+        assert_eq!(o["applied"], Json::Num(2.0));
+        assert_eq!(o["changed"], Json::Num(1.0));
+    }
+
+    #[test]
+    fn malformed_mutate_bodies_name_the_failing_field() {
+        for (line, needle) in [
+            (r#"{"mutate": 5}"#, "field \"mutate\" must be"),
+            (r#"{"mutate": []}"#, "empty array"),
+            (
+                r#"{"mutate": {"entity":"e"}}"#,
+                "missing field \"mutate.op\"",
+            ),
+            (
+                r#"{"mutate": {"op":"frobnicate"}}"#,
+                "field \"mutate.op\" must be",
+            ),
+            (
+                r#"{"mutate": {"op":"upsert","entity":"e","attr":"a"}}"#,
+                "missing field \"mutate.value\"",
+            ),
+            (
+                r#"{"mutate": {"op":"upsert","entity":"e","attr":"a","value":"x"}}"#,
+                "field \"mutate.value\" must be a finite number",
+            ),
+            (
+                r#"{"mutate": [{"op":"add_edge","head":"h","rel":"r"}]}"#,
+                "missing field \"mutate[0].tail\"",
+            ),
+            (
+                r#"{"mutate": [{"op":"add_entity","name":"x"},{"op":"add_entity","name":5}]}"#,
+                "field \"mutate[1].name\" must be a string",
+            ),
+            (
+                r#"{"mutate": {"op":"add_entity","name":"x"}, "id": -1}"#,
+                "field \"id\" must be a non-negative integer",
+            ),
+        ] {
+            let err = parse_command(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err:?} missing {needle:?}");
+        }
     }
 
     #[test]

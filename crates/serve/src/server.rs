@@ -1,7 +1,7 @@
 //! The TCP front-end: line-delimited JSON over a thread-per-connection
-//! accept loop, a `GET /metrics` text command, a `{"reload": "path"}`
-//! admin request that hot-swaps the model checkpoint, and graceful
-//! shutdown on SIGTERM/SIGINT or stdin close.
+//! accept loop, a `GET /metrics` text command, `{"reload": "path"}` /
+//! `{"mutate": …}` admin requests (hot model swap, live-graph mutation),
+//! and graceful shutdown on SIGTERM/SIGINT or stdin close.
 
 use crate::engine::{Engine, ServeError};
 use crate::protocol;
@@ -135,19 +135,36 @@ fn answer(engine: &Engine, line: &str) -> String {
                 Err(e) => protocol::err_response(id, &format!("reload: {e}")),
             };
         }
+        Ok(protocol::Command::Mutate { muts, id }) => {
+            // Also on the connection thread: the engine journals, applies,
+            // and invalidates under its own locks; workers only pause for
+            // the brief write-lock window, never for journal fsync of a
+            // *rejected* batch (validation precedes the append).
+            return match engine.mutate(&muts) {
+                Ok(out) => protocol::mutate_ok_response(id, out.applied, out.changed),
+                Err(e) => protocol::err_response(id, &format!("mutate: {e}")),
+            };
+        }
         Err(e) => {
             engine.metrics().errors.fetch_add(1, Ordering::Relaxed);
             return protocol::err_response(None, &format!("parse: {e}"));
         }
     };
-    let graph = engine.graph();
-    let Some(entity) = graph.entity_by_name(&req.entity) else {
-        engine.metrics().errors.fetch_add(1, Ordering::Relaxed);
-        return protocol::err_response(req.id, &format!("unknown entity {:?}", req.entity));
-    };
-    let Some(attr) = graph.attribute_by_name(&req.attr) else {
-        engine.metrics().errors.fetch_add(1, Ordering::Relaxed);
-        return protocol::err_response(req.id, &format!("unknown attribute {:?}", req.attr));
+    // Resolve names under the live-graph read guard, then drop it before
+    // submitting: holding it across the reply wait could park the workers'
+    // own read acquisition behind a queued mutate write lock while the
+    // worker is what answers us — a deadlock.
+    let (entity, attr) = {
+        let graph = engine.graph();
+        let Some(entity) = graph.entity_by_name(&req.entity) else {
+            engine.metrics().errors.fetch_add(1, Ordering::Relaxed);
+            return protocol::err_response(req.id, &format!("unknown entity {:?}", req.entity));
+        };
+        let Some(attr) = graph.attribute_by_name(&req.attr) else {
+            engine.metrics().errors.fetch_add(1, Ordering::Relaxed);
+            return protocol::err_response(req.id, &format!("unknown attribute {:?}", req.attr));
+        };
+        (entity, attr)
     };
     let deadline = req.deadline_ms.map(Duration::from_millis);
     let reply = engine
@@ -324,6 +341,86 @@ mod tests {
 
         shutdown.store(true, Ordering::SeqCst);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mutate_admin_request_applies_and_rejects_over_tcp() {
+        let (addr, shutdown, entity, attrs) = start(EngineConfig::default());
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+
+        // Cache a prediction, then mutate its entity's neighborhood.
+        let req = format!(r#"{{"entity":"{entity}","attr":"{}","id":1}}"#, attrs[0]);
+        let before = roundtrip(&mut stream, &req);
+        assert!(before.contains("\"ok\":true"), "{before}");
+
+        let resp = roundtrip(
+            &mut stream,
+            &format!(
+                r#"{{"mutate":{{"op":"upsert","entity":"{entity}","attr":"{}","value":42.5}},"id":21}}"#,
+                attrs[0]
+            ),
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"mutated\":true"), "{resp}");
+        assert!(resp.contains("\"applied\":1"), "{resp}");
+        assert!(resp.contains("\"changed\":1"), "{resp}");
+        assert!(resp.contains("\"id\":21"), "{resp}");
+
+        // Re-applying the same mutation is an idempotent no-op.
+        let resp = roundtrip(
+            &mut stream,
+            &format!(
+                r#"{{"mutate":{{"op":"upsert","entity":"{entity}","attr":"{}","value":42.5}},"id":22}}"#,
+                attrs[0]
+            ),
+        );
+        assert!(resp.contains("\"changed\":0"), "{resp}");
+
+        // The prediction now sees the mutated graph and still answers.
+        let after = roundtrip(&mut stream, &req);
+        assert!(after.contains("\"ok\":true"), "{after}");
+
+        // A malformed body gets the typed per-field error line…
+        let resp = roundtrip(
+            &mut stream,
+            r#"{"mutate":{"op":"upsert","entity":"e","attr":"a","value":"x"},"id":23}"#,
+        );
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(
+            resp.contains("field \\\"mutate.value\\\" must be a finite number"),
+            "{resp}"
+        );
+        // …and an out-of-vocabulary attribute a structured rejection.
+        let resp = roundtrip(
+            &mut stream,
+            &format!(
+                r#"{{"mutate":{{"op":"upsert","entity":"{entity}","attr":"no_such_attr","value":1.0}},"id":24}}"#
+            ),
+        );
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(resp.contains("not in the serving vocabulary"), "{resp}");
+
+        writeln!(stream, "{METRICS_COMMAND}").expect("write");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut text = String::new();
+        loop {
+            let mut l = String::new();
+            reader.read_line(&mut l).expect("read");
+            if l.trim().is_empty() {
+                break;
+            }
+            text.push_str(&l);
+        }
+        assert!(text.contains("cf_serve_mutations_ok_total 2"), "{text}");
+        assert!(
+            text.contains("cf_serve_mutations_rejected_total 1"),
+            "{text}"
+        );
+
+        shutdown.store(true, Ordering::SeqCst);
     }
 
     #[test]
